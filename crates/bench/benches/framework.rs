@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the message-passing framework itself:
+//! NO-MP / SMP / MMP end-to-end on small generated workloads, plus the
+//! paper's running example as a constant-factor canary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::prepare;
+use em_core::evidence::Evidence;
+use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em_core::testing::paper_example;
+use em_parallel::{parallel_smp, ParallelConfig};
+use std::hint::black_box;
+
+fn bench_paper_example(c: &mut Criterion) {
+    let (ds, cover, matcher, _) = paper_example();
+    let none = Evidence::none();
+    let mut group = c.benchmark_group("paper_example");
+    group.bench_function("no_mp", |b| {
+        b.iter(|| black_box(no_mp(&matcher, &ds, &cover, &none)))
+    });
+    group.bench_function("smp", |b| {
+        b.iter(|| black_box(smp(&matcher, &ds, &cover, &none)))
+    });
+    group.bench_function("mmp", |b| {
+        b.iter(|| black_box(mmp(&matcher, &ds, &cover, &none, &MmpConfig::default())))
+    });
+    group.finish();
+}
+
+fn bench_schemes_on_workload(c: &mut Criterion) {
+    let w = prepare("dblp", 0.005, Some(11));
+    let matcher = w.mln_matcher();
+    let none = Evidence::none();
+    let mut group = c.benchmark_group("dblp_0.005");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("no_mp", w.cover.len()),
+        &w,
+        |b, w| b.iter(|| black_box(no_mp(&matcher, &w.dataset, &w.cover, &none))),
+    );
+    group.bench_with_input(BenchmarkId::new("smp", w.cover.len()), &w, |b, w| {
+        b.iter(|| black_box(smp(&matcher, &w.dataset, &w.cover, &none)))
+    });
+    group.bench_with_input(BenchmarkId::new("mmp", w.cover.len()), &w, |b, w| {
+        b.iter(|| {
+            black_box(mmp(
+                &matcher,
+                &w.dataset,
+                &w.cover,
+                &none,
+                &MmpConfig::default(),
+            ))
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("parallel_smp_4w", w.cover.len()),
+        &w,
+        |b, w| {
+            b.iter(|| {
+                black_box(parallel_smp(
+                    &matcher,
+                    &w.dataset,
+                    &w.cover,
+                    &none,
+                    &ParallelConfig { workers: 4 },
+                ))
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_example, bench_schemes_on_workload);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figures 3(d), 3(e): running-time comparison of NO-MP, SMP, MMP with
+//! the MLN matcher.
+//!
+//! The paper's counter-intuitive result: better message passing is
+//! *faster*, because evidence shrinks the active size of revisited
+//! neighborhoods and the matcher's per-neighborhood cost is superlinear
+//! in active size. That effect depends on the inference backend:
+//! Alchemy-style local search (`--backend walksat`) is strongly
+//! superlinear; the exact min-cut backend (`--backend exact`, default) is
+//! nearly linear per call, so the probe overhead of MMP can dominate —
+//! both are reported, with the deviation discussed in EXPERIMENTS.md.
+//!
+//! Usage:
+//!   fig3_runtime [--dataset hepth|dblp|both] [--scale 0.02]
+//!                [--backend exact|walksat|both] [--seed N]
+
+use em_bench::{prepare, Flags, Workload};
+use em_core::evidence::Evidence;
+use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em_eval::{fmt_duration, Table};
+use em_mln::MlnMatcher;
+
+fn run_backend(w: &Workload, matcher: &MlnMatcher, label: &str) {
+    let none = Evidence::none();
+    let mut table = Table::new([
+        "scheme",
+        "time",
+        "matcher calls",
+        "active pairs",
+        "messages",
+        "matches",
+    ]);
+    let runs = [
+        ("NO-MP", no_mp(matcher, &w.dataset, &w.cover, &none)),
+        ("SMP", smp(matcher, &w.dataset, &w.cover, &none)),
+        (
+            "MMP",
+            mmp(matcher, &w.dataset, &w.cover, &none, &MmpConfig::default()),
+        ),
+    ];
+    for (scheme, output) in runs {
+        table.push_row([
+            scheme.to_owned(),
+            fmt_duration(output.stats.wall_time),
+            output.stats.matcher_calls.to_string(),
+            output.stats.active_pairs_evaluated.to_string(),
+            output.stats.messages_sent.to_string(),
+            output.matches.len().to_string(),
+        ]);
+    }
+    println!(
+        "\nFig. 3({}) — running times, MLN matcher [{label} backend]",
+        if w.name == "hepth" { "d" } else { "e" }
+    );
+    print!("{}", table.render());
+}
+
+fn run_dataset(name: &str, scale: f64, seed: Option<u64>, backend: &str) {
+    let w = prepare(name, scale, seed);
+    println!(
+        "\n=== {} (scale {scale}): {} references, {} neighborhoods, {} candidate pairs ===",
+        w.name,
+        w.references,
+        w.cover.len(),
+        w.candidate_pairs
+    );
+    if backend == "exact" || backend == "both" {
+        run_backend(&w, &w.mln_matcher(), "exact");
+    }
+    if backend == "walksat" || backend == "both" {
+        run_backend(&w, &w.mln_walksat_matcher(), "walksat");
+    }
+}
+
+fn main() {
+    let flags = Flags::parse(std::env::args().skip(1));
+    let scale: f64 = flags.get("scale", 0.02);
+    let backend = flags.get_str("backend", "exact");
+    let seed: Option<u64> = if flags.has("seed") {
+        Some(flags.get("seed", 0u64))
+    } else {
+        None
+    };
+    match flags.get_str("dataset", "both").as_str() {
+        "both" => {
+            run_dataset("hepth", scale, seed, &backend);
+            run_dataset("dblp", scale, seed, &backend);
+        }
+        name => run_dataset(name, scale, seed, &backend),
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 3(f): running time as a function of input size — Full EM vs
+//! MMP.
+//!
+//! The paper sweeps the first `k` neighborhoods of HEPTH and shows the
+//! holistic MLN run ("Full EM") blowing up superlinearly — "prohibitively
+//! expensive" past 2,500 of 13,000 neighborhoods — while MMP stays
+//! linear. Our canopy windows overlap heavily, so a neighborhood-prefix
+//! sweep saturates the entity set almost immediately; the equivalent
+//! sweep here grows the *dataset* itself and runs both systems at each
+//! size. Full EM uses the MaxWalkSAT-style backend (what Alchemy runs;
+//! its flip budget grows superlinearly in the coupled model size);
+//! `--full-backend exact` sweeps the min-cut solver instead.
+//!
+//! Usage:
+//!   fig3_scaling [--dataset hepth] [--max-scale 0.04] [--points 6]
+//!                [--full-backend walksat|exact] [--full-cutoff-secs 60]
+
+use em_bench::{prepare, Flags};
+use em_core::evidence::Evidence;
+use em_core::framework::{mmp, MmpConfig};
+use em_core::Matcher;
+use em_eval::{fmt_duration, Table};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let flags = Flags::parse(std::env::args().skip(1));
+    let dataset = flags.get_str("dataset", "hepth");
+    let max_scale: f64 = flags.get("max-scale", 0.04);
+    let points: usize = flags.get("points", 6);
+    let full_backend = flags.get_str("full-backend", "walksat");
+    let cutoff = Duration::from_secs_f64(flags.get("full-cutoff-secs", 60.0));
+
+    let mut table = Table::new([
+        "#neighborhoods",
+        "refs",
+        "pairs",
+        "Full EM",
+        "MMP",
+    ]);
+    let mut full_em_dead = false;
+    for step in 1..=points {
+        let scale = max_scale * step as f64 / points as f64;
+        let w = prepare(&dataset, scale, None);
+        let exact = w.mln_matcher();
+        let walksat = w.mln_walksat_matcher();
+        let full_matcher: &dyn Matcher = match full_backend.as_str() {
+            "walksat" => &walksat,
+            "exact" => &exact,
+            other => panic!("unknown --full-backend {other:?}"),
+        };
+
+        let full_time = if full_em_dead {
+            None
+        } else {
+            let view = w.dataset.full_view();
+            let start = Instant::now();
+            let _ = full_matcher.match_view(&view, &Evidence::none());
+            let elapsed = start.elapsed();
+            if elapsed > cutoff {
+                full_em_dead = true; // stop sweeping Full EM past the cutoff
+            }
+            Some(elapsed)
+        };
+
+        let start = Instant::now();
+        let _ = mmp(
+            &exact,
+            &w.dataset,
+            &w.cover,
+            &Evidence::none(),
+            &MmpConfig::default(),
+        );
+        let mmp_time = start.elapsed();
+
+        table.push_row([
+            w.cover.len().to_string(),
+            w.references.to_string(),
+            w.candidate_pairs.to_string(),
+            full_time.map_or("(cut off)".to_owned(), fmt_duration),
+            fmt_duration(mmp_time),
+        ]);
+    }
+    println!(
+        "Fig. 3(f) — running time vs input size (Full EM backend: {full_backend})"
+    );
+    print!("{}", table.render());
+}

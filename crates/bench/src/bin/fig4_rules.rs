@@ -1,0 +1,117 @@
+//! Figures 4(a), 4(b), 4(c): the RULES matcher (Appendix C) — accuracy
+//! of NO-MP vs SMP vs FULL, and running times.
+//!
+//! RULES is a fast Type-I matcher, so the full holistic run is feasible
+//! and soundness/completeness can be computed *exactly* (the paper's
+//! headline there: SMP matches the full run on both datasets). MMP does
+//! not apply — RULES is not probabilistic.
+//!
+//! Usage:
+//!   fig4_rules [--dataset hepth|dblp|both] [--scale 0.02] [--seed N]
+
+use em_bench::{prepare, Flags};
+use em_core::evidence::Evidence;
+use em_core::framework::{no_mp, smp};
+use em_core::Matcher;
+use em_eval::{
+    fmt_duration, fmt_ratio, pairwise_metrics, soundness_completeness, Table,
+};
+use std::time::Instant;
+
+fn run_dataset(name: &str, scale: f64, seed: Option<u64>) -> (String, Vec<(String, String)>) {
+    let w = prepare(name, scale, seed);
+    println!(
+        "\n=== {} (scale {scale}): {} references, {} neighborhoods, {} candidate pairs ===",
+        w.name,
+        w.references,
+        w.cover.len(),
+        w.candidate_pairs
+    );
+
+    let matcher = w.rules_matcher();
+    let none = Evidence::none();
+
+    let start = Instant::now();
+    let nomp_out = no_mp(&matcher, &w.dataset, &w.cover, &none);
+    let nomp_time = start.elapsed();
+    let start = Instant::now();
+    let smp_out = smp(&matcher, &w.dataset, &w.cover, &none);
+    let smp_time = start.elapsed();
+    let start = Instant::now();
+    let full = matcher.match_view(&w.dataset.full_view(), &none);
+    let full_time = start.elapsed();
+
+    let true_pairs = w.truth.true_pair_count();
+    let mut accuracy = Table::new(["scheme", "P", "R", "F1", "matches"]);
+    for (label, matches) in [
+        ("NO-MP", &nomp_out.matches),
+        ("SMP", &smp_out.matches),
+        ("FULL", &full),
+    ] {
+        let m = pairwise_metrics(matches, w.truth_oracle(), true_pairs);
+        accuracy.push_row([
+            label.to_owned(),
+            fmt_ratio(m.precision()),
+            fmt_ratio(m.recall()),
+            fmt_ratio(m.f1()),
+            matches.len().to_string(),
+        ]);
+    }
+    println!(
+        "\nFig. 4({}) — P/R/F1, RULES matcher ({} true pairs)",
+        if w.name == "hepth" { "a" } else { "b" },
+        true_pairs
+    );
+    print!("{}", accuracy.render());
+
+    let mut agreement = Table::new(["scheme", "soundness vs FULL", "completeness vs FULL"]);
+    for (label, matches) in [("NO-MP", &nomp_out.matches), ("SMP", &smp_out.matches)] {
+        let r = soundness_completeness(matches, &full);
+        agreement.push_row([
+            label.to_owned(),
+            fmt_ratio(r.soundness),
+            fmt_ratio(r.completeness),
+        ]);
+    }
+    println!("\nSoundness/completeness vs the full holistic run");
+    print!("{}", agreement.render());
+
+    (
+        w.name.clone(),
+        vec![
+            ("NO-MP".to_owned(), fmt_duration(nomp_time)),
+            ("SMP".to_owned(), fmt_duration(smp_time)),
+            ("FULL".to_owned(), fmt_duration(full_time)),
+        ],
+    )
+}
+
+fn main() {
+    let flags = Flags::parse(std::env::args().skip(1));
+    let scale: f64 = flags.get("scale", 0.02);
+    let seed: Option<u64> = if flags.has("seed") {
+        Some(flags.get("seed", 0u64))
+    } else {
+        None
+    };
+    let mut timings: Vec<(String, Vec<(String, String)>)> = Vec::new();
+    match flags.get_str("dataset", "both").as_str() {
+        "both" => {
+            timings.push(run_dataset("hepth", scale, seed));
+            timings.push(run_dataset("dblp", scale, seed));
+        }
+        name => timings.push(run_dataset(name, scale, seed)),
+    }
+
+    let mut table = Table::new(["dataset", "NO-MP", "SMP", "FULL"]);
+    for (dataset, times) in &timings {
+        table.push_row([
+            dataset.clone(),
+            times[0].1.clone(),
+            times[1].1.clone(),
+            times[2].1.clone(),
+        ]);
+    }
+    println!("\nFig. 4(c) — RULES running times");
+    print!("{}", table.render());
+}

@@ -1,0 +1,95 @@
+//! Minimal `--flag value` command-line parsing (no external crates).
+
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs plus bare `--key` booleans.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parse from an iterator of arguments (usually `std::env::args().skip(1)`).
+    ///
+    /// # Panics
+    /// Panics on positional (non-`--`) arguments with a usage hint.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = BTreeMap::new();
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                panic!("unexpected positional argument {arg:?}; flags are --key value");
+            };
+            let value = match args.peek() {
+                Some(next) if !next.starts_with("--") => args.next().expect("peeked"),
+                _ => "true".to_owned(),
+            };
+            values.insert(key.to_owned(), value);
+        }
+        Self { values }
+    }
+
+    /// String flag with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
+
+    /// Parsed numeric/bool flag with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad value for --{key}: {v:?} ({e:?})")),
+            None => default,
+        }
+    }
+
+    /// Whether a bare boolean flag was passed.
+    pub fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let f = flags(&["--dataset", "hepth", "--scale", "0.1", "--verbose"]);
+        assert_eq!(f.get_str("dataset", "dblp"), "hepth");
+        assert_eq!(f.get("scale", 1.0), 0.1);
+        assert!(f.has("verbose"));
+        assert!(!f.has("quiet"));
+        assert_eq!(f.get("workers", 4usize), 4);
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        let f = flags(&["--offset", "-3"]);
+        assert_eq!(f.get("offset", 0i32), -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positional")]
+    fn rejects_positional_args() {
+        let _ = flags(&["hepth"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value")]
+    fn rejects_malformed_values() {
+        let f = flags(&["--scale", "abc"]);
+        let _: f64 = f.get("scale", 1.0);
+    }
+}

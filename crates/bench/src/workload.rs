@@ -1,0 +1,137 @@
+//! Workload preparation shared by all experiment binaries:
+//! generate → block → cover, plus the standard matchers.
+
+use em_blocking::{block_dataset, BlockingConfig, SimilarityKernel};
+use em_core::{Cover, Dataset, Pair, PairSet};
+use em_datagen::{generate, DatasetProfile, GroundTruth};
+use em_mln::{InferenceBackend, LocalSearchParams, MlnMatcher, MlnModel};
+use em_rules::{paper_rules, RulesMatcher};
+
+/// A fully prepared experiment workload.
+pub struct Workload {
+    /// Profile name ("hepth", "dblp", "dblp-big").
+    pub name: String,
+    /// Dataset with similarity annotated.
+    pub dataset: Dataset,
+    /// Ground truth.
+    pub truth: GroundTruth,
+    /// Total cover from the blocking pipeline.
+    pub cover: Cover,
+    /// Number of author references.
+    pub references: usize,
+    /// Candidate pairs ("matching decisions").
+    pub candidate_pairs: usize,
+}
+
+impl Workload {
+    /// The paper's MLN matcher (Appendix B weights) over this workload,
+    /// with exact inference.
+    pub fn mln_matcher(&self) -> MlnMatcher {
+        let coauthor = self
+            .dataset
+            .relations
+            .relation_id("coauthor")
+            .expect("generated datasets declare coauthor");
+        MlnMatcher::new(MlnModel::paper_model(coauthor))
+    }
+
+    /// The MLN matcher with the MaxWalkSAT-style local-search backend
+    /// (what Alchemy runs; used for the runtime-shape experiments).
+    pub fn mln_walksat_matcher(&self) -> MlnMatcher {
+        let coauthor = self
+            .dataset
+            .relations
+            .relation_id("coauthor")
+            .expect("generated datasets declare coauthor");
+        MlnMatcher::with_backend(
+            MlnModel::paper_model(coauthor),
+            InferenceBackend::LocalSearch(LocalSearchParams::default()),
+        )
+    }
+
+    /// The paper's RULES matcher (Appendix B rules + final transitive
+    /// closure).
+    pub fn rules_matcher(&self) -> RulesMatcher {
+        RulesMatcher::new(paper_rules()).with_transitive_closure(true)
+    }
+
+    /// The true matches restricted to candidate pairs (used for UB and
+    /// blocking-recall diagnostics).
+    pub fn true_candidate_pairs(&self) -> PairSet {
+        self.dataset
+            .candidate_pairs()
+            .filter(|&(p, _)| self.truth.is_match(p))
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Truth oracle closure for the metrics API.
+    pub fn truth_oracle(&self) -> impl Fn(Pair) -> bool + '_ {
+        |p| self.truth.is_match(p)
+    }
+}
+
+/// Resolve a profile by name.
+pub fn profile_by_name(name: &str) -> DatasetProfile {
+    match name {
+        "hepth" => DatasetProfile::hepth(),
+        "dblp" => DatasetProfile::dblp(),
+        "dblp-big" => DatasetProfile::dblp_big(),
+        other => panic!("unknown dataset {other:?}; expected hepth | dblp | dblp-big"),
+    }
+}
+
+/// Generate and block a workload.
+pub fn prepare(name: &str, scale: f64, seed: Option<u64>) -> Workload {
+    let mut profile = profile_by_name(name).scaled(scale);
+    if let Some(seed) = seed {
+        profile = profile.with_seed(seed);
+    }
+    let generated = generate(&profile);
+    let mut dataset = generated.dataset;
+    let config = BlockingConfig {
+        kernel: SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    let blocking = block_dataset(&mut dataset, &config)
+        .expect("blocking pipeline produces a valid total cover");
+    Workload {
+        name: profile.name.clone(),
+        references: generated.references.len(),
+        candidate_pairs: dataset.candidate_count(),
+        dataset,
+        truth: generated.truth,
+        cover: blocking.cover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_produces_consistent_workload() {
+        let w = prepare("dblp", 0.004, None);
+        assert!(w.references > 50);
+        assert!(w.cover.len() > 10);
+        assert!(w.cover.validate_total(&w.dataset).is_ok());
+        assert!(w.candidate_pairs > 0);
+        // Most candidate true pairs should exist (blocking recall).
+        let true_candidates = w.true_candidate_pairs();
+        assert!(!true_candidates.is_empty());
+    }
+
+    #[test]
+    fn matchers_construct() {
+        let w = prepare("hepth", 0.002, Some(7));
+        let _ = w.mln_matcher();
+        let _ = w.mln_walksat_matcher();
+        let _ = w.rules_matcher();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_profile_panics() {
+        let _ = profile_by_name("acm");
+    }
+}

@@ -1,0 +1,172 @@
+//! Canopy clustering (McCallum, Nigam, Ungar — KDD 2000).
+//!
+//! Canopies group points with a *cheap* distance so an expensive algorithm
+//! only runs within groups. The algorithm: repeatedly pick a remaining
+//! point as a canopy *center*; every point within the **loose** threshold
+//! joins the canopy; every point within the **tight** threshold is removed
+//! from the pool of future centers. Because the loose threshold admits
+//! points that remain center-eligible, canopies *overlap* — which is what
+//! guarantees (for well-separated thresholds) that truly similar pairs
+//! co-occur in at least one canopy, i.e. the canopies are a total cover of
+//! the `Similar` relation.
+//!
+//! This implementation uses the n-gram Jaccard estimate from the inverted
+//! index as the cheap similarity, and picks centers in ascending id order
+//! so runs are deterministic.
+
+use crate::inverted_index::InvertedIndex;
+use em_core::EntityId;
+
+/// Canopy parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CanopyParams {
+    /// Character n-gram size for the cheap similarity.
+    pub ngram: usize,
+    /// Loose similarity: candidates at or above it join the canopy.
+    pub loose: f64,
+    /// Tight similarity: candidates at or above it stop being centers.
+    /// Must be ≥ `loose`.
+    pub tight: f64,
+}
+
+impl Default for CanopyParams {
+    fn default() -> Self {
+        Self {
+            ngram: 3,
+            loose: 0.35,
+            tight: 0.65,
+        }
+    }
+}
+
+/// Run canopy clustering over `(entity, key string)` points.
+///
+/// Returns canopies as entity-id lists. Every input entity appears in at
+/// least one canopy (a center always joins its own canopy).
+///
+/// # Panics
+/// Panics if `tight < loose` (the canopy invariants need
+/// `loose ≤ tight`).
+pub fn canopies(points: &[(EntityId, String)], params: &CanopyParams) -> Vec<Vec<EntityId>> {
+    assert!(
+        params.tight >= params.loose,
+        "canopy tight threshold must be ≥ loose threshold"
+    );
+    let docs: Vec<String> = points.iter().map(|(_, s)| s.clone()).collect();
+    let index = InvertedIndex::build(&docs, params.ngram);
+
+    let mut center_eligible = vec![true; points.len()];
+    let mut out: Vec<Vec<EntityId>> = Vec::new();
+    for center in 0..points.len() {
+        if !center_eligible[center] {
+            continue;
+        }
+        center_eligible[center] = false;
+        let mut members = vec![points[center].0];
+        for (doc, sim) in index.candidates_above(&points[center].1, params.loose) {
+            let doc_idx = doc as usize;
+            if doc_idx == center {
+                continue;
+            }
+            members.push(points[doc_idx].0);
+            if sim >= params.tight {
+                center_eligible[doc_idx] = false;
+            }
+        }
+        out.push(members);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn points(names: &[&str]) -> Vec<(EntityId, String)> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (e(i as u32), (*s).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn every_entity_is_covered() {
+        let pts = points(&["john smith", "jon smith", "jane doe", "zzz qqq"]);
+        let cs = canopies(&pts, &CanopyParams::default());
+        let mut covered = vec![false; pts.len()];
+        for c in &cs {
+            for m in c {
+                covered[m.0 as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "canopies must cover everything");
+    }
+
+    #[test]
+    fn near_duplicates_share_a_canopy() {
+        let pts = points(&["john smith", "john smith", "jane doe"]);
+        let cs = canopies(&pts, &CanopyParams::default());
+        assert!(
+            cs.iter()
+                .any(|c| c.contains(&e(0)) && c.contains(&e(1))),
+            "duplicates must co-occur: {cs:?}"
+        );
+        // An exact duplicate of a previous center cannot seed its own
+        // canopy (it was removed by the tight threshold).
+        let seeded_by_duplicate = cs
+            .iter()
+            .filter(|c| c[0] == e(1))
+            .count();
+        assert_eq!(seeded_by_duplicate, 0);
+    }
+
+    #[test]
+    fn dissimilar_names_do_not_mix() {
+        let pts = points(&["john smith", "minos garofalakis"]);
+        let cs = canopies(&pts, &CanopyParams::default());
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0], vec![e(0)]);
+        assert_eq!(cs[1], vec![e(1)]);
+    }
+
+    #[test]
+    fn loose_threshold_creates_overlap() {
+        // b is close to both a and c, which are far from each other: with
+        // a loose-but-not-tight band, b joins a's canopy yet still seeds
+        // (or joins) another canopy with c.
+        let pts = points(&["aaaa bbbb", "aaaa bbbc", "aaab bbcc"]);
+        let params = CanopyParams {
+            ngram: 2,
+            loose: 0.30,
+            tight: 0.95,
+        };
+        let cs = canopies(&pts, &params);
+        let containing_b = cs.iter().filter(|c| c.contains(&e(1))).count();
+        assert!(containing_b >= 2, "loose members overlap: {cs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tight threshold")]
+    fn inverted_thresholds_panic() {
+        let pts = points(&["x"]);
+        let params = CanopyParams {
+            ngram: 2,
+            loose: 0.9,
+            tight: 0.1,
+        };
+        let _ = canopies(&pts, &params);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let pts = points(&["john smith", "jon smith", "j smith", "jane doe", "j doe"]);
+        let a = canopies(&pts, &CanopyParams::default());
+        let b = canopies(&pts, &CanopyParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Assembling a total [`Cover`] from canopies.
+
+use em_core::hash::FxHashSet;
+use em_core::{Cover, Dataset, EntityId};
+
+/// Build a total cover from canopies:
+///
+/// 1. the canopies become neighborhoods;
+/// 2. every entity of the dataset not in any canopy (e.g. papers, which
+///    are never canopy points) gets a singleton neighborhood so the result
+///    is a cover of *all* entities;
+/// 3. each neighborhood is expanded with its relational boundary for
+///    `boundary_hops` hops (§4's construction), making the cover total.
+pub fn cover_from_canopies(
+    dataset: &Dataset,
+    canopies: Vec<Vec<EntityId>>,
+    boundary_hops: usize,
+) -> Cover {
+    let mut covered: Vec<bool> = vec![false; dataset.entities.len()];
+    for canopy in &canopies {
+        for e in canopy {
+            covered[e.index()] = true;
+        }
+    }
+    let mut neighborhoods = canopies;
+    for (i, was_covered) in covered.iter().enumerate() {
+        if !was_covered {
+            neighborhoods.push(vec![EntityId(i as u32)]);
+        }
+    }
+    let cover = Cover::from_neighborhoods(neighborhoods);
+    cover.expand_to_total(dataset, boundary_hops)
+}
+
+/// Drop neighborhoods that are exact duplicates of another neighborhood
+/// (identical member sets), which canopy overlap frequently produces.
+pub fn dedupe_exact(cover: &Cover) -> Cover {
+    let mut seen: FxHashSet<Vec<EntityId>> = FxHashSet::default();
+    let mut kept: Vec<Vec<EntityId>> = Vec::new();
+    for id in cover.ids() {
+        let members = cover.members(id).to_vec();
+        if seen.insert(members.clone()) {
+            kept.push(members);
+        }
+    }
+    Cover::from_neighborhoods(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::dataset::SimLevel;
+    use em_core::Pair;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let author = ds.entities.intern_type("author_ref");
+        let paper = ds.entities.intern_type("paper");
+        for _ in 0..4 {
+            ds.entities.add_entity(author);
+        }
+        ds.entities.add_entity(paper); // e4, never a canopy point
+        let authored = ds.relations.declare("authored", false);
+        ds.relations.add_tuple(authored, e(0), e(4));
+        ds.relations.add_tuple(authored, e(1), e(4));
+        let co = ds.relations.declare("coauthor", true);
+        ds.relations.add_tuple(co, e(0), e(1));
+        ds.set_similar(Pair::new(e(0), e(2)), SimLevel(2));
+        ds
+    }
+
+    #[test]
+    fn uncovered_entities_get_singletons() {
+        let ds = dataset();
+        let cover = cover_from_canopies(&ds, vec![vec![e(0), e(2)], vec![e(1)], vec![e(3)]], 0);
+        assert!(cover.validate_cover(&ds).is_ok(), "paper e4 must be covered");
+    }
+
+    #[test]
+    fn boundary_expansion_makes_total() {
+        let ds = dataset();
+        let cover = cover_from_canopies(&ds, vec![vec![e(0), e(2)], vec![e(1)], vec![e(3)]], 1);
+        assert!(cover.validate_total(&ds).is_ok());
+        // The canopy {e0, e2} pulls in coauthor e1 and paper e4.
+        let first = cover.members(em_core::NeighborhoodId(0));
+        assert!(first.contains(&e(1)));
+        assert!(first.contains(&e(4)));
+    }
+
+    #[test]
+    fn dedupe_removes_identical_neighborhoods() {
+        let cover = Cover::from_neighborhoods(vec![
+            vec![e(0), e(1)],
+            vec![e(1), e(0)],
+            vec![e(2)],
+        ]);
+        let deduped = dedupe_exact(&cover);
+        assert_eq!(deduped.len(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! N-gram inverted index: the cheap distance behind canopy clustering.
+//!
+//! Canopies need a distance that can enumerate "everything plausibly
+//! close to X" without comparing X against the whole dataset. An inverted
+//! index from character n-grams to document ids does exactly that: the
+//! candidates for X are the union of the posting lists of X's n-grams,
+//! and the overlap counts give an upper-bound Jaccard estimate for free.
+
+use em_core::hash::FxHashMap;
+use em_similarity::ngram::ngram_set;
+
+/// Inverted index over the character n-grams of a string collection.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    n: usize,
+    /// n-gram → ids of documents containing it (ascending).
+    postings: FxHashMap<String, Vec<u32>>,
+    /// per-document n-gram set size (for Jaccard denominators).
+    gram_counts: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Build the index over `docs` with `n`-grams. Document ids are the
+    /// slice positions.
+    pub fn build(docs: &[String], n: usize) -> Self {
+        let mut postings: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+        let mut gram_counts = Vec::with_capacity(docs.len());
+        for (id, doc) in docs.iter().enumerate() {
+            let grams = ngram_set(doc, n);
+            gram_counts.push(grams.len() as u32);
+            for gram in grams {
+                postings.entry(gram).or_default().push(id as u32);
+            }
+        }
+        Self {
+            n,
+            postings,
+            gram_counts,
+        }
+    }
+
+    /// The n-gram size of the index.
+    pub fn ngram_size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.gram_counts.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gram_counts.is_empty()
+    }
+
+    /// Number of distinct n-grams of document `id`.
+    pub fn gram_count(&self, id: u32) -> u32 {
+        self.gram_counts[id as usize]
+    }
+
+    /// Candidate documents sharing at least one n-gram with `query`,
+    /// with shared-gram counts. The query is an arbitrary string (not
+    /// necessarily indexed).
+    pub fn candidates(&self, query: &str) -> FxHashMap<u32, u32> {
+        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+        for gram in ngram_set(query, self.n) {
+            if let Some(ids) = self.postings.get(&gram) {
+                for &id in ids {
+                    *counts.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Cheap Jaccard similarity between an indexed document and a query
+    /// given their shared-gram count: `shared / (|q| + |d| − shared)`.
+    pub fn jaccard_from_overlap(&self, doc: u32, query_grams: u32, shared: u32) -> f64 {
+        let union = query_grams + self.gram_count(doc) - shared;
+        if union == 0 {
+            return 1.0;
+        }
+        f64::from(shared) / f64::from(union)
+    }
+
+    /// All candidates of `query` at Jaccard ≥ `threshold`.
+    pub fn candidates_above(&self, query: &str, threshold: f64) -> Vec<(u32, f64)> {
+        let query_grams = ngram_set(query, self.n).len() as u32;
+        let mut out: Vec<(u32, f64)> = self
+            .candidates(query)
+            .into_iter()
+            .map(|(id, shared)| (id, self.jaccard_from_overlap(id, query_grams, shared)))
+            .filter(|&(_, sim)| sim >= threshold)
+            .collect();
+        out.sort_unstable_by_key(|a| a.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<String> {
+        ["john smith", "jon smith", "jane doe", "john smithe"]
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn build_indexes_every_doc() {
+        let idx = InvertedIndex::build(&docs(), 3);
+        assert_eq!(idx.len(), 4);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.ngram_size(), 3);
+        assert!(idx.gram_count(0) > 0);
+    }
+
+    #[test]
+    fn exact_duplicate_query_scores_one() {
+        let idx = InvertedIndex::build(&docs(), 3);
+        let hits = idx.candidates_above("john smith", 0.999);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 0);
+    }
+
+    #[test]
+    fn near_duplicates_are_found_above_loose_threshold() {
+        let idx = InvertedIndex::build(&docs(), 3);
+        let hits = idx.candidates_above("john smith", 0.4);
+        let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        assert!(ids.contains(&0));
+        assert!(ids.contains(&3), "john smithe shares most grams");
+        assert!(!ids.contains(&2), "jane doe is unrelated");
+    }
+
+    #[test]
+    fn candidates_count_shared_grams() {
+        let idx = InvertedIndex::build(&docs(), 3);
+        let counts = idx.candidates("jane doe");
+        // Identical doc shares all of its grams.
+        assert_eq!(counts[&2], idx.gram_count(2));
+    }
+
+    #[test]
+    fn unrelated_query_yields_nothing() {
+        let idx = InvertedIndex::build(&docs(), 3);
+        assert!(idx.candidates_above("xyzzyx", 0.1).is_empty());
+    }
+
+    #[test]
+    fn empty_collection() {
+        let idx = InvertedIndex::build(&[], 3);
+        assert!(idx.is_empty());
+        assert!(idx.candidates("anything").is_empty());
+    }
+}

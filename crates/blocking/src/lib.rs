@@ -1,0 +1,32 @@
+//! # em-blocking — canopy blocking and total-cover construction
+//!
+//! The paper constructs its covers by "first constructing a total cover
+//! over the Similar relation using the Canopies algorithm [McCallum,
+//! Nigam, Ungar; KDD 2000], and then taking the boundary of each
+//! neighborhood with respect to other relations" (§4). This crate is that
+//! pipeline:
+//!
+//! 1. [`inverted_index`] — an n-gram inverted index providing the *cheap*
+//!    distance canopies require;
+//! 2. [`canopy`] — deterministic canopy clustering with loose/tight
+//!    thresholds;
+//! 3. similarity annotation — exact Jaro-Winkler within canopies,
+//!    discretized into the dataset's candidate-pair levels;
+//! 4. [`cover`] — assembling a total [`em_core::Cover`]: canopies +
+//!    singleton residuals + relational boundary expansion;
+//! 5. [`partition`] — connected-component splitting of oversized
+//!    neighborhoods (keeps the cover total while shrinking `k`).
+//!
+//! The one-call entry point is [`pipeline::block_dataset`].
+
+#![warn(missing_docs)]
+
+pub mod canopy;
+pub mod cover;
+pub mod inverted_index;
+pub mod partition;
+pub mod pipeline;
+
+pub use canopy::{canopies, CanopyParams};
+pub use inverted_index::InvertedIndex;
+pub use pipeline::{block_dataset, BlockingConfig, BlockingOutput, SimilarityKernel};

@@ -1,0 +1,136 @@
+//! Splitting oversized neighborhoods without losing tuples.
+//!
+//! The framework's cost model is `O(k² f(k) n)` — a single huge
+//! neighborhood can dominate everything. A neighborhood can be split
+//! *safely* (preserving totality) along the connected components of its
+//! internal evidence graph: if two members share no path of candidate
+//! pairs or relation tuples inside the neighborhood, no ground rule ever
+//! connects them, so putting them in separate neighborhoods loses nothing.
+//! Components that are themselves larger than the cap are kept intact
+//! (splitting them would lose evidence); callers can tighten canopy
+//! thresholds instead.
+
+use em_core::{Cover, Dataset, EntityId};
+
+/// Split every neighborhood larger than `max_size` into the connected
+/// components of its internal evidence graph.
+pub fn split_oversized(cover: &Cover, dataset: &Dataset, max_size: usize) -> Cover {
+    let mut out: Vec<Vec<EntityId>> = Vec::with_capacity(cover.len());
+    for id in cover.ids() {
+        let members = cover.members(id);
+        if members.len() <= max_size {
+            out.push(members.to_vec());
+            continue;
+        }
+        out.extend(components(dataset, members));
+    }
+    Cover::from_neighborhoods(out)
+}
+
+/// Connected components of the evidence graph induced on `members`
+/// (edges: candidate pairs and relation tuples with both endpoints in
+/// `members`).
+fn components(dataset: &Dataset, members: &[EntityId]) -> Vec<Vec<EntityId>> {
+    let index_of = |e: EntityId| members.binary_search(&e).ok();
+    let n = members.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+
+    for (i, &e) in members.iter().enumerate() {
+        for &(other, _) in dataset.sim_neighbors(e) {
+            if let Some(j) = index_of(other) {
+                union(&mut parent, i, j);
+            }
+        }
+        for rel in dataset.relations.ids() {
+            for &other in dataset.relations.neighbors_out(rel, e) {
+                if let Some(j) = index_of(other) {
+                    union(&mut parent, i, j);
+                }
+            }
+            for &other in dataset.relations.neighbors_in(rel, e) {
+                if let Some(j) = index_of(other) {
+                    union(&mut parent, i, j);
+                }
+            }
+        }
+    }
+
+    let mut by_root: em_core::hash::FxHashMap<usize, Vec<EntityId>> =
+        em_core::hash::FxHashMap::default();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        by_root.entry(root).or_default().push(members[i]);
+    }
+    let mut comps: Vec<Vec<EntityId>> = by_root.into_values().collect();
+    comps.sort_unstable();
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::dataset::SimLevel;
+    use em_core::Pair;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..6 {
+            ds.entities.add_entity(ty);
+        }
+        // Two islands: {0,1,2} chained by similar/coauthor; {3,4} similar;
+        // {5} isolated.
+        ds.set_similar(Pair::new(e(0), e(1)), SimLevel(2));
+        let co = ds.relations.declare("coauthor", true);
+        ds.relations.add_tuple(co, e(1), e(2));
+        ds.set_similar(Pair::new(e(3), e(4)), SimLevel(1));
+        ds
+    }
+
+    #[test]
+    fn oversized_neighborhood_splits_into_components() {
+        let ds = dataset();
+        let big = Cover::from_neighborhoods(vec![vec![e(0), e(1), e(2), e(3), e(4), e(5)]]);
+        let split = split_oversized(&big, &ds, 4);
+        assert_eq!(split.len(), 3);
+        assert!(split.validate_total(&ds).is_ok());
+        let sizes: Vec<usize> = split.ids().map(|id| split.members(id).len()).collect();
+        assert_eq!(sizes, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn small_neighborhoods_pass_through() {
+        let ds = dataset();
+        let cover = Cover::from_neighborhoods(vec![vec![e(0), e(1)], vec![e(3), e(4)]]);
+        let split = split_oversized(&cover, &ds, 10);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split.members(em_core::NeighborhoodId(0)), &[e(0), e(1)]);
+    }
+
+    #[test]
+    fn connected_component_larger_than_cap_is_kept() {
+        let ds = dataset();
+        let big = Cover::from_neighborhoods(vec![vec![e(0), e(1), e(2)]]);
+        // Cap of 1 cannot be honored without losing tuples; keep intact.
+        let split = split_oversized(&big, &ds, 1);
+        assert_eq!(split.len(), 1);
+        assert_eq!(split.members(em_core::NeighborhoodId(0)).len(), 3);
+    }
+}

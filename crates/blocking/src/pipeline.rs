@@ -1,0 +1,306 @@
+//! The end-to-end blocking pipeline: canopies → similarity annotation →
+//! total cover.
+
+use crate::canopy::{canopies, CanopyParams};
+use crate::cover::{cover_from_canopies, dedupe_exact};
+use crate::partition::split_oversized;
+use em_core::{Cover, Dataset, EntityId, Pair, Result};
+use em_similarity::discretize::Discretizer;
+use em_similarity::{author_name_score, jaro_winkler};
+
+/// Which exact similarity kernel scores within-canopy pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SimilarityKernel {
+    /// Raw Jaro-Winkler on the key strings (the paper's stated choice).
+    #[default]
+    JaroWinkler,
+    /// Structure-aware author-name scoring
+    /// ([`em_similarity::author_name_score`]): initial-only agreement is
+    /// capped below level 3, which is the regime where collective
+    /// evidence matters.
+    AuthorName,
+}
+
+/// Configuration for [`block_dataset`].
+#[derive(Debug, Clone)]
+pub struct BlockingConfig {
+    /// Entity type whose members are blocked (e.g. `"author_ref"`).
+    pub entity_type: String,
+    /// Attribute holding the blocking key string (e.g. `"name"`).
+    pub key_attr: String,
+    /// Canopy parameters for the cheap pass.
+    pub canopy: CanopyParams,
+    /// Thresholds discretizing exact similarity scores into levels.
+    pub discretizer: Discretizer,
+    /// Exact similarity kernel.
+    pub kernel: SimilarityKernel,
+    /// Sub-block canopies larger than this into overlapping windows of
+    /// members sorted by `(last, first)` name key. Canopy blow-up happens
+    /// on popular surnames; windowing keeps compatible names (which sort
+    /// adjacently) together while bounding the quadratic pair generation.
+    /// Cross-window pairs are *not* candidates — the standard
+    /// sub-blocking recall trade-off.
+    pub max_canopy_size: Option<usize>,
+    /// Boundary-expansion hops (§4 uses one).
+    pub boundary_hops: usize,
+    /// Split neighborhoods larger than this into safe components.
+    pub max_neighborhood_size: Option<usize>,
+}
+
+impl Default for BlockingConfig {
+    fn default() -> Self {
+        Self {
+            entity_type: "author_ref".to_owned(),
+            key_attr: "name".to_owned(),
+            canopy: CanopyParams::default(),
+            discretizer: Discretizer::default(),
+            kernel: SimilarityKernel::default(),
+            max_canopy_size: Some(384),
+            boundary_hops: 1,
+            max_neighborhood_size: Some(256),
+        }
+    }
+}
+
+/// Result of the blocking pipeline.
+#[derive(Debug)]
+pub struct BlockingOutput {
+    /// The total cover ready for the framework.
+    pub cover: Cover,
+    /// Number of canopies produced by the cheap pass.
+    pub canopies: usize,
+    /// Candidate pairs annotated onto the dataset.
+    pub candidate_pairs: usize,
+}
+
+/// Run the full blocking pipeline on `dataset`:
+///
+/// 1. collect `(entity, key)` points of `entity_type`;
+/// 2. canopy-cluster them with the cheap n-gram similarity;
+/// 3. annotate candidate pairs: for every within-canopy pair, compute
+///    exact Jaro-Winkler on the keys and record the discretized level in
+///    the dataset (`similar(e1, e2, level)`);
+/// 4. assemble a total cover (canopies + singleton residuals + boundary).
+///
+/// Returns an error only if the constructed cover fails validation
+/// (which would indicate a bug — the construction is total by design and
+/// the validation is kept as an internal consistency check).
+pub fn block_dataset(dataset: &mut Dataset, config: &BlockingConfig) -> Result<BlockingOutput> {
+    let points: Vec<(EntityId, String)> = {
+        let ty = dataset.entities.type_id(&config.entity_type);
+        match ty {
+            Some(ty) => dataset
+                .entities
+                .ids_of_type(ty)
+                .filter_map(|e| {
+                    dataset
+                        .entities
+                        .attr(e, &config.key_attr)
+                        .map(|s| (e, s.to_owned()))
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    };
+
+    let mut canopy_sets = canopies(&points, &config.canopy);
+    if let Some(max) = config.max_canopy_size {
+        let mut key_lookup: Vec<Option<&str>> = vec![None; dataset.entities.len()];
+        for (e, s) in &points {
+            key_lookup[e.index()] = Some(s.as_str());
+        }
+        canopy_sets = canopy_sets
+            .into_iter()
+            .flat_map(|canopy| sub_block(canopy, &key_lookup, max))
+            .collect();
+    }
+
+    // Exact similarity within canopies; the key strings are looked up via
+    // a dense side table to avoid re-fetching attributes per pair.
+    let mut key_of: Vec<Option<&str>> = vec![None; dataset.entities.len()];
+    for (e, s) in &points {
+        key_of[e.index()] = Some(s.as_str());
+    }
+    let mut candidate_pairs = 0usize;
+    let mut annotations: Vec<(Pair, em_core::SimLevel)> = Vec::new();
+    for canopy in &canopy_sets {
+        for (i, &a) in canopy.iter().enumerate() {
+            for &b in &canopy[i + 1..] {
+                let (Some(ka), Some(kb)) = (key_of[a.index()], key_of[b.index()]) else {
+                    continue;
+                };
+                let score = match config.kernel {
+                    SimilarityKernel::JaroWinkler => jaro_winkler(ka, kb),
+                    SimilarityKernel::AuthorName => author_name_score(ka, kb),
+                };
+                if let Some(level) = config.discretizer.level(score) {
+                    annotations.push((Pair::new(a, b), level));
+                }
+            }
+        }
+    }
+    drop(key_of);
+    for (pair, level) in annotations {
+        if dataset.set_similar(pair, level) {
+            candidate_pairs += 1;
+        }
+    }
+
+    let mut cover = cover_from_canopies(dataset, canopy_sets.clone(), config.boundary_hops);
+    cover = dedupe_exact(&cover);
+    if let Some(max) = config.max_neighborhood_size {
+        cover = split_oversized(&cover, dataset, max);
+        cover = dedupe_exact(&cover);
+    }
+    cover.validate_total(dataset)?;
+    Ok(BlockingOutput {
+        cover,
+        canopies: canopy_sets.len(),
+        candidate_pairs,
+    })
+}
+
+/// Split an oversized canopy into overlapping windows over members
+/// sorted by `(last name, first name)`, so compatible author names stay
+/// within a window. Window size = `max`, stride = `max / 2`.
+fn sub_block(
+    canopy: Vec<EntityId>,
+    keys: &[Option<&str>],
+    max: usize,
+) -> Vec<Vec<EntityId>> {
+    if canopy.len() <= max {
+        return vec![canopy];
+    }
+    let mut keyed: Vec<(String, EntityId)> = canopy
+        .into_iter()
+        .map(|e| {
+            let parsed =
+                em_similarity::NameKey::parse(keys[e.index()].unwrap_or_default());
+            (format!("{} {}", parsed.last, parsed.first), e)
+        })
+        .collect();
+    keyed.sort();
+    let stride = (max / 2).max(1);
+    let mut out = Vec::new();
+    let mut start = 0;
+    loop {
+        let end = (start + max).min(keyed.len());
+        out.push(keyed[start..end].iter().map(|&(_, e)| e).collect());
+        if end == keyed.len() {
+            break;
+        }
+        start += stride;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::SimLevel;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let author = ds.entities.intern_type("author_ref");
+        let paper = ds.entities.intern_type("paper");
+        let name = ds.entities.intern_attr("name");
+        let names = [
+            "john smith",
+            "john smith",   // exact duplicate of e0
+            "jon smith",    // near duplicate
+            "jane doe",
+            "j doe",
+            "minos garofalakis",
+        ];
+        for n in names {
+            let id = ds.entities.add_entity(author);
+            ds.entities.set_attr(id, name, n);
+        }
+        // A paper authored by two of the refs (boundary material).
+        let p = ds.entities.add_entity(paper);
+        let authored = ds.relations.declare("authored", false);
+        ds.relations.add_tuple(authored, e(0), p);
+        ds.relations.add_tuple(authored, e(3), p);
+        let co = ds.relations.declare("coauthor", true);
+        ds.relations.add_tuple(co, e(0), e(3));
+        ds
+    }
+
+    #[test]
+    fn pipeline_produces_valid_total_cover() {
+        let mut ds = dataset();
+        let out = block_dataset(&mut ds, &BlockingConfig::default()).expect("pipeline");
+        assert!(out.cover.validate_total(&ds).is_ok());
+        assert!(out.canopies >= 2);
+    }
+
+    #[test]
+    fn exact_duplicates_become_level3_candidates() {
+        let mut ds = dataset();
+        let _ = block_dataset(&mut ds, &BlockingConfig::default()).unwrap();
+        assert_eq!(ds.similarity(Pair::new(e(0), e(1))), Some(SimLevel(3)));
+        let near = ds.similarity(Pair::new(e(0), e(2))).expect("candidate");
+        assert!(near >= SimLevel(1));
+    }
+
+    #[test]
+    fn dissimilar_names_are_not_candidates() {
+        let mut ds = dataset();
+        let _ = block_dataset(&mut ds, &BlockingConfig::default()).unwrap();
+        assert_eq!(ds.similarity(Pair::new(e(0), e(5))), None);
+        assert_eq!(ds.similarity(Pair::new(e(3), e(5))), None);
+    }
+
+    #[test]
+    fn similar_pairs_share_a_neighborhood() {
+        let mut ds = dataset();
+        let out = block_dataset(&mut ds, &BlockingConfig::default()).unwrap();
+        for (pair, _) in ds.candidate_pairs() {
+            assert!(
+                !out.cover.containing_pair(pair).is_empty(),
+                "candidate {pair} lost by the cover"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_canopy_is_sub_blocked() {
+        let mut ds = Dataset::new();
+        let author = ds.entities.intern_type("author_ref");
+        let name = ds.entities.intern_attr("name");
+        // 12 same-surname refs; max_canopy_size 6 forces windowing.
+        for i in 0..12 {
+            let id = ds.entities.add_entity(author);
+            ds.entities.set_attr(id, name, format!("a{i:02} smith"));
+        }
+        let config = BlockingConfig {
+            max_canopy_size: Some(6),
+            ..Default::default()
+        };
+        let out = block_dataset(&mut ds, &config).unwrap();
+        assert!(
+            out.cover.max_size() <= 6,
+            "windows bound the neighborhood size: {}",
+            out.cover.max_size()
+        );
+        // Adjacent names still share a window.
+        assert!(ds.is_candidate(Pair::new(e(0), e(1))));
+    }
+
+    #[test]
+    fn empty_type_yields_singleton_cover() {
+        let mut ds = dataset();
+        let config = BlockingConfig {
+            entity_type: "venue".to_owned(), // nonexistent
+            ..Default::default()
+        };
+        let out = block_dataset(&mut ds, &config).unwrap();
+        // Every entity still covered (as singletons).
+        assert!(out.cover.validate_cover(&ds).is_ok());
+        assert_eq!(out.candidate_pairs, 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Entities and their attributes.
+//!
+//! The paper's data model (§1) is a collection of entities `E`, each with a
+//! set of attributes, plus a set of relations over `E` (see
+//! [`crate::relation`]). Entities are stored columnar-ish in an
+//! [`EntityStore`]: ids are dense `u32` indices, entity types and attribute
+//! names are interned to small integers so per-entity storage stays compact
+//! (the DBLP-BIG workload has millions of entities).
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// Dense identifier of an entity within an [`EntityStore`].
+///
+/// Ids are assigned contiguously from zero in insertion order, which lets
+/// downstream structures (covers, ground models) use plain vectors indexed
+/// by entity id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Interned entity type (e.g. `"author_ref"`, `"paper"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub u16);
+
+/// Interned attribute name (e.g. `"fname"`, `"title"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+/// String interner mapping names to small dense ids.
+#[derive(Debug, Default, Clone)]
+struct Interner {
+    names: Vec<String>,
+    index: FxHashMap<String, u16>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u16 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u16::try_from(self.names.len()).expect("more than u16::MAX interned names");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    fn get(&self, name: &str) -> Option<u16> {
+        self.index.get(name).copied()
+    }
+
+    fn name(&self, id: u16) -> &str {
+        &self.names[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// One entity's attribute values, sorted by [`AttrId`] for binary search.
+///
+/// Entities typically carry a handful of attributes, so a sorted small
+/// vector beats a hash map in both space and time.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Attributes {
+    values: Vec<(AttrId, String)>,
+}
+
+impl Attributes {
+    /// Value of attribute `attr`, if present.
+    pub fn get(&self, attr: AttrId) -> Option<&str> {
+        self.values
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| self.values[i].1.as_str())
+    }
+
+    /// Insert or overwrite an attribute value.
+    pub fn set(&mut self, attr: AttrId, value: impl Into<String>) {
+        match self.values.binary_search_by_key(&attr, |(a, _)| *a) {
+            Ok(i) => self.values[i].1 = value.into(),
+            Err(i) => self.values.insert(i, (attr, value.into())),
+        }
+    }
+
+    /// Iterate over `(attribute, value)` pairs in attribute-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.values.iter().map(|(a, v)| (*a, v.as_str()))
+    }
+
+    /// Number of attributes set on this entity.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no attributes are set.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Columnar store of all entities in a dataset.
+#[derive(Debug, Default, Clone)]
+pub struct EntityStore {
+    types: Interner,
+    attrs: Interner,
+    /// Type of each entity, indexed by `EntityId`.
+    entity_types: Vec<TypeId>,
+    /// Attributes of each entity, indexed by `EntityId`.
+    attributes: Vec<Attributes>,
+}
+
+impl EntityStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern an entity type name.
+    pub fn intern_type(&mut self, name: &str) -> TypeId {
+        TypeId(self.types.intern(name))
+    }
+
+    /// Look up a previously interned type.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.types.get(name).map(TypeId)
+    }
+
+    /// Name of a type id.
+    pub fn type_name(&self, ty: TypeId) -> &str {
+        self.types.name(ty.0)
+    }
+
+    /// Intern an attribute name.
+    pub fn intern_attr(&mut self, name: &str) -> AttrId {
+        AttrId(self.attrs.intern(name))
+    }
+
+    /// Look up a previously interned attribute name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attrs.get(name).map(AttrId)
+    }
+
+    /// Name of an attribute id.
+    pub fn attr_name(&self, attr: AttrId) -> &str {
+        self.attrs.name(attr.0)
+    }
+
+    /// Add an entity of type `ty` with no attributes; returns its id.
+    pub fn add_entity(&mut self, ty: TypeId) -> EntityId {
+        let id = u32::try_from(self.entity_types.len()).expect("more than u32::MAX entities");
+        self.entity_types.push(ty);
+        self.attributes.push(Attributes::default());
+        EntityId(id)
+    }
+
+    /// Set an attribute on an existing entity.
+    pub fn set_attr(&mut self, entity: EntityId, attr: AttrId, value: impl Into<String>) {
+        self.attributes[entity.index()].set(attr, value);
+    }
+
+    /// Type of an entity.
+    #[inline]
+    pub fn entity_type(&self, entity: EntityId) -> TypeId {
+        self.entity_types[entity.index()]
+    }
+
+    /// Attributes of an entity.
+    #[inline]
+    pub fn attributes(&self, entity: EntityId) -> &Attributes {
+        &self.attributes[entity.index()]
+    }
+
+    /// Convenience: attribute value by name.
+    pub fn attr(&self, entity: EntityId, name: &str) -> Option<&str> {
+        let attr = self.attr_id(name)?;
+        self.attributes(entity).get(attr)
+    }
+
+    /// Number of entities in the store.
+    pub fn len(&self) -> usize {
+        self.entity_types.len()
+    }
+
+    /// Whether the store holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entity_types.is_empty()
+    }
+
+    /// Number of distinct entity types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Iterate over all entity ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.entity_types.len() as u32).map(EntityId)
+    }
+
+    /// Iterate over entity ids of a given type.
+    pub fn ids_of_type(&self, ty: TypeId) -> impl Iterator<Item = EntityId> + '_ {
+        self.entity_types
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| **t == ty)
+            .map(|(i, _)| EntityId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut store = EntityStore::new();
+        let a = store.intern_type("author_ref");
+        let p = store.intern_type("paper");
+        assert_ne!(a, p);
+        assert_eq!(store.intern_type("author_ref"), a);
+        assert_eq!(store.type_id("paper"), Some(p));
+        assert_eq!(store.type_name(a), "author_ref");
+        assert_eq!(store.type_count(), 2);
+    }
+
+    #[test]
+    fn entities_get_dense_ids() {
+        let mut store = EntityStore::new();
+        let ty = store.intern_type("author_ref");
+        let e0 = store.add_entity(ty);
+        let e1 = store.add_entity(ty);
+        assert_eq!(e0, EntityId(0));
+        assert_eq!(e1, EntityId(1));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.ids().collect::<Vec<_>>(), vec![e0, e1]);
+    }
+
+    #[test]
+    fn attributes_round_trip() {
+        let mut store = EntityStore::new();
+        let ty = store.intern_type("author_ref");
+        let fname = store.intern_attr("fname");
+        let lname = store.intern_attr("lname");
+        let e = store.add_entity(ty);
+        store.set_attr(e, lname, "Smith");
+        store.set_attr(e, fname, "Mark");
+        assert_eq!(store.attributes(e).get(fname), Some("Mark"));
+        assert_eq!(store.attr(e, "lname"), Some("Smith"));
+        assert_eq!(store.attr(e, "missing"), None);
+        // Overwrite.
+        store.set_attr(e, fname, "M.");
+        assert_eq!(store.attr(e, "fname"), Some("M."));
+        assert_eq!(store.attributes(e).len(), 2);
+    }
+
+    #[test]
+    fn attributes_iterate_in_attr_order() {
+        let mut attrs = Attributes::default();
+        attrs.set(AttrId(3), "c");
+        attrs.set(AttrId(1), "a");
+        attrs.set(AttrId(2), "b");
+        let collected: Vec<_> = attrs.iter().map(|(a, v)| (a.0, v)).collect();
+        assert_eq!(collected, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn ids_of_type_filters() {
+        let mut store = EntityStore::new();
+        let a = store.intern_type("author_ref");
+        let p = store.intern_type("paper");
+        let e0 = store.add_entity(a);
+        let _e1 = store.add_entity(p);
+        let e2 = store.add_entity(a);
+        assert_eq!(store.ids_of_type(a).collect::<Vec<_>>(), vec![e0, e2]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for cover/dataset validation.
+
+use crate::entity::EntityId;
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Validation errors surfaced by the framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A neighborhood references an entity id outside the dataset.
+    UnknownEntity(EntityId),
+    /// The neighborhoods do not cover every entity.
+    NotACover {
+        /// An entity contained in no neighborhood.
+        missing: EntityId,
+    },
+    /// The cover is not total: a relation tuple is contained in no
+    /// neighborhood (Definition 7 violated).
+    NotTotal {
+        /// Relation (or `"similar"`) owning the lost tuple.
+        relation: String,
+        /// First endpoint of the lost tuple.
+        a: EntityId,
+        /// Second endpoint of the lost tuple.
+        b: EntityId,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownEntity(e) => write!(f, "entity {e} is not in the dataset"),
+            Error::NotACover { missing } => {
+                write!(f, "not a cover: entity {missing} is in no neighborhood")
+            }
+            Error::NotTotal { relation, a, b } => write!(
+                f,
+                "not a total cover: {relation}({a}, {b}) is contained in no neighborhood"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = Error::NotTotal {
+            relation: "coauthor".into(),
+            a: EntityId(1),
+            b: EntityId(2),
+        };
+        assert!(e.to_string().contains("coauthor(e1, e2)"));
+        assert!(Error::UnknownEntity(EntityId(7)).to_string().contains("e7"));
+        assert!(Error::NotACover {
+            missing: EntityId(3)
+        }
+        .to_string()
+        .contains("e3"));
+    }
+}

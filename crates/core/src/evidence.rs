@@ -1,0 +1,98 @@
+//! Evidence sets `V+` / `V−` (Definition 1 of the paper).
+//!
+//! A Type-I matcher takes, besides the entities, a set `V+` of pairs known
+//! to be matches and a set `V−` of pairs known to be non-matches. The
+//! framework drives matchers almost exclusively through `V+` (found matches
+//! become positive evidence for later runs); `V−` is exposed for users who
+//! have hard "cannot match" knowledge (e.g. hand-labelled non-matches).
+
+use crate::pair::{Pair, PairSet};
+
+/// Positive and negative evidence for a matcher invocation.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Evidence {
+    /// Pairs known to be matches.
+    pub positive: PairSet,
+    /// Pairs known to be non-matches.
+    pub negative: PairSet,
+}
+
+impl Evidence {
+    /// No evidence.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Only positive evidence.
+    pub fn positive(positive: PairSet) -> Self {
+        Self {
+            positive,
+            negative: PairSet::new(),
+        }
+    }
+
+    /// Both evidence sets.
+    ///
+    /// # Panics
+    /// Panics if the sets overlap — a pair cannot be both a known match and
+    /// a known non-match.
+    pub fn new(positive: PairSet, negative: PairSet) -> Self {
+        assert!(
+            positive.is_disjoint(&negative),
+            "positive and negative evidence overlap"
+        );
+        Self { positive, negative }
+    }
+
+    /// Evidence with `extra` added to the positive set (used by
+    /// `COMPUTEMAXIMAL`, which conditions on one extra hypothetical match).
+    pub fn with_extra_positive(&self, extra: Pair) -> Self {
+        let mut positive = self.positive.clone();
+        positive.insert(extra);
+        Self {
+            positive,
+            negative: self.negative.clone(),
+        }
+    }
+
+    /// Whether both sets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityId;
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(EntityId(a), EntityId(b))
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Evidence::none().is_empty());
+        let ev = Evidence::positive([p(0, 1)].into_iter().collect());
+        assert_eq!(ev.positive.len(), 1);
+        assert!(ev.negative.is_empty());
+        assert!(!ev.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_evidence_panics() {
+        let s: PairSet = [p(0, 1)].into_iter().collect();
+        let _ = Evidence::new(s.clone(), s);
+    }
+
+    #[test]
+    fn with_extra_positive_does_not_mutate_original() {
+        let ev = Evidence::positive([p(0, 1)].into_iter().collect());
+        let ev2 = ev.with_extra_positive(p(2, 3));
+        assert_eq!(ev.positive.len(), 1);
+        assert_eq!(ev2.positive.len(), 2);
+        assert!(ev2.positive.contains(p(2, 3)));
+        assert_eq!(ev.negative, ev2.negative);
+    }
+}

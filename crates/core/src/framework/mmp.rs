@@ -1,0 +1,487 @@
+//! MMP — Maximal Message Passing (Algorithms 2 and 3).
+//!
+//! A *maximal message* (Definition 8) is a set of pairs that the full-run
+//! matcher either matches entirely or not at all — a "partial inference by
+//! a neighborhood, waiting to be completed". SMP cannot discover match sets
+//! whose score only becomes positive when *all* of them are matched (the
+//! paper's `(a1,a2), (b2,b3), (c2,c3)` chicken-and-egg chain); MMP can:
+//!
+//! 1. [`compute_maximal`] (Algorithm 2) probes each undecided candidate
+//!    pair `p` of a neighborhood with one conditioned matcher call
+//!    `E(C, M+ ∪ {p})`; mutual entailment edges define a graph whose
+//!    connected components are maximal messages (Lemma 1).
+//! 2. [`MessageStore`] keeps the message set `T` closed under the merge
+//!    rule of Proposition 3(ii): overlapping maximal messages union into a
+//!    bigger maximal message (`T ← (T ∪ TC)*`).
+//! 3. Step 7 *promotes* a message `M` to real matches when
+//!    `P(M+ ∪ M) ≥ P(M+)`; by supermodularity this implies `M ⊆ E(E)`, so
+//!    promotion is sound (Theorem 4).
+
+use crate::cover::{Cover, NeighborhoodId};
+use crate::dataset::{Dataset, View};
+use crate::evidence::Evidence;
+use crate::hash::FxHashMap;
+use crate::matcher::{GlobalScorer, MatchOutput, ProbabilisticMatcher, Score};
+use crate::pair::{Pair, PairSet};
+use std::time::Instant;
+
+use super::{RunStats, Worklist};
+
+/// Tuning knobs for MMP.
+#[derive(Debug, Clone, Copy)]
+pub struct MmpConfig {
+    /// Include single-pair messages. A singleton `{p}` is trivially maximal
+    /// and promoting it when its global score delta is non-negative is
+    /// sound; disabling this reproduces a strictly more conservative MMP
+    /// (useful as an ablation).
+    pub singleton_messages: bool,
+    /// Upper bound on the number of conditioned probes per neighborhood
+    /// evaluation (`COMPUTEMAXIMAL` costs one matcher call per undecided
+    /// pair). `usize::MAX` means no bound.
+    pub max_probes_per_neighborhood: usize,
+}
+
+impl Default for MmpConfig {
+    fn default() -> Self {
+        Self {
+            singleton_messages: true,
+            max_probes_per_neighborhood: usize::MAX,
+        }
+    }
+}
+
+/// The message set `T`, kept closed under union-of-overlapping-messages.
+///
+/// Internally a union-find over pairs: each pair belongs to at most one
+/// message (Proposition 3 guarantees the closure `T*` is a partition of
+/// the covered pairs).
+#[derive(Debug, Default, Clone)]
+pub struct MessageStore {
+    /// Union-find parent pointers; roots map to themselves.
+    parent: FxHashMap<Pair, Pair>,
+    /// Members of each root's message (only valid for roots).
+    members: FxHashMap<Pair, Vec<Pair>>,
+}
+
+impl MessageStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn find(&mut self, pair: Pair) -> Option<Pair> {
+        let mut root = *self.parent.get(&pair)?;
+        while let Some(&next) = self.parent.get(&root) {
+            if next == root {
+                break;
+            }
+            root = next;
+        }
+        // Path compression.
+        let mut cur = pair;
+        while let Some(&next) = self.parent.get(&cur) {
+            if next == root {
+                break;
+            }
+            self.parent.insert(cur, root);
+            cur = next;
+        }
+        Some(root)
+    }
+
+    /// Add a maximal message, merging with any existing overlapping
+    /// messages (the `(T ∪ TC)*` closure). Returns the root of the merged
+    /// message.
+    pub fn add_message(&mut self, pairs: &[Pair]) -> Option<Pair> {
+        let (&first, rest) = pairs.split_first()?;
+        let mut root = match self.find(first) {
+            Some(r) => r,
+            None => {
+                self.parent.insert(first, first);
+                self.members.insert(first, vec![first]);
+                first
+            }
+        };
+        for &p in rest {
+            match self.find(p) {
+                Some(other_root) if other_root == root => {}
+                Some(other_root) => {
+                    // Merge the smaller member list into the larger.
+                    let (winner, loser) = {
+                        let a = self.members[&root].len();
+                        let b = self.members[&other_root].len();
+                        if a >= b {
+                            (root, other_root)
+                        } else {
+                            (other_root, root)
+                        }
+                    };
+                    let moved = self.members.remove(&loser).expect("loser is a root");
+                    self.parent.insert(loser, winner);
+                    self.members.get_mut(&winner).expect("winner is a root").extend(moved);
+                    root = winner;
+                }
+                None => {
+                    self.parent.insert(p, root);
+                    self.members.get_mut(&root).expect("root has members").push(p);
+                }
+            }
+        }
+        Some(root)
+    }
+
+    /// Current root of the message containing `pair`, if any.
+    pub fn root_of(&mut self, pair: Pair) -> Option<Pair> {
+        self.find(pair)
+    }
+
+    /// Remove the message rooted at `root`, returning its members.
+    pub fn remove_message(&mut self, root: Pair) -> Option<Vec<Pair>> {
+        let members = self.members.remove(&root)?;
+        for p in &members {
+            self.parent.remove(p);
+        }
+        Some(members)
+    }
+
+    /// Roots of all current messages (deterministic order for consistency:
+    /// sorted by the canonical pair order).
+    pub fn roots(&self) -> Vec<Pair> {
+        let mut roots: Vec<Pair> = self.members.keys().copied().collect();
+        roots.sort_unstable();
+        roots
+    }
+
+    /// Members of the message rooted at `root`.
+    pub fn message(&self, root: Pair) -> Option<&[Pair]> {
+        self.members.get(&root).map(Vec::as_slice)
+    }
+
+    /// Number of messages currently stored.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the store holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Algorithm 2: compute the maximal messages of one neighborhood.
+///
+/// `base` must be the matcher's output `E(C, M+)` for the same view and
+/// evidence (passed in so MMP does not re-run it). Returns the connected
+/// components of the mutual-entailment graph over the undecided candidate
+/// pairs.
+pub fn compute_maximal(
+    matcher: &dyn ProbabilisticMatcher,
+    view: &View<'_>,
+    evidence: &Evidence,
+    base: &PairSet,
+    config: &MmpConfig,
+    stats: &mut RunStats,
+) -> Vec<Vec<Pair>> {
+    // Undecided pairs: candidates not already matched or excluded.
+    let mut undecided: Vec<Pair> = view
+        .candidate_pairs()
+        .into_iter()
+        .map(|(p, _)| p)
+        .filter(|p| {
+            !base.contains(*p)
+                && !evidence.positive.contains(*p)
+                && !evidence.negative.contains(*p)
+        })
+        .collect();
+    undecided.sort_unstable();
+    undecided.truncate(config.max_probes_per_neighborhood);
+    if undecided.is_empty() {
+        return Vec::new();
+    }
+
+    // One conditioned probe per undecided pair: entails[i] = pairs newly
+    // matched when pair i is assumed true.
+    let index: FxHashMap<Pair, usize> = undecided
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, i))
+        .collect();
+    let entailed_sets = matcher.probe_entailed(view, evidence, base, &undecided);
+    stats.matcher_calls += undecided.len() as u64;
+    let mut entails: Vec<Vec<usize>> = Vec::with_capacity(undecided.len());
+    for set in &entailed_sets {
+        let mut entailed: Vec<usize> = set
+            .iter()
+            .filter_map(|q| index.get(q).copied())
+            .collect();
+        entailed.sort_unstable();
+        entails.push(entailed);
+    }
+
+    // Mutual entailment edges → connected components (union-find on indices).
+    let mut parent: Vec<usize> = (0..undecided.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (i, entailed) in entails.iter().enumerate() {
+        for &j in entailed {
+            if j == i {
+                continue;
+            }
+            // Edge requires entailment in both directions (Algorithm 2).
+            if entails[j].binary_search(&i).is_ok() {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+
+    let mut components: FxHashMap<usize, Vec<Pair>> = FxHashMap::default();
+    for i in 0..undecided.len() {
+        let root = find(&mut parent, i);
+        components.entry(root).or_default().push(undecided[i]);
+    }
+    let mut messages: Vec<Vec<Pair>> = components
+        .into_values()
+        .filter(|m| config.singleton_messages || m.len() > 1)
+        .collect();
+    for m in &mut messages {
+        m.sort_unstable();
+    }
+    messages.sort_unstable();
+    messages
+}
+
+/// Algorithm 3: run MMP over a cover.
+pub fn mmp(
+    matcher: &dyn ProbabilisticMatcher,
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+    config: &MmpConfig,
+) -> MatchOutput {
+    mmp_with_order(matcher, dataset, cover, evidence, config, None)
+}
+
+/// MMP with an explicit initial evaluation order (consistency tests).
+pub fn mmp_with_order(
+    matcher: &dyn ProbabilisticMatcher,
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+    config: &MmpConfig,
+    order: Option<&[NeighborhoodId]>,
+) -> MatchOutput {
+    let start = Instant::now();
+    let scorer = matcher.global_scorer(dataset);
+    let mut worklist = match order {
+        Some(order) => Worklist::with_order(cover.len(), order),
+        None => Worklist::full(cover.len()),
+    };
+    let mut out = MatchOutput::default();
+    let mut found = evidence.positive.clone();
+    let mut store = MessageStore::new();
+    // Messages whose promotion delta may have changed, identified by any
+    // member pair (resolved to the current root when processed).
+    let mut dirty: Vec<Pair> = Vec::new();
+
+    while let Some(id) = worklist.pop() {
+        let view = cover.view(dataset, id);
+        let local_evidence = Evidence {
+            positive: view.restrict(&found),
+            negative: view.restrict(&evidence.negative),
+        };
+        let undecided = view
+            .candidate_pairs()
+            .iter()
+            .filter(|(p, _)| !local_evidence.positive.contains(*p))
+            .count() as u64;
+        let base = matcher.match_view(&view, &local_evidence);
+        out.stats.matcher_calls += 1;
+        out.stats.neighborhoods_processed += 1;
+        out.stats.active_pairs_evaluated += undecided;
+
+        // Step 5b: new maximal messages from this neighborhood.
+        let new_messages = compute_maximal(
+            matcher,
+            &view,
+            &local_evidence,
+            &base,
+            config,
+            &mut out.stats,
+        );
+        out.stats.maximal_messages_created += new_messages.len() as u64;
+        for message in &new_messages {
+            // Messages touching hard negative evidence can never be
+            // all-true; drop them.
+            if message.iter().any(|p| evidence.negative.contains(*p)) {
+                continue;
+            }
+            if let Some(root) = store.add_message(message) {
+                dirty.push(root);
+            }
+        }
+
+        // Step 6: fold the direct matches into M+. Each new match makes
+        // dirty every message it shares a ground edge with.
+        let mut new_matches: PairSet = base.difference(&found);
+        found.union_with(&new_matches);
+        mark_dirty_around(&new_matches, scorer.as_ref(), &mut store, &mut dirty);
+
+        // Step 7: promote messages whose global score delta is
+        // non-negative, to fixpoint (a promotion can enable another).
+        let promoted = promote_dirty(
+            &mut store,
+            scorer.as_ref(),
+            &mut found,
+            &mut dirty,
+            &mut out.stats,
+        );
+        new_matches.extend(promoted.iter());
+
+        // Step 8: reactivate neighborhoods that can use the new evidence.
+        if !new_matches.is_empty() {
+            out.stats.messages_sent += new_matches.len() as u64;
+            for pair in new_matches.iter() {
+                for affected in cover.containing_pair(pair) {
+                    if affected != id {
+                        worklist.push(affected);
+                    }
+                }
+            }
+        }
+    }
+
+    for p in evidence.negative.iter() {
+        found.remove(p);
+    }
+    out.matches = found;
+    out.stats.wall_time = start.elapsed();
+    out
+}
+
+/// Mark dirty every stored message containing a pair that interacts with
+/// one of `new_matches` (including messages containing the match itself:
+/// its remaining members' delta changed too).
+pub fn mark_dirty_around(
+    new_matches: &PairSet,
+    scorer: &dyn GlobalScorer,
+    store: &mut MessageStore,
+    dirty: &mut Vec<Pair>,
+) {
+    for p in new_matches.iter() {
+        if store.root_of(p).is_some() {
+            dirty.push(p);
+        }
+        for q in scorer.affected_pairs(p) {
+            if store.root_of(q).is_some() {
+                dirty.push(q);
+            }
+        }
+    }
+}
+
+/// Dirty-driven promotion: pop message handles until none qualify.
+/// Promoting a message marks dirty everything its new matches interact
+/// with, so the loop reaches the same fixpoint as a full scan —
+/// `delta(M+, M)` can only change when a new match shares a ground term
+/// with `M` (supermodularity), which is exactly what
+/// [`GlobalScorer::affected_pairs`] reports. Returns the promoted pairs.
+pub fn promote_dirty(
+    store: &mut MessageStore,
+    scorer: &dyn GlobalScorer,
+    found: &mut PairSet,
+    dirty: &mut Vec<Pair>,
+    stats: &mut RunStats,
+) -> PairSet {
+    let mut promoted = PairSet::new();
+    while let Some(handle) = dirty.pop() {
+        let Some(root) = store.root_of(handle) else {
+            continue; // message already promoted or retired
+        };
+        let members = store.message(root).expect("root has members");
+        let fresh: Vec<Pair> = members
+            .iter()
+            .copied()
+            .filter(|p| !found.contains(*p))
+            .collect();
+        if fresh.is_empty() {
+            // Entirely subsumed by M+; retire it.
+            store.remove_message(root);
+            continue;
+        }
+        stats.score_delta_calls += 1;
+        if scorer.delta(found, &fresh) >= Score::ZERO {
+            store.remove_message(root);
+            let mut batch = PairSet::with_capacity(fresh.len());
+            for p in fresh {
+                found.insert(p);
+                promoted.insert(p);
+                batch.insert(p);
+            }
+            stats.promotions += 1;
+            mark_dirty_around(&batch, scorer, store, dirty);
+        }
+    }
+    promoted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityId;
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(EntityId(a), EntityId(b))
+    }
+
+    #[test]
+    fn message_store_merges_overlaps() {
+        let mut store = MessageStore::new();
+        store.add_message(&[p(0, 1), p(2, 3)]);
+        store.add_message(&[p(4, 5), p(6, 7)]);
+        assert_eq!(store.len(), 2);
+        // Overlaps both → all merge into one message (Prop. 3(ii)).
+        store.add_message(&[p(2, 3), p(4, 5)]);
+        assert_eq!(store.len(), 1);
+        let root = store.roots()[0];
+        let mut members = store.message(root).unwrap().to_vec();
+        members.sort_unstable();
+        assert_eq!(members, vec![p(0, 1), p(2, 3), p(4, 5), p(6, 7)]);
+    }
+
+    #[test]
+    fn message_store_remove_clears_members() {
+        let mut store = MessageStore::new();
+        store.add_message(&[p(0, 1), p(2, 3)]);
+        let root = store.roots()[0];
+        let members = store.remove_message(root).unwrap();
+        assert_eq!(members.len(), 2);
+        assert!(store.is_empty());
+        // Pairs are free to join new messages afterwards.
+        store.add_message(&[p(0, 1)]);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn message_store_dedups_within_message() {
+        let mut store = MessageStore::new();
+        store.add_message(&[p(0, 1), p(0, 1), p(2, 3)]);
+        assert_eq!(store.len(), 1);
+        let root = store.roots()[0];
+        assert_eq!(store.message(root).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_message_is_ignored() {
+        let mut store = MessageStore::new();
+        assert!(store.add_message(&[]).is_none());
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! The scaling framework (§5): run a black-box matcher per neighborhood and
+//! exchange messages across neighborhoods.
+//!
+//! Three schemes, in increasing power:
+//!
+//! * [`no_mp`] — run the matcher once per neighborhood, union the outputs,
+//!   exchange nothing (the paper's **NO-MP** baseline);
+//! * [`smp`] — **Simple Message Passing** (Algorithm 1): found matches are
+//!   positive evidence for subsequent runs, neighborhoods reactivate when
+//!   new evidence arrives, until fixpoint;
+//! * [`mmp`] — **Maximal Message Passing** (Algorithms 2 + 3): additionally
+//!   exchanges *maximal messages* (all-or-nothing correlated match sets),
+//!   promoting a message to real matches when it does not decrease the
+//!   global probability. Requires a Type-II (probabilistic) matcher.
+//!
+//! For well-behaved matchers, SMP and MMP are *sound* (output ⊆ full-run
+//! output), *consistent* (order-invariant), and linear in the number of
+//! neighborhoods (Theorems 1–5).
+
+mod mmp;
+mod nomp;
+mod smp;
+mod stats;
+mod worklist;
+
+pub use mmp::{
+    compute_maximal, mark_dirty_around, mmp, mmp_with_order, promote_dirty, MessageStore,
+    MmpConfig,
+};
+pub use nomp::no_mp;
+pub use smp::{smp, smp_with_order};
+pub use stats::RunStats;
+pub(crate) use worklist::Worklist;

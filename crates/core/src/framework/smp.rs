@@ -1,0 +1,88 @@
+//! SMP — Simple Message Passing (Algorithm 1).
+//!
+//! The algorithm maintains the set `A` of active neighborhoods and the set
+//! `M+` of matches found so far. Evaluating a neighborhood `C` runs the
+//! matcher as `E(C, M+)`; any *new* matches reactivate every neighborhood
+//! containing both endpoints of a new pair (those are the neighborhoods
+//! whose inference can use the pair as evidence). Terminates when `A` is
+//! empty.
+//!
+//! For a well-behaved matcher SMP is sound, consistent, and runs in
+//! `O(k² f(k) n)` (Theorems 2 and 3): a neighborhood of size `k` can be
+//! reactivated at most `k²` times because each reactivation is caused by a
+//! strict growth of `M+` inside `C × C`.
+
+use crate::cover::{Cover, NeighborhoodId};
+use crate::dataset::Dataset;
+use crate::evidence::Evidence;
+use crate::matcher::{MatchOutput, Matcher};
+use crate::pair::PairSet;
+use std::time::Instant;
+
+use super::Worklist;
+
+/// Run SMP with the default (id-order) initial schedule.
+pub fn smp(
+    matcher: &dyn Matcher,
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+) -> MatchOutput {
+    smp_with_order(matcher, dataset, cover, evidence, None)
+}
+
+/// Run SMP with an explicit initial evaluation order (used by the
+/// consistency tests; Theorem 2(3) says the output must not depend on it).
+pub fn smp_with_order(
+    matcher: &dyn Matcher,
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+    order: Option<&[NeighborhoodId]>,
+) -> MatchOutput {
+    let start = Instant::now();
+    let mut worklist = match order {
+        Some(order) => Worklist::with_order(cover.len(), order),
+        None => Worklist::full(cover.len()),
+    };
+    let mut out = MatchOutput::default();
+    let mut found = evidence.positive.clone();
+
+    while let Some(id) = worklist.pop() {
+        let view = cover.view(dataset, id);
+        let local_evidence = Evidence {
+            positive: view.restrict(&found),
+            negative: view.restrict(&evidence.negative),
+        };
+        let undecided = view
+            .candidate_pairs()
+            .iter()
+            .filter(|(p, _)| !local_evidence.positive.contains(*p))
+            .count() as u64;
+        let matches = matcher.match_view(&view, &local_evidence);
+        out.stats.matcher_calls += 1;
+        out.stats.neighborhoods_processed += 1;
+        out.stats.active_pairs_evaluated += undecided;
+
+        // New matches become messages: reactivate affected neighborhoods.
+        let new_matches: PairSet = matches.difference(&found);
+        if !new_matches.is_empty() {
+            out.stats.messages_sent += new_matches.len() as u64;
+            for pair in new_matches.iter() {
+                for affected in cover.containing_pair(pair) {
+                    if affected != id {
+                        worklist.push(affected);
+                    }
+                }
+            }
+            found.union_with(&new_matches);
+        }
+    }
+
+    for p in evidence.negative.iter() {
+        found.remove(p);
+    }
+    out.matches = found;
+    out.stats.wall_time = start.elapsed();
+    out
+}

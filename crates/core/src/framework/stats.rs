@@ -1,0 +1,79 @@
+//! Execution statistics for framework runs.
+
+use std::time::Duration;
+
+/// Counters collected during a framework run.
+///
+/// The interesting ones mirror the paper's cost model: `matcher_calls`
+/// dominates total time (§6.2: "the total running time is dominated by the
+/// sum of running times of MLN on all the neighborhoods; the actual
+/// overhead of message passing is minimal"), and `active_pairs_evaluated`
+/// explains why SMP/MMP can be *faster* than NO-MP — evidence shrinks the
+/// active size of revisited neighborhoods.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Invocations of the black-box matcher (including `COMPUTEMAXIMAL`'s
+    /// conditioned probes).
+    pub matcher_calls: u64,
+    /// Neighborhood evaluations (≥ number of neighborhoods when revisits
+    /// happen).
+    pub neighborhoods_processed: u64,
+    /// Sum over matcher calls of the number of *undecided* candidate pairs
+    /// in the view — the "active size" the paper credits for SMP's speed.
+    pub active_pairs_evaluated: u64,
+    /// Simple messages passed (new matches that reactivated at least one
+    /// neighborhood).
+    pub messages_sent: u64,
+    /// Maximal messages created by `COMPUTEMAXIMAL` (before merging).
+    pub maximal_messages_created: u64,
+    /// Maximal messages promoted to matches in step 7.
+    pub promotions: u64,
+    /// Global score-delta evaluations (MMP step 7 probes).
+    pub score_delta_calls: u64,
+    /// Wall-clock time of the run.
+    pub wall_time: Duration,
+}
+
+impl RunStats {
+    /// Merge counters from another run (used by the parallel executor when
+    /// combining per-worker stats; wall time takes the max since workers
+    /// overlap).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.matcher_calls += other.matcher_calls;
+        self.neighborhoods_processed += other.neighborhoods_processed;
+        self.active_pairs_evaluated += other.active_pairs_evaluated;
+        self.messages_sent += other.messages_sent;
+        self.maximal_messages_created += other.maximal_messages_created;
+        self.promotions += other.promotions;
+        self.score_delta_calls += other.score_delta_calls;
+        self.wall_time = self.wall_time.max(other.wall_time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counts_and_maxes_wall_time() {
+        let mut a = RunStats {
+            matcher_calls: 3,
+            neighborhoods_processed: 2,
+            active_pairs_evaluated: 10,
+            messages_sent: 1,
+            maximal_messages_created: 4,
+            promotions: 1,
+            score_delta_calls: 5,
+            wall_time: Duration::from_millis(10),
+        };
+        let b = RunStats {
+            matcher_calls: 7,
+            wall_time: Duration::from_millis(25),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.matcher_calls, 10);
+        assert_eq!(a.neighborhoods_processed, 2);
+        assert_eq!(a.wall_time, Duration::from_millis(25));
+    }
+}

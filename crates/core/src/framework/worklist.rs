@@ -1,0 +1,89 @@
+//! FIFO worklist of active neighborhoods with O(1) dedup.
+//!
+//! Both SMP and MMP maintain the set `A` of active neighborhoods. A plain
+//! queue would let the same neighborhood be enqueued many times before its
+//! next evaluation; pairing the queue with an "is queued" bitmap keeps each
+//! neighborhood at most once in flight, which is what bounds revisits by
+//! the `k²` argument of Theorem 3.
+
+use crate::cover::NeighborhoodId;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+pub(crate) struct Worklist {
+    queue: VecDeque<NeighborhoodId>,
+    queued: Vec<bool>,
+}
+
+impl Worklist {
+    /// Worklist initially containing all `n` neighborhoods in id order.
+    pub(crate) fn full(n: usize) -> Self {
+        Self {
+            queue: (0..n as u32).map(NeighborhoodId).collect(),
+            queued: vec![true; n],
+        }
+    }
+
+    /// Worklist over `n` neighborhoods seeded with an explicit order
+    /// (used by consistency tests to permute evaluation order).
+    pub(crate) fn with_order(n: usize, order: &[NeighborhoodId]) -> Self {
+        let mut wl = Self {
+            queue: VecDeque::with_capacity(n),
+            queued: vec![false; n],
+        };
+        for &id in order {
+            wl.push(id);
+        }
+        wl
+    }
+
+    /// Enqueue if not already queued.
+    pub(crate) fn push(&mut self, id: NeighborhoodId) {
+        if !self.queued[id.index()] {
+            self.queued[id.index()] = true;
+            self.queue.push_back(id);
+        }
+    }
+
+    /// Dequeue the next active neighborhood.
+    pub(crate) fn pop(&mut self) -> Option<NeighborhoodId> {
+        let id = self.queue.pop_front()?;
+        self.queued[id.index()] = false;
+        Some(id)
+    }
+
+    /// Whether no neighborhood is active.
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_enqueues() {
+        let mut wl = Worklist::full(2);
+        wl.push(NeighborhoodId(0));
+        wl.push(NeighborhoodId(1));
+        assert_eq!(wl.pop(), Some(NeighborhoodId(0)));
+        assert_eq!(wl.pop(), Some(NeighborhoodId(1)));
+        assert!(wl.is_empty());
+        // Re-activation after pop works.
+        wl.push(NeighborhoodId(1));
+        wl.push(NeighborhoodId(1));
+        assert_eq!(wl.pop(), Some(NeighborhoodId(1)));
+        assert!(wl.pop().is_none());
+    }
+
+    #[test]
+    fn with_order_respects_permutation() {
+        let order = [NeighborhoodId(2), NeighborhoodId(0), NeighborhoodId(1)];
+        let mut wl = Worklist::with_order(3, &order);
+        assert_eq!(wl.pop(), Some(NeighborhoodId(2)));
+        assert_eq!(wl.pop(), Some(NeighborhoodId(0)));
+        assert_eq!(wl.pop(), Some(NeighborhoodId(1)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Fast, deterministic hashing for the hot maps and sets in the framework.
+//!
+//! Entity-matching workloads hash millions of small integer keys
+//! ([`crate::EntityId`], [`crate::Pair`]). The standard library's SipHash is
+//! needlessly slow for this and, more importantly for reproducibility, we
+//! want *deterministic* iteration-independent behaviour across runs. This
+//! module implements the Fx hash function (the multiply-xor hash used by
+//! rustc) so the workspace does not need an external hashing crate.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic hasher suitable for small keys.
+///
+/// Not resistant to HashDoS; all keys in this workspace are internally
+/// generated integers, so adversarial collisions are not a concern.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`] instances.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"entity"), hash_of(&"entity"));
+        assert_eq!(hash_of(&(7u32, 9u32)), hash_of(&(7u32, 9u32)));
+    }
+
+    #[test]
+    fn different_keys_hash_differently() {
+        // Not a universal guarantee, but these must differ for sane behaviour.
+        assert_ne!(hash_of(&1u32), hash_of(&2u32));
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        // Regression check: strings whose difference lies past the last
+        // 8-byte boundary must not collide trivially.
+        assert_ne!(hash_of(&"abcdefgh1"), hash_of(&"abcdefgh2"));
+    }
+
+    #[test]
+    fn maps_and_sets_are_usable() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        set.insert(10);
+        assert!(set.contains(&10));
+        assert!(!set.contains(&11));
+    }
+}

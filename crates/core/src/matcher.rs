@@ -1,0 +1,221 @@
+//! Black-box matcher abstractions (§3 of the paper).
+//!
+//! * [`Matcher`] is the **Type-I** (deterministic) abstraction
+//!   (Definition 1): a function from `(entities, V+, V−)` to a set of
+//!   matches. Any entity-matching algorithm can be wrapped in it; the
+//!   evidence sets may simply be ignored (such a matcher is trivially
+//!   idempotent).
+//! * [`ProbabilisticMatcher`] is the **Type-II** abstraction
+//!   (Definition 5): the matcher is backed by a probability distribution
+//!   over match sets, of which the output is the largest most-likely set.
+//!   The framework never needs normalized probabilities — the maximal
+//!   message-passing scheme only compares `P(S ∪ M)` against `P(S)`, so the
+//!   trait exposes an *unnormalized log-score* (the partition function
+//!   cancels). Scores are fixed-point integers so comparisons are exact and
+//!   runs are bit-for-bit reproducible.
+//!
+//! Well-behavedness (Definition 4 = idempotence + monotonicity) is a
+//! *semantic* contract that cannot be expressed in the type system; the
+//! [`crate::properties`] module provides a randomized checker for it.
+
+use crate::dataset::{Dataset, View};
+use crate::evidence::Evidence;
+use crate::pair::{Pair, PairSet};
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub};
+
+/// Fixed-point log-score in milli-units (weight `-2.28` ⇒ `Score(-2280)`).
+///
+/// Using integers instead of `f64` makes the supermodularity checks in MMP
+/// exact: `score(M+ ∪ M) ≥ score(M+)` never depends on floating-point
+/// rounding, which in turn keeps the soundness guarantee airtight.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Score(pub i64);
+
+impl Score {
+    /// Zero score.
+    pub const ZERO: Score = Score(0);
+
+    /// Build from a floating-point weight (e.g. learned MLN weights).
+    pub fn from_weight(w: f64) -> Self {
+        Score((w * 1000.0).round() as i64)
+    }
+
+    /// The score as a floating-point weight.
+    pub fn to_weight(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl Add for Score {
+    type Output = Score;
+    fn add(self, rhs: Score) -> Score {
+        Score(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Score {
+    fn add_assign(&mut self, rhs: Score) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Score {
+    type Output = Score;
+    fn sub(self, rhs: Score) -> Score {
+        Score(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Score {
+    type Output = Score;
+    fn neg(self) -> Score {
+        Score(-self.0)
+    }
+}
+
+impl std::iter::Sum for Score {
+    fn sum<I: Iterator<Item = Score>>(iter: I) -> Score {
+        Score(iter.map(|s| s.0).sum())
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.to_weight())
+    }
+}
+
+/// Type-I (deterministic) entity matcher — Definition 1.
+///
+/// Implementations must treat the view as the *entire world*: entities
+/// outside `view` do not exist for this invocation. Evidence pairs whose
+/// endpoints fall outside the view should be ignored; positive evidence
+/// pairs inside the view must appear in the output (so that idempotence,
+/// Definition 2, can hold).
+pub trait Matcher {
+    /// Run the matcher on `view` with evidence, returning the matched pairs.
+    fn match_view(&self, view: &View<'_>, evidence: &Evidence) -> PairSet;
+
+    /// Batched conditioned probes: for each probe pair `p`, the
+    /// *additional* matches it entails —
+    /// `match_view(view, evidence ∪ {p}) − base − {p}` — where `base`
+    /// must be this matcher's output for `(view, evidence)`.
+    ///
+    /// `COMPUTEMAXIMAL` (Algorithm 2) issues one conditioned call per
+    /// undecided candidate pair of a neighborhood; this hook lets
+    /// matchers amortize shared work (grounding, base inference) across
+    /// the batch and return only the (small) deltas. The default
+    /// implementation is the plain black-box loop, so overriding it is
+    /// purely an optimization — results must be identical.
+    fn probe_entailed(
+        &self,
+        view: &View<'_>,
+        evidence: &Evidence,
+        base: &PairSet,
+        probes: &[Pair],
+    ) -> Vec<Vec<Pair>> {
+        probes
+            .iter()
+            .map(|&p| {
+                self.match_view(view, &evidence.with_extra_positive(p))
+                    .iter()
+                    .filter(|&q| !base.contains(q) && q != p)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Human-readable name used in reports and logs.
+    fn name(&self) -> &str {
+        "matcher"
+    }
+}
+
+/// Type-II (probabilistic) entity matcher — Definition 5.
+///
+/// The matcher is backed by a distribution `P_E` over match sets; its
+/// Type-I output is the largest most-likely set. `log_score` exposes
+/// `log P_E(S)` up to the additive normalization constant.
+pub trait ProbabilisticMatcher: Matcher {
+    /// Unnormalized log-probability of the complete assignment `matches`
+    /// over `view` (all candidate pairs of the view not in `matches` are
+    /// considered non-matches).
+    fn log_score(&self, view: &View<'_>, matches: &PairSet) -> Score;
+
+    /// Build a scorer over the *whole dataset*, used by MMP's step 7 to
+    /// evaluate `P_E(M+ ∪ M) ≥ P_E(M+)` globally without re-running
+    /// inference. Implementations typically ground the model once and
+    /// answer deltas from an index.
+    fn global_scorer<'a>(&'a self, dataset: &'a Dataset) -> Box<dyn GlobalScorer + 'a>;
+}
+
+/// Incremental global score oracle: answers "what happens to the score if
+/// `added` joins the match set `base`?".
+pub trait GlobalScorer {
+    /// `score(base ∪ added) − score(base)`.
+    ///
+    /// `added` pairs already in `base` contribute nothing.
+    fn delta(&self, base: &PairSet, added: &[Pair]) -> Score;
+
+    /// Absolute unnormalized log-score of a match set.
+    fn score(&self, matches: &PairSet) -> Score;
+
+    /// Pairs whose score interaction with `pair` is non-zero — i.e. the
+    /// pairs co-occurring with it in some ground term. MMP uses this to
+    /// re-examine only the maximal messages whose promotion delta can
+    /// actually have changed when `pair` becomes a match: for
+    /// supermodular models, `delta(M+, M)` changes only when a new match
+    /// shares a ground edge with a member of `M`.
+    fn affected_pairs(&self, pair: Pair) -> Vec<Pair>;
+}
+
+/// Output of one framework run: the matches plus bookkeeping counters.
+#[derive(Debug, Clone, Default)]
+pub struct MatchOutput {
+    /// Final set of matches.
+    pub matches: PairSet,
+    /// Execution statistics (matcher invocations, messages, …).
+    pub stats: crate::framework::RunStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_fixed_point_round_trip() {
+        let s = Score::from_weight(-2.28);
+        assert_eq!(s, Score(-2280));
+        assert!((s.to_weight() - (-2.28)).abs() < 1e-9);
+        assert_eq!(Score::from_weight(12.75), Score(12750));
+    }
+
+    #[test]
+    fn score_arithmetic() {
+        let a = Score(100);
+        let b = Score(-30);
+        assert_eq!(a + b, Score(70));
+        assert_eq!(a - b, Score(130));
+        assert_eq!(-a, Score(-100));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Score(70));
+        let total: Score = [a, b, Score(5)].into_iter().sum();
+        assert_eq!(total, Score(75));
+    }
+
+    #[test]
+    fn score_ordering_is_exact() {
+        // The MMP promotion check `delta >= 0` must be exact at zero.
+        assert!(Score(0) >= Score::ZERO);
+        assert!(Score(-1) < Score::ZERO);
+        assert!(Score(1) > Score::ZERO);
+    }
+
+    #[test]
+    fn score_displays_as_weight() {
+        assert_eq!(Score(2460).to_string(), "2.460");
+        assert_eq!(Score(-3840).to_string(), "-3.840");
+    }
+}

@@ -1,0 +1,313 @@
+//! Unordered entity pairs and sets of pairs.
+//!
+//! A *match decision* in the paper is over an unordered pair of distinct
+//! entities; the `equals` predicate is symmetric and reflexivity is implicit
+//! (footnote 1 of the paper). [`Pair`] canonicalizes the order so that
+//! `(a, b)` and `(b, a)` are the same key, and [`PairSet`] is the set type
+//! used for matcher outputs, evidence sets, and messages throughout the
+//! framework.
+
+use crate::entity::EntityId;
+use crate::hash::FxHashSet;
+use std::fmt;
+
+/// An unordered pair of *distinct* entities, stored with `lo < hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pair {
+    lo: EntityId,
+    hi: EntityId,
+}
+
+impl Pair {
+    /// Build a canonical pair from two distinct entity ids.
+    ///
+    /// # Panics
+    /// Panics if `a == b`: reflexive matches are implicit evidence and must
+    /// never appear as match variables.
+    #[inline]
+    pub fn new(a: EntityId, b: EntityId) -> Self {
+        assert_ne!(a, b, "reflexive pair ({a}, {a}) is not a match variable");
+        if a < b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller entity id.
+    #[inline]
+    pub fn lo(self) -> EntityId {
+        self.lo
+    }
+
+    /// The larger entity id.
+    #[inline]
+    pub fn hi(self) -> EntityId {
+        self.hi
+    }
+
+    /// Both endpoints, ascending.
+    #[inline]
+    pub fn endpoints(self) -> [EntityId; 2] {
+        [self.lo, self.hi]
+    }
+
+    /// Whether `e` is one of the endpoints.
+    #[inline]
+    pub fn contains(self, e: EntityId) -> bool {
+        self.lo == e || self.hi == e
+    }
+
+    /// The endpoint that is not `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is not an endpoint.
+    #[inline]
+    pub fn other(self, e: EntityId) -> EntityId {
+        if e == self.lo {
+            self.hi
+        } else if e == self.hi {
+            self.lo
+        } else {
+            panic!("{e} is not an endpoint of {self}")
+        }
+    }
+}
+
+impl fmt::Display for Pair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo, self.hi)
+    }
+}
+
+/// A set of match pairs.
+///
+/// This is the framework's currency: matcher outputs, positive/negative
+/// evidence, simple messages, and maximal messages are all `PairSet`s.
+#[derive(Debug, Default, Clone)]
+pub struct PairSet {
+    inner: FxHashSet<Pair>,
+}
+
+impl PairSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty set with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: FxHashSet::with_capacity_and_hasher(capacity, Default::default()),
+        }
+    }
+
+    /// Insert a pair; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, pair: Pair) -> bool {
+        self.inner.insert(pair)
+    }
+
+    /// Remove a pair; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, pair: Pair) -> bool {
+        self.inner.remove(&pair)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, pair: Pair) -> bool {
+        self.inner.contains(&pair)
+    }
+
+    /// Number of pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterate over the pairs in arbitrary (but deterministic per-build) order.
+    pub fn iter(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Insert every pair from `other`; returns the number of new pairs.
+    pub fn union_with(&mut self, other: &PairSet) -> usize {
+        let before = self.inner.len();
+        self.inner.extend(other.inner.iter().copied());
+        self.inner.len() - before
+    }
+
+    /// Pairs in `self` that are not in `other`.
+    pub fn difference(&self, other: &PairSet) -> PairSet {
+        PairSet {
+            inner: self.inner.difference(&other.inner).copied().collect(),
+        }
+    }
+
+    /// Pairs in both sets.
+    pub fn intersection(&self, other: &PairSet) -> PairSet {
+        PairSet {
+            inner: self.inner.intersection(&other.inner).copied().collect(),
+        }
+    }
+
+    /// Number of pairs present in both sets (no allocation).
+    pub fn intersection_len(&self, other: &PairSet) -> usize {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().filter(|p| large.contains(*p)).count()
+    }
+
+    /// Whether every pair of `self` is in `other`.
+    pub fn is_subset(&self, other: &PairSet) -> bool {
+        self.inner.is_subset(&other.inner)
+    }
+
+    /// Whether the sets share no pair.
+    pub fn is_disjoint(&self, other: &PairSet) -> bool {
+        self.inner.is_disjoint(&other.inner)
+    }
+
+    /// The pairs as a sorted vector (canonical order, for deterministic output).
+    pub fn to_sorted_vec(&self) -> Vec<Pair> {
+        let mut v: Vec<Pair> = self.inner.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl PartialEq for PairSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl Eq for PairSet {}
+
+impl FromIterator<Pair> for PairSet {
+    fn from_iter<I: IntoIterator<Item = Pair>>(iter: I) -> Self {
+        Self {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Pair> for PairSet {
+    fn extend<I: IntoIterator<Item = Pair>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a PairSet {
+    type Item = Pair;
+    type IntoIter = std::iter::Copied<std::collections::hash_set::Iter<'a, Pair>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter().copied()
+    }
+}
+
+impl fmt::Display for PairSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.to_sorted_vec().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    #[test]
+    fn pair_canonicalizes_order() {
+        assert_eq!(Pair::new(e(3), e(1)), Pair::new(e(1), e(3)));
+        let p = Pair::new(e(5), e(2));
+        assert_eq!(p.lo(), e(2));
+        assert_eq!(p.hi(), e(5));
+        assert!(p.contains(e(2)));
+        assert!(!p.contains(e(3)));
+        assert_eq!(p.other(e(2)), e(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "reflexive")]
+    fn reflexive_pair_panics() {
+        let _ = Pair::new(e(1), e(1));
+    }
+
+    #[test]
+    fn set_operations() {
+        let a: PairSet = [Pair::new(e(0), e(1)), Pair::new(e(1), e(2))]
+            .into_iter()
+            .collect();
+        let b: PairSet = [Pair::new(e(1), e(2)), Pair::new(e(2), e(3))]
+            .into_iter()
+            .collect();
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert_eq!(a.intersection_len(&b), 1);
+        assert_eq!(a.difference(&b).len(), 1);
+        assert!(!a.is_subset(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        let mut c = a.clone();
+        assert_eq!(c.union_with(&b), 1);
+        assert_eq!(c.len(), 3);
+        assert!(a.is_subset(&c));
+        assert!(b.is_subset(&c));
+    }
+
+    #[test]
+    fn union_with_counts_only_new_pairs() {
+        let mut a = PairSet::new();
+        a.insert(Pair::new(e(0), e(1)));
+        let b: PairSet = [Pair::new(e(0), e(1))].into_iter().collect();
+        assert_eq!(a.union_with(&b), 0);
+    }
+
+    #[test]
+    fn sorted_vec_is_canonical() {
+        let s: PairSet = [
+            Pair::new(e(5), e(4)),
+            Pair::new(e(0), e(9)),
+            Pair::new(e(2), e(1)),
+        ]
+        .into_iter()
+        .collect();
+        let v = s.to_sorted_vec();
+        assert_eq!(
+            v,
+            vec![
+                Pair::new(e(0), e(9)),
+                Pair::new(e(1), e(2)),
+                Pair::new(e(4), e(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Pair::new(e(2), e(1));
+        assert_eq!(p.to_string(), "(e1, e2)");
+        let s: PairSet = [p].into_iter().collect();
+        assert_eq!(s.to_string(), "{(e1, e2)}");
+    }
+}

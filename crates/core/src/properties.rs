@@ -1,0 +1,353 @@
+//! Randomized checker for the *well-behaved* matcher contract
+//! (Definitions 2–4 of the paper).
+//!
+//! Idempotence and monotonicity are semantic properties of a matcher that
+//! the type system cannot enforce, yet the framework's soundness and
+//! consistency guarantees (Theorems 1, 2, 4) only hold for matchers that
+//! satisfy them. This module samples views and evidence sets from a
+//! dataset and checks:
+//!
+//! * **idempotence** — `E(E, O, V−) = O` where `O = E(E, V+, V−)`;
+//! * **monotonicity in entities** — `C ⊆ C'` implies
+//!   `E(C, V+, V−) ⊆ E(C', V+, V−)`;
+//! * **monotonicity in positive evidence** — `V+ ⊆ V+'` implies
+//!   `E(E, V+, V−) ⊆ E(E, V+', V−)`;
+//! * **anti-monotonicity in negative evidence** — `V− ⊆ V−'` implies
+//!   `E(E, V+, V−') ⊆ E(E, V+, V−)`.
+//!
+//! The checker is deliberately self-contained (its RNG is a SplitMix64 so
+//! `em-core` needs no external dependencies) and deterministic per seed.
+
+use crate::cover::Cover;
+use crate::dataset::Dataset;
+use crate::evidence::Evidence;
+use crate::matcher::Matcher;
+use crate::pair::{Pair, PairSet};
+
+/// Minimal deterministic RNG (SplitMix64) for sampling check cases.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+/// One violated property instance, with a human-readable explanation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which property failed.
+    pub property: &'static str,
+    /// What happened.
+    pub detail: String,
+}
+
+/// Outcome of a well-behavedness check.
+#[derive(Debug, Clone, Default)]
+pub struct WellBehavedReport {
+    /// Number of sampled cases per property.
+    pub cases: usize,
+    /// All violations found (empty = well-behaved on the samples).
+    pub violations: Vec<Violation>,
+}
+
+impl WellBehavedReport {
+    /// Whether no violation was observed.
+    pub fn is_well_behaved(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Configuration for the checker.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Cases sampled per property.
+    pub cases: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability (out of 100) that a candidate pair joins sampled `V+`.
+    pub positive_evidence_pct: u64,
+    /// Probability (out of 100) that a candidate pair joins sampled `V−`.
+    pub negative_evidence_pct: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            cases: 20,
+            seed: 0xC0FFEE,
+            positive_evidence_pct: 15,
+            negative_evidence_pct: 10,
+        }
+    }
+}
+
+/// Sample a random sub-view (subset of a neighborhood's members).
+fn sample_members(
+    rng: &mut SplitMix64,
+    members: &[crate::entity::EntityId],
+    keep_pct: u64,
+) -> Vec<crate::entity::EntityId> {
+    members
+        .iter()
+        .copied()
+        .filter(|_| rng.chance(keep_pct, 100))
+        .collect()
+}
+
+/// Sample evidence over a view's candidate pairs.
+fn sample_evidence(
+    rng: &mut SplitMix64,
+    pairs: &[Pair],
+    config: &CheckConfig,
+) -> Evidence {
+    let mut positive = PairSet::new();
+    let mut negative = PairSet::new();
+    for &p in pairs {
+        if rng.chance(config.positive_evidence_pct, 100) {
+            positive.insert(p);
+        } else if rng.chance(config.negative_evidence_pct, 100) {
+            negative.insert(p);
+        }
+    }
+    Evidence::new(positive, negative)
+}
+
+/// Run the full well-behavedness check against the neighborhoods of
+/// `cover` (sampling one neighborhood per case).
+pub fn check_well_behaved(
+    matcher: &dyn Matcher,
+    dataset: &Dataset,
+    cover: &Cover,
+    config: &CheckConfig,
+) -> WellBehavedReport {
+    let mut rng = SplitMix64::new(config.seed);
+    let mut report = WellBehavedReport {
+        cases: config.cases,
+        ..Default::default()
+    };
+    if cover.is_empty() {
+        return report;
+    }
+
+    for case in 0..config.cases {
+        let id = crate::cover::NeighborhoodId(rng.below(cover.len()) as u32);
+        let view = cover.view(dataset, id);
+        let pairs: Vec<Pair> = view.candidate_pairs().into_iter().map(|(p, _)| p).collect();
+        let evidence = sample_evidence(&mut rng, &pairs, config);
+
+        // Idempotence (Definition 2).
+        let out = matcher.match_view(&view, &evidence);
+        let evidence_again = Evidence {
+            positive: {
+                let mut pos = out.clone();
+                pos.union_with(&evidence.positive);
+                pos
+            },
+            negative: evidence.negative.clone(),
+        };
+        let out_again = matcher.match_view(&view, &evidence_again);
+        if out_again != out {
+            report.violations.push(Violation {
+                property: "idempotence",
+                detail: format!(
+                    "case {case}: |E(C,O)| = {} but |O| = {} on {id}",
+                    out_again.len(),
+                    out.len()
+                ),
+            });
+        }
+
+        // Monotonicity in entities (Definition 3(i)).
+        let sub_members = sample_members(&mut rng, view.members(), 70);
+        if !sub_members.is_empty() {
+            let sub_view = dataset.view(sub_members.iter().copied());
+            let sub_evidence = Evidence {
+                positive: sub_view.restrict(&evidence.positive),
+                negative: sub_view.restrict(&evidence.negative),
+            };
+            let sub_out = matcher.match_view(&sub_view, &sub_evidence);
+            // Compare against the larger view run *with the same evidence*.
+            let big_out = matcher.match_view(&view, &sub_evidence);
+            if !sub_out.is_subset(&big_out) {
+                report.violations.push(Violation {
+                    property: "monotone-entities",
+                    detail: format!(
+                        "case {case}: E(C') ⊄ E(C) with |C'|={} |C|={} on {id}",
+                        sub_view.len(),
+                        view.len()
+                    ),
+                });
+            }
+        }
+
+        // Monotonicity in positive evidence (Definition 3(ii)).
+        if let Some(&extra) = pairs.iter().find(|p| {
+            !evidence.positive.contains(**p) && !evidence.negative.contains(**p)
+        }) {
+            let more = Evidence {
+                positive: {
+                    let mut pos = evidence.positive.clone();
+                    pos.insert(extra);
+                    pos
+                },
+                negative: evidence.negative.clone(),
+            };
+            let out_more = matcher.match_view(&view, &more);
+            if !out.is_subset(&out_more) {
+                report.violations.push(Violation {
+                    property: "monotone-positive-evidence",
+                    detail: format!("case {case}: adding {extra} to V+ lost matches on {id}"),
+                });
+            }
+        }
+
+        // Anti-monotonicity in negative evidence (Definition 3(iii)).
+        if let Some(&extra) = pairs.iter().find(|p| {
+            !evidence.positive.contains(**p) && !evidence.negative.contains(**p)
+        }) {
+            let more = Evidence {
+                positive: evidence.positive.clone(),
+                negative: {
+                    let mut neg = evidence.negative.clone();
+                    neg.insert(extra);
+                    neg
+                },
+            };
+            let out_more = matcher.match_view(&view, &more);
+            if !out_more.is_subset(&out) {
+                report.violations.push(Violation {
+                    property: "antimonotone-negative-evidence",
+                    detail: format!("case {case}: adding {extra} to V− gained matches on {id}"),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SimLevel;
+    use crate::entity::EntityId;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn dataset() -> (Dataset, Cover) {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..8 {
+            ds.entities.add_entity(ty);
+        }
+        for i in (0..8).step_by(2) {
+            ds.set_similar(Pair::new(e(i), e(i + 1)), SimLevel(1 + (i as u8 / 2) % 3));
+        }
+        let cover = Cover::from_neighborhoods(vec![
+            vec![e(0), e(1), e(2), e(3)],
+            vec![e(4), e(5), e(6), e(7)],
+        ]);
+        (ds, cover)
+    }
+
+    /// Matches every candidate pair at level ≥ its threshold; ignores
+    /// entities it has never seen. Well-behaved by construction.
+    struct Threshold(u8);
+
+    impl Matcher for Threshold {
+        fn match_view(&self, view: &crate::dataset::View<'_>, evidence: &Evidence) -> PairSet {
+            let mut out: PairSet = view
+                .candidate_pairs()
+                .into_iter()
+                .filter(|(p, l)| l.0 >= self.0 && !evidence.negative.contains(*p))
+                .map(|(p, _)| p)
+                .collect();
+            for p in evidence.positive.iter() {
+                if view.contains_pair(p) && !evidence.negative.contains(p) {
+                    out.insert(p);
+                }
+            }
+            out
+        }
+    }
+
+    /// Deliberately broken: *inverts* positive evidence (more evidence ⇒
+    /// fewer matches), violating monotonicity.
+    struct Perverse;
+
+    impl Matcher for Perverse {
+        fn match_view(&self, view: &crate::dataset::View<'_>, evidence: &Evidence) -> PairSet {
+            view.candidate_pairs()
+                .into_iter()
+                .filter(|(p, _)| !evidence.positive.contains(*p))
+                .map(|(p, _)| p)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn threshold_matcher_is_well_behaved() {
+        let (ds, cover) = dataset();
+        let report = check_well_behaved(&Threshold(2), &ds, &cover, &CheckConfig::default());
+        assert!(
+            report.is_well_behaved(),
+            "violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn perverse_matcher_is_caught() {
+        let (ds, cover) = dataset();
+        let report = check_well_behaved(&Perverse, &ds, &cover, &CheckConfig::default());
+        assert!(!report.is_well_behaved());
+        // It must specifically fail idempotence or positive-evidence
+        // monotonicity (it fails both in general).
+        assert!(report.violations.iter().any(|v| v.property == "idempotence"
+            || v.property == "monotone-positive-evidence"));
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

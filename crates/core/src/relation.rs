@@ -1,0 +1,247 @@
+//! Binary relations over entities.
+//!
+//! The paper's relational evidence (`Authored`, `Cites`, `Coauthor`, …) is a
+//! set of named binary relations `R = R1, …, Rm` over the entities.
+//! [`RelationStore`] keeps, per relation, the tuple list plus forward and
+//! backward adjacency indexes so matchers can enumerate ground rule
+//! instances (e.g. "coauthors of `e`") in O(degree).
+//!
+//! Relations may be declared *symmetric* (like `Coauthor`): a symmetric
+//! tuple `(a, b)` is indexed in both directions and deduplicated as an
+//! unordered pair.
+
+use crate::entity::EntityId;
+use crate::hash::FxHashSet;
+
+/// Interned relation identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelationId(pub u16);
+
+/// A single relation's tuples and adjacency indexes.
+#[derive(Debug, Clone)]
+struct Relation {
+    name: String,
+    symmetric: bool,
+    /// Tuples as stored (for symmetric relations, canonical `lo <= hi`... we
+    /// store `(min, max)` so each unordered edge appears once).
+    tuples: Vec<(EntityId, EntityId)>,
+    /// Deduplication of tuples.
+    seen: FxHashSet<(EntityId, EntityId)>,
+    /// `out[e]` = entities `f` with a tuple `(e, f)` (plus `(f, e)` if symmetric).
+    out: Vec<Vec<EntityId>>,
+    /// `inc[e]` = entities `f` with a tuple `(f, e)` (equals `out` if symmetric).
+    inc: Vec<Vec<EntityId>>,
+}
+
+impl Relation {
+    fn new(name: &str, symmetric: bool) -> Self {
+        Self {
+            name: name.to_owned(),
+            symmetric,
+            tuples: Vec::new(),
+            seen: FxHashSet::default(),
+            out: Vec::new(),
+            inc: Vec::new(),
+        }
+    }
+
+    fn ensure_len(&mut self, entity: EntityId) {
+        let need = entity.index() + 1;
+        if self.out.len() < need {
+            self.out.resize_with(need, Vec::new);
+            self.inc.resize_with(need, Vec::new);
+        }
+    }
+
+    fn add(&mut self, a: EntityId, b: EntityId) -> bool {
+        let key = if self.symmetric {
+            (a.min(b), a.max(b))
+        } else {
+            (a, b)
+        };
+        if !self.seen.insert(key) {
+            return false;
+        }
+        self.ensure_len(a);
+        self.ensure_len(b);
+        self.tuples.push(key);
+        if self.symmetric {
+            self.out[a.index()].push(b);
+            self.inc[a.index()].push(b);
+            if a != b {
+                self.out[b.index()].push(a);
+                self.inc[b.index()].push(a);
+            }
+        } else {
+            self.out[a.index()].push(b);
+            self.inc[b.index()].push(a);
+        }
+        true
+    }
+
+    fn neighbors_out(&self, e: EntityId) -> &[EntityId] {
+        self.out.get(e.index()).map_or(&[], Vec::as_slice)
+    }
+
+    fn neighbors_in(&self, e: EntityId) -> &[EntityId] {
+        self.inc.get(e.index()).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// All relations of a dataset.
+#[derive(Debug, Default, Clone)]
+pub struct RelationStore {
+    relations: Vec<Relation>,
+}
+
+impl RelationStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a relation; returns its id. Re-declaring the same name
+    /// returns the existing id (the `symmetric` flag must agree).
+    pub fn declare(&mut self, name: &str, symmetric: bool) -> RelationId {
+        if let Some(id) = self.relation_id(name) {
+            assert_eq!(
+                self.relations[id.0 as usize].symmetric, symmetric,
+                "relation {name} re-declared with different symmetry"
+            );
+            return id;
+        }
+        let id = u16::try_from(self.relations.len()).expect("more than u16::MAX relations");
+        self.relations.push(Relation::new(name, symmetric));
+        RelationId(id)
+    }
+
+    /// Look up a relation by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RelationId(i as u16))
+    }
+
+    /// Name of a relation.
+    pub fn name(&self, rel: RelationId) -> &str {
+        &self.relations[rel.0 as usize].name
+    }
+
+    /// Whether the relation is symmetric.
+    pub fn is_symmetric(&self, rel: RelationId) -> bool {
+        self.relations[rel.0 as usize].symmetric
+    }
+
+    /// Add a tuple `(a, b)` to relation `rel`. Returns `true` if new.
+    /// For symmetric relations the unordered edge is added once.
+    pub fn add_tuple(&mut self, rel: RelationId, a: EntityId, b: EntityId) -> bool {
+        self.relations[rel.0 as usize].add(a, b)
+    }
+
+    /// All tuples of `rel` (canonical orientation for symmetric relations).
+    pub fn tuples(&self, rel: RelationId) -> &[(EntityId, EntityId)] {
+        &self.relations[rel.0 as usize].tuples
+    }
+
+    /// Entities `f` with `rel(e, f)` (and `rel(f, e)` for symmetric `rel`).
+    #[inline]
+    pub fn neighbors_out(&self, rel: RelationId, e: EntityId) -> &[EntityId] {
+        self.relations[rel.0 as usize].neighbors_out(e)
+    }
+
+    /// Entities `f` with `rel(f, e)` (same as `neighbors_out` for symmetric).
+    #[inline]
+    pub fn neighbors_in(&self, rel: RelationId, e: EntityId) -> &[EntityId] {
+        self.relations[rel.0 as usize].neighbors_in(e)
+    }
+
+    /// Whether a tuple exists (orientation-insensitive for symmetric relations).
+    pub fn has_tuple(&self, rel: RelationId, a: EntityId, b: EntityId) -> bool {
+        let r = &self.relations[rel.0 as usize];
+        let key = if r.symmetric {
+            (a.min(b), a.max(b))
+        } else {
+            (a, b)
+        };
+        r.seen.contains(&key)
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether no relations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Ids of all declared relations.
+    pub fn ids(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.relations.len() as u16).map(RelationId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    #[test]
+    fn declare_is_idempotent() {
+        let mut store = RelationStore::new();
+        let co = store.declare("coauthor", true);
+        assert_eq!(store.declare("coauthor", true), co);
+        let cites = store.declare("cites", false);
+        assert_ne!(co, cites);
+        assert_eq!(store.relation_id("cites"), Some(cites));
+        assert_eq!(store.name(co), "coauthor");
+        assert!(store.is_symmetric(co));
+        assert!(!store.is_symmetric(cites));
+    }
+
+    #[test]
+    #[should_panic(expected = "different symmetry")]
+    fn redeclare_with_different_symmetry_panics() {
+        let mut store = RelationStore::new();
+        store.declare("coauthor", true);
+        store.declare("coauthor", false);
+    }
+
+    #[test]
+    fn symmetric_adjacency_goes_both_ways() {
+        let mut store = RelationStore::new();
+        let co = store.declare("coauthor", true);
+        assert!(store.add_tuple(co, e(1), e(2)));
+        // Duplicate in either orientation is rejected.
+        assert!(!store.add_tuple(co, e(2), e(1)));
+        assert_eq!(store.neighbors_out(co, e(1)), &[e(2)]);
+        assert_eq!(store.neighbors_out(co, e(2)), &[e(1)]);
+        assert!(store.has_tuple(co, e(2), e(1)));
+        assert_eq!(store.tuples(co).len(), 1);
+    }
+
+    #[test]
+    fn directed_adjacency_is_oriented() {
+        let mut store = RelationStore::new();
+        let cites = store.declare("cites", false);
+        store.add_tuple(cites, e(1), e(2));
+        assert!(store.add_tuple(cites, e(2), e(1))); // reverse is a new tuple
+        assert_eq!(store.neighbors_out(cites, e(1)), &[e(2)]);
+        assert_eq!(store.neighbors_in(cites, e(2)), &[e(1)]);
+        assert!(store.has_tuple(cites, e(1), e(2)));
+        assert_eq!(store.tuples(cites).len(), 2);
+    }
+
+    #[test]
+    fn neighbors_of_unknown_entity_are_empty() {
+        let mut store = RelationStore::new();
+        let co = store.declare("coauthor", true);
+        assert!(store.neighbors_out(co, e(99)).is_empty());
+        assert!(store.neighbors_in(co, e(99)).is_empty());
+    }
+}

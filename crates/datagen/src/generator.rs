@@ -1,0 +1,227 @@
+//! Rendering a world into an entity-matching [`Dataset`] with ground
+//! truth.
+//!
+//! Entities: one `author_ref` per paper-author slot (with the noisy name
+//! as its `name` attribute plus parsed `fname`/`lname`), and one `paper`
+//! per paper. Relations: `authored(ref, paper)`, `coauthor(ref, ref)`
+//! within a paper (the paper notes `Coauthor` is derivable from
+//! `Authored` by a self-join — both are materialized for matcher
+//! convenience), and `cites(paper, paper)`.
+
+use crate::ground_truth::GroundTruth;
+use crate::noise::render_reference;
+use crate::profiles::DatasetProfile;
+use crate::world::{generate_world, World};
+use em_core::{Dataset, EntityId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A generated instance: the dataset, its ground truth, and handles.
+#[derive(Debug)]
+pub struct GeneratedDataset {
+    /// The matchable dataset (similarity annotation is the blocking
+    /// crate's job).
+    pub dataset: Dataset,
+    /// Reference → true author.
+    pub truth: GroundTruth,
+    /// All author-reference entities, in generation order.
+    pub references: Vec<EntityId>,
+    /// All paper entities, indexed by world paper index.
+    pub papers: Vec<EntityId>,
+}
+
+/// Generate a dataset from a profile (deterministic per profile seed).
+pub fn generate(profile: &DatasetProfile) -> GeneratedDataset {
+    let world = generate_world(&profile.world);
+    render(profile, &world)
+}
+
+/// Render an already generated world (exposed so tests can inspect the
+/// same world under different noise regimes).
+pub fn render(profile: &DatasetProfile, world: &World) -> GeneratedDataset {
+    // Separate RNG stream for noise so world structure and noise are
+    // independently reproducible.
+    let mut noise_rng = StdRng::seed_from_u64(profile.world.seed ^ 0x00_15_E0_0D);
+    let mut dataset = Dataset::new();
+    let author_ty = dataset.entities.intern_type("author_ref");
+    let paper_ty = dataset.entities.intern_type("paper");
+    let name_attr = dataset.entities.intern_attr("name");
+    let fname_attr = dataset.entities.intern_attr("fname");
+    let lname_attr = dataset.entities.intern_attr("lname");
+    let title_attr = dataset.entities.intern_attr("title");
+    let authored = dataset.relations.declare("authored", false);
+    let coauthor = dataset.relations.declare("coauthor", true);
+    let cites = dataset.relations.declare("cites", false);
+
+    let mut truth = GroundTruth::new();
+    let mut references = Vec::with_capacity(world.reference_count());
+    let mut papers = Vec::with_capacity(world.papers.len());
+
+    for (paper_idx, team) in world.papers.iter().enumerate() {
+        let paper_entity = dataset.entities.add_entity(paper_ty);
+        dataset
+            .entities
+            .set_attr(paper_entity, title_attr, format!("paper-{paper_idx}"));
+        papers.push(paper_entity);
+
+        let mut team_refs: Vec<EntityId> = Vec::with_capacity(team.len());
+        for &author_idx in team {
+            let author = &world.authors[author_idx as usize];
+            let rendered =
+                render_reference(&mut noise_rng, &author.first, &author.last, &profile.noise);
+            let key = em_similarity::normalize_name(&rendered);
+            let parsed = em_similarity::NameKey::parse(&rendered);
+            let reference = dataset.entities.add_entity(author_ty);
+            dataset.entities.set_attr(reference, name_attr, key);
+            dataset.entities.set_attr(reference, fname_attr, parsed.first);
+            dataset.entities.set_attr(reference, lname_attr, parsed.last);
+            dataset.relations.add_tuple(authored, reference, paper_entity);
+            truth.record(reference, author_idx);
+            references.push(reference);
+            team_refs.push(reference);
+        }
+        match profile.coauthor_style {
+            crate::profiles::CoauthorStyle::Clique => {
+                for (i, &a) in team_refs.iter().enumerate() {
+                    for &b in &team_refs[i + 1..] {
+                        dataset.relations.add_tuple(coauthor, a, b);
+                    }
+                }
+            }
+            crate::profiles::CoauthorStyle::Chain => {
+                for pair in team_refs.windows(2) {
+                    dataset.relations.add_tuple(coauthor, pair[0], pair[1]);
+                }
+            }
+            crate::profiles::CoauthorStyle::Ring => {
+                for pair in team_refs.windows(2) {
+                    dataset.relations.add_tuple(coauthor, pair[0], pair[1]);
+                }
+                // Close the ring for half the papers: closed rings create
+                // the cyclic all-or-nothing clusters only MMP recovers,
+                // open chains create the anchored multi-hop chains SMP
+                // recovers; real extraction noise produces both.
+                if team_refs.len() > 2 && rand::RngExt::random_bool(&mut noise_rng, 0.5) {
+                    dataset.relations.add_tuple(
+                        coauthor,
+                        team_refs[team_refs.len() - 1],
+                        team_refs[0],
+                    );
+                }
+            }
+        }
+    }
+    for &(citing, cited) in &world.citations {
+        dataset
+            .relations
+            .add_tuple(cites, papers[citing as usize], papers[cited as usize]);
+    }
+
+    GeneratedDataset {
+        dataset,
+        truth,
+        references,
+        papers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DatasetProfile;
+
+    fn tiny(profile: DatasetProfile) -> GeneratedDataset {
+        generate(&profile.scaled(0.004))
+    }
+
+    #[test]
+    fn generated_shape_is_consistent() {
+        let g = tiny(DatasetProfile::dblp());
+        assert_eq!(g.truth.len(), g.references.len());
+        assert_eq!(
+            g.dataset.entities.len(),
+            g.references.len() + g.papers.len()
+        );
+        // Every reference has a non-empty name.
+        for &r in &g.references {
+            let name = g.dataset.entities.attr(r, "name").expect("name set");
+            assert!(!name.is_empty());
+        }
+    }
+
+    #[test]
+    fn coauthors_share_a_paper() {
+        let g = tiny(DatasetProfile::dblp());
+        let co = g.dataset.relations.relation_id("coauthor").unwrap();
+        let authored = g.dataset.relations.relation_id("authored").unwrap();
+        for &(a, b) in g.dataset.relations.tuples(co) {
+            let papers_a = g.dataset.relations.neighbors_out(authored, a);
+            let papers_b = g.dataset.relations.neighbors_out(authored, b);
+            assert!(
+                papers_a.iter().any(|p| papers_b.contains(p)),
+                "coauthor tuple without shared paper"
+            );
+        }
+    }
+
+    #[test]
+    fn hepth_profile_abbreviates_more_than_dblp() {
+        let count_initials = |g: &GeneratedDataset| {
+            g.references
+                .iter()
+                .filter(|&&r| {
+                    g.dataset
+                        .entities
+                        .attr(r, "fname")
+                        .is_some_and(|f| f.chars().count() <= 1)
+                })
+                .count() as f64
+                / g.references.len() as f64
+        };
+        let hepth = tiny(DatasetProfile::hepth());
+        let dblp = tiny(DatasetProfile::dblp());
+        assert!(count_initials(&hepth) > 0.5);
+        assert!(count_initials(&dblp) < 0.2);
+    }
+
+    #[test]
+    fn true_clusters_have_consistent_surnames_mostly() {
+        // Sanity: references of the same author should usually share a
+        // surname (modulo typos).
+        let g = tiny(DatasetProfile::dblp());
+        let mut consistent = 0usize;
+        let mut total = 0usize;
+        for cluster in g.truth.clusters() {
+            if cluster.len() < 2 {
+                continue;
+            }
+            let lname = |e| g.dataset.entities.attr(e, "lname").unwrap_or("");
+            let first = lname(cluster[0]);
+            for &other in &cluster[1..] {
+                total += 1;
+                if lname(other) == first {
+                    consistent += 1;
+                }
+            }
+        }
+        if total > 0 {
+            assert!(
+                consistent as f64 / total as f64 > 0.5,
+                "{consistent}/{total}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate(&DatasetProfile::dblp().scaled(0.002));
+        let b = generate(&DatasetProfile::dblp().scaled(0.002));
+        assert_eq!(a.references.len(), b.references.len());
+        for (&ra, &rb) in a.references.iter().zip(&b.references) {
+            assert_eq!(
+                a.dataset.entities.attr(ra, "name"),
+                b.dataset.entities.attr(rb, "name")
+            );
+        }
+    }
+}

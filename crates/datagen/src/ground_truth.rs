@@ -1,0 +1,125 @@
+//! Ground truth: the latent author behind every reference.
+
+use crate::world::AuthorIdx;
+use em_core::hash::FxHashMap;
+use em_core::{EntityId, Pair};
+
+/// Reference → true-author mapping, with cluster utilities.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    author_of: FxHashMap<EntityId, AuthorIdx>,
+    clusters: FxHashMap<AuthorIdx, Vec<EntityId>>,
+}
+
+impl GroundTruth {
+    /// Empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that reference `entity` denotes true author `author`.
+    pub fn record(&mut self, entity: EntityId, author: AuthorIdx) {
+        self.author_of.insert(entity, author);
+        self.clusters.entry(author).or_default().push(entity);
+    }
+
+    /// True author of a reference, if known.
+    pub fn author_of(&self, entity: EntityId) -> Option<AuthorIdx> {
+        self.author_of.get(&entity).copied()
+    }
+
+    /// Whether both endpoints denote the same true author.
+    pub fn is_match(&self, pair: Pair) -> bool {
+        match (self.author_of(pair.lo()), self.author_of(pair.hi())) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Number of references with a recorded author.
+    pub fn len(&self) -> usize {
+        self.author_of.len()
+    }
+
+    /// Whether no references are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.author_of.is_empty()
+    }
+
+    /// Number of distinct authors that appear.
+    pub fn distinct_authors(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total number of true matching pairs: `Σ_cluster C(n, 2)`.
+    pub fn true_pair_count(&self) -> usize {
+        self.clusters
+            .values()
+            .map(|c| c.len() * (c.len() - 1) / 2)
+            .sum()
+    }
+
+    /// Iterate over all true matching pairs (can be large; HEPTH-scale
+    /// worlds have hundreds of thousands).
+    pub fn true_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.clusters.values().flat_map(|cluster| {
+            cluster.iter().enumerate().flat_map(move |(i, &a)| {
+                cluster[i + 1..].iter().map(move |&b| Pair::new(a, b))
+            })
+        })
+    }
+
+    /// The reference clusters (one per author that has ≥ 1 reference).
+    pub fn clusters(&self) -> impl Iterator<Item = &[EntityId]> + '_ {
+        self.clusters.values().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn sample() -> GroundTruth {
+        let mut gt = GroundTruth::new();
+        gt.record(e(0), 10);
+        gt.record(e(1), 10);
+        gt.record(e(2), 10);
+        gt.record(e(3), 20);
+        gt.record(e(4), 20);
+        gt.record(e(5), 30);
+        gt
+    }
+
+    #[test]
+    fn lookups() {
+        let gt = sample();
+        assert_eq!(gt.author_of(e(0)), Some(10));
+        assert_eq!(gt.author_of(e(9)), None);
+        assert!(gt.is_match(Pair::new(e(0), e(2))));
+        assert!(!gt.is_match(Pair::new(e(0), e(3))));
+        assert!(!gt.is_match(Pair::new(e(5), e(9))), "unknown is non-match");
+    }
+
+    #[test]
+    fn pair_counting() {
+        let gt = sample();
+        assert_eq!(gt.len(), 6);
+        assert_eq!(gt.distinct_authors(), 3);
+        // C(3,2) + C(2,2) + C(1,2) = 3 + 1 + 0.
+        assert_eq!(gt.true_pair_count(), 4);
+        let listed: Vec<Pair> = gt.true_pairs().collect();
+        assert_eq!(listed.len(), 4);
+        assert!(listed.iter().all(|&p| gt.is_match(p)));
+    }
+
+    #[test]
+    fn clusters_partition_references() {
+        let gt = sample();
+        let total: usize = gt.clusters().map(<[EntityId]>::len).sum();
+        assert_eq!(total, gt.len());
+    }
+}

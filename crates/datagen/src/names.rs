@@ -1,0 +1,169 @@
+//! Synthetic name pools and Zipf sampling.
+//!
+//! Real author-name distributions are heavy-tailed: a few surnames are
+//! shared by many authors (which is what makes entity matching hard). The
+//! generator builds pronounceable names from syllables and assigns them
+//! by Zipf-distributed draws, so the synthetic data reproduces the name
+//! clash structure that drives the paper's neighborhood-size differences
+//! between HEPTH and DBLP.
+
+use rand::{Rng, RngExt};
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "d", "f", "g", "gr", "h", "j", "k", "kr", "l", "m", "n", "p", "r",
+    "s", "sh", "st", "t", "th", "v", "w", "z",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ei", "ou"];
+const CODAS: &[&str] = &["", "n", "r", "s", "l", "m", "ng", "rd", "tt"];
+
+/// Generate one pronounceable name of 2–3 syllables.
+pub fn synth_name(rng: &mut impl Rng) -> String {
+    let syllables = rng.random_range(2..=3);
+    let mut out = String::new();
+    for _ in 0..syllables {
+        out.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+        out.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
+    }
+    out.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+    out
+}
+
+/// A pool of distinct first and last names.
+#[derive(Debug, Clone)]
+pub struct NamePool {
+    /// Distinct given names.
+    pub first: Vec<String>,
+    /// Distinct family names.
+    pub last: Vec<String>,
+}
+
+impl NamePool {
+    /// Build pools of the requested sizes (names are deduplicated, so
+    /// the pools may be marginally smaller than requested).
+    pub fn generate(rng: &mut impl Rng, n_first: usize, n_last: usize) -> Self {
+        let gen_pool = |n: usize, rng: &mut dyn FnMut() -> String| {
+            let mut pool: Vec<String> = (0..n * 2).map(|_| rng()).collect();
+            pool.sort_unstable();
+            pool.dedup();
+            pool.truncate(n);
+            pool
+        };
+        let first = gen_pool(n_first, &mut || synth_name(rng));
+        let last = gen_pool(n_last, &mut || synth_name(rng));
+        Self { first, last }
+    }
+}
+
+/// Zipf sampler over `0..n` with exponent `s` (inverse-CDF method with a
+/// precomputed table, O(log n) per draw).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Sampler over ranks `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n` (rank 0 most likely).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synth_names_are_nonempty_lowercase() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let n = synth_name(&mut rng);
+            assert!(!n.is_empty());
+            assert!(n.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn name_pool_sizes_and_uniqueness() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = NamePool::generate(&mut rng, 100, 50);
+        assert!(pool.first.len() >= 90, "got {}", pool.first.len());
+        assert!(pool.last.len() >= 45);
+        let mut f = pool.first.clone();
+        f.dedup();
+        assert_eq!(f.len(), pool.first.len(), "no duplicates");
+    }
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let sampler = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0;
+        const DRAWS: usize = 5000;
+        for _ in 0..DRAWS {
+            if sampler.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1 over 1000 ranks, the top 10 carry ~39% of the mass.
+        assert!(head > DRAWS / 4, "head draws: {head}");
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let sampler = ZipfSampler::new(7, 1.2);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            assert!(sampler.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zipf_rejects_empty_domain() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..5).map(|_| synth_name(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..5).map(|_| synth_name(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,157 @@
+//! Reference noise: how a true author name appears in a bibliography.
+//!
+//! Two regimes matter for reproducing the paper's datasets:
+//!
+//! * **HEPTH-style abbreviation** — first names are usually reduced to
+//!   initials ("V. Rastogi"), producing many name clashes, hence fewer
+//!   but larger canopies (the paper: 13K neighborhoods / 1.3M pairs);
+//! * **DBLP-style mutation** — full names with occasional small typos
+//!   (the paper injected mutations into clean DBLP and kept the original
+//!   as ground truth), producing many small canopies (30K neighborhoods /
+//!   0.5M pairs).
+
+use rand::{Rng, RngExt};
+
+/// Noise parameters for rendering one author reference.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseParams {
+    /// Probability of abbreviating the first name to its initial.
+    pub abbreviate_first: f64,
+    /// Probability of applying one random typo to the rendered name.
+    pub typo: f64,
+    /// Probability of rendering as `"last first"` order (bibliography
+    /// style variance).
+    pub swap_order: f64,
+}
+
+impl NoiseParams {
+    /// No noise at all (references are exact full names).
+    pub fn clean() -> Self {
+        Self {
+            abbreviate_first: 0.0,
+            typo: 0.0,
+            swap_order: 0.0,
+        }
+    }
+}
+
+/// One random edit: substitution, deletion, insertion, or adjacent
+/// transposition at a random position (ASCII lowercase alphabet).
+pub fn apply_typo(rng: &mut impl Rng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_owned();
+    }
+    let mut out = chars.clone();
+    let pos = rng.random_range(0..chars.len());
+    let random_char = (b'a' + rng.random_range(0..26u8)) as char;
+    match rng.random_range(0..4u8) {
+        0 => out[pos] = random_char,                   // substitute
+        1 => {
+            out.remove(pos);                           // delete
+        }
+        2 => out.insert(pos, random_char),             // insert
+        _ => {
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);                // transpose
+            } else {
+                out[pos] = random_char;
+            }
+        }
+    }
+    if out.is_empty() {
+        s.to_owned()
+    } else {
+        out.into_iter().collect()
+    }
+}
+
+/// Render a true `(first, last)` author as a noisy reference string.
+pub fn render_reference(
+    rng: &mut impl Rng,
+    first: &str,
+    last: &str,
+    params: &NoiseParams,
+) -> String {
+    let first_part = if !first.is_empty() && rng.random_bool(params.abbreviate_first) {
+        let initial: String = first.chars().take(1).collect();
+        format!("{initial}.")
+    } else {
+        first.to_owned()
+    };
+    let mut name = if rng.random_bool(params.swap_order) {
+        format!("{last}, {first_part}")
+    } else {
+        format!("{first_part} {last}")
+    };
+    if rng.random_bool(params.typo) {
+        name = apply_typo(rng, &name);
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = render_reference(&mut rng, "john", "smith", &NoiseParams::clean());
+        assert_eq!(s, "john smith");
+    }
+
+    #[test]
+    fn abbreviation_produces_initials() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = NoiseParams {
+            abbreviate_first: 1.0,
+            typo: 0.0,
+            swap_order: 0.0,
+        };
+        assert_eq!(
+            render_reference(&mut rng, "john", "smith", &params),
+            "j. smith"
+        );
+    }
+
+    #[test]
+    fn swap_order_renders_comma_form() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = NoiseParams {
+            abbreviate_first: 0.0,
+            typo: 0.0,
+            swap_order: 1.0,
+        };
+        assert_eq!(
+            render_reference(&mut rng, "john", "smith", &params),
+            "smith, john"
+        );
+    }
+
+    #[test]
+    fn typo_changes_at_most_one_edit() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let mutated = apply_typo(&mut rng, "rastogi");
+            let dist = em_similarity::damerau_levenshtein("rastogi", &mutated);
+            assert!(dist <= 1, "{mutated:?} is {dist} edits away");
+        }
+    }
+
+    #[test]
+    fn typo_on_single_char_never_empties() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert!(!apply_typo(&mut rng, "a").is_empty());
+        }
+    }
+
+    #[test]
+    fn typo_on_empty_string_is_noop() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(apply_typo(&mut rng, ""), "");
+    }
+}

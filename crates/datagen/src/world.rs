@@ -1,0 +1,271 @@
+//! The latent bibliographic world: true authors, papers, authorship, and
+//! citations — before any reference noise is applied.
+
+use crate::names::{NamePool, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Index of a true author in [`World::authors`].
+pub type AuthorIdx = u32;
+
+/// A true (latent) author.
+#[derive(Debug, Clone)]
+pub struct Author {
+    /// Given name.
+    pub first: String,
+    /// Family name.
+    pub last: String,
+}
+
+impl Author {
+    /// Canonical full name.
+    pub fn full_name(&self) -> String {
+        format!("{} {}", self.first, self.last)
+    }
+}
+
+/// Parameters of the world generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldParams {
+    /// Number of distinct authors.
+    pub n_authors: usize,
+    /// Number of papers.
+    pub n_papers: usize,
+    /// Maximum authors per paper (sizes are drawn in `1..=max`).
+    pub max_authors_per_paper: usize,
+    /// Probability (0–1) that a coauthor is drawn from an existing
+    /// collaborator instead of the global pool — higher values create
+    /// denser collaboration communities.
+    pub collaboration_locality: f64,
+    /// Maximum citations per paper (drawn uniformly in `0..=max`, only
+    /// toward earlier papers).
+    pub max_citations_per_paper: usize,
+    /// Zipf exponent for author productivity (how skewed paper counts
+    /// are).
+    pub productivity_exponent: f64,
+    /// Fraction of the author count used as the *last-name pool* size —
+    /// smaller values mean more surname clashes.
+    pub last_name_pool_fraction: f64,
+    /// Zipf exponent for name *assignment* (how concentrated usage of
+    /// popular names is; 0 = uniform).
+    pub name_zipf_exponent: f64,
+    /// Probability that a paper reuses a random earlier paper's full
+    /// team (same author order) — research groups publishing series.
+    /// Repeat teams are what create the correlated match clusters
+    /// ("either all of them or none", §2.1) that collective matching
+    /// exists for.
+    pub team_repeat: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorldParams {
+    fn default() -> Self {
+        Self {
+            n_authors: 200,
+            n_papers: 300,
+            max_authors_per_paper: 4,
+            collaboration_locality: 0.5,
+            max_citations_per_paper: 3,
+            productivity_exponent: 0.9,
+            last_name_pool_fraction: 0.4,
+            name_zipf_exponent: 0.6,
+            team_repeat: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The true authors.
+    pub authors: Vec<Author>,
+    /// Papers as author-index lists (each list deduplicated).
+    pub papers: Vec<Vec<AuthorIdx>>,
+    /// Citations `(citing, cited)` over paper indices, `cited < citing`.
+    pub citations: Vec<(u32, u32)>,
+}
+
+impl World {
+    /// Total number of author references (paper-author slots).
+    pub fn reference_count(&self) -> usize {
+        self.papers.iter().map(Vec::len).sum()
+    }
+}
+
+/// Generate a world from parameters (deterministic per seed).
+pub fn generate_world(params: &WorldParams) -> World {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let last_pool = ((params.n_authors as f64 * params.last_name_pool_fraction) as usize).max(1);
+    let first_pool = (params.n_authors / 2).max(1);
+    let pool = NamePool::generate(&mut rng, first_pool, last_pool);
+    let first_zipf = ZipfSampler::new(pool.first.len(), params.name_zipf_exponent);
+    let last_zipf = ZipfSampler::new(pool.last.len(), params.name_zipf_exponent);
+
+    let authors: Vec<Author> = (0..params.n_authors)
+        .map(|_| Author {
+            first: pool.first[first_zipf.sample(&mut rng)].clone(),
+            last: pool.last[last_zipf.sample(&mut rng)].clone(),
+        })
+        .collect();
+
+    let productivity = ZipfSampler::new(params.n_authors, params.productivity_exponent);
+    let mut collaborators: Vec<Vec<AuthorIdx>> = vec![Vec::new(); params.n_authors];
+    let mut papers: Vec<Vec<AuthorIdx>> = Vec::with_capacity(params.n_papers);
+    for _ in 0..params.n_papers {
+        // Team repetition: reuse a previous team wholesale (same order).
+        if !papers.is_empty() && rng.random_bool(params.team_repeat) {
+            let prior = rng.random_range(0..papers.len());
+            let team = papers[prior].clone();
+            for (i, &a) in team.iter().enumerate() {
+                for &b in &team[i + 1..] {
+                    if !collaborators[a as usize].contains(&b) {
+                        collaborators[a as usize].push(b);
+                        collaborators[b as usize].push(a);
+                    }
+                }
+            }
+            papers.push(team);
+            continue;
+        }
+        let size = rng.random_range(1..=params.max_authors_per_paper.max(1));
+        let lead = productivity.sample(&mut rng) as AuthorIdx;
+        let mut team = vec![lead];
+        while team.len() < size {
+            let next: AuthorIdx = if rng.random_bool(params.collaboration_locality) {
+                // Prefer an existing collaborator of someone on the team.
+                let anchor = team[rng.random_range(0..team.len())];
+                let known = &collaborators[anchor as usize];
+                if known.is_empty() {
+                    productivity.sample(&mut rng) as AuthorIdx
+                } else {
+                    known[rng.random_range(0..known.len())]
+                }
+            } else {
+                productivity.sample(&mut rng) as AuthorIdx
+            };
+            if !team.contains(&next) {
+                team.push(next);
+            } else if team.len() == params.n_authors {
+                break;
+            } else {
+                // Collision: fall back to a uniform draw to guarantee
+                // progress on tiny author pools.
+                let uniform = rng.random_range(0..params.n_authors) as AuthorIdx;
+                if !team.contains(&uniform) {
+                    team.push(uniform);
+                }
+            }
+        }
+        for (i, &a) in team.iter().enumerate() {
+            for &b in &team[i + 1..] {
+                if !collaborators[a as usize].contains(&b) {
+                    collaborators[a as usize].push(b);
+                    collaborators[b as usize].push(a);
+                }
+            }
+        }
+        papers.push(team);
+    }
+
+    // Citations: uniformly toward earlier papers (a crude
+    // preferential-by-recency model is unnecessary for the experiments).
+    let mut citations = Vec::new();
+    for citing in 1..papers.len() {
+        let n_cites = rng.random_range(0..=params.max_citations_per_paper);
+        for _ in 0..n_cites {
+            let cited = rng.random_range(0..citing);
+            citations.push((citing as u32, cited as u32));
+        }
+    }
+    citations.sort_unstable();
+    citations.dedup();
+
+    World {
+        authors,
+        papers,
+        citations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_has_requested_shape() {
+        let params = WorldParams::default();
+        let w = generate_world(&params);
+        assert_eq!(w.authors.len(), 200);
+        assert_eq!(w.papers.len(), 300);
+        assert!(w.reference_count() >= 300);
+        for team in &w.papers {
+            assert!(!team.is_empty() && team.len() <= 4);
+            let mut t = team.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), team.len(), "no duplicate authors on a paper");
+        }
+    }
+
+    #[test]
+    fn citations_point_backwards() {
+        let w = generate_world(&WorldParams::default());
+        for &(citing, cited) in &w.citations {
+            assert!(cited < citing);
+        }
+    }
+
+    #[test]
+    fn surname_clashes_exist() {
+        // The last-name pool is smaller than the author count, so some
+        // distinct authors must share a surname — the core difficulty of
+        // the matching problem.
+        let w = generate_world(&WorldParams::default());
+        let mut lasts: Vec<&str> = w.authors.iter().map(|a| a.last.as_str()).collect();
+        lasts.sort_unstable();
+        lasts.dedup();
+        assert!(lasts.len() < w.authors.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_world(&WorldParams::default());
+        let b = generate_world(&WorldParams::default());
+        assert_eq!(a.papers, b.papers);
+        let c = generate_world(&WorldParams {
+            seed: 43,
+            ..Default::default()
+        });
+        assert_ne!(a.papers, c.papers);
+    }
+
+    #[test]
+    fn collaboration_locality_densifies_coauthorship() {
+        let sparse = generate_world(&WorldParams {
+            collaboration_locality: 0.0,
+            seed: 7,
+            ..Default::default()
+        });
+        let dense = generate_world(&WorldParams {
+            collaboration_locality: 0.95,
+            seed: 7,
+            ..Default::default()
+        });
+        let distinct_pairs = |w: &World| {
+            let mut pairs = std::collections::HashSet::new();
+            for team in &w.papers {
+                for (i, &a) in team.iter().enumerate() {
+                    for &b in &team[i + 1..] {
+                        pairs.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+            pairs.len()
+        };
+        // Same number of slots, but locality reuses pairs ⇒ fewer
+        // distinct collaborations.
+        assert!(distinct_pairs(&dense) < distinct_pairs(&sparse));
+    }
+}

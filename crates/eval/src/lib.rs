@@ -1,0 +1,24 @@
+//! # em-eval — evaluation metrics for the framework's experiments
+//!
+//! Implements the measurements of §6:
+//!
+//! * [`metrics`] — pairwise precision/recall/F1 (with transitive closure
+//!   of predictions before scoring);
+//! * [`soundness`] — the framework-level soundness and completeness of a
+//!   scheme's output relative to a reference run (§2.2.1);
+//! * [`upper_bound`] — the paper's **UB** scheme: the ground-truth-
+//!   conditioned upper bound on a supermodular matcher's full-run output,
+//!   used when the full run is infeasible;
+//! * [`report`] — fixed-width tables for the bench binaries' output.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod soundness;
+pub mod upper_bound;
+
+pub use metrics::{pairwise_metrics, transitive_closure, PrecisionRecall};
+pub use report::{fmt_duration, fmt_ratio, Table};
+pub use soundness::{soundness_completeness, SoundnessReport};
+pub use upper_bound::upper_bound;

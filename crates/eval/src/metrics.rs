@@ -1,0 +1,189 @@
+//! Pairwise precision / recall / F1 against ground truth.
+//!
+//! The paper reports pairwise metrics over matching decisions. Because
+//! matchers output pair sets that are not necessarily transitively
+//! closed, the standard evaluation closes them first (two references
+//! matched through a chain count as matched) and compares against the
+//! full set of true co-referent pairs.
+
+use em_core::hash::FxHashMap;
+use em_core::{EntityId, Pair, PairSet};
+
+/// Counts and derived rates for a prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl PrecisionRecall {
+    /// `tp / (tp + fp)`; 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 1.0 when there is nothing to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Transitive closure of a pair set: all pairs within each connected
+/// cluster (a compact union-find; clusters of size `n` emit `C(n, 2)`
+/// pairs).
+pub fn transitive_closure(pairs: &PairSet) -> PairSet {
+    let mut parent: FxHashMap<EntityId, EntityId> = FxHashMap::default();
+    fn find(parent: &mut FxHashMap<EntityId, EntityId>, x: EntityId) -> EntityId {
+        let mut root = x;
+        while let Some(&p) = parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        let mut cur = x;
+        while let Some(&p) = parent.get(&cur) {
+            if p == root {
+                break;
+            }
+            parent.insert(cur, root);
+            cur = p;
+        }
+        root
+    }
+    for p in pairs.iter() {
+        for e in p.endpoints() {
+            parent.entry(e).or_insert(e);
+        }
+        let (ra, rb) = (find(&mut parent, p.lo()), find(&mut parent, p.hi()));
+        if ra != rb {
+            parent.insert(ra, rb);
+        }
+    }
+    let members: Vec<EntityId> = parent.keys().copied().collect();
+    let mut clusters: FxHashMap<EntityId, Vec<EntityId>> = FxHashMap::default();
+    for m in members {
+        let root = find(&mut parent, m);
+        clusters.entry(root).or_default().push(m);
+    }
+    let mut out = PairSet::new();
+    for cluster in clusters.values() {
+        for (i, &a) in cluster.iter().enumerate() {
+            for &b in &cluster[i + 1..] {
+                out.insert(Pair::new(a, b));
+            }
+        }
+    }
+    out
+}
+
+/// Pairwise metrics of `predicted` (closed transitively first) against a
+/// truth oracle. `true_pair_count` is the total number of true pairs
+/// (`Σ_cluster C(n, 2)` from the ground truth).
+pub fn pairwise_metrics(
+    predicted: &PairSet,
+    is_true_match: impl Fn(Pair) -> bool,
+    true_pair_count: usize,
+) -> PrecisionRecall {
+    let closed = transitive_closure(predicted);
+    let tp = closed.iter().filter(|&p| is_true_match(p)).count();
+    let fp = closed.len() - tp;
+    let fn_ = true_pair_count.saturating_sub(tp);
+    PrecisionRecall { tp, fp, fn_ }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(EntityId(a), EntityId(b))
+    }
+
+    #[test]
+    fn rates_and_edge_cases() {
+        let pr = PrecisionRecall {
+            tp: 3,
+            fp: 1,
+            fn_: 2,
+        };
+        assert!((pr.precision() - 0.75).abs() < 1e-12);
+        assert!((pr.recall() - 0.6).abs() < 1e-12);
+        assert!((pr.f1() - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-12);
+        let empty = PrecisionRecall {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+        };
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        let zero = PrecisionRecall {
+            tp: 0,
+            fp: 5,
+            fn_: 5,
+        };
+        assert_eq!(zero.f1(), 0.0);
+    }
+
+    #[test]
+    fn closure_completes_chains() {
+        let pairs: PairSet = [p(0, 1), p(1, 2), p(3, 4)].into_iter().collect();
+        let closed = transitive_closure(&pairs);
+        assert!(closed.contains(p(0, 2)), "chain closed");
+        assert!(!closed.contains(p(0, 3)), "separate clusters stay apart");
+        assert_eq!(closed.len(), 4); // C(3,2) + C(2,2)
+    }
+
+    #[test]
+    fn closure_of_closed_set_is_identity() {
+        let pairs: PairSet = [p(0, 1), p(1, 2), p(0, 2)].into_iter().collect();
+        assert_eq!(transitive_closure(&pairs), pairs);
+        assert!(transitive_closure(&PairSet::new()).is_empty());
+    }
+
+    #[test]
+    fn metrics_close_before_scoring() {
+        // Truth: {0,1,2} one entity. Prediction: chain (0,1), (1,2).
+        let truth = |q: Pair| q.hi().0 <= 2;
+        let predicted: PairSet = [p(0, 1), p(1, 2)].into_iter().collect();
+        let m = pairwise_metrics(&predicted, truth, 3);
+        assert_eq!(m.tp, 3, "closure credits the implied (0,2)");
+        assert_eq!(m.fp, 0);
+        assert_eq!(m.fn_, 0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn metrics_penalize_wrong_merges() {
+        // Truth: {0,1} and {2,3}. Prediction merges everything.
+        let truth = |q: Pair| matches!((q.lo().0, q.hi().0), (0, 1) | (2, 3));
+        let predicted: PairSet = [p(0, 1), p(1, 2), p(2, 3)].into_iter().collect();
+        let m = pairwise_metrics(&predicted, truth, 2);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 4, "C(4,2) − 2 wrong pairs after closure");
+        assert_eq!(m.recall(), 1.0);
+        assert!(m.precision() < 0.5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fixed-width ASCII tables for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned-first-column, right-aligned-rest table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with a separator line under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{cell:<width$}", width = widths[i]);
+                } else {
+                    let _ = write!(out, "{cell:>width$}", width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a ratio as `0.xxx`.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1.0 {
+        format!("{:.1}ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.2}s")
+    } else {
+        format!("{:.1}min", secs / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["scheme", "P", "R"]);
+        t.push_row(["NO-MP", "0.99", "0.60"]);
+        t.push_row(["MMP", "0.985", "0.91"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("scheme"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right alignment of numeric columns.
+        assert!(lines[2].ends_with("0.60"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_must_match() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ratio(0.98765), "0.988");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00s");
+        assert_eq!(fmt_duration(Duration::from_secs(600)), "10.0min");
+    }
+}

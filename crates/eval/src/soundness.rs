@@ -1,0 +1,87 @@
+//! Soundness and completeness of a scheme's output relative to a
+//! reference run (§2.2.1 of the paper).
+//!
+//! These are properties of the *framework*, not the matcher: soundness
+//! is the fraction of produced matches also produced by the reference
+//! (the full run, or UB when the full run is infeasible); completeness
+//! is the fraction of the reference's matches recovered.
+
+use em_core::PairSet;
+
+/// Soundness/completeness report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoundnessReport {
+    /// `|M ∩ ref| / |M|` (1.0 for empty `M`).
+    pub soundness: f64,
+    /// `|M ∩ ref| / |ref|` (1.0 for empty `ref`).
+    pub completeness: f64,
+    /// `|M ∩ ref|`.
+    pub agreement: usize,
+}
+
+/// Compare a scheme's output against a reference match set.
+pub fn soundness_completeness(output: &PairSet, reference: &PairSet) -> SoundnessReport {
+    let agreement = output.intersection_len(reference);
+    SoundnessReport {
+        soundness: if output.is_empty() {
+            1.0
+        } else {
+            agreement as f64 / output.len() as f64
+        },
+        completeness: if reference.is_empty() {
+            1.0
+        } else {
+            agreement as f64 / reference.len() as f64
+        },
+        agreement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{EntityId, Pair};
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(EntityId(a), EntityId(b))
+    }
+
+    #[test]
+    fn perfect_agreement() {
+        let s: PairSet = [p(0, 1), p(2, 3)].into_iter().collect();
+        let r = soundness_completeness(&s, &s);
+        assert_eq!(r.soundness, 1.0);
+        assert_eq!(r.completeness, 1.0);
+        assert_eq!(r.agreement, 2);
+    }
+
+    #[test]
+    fn subset_is_sound_but_incomplete() {
+        let reference: PairSet = [p(0, 1), p(2, 3), p(4, 5), p(6, 7)].into_iter().collect();
+        let output: PairSet = [p(0, 1)].into_iter().collect();
+        let r = soundness_completeness(&output, &reference);
+        assert_eq!(r.soundness, 1.0);
+        assert_eq!(r.completeness, 0.25);
+    }
+
+    #[test]
+    fn unsound_extra_matches() {
+        let reference: PairSet = [p(0, 1)].into_iter().collect();
+        let output: PairSet = [p(0, 1), p(8, 9)].into_iter().collect();
+        let r = soundness_completeness(&output, &reference);
+        assert_eq!(r.soundness, 0.5);
+        assert_eq!(r.completeness, 1.0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let empty = PairSet::new();
+        let some: PairSet = [p(0, 1)].into_iter().collect();
+        let r = soundness_completeness(&empty, &some);
+        assert_eq!(r.soundness, 1.0);
+        assert_eq!(r.completeness, 0.0);
+        let r = soundness_completeness(&some, &empty);
+        assert_eq!(r.soundness, 0.0);
+        assert_eq!(r.completeness, 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The paper's **UB** scheme (§6.1): a ground-truth-conditioned upper
+//! bound on the matches a supermodular matcher can produce.
+//!
+//! Running the matcher on the whole dataset is infeasible at scale, so
+//! the paper bounds it: "for each entity pair, we give the MLN algorithm
+//! the ground truth about all other entity pairs and run the matcher to
+//! decide the given entity pair. Since our matcher satisfies the
+//! supermodularity property, we can show that this is indeed an upper
+//! bound on the set of matches that MLN can produce."
+//!
+//! With the global score oracle, deciding pair `p` given truth about all
+//! others reduces to one delta query: match `p` iff
+//! `score(GT_others ∪ {p}) ≥ score(GT_others)` (ties match, per the
+//! largest-most-likely-set convention). Supermodularity makes this an
+//! upper bound: the real run's evidence is never more favourable than
+//! the full truth.
+
+use em_core::{Dataset, GlobalScorer, Pair, PairSet, Score};
+
+/// Compute the UB match set over all candidate pairs of `dataset`.
+pub fn upper_bound(
+    dataset: &Dataset,
+    scorer: &dyn GlobalScorer,
+    is_true_match: impl Fn(Pair) -> bool,
+) -> PairSet {
+    // Base: the true candidate pairs (the "ground truth about all other
+    // entity pairs"). For each decision we momentarily remove the pair
+    // itself from the base.
+    let mut base: PairSet = dataset
+        .candidate_pairs()
+        .filter(|&(p, _)| is_true_match(p))
+        .map(|(p, _)| p)
+        .collect();
+
+    let candidates: Vec<Pair> = dataset.candidate_pairs().map(|(p, _)| p).collect();
+    let mut out = PairSet::with_capacity(base.len());
+    for p in candidates {
+        let was_in_base = base.remove(p);
+        if scorer.delta(&base, &[p]) >= Score::ZERO {
+            out.insert(p);
+        }
+        if was_in_base {
+            base.insert(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::hash::FxHashMap;
+
+    /// A toy scorer: explicit unary weights plus one synergy edge.
+    struct ToyScorer {
+        unary: FxHashMap<Pair, Score>,
+        edge: (Pair, Pair, Score),
+    }
+
+    impl GlobalScorer for ToyScorer {
+        fn delta(&self, base: &PairSet, added: &[Pair]) -> Score {
+            let mut total = Score::ZERO;
+            for &p in added {
+                if !base.contains(p) {
+                    total += self.unary.get(&p).copied().unwrap_or(Score::ZERO);
+                }
+            }
+            let (a, b, w) = &self.edge;
+            let holds = |p: Pair| base.contains(p) || added.contains(&p);
+            let held_before = base.contains(*a) && base.contains(*b);
+            if !held_before && holds(*a) && holds(*b) {
+                total += *w;
+            }
+            total
+        }
+
+        fn score(&self, matches: &PairSet) -> Score {
+            let mut total = Score::ZERO;
+            for (p, w) in &self.unary {
+                if matches.contains(*p) {
+                    total += *w;
+                }
+            }
+            let (a, b, w) = &self.edge;
+            if matches.contains(*a) && matches.contains(*b) {
+                total += *w;
+            }
+            total
+        }
+
+        fn affected_pairs(&self, pair: Pair) -> Vec<Pair> {
+            let (a, b, _) = &self.edge;
+            if pair == *a {
+                vec![*b]
+            } else if pair == *b {
+                vec![*a]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    use em_core::{EntityId, SimLevel};
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(EntityId(a), EntityId(b))
+    }
+
+    fn setup() -> (Dataset, ToyScorer) {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        for _ in 0..6 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(p(0, 1), SimLevel(2));
+        ds.set_similar(p(2, 3), SimLevel(2));
+        ds.set_similar(p(4, 5), SimLevel(1));
+        let mut unary = FxHashMap::default();
+        unary.insert(p(0, 1), Score(-5));
+        unary.insert(p(2, 3), Score(-5));
+        unary.insert(p(4, 5), Score(-20));
+        let scorer = ToyScorer {
+            unary,
+            edge: (p(0, 1), p(2, 3), Score(8)),
+        };
+        (ds, scorer)
+    }
+
+    #[test]
+    fn ub_uses_truth_about_other_pairs() {
+        let (ds, scorer) = setup();
+        // Truth: (0,1) and (2,3) are matches, (4,5) is not.
+        let truth = |q: Pair| q == p(0, 1) || q == p(2, 3);
+        let ub = upper_bound(&ds, &scorer, truth);
+        // Deciding (0,1) given (2,3) true: −5 + 8 ≥ 0 ⇒ match; symmetric
+        // for (2,3). (4,5): −20 < 0 ⇒ no.
+        assert!(ub.contains(p(0, 1)));
+        assert!(ub.contains(p(2, 3)));
+        assert!(!ub.contains(p(4, 5)));
+    }
+
+    #[test]
+    fn ub_without_truth_support_drops_pairs() {
+        let (ds, scorer) = setup();
+        // Truth says nothing matches: each pair decided alone.
+        let ub = upper_bound(&ds, &scorer, |_| false);
+        // (0,1) alone: −5 < 0 ⇒ no match.
+        assert!(ub.is_empty());
+    }
+
+    #[test]
+    fn ub_decision_excludes_the_pair_itself_from_its_base() {
+        let (ds, scorer) = setup();
+        // Truth includes (4,5): deciding (4,5) must not count it as its
+        // own evidence (its delta alone is −20 ⇒ excluded).
+        let truth = |q: Pair| q == p(4, 5);
+        let ub = upper_bound(&ds, &scorer, truth);
+        assert!(!ub.contains(p(4, 5)));
+    }
+}

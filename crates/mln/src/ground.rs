@@ -1,0 +1,320 @@
+//! Grounding: instantiate the MLN rules over a view's candidate pairs.
+//!
+//! The result is a [`GroundModel`]: one boolean variable per candidate
+//! pair, a unary weight per variable (from the `similar` rules plus any
+//! reflexive relational groundings), and positive hyperedges (from
+//! relational groundings whose body `equals` atom is itself a candidate
+//! pair).
+//!
+//! Grounding identity follows the paper's weight accounting in §2.1
+//! ("R2 fires two times" for the three-pair chain): a ground instance is
+//! identified by its *set of equals atoms* together with its *set of
+//! witness relation tuples*, so the head/body orientation of the same
+//! witness tuples does not double-count, while genuinely different
+//! witness tuples between the same pairs do count separately.
+
+use crate::model::MlnModel;
+use em_core::hash::{FxHashMap, FxHashSet};
+use em_core::{EntityId, Pair, Score, View};
+
+/// A ground hyperedge: `weight` is gained when every variable in `vars`
+/// is matched. Always `weight > 0` for supermodular models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundEdge {
+    /// Variable indices (into [`GroundModel::vars`]), ascending.
+    pub vars: Vec<u32>,
+    /// Positive weight.
+    pub weight: Score,
+}
+
+/// The grounded model over one view.
+#[derive(Debug, Clone, Default)]
+pub struct GroundModel {
+    /// Candidate pairs of the view, ascending (variable id = position).
+    pub vars: Vec<Pair>,
+    /// Pair → variable id.
+    pub index: FxHashMap<Pair, u32>,
+    /// Unary weight per variable (similar-rule weight + reflexive
+    /// relational bonuses).
+    pub unary: Vec<Score>,
+    /// Positive hyperedges.
+    pub edges: Vec<GroundEdge>,
+    /// Variable → incident edge ids.
+    pub incident: Vec<Vec<u32>>,
+}
+
+impl GroundModel {
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Variable id of a pair, if it is a variable of this model.
+    #[inline]
+    pub fn var_of(&self, pair: Pair) -> Option<u32> {
+        self.index.get(&pair).copied()
+    }
+
+    /// Total score of a complete assignment given as a set membership
+    /// test over the model's variables.
+    pub fn score_where(&self, is_matched: impl Fn(Pair) -> bool) -> Score {
+        let mut total = Score::ZERO;
+        let mut selected = vec![false; self.vars.len()];
+        for (i, &p) in self.vars.iter().enumerate() {
+            if is_matched(p) {
+                selected[i] = true;
+                total += self.unary[i];
+            }
+        }
+        for e in &self.edges {
+            if e.vars.iter().all(|&v| selected[v as usize]) {
+                total += e.weight;
+            }
+        }
+        total
+    }
+}
+
+/// Witness-set key for grounding deduplication: the relation tuples used
+/// by a ground instance, as unordered entity pairs, sorted.
+type WitnessKey = [Pair; 2];
+
+fn witness_key(a: Pair, b: Pair) -> WitnessKey {
+    if a <= b {
+        [a, b]
+    } else {
+        [b, a]
+    }
+}
+
+/// Ground `model` over `view`.
+pub fn ground(model: &MlnModel, view: &View<'_>) -> GroundModel {
+    let candidate_pairs = view.candidate_pairs();
+    let mut vars: Vec<Pair> = candidate_pairs.iter().map(|&(p, _)| p).collect();
+    vars.sort_unstable();
+    let index: FxHashMap<Pair, u32> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+    let mut unary = vec![Score::ZERO; vars.len()];
+    for &(p, level) in &candidate_pairs {
+        unary[index[&p] as usize] += model.sim_weight(level);
+    }
+
+    let relations = &view.dataset().relations;
+    let mut edges: Vec<GroundEdge> = Vec::new();
+    // Deduplication sets, keyed per paper semantics.
+    let mut seen_unary: FxHashSet<(u32, u16, WitnessKey)> = FxHashSet::default();
+    let mut seen_binary: FxHashSet<(u32, u32, u16, WitnessKey)> = FxHashSet::default();
+
+    for rule in &model.relational {
+        let rel = rule.relation;
+        for &p in &vars {
+            let pv = index[&p];
+            let (e1, e2) = (p.lo(), p.hi());
+            // Witnesses: relation neighbors in either direction, restricted
+            // to the view. Symmetric relations already report both ways.
+            let around = |e: EntityId| -> Vec<EntityId> {
+                let mut out: Vec<EntityId> = relations
+                    .neighbors_out(rel, e)
+                    .iter()
+                    .chain(relations.neighbors_in(rel, e).iter())
+                    .copied()
+                    .filter(|&c| c != e && view.contains(c))
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            };
+            let c1s = around(e1);
+            let c2s = around(e2);
+            for &c1 in &c1s {
+                for &c2 in &c2s {
+                    let w1 = Pair::new(e1, c1);
+                    let w2 = Pair::new(e2, c2);
+                    let wkey = witness_key(w1, w2);
+                    if c1 == c2 {
+                        // Reflexive body atom equals(c, c): always true.
+                        if seen_unary.insert((pv, rel.0, wkey)) {
+                            unary[pv as usize] += rule.weight;
+                        }
+                        continue;
+                    }
+                    let q = Pair::new(c1, c2);
+                    if q == p {
+                        // Body atom is the head pair itself: fires iff the
+                        // pair is matched — a unary bonus.
+                        if seen_unary.insert((pv, rel.0, wkey)) {
+                            unary[pv as usize] += rule.weight;
+                        }
+                        continue;
+                    }
+                    let Some(qv) = index.get(&q).copied() else {
+                        continue; // equals(c1, c2) can never hold
+                    };
+                    let key = (pv.min(qv), pv.max(qv), rel.0, wkey);
+                    if seen_binary.insert(key) {
+                        edges.push(GroundEdge {
+                            vars: vec![pv.min(qv), pv.max(qv)],
+                            weight: rule.weight,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); vars.len()];
+    for (ei, e) in edges.iter().enumerate() {
+        for &v in &e.vars {
+            incident[v as usize].push(ei as u32);
+        }
+    }
+    GroundModel {
+        vars,
+        index,
+        unary,
+        edges,
+        incident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MlnModel;
+    use em_core::{Dataset, SimLevel};
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    /// The §2.1 example dataset (same ids as `em_core::testing`).
+    fn example() -> Dataset {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..9 {
+            ds.entities.add_entity(ty);
+        }
+        let co = ds.relations.declare("coauthor", true);
+        for (x, y) in [
+            (0, 3), // a1 - b2
+            (1, 4), // a2 - b3
+            (2, 5), // b1 - c1
+            (3, 6), // b2 - c2
+            (4, 7), // b3 - c3
+            (5, 8), // c1 - d1
+            (6, 8), // c2 - d1
+        ] {
+            ds.relations.add_tuple(co, e(x), e(y));
+        }
+        for (x, y) in [(0, 1), (2, 3), (2, 4), (3, 4), (5, 6), (5, 7), (6, 7)] {
+            ds.set_similar(Pair::new(e(x), e(y)), SimLevel(2));
+        }
+        ds
+    }
+
+    #[test]
+    fn example_grounding_reproduces_paper_accounting() {
+        let ds = example();
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        let model = MlnModel::example_model(co);
+        let gm = ground(&model, &ds.full_view());
+        assert_eq!(gm.var_count(), 7);
+        // Four binary groundings: {a,b-chain}, {b-chain,c-chain},
+        // {(b1,b2),(c1,c2)}, {(b1,b3),(c1,c3)}.
+        assert_eq!(gm.edges.len(), 4);
+        // (c1, c2) gets the reflexive d1 bonus: −5 + 8 = +3.
+        let c_pair = gm.var_of(Pair::new(e(5), e(6))).unwrap();
+        assert_eq!(gm.unary[c_pair as usize], Score::from_weight(3.0));
+        // Other pairs keep the bare −5.
+        let a_pair = gm.var_of(Pair::new(e(0), e(1))).unwrap();
+        assert_eq!(gm.unary[a_pair as usize], Score::from_weight(-5.0));
+    }
+
+    #[test]
+    fn score_where_matches_paper_values() {
+        let ds = example();
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        let model = MlnModel::example_model(co);
+        let gm = ground(&model, &ds.full_view());
+        // Empty set scores zero.
+        assert_eq!(gm.score_where(|_| false), Score::ZERO);
+        // The chain {(a1,a2), (b2,b3), (c2,c3)} scores −15 + 16 = +1.
+        let chain: Vec<Pair> = vec![
+            Pair::new(e(0), e(1)),
+            Pair::new(e(3), e(4)),
+            Pair::new(e(6), e(7)),
+        ];
+        assert_eq!(
+            gm.score_where(|p| chain.contains(&p)),
+            Score::from_weight(1.0)
+        );
+        // Everything §2.1 matches: +7 total.
+        let all: Vec<Pair> = vec![
+            Pair::new(e(0), e(1)),
+            Pair::new(e(2), e(3)),
+            Pair::new(e(3), e(4)),
+            Pair::new(e(5), e(6)),
+            Pair::new(e(6), e(7)),
+        ];
+        assert_eq!(
+            gm.score_where(|p| all.contains(&p)),
+            Score::from_weight(7.0)
+        );
+    }
+
+    #[test]
+    fn view_restriction_drops_out_of_view_bonuses() {
+        let ds = example();
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        let model = MlnModel::example_model(co);
+        // C2 of Figure 2: b and c entities, but no d1.
+        let view = ds.view([e(2), e(3), e(4), e(5), e(6), e(7)]);
+        let gm = ground(&model, &view);
+        let c_pair = gm.var_of(Pair::new(e(5), e(6))).unwrap();
+        assert_eq!(
+            gm.unary[c_pair as usize],
+            Score::from_weight(-5.0),
+            "without d1 in view, (c1, c2) has no reflexive bonus"
+        );
+    }
+
+    #[test]
+    fn incident_lists_are_consistent() {
+        let ds = example();
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        let gm = ground(&MlnModel::example_model(co), &ds.full_view());
+        for (v, edges) in gm.incident.iter().enumerate() {
+            for &ei in edges {
+                assert!(gm.edges[ei as usize].vars.contains(&(v as u32)));
+            }
+        }
+        let incident_total: usize = gm.incident.iter().map(Vec::len).sum();
+        let edge_total: usize = gm.edges.iter().map(|e| e.vars.len()).sum();
+        assert_eq!(incident_total, edge_total);
+    }
+
+    #[test]
+    fn multiple_shared_witnesses_stack() {
+        // Two refs share two distinct coauthor entities: two reflexive
+        // bonuses.
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..4 {
+            ds.entities.add_entity(ty);
+        }
+        let co = ds.relations.declare("coauthor", true);
+        ds.relations.add_tuple(co, e(0), e(2));
+        ds.relations.add_tuple(co, e(1), e(2));
+        ds.relations.add_tuple(co, e(0), e(3));
+        ds.relations.add_tuple(co, e(1), e(3));
+        ds.set_similar(Pair::new(e(0), e(1)), SimLevel(1));
+        let model = MlnModel::paper_model(co);
+        let gm = ground(&model, &ds.full_view());
+        let v = gm.var_of(Pair::new(e(0), e(1))).unwrap();
+        // −2.28 + 2·2.46 = +2.64.
+        assert_eq!(gm.unary[v as usize], Score::from_weight(-2.28 + 2.0 * 2.46));
+    }
+}

@@ -1,0 +1,246 @@
+//! MaxWalkSAT-style stochastic local search — the inference Alchemy
+//! actually runs, kept as an alternative backend.
+//!
+//! The exact min-cut solver is what production use wants, but two things
+//! still need this module: (a) the Figure 3(f) "full EM blows up" curve,
+//! whose superlinear growth comes from local-search convergence behaviour
+//! on large coupled models, and (b) an ablation comparing exact vs
+//! approximate inference inside the framework (approximate inference
+//! voids the soundness guarantee; measuring how much is interesting).
+//!
+//! The search flips one variable at a time, accepting improving flips
+//! greedily and non-improving flips with a small walk probability, with
+//! random restarts; the flip budget grows as `n·√n` reflecting the
+//! empirically superlinear mixing time of collective models.
+
+use crate::ground::GroundModel;
+use em_core::properties::SplitMix64;
+use em_core::{Evidence, PairSet, Score};
+
+/// Local-search tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchParams {
+    /// RNG seed (the search is deterministic given the seed).
+    pub seed: u64,
+    /// Flip budget multiplier: total flips per restart =
+    /// `flips_per_var · n · ⌈√n⌉`.
+    pub flips_per_var: u32,
+    /// Probability (percent) of accepting a non-improving flip.
+    pub walk_pct: u64,
+    /// Number of restarts.
+    pub restarts: u32,
+}
+
+impl Default for LocalSearchParams {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED,
+            flips_per_var: 4,
+            walk_pct: 10,
+            restarts: 2,
+        }
+    }
+}
+
+/// Approximate MAP by stochastic local search.
+pub fn solve_local_search(
+    gm: &GroundModel,
+    evidence: &Evidence,
+    params: &LocalSearchParams,
+) -> PairSet {
+    let n = gm.var_count();
+    let mut forced_true = vec![false; n];
+    let mut forced_false = vec![false; n];
+    let mut free: Vec<u32> = Vec::new();
+    for (i, &p) in gm.vars.iter().enumerate() {
+        if evidence.negative.contains(p) {
+            forced_false[i] = true;
+        } else if evidence.positive.contains(p) {
+            forced_true[i] = true;
+        } else {
+            free.push(i as u32);
+        }
+    }
+    if free.is_empty() {
+        return gm
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| forced_true[i])
+            .map(|(_, &p)| p)
+            .collect();
+    }
+
+    let mut rng = SplitMix64::new(params.seed);
+    // Edge bookkeeping: number of selected vars per edge.
+    let edge_len: Vec<u32> = gm.edges.iter().map(|e| e.vars.len() as u32).collect();
+    // Edges touching a forced-false var can never fire.
+    let edge_dead: Vec<bool> = gm
+        .edges
+        .iter()
+        .map(|e| e.vars.iter().any(|&v| forced_false[v as usize]))
+        .collect();
+
+    let sqrt_n = (free.len() as f64).sqrt().ceil() as u64;
+    let flips = params.flips_per_var as u64 * free.len() as u64 * sqrt_n;
+
+    let mut best_assignment: Option<(Score, Vec<bool>)> = None;
+    for restart in 0..params.restarts.max(1) {
+        // Initial assignment: all-false on the first restart (the empty
+        // match set is the natural prior), random afterwards.
+        let mut x = forced_true.clone();
+        if restart > 0 {
+            for &v in &free {
+                x[v as usize] = rng.chance(1, 4);
+            }
+        }
+        let mut edge_count: Vec<u32> = vec![0; gm.edges.len()];
+        let mut score = Score::ZERO;
+        for (i, &xi) in x.iter().enumerate() {
+            if xi {
+                score += gm.unary[i];
+                for &ei in &gm.incident[i] {
+                    edge_count[ei as usize] += 1;
+                }
+            }
+        }
+        for (ei, e) in gm.edges.iter().enumerate() {
+            if !edge_dead[ei] && edge_count[ei] == edge_len[ei] {
+                score += e.weight;
+            }
+        }
+
+        let mut best_local = score;
+        let mut best_x = x.clone();
+        for _ in 0..flips {
+            let v = free[rng.below(free.len())] as usize;
+            // Delta of flipping v.
+            let turning_on = !x[v];
+            let mut delta = if turning_on {
+                gm.unary[v]
+            } else {
+                -gm.unary[v]
+            };
+            for &ei in &gm.incident[v] {
+                let ei = ei as usize;
+                if edge_dead[ei] {
+                    continue;
+                }
+                if turning_on {
+                    if edge_count[ei] + 1 == edge_len[ei] {
+                        delta += gm.edges[ei].weight;
+                    }
+                } else if edge_count[ei] == edge_len[ei] {
+                    delta = delta - gm.edges[ei].weight;
+                }
+            }
+            let accept = delta >= Score::ZERO || rng.chance(params.walk_pct, 100);
+            if accept {
+                x[v] = turning_on;
+                score += delta;
+                for &ei in &gm.incident[v] {
+                    let ei = ei as usize;
+                    if turning_on {
+                        edge_count[ei] += 1;
+                    } else {
+                        edge_count[ei] -= 1;
+                    }
+                }
+                if score > best_local {
+                    best_local = score;
+                    best_x.copy_from_slice(&x);
+                }
+            }
+        }
+        match &best_assignment {
+            Some((best, _)) if *best >= best_local => {}
+            _ => best_assignment = Some((best_local, best_x)),
+        }
+    }
+
+    let (_, best_x) = best_assignment.expect("at least one restart");
+    gm.vars
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| best_x[i])
+        .map(|(_, &p)| p)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::infer::{score_assignment, solve_map};
+    use crate::model::MlnModel;
+    use em_core::{Dataset, EntityId, Pair, SimLevel};
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn small_instance() -> (Dataset, MlnModel) {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..6 {
+            ds.entities.add_entity(ty);
+        }
+        let co = ds.relations.declare("coauthor", true);
+        ds.relations.add_tuple(co, e(0), e(2));
+        ds.relations.add_tuple(co, e(1), e(3));
+        ds.set_similar(Pair::new(e(0), e(1)), SimLevel(2));
+        ds.set_similar(Pair::new(e(2), e(3)), SimLevel(3));
+        ds.set_similar(Pair::new(e(4), e(5)), SimLevel(1));
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        (ds, MlnModel::paper_model(co))
+    }
+
+    #[test]
+    fn local_search_finds_exact_optimum_on_small_instance() {
+        let (ds, model) = small_instance();
+        let gm = ground(&model, &ds.full_view());
+        let exact = solve_map(&gm, &Evidence::none());
+        let approx = solve_local_search(&gm, &Evidence::none(), &LocalSearchParams::default());
+        assert_eq!(
+            score_assignment(&gm, &approx),
+            score_assignment(&gm, &exact),
+            "local search must reach the optimum score on a tiny model"
+        );
+    }
+
+    #[test]
+    fn respects_evidence() {
+        let (ds, model) = small_instance();
+        let gm = ground(&model, &ds.full_view());
+        let ev = Evidence::new(
+            [Pair::new(e(4), e(5))].into_iter().collect(),
+            [Pair::new(e(2), e(3))].into_iter().collect(),
+        );
+        let out = solve_local_search(&gm, &ev, &LocalSearchParams::default());
+        assert!(out.contains(Pair::new(e(4), e(5))), "positive forced in");
+        assert!(!out.contains(Pair::new(e(2), e(3))), "negative forced out");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (ds, model) = small_instance();
+        let gm = ground(&model, &ds.full_view());
+        let params = LocalSearchParams::default();
+        let a = solve_local_search(&gm, &Evidence::none(), &params);
+        let b = solve_local_search(&gm, &Evidence::none(), &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_vars_forced_short_circuits() {
+        let (ds, model) = small_instance();
+        let gm = ground(&model, &ds.full_view());
+        let all: PairSet = gm.vars.iter().copied().collect();
+        let out = solve_local_search(
+            &gm,
+            &Evidence::positive(all.clone()),
+            &LocalSearchParams::default(),
+        );
+        assert_eq!(out, all);
+    }
+}

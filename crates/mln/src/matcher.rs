@@ -1,0 +1,359 @@
+//! The MLN entity matcher: the paper's Type-II black box.
+//!
+//! [`MlnMatcher`] wires the pieces together: ground the model over the
+//! view ([`crate::ground`]), condition on the evidence, and solve MAP
+//! either exactly ([`crate::infer`], the default) or by local search
+//! ([`crate::local_search`]). It implements both
+//! [`em_core::Matcher`] and [`em_core::ProbabilisticMatcher`], so every
+//! scheme — NO-MP, SMP, MMP — can drive it.
+
+use crate::ground::{ground, GroundModel};
+use crate::infer::{solve_map, MapSolver};
+use crate::local_search::{solve_local_search, LocalSearchParams};
+use crate::model::MlnModel;
+use em_core::hash::FxHashMap;
+use em_core::{
+    Dataset, Evidence, GlobalScorer, Matcher, Pair, PairSet, ProbabilisticMatcher, Score, View,
+};
+use std::sync::{Arc, Mutex};
+
+/// Which MAP solver the matcher uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum InferenceBackend {
+    /// Exact maximum-weight closure via min-cut (sound, deterministic).
+    #[default]
+    Exact,
+    /// MaxWalkSAT-style stochastic local search (what Alchemy runs;
+    /// approximate — voids the framework's soundness guarantee).
+    LocalSearch(LocalSearchParams),
+}
+
+/// A collective entity matcher backed by a Markov Logic Network.
+#[derive(Debug)]
+pub struct MlnMatcher {
+    model: MlnModel,
+    backend: InferenceBackend,
+    /// Grounding cache. `COMPUTEMAXIMAL` calls the matcher once per
+    /// undecided pair *on the same view*; grounding is evidence-free, so
+    /// those probes can share one ground model. Keyed by `(dataset
+    /// address, members hash)`; bounded, cleared when full (the access
+    /// pattern is bursts of hits on a handful of views).
+    cache: Mutex<FxHashMap<(usize, u64), Arc<GroundModel>>>,
+}
+
+/// Cache entries kept before the cache is cleared wholesale.
+const GROUND_CACHE_CAP: usize = 64;
+
+impl Clone for MlnMatcher {
+    fn clone(&self) -> Self {
+        Self {
+            model: self.model.clone(),
+            backend: self.backend,
+            cache: Mutex::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl MlnMatcher {
+    /// Matcher with exact inference.
+    ///
+    /// # Panics
+    /// Panics if the model is not supermodular (negative relational
+    /// weight): exact closure inference and MMP's soundness both require
+    /// supermodularity.
+    pub fn new(model: MlnModel) -> Self {
+        assert!(
+            model.is_supermodular(),
+            "MlnMatcher requires a supermodular model (positive relational weights)"
+        );
+        Self {
+            model,
+            backend: InferenceBackend::Exact,
+            cache: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Matcher with an explicit inference backend.
+    pub fn with_backend(model: MlnModel, backend: InferenceBackend) -> Self {
+        assert!(model.is_supermodular(), "model must be supermodular");
+        Self {
+            model,
+            backend,
+            cache: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &MlnModel {
+        &self.model
+    }
+
+    /// Ground the model over a view, through the cache.
+    pub fn ground_view(&self, view: &View<'_>) -> Arc<GroundModel> {
+        let key = (
+            view.dataset() as *const Dataset as usize,
+            Self::members_hash(view),
+        );
+        let mut cache = self.cache.lock().expect("cache lock");
+        if let Some(gm) = cache.get(&key) {
+            return Arc::clone(gm);
+        }
+        let gm = Arc::new(ground(&self.model, view));
+        if cache.len() >= GROUND_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Arc::clone(&gm));
+        gm
+    }
+
+    fn members_hash(view: &View<'_>) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = em_core::hash::FxHasher::default();
+        view.members().hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+impl Matcher for MlnMatcher {
+    fn match_view(&self, view: &View<'_>, evidence: &Evidence) -> PairSet {
+        let gm = self.ground_view(view);
+        match &self.backend {
+            InferenceBackend::Exact => solve_map(&gm, evidence),
+            InferenceBackend::LocalSearch(params) => solve_local_search(&gm, evidence, params),
+        }
+    }
+
+    fn probe_entailed(
+        &self,
+        view: &View<'_>,
+        evidence: &Evidence,
+        base: &PairSet,
+        probes: &[Pair],
+    ) -> Vec<Vec<Pair>> {
+        match &self.backend {
+            InferenceBackend::Exact => {
+                // Shared grounding + one base solve; each probe is an
+                // incremental max-flow augmentation with rollback.
+                let gm = self.ground_view(view);
+                let mut solver = MapSolver::new(&gm, evidence);
+                probes
+                    .iter()
+                    .map(|&p| {
+                        let mut delta = solver.probe_delta(p);
+                        delta.retain(|&q| q != p);
+                        delta
+                    })
+                    .collect()
+            }
+            InferenceBackend::LocalSearch(_) => probes
+                .iter()
+                .map(|&p| {
+                    self.match_view(view, &evidence.with_extra_positive(p))
+                        .iter()
+                        .filter(|&q| !base.contains(q) && q != p)
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self.backend {
+            InferenceBackend::Exact => "mln-exact",
+            InferenceBackend::LocalSearch(_) => "mln-walksat",
+        }
+    }
+}
+
+impl ProbabilisticMatcher for MlnMatcher {
+    fn log_score(&self, view: &View<'_>, matches: &PairSet) -> Score {
+        self.ground_view(view).score_where(|p| matches.contains(p))
+    }
+
+    fn global_scorer<'a>(&'a self, dataset: &'a Dataset) -> Box<dyn GlobalScorer + 'a> {
+        Box::new(MlnGlobalScorer {
+            gm: ground(&self.model, &dataset.full_view()),
+        })
+    }
+}
+
+/// Global score oracle: the model grounded once over the whole dataset,
+/// answering deltas through the incident-edge index.
+pub struct MlnGlobalScorer {
+    gm: GroundModel,
+}
+
+impl MlnGlobalScorer {
+    /// The underlying global ground model.
+    pub fn ground_model(&self) -> &GroundModel {
+        &self.gm
+    }
+}
+
+impl GlobalScorer for MlnGlobalScorer {
+    fn delta(&self, base: &PairSet, added: &[Pair]) -> Score {
+        let mut total = Score::ZERO;
+        let mut added_vars: Vec<u32> = Vec::with_capacity(added.len());
+        for &p in added {
+            if base.contains(p) {
+                continue;
+            }
+            if let Some(v) = self.gm.var_of(p) {
+                added_vars.push(v);
+                total += self.gm.unary[v as usize];
+            }
+        }
+        let in_new = |v: u32| {
+            let p = self.gm.vars[v as usize];
+            base.contains(p) || added_vars.contains(&v)
+        };
+        // Each edge incident to an added var is examined once.
+        let mut seen_edges: em_core::hash::FxHashSet<u32> = em_core::hash::FxHashSet::default();
+        for &v in &added_vars {
+            for &ei in &self.gm.incident[v as usize] {
+                if !seen_edges.insert(ei) {
+                    continue;
+                }
+                let e = &self.gm.edges[ei as usize];
+                let was_fired = e
+                    .vars
+                    .iter()
+                    .all(|&u| base.contains(self.gm.vars[u as usize]));
+                if !was_fired && e.vars.iter().all(|&u| in_new(u)) {
+                    total += e.weight;
+                }
+            }
+        }
+        total
+    }
+
+    fn score(&self, matches: &PairSet) -> Score {
+        self.gm.score_where(|p| matches.contains(p))
+    }
+
+    fn affected_pairs(&self, pair: Pair) -> Vec<Pair> {
+        let Some(v) = self.gm.var_of(pair) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Pair> = self.gm.incident[v as usize]
+            .iter()
+            .flat_map(|&ei| self.gm.edges[ei as usize].vars.iter().copied())
+            .filter(|&u| u != v)
+            .map(|u| self.gm.vars[u as usize])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{Dataset, EntityId, SimLevel};
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn example() -> Dataset {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..9 {
+            ds.entities.add_entity(ty);
+        }
+        let co = ds.relations.declare("coauthor", true);
+        for (x, y) in [(0, 3), (1, 4), (2, 5), (3, 6), (4, 7), (5, 8), (6, 8)] {
+            ds.relations.add_tuple(co, e(x), e(y));
+        }
+        for (x, y) in [(0, 1), (2, 3), (2, 4), (3, 4), (5, 6), (5, 7), (6, 7)] {
+            ds.set_similar(Pair::new(e(x), e(y)), SimLevel(2));
+        }
+        ds
+    }
+
+    fn matcher(ds: &Dataset) -> MlnMatcher {
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        MlnMatcher::new(MlnModel::example_model(co))
+    }
+
+    #[test]
+    fn full_run_matches_paper_output() {
+        let ds = example();
+        let m = matcher(&ds);
+        let out = m.match_view(&ds.full_view(), &Evidence::none());
+        assert_eq!(out.len(), 5);
+        assert_eq!(m.log_score(&ds.full_view(), &out), Score::from_weight(7.0));
+    }
+
+    #[test]
+    fn global_scorer_delta_agrees_with_absolute_difference() {
+        let ds = example();
+        let m = matcher(&ds);
+        let scorer = m.global_scorer(&ds);
+        let base: PairSet = [Pair::new(e(5), e(6))].into_iter().collect();
+        let added = [Pair::new(e(2), e(3)), Pair::new(e(2), e(4))];
+        let mut combined = base.clone();
+        combined.extend(added);
+        assert_eq!(
+            scorer.delta(&base, &added),
+            scorer.score(&combined) - scorer.score(&base)
+        );
+    }
+
+    #[test]
+    fn delta_ignores_already_based_and_unknown_pairs() {
+        let ds = example();
+        let m = matcher(&ds);
+        let scorer = m.global_scorer(&ds);
+        let base: PairSet = [Pair::new(e(5), e(6))].into_iter().collect();
+        // Re-adding a based pair is free; a non-candidate pair is ignored.
+        assert_eq!(
+            scorer.delta(&base, &[Pair::new(e(5), e(6))]),
+            Score::ZERO
+        );
+        assert_eq!(
+            scorer.delta(&base, &[Pair::new(e(0), e(8))]),
+            Score::ZERO
+        );
+    }
+
+    #[test]
+    fn chain_delta_is_positive_only_jointly() {
+        let ds = example();
+        let m = matcher(&ds);
+        let scorer = m.global_scorer(&ds);
+        let empty = PairSet::new();
+        let chain = [
+            Pair::new(e(0), e(1)),
+            Pair::new(e(3), e(4)),
+            Pair::new(e(6), e(7)),
+        ];
+        assert_eq!(scorer.delta(&empty, &chain), Score::from_weight(1.0));
+        for p in chain {
+            assert!(scorer.delta(&empty, &[p]) < Score::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supermodular")]
+    fn non_supermodular_model_is_rejected() {
+        let mut model = MlnModel::paper_model(em_core::RelationId(0));
+        model.relational[0].weight = Score(-100);
+        let _ = MlnMatcher::new(model);
+    }
+
+    #[test]
+    fn local_search_backend_runs() {
+        let ds = example();
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        let m = MlnMatcher::with_backend(
+            MlnModel::example_model(co),
+            InferenceBackend::LocalSearch(LocalSearchParams::default()),
+        );
+        let out = m.match_view(&ds.full_view(), &Evidence::none());
+        // Local search on this small instance finds the optimum.
+        assert_eq!(m.log_score(&ds.full_view(), &out), Score::from_weight(7.0));
+        assert_eq!(m.name(), "mln-walksat");
+    }
+}

@@ -1,0 +1,120 @@
+//! The MLN model: weighted rules in the shape the paper learns
+//! (Appendix B).
+//!
+//! Rule semantics follow §2.1's worked example: "the score of a set is
+//! given by the total weight of all the rules in that set that become
+//! true", where a ground rule *becomes true* when its body **and** head
+//! hold. A ground instance therefore contributes its weight exactly when
+//! all its `equals` atoms are in the match set — i.e. the model is a sum
+//! of a unary term per candidate pair (the `similar` rules) plus positive
+//! hyperedge terms (the relational rules). With only one `Match` term in
+//! each implicant and positive relational weights, this is supermodular
+//! (Proposition 4), which is what makes exact inference and sound MMP
+//! possible.
+
+use em_core::{RelationId, Score};
+
+/// A relational rule `rel(e1, c1) ∧ rel(e2, c2) ∧ equals(c1, c2) ⇒
+/// equals(e1, e2)` with a positive weight (rule 4 of Appendix B when
+/// `rel = coauthor`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelationalRule {
+    /// Relation providing the witnesses.
+    pub relation: RelationId,
+    /// Rule weight; must be positive for supermodularity.
+    pub weight: Score,
+}
+
+/// A complete MLN model for entity matching.
+#[derive(Debug, Clone)]
+pub struct MlnModel {
+    /// `sim_weights[level]` is the weight of `similar(e1, e2, level) ⇒
+    /// equals(e1, e2)`; index 0 is unused. Weights may be negative
+    /// (levels 1 and 2 in the learned model) or positive (level 3).
+    pub sim_weights: [Score; 4],
+    /// Relational rules, each contributing positive hyperedges.
+    pub relational: Vec<RelationalRule>,
+}
+
+impl MlnModel {
+    /// The exact learned model of Appendix B:
+    ///
+    /// | rule | weight |
+    /// |------|--------|
+    /// | `similar(e1,e2,1) ⇒ equals(e1,e2)` | −2.28 |
+    /// | `similar(e1,e2,2) ⇒ equals(e1,e2)` | −3.84 |
+    /// | `similar(e1,e2,3) ⇒ equals(e1,e2)` | +12.75 |
+    /// | `coauthor(e1,c1) ∧ coauthor(e2,c2) ∧ equals(c1,c2) ⇒ equals(e1,e2)` | +2.46 |
+    pub fn paper_model(coauthor: RelationId) -> Self {
+        Self {
+            sim_weights: [
+                Score::ZERO,
+                Score::from_weight(-2.28),
+                Score::from_weight(-3.84),
+                Score::from_weight(12.75),
+            ],
+            relational: vec![RelationalRule {
+                relation: coauthor,
+                weight: Score::from_weight(2.46),
+            }],
+        }
+    }
+
+    /// The §2.1 illustration model: `R1 = −5` on every candidate pair,
+    /// `R2 = +8` through `relation`.
+    pub fn example_model(relation: RelationId) -> Self {
+        Self {
+            sim_weights: [
+                Score::ZERO,
+                Score::from_weight(-5.0),
+                Score::from_weight(-5.0),
+                Score::from_weight(-5.0),
+            ],
+            relational: vec![RelationalRule {
+                relation,
+                weight: Score::from_weight(8.0),
+            }],
+        }
+    }
+
+    /// Validate supermodularity: every relational weight must be
+    /// positive. (Negative unary weights are fine.)
+    pub fn is_supermodular(&self) -> bool {
+        self.relational.iter().all(|r| r.weight > Score::ZERO)
+    }
+
+    /// Unary weight of a similarity level.
+    #[inline]
+    pub fn sim_weight(&self, level: em_core::SimLevel) -> Score {
+        self.sim_weights[usize::from(level.0.min(3))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::SimLevel;
+
+    #[test]
+    fn paper_model_weights_are_exact() {
+        let m = MlnModel::paper_model(RelationId(0));
+        assert_eq!(m.sim_weight(SimLevel(1)), Score(-2280));
+        assert_eq!(m.sim_weight(SimLevel(2)), Score(-3840));
+        assert_eq!(m.sim_weight(SimLevel(3)), Score(12750));
+        assert_eq!(m.relational[0].weight, Score(2460));
+        assert!(m.is_supermodular());
+    }
+
+    #[test]
+    fn supermodularity_detects_negative_relational_weight() {
+        let mut m = MlnModel::paper_model(RelationId(0));
+        m.relational[0].weight = Score(-1);
+        assert!(!m.is_supermodular());
+    }
+
+    #[test]
+    fn oversized_levels_clamp_to_three() {
+        let m = MlnModel::paper_model(RelationId(0));
+        assert_eq!(m.sim_weight(SimLevel(7)), m.sim_weight(SimLevel(3)));
+    }
+}

@@ -1,0 +1,399 @@
+//! Round-based parallel execution of the framework (§6.3).
+//!
+//! The paper's parallel scheme: "run it in rounds. All neighborhoods are
+//! marked active at the beginning. In each round, EM is run on all the
+//! active neighborhoods in parallel, then the new evidence from the runs
+//! is collected, and used to obtain active neighborhoods for the next
+//! round." Evidence is therefore a *snapshot per round* — workers never
+//! see each other's in-flight matches — which is exactly what makes the
+//! result deterministic and equal to the sequential fixpoint (the
+//! consistency theorem says the fixpoint does not depend on evaluation
+//! order).
+//!
+//! Work distribution uses a crossbeam channel as a shared work queue, so
+//! large neighborhoods do not straggle a statically partitioned worker.
+
+use crossbeam::channel;
+use em_core::cover::{Cover, NeighborhoodId};
+use em_core::framework::{
+    compute_maximal, mark_dirty_around, promote_dirty, MessageStore, MmpConfig, RunStats,
+};
+use em_core::{Dataset, Evidence, MatchOutput, Matcher, Pair, PairSet, ProbabilisticMatcher};
+use std::time::{Duration, Instant};
+
+/// Parallel executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Worker threads per round.
+    pub workers: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// Cost record of one neighborhood evaluation within a round.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalRecord {
+    /// Which neighborhood.
+    pub neighborhood: NeighborhoodId,
+    /// Wall time of the matcher call(s) for this neighborhood.
+    pub cost: Duration,
+}
+
+/// Trace of a parallel run: per-round evaluation costs, for the grid
+/// simulator.
+#[derive(Debug, Clone, Default)]
+pub struct RoundTrace {
+    /// One entry per round.
+    pub rounds: Vec<Vec<EvalRecord>>,
+}
+
+impl RoundTrace {
+    /// Total matcher work across all rounds.
+    pub fn total_work(&self) -> Duration {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|e| e.cost)
+            .sum()
+    }
+
+    /// Number of rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+}
+
+/// One round: evaluate `active` neighborhoods in parallel against a
+/// frozen evidence snapshot. Returns per-neighborhood outputs.
+fn run_round<R: Send>(
+    workers: usize,
+    active: &[NeighborhoodId],
+    work: impl Fn(NeighborhoodId) -> R + Sync,
+) -> Vec<(NeighborhoodId, R, Duration)> {
+    let (job_tx, job_rx) = channel::unbounded::<NeighborhoodId>();
+    for &id in active {
+        job_tx.send(id).expect("queue open");
+    }
+    drop(job_tx);
+    let (result_tx, result_rx) = channel::unbounded();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            let job_rx = job_rx.clone();
+            let result_tx = result_tx.clone();
+            let work = &work;
+            scope.spawn(move || {
+                while let Ok(id) = job_rx.recv() {
+                    let start = Instant::now();
+                    let out = work(id);
+                    result_tx
+                        .send((id, out, start.elapsed()))
+                        .expect("reducer alive");
+                }
+            });
+        }
+        drop(result_tx);
+    });
+    let mut results: Vec<(NeighborhoodId, R, Duration)> = result_rx.into_iter().collect();
+    // Deterministic reduce order regardless of thread scheduling.
+    results.sort_by_key(|(id, _, _)| *id);
+    results
+}
+
+/// Parallel SMP: the round-based scheme with simple messages.
+pub fn parallel_smp(
+    matcher: &(dyn Matcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+    config: &ParallelConfig,
+) -> (MatchOutput, RoundTrace) {
+    let start = Instant::now();
+    let mut stats = RunStats::default();
+    let mut trace = RoundTrace::default();
+    let mut found = evidence.positive.clone();
+    let mut active: Vec<NeighborhoodId> = cover.ids().collect();
+
+    while !active.is_empty() {
+        let snapshot = found.clone();
+        let results = run_round(config.workers, &active, |id| {
+            let view = cover.view(dataset, id);
+            let local = Evidence {
+                positive: view.restrict(&snapshot),
+                negative: view.restrict(&evidence.negative),
+            };
+            matcher.match_view(&view, &local)
+        });
+
+        let mut record = Vec::with_capacity(results.len());
+        let mut new_matches = PairSet::new();
+        for (id, matches, cost) in results {
+            stats.matcher_calls += 1;
+            stats.neighborhoods_processed += 1;
+            record.push(EvalRecord {
+                neighborhood: id,
+                cost,
+            });
+            for p in matches.iter() {
+                if !found.contains(p) {
+                    new_matches.insert(p);
+                }
+            }
+        }
+        trace.rounds.push(record);
+
+        if new_matches.is_empty() {
+            break;
+        }
+        stats.messages_sent += new_matches.len() as u64;
+        found.union_with(&new_matches);
+        let mut next: Vec<NeighborhoodId> = new_matches
+            .iter()
+            .flat_map(|p| cover.containing_pair(p))
+            .collect();
+        next.sort_unstable();
+        next.dedup();
+        active = next;
+    }
+
+    for p in evidence.negative.iter() {
+        found.remove(p);
+    }
+    stats.wall_time = start.elapsed();
+    (
+        MatchOutput {
+            matches: found,
+            stats,
+        },
+        trace,
+    )
+}
+
+/// Parallel MMP: rounds compute both matches and maximal messages;
+/// merging and promotion happen in the reduce step.
+pub fn parallel_mmp(
+    matcher: &(dyn ProbabilisticMatcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+    mmp_config: &MmpConfig,
+    config: &ParallelConfig,
+) -> (MatchOutput, RoundTrace) {
+    let start = Instant::now();
+    let scorer = matcher.global_scorer(dataset);
+    let mut stats = RunStats::default();
+    let mut trace = RoundTrace::default();
+    let mut found = evidence.positive.clone();
+    let mut store = MessageStore::new();
+    let mut dirty: Vec<Pair> = Vec::new();
+    let mut active: Vec<NeighborhoodId> = cover.ids().collect();
+
+    while !active.is_empty() {
+        let snapshot = found.clone();
+        let results = run_round(config.workers, &active, |id| {
+            let view = cover.view(dataset, id);
+            let local = Evidence {
+                positive: view.restrict(&snapshot),
+                negative: view.restrict(&evidence.negative),
+            };
+            let mut local_stats = RunStats::default();
+            let base = matcher.match_view(&view, &local);
+            local_stats.matcher_calls += 1;
+            let messages =
+                compute_maximal(matcher, &view, &local, &base, mmp_config, &mut local_stats);
+            (base, messages, local_stats)
+        });
+
+        let mut record = Vec::with_capacity(results.len());
+        let mut new_matches = PairSet::new();
+        for (id, (base, messages, local_stats), cost) in results {
+            stats.merge(&local_stats);
+            stats.neighborhoods_processed += 1;
+            record.push(EvalRecord {
+                neighborhood: id,
+                cost,
+            });
+            for p in base.iter() {
+                if !found.contains(p) {
+                    new_matches.insert(p);
+                }
+            }
+            stats.maximal_messages_created += messages.len() as u64;
+            for message in &messages {
+                if message.iter().any(|p| evidence.negative.contains(*p)) {
+                    continue;
+                }
+                if let Some(root) = store.add_message(message) {
+                    dirty.push(root);
+                }
+            }
+        }
+        trace.rounds.push(record);
+        found.union_with(&new_matches);
+        mark_dirty_around(&new_matches, scorer.as_ref(), &mut store, &mut dirty);
+
+        // Promotion sweep (sequential reduce step).
+        let promoted = promote_dirty(
+            &mut store,
+            scorer.as_ref(),
+            &mut found,
+            &mut dirty,
+            &mut stats,
+        );
+        new_matches.extend(promoted.iter());
+
+        if new_matches.is_empty() {
+            break;
+        }
+        stats.messages_sent += new_matches.len() as u64;
+        let mut next: Vec<NeighborhoodId> = new_matches
+            .iter()
+            .flat_map(|p| cover.containing_pair(p))
+            .collect();
+        next.sort_unstable();
+        next.dedup();
+        active = next;
+    }
+
+    for p in evidence.negative.iter() {
+        found.remove(p);
+    }
+    stats.wall_time = start.elapsed();
+    (
+        MatchOutput {
+            matches: found,
+            stats,
+        },
+        trace,
+    )
+}
+
+/// Parallel NO-MP: a single round over all neighborhoods (the natural
+/// grid baseline for Table 1).
+pub fn parallel_no_mp(
+    matcher: &(dyn Matcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+    config: &ParallelConfig,
+) -> (MatchOutput, RoundTrace) {
+    let start = Instant::now();
+    let mut stats = RunStats::default();
+    let active: Vec<NeighborhoodId> = cover.ids().collect();
+    let results = run_round(config.workers, &active, |id| {
+        let view = cover.view(dataset, id);
+        let local = Evidence {
+            positive: view.restrict(&evidence.positive),
+            negative: view.restrict(&evidence.negative),
+        };
+        matcher.match_view(&view, &local)
+    });
+    let mut found = evidence.positive.clone();
+    let mut record = Vec::with_capacity(results.len());
+    for (id, matches, cost) in results {
+        stats.matcher_calls += 1;
+        stats.neighborhoods_processed += 1;
+        record.push(EvalRecord {
+            neighborhood: id,
+            cost,
+        });
+        found.union_with(&matches);
+    }
+    for p in evidence.negative.iter() {
+        found.remove(p);
+    }
+    stats.wall_time = start.elapsed();
+    (
+        MatchOutput {
+            matches: found,
+            stats,
+        },
+        RoundTrace {
+            rounds: vec![record],
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::framework::{mmp, smp};
+    use em_core::testing::paper_example;
+
+    #[test]
+    fn parallel_smp_equals_sequential_fixpoint() {
+        let (ds, cover, matcher, _) = paper_example();
+        let sequential = smp(&matcher, &ds, &cover, &Evidence::none());
+        for workers in [1, 2, 4] {
+            let (parallel, trace) = parallel_smp(
+                &matcher,
+                &ds,
+                &cover,
+                &Evidence::none(),
+                &ParallelConfig { workers },
+            );
+            assert_eq!(parallel.matches, sequential.matches, "workers={workers}");
+            assert!(!trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_mmp_equals_sequential_fixpoint() {
+        let (ds, cover, matcher, expected) = paper_example();
+        let sequential = mmp(&matcher, &ds, &cover, &Evidence::none(), &MmpConfig::default());
+        assert_eq!(sequential.matches, expected);
+        for workers in [1, 3] {
+            let (parallel, _) = parallel_mmp(
+                &matcher,
+                &ds,
+                &cover,
+                &Evidence::none(),
+                &MmpConfig::default(),
+                &ParallelConfig { workers },
+            );
+            assert_eq!(parallel.matches, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_no_mp_is_single_round() {
+        let (ds, cover, matcher, _) = paper_example();
+        let (out, trace) = parallel_no_mp(
+            &matcher,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &ParallelConfig { workers: 2 },
+        );
+        assert_eq!(trace.len(), 1);
+        assert_eq!(out.matches.len(), 1);
+    }
+
+    #[test]
+    fn trace_records_every_evaluation() {
+        let (ds, cover, matcher, _) = paper_example();
+        let (out, trace) = parallel_smp(
+            &matcher,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &ParallelConfig { workers: 2 },
+        );
+        let recorded: u64 = trace.rounds.iter().map(|r| r.len() as u64).sum();
+        assert_eq!(recorded, out.stats.neighborhoods_processed);
+        // First round touches every neighborhood.
+        assert_eq!(trace.rounds[0].len(), cover.len());
+    }
+}

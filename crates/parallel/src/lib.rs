@@ -1,0 +1,19 @@
+//! # em-parallel — parallel execution and grid simulation (§6.3)
+//!
+//! The framework parallelizes naturally: within a round, neighborhood
+//! evaluations are independent given the round's evidence snapshot.
+//! [`executor`] implements the paper's round-based scheme over worker
+//! threads (NO-MP, SMP, and MMP variants), with per-neighborhood cost
+//! tracing; [`grid`] replays a trace onto `m` simulated machines with
+//! random assignment and per-round job overhead — reproducing Table 1's
+//! observation that 30 machines yield ~11×, not 30×.
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod grid;
+
+pub use executor::{
+    parallel_mmp, parallel_no_mp, parallel_smp, EvalRecord, ParallelConfig, RoundTrace,
+};
+pub use grid::{simulate, GridParams, GridReport};

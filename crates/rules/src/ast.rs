@@ -1,0 +1,252 @@
+//! Rule representation for the Dedupalog* fragment.
+//!
+//! Every rule derives `equals(X, Y)` from a conjunctive body over:
+//!
+//! * `similar(X, Y, level)` — the head pair's discretized similarity;
+//! * `rel(A, B)` — a dataset relation tuple (oriented for directed
+//!   relations; either orientation for symmetric ones);
+//! * `equals(A, B)` — a previously derived (or reflexive) match;
+//! * `distinct(A, B)` / `distinct_pairs(A, B, C, D)` — built-in
+//!   disequality constraints (rule 3 of Appendix B needs the witness
+//!   *pairs* to differ).
+//!
+//! The fragment is monotone (Proposition 5): no negation over derived
+//! predicates, so more evidence can only derive more matches.
+
+use std::fmt;
+
+/// A rule variable (small integer id; `X = 0`, `Y = 1` by convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term(pub u8);
+
+impl Term {
+    /// The head's first variable.
+    pub const X: Term = Term(0);
+    /// The head's second variable.
+    pub const Y: Term = Term(1);
+}
+
+/// One body literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// `similar(a, b, level)` — the pair `(a, b)` has exactly this
+    /// discretized similarity level.
+    Similar {
+        /// First endpoint.
+        a: Term,
+        /// Second endpoint.
+        b: Term,
+        /// Required exact level.
+        level: u8,
+    },
+    /// `rel(a, b)` — a relation tuple. For symmetric relations either
+    /// orientation satisfies it.
+    Rel {
+        /// Relation name (resolved against the dataset at evaluation).
+        name: String,
+        /// Tuple's first position.
+        a: Term,
+        /// Tuple's second position.
+        b: Term,
+    },
+    /// `equals(a, b)` — already matched, or the same entity (reflexive).
+    Equals {
+        /// First endpoint.
+        a: Term,
+        /// Second endpoint.
+        b: Term,
+    },
+    /// `distinct(a, b)` — bound to different entities.
+    Distinct {
+        /// First term.
+        a: Term,
+        /// Second term.
+        b: Term,
+    },
+    /// `distinct_pairs(a, b, c, d)` — the unordered pair `{a, b}` differs
+    /// from `{c, d}` (used to require two *different* witness matches).
+    DistinctPairs {
+        /// First pair, first endpoint.
+        a: Term,
+        /// First pair, second endpoint.
+        b: Term,
+        /// Second pair, first endpoint.
+        c: Term,
+        /// Second pair, second endpoint.
+        d: Term,
+    },
+}
+
+impl Literal {
+    /// Terms mentioned by this literal.
+    pub fn terms(&self) -> Vec<Term> {
+        match self {
+            Literal::Similar { a, b, .. }
+            | Literal::Rel { a, b, .. }
+            | Literal::Equals { a, b }
+            | Literal::Distinct { a, b } => vec![*a, *b],
+            Literal::DistinctPairs { a, b, c, d } => vec![*a, *b, *c, *d],
+        }
+    }
+}
+
+/// A complete rule: `equals(X, Y) :- body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Human-readable name (used in diagnostics).
+    pub name: String,
+    /// Conjunctive body; evaluated left to right, so every `Rel` literal
+    /// must have at least one already-bound term when reached.
+    pub body: Vec<Literal>,
+    /// Number of variables (`X`, `Y` plus existentials).
+    pub var_count: u8,
+}
+
+impl Rule {
+    /// Validate the left-to-right evaluability of the body: `X`/`Y` are
+    /// bound by the head; each `Rel` literal must see at least one bound
+    /// term; `Similar`, `Equals`, `Distinct*` literals must see all terms
+    /// bound (they are filters, not generators).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut bound = vec![false; usize::from(self.var_count)];
+        let mark = |t: Term, bound: &mut Vec<bool>| {
+            if usize::from(t.0) >= bound.len() {
+                return Err(format!("rule {}: variable v{} out of range", self.name, t.0));
+            }
+            bound[usize::from(t.0)] = true;
+            Ok(())
+        };
+        mark(Term::X, &mut bound)?;
+        mark(Term::Y, &mut bound)?;
+        for lit in &self.body {
+            let is_bound = |t: &Term| {
+                usize::from(t.0) < bound.len() && bound[usize::from(t.0)]
+            };
+            match lit {
+                Literal::Rel { a, b, name } => {
+                    if !is_bound(a) && !is_bound(b) {
+                        return Err(format!(
+                            "rule {}: relation literal {name} has no bound term",
+                            self.name
+                        ));
+                    }
+                    mark(*a, &mut bound)?;
+                    mark(*b, &mut bound)?;
+                }
+                other => {
+                    for t in other.terms() {
+                        if !is_bound(&t) {
+                            return Err(format!(
+                                "rule {}: filter literal uses unbound v{}",
+                                self.name, t.0
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "equals(v0,v1) :- ")?;
+        for (i, lit) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match lit {
+                Literal::Similar { a, b, level } => {
+                    write!(f, "similar(v{},v{},{level})", a.0, b.0)?
+                }
+                Literal::Rel { name, a, b } => write!(f, "{name}(v{},v{})", a.0, b.0)?,
+                Literal::Equals { a, b } => write!(f, "equals(v{},v{})", a.0, b.0)?,
+                Literal::Distinct { a, b } => write!(f, "distinct(v{},v{})", a.0, b.0)?,
+                Literal::DistinctPairs { a, b, c, d } => write!(
+                    f,
+                    "distinct_pairs(v{},v{},v{},v{})",
+                    a.0, b.0, c.0, d.0
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_well_ordered_body() {
+        let rule = Rule {
+            name: "r2".into(),
+            var_count: 4,
+            body: vec![
+                Literal::Similar {
+                    a: Term::X,
+                    b: Term::Y,
+                    level: 2,
+                },
+                Literal::Rel {
+                    name: "coauthor".into(),
+                    a: Term::X,
+                    b: Term(2),
+                },
+                Literal::Rel {
+                    name: "coauthor".into(),
+                    a: Term::Y,
+                    b: Term(3),
+                },
+                Literal::Equals {
+                    a: Term(2),
+                    b: Term(3),
+                },
+            ],
+        };
+        assert!(rule.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unbound_filter() {
+        let rule = Rule {
+            name: "bad".into(),
+            var_count: 3,
+            body: vec![Literal::Equals {
+                a: Term(2),
+                b: Term::Y,
+            }],
+        };
+        let err = rule.validate().unwrap_err();
+        assert!(err.contains("unbound"));
+    }
+
+    #[test]
+    fn validate_rejects_floating_relation() {
+        let rule = Rule {
+            name: "bad".into(),
+            var_count: 4,
+            body: vec![Literal::Rel {
+                name: "coauthor".into(),
+                a: Term(2),
+                b: Term(3),
+            }],
+        };
+        assert!(rule.validate().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let rule = Rule {
+            name: "r1".into(),
+            var_count: 2,
+            body: vec![Literal::Similar {
+                a: Term::X,
+                b: Term::Y,
+                level: 3,
+            }],
+        };
+        assert_eq!(rule.to_string(), "equals(v0,v1) :- similar(v0,v1,3)");
+    }
+}

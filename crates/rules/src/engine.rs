@@ -1,0 +1,286 @@
+//! Least-fixpoint evaluation of a rule program over a view.
+//!
+//! The monotone fragment needs no stratification: starting from the
+//! positive evidence, rules are applied until no rule derives a new
+//! `equals` fact. Heads range over the view's candidate pairs (a pair
+//! with no similarity level can never be derived — every Appendix-B rule
+//! carries a `similar` literal, and restricting heads to candidate pairs
+//! keeps the matcher's decision space identical to the MLN matcher's).
+//!
+//! Body evaluation is a left-to-right backtracking join: relation
+//! literals with one bound side enumerate adjacency lists (restricted to
+//! the view), everything else filters.
+
+use crate::ast::{Literal, Rule, Term};
+use em_core::hash::FxHashMap;
+use em_core::{EntityId, Evidence, Pair, PairSet, RelationId, View};
+
+/// Evaluate `rules` over `view` with `evidence`, returning the least
+/// fixpoint of derived matches (positive evidence included, negative
+/// evidence excluded and never derived).
+pub fn evaluate(view: &View<'_>, rules: &[Rule], evidence: &Evidence) -> PairSet {
+    let dataset = view.dataset();
+    // Resolve relation names once.
+    let mut rel_cache: FxHashMap<&str, Option<RelationId>> = FxHashMap::default();
+    for rule in rules {
+        for lit in &rule.body {
+            if let Literal::Rel { name, .. } = lit {
+                rel_cache
+                    .entry(name.as_str())
+                    .or_insert_with(|| dataset.relations.relation_id(name));
+            }
+        }
+    }
+
+    let candidates = view.candidate_pairs();
+    let mut matched: PairSet = evidence
+        .positive
+        .iter()
+        .filter(|p| view.contains_pair(*p) && !evidence.negative.contains(*p))
+        .collect();
+
+    // Naive fixpoint with a dirty flag; bodies are small and candidate
+    // lists per neighborhood are short, so the simple loop is the right
+    // trade-off (the RULES matcher is the paper's *fast linear* matcher).
+    loop {
+        let mut grew = false;
+        for &(p, _) in &candidates {
+            if matched.contains(p) || evidence.negative.contains(p) {
+                continue;
+            }
+            if rules.iter().any(|rule| {
+                derives(rule, p, view, &matched, &rel_cache)
+            }) {
+                matched.insert(p);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    matched
+}
+
+/// Whether `rule` derives `equals(p)` in either head orientation.
+fn derives(
+    rule: &Rule,
+    p: Pair,
+    view: &View<'_>,
+    matched: &PairSet,
+    rels: &FxHashMap<&str, Option<RelationId>>,
+) -> bool {
+    let mut bindings: Vec<Option<EntityId>> = vec![None; usize::from(rule.var_count)];
+    for (x, y) in [(p.lo(), p.hi()), (p.hi(), p.lo())] {
+        bindings.iter_mut().for_each(|b| *b = None);
+        bindings[usize::from(Term::X.0)] = Some(x);
+        bindings[usize::from(Term::Y.0)] = Some(y);
+        if satisfy(&rule.body, 0, &mut bindings, view, matched, rels) {
+            return true;
+        }
+    }
+    false
+}
+
+fn satisfy(
+    body: &[Literal],
+    at: usize,
+    bindings: &mut Vec<Option<EntityId>>,
+    view: &View<'_>,
+    matched: &PairSet,
+    rels: &FxHashMap<&str, Option<RelationId>>,
+) -> bool {
+    let Some(lit) = body.get(at) else {
+        return true;
+    };
+    let get = |t: Term, bindings: &[Option<EntityId>]| bindings[usize::from(t.0)];
+    let dataset = view.dataset();
+    match lit {
+        Literal::Similar { a, b, level } => {
+            let (Some(ea), Some(eb)) = (get(*a, bindings), get(*b, bindings)) else {
+                return false;
+            };
+            if ea == eb {
+                return false;
+            }
+            dataset.similarity(Pair::new(ea, eb)) == Some(em_core::SimLevel(*level))
+                && satisfy(body, at + 1, bindings, view, matched, rels)
+        }
+        Literal::Equals { a, b } => {
+            let (Some(ea), Some(eb)) = (get(*a, bindings), get(*b, bindings)) else {
+                return false;
+            };
+            let holds = ea == eb || matched.contains(Pair::new(ea, eb));
+            holds && satisfy(body, at + 1, bindings, view, matched, rels)
+        }
+        Literal::Distinct { a, b } => {
+            let (Some(ea), Some(eb)) = (get(*a, bindings), get(*b, bindings)) else {
+                return false;
+            };
+            ea != eb && satisfy(body, at + 1, bindings, view, matched, rels)
+        }
+        Literal::DistinctPairs { a, b, c, d } => {
+            let (Some(ea), Some(eb), Some(ec), Some(ed)) = (
+                get(*a, bindings),
+                get(*b, bindings),
+                get(*c, bindings),
+                get(*d, bindings),
+            ) else {
+                return false;
+            };
+            let key = |x: EntityId, y: EntityId| (x.min(y), x.max(y));
+            key(ea, eb) != key(ec, ed)
+                && satisfy(body, at + 1, bindings, view, matched, rels)
+        }
+        Literal::Rel { name, a, b } => {
+            let Some(rel) = rels.get(name.as_str()).copied().flatten() else {
+                return false; // unknown relation: literal unsatisfiable
+            };
+            match (get(*a, bindings), get(*b, bindings)) {
+                (Some(ea), Some(eb)) => {
+                    dataset.relations.has_tuple(rel, ea, eb)
+                        && satisfy(body, at + 1, bindings, view, matched, rels)
+                }
+                (Some(ea), None) => {
+                    for &eb in dataset.relations.neighbors_out(rel, ea) {
+                        if !view.contains(eb) {
+                            continue;
+                        }
+                        bindings[usize::from(b.0)] = Some(eb);
+                        if satisfy(body, at + 1, bindings, view, matched, rels) {
+                            return true;
+                        }
+                    }
+                    bindings[usize::from(b.0)] = None;
+                    false
+                }
+                (None, Some(eb)) => {
+                    for &ea in dataset.relations.neighbors_in(rel, eb) {
+                        if !view.contains(ea) {
+                            continue;
+                        }
+                        bindings[usize::from(a.0)] = Some(ea);
+                        if satisfy(body, at + 1, bindings, view, matched, rels) {
+                            return true;
+                        }
+                    }
+                    bindings[usize::from(a.0)] = None;
+                    false
+                }
+                (None, None) => false, // rejected by Rule::validate
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rules;
+    use em_core::{Dataset, SimLevel};
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..8 {
+            ds.entities.add_entity(ty);
+        }
+        let co = ds.relations.declare("coauthor", true);
+        // (0,1) level-2 pair whose coauthors (2,3) are a level-3 pair.
+        ds.relations.add_tuple(co, e(0), e(2));
+        ds.relations.add_tuple(co, e(1), e(3));
+        ds.set_similar(Pair::new(e(0), e(1)), SimLevel(2));
+        ds.set_similar(Pair::new(e(2), e(3)), SimLevel(3));
+        // (4,5): level-1 pair with exactly one shared coauthor entity 6.
+        ds.relations.add_tuple(co, e(4), e(6));
+        ds.relations.add_tuple(co, e(5), e(6));
+        ds.set_similar(Pair::new(e(4), e(5)), SimLevel(1));
+        ds
+    }
+
+    fn rules() -> Vec<Rule> {
+        parse_rules(
+            "
+equals(X,Y) :- similar(X,Y,3).
+equals(X,Y) :- similar(X,Y,2), coauthor(X,C1), coauthor(Y,C2), equals(C1,C2).
+equals(X,Y) :- similar(X,Y,1), coauthor(X,C1), coauthor(Y,C2), equals(C1,C2),
+               coauthor(X,C3), coauthor(Y,C4), equals(C3,C4),
+               distinct_pairs(C1,C2,C3,C4).
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixpoint_cascades_through_rules() {
+        let ds = dataset();
+        let out = evaluate(&ds.full_view(), &rules(), &Evidence::none());
+        assert!(out.contains(Pair::new(e(2), e(3))), "rule 1 (level 3)");
+        assert!(
+            out.contains(Pair::new(e(0), e(1))),
+            "rule 2 fires after rule 1's match"
+        );
+        assert!(
+            !out.contains(Pair::new(e(4), e(5))),
+            "rule 3 needs two distinct witnesses; only one exists"
+        );
+    }
+
+    #[test]
+    fn rule3_fires_with_two_distinct_witnesses() {
+        let mut ds = dataset();
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        // Add a second shared coauthor entity for (4,5).
+        ds.relations.add_tuple(co, e(4), e(7));
+        ds.relations.add_tuple(co, e(5), e(7));
+        let out = evaluate(&ds.full_view(), &rules(), &Evidence::none());
+        assert!(out.contains(Pair::new(e(4), e(5))));
+    }
+
+    #[test]
+    fn view_restriction_blocks_out_of_view_witnesses() {
+        let ds = dataset();
+        // Without the coauthors 2 and 3 in view, rule 2 cannot fire.
+        let view = ds.view([e(0), e(1)]);
+        let out = evaluate(&view, &rules(), &Evidence::none());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn positive_evidence_seeds_derivations() {
+        let ds = dataset();
+        let view = ds.view([e(0), e(1), e(2), e(3)]);
+        // Pretend (2,3) is known; derive (0,1) even without rule 1.
+        let only_rule2 = &rules()[1..2];
+        let ev = Evidence::positive([Pair::new(e(2), e(3))].into_iter().collect());
+        let out = evaluate(&view, only_rule2, &ev);
+        assert!(out.contains(Pair::new(e(0), e(1))));
+        assert!(out.contains(Pair::new(e(2), e(3))), "evidence echoed");
+    }
+
+    #[test]
+    fn negative_evidence_blocks_derivation_and_cascade() {
+        let ds = dataset();
+        let neg: PairSet = [Pair::new(e(2), e(3))].into_iter().collect();
+        let out = evaluate(
+            &ds.full_view(),
+            &rules(),
+            &Evidence::new(PairSet::new(), neg),
+        );
+        assert!(!out.contains(Pair::new(e(2), e(3))));
+        assert!(!out.contains(Pair::new(e(0), e(1))), "cascade blocked");
+    }
+
+    #[test]
+    fn unknown_relation_fails_gracefully() {
+        let ds = dataset();
+        let rules = parse_rules("equals(X,Y) :- cites(X,C), similar(X,Y,3).").unwrap();
+        // `cites` is not declared in this dataset: no derivations, no panic.
+        let out = evaluate(&ds.full_view(), &rules, &Evidence::none());
+        assert!(out.is_empty());
+    }
+}

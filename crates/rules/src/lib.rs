@@ -1,0 +1,34 @@
+//! # em-rules — the declarative RULES matcher and pairwise baseline
+//!
+//! The paper's second black box (Appendix B/C) is a matcher in the style
+//! of Dedupalog (Arasu, Ré, Suciu [2]): users write datalog-like rules
+//! over `similar`, the dataset relations, and the derived `equals`
+//! predicate; the monotone fragment (no negation, no transitivity
+//! constraint — Proposition 5) is evaluated to a least fixpoint, with an
+//! optional transitive closure applied at the end.
+//!
+//! * [`ast`] — rule representation (head `equals(X, Y)`, conjunctive
+//!   bodies, distinctness builtins);
+//! * [`parser`] — a small text syntax:
+//!   `equals(X,Y) :- similar(X,Y,2), coauthor(X,C1), coauthor(Y,C2), equals(C1,C2).`;
+//! * [`engine`] — worklist-driven least-fixpoint evaluation over a view;
+//! * [`matcher`] — [`RulesMatcher`], the Type-I black box (plus the
+//!   paper's exact Appendix-B rule set as [`matcher::paper_rules`]);
+//! * [`union_find`] — transitive closure support;
+//! * [`pairwise`] — the non-relational Fellegi–Sunter-style baseline used
+//!   by the survey ablation (Appendix D).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod engine;
+pub mod matcher;
+pub mod pairwise;
+pub mod parser;
+pub mod union_find;
+
+pub use ast::{Literal, Rule, Term};
+pub use matcher::{paper_rules, RulesMatcher};
+pub use pairwise::PairwiseMatcher;
+pub use parser::{parse_rules, ParseError};
+pub use union_find::UnionFind;

@@ -1,0 +1,182 @@
+//! [`RulesMatcher`]: the Type-I black box over a rule program.
+
+use crate::ast::Rule;
+use crate::engine::evaluate;
+use crate::parser::parse_rules;
+use crate::union_find::UnionFind;
+use em_core::{EntityId, Evidence, Matcher, Pair, PairSet, View};
+
+/// Declarative rule-based matcher (Appendix B's RULES).
+///
+/// Evaluates the monotone rule program to a least fixpoint; optionally
+/// applies a transitive closure to the result (the paper evaluates "the
+/// above set of rules without transitive closure, followed by a
+/// transitive closure at the end" — the closure of a monotone matcher is
+/// monotone, so the framework's guarantees survive).
+#[derive(Debug, Clone)]
+pub struct RulesMatcher {
+    rules: Vec<Rule>,
+    transitive_closure: bool,
+}
+
+impl RulesMatcher {
+    /// Matcher from parsed rules, without closure.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Self {
+            rules,
+            transitive_closure: false,
+        }
+    }
+
+    /// Matcher from program text.
+    pub fn from_text(text: &str) -> Result<Self, crate::parser::ParseError> {
+        Ok(Self::new(parse_rules(text)?))
+    }
+
+    /// Enable/disable the final transitive closure.
+    pub fn with_transitive_closure(mut self, enabled: bool) -> Self {
+        self.transitive_closure = enabled;
+        self
+    }
+
+    /// The rule program.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+}
+
+impl Matcher for RulesMatcher {
+    fn match_view(&self, view: &View<'_>, evidence: &Evidence) -> PairSet {
+        let matched = evaluate(view, &self.rules, evidence);
+        if !self.transitive_closure {
+            return matched;
+        }
+        // Transitive closure: cluster the matched pairs and emit every
+        // intra-cluster pair (minus hard negatives, which win over
+        // closure).
+        let mut uf: UnionFind<EntityId> = UnionFind::new();
+        for p in matched.iter() {
+            uf.union(p.lo(), p.hi());
+        }
+        let mut out = matched;
+        for group in uf.groups() {
+            let mut members = group;
+            members.sort_unstable();
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    let p = Pair::new(a, b);
+                    if !evidence.negative.contains(p) {
+                        out.insert(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "rules"
+    }
+}
+
+/// The exact Appendix-B RULES program: level 3 matches outright; level 2
+/// needs one matching coauthor pair; level 1 needs two distinct matching
+/// coauthor pairs.
+pub fn paper_rules() -> Vec<Rule> {
+    parse_rules(
+        "
+# Appendix B, RULES matcher
+equals(X,Y) :- similar(X,Y,3).
+equals(X,Y) :- similar(X,Y,2), coauthor(X,C1), coauthor(Y,C2), equals(C1,C2).
+equals(X,Y) :- similar(X,Y,1), coauthor(X,C1), coauthor(Y,C2), equals(C1,C2),
+               coauthor(X,C3), coauthor(Y,C4), equals(C3,C4),
+               distinct_pairs(C1,C2,C3,C4).
+",
+    )
+    .expect("paper rules parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{Dataset, SimLevel};
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..6 {
+            ds.entities.add_entity(ty);
+        }
+        let co = ds.relations.declare("coauthor", true);
+        ds.relations.add_tuple(co, e(0), e(2));
+        ds.relations.add_tuple(co, e(1), e(3));
+        ds.set_similar(Pair::new(e(0), e(1)), SimLevel(2));
+        ds.set_similar(Pair::new(e(2), e(3)), SimLevel(3));
+        // A second level-3 pair overlapping e1: (1, 4) for closure tests.
+        ds.set_similar(Pair::new(e(1), e(4)), SimLevel(3));
+        ds.set_similar(Pair::new(e(0), e(4)), SimLevel(1));
+        ds
+    }
+
+    #[test]
+    fn paper_rules_cascade() {
+        let ds = dataset();
+        let matcher = RulesMatcher::new(paper_rules());
+        let out = matcher.match_view(&ds.full_view(), &Evidence::none());
+        assert!(out.contains(Pair::new(e(2), e(3))));
+        assert!(out.contains(Pair::new(e(0), e(1))));
+        assert!(out.contains(Pair::new(e(1), e(4))));
+        // (0,4) is level 1 with no coauthor witnesses: not derived.
+        assert!(!out.contains(Pair::new(e(0), e(4))));
+    }
+
+    #[test]
+    fn transitive_closure_completes_clusters() {
+        let ds = dataset();
+        let matcher = RulesMatcher::new(paper_rules()).with_transitive_closure(true);
+        let out = matcher.match_view(&ds.full_view(), &Evidence::none());
+        // (0,1) and (1,4) matched ⇒ closure adds (0,4).
+        assert!(out.contains(Pair::new(e(0), e(4))));
+    }
+
+    #[test]
+    fn closure_respects_negative_evidence() {
+        let ds = dataset();
+        let matcher = RulesMatcher::new(paper_rules()).with_transitive_closure(true);
+        let neg: PairSet = [Pair::new(e(0), e(4))].into_iter().collect();
+        let out = matcher.match_view(&ds.full_view(), &Evidence::new(PairSet::new(), neg));
+        assert!(!out.contains(Pair::new(e(0), e(4))));
+    }
+
+    #[test]
+    fn matcher_is_idempotent() {
+        let ds = dataset();
+        for closure in [false, true] {
+            let matcher = RulesMatcher::new(paper_rules()).with_transitive_closure(closure);
+            let view = ds.full_view();
+            let first = matcher.match_view(&view, &Evidence::none());
+            let second = matcher.match_view(&view, &Evidence::positive(first.clone()));
+            assert_eq!(first, second, "closure={closure}");
+        }
+    }
+
+    #[test]
+    fn matcher_is_monotone_in_entities() {
+        let ds = dataset();
+        let matcher = RulesMatcher::new(paper_rules());
+        let small = matcher.match_view(&ds.view([e(0), e(1)]), &Evidence::none());
+        let big = matcher.match_view(&ds.full_view(), &Evidence::none());
+        assert!(small.is_subset(&big));
+    }
+
+    #[test]
+    fn from_text_round_trip() {
+        let matcher = RulesMatcher::from_text("equals(X,Y) :- similar(X,Y,3).").unwrap();
+        assert_eq!(matcher.rules().len(), 1);
+        assert_eq!(matcher.name(), "rules");
+    }
+}

@@ -1,0 +1,128 @@
+//! Non-relational pairwise baseline (Appendix D's "conventional
+//! approach"): match a pair on attribute similarity alone.
+//!
+//! Implements the Fellegi–Sunter decision in its discretized form: each
+//! similarity level carries a log-odds weight; a pair matches when its
+//! weight clears the threshold. With the discretized levels this reduces
+//! to a level cut-off, so the type exposes both constructions. Used by
+//! the ablation benches to quantify how much the *collective* matchers
+//! gain over pairwise matching.
+
+use em_core::{Evidence, Matcher, PairSet, SimLevel, View};
+
+/// Pairwise attribute-only matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct PairwiseMatcher {
+    /// Minimum level at which a pair is declared a match.
+    pub min_level: SimLevel,
+}
+
+impl PairwiseMatcher {
+    /// Matcher accepting pairs at or above `min_level`.
+    pub fn new(min_level: SimLevel) -> Self {
+        Self { min_level }
+    }
+
+    /// Fellegi–Sunter construction: per-level log-odds weights and a
+    /// decision threshold; returns the equivalent level cut-off matcher.
+    /// Weights must be non-decreasing in the level (more similar ⇒ more
+    /// likely a match).
+    pub fn from_log_odds(level_weights: [f64; 4], threshold: f64) -> Self {
+        let min_level = (1..4)
+            .find(|&l| level_weights[l] >= threshold)
+            .unwrap_or(4) as u8;
+        Self {
+            min_level: SimLevel(min_level),
+        }
+    }
+}
+
+impl Matcher for PairwiseMatcher {
+    fn match_view(&self, view: &View<'_>, evidence: &Evidence) -> PairSet {
+        let mut out: PairSet = view
+            .candidate_pairs()
+            .into_iter()
+            .filter(|&(p, level)| level >= self.min_level && !evidence.negative.contains(p))
+            .map(|(p, _)| p)
+            .collect();
+        for p in evidence.positive.iter() {
+            if view.contains_pair(p) && !evidence.negative.contains(p) {
+                out.insert(p);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "pairwise"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{Dataset, EntityId, Pair};
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..6 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(Pair::new(e(0), e(1)), SimLevel(3));
+        ds.set_similar(Pair::new(e(2), e(3)), SimLevel(2));
+        ds.set_similar(Pair::new(e(4), e(5)), SimLevel(1));
+        ds
+    }
+
+    #[test]
+    fn level_threshold_filters() {
+        let ds = dataset();
+        let out = PairwiseMatcher::new(SimLevel(2)).match_view(&ds.full_view(), &Evidence::none());
+        assert!(out.contains(Pair::new(e(0), e(1))));
+        assert!(out.contains(Pair::new(e(2), e(3))));
+        assert!(!out.contains(Pair::new(e(4), e(5))));
+    }
+
+    #[test]
+    fn log_odds_construction() {
+        // Weights −2, −1, +3 for levels 1..3 with threshold 0 ⇒ level 3.
+        let m = PairwiseMatcher::from_log_odds([0.0, -2.0, -1.0, 3.0], 0.0);
+        assert_eq!(m.min_level, SimLevel(3));
+        // Threshold below all weights ⇒ everything matches.
+        let m = PairwiseMatcher::from_log_odds([0.0, -2.0, -1.0, 3.0], -5.0);
+        assert_eq!(m.min_level, SimLevel(1));
+        // Threshold above all ⇒ nothing (level 4 is unreachable).
+        let m = PairwiseMatcher::from_log_odds([0.0, -2.0, -1.0, 3.0], 10.0);
+        assert_eq!(m.min_level, SimLevel(4));
+    }
+
+    #[test]
+    fn evidence_handling() {
+        let ds = dataset();
+        let m = PairwiseMatcher::new(SimLevel(3));
+        let pos: PairSet = [Pair::new(e(4), e(5))].into_iter().collect();
+        let neg: PairSet = [Pair::new(e(0), e(1))].into_iter().collect();
+        let out = m.match_view(&ds.full_view(), &Evidence::new(pos, neg));
+        assert!(out.contains(Pair::new(e(4), e(5))), "positive echoed");
+        assert!(!out.contains(Pair::new(e(0), e(1))), "negative blocks");
+    }
+
+    #[test]
+    fn ignores_relations_entirely() {
+        let mut ds = dataset();
+        let co = ds.relations.declare("coauthor", true);
+        ds.relations.add_tuple(co, e(2), e(0));
+        ds.relations.add_tuple(co, e(3), e(1));
+        let m = PairwiseMatcher::new(SimLevel(3));
+        let out = m.match_view(&ds.full_view(), &Evidence::none());
+        assert!(
+            !out.contains(Pair::new(e(2), e(3))),
+            "no relational boost in the pairwise baseline"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Text syntax for rules.
+//!
+//! ```text
+//! # Appendix B's RULES program:
+//! equals(X,Y) :- similar(X,Y,3).
+//! equals(X,Y) :- similar(X,Y,2), coauthor(X,C1), coauthor(Y,C2), equals(C1,C2).
+//! equals(X,Y) :- similar(X,Y,1), coauthor(X,C1), coauthor(Y,C2), equals(C1,C2),
+//!                coauthor(X,C3), coauthor(Y,C4), equals(C3,C4),
+//!                distinct_pairs(C1,C2,C3,C4).
+//! ```
+//!
+//! Lines starting with `#` are comments. Variable names are arbitrary
+//! identifiers; `X` and `Y` in the head bind the candidate pair. Any
+//! predicate name other than `similar`, `equals`, `distinct`, and
+//! `distinct_pairs` refers to a dataset relation.
+
+use crate::ast::{Literal, Rule, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a rules program.
+pub fn parse_rules(text: &str) -> Result<Vec<Rule>, ParseError> {
+    // Join continuation lines: a rule ends at '.'.
+    let mut rules = Vec::new();
+    let mut buffer = String::new();
+    let mut start_line = 1;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if buffer.is_empty() {
+            start_line = i + 1;
+        }
+        buffer.push_str(line);
+        buffer.push(' ');
+        if line.ends_with('.') {
+            rules.push(parse_rule(buffer.trim(), start_line, rules.len())?);
+            buffer.clear();
+        }
+    }
+    if !buffer.trim().is_empty() {
+        return Err(ParseError {
+            line: start_line,
+            message: "unterminated rule (missing '.')".into(),
+        });
+    }
+    Ok(rules)
+}
+
+fn parse_rule(text: &str, line: usize, index: usize) -> Result<Rule, ParseError> {
+    let err = |message: String| ParseError { line, message };
+    let text = text.trim_end_matches('.').trim();
+    let (head, body) = text
+        .split_once(":-")
+        .ok_or_else(|| err("expected ':-'".into()))?;
+
+    let head_atoms = parse_atom(head.trim(), line)?;
+    if head_atoms.0 != "equals" || head_atoms.1.len() != 2 {
+        return Err(err("head must be equals(X,Y)".into()));
+    }
+
+    let mut vars: HashMap<String, Term> = HashMap::new();
+    vars.insert(head_atoms.1[0].clone(), Term::X);
+    vars.insert(head_atoms.1[1].clone(), Term::Y);
+    let var_of = |name: &str, vars: &mut HashMap<String, Term>| -> Result<Term, ParseError> {
+        if let Some(&t) = vars.get(name) {
+            return Ok(t);
+        }
+        let id = u8::try_from(vars.len()).map_err(|_| ParseError {
+            line,
+            message: "too many variables".into(),
+        })?;
+        let t = Term(id);
+        vars.insert(name.to_owned(), t);
+        Ok(t)
+    };
+
+    let mut literals = Vec::new();
+    for atom_text in split_atoms(body.trim()) {
+        let (pred, args) = parse_atom(&atom_text, line)?;
+        let lit = match pred.as_str() {
+            "similar" => {
+                if args.len() != 3 {
+                    return Err(err("similar/3 expected".into()));
+                }
+                let level: u8 = args[2]
+                    .parse()
+                    .map_err(|_| err(format!("bad level {:?}", args[2])))?;
+                Literal::Similar {
+                    a: var_of(&args[0], &mut vars)?,
+                    b: var_of(&args[1], &mut vars)?,
+                    level,
+                }
+            }
+            "equals" => {
+                if args.len() != 2 {
+                    return Err(err("equals/2 expected".into()));
+                }
+                Literal::Equals {
+                    a: var_of(&args[0], &mut vars)?,
+                    b: var_of(&args[1], &mut vars)?,
+                }
+            }
+            "distinct" => {
+                if args.len() != 2 {
+                    return Err(err("distinct/2 expected".into()));
+                }
+                Literal::Distinct {
+                    a: var_of(&args[0], &mut vars)?,
+                    b: var_of(&args[1], &mut vars)?,
+                }
+            }
+            "distinct_pairs" => {
+                if args.len() != 4 {
+                    return Err(err("distinct_pairs/4 expected".into()));
+                }
+                Literal::DistinctPairs {
+                    a: var_of(&args[0], &mut vars)?,
+                    b: var_of(&args[1], &mut vars)?,
+                    c: var_of(&args[2], &mut vars)?,
+                    d: var_of(&args[3], &mut vars)?,
+                }
+            }
+            rel => {
+                if args.len() != 2 {
+                    return Err(err(format!("relation {rel}/2 expected")));
+                }
+                Literal::Rel {
+                    name: rel.to_owned(),
+                    a: var_of(&args[0], &mut vars)?,
+                    b: var_of(&args[1], &mut vars)?,
+                }
+            }
+        };
+        literals.push(lit);
+    }
+
+    let rule = Rule {
+        name: format!("rule{}", index + 1),
+        var_count: vars.len() as u8,
+        body: literals,
+    };
+    rule.validate().map_err(|m| ParseError { line, message: m })?;
+    Ok(rule)
+}
+
+/// Split a body into `pred(arg, ...)` atoms at top-level commas.
+fn split_atoms(body: &str) -> Vec<String> {
+    let mut atoms = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in body.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                if !current.trim().is_empty() {
+                    atoms.push(current.trim().to_owned());
+                }
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        atoms.push(current.trim().to_owned());
+    }
+    atoms
+}
+
+fn parse_atom(text: &str, line: usize) -> Result<(String, Vec<String>), ParseError> {
+    let err = |message: String| ParseError { line, message };
+    let open = text
+        .find('(')
+        .ok_or_else(|| err(format!("expected predicate in {text:?}")))?;
+    if !text.ends_with(')') {
+        return Err(err(format!("unclosed atom {text:?}")));
+    }
+    let pred = text[..open].trim().to_owned();
+    if pred.is_empty() || !pred.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(err(format!("bad predicate name {pred:?}")));
+    }
+    let args = text[open + 1..text.len() - 1]
+        .split(',')
+        .map(|a| a.trim().to_owned())
+        .filter(|a| !a.is_empty())
+        .collect();
+    Ok((pred, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_similarity_rule() {
+        let rules = parse_rules("equals(X,Y) :- similar(X,Y,3).").unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].var_count, 2);
+        assert_eq!(
+            rules[0].body,
+            vec![Literal::Similar {
+                a: Term::X,
+                b: Term::Y,
+                level: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_relational_rule_with_existentials() {
+        let rules = parse_rules(
+            "equals(X,Y) :- similar(X,Y,2), coauthor(X,C1), coauthor(Y,C2), equals(C1,C2).",
+        )
+        .unwrap();
+        assert_eq!(rules[0].var_count, 4);
+        assert!(matches!(
+            &rules[0].body[1],
+            Literal::Rel { name, a, b } if name == "coauthor" && *a == Term::X && *b == Term(2)
+        ));
+    }
+
+    #[test]
+    fn parses_multiline_rule_and_comments() {
+        let text = "\
+# Appendix B rule 3
+equals(X,Y) :- similar(X,Y,1), coauthor(X,C1), coauthor(Y,C2), equals(C1,C2),
+               coauthor(X,C3), coauthor(Y,C4), equals(C3,C4),
+               distinct_pairs(C1,C2,C3,C4).
+";
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].var_count, 6);
+        assert!(matches!(
+            rules[0].body.last(),
+            Some(Literal::DistinctPairs { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_head() {
+        assert!(parse_rules("match(X,Y) :- similar(X,Y,3).").is_err());
+        assert!(parse_rules("equals(X) :- similar(X,X,3).").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_rule() {
+        let e = parse_rules("equals(X,Y) :- similar(X,Y,3)").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_unbound_relation_literal() {
+        let e = parse_rules("equals(X,Y) :- coauthor(A,B), similar(X,Y,3).").unwrap_err();
+        assert!(e.message.contains("no bound term"), "{e}");
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "equals(X,Y) :- similar(X,Y,3).\n\nequals(X,Y) :- similar(X,Y,9x).";
+        let e = parse_rules(text).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

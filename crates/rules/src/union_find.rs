@@ -1,0 +1,112 @@
+//! Generic union-find over hashable keys, used for the transitive
+//! closure the RULES matcher applies after its fixpoint.
+
+use em_core::hash::FxHashMap;
+use std::hash::Hash;
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind<T: Copy + Eq + Hash> {
+    parent: FxHashMap<T, T>,
+    size: FxHashMap<T, u32>,
+}
+
+impl<T: Copy + Eq + Hash> UnionFind<T> {
+    /// Empty forest.
+    pub fn new() -> Self {
+        Self {
+            parent: FxHashMap::default(),
+            size: FxHashMap::default(),
+        }
+    }
+
+    /// Representative of `x`'s set (inserting `x` as a singleton if new).
+    pub fn find(&mut self, x: T) -> T {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.parent.entry(x) {
+            e.insert(x);
+            self.size.insert(x, 1);
+            return x;
+        }
+        let mut cur = x;
+        loop {
+            let p = self.parent[&cur];
+            if p == cur {
+                break;
+            }
+            let gp = self.parent[&p];
+            self.parent.insert(cur, gp); // path halving
+            cur = gp;
+        }
+        cur
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were
+    /// separate.
+    pub fn union(&mut self, a: T, b: T) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[&ra] >= self.size[&rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent.insert(small, big);
+        let merged = self.size[&big] + self.size[&small];
+        self.size.insert(big, merged);
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set (inserting as needed).
+    pub fn connected(&mut self, a: T, b: T) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Group all seen elements by representative.
+    pub fn groups(&mut self) -> Vec<Vec<T>> {
+        let keys: Vec<T> = self.parent.keys().copied().collect();
+        let mut by_root: FxHashMap<T, Vec<T>> = FxHashMap::default();
+        for k in keys {
+            let root = self.find(k);
+            by_root.entry(root).or_default().push(k);
+        }
+        by_root.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut uf: UnionFind<u32> = UnionFind::new();
+        assert_eq!(uf.find(5), 5);
+        assert!(!uf.connected(1, 2));
+    }
+
+    #[test]
+    fn union_connects_transitively() {
+        let mut uf: UnionFind<u32> = UnionFind::new();
+        assert!(uf.union(1, 2));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 3), "already connected");
+        assert!(uf.connected(1, 3));
+        assert!(!uf.connected(1, 4));
+    }
+
+    #[test]
+    fn groups_partition_elements() {
+        let mut uf: UnionFind<u32> = UnionFind::new();
+        uf.union(1, 2);
+        uf.union(3, 4);
+        uf.find(5);
+        let mut groups = uf.groups();
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort();
+        assert_eq!(groups, vec![vec![1, 2], vec![3, 4], vec![5]]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Score discretization into the paper's `{1, 2, 3}` similarity levels.
+//!
+//! Appendix B: "The similarity scores between two authors was computed
+//! using the JaroWrinkler distance, and was discretized to the set
+//! {1, 2, 3} with 3 being the highest possible similarity." Pairs below
+//! the lowest threshold are *not* candidate pairs at all.
+
+use em_core::SimLevel;
+
+/// Ascending thresholds in `[0, 1]`: score ≥ `t[i]` ⇒ level ≥ `i + 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Minimum score for level 1 (candidate pair at all).
+    pub level1: f64,
+    /// Minimum score for level 2.
+    pub level2: f64,
+    /// Minimum score for level 3 (near-identical).
+    pub level3: f64,
+}
+
+impl Default for Thresholds {
+    /// Defaults tuned for Jaro-Winkler over author names: 0.80 / 0.90 /
+    /// 0.96 (a bare initial match lands at level 1–2, a typo at 2, equal
+    /// strings at 3).
+    fn default() -> Self {
+        Self {
+            level1: 0.80,
+            level2: 0.90,
+            level3: 0.96,
+        }
+    }
+}
+
+/// Maps raw scores to [`SimLevel`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Discretizer {
+    thresholds: Thresholds,
+}
+
+impl Discretizer {
+    /// Discretizer with explicit thresholds.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ level1 ≤ level2 ≤ level3 ≤ 1`.
+    pub fn new(thresholds: Thresholds) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&thresholds.level1)
+                && thresholds.level1 <= thresholds.level2
+                && thresholds.level2 <= thresholds.level3
+                && thresholds.level3 <= 1.0,
+            "thresholds must be ascending within [0, 1]"
+        );
+        Self { thresholds }
+    }
+
+    /// The thresholds in use.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// Level of a raw score; `None` when the pair is not a candidate.
+    pub fn level(&self, score: f64) -> Option<SimLevel> {
+        let t = &self.thresholds;
+        if score >= t.level3 {
+            Some(SimLevel(3))
+        } else if score >= t.level2 {
+            Some(SimLevel(2))
+        } else if score >= t.level1 {
+            Some(SimLevel(1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bands() {
+        let d = Discretizer::default();
+        assert_eq!(d.level(1.0), Some(SimLevel(3)));
+        assert_eq!(d.level(0.97), Some(SimLevel(3)));
+        assert_eq!(d.level(0.93), Some(SimLevel(2)));
+        assert_eq!(d.level(0.85), Some(SimLevel(1)));
+        assert_eq!(d.level(0.5), None);
+        assert_eq!(d.level(0.0), None);
+    }
+
+    #[test]
+    fn boundaries_are_inclusive() {
+        let d = Discretizer::new(Thresholds {
+            level1: 0.2,
+            level2: 0.5,
+            level3: 0.8,
+        });
+        assert_eq!(d.level(0.2), Some(SimLevel(1)));
+        assert_eq!(d.level(0.5), Some(SimLevel(2)));
+        assert_eq!(d.level(0.8), Some(SimLevel(3)));
+        assert_eq!(d.level(0.199), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_monotone_thresholds_panic() {
+        let _ = Discretizer::new(Thresholds {
+            level1: 0.9,
+            level2: 0.5,
+            level3: 0.95,
+        });
+    }
+
+    #[test]
+    fn levels_are_monotone_in_score() {
+        let d = Discretizer::default();
+        let mut prev = None;
+        for i in 0..=100 {
+            let level = d.level(i as f64 / 100.0);
+            assert!(level >= prev, "level decreased at {i}");
+            prev = level;
+        }
+    }
+}

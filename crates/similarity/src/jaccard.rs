@@ -1,0 +1,98 @@
+//! Jaccard similarity over token sets and character n-gram sets.
+//!
+//! The Canopy blocking algorithm (McCallum et al. [13], used by the paper
+//! for covering) calls for a *cheap* distance; n-gram Jaccard backed by an
+//! inverted index is the standard choice and is what `em-blocking` uses.
+
+use crate::ngram::ngram_set;
+use crate::normalize::tokenize;
+
+/// Jaccard similarity of two sorted, deduplicated slices.
+pub fn jaccard_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard similarity over whitespace/punctuation tokens.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let mut ta = tokenize(a);
+    let mut tb = tokenize(b);
+    ta.sort_unstable();
+    ta.dedup();
+    tb.sort_unstable();
+    tb.dedup();
+    jaccard_sorted(&ta, &tb)
+}
+
+/// Jaccard similarity over character `n`-gram sets.
+pub fn ngram_jaccard(a: &str, b: &str, n: usize) -> f64 {
+    jaccard_sorted(&ngram_set(a, n), &ngram_set(b, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_score_one() {
+        assert_eq!(jaccard_sorted(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(token_jaccard("mark smith", "mark smith"), 1.0);
+        assert_eq!(ngram_jaccard("smith", "smith", 2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        assert_eq!(jaccard_sorted(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(token_jaccard("alice", "bob"), 0.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(jaccard_sorted::<u32>(&[], &[]), 1.0);
+        assert_eq!(jaccard_sorted(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // {1,2,3} vs {2,3,4}: |∩| = 2, |∪| = 4.
+        assert_eq!(jaccard_sorted(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        // Shared surname token.
+        let s = token_jaccard("mark smith", "m smith");
+        assert!((s - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("mark smith", "m smith"), ("ab", "ba"), ("", "x")] {
+            assert_eq!(token_jaccard(a, b), token_jaccard(b, a));
+            assert_eq!(ngram_jaccard(a, b, 2), ngram_jaccard(b, a, 2));
+        }
+    }
+
+    #[test]
+    fn ngram_jaccard_degrades_gracefully_with_typos() {
+        let clean = ngram_jaccard("rastogi", "rastogi", 3);
+        let typo = ngram_jaccard("rastogi", "rastogl", 3);
+        let other = ngram_jaccard("rastogi", "garofalakis", 3);
+        assert!(clean > typo && typo > other);
+    }
+}

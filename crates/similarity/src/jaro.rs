@@ -1,0 +1,138 @@
+//! Jaro and Jaro-Winkler similarity — the kernel the paper uses for
+//! author-name comparison (Appendix B).
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Counts matching characters within the standard window
+/// `max(|a|, |b|)/2 − 1` and transpositions among them.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    let mut b_match_flags = vec![false; b.len()];
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                b_match_flags[j] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare the matched sequences in order.
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(b_match_flags.iter())
+        .filter(|(_, &f)| f)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by up to 4 characters of common
+/// prefix with scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    const PREFIX_SCALE: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * PREFIX_SCALE * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-3, "{a} != {b}");
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        close(jaro("martha", "martha"), 1.0);
+        close(jaro_winkler("smith", "smith"), 1.0);
+        close(jaro("", ""), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        close(jaro("abc", "xyz"), 0.0);
+        close(jaro("a", ""), 0.0);
+        close(jaro("", "a"), 0.0);
+    }
+
+    #[test]
+    fn classic_reference_values() {
+        // Standard textbook examples.
+        close(jaro("martha", "marhta"), 0.9444);
+        close(jaro("dixon", "dicksonx"), 0.7667);
+        close(jaro_winkler("martha", "marhta"), 0.9611);
+        close(jaro_winkler("dixon", "dicksonx"), 0.8133);
+        close(jaro_winkler("dwayne", "duane"), 0.84);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("smith", "smyth"), ("j. doe", "john doe"), ("", "x")] {
+            close(jaro(a, b), jaro(b, a));
+            close(jaro_winkler(a, b), jaro_winkler(b, a));
+        }
+    }
+
+    #[test]
+    fn winkler_boosts_common_prefix() {
+        // Same Jaro ingredients, different prefixes.
+        let plain = jaro("smith", "smyth");
+        let boosted = jaro_winkler("smith", "smyth");
+        assert!(boosted > plain);
+        // No common prefix ⇒ no boost.
+        close(jaro("atmith", "btmith"), jaro_winkler("atmith", "btmith"));
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("v rastogi", "vibhor rastogi"),
+            ("a", "ab"),
+            ("ab", "ba"),
+        ] {
+            let s = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&s), "{s} out of range for {a},{b}");
+        }
+    }
+
+    #[test]
+    fn unicode_is_handled_per_char() {
+        close(jaro("müller", "müller"), 1.0);
+        assert!(jaro("müller", "muller") > 0.8);
+    }
+}

@@ -1,0 +1,39 @@
+//! # em-similarity — string similarity for entity matching
+//!
+//! The paper's matchers consume attribute similarity through a discretized
+//! predicate `similar(e1, e2, score)` with scores in `{1, 2, 3}`
+//! (Appendix B: "the similarity scores between two authors was computed
+//! using the JaroWinkler distance, and was discretized"). This crate
+//! provides:
+//!
+//! * the classic similarity kernels — [`jaro`] / Jaro-Winkler (the paper's
+//!   choice), [`levenshtein`] (plus Damerau), [`jaccard`] over tokens and
+//!   character n-grams, [`soundex`] phonetic codes, and corpus-weighted
+//!   [`tfidf`] cosine;
+//! * [`normalize`] — name normalization utilities (case folding, initials,
+//!   token splitting) shared by the blocking and data-generation crates;
+//! * [`discretize`] — threshold-based mapping from a raw score in
+//!   `[0, 1]` to an [`em_core::SimLevel`].
+//!
+//! All kernels return scores in `[0, 1]` with 1 = identical, are symmetric
+//! in their arguments, and operate on `&str` without allocating where
+//! possible.
+
+#![warn(missing_docs)]
+
+pub mod author;
+pub mod discretize;
+pub mod jaccard;
+pub mod jaro;
+pub mod levenshtein;
+pub mod ngram;
+pub mod normalize;
+pub mod soundex;
+pub mod tfidf;
+
+pub use author::{author_key_score, author_name_score};
+pub use discretize::{Discretizer, Thresholds};
+pub use jaro::{jaro, jaro_winkler};
+pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};
+pub use normalize::{normalize_name, tokenize, NameKey};
+pub use soundex::soundex;

@@ -1,0 +1,66 @@
+//! Character n-gram extraction, shared by the Jaccard kernel and the
+//! blocking crate's inverted index.
+
+/// Extract the character `n`-grams of `s` (with `(n−1)` leading/trailing
+/// pad characters `'_'` so short strings still produce grams).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn ngrams(s: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "n-gram size must be positive");
+    let mut padded: Vec<char> = Vec::with_capacity(s.len() + 2 * (n - 1));
+    for _ in 0..n - 1 {
+        padded.push('_');
+    }
+    padded.extend(s.chars());
+    for _ in 0..n - 1 {
+        padded.push('_');
+    }
+    if padded.len() < n {
+        return Vec::new();
+    }
+    padded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// Deduplicated, sorted n-gram set (for set-based similarity).
+pub fn ngram_set(s: &str, n: usize) -> Vec<String> {
+    let mut grams = ngrams(s, n);
+    grams.sort_unstable();
+    grams.dedup();
+    grams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigrams_with_padding() {
+        assert_eq!(ngrams("ab", 2), vec!["_a", "ab", "b_"]);
+        assert_eq!(ngrams("a", 2), vec!["_a", "a_"]);
+    }
+
+    #[test]
+    fn unigrams_have_no_padding() {
+        assert_eq!(ngrams("abc", 1), vec!["a", "b", "c"]);
+        assert!(ngrams("", 1).is_empty());
+    }
+
+    #[test]
+    fn empty_string_trigram() {
+        // Padding only: "__" windows of 3 over 4 pads.
+        assert_eq!(ngrams("", 3).len(), 2);
+    }
+
+    #[test]
+    fn set_dedups() {
+        let set = ngram_set("aaaa", 2);
+        assert_eq!(set, vec!["_a", "a_", "aa"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_n_panics() {
+        let _ = ngrams("abc", 0);
+    }
+}

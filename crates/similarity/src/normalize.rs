@@ -1,0 +1,201 @@
+//! Name normalization and tokenization.
+//!
+//! Bibliographic author strings arrive in many shapes — `"John Doe"`,
+//! `"J. Doe"`, `"doe, john"` — and both the similarity kernels and the
+//! blocking keys want a canonical form. [`normalize_name`] lower-cases,
+//! strips punctuation, and collapses whitespace; [`NameKey`] splits a
+//! normalized name into (first-ish, last-ish) parts handling the
+//! `"last, first"` convention.
+
+/// Lower-case, strip punctuation (keeping letters, digits and spaces),
+/// collapse runs of whitespace.
+pub fn normalize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut last_was_space = true; // trims leading space
+    for c in raw.chars() {
+        let mapped = if c.is_alphanumeric() {
+            Some(c.to_lowercase().next().unwrap_or(c))
+        } else if c.is_whitespace() || c == '.' || c == ',' || c == '-' || c == '\'' {
+            Some(' ')
+        } else {
+            None
+        };
+        match mapped {
+            Some(' ') => {
+                if !last_was_space {
+                    out.push(' ');
+                    last_was_space = true;
+                }
+            }
+            Some(c) => {
+                out.push(c);
+                last_was_space = false;
+            }
+            None => {}
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Split on non-alphanumeric characters, lower-casing tokens.
+pub fn tokenize(s: &str) -> Vec<String> {
+    normalize_name(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// A parsed author name: first token(s) and last token, normalized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameKey {
+    /// Given name or initial (may be empty).
+    pub first: String,
+    /// Family name (may be empty for single-token names... those keep the
+    /// token here).
+    pub last: String,
+}
+
+impl NameKey {
+    /// Parse a raw author string. Handles `"Last, First"` (comma before
+    /// normalization) and `"First [Middle] Last"` orders.
+    pub fn parse(raw: &str) -> NameKey {
+        let comma_order = raw.contains(',');
+        let tokens = tokenize(raw);
+        match tokens.len() {
+            0 => NameKey {
+                first: String::new(),
+                last: String::new(),
+            },
+            1 => NameKey {
+                first: String::new(),
+                last: tokens[0].clone(),
+            },
+            _ if comma_order => NameKey {
+                // "doe, john [x]" → last = first token, first = second.
+                first: tokens[1].clone(),
+                last: tokens[0].clone(),
+            },
+            _ => NameKey {
+                first: tokens[0].clone(),
+                last: tokens[tokens.len() - 1].clone(),
+            },
+        }
+    }
+
+    /// First initial, if any.
+    pub fn first_initial(&self) -> Option<char> {
+        self.first.chars().next()
+    }
+
+    /// Whether the first name is a bare initial (≤ 1 character).
+    pub fn first_is_initial(&self) -> bool {
+        self.first.chars().count() <= 1
+    }
+
+    /// Canonical `"first last"` string.
+    pub fn full(&self) -> String {
+        if self.first.is_empty() {
+            self.last.clone()
+        } else {
+            format!("{} {}", self.first, self.last)
+        }
+    }
+
+    /// Compatibility of two parsed names *as author references*: last
+    /// names must agree and first names must agree up to initialization
+    /// (`"j"` is compatible with `"john"`). This is the abbreviation-aware
+    /// comparison HEPTH-style data needs.
+    pub fn compatible(&self, other: &NameKey) -> bool {
+        if self.last != other.last {
+            return false;
+        }
+        match (self.first.is_empty(), other.first.is_empty()) {
+            (true, _) | (_, true) => true,
+            _ => {
+                let (short, long) = if self.first.len() <= other.first.len() {
+                    (&self.first, &other.first)
+                } else {
+                    (&other.first, &self.first)
+                };
+                if short.chars().count() == 1 {
+                    long.starts_with(short.as_str())
+                } else {
+                    short == long
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_canonicalizes() {
+        assert_eq!(normalize_name("  John   DOE "), "john doe");
+        assert_eq!(normalize_name("J. Doe"), "j doe");
+        assert_eq!(normalize_name("O'Brien-Smith"), "o brien smith");
+        assert_eq!(normalize_name("Doe, John"), "doe john");
+        assert_eq!(normalize_name(""), "");
+        assert_eq!(normalize_name("¿?"), "");
+    }
+
+    #[test]
+    fn tokenize_drops_empties() {
+        assert_eq!(tokenize("J. Doe"), vec!["j", "doe"]);
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn name_key_parses_both_orders() {
+        let a = NameKey::parse("John Doe");
+        assert_eq!(a.first, "john");
+        assert_eq!(a.last, "doe");
+        let b = NameKey::parse("Doe, John");
+        assert_eq!(b.first, "john");
+        assert_eq!(b.last, "doe");
+        let c = NameKey::parse("John Q. Doe");
+        assert_eq!(c.first, "john");
+        assert_eq!(c.last, "doe");
+        let d = NameKey::parse("Doe");
+        assert_eq!(d.first, "");
+        assert_eq!(d.last, "doe");
+        let e = NameKey::parse("");
+        assert_eq!(e.last, "");
+    }
+
+    #[test]
+    fn initials_detected() {
+        assert!(NameKey::parse("J. Doe").first_is_initial());
+        assert!(!NameKey::parse("John Doe").first_is_initial());
+        assert_eq!(NameKey::parse("J. Doe").first_initial(), Some('j'));
+    }
+
+    #[test]
+    fn compatibility_is_abbreviation_aware() {
+        let john = NameKey::parse("John Doe");
+        let j = NameKey::parse("J. Doe");
+        let jane = NameKey::parse("Jane Doe");
+        let mark = NameKey::parse("Mark Doe");
+        assert!(john.compatible(&j));
+        assert!(j.compatible(&john));
+        assert!(j.compatible(&jane), "initial j matches jane too");
+        assert!(!john.compatible(&jane), "full names must agree");
+        assert!(!j.compatible(&mark));
+        let smith = NameKey::parse("John Smith");
+        assert!(!john.compatible(&smith), "different last names");
+        let bare = NameKey::parse("Doe");
+        assert!(bare.compatible(&john), "missing first name is wildcard");
+    }
+
+    #[test]
+    fn full_round_trips() {
+        assert_eq!(NameKey::parse("J. Doe").full(), "j doe");
+        assert_eq!(NameKey::parse("Doe").full(), "doe");
+    }
+}

@@ -1,0 +1,85 @@
+//! American Soundex phonetic codes — an extra blocking key for names whose
+//! spellings differ but sound alike ("Smith" / "Smyth").
+
+/// Four-character Soundex code of `s` (empty input gives `"0000"`).
+pub fn soundex(s: &str) -> String {
+    fn digit(c: char) -> Option<char> {
+        match c {
+            'b' | 'f' | 'p' | 'v' => Some('1'),
+            'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => Some('2'),
+            'd' | 't' => Some('3'),
+            'l' => Some('4'),
+            'm' | 'n' => Some('5'),
+            'r' => Some('6'),
+            _ => None, // vowels + h, w, y
+        }
+    }
+
+    let letters: Vec<char> = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase())
+        .collect();
+    let Some(&first) = letters.first() else {
+        return "0000".to_owned();
+    };
+    let mut code = String::with_capacity(4);
+    code.push(first.to_ascii_uppercase());
+    let mut prev_digit = digit(first);
+    for &c in &letters[1..] {
+        let d = digit(c);
+        match d {
+            Some(d) if Some(d) != prev_digit => {
+                code.push(d);
+                if code.len() == 4 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        // 'h' and 'w' are transparent: they do not reset the previous
+        // digit; everything else (vowels) does.
+        if c != 'h' && c != 'w' {
+            prev_digit = d;
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_reference_codes() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Ashcroft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn similar_sounding_names_collide() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_ne!(soundex("Smith"), soundex("Jones"));
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("123"), "0000");
+        assert_eq!(soundex("A"), "A000");
+        assert_eq!(soundex("aeiou"), "A000");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("SMITH"), soundex("smith"));
+    }
+}

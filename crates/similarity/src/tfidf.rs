@@ -1,0 +1,151 @@
+//! TF-IDF cosine similarity over a corpus.
+//!
+//! Common tokens ("j", "smith") should count less toward a match than rare
+//! ones. [`TfIdfModel`] is fit over all entity strings once and then scores
+//! pairs with the cosine of their idf-weighted token vectors — used as an
+//! alternative similarity source in examples and ablations.
+
+use em_core::hash::FxHashMap;
+
+use crate::normalize::tokenize;
+
+/// Fitted TF-IDF weights for a token vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfModel {
+    /// token → (vocabulary id, idf weight)
+    vocab: FxHashMap<String, (u32, f64)>,
+    documents: usize,
+}
+
+impl TfIdfModel {
+    /// Fit the model on a corpus of strings (one "document" each).
+    pub fn fit<'a>(corpus: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut doc_freq: FxHashMap<String, usize> = FxHashMap::default();
+        let mut documents = 0usize;
+        for doc in corpus {
+            documents += 1;
+            let mut tokens = tokenize(doc);
+            tokens.sort_unstable();
+            tokens.dedup();
+            for t in tokens {
+                *doc_freq.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut vocab = FxHashMap::default();
+        for (i, (token, df)) in doc_freq.into_iter().enumerate() {
+            // Smoothed idf; always positive.
+            let idf = ((1.0 + documents as f64) / (1.0 + df as f64)).ln() + 1.0;
+            vocab.insert(token, (i as u32, idf));
+        }
+        Self { vocab, documents }
+    }
+
+    /// Number of documents the model was fit on.
+    pub fn documents(&self) -> usize {
+        self.documents
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Sparse idf-weighted vector of a string (sorted by vocabulary id;
+    /// out-of-vocabulary tokens are ignored).
+    pub fn vector(&self, s: &str) -> Vec<(u32, f64)> {
+        let mut counts: FxHashMap<u32, (f64, f64)> = FxHashMap::default();
+        for t in tokenize(s) {
+            if let Some(&(id, idf)) = self.vocab.get(&t) {
+                let entry = counts.entry(id).or_insert((0.0, idf));
+                entry.0 += 1.0;
+            }
+        }
+        let mut vec: Vec<(u32, f64)> = counts
+            .into_iter()
+            .map(|(id, (tf, idf))| (id, tf * idf))
+            .collect();
+        vec.sort_unstable_by_key(|&(id, _)| id);
+        vec
+    }
+
+    /// Cosine similarity of the two strings' TF-IDF vectors, in `[0, 1]`.
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        let norm =
+            |v: &[(u32, f64)]| v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        let (na, nb) = (norm(&va), norm(&vb));
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        let mut dot = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < va.len() && j < vb.len() {
+            match va[i].0.cmp(&vb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += va[i].1 * vb[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TfIdfModel {
+        TfIdfModel::fit([
+            "john smith",
+            "jane smith",
+            "mark smith",
+            "john rastogi",
+            "vibhor rastogi",
+            "minos garofalakis",
+        ])
+    }
+
+    #[test]
+    fn fit_counts_documents_and_vocab() {
+        let m = model();
+        assert_eq!(m.documents(), 6);
+        assert_eq!(m.vocab_size(), 8);
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        let m = model();
+        assert!((m.cosine("john smith", "john smith") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rare_tokens_dominate_common_ones() {
+        let m = model();
+        // "rastogi" (df 2) is rarer than "smith" (df 3): sharing the rare
+        // token scores higher than sharing the common one.
+        let rare = m.cosine("john rastogi", "vibhor rastogi");
+        let common = m.cosine("john smith", "mark smith");
+        assert!(rare > common, "{rare} <= {common}");
+    }
+
+    #[test]
+    fn disjoint_and_oov_score_zero() {
+        let m = model();
+        assert_eq!(m.cosine("john smith", "minos garofalakis"), 0.0);
+        assert_eq!(m.cosine("zzz", "zzz"), 0.0, "out-of-vocabulary");
+        assert_eq!(m.cosine("", "john smith"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let m = model();
+        for (a, b) in [("john smith", "jane smith"), ("john rastogi", "smith")] {
+            assert!((m.cosine(a, b) - m.cosine(b, a)).abs() < 1e-12);
+        }
+    }
+}

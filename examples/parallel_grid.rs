@@ -1,0 +1,96 @@
+//! Parallel execution and grid simulation (§6.3).
+//!
+//! Runs the round-based parallel SMP/MMP over worker threads on a
+//! DBLP-style workload, verifies the result equals the sequential
+//! fixpoint (consistency), and replays the measured per-neighborhood
+//! costs onto simulated grids of increasing size — reproducing Table 1's
+//! observation that random assignment and per-round overhead keep the
+//! speedup well below the machine count.
+//!
+//! Run with: `cargo run --release --example parallel_grid [scale]`
+
+use em_blocking::{block_dataset, BlockingConfig, SimilarityKernel};
+use em_core::evidence::Evidence;
+use em_core::framework::{smp, MmpConfig};
+use em_datagen::{generate, DatasetProfile};
+use em_eval::{fmt_duration, Table};
+use em_mln::{MlnMatcher, MlnModel};
+use em_parallel::{parallel_mmp, parallel_smp, simulate, GridParams, ParallelConfig};
+use std::time::Duration;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.01);
+
+    let generated = generate(&DatasetProfile::dblp().scaled(scale));
+    let mut dataset = generated.dataset;
+    let blocking = block_dataset(
+        &mut dataset,
+        &BlockingConfig {
+            kernel: SimilarityKernel::AuthorName,
+            ..Default::default()
+        },
+    )
+    .expect("blocking");
+    let cover = blocking.cover;
+    let coauthor = dataset.relations.relation_id("coauthor").expect("coauthor");
+    let matcher = MlnMatcher::new(MlnModel::paper_model(coauthor));
+    let none = Evidence::none();
+    println!(
+        "workload: {} refs, {} neighborhoods",
+        generated.references.len(),
+        cover.len()
+    );
+
+    // Parallel SMP must reach the sequential fixpoint (consistency).
+    let workers = ParallelConfig::default().workers;
+    let (parallel_out, smp_trace) =
+        parallel_smp(&matcher, &dataset, &cover, &none, &ParallelConfig { workers });
+    let sequential = smp(&matcher, &dataset, &cover, &none);
+    assert_eq!(
+        parallel_out.matches, sequential.matches,
+        "parallel SMP equals the sequential fixpoint"
+    );
+    println!(
+        "parallel SMP ({} workers): {} matches in {} rounds, wall {} (sequential: {}) ✓ same output",
+        workers,
+        parallel_out.matches.len(),
+        smp_trace.len(),
+        fmt_duration(parallel_out.stats.wall_time),
+        fmt_duration(sequential.stats.wall_time),
+    );
+
+    let (_, mmp_trace) = parallel_mmp(
+        &matcher,
+        &dataset,
+        &cover,
+        &none,
+        &MmpConfig::default(),
+        &ParallelConfig { workers },
+    );
+
+    // Grid simulation: replay measured costs on m machines.
+    let mut table = Table::new(["machines", "SMP makespan", "MMP makespan", "SMP speedup", "skew"]);
+    for machines in [1usize, 5, 10, 30] {
+        let params = GridParams {
+            machines,
+            per_round_overhead: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let smp_report = simulate(&smp_trace, &params);
+        let mmp_report = simulate(&mmp_trace, &params);
+        table.push_row([
+            machines.to_string(),
+            fmt_duration(smp_report.makespan),
+            fmt_duration(mmp_report.makespan),
+            format!("{:.1}x", smp_report.speedup),
+            format!("{:.2}", smp_report.mean_skew),
+        ]);
+    }
+    println!("\ngrid simulation (5ms/round overhead):");
+    print!("{}", table.render());
+    println!("\nnote the sub-linear speedup: per-round overhead plus random-assignment");
+    println!("skew — the same effects behind the paper's 11x on 30 machines (Table 1).");
+}

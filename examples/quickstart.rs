@@ -1,0 +1,70 @@
+//! Quickstart: the paper's running example (§2.1–2.2), end to end.
+//!
+//! Nine author references, coauthor edges, and the illustration weights
+//! `R1 = −5`, `R2 = +8`. Shows the three schemes diverging exactly as the
+//! paper narrates: NO-MP finds one match, SMP recovers one more through a
+//! simple message, and MMP completes the three-pair chain through maximal
+//! messages.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use em_core::evidence::Evidence;
+use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em_core::testing::paper_example;
+use em_core::{Matcher, ProbabilisticMatcher};
+
+fn main() {
+    let (dataset, cover, matcher, _expected) = paper_example();
+    println!(
+        "dataset: {} entities, {} candidate pairs, {} neighborhoods",
+        dataset.entities.len(),
+        dataset.candidate_count(),
+        cover.len()
+    );
+
+    // The infeasible-at-scale baseline: run the matcher holistically.
+    let full = matcher.match_view(&dataset.full_view(), &Evidence::none());
+    println!("\nfull holistic run      → {} matches: {}", full.len(), full);
+    println!(
+        "optimal score          → {}",
+        matcher.log_score(&dataset.full_view(), &full)
+    );
+
+    // NO-MP: independent neighborhood runs (only (c1, c2) is locally
+    // decidable, thanks to the shared coauthor d1).
+    let nomp = no_mp(&matcher, &dataset, &cover, &Evidence::none());
+    println!("\nNO-MP                  → {} matches: {}", nomp.matches.len(), nomp.matches);
+
+    // SMP: (c1, c2) travels as a simple message and unlocks (b1, b2).
+    let smp_run = smp(&matcher, &dataset, &cover, &Evidence::none());
+    println!(
+        "SMP                    → {} matches: {} ({} messages)",
+        smp_run.matches.len(),
+        smp_run.matches,
+        smp_run.stats.messages_sent
+    );
+
+    // MMP: the three-pair chain (a1,a2),(b2,b3),(c2,c3) is an
+    // all-or-nothing cluster; maximal messages from C1 and C2 merge and
+    // get promoted when their combined score delta is non-negative.
+    let mmp_run = mmp(
+        &matcher,
+        &dataset,
+        &cover,
+        &Evidence::none(),
+        &MmpConfig::default(),
+    );
+    println!(
+        "MMP                    → {} matches: {} ({} maximal messages, {} promotions)",
+        mmp_run.matches.len(),
+        mmp_run.matches,
+        mmp_run.stats.maximal_messages_created,
+        mmp_run.stats.promotions
+    );
+
+    assert_eq!(
+        mmp_run.matches, full,
+        "MMP reproduces the full run on the paper's example"
+    );
+    println!("\nMMP output == full holistic run ✓ (sound and complete)");
+}

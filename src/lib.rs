@@ -1,0 +1,3 @@
+//! Umbrella crate re-exporting the collective entity matching workspace.
+//! See README.md; real content arrives with the examples and tests.
+pub use em_core as core;

@@ -1,0 +1,141 @@
+//! End-to-end integration tests spanning every crate: generation →
+//! blocking → cover → matchers → framework → evaluation → parallelism.
+
+use em_bench::prepare;
+use em_core::evidence::Evidence;
+use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em_core::Matcher;
+use em_eval::{pairwise_metrics, soundness_completeness, transitive_closure, upper_bound};
+use em_parallel::{parallel_mmp, parallel_smp, ParallelConfig};
+
+#[test]
+fn hepth_pipeline_reproduces_paper_ordering() {
+    let w = prepare("hepth", 0.015, Some(21));
+    let matcher = w.mln_matcher();
+    let none = Evidence::none();
+
+    let nomp = no_mp(&matcher, &w.dataset, &w.cover, &none);
+    let smp_run = smp(&matcher, &w.dataset, &w.cover, &none);
+    let mmp_run = mmp(&matcher, &w.dataset, &w.cover, &none, &MmpConfig::default());
+    let full = matcher.match_view(&w.dataset.full_view(), &none);
+
+    // Soundness (Theorems 2 and 4): every scheme ⊆ full run.
+    assert!(nomp.matches.is_subset(&full));
+    assert!(smp_run.matches.is_subset(&full));
+    assert!(mmp_run.matches.is_subset(&full));
+
+    // Monotone scheme ordering.
+    assert!(nomp.matches.is_subset(&smp_run.matches));
+    assert!(smp_run.matches.is_subset(&mmp_run.matches));
+
+    // The paper's empirical headline: MMP is complete.
+    assert_eq!(
+        mmp_run.matches, full,
+        "MMP must reproduce the full holistic run"
+    );
+}
+
+#[test]
+fn dblp_pipeline_schemes_are_sound_and_mmp_complete() {
+    let w = prepare("dblp", 0.01, Some(5));
+    let matcher = w.mln_matcher();
+    let none = Evidence::none();
+    let full = matcher.match_view(&w.dataset.full_view(), &none);
+    let mmp_run = mmp(&matcher, &w.dataset, &w.cover, &none, &MmpConfig::default());
+    let report = soundness_completeness(&mmp_run.matches, &full);
+    assert_eq!(report.soundness, 1.0);
+    assert_eq!(report.completeness, 1.0);
+}
+
+#[test]
+fn parallel_equals_sequential_on_generated_workload() {
+    let w = prepare("dblp", 0.006, Some(13));
+    let matcher = w.mln_matcher();
+    let none = Evidence::none();
+    let sequential = smp(&matcher, &w.dataset, &w.cover, &none);
+    for workers in [1, 4] {
+        let (parallel, trace) = parallel_smp(
+            &matcher,
+            &w.dataset,
+            &w.cover,
+            &none,
+            &ParallelConfig { workers },
+        );
+        assert_eq!(parallel.matches, sequential.matches, "workers={workers}");
+        assert!(!trace.is_empty());
+    }
+    let sequential_mmp = mmp(&matcher, &w.dataset, &w.cover, &none, &MmpConfig::default());
+    let (parallel, _) = parallel_mmp(
+        &matcher,
+        &w.dataset,
+        &w.cover,
+        &none,
+        &MmpConfig::default(),
+        &ParallelConfig { workers: 3 },
+    );
+    assert_eq!(parallel.matches, sequential_mmp.matches);
+}
+
+#[test]
+fn rules_matcher_smp_is_complete_wrt_full_run() {
+    // Appendix C's result: SMP with RULES matches the full run exactly.
+    let w = prepare("dblp", 0.008, Some(3));
+    let matcher = w.rules_matcher();
+    let none = Evidence::none();
+    let smp_run = smp(&matcher, &w.dataset, &w.cover, &none);
+    let full = matcher.match_view(&w.dataset.full_view(), &none);
+    let report = soundness_completeness(&smp_run.matches, &full);
+    assert_eq!(report.soundness, 1.0, "SMP sound");
+    assert_eq!(report.completeness, 1.0, "SMP complete for RULES");
+}
+
+#[test]
+fn ub_bounds_the_full_run_recall() {
+    let w = prepare("hepth", 0.01, Some(8));
+    let matcher = w.mln_matcher();
+    let scorer = em_core::ProbabilisticMatcher::global_scorer(&matcher, &w.dataset);
+    let ub = upper_bound(&w.dataset, scorer.as_ref(), w.truth_oracle());
+    let full = matcher.match_view(&w.dataset.full_view(), &Evidence::none());
+    let true_pairs = w.truth.true_pair_count();
+    let ub_recall = pairwise_metrics(&ub, w.truth_oracle(), true_pairs).recall();
+    let full_recall = pairwise_metrics(&full, w.truth_oracle(), true_pairs).recall();
+    assert!(
+        ub_recall >= full_recall - 1e-9,
+        "UB recall {ub_recall} must bound full-run recall {full_recall}"
+    );
+}
+
+#[test]
+fn closure_of_mmp_output_is_consistent_with_clusters() {
+    let w = prepare("dblp", 0.006, Some(2));
+    let matcher = w.mln_matcher();
+    let out = mmp(
+        &matcher,
+        &w.dataset,
+        &w.cover,
+        &Evidence::none(),
+        &MmpConfig::default(),
+    );
+    let closed = transitive_closure(&out.matches);
+    assert!(out.matches.is_subset(&closed));
+    // Idempotent closure.
+    assert_eq!(transitive_closure(&closed), closed);
+}
+
+#[test]
+fn negative_evidence_is_respected_end_to_end() {
+    let w = prepare("dblp", 0.006, Some(17));
+    let matcher = w.mln_matcher();
+    let baseline = smp(&matcher, &w.dataset, &w.cover, &Evidence::none());
+    let Some(blocked) = baseline.matches.iter().next() else {
+        panic!("expected at least one match");
+    };
+    let negative: em_core::PairSet = [blocked].into_iter().collect();
+    let out = smp(
+        &matcher,
+        &w.dataset,
+        &w.cover,
+        &Evidence::new(em_core::PairSet::new(), negative),
+    );
+    assert!(!out.matches.contains(blocked));
+}
