@@ -32,11 +32,9 @@ fn bench_schemes_on_workload(c: &mut Criterion) {
     let none = Evidence::none();
     let mut group = c.benchmark_group("dblp_0.005");
     group.sample_size(10);
-    group.bench_with_input(
-        BenchmarkId::new("no_mp", w.cover.len()),
-        &w,
-        |b, w| b.iter(|| black_box(no_mp(&matcher, &w.dataset, &w.cover, &none))),
-    );
+    group.bench_with_input(BenchmarkId::new("no_mp", w.cover.len()), &w, |b, w| {
+        b.iter(|| black_box(no_mp(&matcher, &w.dataset, &w.cover, &none)))
+    });
     group.bench_with_input(BenchmarkId::new("smp", w.cover.len()), &w, |b, w| {
         b.iter(|| black_box(smp(&matcher, &w.dataset, &w.cover, &none)))
     });

@@ -1,0 +1,184 @@
+//! `cached_vs_uncached`: the interned [`em_similarity::FeatureCache`]
+//! path against the legacy string path, kernel by kernel, on a
+//! datagen-generated author corpus. The acceptance bar for the feature
+//! cache is ≥ 3× on the cached path; record runs in `BENCH_similarity.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_core::EntityId;
+use em_datagen::{generate, DatasetProfile};
+use em_similarity::jaccard::{ngram_jaccard, token_jaccard};
+use em_similarity::tfidf::TfIdfModel;
+use em_similarity::{author_name_score, FeatureCache, FeatureConfig};
+use std::hint::black_box;
+
+/// A corpus of generated author-reference names plus a pair sample that
+/// mimics blocking's workload (each entity against a handful of others).
+struct Corpus {
+    names: Vec<String>,
+    cache: FeatureCache,
+    entities: Vec<EntityId>,
+    pairs: Vec<(usize, usize)>,
+}
+
+fn corpus() -> Corpus {
+    let generated = generate(&DatasetProfile::dblp().scaled(0.01));
+    let names: Vec<String> = generated
+        .references
+        .iter()
+        .map(|&r| {
+            generated
+                .dataset
+                .entities
+                .attr(r, "name")
+                .expect("name")
+                .to_owned()
+        })
+        .collect();
+    let points: Vec<(EntityId, String)> = names
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (EntityId(i as u32), s.clone()))
+        .collect();
+    let cache = FeatureCache::from_points(&points, points.len(), FeatureConfig::default());
+    let entities: Vec<EntityId> = points.iter().map(|&(e, _)| e).collect();
+    // Deterministic pseudo-canopy pair sample: each entity vs 8 strided
+    // neighbors.
+    let n = names.len();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for k in 1..=8usize {
+            let j = (i + k * 7) % n;
+            if i != j {
+                pairs.push((i, j));
+            }
+        }
+    }
+    Corpus {
+        names,
+        cache,
+        entities,
+        pairs,
+    }
+}
+
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let corpus = corpus();
+    let tfidf_model = TfIdfModel::fit(corpus.names.iter().map(String::as_str));
+    let feature = |i: usize| corpus.cache.get(corpus.entities[i]).expect("cached");
+
+    let mut group = c.benchmark_group("cached_vs_uncached");
+    group.sample_size(15);
+
+    group.bench_function("token_jaccard/string", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &corpus.pairs {
+                acc += token_jaccard(black_box(&corpus.names[i]), black_box(&corpus.names[j]));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("token_jaccard/cached", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &corpus.pairs {
+                acc += black_box(feature(i)).token_jaccard(black_box(feature(j)));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("ngram_jaccard/string", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &corpus.pairs {
+                acc += ngram_jaccard(black_box(&corpus.names[i]), black_box(&corpus.names[j]), 3);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("ngram_jaccard/cached", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &corpus.pairs {
+                acc += black_box(feature(i)).ngram_jaccard(black_box(feature(j)));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("tfidf_cosine/string", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &corpus.pairs {
+                acc += tfidf_model.cosine(black_box(&corpus.names[i]), black_box(&corpus.names[j]));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("tfidf_cosine/cached", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &corpus.pairs {
+                acc += black_box(feature(i)).tfidf_cosine(black_box(feature(j)));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("author_score/string", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &corpus.pairs {
+                acc += author_name_score(black_box(&corpus.names[i]), black_box(&corpus.names[j]));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("author_score/cached", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &corpus.pairs {
+                acc += black_box(feature(i)).author_score(black_box(feature(j)));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_cache_build(c: &mut Criterion) {
+    let generated = generate(&DatasetProfile::dblp().scaled(0.01));
+    let points: Vec<(EntityId, String)> = generated
+        .references
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            (
+                EntityId(i as u32),
+                generated
+                    .dataset
+                    .entities
+                    .attr(r, "name")
+                    .expect("name")
+                    .to_owned(),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("feature_cache");
+    group.sample_size(10);
+    group.bench_function(format!("build/{}", points.len()), |b| {
+        b.iter(|| {
+            black_box(FeatureCache::from_points(
+                black_box(&points),
+                points.len(),
+                FeatureConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cached_vs_uncached, bench_cache_build);
+criterion_main!(benches);

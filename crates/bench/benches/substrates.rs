@@ -117,17 +117,13 @@ fn bench_rules(c: &mut Criterion) {
     for pairs in [32u32, 128] {
         let (ds, _) = chain_dataset(pairs);
         let matcher = RulesMatcher::new(paper_rules());
-        group.bench_with_input(
-            BenchmarkId::new("fixpoint", pairs),
-            &ds,
-            |b, ds| {
-                b.iter_batched(
-                    || ds.full_view(),
-                    |view| black_box(matcher.match_view(&view, &Evidence::none())),
-                    BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fixpoint", pairs), &ds, |b, ds| {
+            b.iter_batched(
+                || ds.full_view(),
+                |view| black_box(matcher.match_view(&view, &Evidence::none())),
+                BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }

@@ -13,62 +13,125 @@
 //! Usage:
 //!   fig3_runtime [--dataset hepth|dblp|both] [--scale 0.02]
 //!                [--backend exact|walksat|both] [--seed N]
+//!                [--cache on|off|both]
+//!
+//! `--cache` toggles the zero-recompute matcher memo
+//! ([`em_core::CachedMatcher`]): `on` (default) wraps the matcher so the
+//! NO-MP → SMP → MMP sweeps replay repeated neighborhood evaluations and
+//! probes from the shared memo; `off` reproduces the naive
+//! recompute-everything path; `both` runs the ablation and prints the
+//! cache hit statistics next to each arm. The memo is shared across the
+//! three schemes on purpose — with the cache on, each row reports its
+//! *incremental* cost in sweep order (the per-scheme "cache hits" column
+//! shows the inherited reuse); use `--cache off` for isolated
+//! scheme-vs-scheme timing.
 
-use em_bench::{prepare, Flags, Workload};
+use em_bench::{prepare_opts, Flags, Workload};
 use em_core::evidence::Evidence;
 use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em_core::CachedMatcher;
 use em_eval::{fmt_duration, Table};
 use em_mln::MlnMatcher;
 
-fn run_backend(w: &Workload, matcher: &MlnMatcher, label: &str) {
+fn run_backend(w: &Workload, inner: &MlnMatcher, label: &str, cache: bool) {
+    let matcher = if cache {
+        CachedMatcher::new(inner.clone())
+    } else {
+        CachedMatcher::disabled(inner.clone())
+    };
+    let matcher = &matcher;
     let none = Evidence::none();
     let mut table = Table::new([
         "scheme",
         "time",
         "matcher calls",
+        "cache hits",
         "active pairs",
         "messages",
         "matches",
     ]);
-    let runs = [
-        ("NO-MP", no_mp(matcher, &w.dataset, &w.cover, &none)),
-        ("SMP", smp(matcher, &w.dataset, &w.cover, &none)),
+    // Schemes share one warm memo (that cross-scheme reuse is the point
+    // of the cache), so the cached rows measure *incremental* cost in
+    // this sweep order; the per-scheme "cache hits" column makes the
+    // inherited reuse visible. Compare schemes in isolation with
+    // --cache off.
+    type Run<'a> = (&'a str, Box<dyn Fn() -> em_core::MatchOutput + 'a>);
+    let runs: [Run<'_>; 3] = [
+        (
+            "NO-MP",
+            Box::new(|| no_mp(matcher, &w.dataset, &w.cover, &none)),
+        ),
+        (
+            "SMP",
+            Box::new(|| smp(matcher, &w.dataset, &w.cover, &none)),
+        ),
         (
             "MMP",
-            mmp(matcher, &w.dataset, &w.cover, &none, &MmpConfig::default()),
+            Box::new(|| mmp(matcher, &w.dataset, &w.cover, &none, &MmpConfig::default())),
         ),
     ];
-    for (scheme, output) in runs {
+    for (scheme, run) in runs {
+        let before = matcher.stats();
+        let output = run();
+        let hits = matcher.stats().hits - before.hits;
         table.push_row([
             scheme.to_owned(),
             fmt_duration(output.stats.wall_time),
             output.stats.matcher_calls.to_string(),
+            hits.to_string(),
             output.stats.active_pairs_evaluated.to_string(),
             output.stats.messages_sent.to_string(),
             output.matches.len().to_string(),
         ]);
     }
     println!(
-        "\nFig. 3({}) — running times, MLN matcher [{label} backend]",
-        if w.name == "hepth" { "d" } else { "e" }
+        "\nFig. 3({}) — running times, MLN matcher [{label} backend, cache {}]",
+        if w.name == "hepth" { "d" } else { "e" },
+        if cache { "on" } else { "off" }
     );
     print!("{}", table.render());
+    if cache {
+        let stats = matcher.stats();
+        println!(
+            "eval cache: {} hits / {} misses ({:.1}% reuse)",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate()
+        );
+    }
 }
 
-fn run_dataset(name: &str, scale: f64, seed: Option<u64>, backend: &str) {
-    let w = prepare(name, scale, seed);
-    println!(
-        "\n=== {} (scale {scale}): {} references, {} neighborhoods, {} candidate pairs ===",
-        w.name,
-        w.references,
-        w.cover.len(),
-        w.candidate_pairs
-    );
-    if backend == "exact" || backend == "both" {
-        run_backend(&w, &w.mln_matcher(), "exact");
-    }
-    if backend == "walksat" || backend == "both" {
-        run_backend(&w, &w.mln_walksat_matcher(), "walksat");
+fn run_dataset(name: &str, scale: f64, seed: Option<u64>, backend: &str, cache: &str) {
+    let cache_arms: &[bool] = match cache {
+        "on" => &[true],
+        "off" => &[false],
+        "both" => &[false, true],
+        other => panic!("unknown --cache {other:?}; expected on | off | both"),
+    };
+    for &cached in cache_arms {
+        // The cache toggle covers the whole hot path: blocking-phase
+        // pair-score dedup and the matcher evaluation memo.
+        let block_start = std::time::Instant::now();
+        let w = prepare_opts(name, scale, seed, cached);
+        let block_time = block_start.elapsed();
+        println!(
+            "\n=== {} (scale {scale}): {} references, {} neighborhoods, {} candidate pairs ===",
+            w.name,
+            w.references,
+            w.cover.len(),
+            w.candidate_pairs
+        );
+        println!(
+            "blocking: prepared in {} [pair-score dedupe {}]",
+            fmt_duration(block_time),
+            if cached { "on" } else { "off" }
+        );
+        if backend == "exact" || backend == "both" {
+            run_backend(&w, &w.mln_matcher(), "exact", cached);
+        }
+        if backend == "walksat" || backend == "both" {
+            run_backend(&w, &w.mln_walksat_matcher(), "walksat", cached);
+        }
     }
 }
 
@@ -76,6 +139,7 @@ fn main() {
     let flags = Flags::parse(std::env::args().skip(1));
     let scale: f64 = flags.get("scale", 0.02);
     let backend = flags.get_str("backend", "exact");
+    let cache = flags.get_str("cache", "on");
     let seed: Option<u64> = if flags.has("seed") {
         Some(flags.get("seed", 0u64))
     } else {
@@ -83,9 +147,9 @@ fn main() {
     };
     match flags.get_str("dataset", "both").as_str() {
         "both" => {
-            run_dataset("hepth", scale, seed, &backend);
-            run_dataset("dblp", scale, seed, &backend);
+            run_dataset("hepth", scale, seed, &backend, &cache);
+            run_dataset("dblp", scale, seed, &backend, &cache);
         }
-        name => run_dataset(name, scale, seed, &backend),
+        name => run_dataset(name, scale, seed, &backend, &cache),
     }
 }

@@ -30,13 +30,7 @@ fn main() {
     let full_backend = flags.get_str("full-backend", "walksat");
     let cutoff = Duration::from_secs_f64(flags.get("full-cutoff-secs", 60.0));
 
-    let mut table = Table::new([
-        "#neighborhoods",
-        "refs",
-        "pairs",
-        "Full EM",
-        "MMP",
-    ]);
+    let mut table = Table::new(["#neighborhoods", "refs", "pairs", "Full EM", "MMP"]);
     let mut full_em_dead = false;
     for step in 1..=points {
         let scale = max_scale * step as f64 / points as f64;
@@ -80,8 +74,6 @@ fn main() {
             fmt_duration(mmp_time),
         ]);
     }
-    println!(
-        "Fig. 3(f) — running time vs input size (Full EM backend: {full_backend})"
-    );
+    println!("Fig. 3(f) — running time vs input size (Full EM backend: {full_backend})");
     print!("{}", table.render());
 }

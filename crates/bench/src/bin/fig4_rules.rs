@@ -13,9 +13,7 @@ use em_bench::{prepare, Flags};
 use em_core::evidence::Evidence;
 use em_core::framework::{no_mp, smp};
 use em_core::Matcher;
-use em_eval::{
-    fmt_duration, fmt_ratio, pairwise_metrics, soundness_completeness, Table,
-};
+use em_eval::{fmt_duration, fmt_ratio, pairwise_metrics, soundness_completeness, Table};
 use std::time::Instant;
 
 fn run_dataset(name: &str, scale: f64, seed: Option<u64>) -> (String, Vec<(String, String)>) {

@@ -26,10 +26,7 @@ fn main() {
     let scale: f64 = flags.get("scale", 0.002);
     let machines: usize = flags.get("machines", 30);
     let overhead = Duration::from_secs_f64(flags.get("overhead-secs", 0.05));
-    let workers: usize = flags.get(
-        "workers",
-        ParallelConfig::default().workers,
-    );
+    let workers: usize = flags.get("workers", ParallelConfig::default().workers);
 
     let w = prepare(&dataset, scale, None);
     println!(

@@ -22,4 +22,4 @@ pub mod cli;
 pub mod workload;
 
 pub use cli::Flags;
-pub use workload::{prepare, Workload};
+pub use workload::{prepare, prepare_opts, Workload};

@@ -83,6 +83,18 @@ pub fn profile_by_name(name: &str) -> DatasetProfile {
 
 /// Generate and block a workload.
 pub fn prepare(name: &str, scale: f64, seed: Option<u64>) -> Workload {
+    prepare_opts(name, scale, seed, true)
+}
+
+/// [`prepare`] with the blocking pipeline's pair-score dedup togglable
+/// (the ablation arm of the zero-recompute feature cache; results are
+/// identical either way, only the work differs).
+pub fn prepare_opts(
+    name: &str,
+    scale: f64,
+    seed: Option<u64>,
+    dedupe_pair_scores: bool,
+) -> Workload {
     let mut profile = profile_by_name(name).scaled(scale);
     if let Some(seed) = seed {
         profile = profile.with_seed(seed);
@@ -91,6 +103,7 @@ pub fn prepare(name: &str, scale: f64, seed: Option<u64>) -> Workload {
     let mut dataset = generated.dataset;
     let config = BlockingConfig {
         kernel: SimilarityKernel::AuthorName,
+        dedupe_pair_scores,
         ..Default::default()
     };
     let blocking = block_dataset(&mut dataset, &config)

@@ -16,6 +16,7 @@
 
 use crate::inverted_index::InvertedIndex;
 use em_core::EntityId;
+use em_similarity::FeatureCache;
 
 /// Canopy parameters.
 #[derive(Debug, Clone, Copy)]
@@ -48,27 +49,72 @@ impl Default for CanopyParams {
 /// Panics if `tight < loose` (the canopy invariants need
 /// `loose ≤ tight`).
 pub fn canopies(points: &[(EntityId, String)], params: &CanopyParams) -> Vec<Vec<EntityId>> {
+    let docs: Vec<String> = points.iter().map(|(_, s)| s.clone()).collect();
+    let index = InvertedIndex::build(&docs, params.ngram);
+    let entities: Vec<EntityId> = points.iter().map(|&(e, _)| e).collect();
+    let queries: Vec<Query<'_>> = points.iter().map(|(_, s)| Query::Text(s)).collect();
+    run_canopies(&entities, &queries, &index, params)
+}
+
+/// Canopy clustering over entities whose n-gram features were already
+/// extracted into `cache` — the zero-recompute path: the index is built
+/// straight from the interned gram-id sets and every query is a posting
+/// merge over those same ids; no string is tokenized or hashed.
+///
+/// Entities without cached features form singleton canopies.
+///
+/// # Panics
+/// Panics if `tight < loose`.
+pub fn canopies_cached(
+    points: &[EntityId],
+    cache: &FeatureCache,
+    params: &CanopyParams,
+) -> Vec<Vec<EntityId>> {
+    static EMPTY: [u32; 0] = [];
+    let sets: Vec<&[u32]> = points
+        .iter()
+        .map(|&e| cache.get(e).map_or(&EMPTY[..], |f| f.grams.as_slice()))
+        .collect();
+    let index =
+        InvertedIndex::from_gram_ids(&sets, cache.gram_interner().len(), cache.config().ngram);
+    let queries: Vec<Query<'_>> = sets.into_iter().map(Query::GramIds).collect();
+    run_canopies(points, &queries, &index, params)
+}
+
+/// A canopy query: either a raw string or a pre-interned gram-id set.
+enum Query<'a> {
+    Text(&'a str),
+    GramIds(&'a [u32]),
+}
+
+fn run_canopies(
+    entities: &[EntityId],
+    queries: &[Query<'_>],
+    index: &InvertedIndex,
+    params: &CanopyParams,
+) -> Vec<Vec<EntityId>> {
     assert!(
         params.tight >= params.loose,
         "canopy tight threshold must be ≥ loose threshold"
     );
-    let docs: Vec<String> = points.iter().map(|(_, s)| s.clone()).collect();
-    let index = InvertedIndex::build(&docs, params.ngram);
-
-    let mut center_eligible = vec![true; points.len()];
+    let mut center_eligible = vec![true; entities.len()];
     let mut out: Vec<Vec<EntityId>> = Vec::new();
-    for center in 0..points.len() {
+    for center in 0..entities.len() {
         if !center_eligible[center] {
             continue;
         }
         center_eligible[center] = false;
-        let mut members = vec![points[center].0];
-        for (doc, sim) in index.candidates_above(&points[center].1, params.loose) {
+        let mut members = vec![entities[center]];
+        let candidates = match &queries[center] {
+            Query::Text(s) => index.candidates_above(s, params.loose),
+            Query::GramIds(ids) => index.candidates_above_ids(ids, params.loose),
+        };
+        for (doc, sim) in candidates {
             let doc_idx = doc as usize;
             if doc_idx == center {
                 continue;
             }
-            members.push(points[doc_idx].0);
+            members.push(entities[doc_idx]);
             if sim >= params.tight {
                 center_eligible[doc_idx] = false;
             }
@@ -112,16 +158,12 @@ mod tests {
         let pts = points(&["john smith", "john smith", "jane doe"]);
         let cs = canopies(&pts, &CanopyParams::default());
         assert!(
-            cs.iter()
-                .any(|c| c.contains(&e(0)) && c.contains(&e(1))),
+            cs.iter().any(|c| c.contains(&e(0)) && c.contains(&e(1))),
             "duplicates must co-occur: {cs:?}"
         );
         // An exact duplicate of a previous center cannot seed its own
         // canopy (it was removed by the tight threshold).
-        let seeded_by_duplicate = cs
-            .iter()
-            .filter(|c| c[0] == e(1))
-            .count();
+        let seeded_by_duplicate = cs.iter().filter(|c| c[0] == e(1)).count();
         assert_eq!(seeded_by_duplicate, 0);
     }
 
@@ -160,6 +202,46 @@ mod tests {
             tight: 0.1,
         };
         let _ = canopies(&pts, &params);
+    }
+
+    #[test]
+    fn cached_path_matches_string_path() {
+        use em_similarity::FeatureConfig;
+        let pts = points(&["john smith", "jon smith", "j smith", "jane doe", "j doe"]);
+        for params in [
+            CanopyParams::default(),
+            CanopyParams {
+                ngram: 2,
+                loose: 0.3,
+                tight: 0.9,
+            },
+        ] {
+            let cache = FeatureCache::from_points(
+                &pts,
+                0,
+                FeatureConfig {
+                    ngram: params.ngram,
+                },
+            );
+            let ids: Vec<EntityId> = pts.iter().map(|&(e, _)| e).collect();
+            assert_eq!(
+                canopies(&pts, &params),
+                canopies_cached(&ids, &cache, &params),
+                "ngram={}",
+                params.ngram
+            );
+        }
+    }
+
+    #[test]
+    fn cached_path_gives_featureless_entities_singletons() {
+        use em_similarity::FeatureConfig;
+        let pts = points(&["john smith", "jon smith"]);
+        let cache = FeatureCache::from_points(&pts, 0, FeatureConfig::default());
+        // e2 has no cached features.
+        let ids = vec![e(0), e(1), e(2)];
+        let cs = canopies_cached(&ids, &cache, &CanopyParams::default());
+        assert!(cs.iter().any(|c| c == &vec![e(2)]));
     }
 
     #[test]

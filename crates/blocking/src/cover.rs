@@ -77,7 +77,10 @@ mod tests {
     fn uncovered_entities_get_singletons() {
         let ds = dataset();
         let cover = cover_from_canopies(&ds, vec![vec![e(0), e(2)], vec![e(1)], vec![e(3)]], 0);
-        assert!(cover.validate_cover(&ds).is_ok(), "paper e4 must be covered");
+        assert!(
+            cover.validate_cover(&ds).is_ok(),
+            "paper e4 must be covered"
+        );
     }
 
     #[test]
@@ -93,11 +96,7 @@ mod tests {
 
     #[test]
     fn dedupe_removes_identical_neighborhoods() {
-        let cover = Cover::from_neighborhoods(vec![
-            vec![e(0), e(1)],
-            vec![e(1), e(0)],
-            vec![e(2)],
-        ]);
+        let cover = Cover::from_neighborhoods(vec![vec![e(0), e(1)], vec![e(1), e(0)], vec![e(2)]]);
         let deduped = dedupe_exact(&cover);
         assert_eq!(deduped.len(), 2);
     }

@@ -5,16 +5,29 @@
 //! index from character n-grams to document ids does exactly that: the
 //! candidates for X are the union of the posting lists of X's n-grams,
 //! and the overlap counts give an upper-bound Jaccard estimate for free.
+//!
+//! Grams are interned to dense `u32` ids at build time
+//! ([`em_similarity::TokenInterner`]), so posting lists are indexed by a
+//! plain vector and queries over **pre-interned gram ids** (the
+//! [`em_similarity::FeatureVec`] gram sets of a feature cache) never
+//! touch a string or a hash map. The `&str` query API remains as a thin
+//! wrapper that interns the query's grams on the fly.
 
 use em_core::hash::FxHashMap;
-use em_similarity::ngram::ngram_set;
+use em_similarity::feature::TokenInterner;
+use em_similarity::ngram::for_each_ngram;
 
 /// Inverted index over the character n-grams of a string collection.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
     n: usize,
-    /// n-gram → ids of documents containing it (ascending).
-    postings: FxHashMap<String, Vec<u32>>,
+    /// gram string → dense gram id. Present only when the index was
+    /// built from strings; an index built from pre-interned gram ids
+    /// ([`Self::from_gram_ids`]) borrows its caller's vocabulary and
+    /// answers id queries only.
+    grams: Option<TokenInterner>,
+    /// gram id → ids of documents containing it (ascending).
+    postings: Vec<Vec<u32>>,
     /// per-document n-gram set size (for Jaccard denominators).
     gram_counts: Vec<u32>,
 }
@@ -23,17 +36,49 @@ impl InvertedIndex {
     /// Build the index over `docs` with `n`-grams. Document ids are the
     /// slice positions.
     pub fn build(docs: &[String], n: usize) -> Self {
-        let mut postings: FxHashMap<String, Vec<u32>> = FxHashMap::default();
-        let mut gram_counts = Vec::with_capacity(docs.len());
-        for (id, doc) in docs.iter().enumerate() {
-            let grams = ngram_set(doc, n);
-            gram_counts.push(grams.len() as u32);
-            for gram in grams {
-                postings.entry(gram).or_default().push(id as u32);
+        let mut grams = TokenInterner::new();
+        let sets: Vec<Vec<u32>> = docs
+            .iter()
+            .map(|doc| {
+                let mut ids: Vec<u32> = Vec::new();
+                for_each_ngram(doc, n, |g| ids.push(grams.intern(g)));
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect();
+        let refs: Vec<&[u32]> = sets.iter().map(Vec::as_slice).collect();
+        let vocab = grams.len();
+        Self::from_parts(n, Some(grams), vocab, &refs)
+    }
+
+    /// Build from pre-interned, sorted/deduplicated gram-id sets (one
+    /// per document) over a vocabulary of `vocab_size` grams — the
+    /// zero-recompute path used when a feature cache already extracted
+    /// every document. The id sets are read once, not copied, and no
+    /// gram string is stored; query with [`Self::candidates_for_ids`] /
+    /// [`Self::candidates_above_ids`] (string queries panic).
+    pub fn from_gram_ids(sets: &[&[u32]], vocab_size: usize, n: usize) -> Self {
+        Self::from_parts(n, None, vocab_size, sets)
+    }
+
+    fn from_parts(
+        n: usize,
+        grams: Option<TokenInterner>,
+        vocab_size: usize,
+        sets: &[&[u32]],
+    ) -> Self {
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); vocab_size];
+        let mut gram_counts = Vec::with_capacity(sets.len());
+        for (id, set) in sets.iter().enumerate() {
+            gram_counts.push(set.len() as u32);
+            for &gram in *set {
+                postings[gram as usize].push(id as u32);
             }
         }
         Self {
             n,
+            grams,
             postings,
             gram_counts,
         }
@@ -59,13 +104,45 @@ impl InvertedIndex {
         self.gram_counts[id as usize]
     }
 
+    /// Distinct gram ids of a query string under the index vocabulary,
+    /// plus the query's total distinct-gram count (including grams not in
+    /// the vocabulary, which the Jaccard denominator needs).
+    ///
+    /// # Panics
+    /// Panics if the index was built from pre-interned ids (no string
+    /// vocabulary to resolve against).
+    fn query_gram_ids(&self, query: &str) -> (Vec<u32>, u32) {
+        let grams = self
+            .grams
+            .as_ref()
+            .expect("string queries require an index built from strings (InvertedIndex::build)");
+        let mut known: Vec<u32> = Vec::new();
+        let mut unknown: Vec<String> = Vec::new();
+        for_each_ngram(query, self.n, |g| match grams.get(g) {
+            Some(id) => known.push(id),
+            None => unknown.push(g.to_owned()),
+        });
+        known.sort_unstable();
+        known.dedup();
+        unknown.sort_unstable();
+        unknown.dedup();
+        let total = known.len() + unknown.len();
+        (known, total as u32)
+    }
+
     /// Candidate documents sharing at least one n-gram with `query`,
     /// with shared-gram counts. The query is an arbitrary string (not
     /// necessarily indexed).
     pub fn candidates(&self, query: &str) -> FxHashMap<u32, u32> {
+        let (ids, _) = self.query_gram_ids(query);
+        self.candidates_for_ids(&ids)
+    }
+
+    /// Candidates for a pre-interned, deduplicated gram-id set.
+    pub fn candidates_for_ids(&self, gram_ids: &[u32]) -> FxHashMap<u32, u32> {
         let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
-        for gram in ngram_set(query, self.n) {
-            if let Some(ids) = self.postings.get(&gram) {
+        for &gram in gram_ids {
+            if let Some(ids) = self.postings.get(gram as usize) {
                 for &id in ids {
                     *counts.entry(id).or_insert(0) += 1;
                 }
@@ -86,9 +163,26 @@ impl InvertedIndex {
 
     /// All candidates of `query` at Jaccard ≥ `threshold`.
     pub fn candidates_above(&self, query: &str, threshold: f64) -> Vec<(u32, f64)> {
-        let query_grams = ngram_set(query, self.n).len() as u32;
+        let (ids, total) = self.query_gram_ids(query);
+        self.candidates_above_counted(&ids, total, threshold)
+    }
+
+    /// All candidates of a pre-interned gram-id set at Jaccard ≥
+    /// `threshold`. The set must be deduplicated and drawn from the
+    /// index's own vocabulary; its length is the query's distinct-gram
+    /// count.
+    pub fn candidates_above_ids(&self, gram_ids: &[u32], threshold: f64) -> Vec<(u32, f64)> {
+        self.candidates_above_counted(gram_ids, gram_ids.len() as u32, threshold)
+    }
+
+    fn candidates_above_counted(
+        &self,
+        gram_ids: &[u32],
+        query_grams: u32,
+        threshold: f64,
+    ) -> Vec<(u32, f64)> {
         let mut out: Vec<(u32, f64)> = self
-            .candidates(query)
+            .candidates_for_ids(gram_ids)
             .into_iter()
             .map(|(id, shared)| (id, self.jaccard_from_overlap(id, query_grams, shared)))
             .filter(|&(_, sim)| sim >= threshold)
@@ -101,6 +195,7 @@ impl InvertedIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use em_similarity::ngram::ngram_set;
 
     fn docs() -> Vec<String> {
         ["john smith", "jon smith", "jane doe", "john smithe"]
@@ -151,9 +246,60 @@ mod tests {
     }
 
     #[test]
+    fn out_of_vocabulary_grams_still_count_in_denominator() {
+        let idx = InvertedIndex::build(&docs(), 3);
+        // "john smithx" shares grams with doc 0 but its novel grams must
+        // lower the Jaccard estimate below 1.
+        let hits = idx.candidates_above("john smithx", 0.1);
+        let john = hits.iter().find(|&&(id, _)| id == 0).expect("candidate");
+        let expected = {
+            let q = ngram_set("john smithx", 3);
+            let d = ngram_set("john smith", 3);
+            let shared = q.iter().filter(|g| d.contains(g)).count() as f64;
+            shared / (q.len() as f64 + d.len() as f64 - shared)
+        };
+        assert!((john.1 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interned_query_path_matches_string_path() {
+        let idx = InvertedIndex::build(&docs(), 3);
+        // Query with doc 1's own gram set: both paths must agree.
+        let mut gram_ids: Vec<u32> = Vec::new();
+        let vocab = idx.grams.as_ref().expect("string-built index");
+        for_each_ngram("jon smith", 3, |g| {
+            gram_ids.push(vocab.get(g).expect("indexed gram"));
+        });
+        gram_ids.sort_unstable();
+        gram_ids.dedup();
+        let by_ids = idx.candidates_above_ids(&gram_ids, 0.3);
+        let by_str = idx.candidates_above("jon smith", 0.3);
+        assert_eq!(by_ids, by_str);
+    }
+
+    #[test]
     fn empty_collection() {
         let idx = InvertedIndex::build(&[], 3);
         assert!(idx.is_empty());
         assert!(idx.candidates("anything").is_empty());
+    }
+
+    #[test]
+    fn id_built_index_answers_id_queries() {
+        let sets: Vec<&[u32]> = vec![&[0, 1, 2], &[1, 2, 3], &[7]];
+        let idx = InvertedIndex::from_gram_ids(&sets, 8, 3);
+        assert_eq!(idx.len(), 3);
+        let hits = idx.candidates_above_ids(&[1, 2, 3], 0.4);
+        let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(hits[1].1, 1.0, "identical set");
+    }
+
+    #[test]
+    #[should_panic(expected = "built from strings")]
+    fn id_built_index_rejects_string_queries() {
+        let sets: Vec<&[u32]> = vec![&[0, 1]];
+        let idx = InvertedIndex::from_gram_ids(&sets, 2, 3);
+        let _ = idx.candidates("john smith");
     }
 }

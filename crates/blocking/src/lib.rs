@@ -27,6 +27,6 @@ pub mod inverted_index;
 pub mod partition;
 pub mod pipeline;
 
-pub use canopy::{canopies, CanopyParams};
+pub use canopy::{canopies, canopies_cached, CanopyParams};
 pub use inverted_index::InvertedIndex;
 pub use pipeline::{block_dataset, BlockingConfig, BlockingOutput, SimilarityKernel};

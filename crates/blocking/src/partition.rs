@@ -70,9 +70,9 @@ fn components(dataset: &Dataset, members: &[EntityId]) -> Vec<Vec<EntityId>> {
 
     let mut by_root: em_core::hash::FxHashMap<usize, Vec<EntityId>> =
         em_core::hash::FxHashMap::default();
-    for i in 0..n {
+    for (i, &member) in members.iter().enumerate() {
         let root = find(&mut parent, i);
-        by_root.entry(root).or_default().push(members[i]);
+        by_root.entry(root).or_default().push(member);
     }
     let mut comps: Vec<Vec<EntityId>> = by_root.into_values().collect();
     comps.sort_unstable();

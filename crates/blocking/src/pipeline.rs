@@ -1,12 +1,20 @@
 //! The end-to-end blocking pipeline: canopies → similarity annotation →
 //! total cover.
+//!
+//! The pipeline is backed by a [`FeatureCache`]: every entity's key is
+//! tokenized, interned, and parsed **once**, the canopy pass queries the
+//! inverted index with pre-interned gram ids, and the exact kernels score
+//! from cached [`em_similarity::FeatureVec`]s. Overlapping canopies emit
+//! the same pair many times; a per-run seen-set guarantees each pair's
+//! exact similarity is computed exactly once (toggle with
+//! [`BlockingConfig::dedupe_pair_scores`] for ablations).
 
-use crate::canopy::{canopies, CanopyParams};
+use crate::canopy::{canopies_cached, CanopyParams};
 use crate::cover::{cover_from_canopies, dedupe_exact};
 use crate::partition::split_oversized;
-use em_core::{Cover, Dataset, EntityId, Pair, Result};
+use em_core::{Cover, Dataset, EntityId, Pair, PairCache, Result};
 use em_similarity::discretize::Discretizer;
-use em_similarity::{author_name_score, jaro_winkler};
+use em_similarity::{FeatureCache, FeatureConfig, FeatureVec};
 
 /// Which exact similarity kernel scores within-canopy pairs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -19,6 +27,22 @@ pub enum SimilarityKernel {
     /// capped below level 3, which is the regime where collective
     /// evidence matters.
     AuthorName,
+    /// Cosine over the cache's precomputed TF-IDF token vectors:
+    /// corpus-weighted token overlap, O(tokens) per pair with zero
+    /// recomputation.
+    TfIdfCosine,
+}
+
+impl SimilarityKernel {
+    /// Score a pair of cached feature vectors in `[0, 1]`.
+    #[inline]
+    pub fn score(self, a: &FeatureVec, b: &FeatureVec) -> f64 {
+        match self {
+            SimilarityKernel::JaroWinkler => a.key_jaro_winkler(b),
+            SimilarityKernel::AuthorName => a.author_score(b),
+            SimilarityKernel::TfIdfCosine => a.tfidf_cosine(b),
+        }
+    }
 }
 
 /// Configuration for [`block_dataset`].
@@ -45,6 +69,11 @@ pub struct BlockingConfig {
     pub boundary_hops: usize,
     /// Split neighborhoods larger than this into safe components.
     pub max_neighborhood_size: Option<usize>,
+    /// Score each within-canopy pair at most once even when overlapping
+    /// canopies emit it repeatedly (pure optimization — duplicate scores
+    /// were identical; off reproduces the naive recompute-everything
+    /// behaviour for ablations).
+    pub dedupe_pair_scores: bool,
 }
 
 impl Default for BlockingConfig {
@@ -58,6 +87,7 @@ impl Default for BlockingConfig {
             max_canopy_size: Some(384),
             boundary_hops: 1,
             max_neighborhood_size: Some(256),
+            dedupe_pair_scores: true,
         }
     }
 }
@@ -71,6 +101,10 @@ pub struct BlockingOutput {
     pub canopies: usize,
     /// Candidate pairs annotated onto the dataset.
     pub candidate_pairs: usize,
+    /// Kernel evaluations skipped because the pair-score cache had
+    /// already scored the pair in an overlapping canopy (0 when
+    /// [`BlockingConfig::dedupe_pair_scores`] is off).
+    pub pair_scores_reused: u64,
 }
 
 /// Run the full blocking pipeline on `dataset`:
@@ -86,60 +120,67 @@ pub struct BlockingOutput {
 /// (which would indicate a bug — the construction is total by design and
 /// the validation is kept as an internal consistency check).
 pub fn block_dataset(dataset: &mut Dataset, config: &BlockingConfig) -> Result<BlockingOutput> {
-    let points: Vec<(EntityId, String)> = {
+    // One pass over the corpus: tokenize, intern, parse, and weight every
+    // key exactly once. Everything below reads from this cache.
+    let cache = FeatureCache::build(
+        dataset,
+        &config.entity_type,
+        &config.key_attr,
+        FeatureConfig {
+            ngram: config.canopy.ngram,
+        },
+    );
+    let points: Vec<EntityId> = {
         let ty = dataset.entities.type_id(&config.entity_type);
         match ty {
             Some(ty) => dataset
                 .entities
                 .ids_of_type(ty)
-                .filter_map(|e| {
-                    dataset
-                        .entities
-                        .attr(e, &config.key_attr)
-                        .map(|s| (e, s.to_owned()))
-                })
+                .filter(|&e| cache.get(e).is_some())
                 .collect(),
             None => Vec::new(),
         }
     };
 
-    let mut canopy_sets = canopies(&points, &config.canopy);
+    let mut canopy_sets = canopies_cached(&points, &cache, &config.canopy);
     if let Some(max) = config.max_canopy_size {
-        let mut key_lookup: Vec<Option<&str>> = vec![None; dataset.entities.len()];
-        for (e, s) in &points {
-            key_lookup[e.index()] = Some(s.as_str());
-        }
         canopy_sets = canopy_sets
             .into_iter()
-            .flat_map(|canopy| sub_block(canopy, &key_lookup, max))
+            .flat_map(|canopy| sub_block(canopy, &cache, max))
             .collect();
     }
 
-    // Exact similarity within canopies; the key strings are looked up via
-    // a dense side table to avoid re-fetching attributes per pair.
-    let mut key_of: Vec<Option<&str>> = vec![None; dataset.entities.len()];
-    for (e, s) in &points {
-        key_of[e.index()] = Some(s.as_str());
-    }
+    // Exact similarity within canopies, straight from cached features.
+    // Overlapping canopies repeat pairs; the pair-score cache makes each
+    // pair's kernel evaluation (and level annotation) happen exactly once.
+    let scores: PairCache<f64> = PairCache::new();
     let mut candidate_pairs = 0usize;
     let mut annotations: Vec<(Pair, em_core::SimLevel)> = Vec::new();
     for canopy in &canopy_sets {
         for (i, &a) in canopy.iter().enumerate() {
             for &b in &canopy[i + 1..] {
-                let (Some(ka), Some(kb)) = (key_of[a.index()], key_of[b.index()]) else {
+                let (Some(fa), Some(fb)) = (cache.get(a), cache.get(b)) else {
                     continue;
                 };
-                let score = match config.kernel {
-                    SimilarityKernel::JaroWinkler => jaro_winkler(ka, kb),
-                    SimilarityKernel::AuthorName => author_name_score(ka, kb),
+                let pair = Pair::new(a, b);
+                let score = if config.dedupe_pair_scores {
+                    if scores.get(pair).is_some() {
+                        continue; // already scored *and* annotated
+                    }
+                    let s = config.kernel.score(fa, fb);
+                    scores.insert(pair, s);
+                    s
+                } else {
+                    config.kernel.score(fa, fb)
                 };
                 if let Some(level) = config.discretizer.level(score) {
-                    annotations.push((Pair::new(a, b), level));
+                    annotations.push((pair, level));
                 }
             }
         }
     }
-    drop(key_of);
+    let pair_scores_reused = scores.stats().hits;
+    drop(scores);
     for (pair, level) in annotations {
         if dataset.set_similar(pair, level) {
             candidate_pairs += 1;
@@ -157,26 +198,25 @@ pub fn block_dataset(dataset: &mut Dataset, config: &BlockingConfig) -> Result<B
         cover,
         canopies: canopy_sets.len(),
         candidate_pairs,
+        pair_scores_reused,
     })
 }
 
 /// Split an oversized canopy into overlapping windows over members
 /// sorted by `(last name, first name)`, so compatible author names stay
-/// within a window. Window size = `max`, stride = `max / 2`.
-fn sub_block(
-    canopy: Vec<EntityId>,
-    keys: &[Option<&str>],
-    max: usize,
-) -> Vec<Vec<EntityId>> {
+/// within a window. Window size = `max`, stride = `max / 2`. Name keys
+/// come pre-parsed from the feature cache.
+fn sub_block(canopy: Vec<EntityId>, cache: &FeatureCache, max: usize) -> Vec<Vec<EntityId>> {
     if canopy.len() <= max {
         return vec![canopy];
     }
     let mut keyed: Vec<(String, EntityId)> = canopy
         .into_iter()
         .map(|e| {
-            let parsed =
-                em_similarity::NameKey::parse(keys[e.index()].unwrap_or_default());
-            (format!("{} {}", parsed.last, parsed.first), e)
+            let key = cache
+                .get(e)
+                .map_or_else(String::new, |f| format!("{} {}", f.name.last, f.name.first));
+            (key, e)
         })
         .collect();
     keyed.sort();
@@ -210,8 +250,8 @@ mod tests {
         let name = ds.entities.intern_attr("name");
         let names = [
             "john smith",
-            "john smith",   // exact duplicate of e0
-            "jon smith",    // near duplicate
+            "john smith", // exact duplicate of e0
+            "jon smith",  // near duplicate
             "jane doe",
             "j doe",
             "minos garofalakis",
@@ -289,6 +329,38 @@ mod tests {
         );
         // Adjacent names still share a window.
         assert!(ds.is_candidate(Pair::new(e(0), e(1))));
+    }
+
+    #[test]
+    fn pair_score_dedupe_does_not_change_the_output() {
+        let mut with_dedupe = dataset();
+        let mut without = dataset();
+        let on = BlockingConfig::default();
+        let off = BlockingConfig {
+            dedupe_pair_scores: false,
+            ..Default::default()
+        };
+        let out_on = block_dataset(&mut with_dedupe, &on).unwrap();
+        let out_off = block_dataset(&mut without, &off).unwrap();
+        assert_eq!(out_on.candidate_pairs, out_off.candidate_pairs);
+        assert_eq!(out_off.pair_scores_reused, 0, "cache unused when off");
+        let mut pairs_on: Vec<_> = with_dedupe.candidate_pairs().collect();
+        let mut pairs_off: Vec<_> = without.candidate_pairs().collect();
+        pairs_on.sort_unstable();
+        pairs_off.sort_unstable();
+        assert_eq!(pairs_on, pairs_off);
+    }
+
+    #[test]
+    fn tfidf_kernel_annotates_shared_token_pairs() {
+        let mut ds = dataset();
+        let config = BlockingConfig {
+            kernel: SimilarityKernel::TfIdfCosine,
+            ..Default::default()
+        };
+        let _ = block_dataset(&mut ds, &config).unwrap();
+        // Exact duplicates share every token: cosine 1 → level 3.
+        assert_eq!(ds.similarity(Pair::new(e(0), e(1))), Some(SimLevel(3)));
     }
 
     #[test]

@@ -294,11 +294,7 @@ mod tests {
 
     #[test]
     fn from_neighborhoods_normalizes() {
-        let cover = Cover::from_neighborhoods(vec![
-            vec![e(2), e(0), e(2)],
-            vec![],
-            vec![e(1)],
-        ]);
+        let cover = Cover::from_neighborhoods(vec![vec![e(2), e(0), e(2)], vec![], vec![e(1)]]);
         assert_eq!(cover.len(), 2);
         assert_eq!(cover.members(NeighborhoodId(0)), &[e(0), e(2)]);
     }
@@ -342,8 +338,7 @@ mod tests {
     fn validate_total_detects_lost_tuples() {
         let ds = dataset();
         // Splits the coauthor edge (b1, c1) = (e2, e4) across neighborhoods.
-        let cover =
-            Cover::from_neighborhoods(vec![vec![e(0), e(1), e(2), e(3)], vec![e(4), e(5)]]);
+        let cover = Cover::from_neighborhoods(vec![vec![e(0), e(1), e(2), e(3)], vec![e(4), e(5)]]);
         assert!(cover.validate_cover(&ds).is_ok());
         assert!(matches!(
             cover.validate_total(&ds),
@@ -356,11 +351,8 @@ mod tests {
         let ds = dataset();
         // Canopy-style cover over Similar only: each similar pair is one
         // neighborhood — this is a cover but not total w.r.t. coauthor.
-        let canopies = Cover::from_neighborhoods(vec![
-            vec![e(0), e(1)],
-            vec![e(2), e(3)],
-            vec![e(4), e(5)],
-        ]);
+        let canopies =
+            Cover::from_neighborhoods(vec![vec![e(0), e(1)], vec![e(2), e(3)], vec![e(4), e(5)]]);
         assert!(canopies.validate_total(&ds).is_err());
         let total = canopies.expand_to_total(&ds, 1);
         assert!(total.validate_total(&ds).is_ok());

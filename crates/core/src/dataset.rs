@@ -274,12 +274,8 @@ mod tests {
         assert!(!ds.set_similar(p, SimLevel(3)));
         assert_eq!(ds.similarity(p), Some(SimLevel(3)));
         // Adjacency must reflect the upgrade on both endpoints.
-        assert!(ds
-            .sim_neighbors(e(0))
-            .contains(&(e(1), SimLevel(3))));
-        assert!(ds
-            .sim_neighbors(e(1))
-            .contains(&(e(0), SimLevel(3))));
+        assert!(ds.sim_neighbors(e(0)).contains(&(e(1), SimLevel(3))));
+        assert!(ds.sim_neighbors(e(1)).contains(&(e(0), SimLevel(3))));
     }
 
     #[test]

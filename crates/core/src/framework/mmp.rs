@@ -118,12 +118,18 @@ impl MessageStore {
                     };
                     let moved = self.members.remove(&loser).expect("loser is a root");
                     self.parent.insert(loser, winner);
-                    self.members.get_mut(&winner).expect("winner is a root").extend(moved);
+                    self.members
+                        .get_mut(&winner)
+                        .expect("winner is a root")
+                        .extend(moved);
                     root = winner;
                 }
                 None => {
                     self.parent.insert(p, root);
-                    self.members.get_mut(&root).expect("root has members").push(p);
+                    self.members
+                        .get_mut(&root)
+                        .expect("root has members")
+                        .push(p);
                 }
             }
         }
@@ -188,9 +194,7 @@ pub fn compute_maximal(
         .into_iter()
         .map(|(p, _)| p)
         .filter(|p| {
-            !base.contains(*p)
-                && !evidence.positive.contains(*p)
-                && !evidence.negative.contains(*p)
+            !base.contains(*p) && !evidence.positive.contains(*p) && !evidence.negative.contains(*p)
         })
         .collect();
     undecided.sort_unstable();
@@ -201,19 +205,13 @@ pub fn compute_maximal(
 
     // One conditioned probe per undecided pair: entails[i] = pairs newly
     // matched when pair i is assumed true.
-    let index: FxHashMap<Pair, usize> = undecided
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (*p, i))
-        .collect();
+    let index: FxHashMap<Pair, usize> =
+        undecided.iter().enumerate().map(|(i, p)| (*p, i)).collect();
     let entailed_sets = matcher.probe_entailed(view, evidence, base, &undecided);
     stats.matcher_calls += undecided.len() as u64;
     let mut entails: Vec<Vec<usize>> = Vec::with_capacity(undecided.len());
     for set in &entailed_sets {
-        let mut entailed: Vec<usize> = set
-            .iter()
-            .filter_map(|q| index.get(q).copied())
-            .collect();
+        let mut entailed: Vec<usize> = set.iter().filter_map(|q| index.get(q).copied()).collect();
         entailed.sort_unstable();
         entails.push(entailed);
     }
@@ -243,9 +241,9 @@ pub fn compute_maximal(
     }
 
     let mut components: FxHashMap<usize, Vec<Pair>> = FxHashMap::default();
-    for i in 0..undecided.len() {
+    for (i, &pair) in undecided.iter().enumerate() {
         let root = find(&mut parent, i);
-        components.entry(root).or_default().push(undecided[i]);
+        components.entry(root).or_default().push(pair);
     }
     let mut messages: Vec<Vec<Pair>> = components
         .into_values()
@@ -483,5 +481,94 @@ mod tests {
         let mut store = MessageStore::new();
         assert!(store.add_message(&[]).is_none());
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn merge_closure_property_holds_for_chained_overlaps() {
+        // Proposition 3(ii): the store must equal the closure (T ∪ TC)*
+        // regardless of insertion order. Insert k two-pair messages that
+        // chain through shared pairs, in several orders; the closure is
+        // always one message holding every pair.
+        let chain: Vec<[Pair; 2]> = (0..6u32)
+            .map(|i| [p(2 * i, 2 * i + 1), p(2 * i + 2, 2 * i + 3)])
+            .collect();
+        let orders: Vec<Vec<usize>> = vec![
+            (0..6).collect(),
+            (0..6).rev().collect(),
+            vec![0, 2, 4, 1, 3, 5], // merge islands, then bridge them
+        ];
+        for order in orders {
+            let mut store = MessageStore::new();
+            for &i in &order {
+                store.add_message(&chain[i]);
+            }
+            assert_eq!(
+                store.len(),
+                1,
+                "order {order:?} must close into one message"
+            );
+            let root = store.roots()[0];
+            let mut members = store.message(root).unwrap().to_vec();
+            members.sort_unstable();
+            let mut expected: Vec<Pair> = (0..7u32).map(|i| p(2 * i, 2 * i + 1)).collect();
+            expected.sort_unstable();
+            assert_eq!(members, expected);
+        }
+    }
+
+    #[test]
+    fn path_compression_is_idempotent_and_consistent() {
+        // Build a long union chain so find() exercises compression, then
+        // check repeated root queries agree for every member — before and
+        // after further merges.
+        let mut store = MessageStore::new();
+        for i in 0..10u32 {
+            store.add_message(&[p(i, 100 + i), p(i + 1, 101 + i)]);
+        }
+        assert_eq!(store.len(), 1);
+        let root = store.roots()[0];
+        for i in 0..10u32 {
+            let first = store.root_of(p(i, 100 + i));
+            let second = store.root_of(p(i, 100 + i));
+            assert_eq!(first, Some(root), "member {i} resolves to the root");
+            assert_eq!(first, second, "resolution is idempotent");
+        }
+        // A later merge through an existing member keeps one root for all.
+        store.add_message(&[p(5, 105), p(200, 201)]);
+        let new_root = store.root_of(p(200, 201)).unwrap();
+        for i in 0..10u32 {
+            assert_eq!(store.root_of(p(i, 100 + i)), Some(new_root));
+        }
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn promotion_after_merge_preserves_membership() {
+        // Regression: removing (= promoting) a message that was built from
+        // several merges must return *every* transitive member exactly
+        // once, and leave the store genuinely empty — stale parent
+        // pointers must not resurrect pairs or panic later operations.
+        let mut store = MessageStore::new();
+        store.add_message(&[p(0, 1), p(2, 3)]);
+        store.add_message(&[p(4, 5), p(6, 7)]);
+        store.add_message(&[p(2, 3), p(4, 5)]); // bridges the two
+        store.add_message(&[p(6, 7), p(8, 9)]); // extends the merged one
+        assert_eq!(store.len(), 1);
+        let root = store.root_of(p(8, 9)).unwrap();
+        let mut members = store.remove_message(root).unwrap();
+        members.sort_unstable();
+        assert_eq!(
+            members,
+            vec![p(0, 1), p(2, 3), p(4, 5), p(6, 7), p(8, 9)],
+            "promotion must carry every merged member"
+        );
+        assert!(store.is_empty());
+        for pair in [p(0, 1), p(2, 3), p(4, 5), p(6, 7), p(8, 9)] {
+            assert_eq!(store.root_of(pair), None, "{pair} must be fully retired");
+        }
+        // Retired pairs are free to seed fresh messages.
+        store.add_message(&[p(2, 3), p(8, 9)]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.message(store.roots()[0]).unwrap().len(), 2);
     }
 }

@@ -24,8 +24,7 @@ mod stats;
 mod worklist;
 
 pub use mmp::{
-    compute_maximal, mark_dirty_around, mmp, mmp_with_order, promote_dirty, MessageStore,
-    MmpConfig,
+    compute_maximal, mark_dirty_around, mmp, mmp_with_order, promote_dirty, MessageStore, MmpConfig,
 };
 pub use nomp::no_mp;
 pub use smp::{smp, smp_with_order};

@@ -76,6 +76,17 @@ impl Hasher for FxHasher {
     }
 }
 
+/// SplitMix64's output mixing function (Steele, Lea, Flood 2014): a
+/// strong bijective 64-bit finalizer. Shared by the well-behavedness
+/// checker's RNG and the cache fingerprints so the constants live in
+/// exactly one place.
+#[inline]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// `BuildHasher` producing [`FxHasher`] instances.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 

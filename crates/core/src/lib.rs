@@ -37,6 +37,7 @@
 //! | [`entity`], [`relation`], [`dataset`] | §1 | data model: entities, relations, candidate pairs, views |
 //! | [`pair`], [`evidence`] | §3 | match pairs, pair sets, evidence sets `V+`/`V−` |
 //! | [`matcher`] | §3 | Type-I / Type-II black-box abstractions, scores |
+//! | [`cache`] | — | pair memo tables + the memoizing [`CachedMatcher`] wrapper |
 //! | [`cover`] | §4 | neighborhoods, covers, total covers, boundary expansion |
 //! | [`framework`] | §5 | NO-MP, SMP (Alg. 1), MMP (Alg. 2–3) |
 //! | [`properties`] | §3 | randomized well-behavedness checker |
@@ -44,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cover;
 pub mod dataset;
 pub mod entity;
@@ -57,6 +59,7 @@ pub mod properties;
 pub mod relation;
 pub mod testing;
 
+pub use cache::{CacheStats, CachedMatcher, PairCache, PairScoreCache};
 pub use cover::{Cover, CoverStats, NeighborhoodId};
 pub use dataset::{Dataset, SimLevel, View};
 pub use entity::{AttrId, EntityId, EntityStore, TypeId};

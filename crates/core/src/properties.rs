@@ -39,10 +39,7 @@ impl SplitMix64 {
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        crate::hash::splitmix64_mix(self.state)
     }
 
     /// Uniform value in `0..bound` (`bound > 0`).
@@ -119,11 +116,7 @@ fn sample_members(
 }
 
 /// Sample evidence over a view's candidate pairs.
-fn sample_evidence(
-    rng: &mut SplitMix64,
-    pairs: &[Pair],
-    config: &CheckConfig,
-) -> Evidence {
+fn sample_evidence(rng: &mut SplitMix64, pairs: &[Pair], config: &CheckConfig) -> Evidence {
     let mut positive = PairSet::new();
     let mut negative = PairSet::new();
     for &p in pairs {
@@ -205,9 +198,10 @@ pub fn check_well_behaved(
         }
 
         // Monotonicity in positive evidence (Definition 3(ii)).
-        if let Some(&extra) = pairs.iter().find(|p| {
-            !evidence.positive.contains(**p) && !evidence.negative.contains(**p)
-        }) {
+        if let Some(&extra) = pairs
+            .iter()
+            .find(|p| !evidence.positive.contains(**p) && !evidence.negative.contains(**p))
+        {
             let more = Evidence {
                 positive: {
                     let mut pos = evidence.positive.clone();
@@ -226,9 +220,10 @@ pub fn check_well_behaved(
         }
 
         // Anti-monotonicity in negative evidence (Definition 3(iii)).
-        if let Some(&extra) = pairs.iter().find(|p| {
-            !evidence.positive.contains(**p) && !evidence.negative.contains(**p)
-        }) {
+        if let Some(&extra) = pairs
+            .iter()
+            .find(|p| !evidence.positive.contains(**p) && !evidence.negative.contains(**p))
+        {
             let more = Evidence {
                 positive: evidence.positive.clone(),
                 negative: {
@@ -328,8 +323,10 @@ mod tests {
         assert!(!report.is_well_behaved());
         // It must specifically fail idempotence or positive-evidence
         // monotonicity (it fails both in general).
-        assert!(report.violations.iter().any(|v| v.property == "idempotence"
-            || v.property == "monotone-positive-evidence"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "idempotence" || v.property == "monotone-positive-evidence"));
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl TableMatcher {
         required_entities: impl IntoIterator<Item = EntityId>,
         weight: Score,
     ) -> &mut Self {
-        assert!(weight > Score::ZERO, "synergy edges must have positive weight");
+        assert!(
+            weight > Score::ZERO,
+            "synergy edges must have positive weight"
+        );
         self.edges.push(SynergyEdge {
             vars: vars.into_iter().collect(),
             required_entities: required_entities.into_iter().collect(),
@@ -136,8 +139,7 @@ impl Matcher for TableMatcher {
             free.len()
         );
 
-        let index: FxHashMap<Pair, usize> =
-            free.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        let index: FxHashMap<Pair, usize> = free.iter().enumerate().map(|(i, p)| (*p, i)).collect();
         let unary: Vec<Score> = free.iter().map(|p| self.unary_of(*p)).collect();
         // Pre-translate edges into bitmasks over the free vars; edges with
         // a forced var drop that var, edges with a negative-evidence var
@@ -516,10 +518,7 @@ mod tests {
         ];
         assert_eq!(scorer.delta(&empty, &chain), Score::from_weight(1.0));
         // A single chain pair alone has delta −5.
-        assert_eq!(
-            scorer.delta(&empty, &chain[..1]),
-            Score::from_weight(-5.0)
-        );
+        assert_eq!(scorer.delta(&empty, &chain[..1]), Score::from_weight(-5.0));
     }
 
     #[test]

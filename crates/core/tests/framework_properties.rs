@@ -41,10 +41,8 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
             // Degenerate (i == j) edges are skipped at build time.
             let edges = proptest::collection::vec((0..np, 0..np, 1i64..9000), 0..6);
             // Neighborhoods: random subsets; a final one covers the rest.
-            let neighborhoods = proptest::collection::vec(
-                proptest::collection::vec(0..n, 1..=(n as usize)),
-                1..5,
-            );
+            let neighborhoods =
+                proptest::collection::vec(proptest::collection::vec(0..n, 1..=(n as usize)), 1..5);
             (Just(pairs), edges, neighborhoods).prop_map(move |(pairs, edges, mut nbhds)| {
                 // Guarantee a cover: add all entities as a last neighborhood
                 // half the time, otherwise ensure coverage by appending
@@ -232,7 +230,13 @@ fn paper_example_smp_recovers_b1_b2() {
 #[test]
 fn paper_example_mmp_completes_the_chain() {
     let (ds, cover, matcher, expected) = paper_example();
-    let out = mmp(&matcher, &ds, &cover, &Evidence::none(), &MmpConfig::default());
+    let out = mmp(
+        &matcher,
+        &ds,
+        &cover,
+        &Evidence::none(),
+        &MmpConfig::default(),
+    );
     assert_eq!(out.matches, expected, "§2.2: MMP = full run on the example");
     assert!(out.stats.promotions >= 1, "the chain requires a promotion");
     assert!(out.stats.maximal_messages_created >= 2);
@@ -285,7 +289,13 @@ fn paper_example_is_order_consistent_under_all_permutations() {
 fn paper_example_idempotence_of_framework() {
     // Feeding a run's output back as evidence reproduces the same output.
     let (ds, cover, matcher, _) = paper_example();
-    let first = mmp(&matcher, &ds, &cover, &Evidence::none(), &MmpConfig::default());
+    let first = mmp(
+        &matcher,
+        &ds,
+        &cover,
+        &Evidence::none(),
+        &MmpConfig::default(),
+    );
     let second = mmp(
         &matcher,
         &ds,

@@ -73,9 +73,15 @@ pub fn render(profile: &DatasetProfile, world: &World) -> GeneratedDataset {
             let parsed = em_similarity::NameKey::parse(&rendered);
             let reference = dataset.entities.add_entity(author_ty);
             dataset.entities.set_attr(reference, name_attr, key);
-            dataset.entities.set_attr(reference, fname_attr, parsed.first);
-            dataset.entities.set_attr(reference, lname_attr, parsed.last);
-            dataset.relations.add_tuple(authored, reference, paper_entity);
+            dataset
+                .entities
+                .set_attr(reference, fname_attr, parsed.first);
+            dataset
+                .entities
+                .set_attr(reference, lname_attr, parsed.last);
+            dataset
+                .relations
+                .add_tuple(authored, reference, paper_entity);
             truth.record(reference, author_idx);
             references.push(reference);
             team_refs.push(reference);

@@ -63,9 +63,10 @@ impl GroundTruth {
     /// worlds have hundreds of thousands).
     pub fn true_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
         self.clusters.values().flat_map(|cluster| {
-            cluster.iter().enumerate().flat_map(move |(i, &a)| {
-                cluster[i + 1..].iter().map(move |&b| Pair::new(a, b))
-            })
+            cluster
+                .iter()
+                .enumerate()
+                .flat_map(move |(i, &a)| cluster[i + 1..].iter().map(move |&b| Pair::new(a, b)))
         })
     }
 

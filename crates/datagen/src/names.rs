@@ -10,8 +10,8 @@
 use rand::{Rng, RngExt};
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "f", "g", "gr", "h", "j", "k", "kr", "l", "m", "n", "p", "r",
-    "s", "sh", "st", "t", "th", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "f", "g", "gr", "h", "j", "k", "kr", "l", "m", "n", "p", "r", "s",
+    "sh", "st", "t", "th", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ei", "ou"];
 const CODAS: &[&str] = &["", "n", "r", "s", "l", "m", "ng", "rd", "tt"];

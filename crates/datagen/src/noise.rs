@@ -46,14 +46,14 @@ pub fn apply_typo(rng: &mut impl Rng, s: &str) -> String {
     let pos = rng.random_range(0..chars.len());
     let random_char = (b'a' + rng.random_range(0..26u8)) as char;
     match rng.random_range(0..4u8) {
-        0 => out[pos] = random_char,                   // substitute
+        0 => out[pos] = random_char, // substitute
         1 => {
-            out.remove(pos);                           // delete
+            out.remove(pos); // delete
         }
-        2 => out.insert(pos, random_char),             // insert
+        2 => out.insert(pos, random_char), // insert
         _ => {
             if pos + 1 < out.len() {
-                out.swap(pos, pos + 1);                // transpose
+                out.swap(pos, pos + 1); // transpose
             } else {
                 out[pos] = random_char;
             }

@@ -130,14 +130,14 @@ pub fn learn_weights(
             updated = true;
             let truth_features = features(&model, &view, truth);
             let map_features = features(&model, &view, &map);
-            for level in 1..4 {
+            for (level, w) in sim_w.iter_mut().enumerate().take(4).skip(1) {
                 let diff =
                     f64::from(truth_features.sim[level]) - f64::from(map_features.sim[level]);
-                sim_w[level] += config.learning_rate * diff;
+                *w += config.learning_rate * diff;
             }
             for (i, w) in rel_w.iter_mut().enumerate() {
-                let diff = f64::from(truth_features.relational[i])
-                    - f64::from(map_features.relational[i]);
+                let diff =
+                    f64::from(truth_features.relational[i]) - f64::from(map_features.relational[i]);
                 *w = (*w + config.learning_rate * diff).max(config.min_relational_weight);
             }
         }
@@ -208,12 +208,8 @@ mod tests {
                 weight: Score(100),
             }],
         };
-        let (learned, epochs) = learn_weights(
-            &ds,
-            &examples,
-            &initial,
-            &PerceptronConfig::default(),
-        );
+        let (learned, epochs) =
+            learn_weights(&ds, &examples, &initial, &PerceptronConfig::default());
         assert!(epochs < 25, "should converge, used {epochs} epochs");
         assert!(learned.is_supermodular());
         // The learned model reproduces every training label.

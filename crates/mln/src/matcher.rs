@@ -308,14 +308,8 @@ mod tests {
         let scorer = m.global_scorer(&ds);
         let base: PairSet = [Pair::new(e(5), e(6))].into_iter().collect();
         // Re-adding a based pair is free; a non-candidate pair is ignored.
-        assert_eq!(
-            scorer.delta(&base, &[Pair::new(e(5), e(6))]),
-            Score::ZERO
-        );
-        assert_eq!(
-            scorer.delta(&base, &[Pair::new(e(0), e(8))]),
-            Score::ZERO
-        );
+        assert_eq!(scorer.delta(&base, &[Pair::new(e(5), e(6))]), Score::ZERO);
+        assert_eq!(scorer.delta(&base, &[Pair::new(e(0), e(8))]), Score::ZERO);
     }
 
     #[test]

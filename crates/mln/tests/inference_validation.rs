@@ -8,12 +8,10 @@ use em_core::entity::EntityId;
 use em_core::evidence::Evidence;
 use em_core::framework::{mmp, no_mp, smp, MmpConfig};
 use em_core::matcher::Matcher;
-use em_core::pair::{Pair, PairSet};
+use em_core::pair::Pair;
 use em_core::properties::{check_well_behaved, CheckConfig};
 use em_core::Score;
-use em_mln::{
-    ground, solve_map, solve_map_brute_force, MlnMatcher, MlnModel, RelationalRule,
-};
+use em_mln::{ground, solve_map, solve_map_brute_force, MlnMatcher, MlnModel, RelationalRule};
 use proptest::prelude::*;
 
 /// Random bibliographic-shaped instance: entities, symmetric relation
@@ -40,13 +38,15 @@ fn instance_strategy() -> impl Strategy<Value = RandomInstance> {
             [-6000i64..1000, -6000i64..1000, 0i64..13000],
             1i64..5000,
         )
-            .prop_map(|(n, coauthors, pairs, sim_weights, rel_weight)| RandomInstance {
-                n,
-                coauthors,
-                pairs,
-                sim_weights,
-                rel_weight,
-            })
+            .prop_map(
+                |(n, coauthors, pairs, sim_weights, rel_weight)| RandomInstance {
+                    n,
+                    coauthors,
+                    pairs,
+                    sim_weights,
+                    rel_weight,
+                },
+            )
     })
 }
 
@@ -216,7 +216,13 @@ fn paper_example_mmp_with_mln_matcher_equals_full_run() {
     let smp_out = smp(&matcher, &ds, &cover, &Evidence::none());
     assert_eq!(smp_out.matches.len(), 2, "SMP: + (b1, b2)");
 
-    let mmp_out = mmp(&matcher, &ds, &cover, &Evidence::none(), &MmpConfig::default());
+    let mmp_out = mmp(
+        &matcher,
+        &ds,
+        &cover,
+        &Evidence::none(),
+        &MmpConfig::default(),
+    );
     assert_eq!(mmp_out.matches, full, "MMP: complete");
 }
 

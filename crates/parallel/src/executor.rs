@@ -352,7 +352,13 @@ mod tests {
     #[test]
     fn parallel_mmp_equals_sequential_fixpoint() {
         let (ds, cover, matcher, expected) = paper_example();
-        let sequential = mmp(&matcher, &ds, &cover, &Evidence::none(), &MmpConfig::default());
+        let sequential = mmp(
+            &matcher,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &MmpConfig::default(),
+        );
         assert_eq!(sequential.matches, expected);
         for workers in [1, 3] {
             let (parallel, _) = parallel_mmp(
@@ -379,6 +385,51 @@ mod tests {
         );
         assert_eq!(trace.len(), 1);
         assert_eq!(out.matches.len(), 1);
+    }
+
+    #[test]
+    fn cached_matcher_is_shared_read_only_across_workers() {
+        // The memoizing wrapper is Sync: one instance serves every worker
+        // of every round by reference; a second run replays entirely from
+        // the shared memo without new inference.
+        let (ds, cover, matcher, expected) = paper_example();
+        let cached = em_core::CachedMatcher::new(matcher);
+        let config = ParallelConfig { workers: 4 };
+        let (out, _) = parallel_mmp(
+            &cached,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            &config,
+        );
+        assert_eq!(out.matches, expected);
+        let before = cached.stats();
+        let (replay, _) = parallel_mmp(
+            &cached,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            &config,
+        );
+        assert_eq!(replay.matches, expected);
+        let after = cached.stats();
+        assert!(after.hits > before.hits, "replay run hits the shared cache");
+        assert_eq!(
+            after.misses, before.misses,
+            "replay run performs no new inference"
+        );
+    }
+
+    #[test]
+    fn parallel_smp_with_cache_matches_uncached() {
+        let (ds, cover, matcher, _) = paper_example();
+        let cached = em_core::CachedMatcher::new(matcher.clone());
+        let config = ParallelConfig { workers: 3 };
+        let (with_cache, _) = parallel_smp(&cached, &ds, &cover, &Evidence::none(), &config);
+        let (without, _) = parallel_smp(&matcher, &ds, &cover, &Evidence::none(), &config);
+        assert_eq!(with_cache.matches, without.matches);
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl Rule {
         let mut bound = vec![false; usize::from(self.var_count)];
         let mark = |t: Term, bound: &mut Vec<bool>| {
             if usize::from(t.0) >= bound.len() {
-                return Err(format!("rule {}: variable v{} out of range", self.name, t.0));
+                return Err(format!(
+                    "rule {}: variable v{} out of range",
+                    self.name, t.0
+                ));
             }
             bound[usize::from(t.0)] = true;
             Ok(())
@@ -119,9 +122,7 @@ impl Rule {
         mark(Term::X, &mut bound)?;
         mark(Term::Y, &mut bound)?;
         for lit in &self.body {
-            let is_bound = |t: &Term| {
-                usize::from(t.0) < bound.len() && bound[usize::from(t.0)]
-            };
+            let is_bound = |t: &Term| usize::from(t.0) < bound.len() && bound[usize::from(t.0)];
             match lit {
                 Literal::Rel { a, b, name } => {
                     if !is_bound(a) && !is_bound(b) {
@@ -163,11 +164,9 @@ impl fmt::Display for Rule {
                 Literal::Rel { name, a, b } => write!(f, "{name}(v{},v{})", a.0, b.0)?,
                 Literal::Equals { a, b } => write!(f, "equals(v{},v{})", a.0, b.0)?,
                 Literal::Distinct { a, b } => write!(f, "distinct(v{},v{})", a.0, b.0)?,
-                Literal::DistinctPairs { a, b, c, d } => write!(
-                    f,
-                    "distinct_pairs(v{},v{},v{},v{})",
-                    a.0, b.0, c.0, d.0
-                )?,
+                Literal::DistinctPairs { a, b, c, d } => {
+                    write!(f, "distinct_pairs(v{},v{},v{},v{})", a.0, b.0, c.0, d.0)?
+                }
             }
         }
         Ok(())

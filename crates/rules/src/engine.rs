@@ -48,9 +48,10 @@ pub fn evaluate(view: &View<'_>, rules: &[Rule], evidence: &Evidence) -> PairSet
             if matched.contains(p) || evidence.negative.contains(p) {
                 continue;
             }
-            if rules.iter().any(|rule| {
-                derives(rule, p, view, &matched, &rel_cache)
-            }) {
+            if rules
+                .iter()
+                .any(|rule| derives(rule, p, view, &matched, &rel_cache))
+            {
                 matched.insert(p);
                 grew = true;
             }
@@ -129,8 +130,7 @@ fn satisfy(
                 return false;
             };
             let key = |x: EntityId, y: EntityId| (x.min(y), x.max(y));
-            key(ea, eb) != key(ec, ed)
-                && satisfy(body, at + 1, bindings, view, matched, rels)
+            key(ea, eb) != key(ec, ed) && satisfy(body, at + 1, bindings, view, matched, rels)
         }
         Literal::Rel { name, a, b } => {
             let Some(rel) = rels.get(name.as_str()).copied().flatten() else {

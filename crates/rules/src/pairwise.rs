@@ -28,9 +28,7 @@ impl PairwiseMatcher {
     /// Weights must be non-decreasing in the level (more similar ⇒ more
     /// likely a match).
     pub fn from_log_odds(level_weights: [f64; 4], threshold: f64) -> Self {
-        let min_level = (1..4)
-            .find(|&l| level_weights[l] >= threshold)
-            .unwrap_or(4) as u8;
+        let min_level = (1..4).find(|&l| level_weights[l] >= threshold).unwrap_or(4) as u8;
         Self {
             min_level: SimLevel(min_level),
         }

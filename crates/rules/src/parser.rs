@@ -158,7 +158,8 @@ fn parse_rule(text: &str, line: usize, index: usize) -> Result<Rule, ParseError>
         var_count: vars.len() as u8,
         body: literals,
     };
-    rule.validate().map_err(|m| ParseError { line, message: m })?;
+    rule.validate()
+        .map_err(|m| ParseError { line, message: m })?;
     Ok(rule)
 }
 

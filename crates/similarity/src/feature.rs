@@ -1,0 +1,452 @@
+//! Interned feature cache: compute each entity's string features **once**.
+//!
+//! Every matcher probe in the framework ultimately leans on string
+//! similarity, and the naive kernels re-tokenize, re-sort, re-dedup and
+//! re-hash `String` tokens on every call. This module computes, in one
+//! pass over the corpus, a per-entity [`FeatureVec`] holding
+//!
+//! * the raw key string and its parsed [`NameKey`],
+//! * sorted/deduplicated **interned token ids** (`u32`),
+//! * sorted/deduplicated **interned character n-gram ids**,
+//! * a precomputed idf-weighted sparse TF-IDF vector and its L2 norm,
+//!
+//! after which every similarity evaluation is a merge-join over small
+//! integer slices — no allocation, no hashing, no re-parsing. The
+//! original `&str` kernels remain available as thin wrappers for one-off
+//! comparisons; everything on the hot path (blocking, candidate
+//! annotation, the experiment harness) goes through the cache.
+//!
+//! Gram ids are interned from the *raw* key string and token ids from its
+//! [`normalize_name`] form, matching the legacy kernels exactly, so the
+//! cached and uncached paths are bit-for-bit interchangeable.
+
+use crate::author::author_key_score;
+use crate::jaccard::jaccard_sorted;
+use crate::jaro::jaro_winkler;
+use crate::ngram::for_each_ngram;
+use crate::normalize::{normalize_name, NameKey};
+use crate::tfidf::{dot_sparse, smoothed_idf};
+use em_core::hash::FxHashMap;
+use em_core::EntityId;
+
+/// String → dense `u32` interner (the `u32` analogue of the `u16`
+/// interner inside `em_core::EntityStore`, sized for token vocabularies).
+#[derive(Debug, Default, Clone)]
+pub struct TokenInterner {
+    names: Vec<String>,
+    index: FxHashMap<String, u32>,
+}
+
+impl TokenInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its stable dense id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("more than u32::MAX interned strings");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Id of a previously interned string.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The string behind an id.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Configuration for feature extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureConfig {
+    /// Character n-gram size (matches the blocking index).
+    pub ngram: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self { ngram: 3 }
+    }
+}
+
+/// Precomputed features of one entity's key string.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureVec {
+    /// The raw key string (as stored on the entity).
+    pub key: String,
+    /// Parsed author-name structure of `key`.
+    pub name: NameKey,
+    /// Sorted, deduplicated interned ids of `normalize_name(key)` tokens.
+    pub tokens: Vec<u32>,
+    /// Sorted, deduplicated interned ids of the raw key's char n-grams.
+    pub grams: Vec<u32>,
+    /// Sparse idf-weighted token vector, ascending by token id.
+    pub tfidf: Vec<(u32, f64)>,
+    /// L2 norm of `tfidf` (0.0 for an empty vector).
+    pub norm: f64,
+}
+
+impl FeatureVec {
+    /// Jaccard similarity of the token-id sets (= `token_jaccard` on the
+    /// raw strings).
+    #[inline]
+    pub fn token_jaccard(&self, other: &FeatureVec) -> f64 {
+        jaccard_sorted(&self.tokens, &other.tokens)
+    }
+
+    /// Jaccard similarity of the n-gram-id sets (= `ngram_jaccard` on the
+    /// raw strings, for the cache's configured `n`).
+    #[inline]
+    pub fn ngram_jaccard(&self, other: &FeatureVec) -> f64 {
+        jaccard_sorted(&self.grams, &other.grams)
+    }
+
+    /// Cosine of the precomputed TF-IDF vectors, in `[0, 1]`.
+    #[inline]
+    pub fn tfidf_cosine(&self, other: &FeatureVec) -> f64 {
+        if self.norm == 0.0 || other.norm == 0.0 {
+            return 0.0;
+        }
+        (dot_sparse(&self.tfidf, &other.tfidf) / (self.norm * other.norm)).clamp(0.0, 1.0)
+    }
+
+    /// Structure-aware author score over the cached parsed names
+    /// (= `author_name_score` on the raw strings).
+    #[inline]
+    pub fn author_score(&self, other: &FeatureVec) -> f64 {
+        author_key_score(&self.name, &other.name)
+    }
+
+    /// Jaro-Winkler over the raw key strings (char-level; kept here so
+    /// blocking can run entirely against the cache).
+    #[inline]
+    pub fn key_jaro_winkler(&self, other: &FeatureVec) -> f64 {
+        jaro_winkler(&self.key, &other.key)
+    }
+}
+
+/// Per-entity feature store: every feature computed exactly once.
+///
+/// Built in one pass over the corpus (plus an O(vocab) idf pass). Lookup
+/// is a dense index by [`EntityId`]; entities without the key attribute
+/// have no features. The cache is immutable after construction and
+/// `Sync`, so parallel workers share it read-only.
+#[derive(Debug, Clone)]
+pub struct FeatureCache {
+    config: FeatureConfig,
+    tokens: TokenInterner,
+    grams: TokenInterner,
+    features: Vec<Option<FeatureVec>>,
+    documents: usize,
+}
+
+impl FeatureCache {
+    /// Build from `(entity, key string)` points. `universe` is the
+    /// number of entity ids the dense index must cover (usually
+    /// `dataset.entities.len()`); ids at or beyond it grow the index.
+    pub fn from_points(
+        points: &[(EntityId, String)],
+        universe: usize,
+        config: FeatureConfig,
+    ) -> Self {
+        let mut tokens = TokenInterner::new();
+        let mut grams = TokenInterner::new();
+        let mut universe = universe;
+        for (e, _) in points {
+            universe = universe.max(e.index() + 1);
+        }
+        let mut features: Vec<Option<FeatureVec>> = vec![None; universe];
+
+        // Pass 1: tokenize/intern once per entity; count document
+        // frequencies over token ids.
+        let mut doc_freq: Vec<u32> = Vec::new();
+        // (entity, raw token-id sequence with multiplicity)
+        let mut token_seqs: Vec<(EntityId, Vec<u32>)> = Vec::with_capacity(points.len());
+        for (e, raw) in points {
+            let normalized = normalize_name(raw);
+            let mut seq: Vec<u32> = normalized
+                .split(' ')
+                .filter(|t| !t.is_empty())
+                .map(|t| tokens.intern(t))
+                .collect();
+            doc_freq.resize(tokens.len(), 0);
+            // Count each distinct token once per document.
+            seq.sort_unstable();
+            for (i, &t) in seq.iter().enumerate() {
+                if i == 0 || seq[i - 1] != t {
+                    doc_freq[t as usize] += 1;
+                }
+            }
+
+            let mut gram_ids: Vec<u32> = Vec::new();
+            for_each_ngram(raw, config.ngram, |g| gram_ids.push(grams.intern(g)));
+            gram_ids.sort_unstable();
+            gram_ids.dedup();
+
+            let fv = FeatureVec {
+                key: raw.clone(),
+                name: NameKey::parse(raw),
+                tokens: Vec::new(), // filled below from seq
+                grams: gram_ids,
+                tfidf: Vec::new(),
+                norm: 0.0,
+            };
+            features[e.index()] = Some(fv);
+            token_seqs.push((*e, seq));
+        }
+
+        // Pass 2: idf weights and per-entity vectors.
+        let documents = points.len();
+        let idf: Vec<f64> = doc_freq
+            .iter()
+            .map(|&df| smoothed_idf(documents, df as usize))
+            .collect();
+        for (e, seq) in token_seqs {
+            let fv = features[e.index()].as_mut().expect("filled in pass 1");
+            let mut tfidf: Vec<(u32, f64)> = Vec::new();
+            let mut distinct: Vec<u32> = Vec::with_capacity(seq.len());
+            let mut i = 0;
+            while i < seq.len() {
+                let t = seq[i];
+                let mut tf = 0usize;
+                while i < seq.len() && seq[i] == t {
+                    tf += 1;
+                    i += 1;
+                }
+                distinct.push(t);
+                tfidf.push((t, tf as f64 * idf[t as usize]));
+            }
+            fv.norm = tfidf.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+            fv.tfidf = tfidf;
+            fv.tokens = distinct; // already sorted + deduplicated
+        }
+
+        Self {
+            config,
+            tokens,
+            grams,
+            features,
+            documents,
+        }
+    }
+
+    /// Build over every entity of `entity_type` carrying `key_attr` in
+    /// the dataset — the one-pass corpus sweep the rest of the pipeline
+    /// reads from.
+    pub fn build(
+        dataset: &em_core::Dataset,
+        entity_type: &str,
+        key_attr: &str,
+        config: FeatureConfig,
+    ) -> Self {
+        let points: Vec<(EntityId, String)> = match dataset.entities.type_id(entity_type) {
+            Some(ty) => dataset
+                .entities
+                .ids_of_type(ty)
+                .filter_map(|e| {
+                    dataset
+                        .entities
+                        .attr(e, key_attr)
+                        .map(|s| (e, s.to_owned()))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        Self::from_points(&points, dataset.entities.len(), config)
+    }
+
+    /// Features of an entity, if it was in the corpus.
+    #[inline]
+    pub fn get(&self, e: EntityId) -> Option<&FeatureVec> {
+        self.features.get(e.index()).and_then(Option::as_ref)
+    }
+
+    /// The extraction configuration.
+    pub fn config(&self) -> FeatureConfig {
+        self.config
+    }
+
+    /// The token vocabulary.
+    pub fn token_interner(&self) -> &TokenInterner {
+        &self.tokens
+    }
+
+    /// The n-gram vocabulary.
+    pub fn gram_interner(&self) -> &TokenInterner {
+        &self.grams
+    }
+
+    /// Number of entities with cached features.
+    pub fn len(&self) -> usize {
+        self.documents
+    }
+
+    /// Whether the cache holds no features.
+    pub fn is_empty(&self) -> bool {
+        self.documents == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::author::author_name_score;
+    use crate::jaccard::{ngram_jaccard, token_jaccard};
+    use crate::tfidf::TfIdfModel;
+
+    fn cache(names: &[&str]) -> (FeatureCache, Vec<EntityId>) {
+        let points: Vec<(EntityId, String)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (EntityId(i as u32), (*s).to_owned()))
+            .collect();
+        let ids = points.iter().map(|&(e, _)| e).collect();
+        (
+            FeatureCache::from_points(&points, names.len(), FeatureConfig::default()),
+            ids,
+        )
+    }
+
+    const NAMES: [&str; 6] = [
+        "john smith",
+        "jane smith",
+        "mark smith",
+        "john rastogi",
+        "vibhor rastogi",
+        "minos garofalakis",
+    ];
+
+    #[test]
+    fn interner_is_stable_and_resolvable() {
+        let mut interner = TokenInterner::new();
+        let a = interner.intern("smith");
+        let b = interner.intern("doe");
+        assert_ne!(a, b);
+        assert_eq!(interner.intern("smith"), a);
+        assert_eq!(interner.get("doe"), Some(b));
+        assert_eq!(interner.get("missing"), None);
+        assert_eq!(interner.resolve(a), "smith");
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn cached_token_jaccard_matches_string_path() {
+        let (c, ids) = cache(&NAMES);
+        for &a in &ids {
+            for &b in &ids {
+                let (fa, fb) = (c.get(a).unwrap(), c.get(b).unwrap());
+                let cached = fa.token_jaccard(fb);
+                let string = token_jaccard(&fa.key, &fb.key);
+                assert!((cached - string).abs() < 1e-12, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_ngram_jaccard_matches_string_path() {
+        let (c, ids) = cache(&NAMES);
+        for &a in &ids {
+            for &b in &ids {
+                let (fa, fb) = (c.get(a).unwrap(), c.get(b).unwrap());
+                let cached = fa.ngram_jaccard(fb);
+                let string = ngram_jaccard(&fa.key, &fb.key, 3);
+                assert!((cached - string).abs() < 1e-12, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_tfidf_matches_model_fit_on_same_corpus() {
+        let (c, ids) = cache(&NAMES);
+        let model = TfIdfModel::fit(NAMES);
+        for &a in &ids {
+            for &b in &ids {
+                let (fa, fb) = (c.get(a).unwrap(), c.get(b).unwrap());
+                let cached = fa.tfidf_cosine(fb);
+                let string = model.cosine(&fa.key, &fb.key);
+                assert!(
+                    (cached - string).abs() < 1e-9,
+                    "{a} vs {b}: {cached} vs {string}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_author_score_matches_string_path() {
+        let (c, ids) = cache(&["j smith", "john smith", "smith, john", "jane doe"]);
+        for &a in &ids {
+            for &b in &ids {
+                let (fa, fb) = (c.get(a).unwrap(), c.get(b).unwrap());
+                assert_eq!(fa.author_score(fb), author_name_score(&fa.key, &fb.key));
+            }
+        }
+    }
+
+    #[test]
+    fn entities_outside_the_corpus_have_no_features() {
+        let points = vec![(EntityId(2), "john smith".to_owned())];
+        let c = FeatureCache::from_points(&points, 5, FeatureConfig::default());
+        assert!(c.get(EntityId(0)).is_none());
+        assert!(c.get(EntityId(2)).is_some());
+        assert!(c.get(EntityId(4)).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn build_from_dataset_respects_type_and_attr() {
+        let mut ds = em_core::Dataset::new();
+        let author = ds.entities.intern_type("author_ref");
+        let paper = ds.entities.intern_type("paper");
+        let name = ds.entities.intern_attr("name");
+        let a = ds.entities.add_entity(author);
+        ds.entities.set_attr(a, name, "john smith");
+        let p = ds.entities.add_entity(paper);
+        ds.entities.set_attr(p, name, "some title");
+        let nameless = ds.entities.add_entity(author);
+        let c = FeatureCache::build(&ds, "author_ref", "name", FeatureConfig::default());
+        assert!(c.get(a).is_some());
+        assert!(c.get(p).is_none(), "wrong type is skipped");
+        assert!(c.get(nameless).is_none(), "missing attribute is skipped");
+    }
+
+    #[test]
+    fn tfidf_identical_strings_score_one() {
+        let (c, ids) = cache(&NAMES);
+        let f = c.get(ids[0]).unwrap();
+        assert!((f.tfidf_cosine(f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rare_tokens_dominate_common_ones_in_cached_tfidf() {
+        let (c, _) = cache(&NAMES);
+        let rare = c
+            .get(EntityId(3))
+            .unwrap()
+            .tfidf_cosine(c.get(EntityId(4)).unwrap());
+        let common = c
+            .get(EntityId(0))
+            .unwrap()
+            .tfidf_cosine(c.get(EntityId(2)).unwrap());
+        assert!(rare > common, "{rare} <= {common}");
+    }
+}

@@ -4,8 +4,8 @@
 //! for covering) calls for a *cheap* distance; n-gram Jaccard backed by an
 //! inverted index is the standard choice and is what `em-blocking` uses.
 
-use crate::ngram::ngram_set;
-use crate::normalize::tokenize;
+use crate::ngram::padded_chars;
+use crate::normalize::normalize_name;
 
 /// Jaccard similarity of two sorted, deduplicated slices.
 pub fn jaccard_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
@@ -33,19 +33,44 @@ pub fn jaccard_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
 }
 
 /// Jaccard similarity over whitespace/punctuation tokens.
+///
+/// Tokens are compared as `&str` slices of the two normalized strings —
+/// one allocation per side instead of one per token — and each side is
+/// sorted/deduplicated once in a small reusable buffer. For repeated
+/// comparisons against a corpus, precompute interned token ids with
+/// [`crate::feature::FeatureCache`] and use
+/// [`crate::feature::FeatureVec::token_jaccard`] instead.
 pub fn token_jaccard(a: &str, b: &str) -> f64 {
-    let mut ta = tokenize(a);
-    let mut tb = tokenize(b);
-    ta.sort_unstable();
-    ta.dedup();
-    tb.sort_unstable();
-    tb.dedup();
-    jaccard_sorted(&ta, &tb)
+    fn set(s: &str) -> Vec<&str> {
+        let mut tokens: Vec<&str> = s.split(' ').filter(|t| !t.is_empty()).collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        tokens
+    }
+    let na = normalize_name(a);
+    let nb = normalize_name(b);
+    jaccard_sorted(&set(&na), &set(&nb))
 }
 
 /// Jaccard similarity over character `n`-gram sets.
+///
+/// Grams are compared as `&[char]` windows over the two padded character
+/// buffers — no per-gram `String` is ever built. The cached equivalent is
+/// [`crate::feature::FeatureVec::ngram_jaccard`].
 pub fn ngram_jaccard(a: &str, b: &str, n: usize) -> f64 {
-    jaccard_sorted(&ngram_set(a, n), &ngram_set(b, n))
+    fn set(p: &[char], n: usize) -> Vec<&[char]> {
+        let mut grams: Vec<&[char]> = if p.len() < n {
+            Vec::new()
+        } else {
+            p.windows(n).collect()
+        };
+        grams.sort_unstable();
+        grams.dedup();
+        grams
+    }
+    let pa = padded_chars(a, n);
+    let pb = padded_chars(b, n);
+    jaccard_sorted(&set(&pa, n), &set(&pb, n))
 }
 
 #[cfg(test)]

@@ -18,11 +18,18 @@
 //! All kernels return scores in `[0, 1]` with 1 = identical, are symmetric
 //! in their arguments, and operate on `&str` without allocating where
 //! possible.
+//!
+//! For anything that compares the *same* strings repeatedly (blocking,
+//! candidate annotation, the experiment harness), use [`feature`]: it
+//! interns every token and character n-gram to a `u32` once per entity
+//! and precomputes TF-IDF vectors, so each subsequent similarity call is
+//! an allocation-free merge-join over integer ids.
 
 #![warn(missing_docs)]
 
 pub mod author;
 pub mod discretize;
+pub mod feature;
 pub mod jaccard;
 pub mod jaro;
 pub mod levenshtein;
@@ -33,6 +40,7 @@ pub mod tfidf;
 
 pub use author::{author_key_score, author_name_score};
 pub use discretize::{Discretizer, Thresholds};
+pub use feature::{FeatureCache, FeatureConfig, FeatureVec, TokenInterner};
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};
 pub use normalize::{normalize_name, tokenize, NameKey};

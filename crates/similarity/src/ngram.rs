@@ -1,25 +1,49 @@
 //! Character n-gram extraction, shared by the Jaccard kernel and the
 //! blocking crate's inverted index.
 
+/// The padded character sequence n-grams are drawn from: `(n−1)` pad
+/// characters `'_'` on each side so short strings still produce grams.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn padded_chars(s: &str, n: usize) -> Vec<char> {
+    assert!(n > 0, "n-gram size must be positive");
+    let pad = std::iter::repeat_n('_', n - 1);
+    let mut padded: Vec<char> = Vec::with_capacity(s.len() + 2 * (n - 1));
+    padded.extend(pad.clone());
+    padded.extend(s.chars());
+    padded.extend(pad);
+    padded
+}
+
+/// Visit every character `n`-gram of `s` without allocating a `String`
+/// per gram: one scratch buffer is reused across windows. Grams are
+/// visited in order, duplicates included.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn for_each_ngram(s: &str, n: usize, mut f: impl FnMut(&str)) {
+    let padded = padded_chars(s, n);
+    if padded.len() < n {
+        return;
+    }
+    let mut buf = String::with_capacity(4 * n);
+    for window in padded.windows(n) {
+        buf.clear();
+        buf.extend(window.iter());
+        f(&buf);
+    }
+}
+
 /// Extract the character `n`-grams of `s` (with `(n−1)` leading/trailing
 /// pad characters `'_'` so short strings still produce grams).
 ///
 /// # Panics
 /// Panics if `n == 0`.
 pub fn ngrams(s: &str, n: usize) -> Vec<String> {
-    assert!(n > 0, "n-gram size must be positive");
-    let mut padded: Vec<char> = Vec::with_capacity(s.len() + 2 * (n - 1));
-    for _ in 0..n - 1 {
-        padded.push('_');
-    }
-    padded.extend(s.chars());
-    for _ in 0..n - 1 {
-        padded.push('_');
-    }
-    if padded.len() < n {
-        return Vec::new();
-    }
-    padded.windows(n).map(|w| w.iter().collect()).collect()
+    let mut out = Vec::new();
+    for_each_ngram(s, n, |g| out.push(g.to_owned()));
+    out
 }
 
 /// Deduplicated, sorted n-gram set (for set-based similarity).
@@ -62,5 +86,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_n_panics() {
         let _ = ngrams("abc", 0);
+    }
+
+    #[test]
+    fn streaming_visitor_matches_materialized_grams() {
+        for (s, n) in [("ab", 2), ("", 3), ("rastogi", 3), ("a", 4)] {
+            let mut streamed = Vec::new();
+            for_each_ngram(s, n, |g| streamed.push(g.to_owned()));
+            assert_eq!(streamed, ngrams(s, n), "{s:?} n={n}");
+        }
     }
 }

@@ -21,11 +21,10 @@ pub fn normalize_name(raw: &str) -> String {
             None
         };
         match mapped {
+            Some(' ') if last_was_space => {}
             Some(' ') => {
-                if !last_was_space {
-                    out.push(' ');
-                    last_was_space = true;
-                }
+                out.push(' ');
+                last_was_space = true;
             }
             Some(c) => {
                 out.push(c);
@@ -50,7 +49,7 @@ pub fn tokenize(s: &str) -> Vec<String> {
 }
 
 /// A parsed author name: first token(s) and last token, normalized.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct NameKey {
     /// Given name or initial (may be empty).
     pub first: String,

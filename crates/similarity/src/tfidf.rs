@@ -4,40 +4,82 @@
 //! ones. [`TfIdfModel`] is fit over all entity strings once and then scores
 //! pairs with the cosine of their idf-weighted token vectors — used as an
 //! alternative similarity source in examples and ablations.
+//!
+//! The vocabulary is keyed by **interned token ids**
+//! ([`crate::feature::TokenInterner`]), so fitting hashes each distinct
+//! token string exactly once and idf lookup is a dense array index. The
+//! per-entity vectors the model produces are the same representation
+//! [`crate::feature::FeatureVec`] precomputes; [`dot_sparse`] is the
+//! shared merge-join kernel.
 
+use crate::feature::TokenInterner;
+use crate::normalize::tokenize;
 use em_core::hash::FxHashMap;
 
-use crate::normalize::tokenize;
+/// Smoothed inverse document frequency: always positive, stable for
+/// `df == 0` (out-of-vocabulary smoothing).
+#[inline]
+pub fn smoothed_idf(documents: usize, df: usize) -> f64 {
+    ((1.0 + documents as f64) / (1.0 + df as f64)).ln() + 1.0
+}
+
+/// Dot product of two sparse vectors sorted ascending by id. Callers
+/// normalize by the vector norms themselves to obtain a cosine (cached
+/// norms make the full cosine a single merge-join; see
+/// `FeatureVec::tfidf_cosine`).
+#[inline]
+pub fn dot_sparse(a: &[(u32, f64)], b: &[(u32, f64)]) -> f64 {
+    let mut dot = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    dot
+}
 
 /// Fitted TF-IDF weights for a token vocabulary.
 #[derive(Debug, Clone, Default)]
 pub struct TfIdfModel {
-    /// token → (vocabulary id, idf weight)
-    vocab: FxHashMap<String, (u32, f64)>,
+    /// token string → dense vocabulary id.
+    vocab: TokenInterner,
+    /// idf weight per vocabulary id.
+    idf: Vec<f64>,
     documents: usize,
 }
 
 impl TfIdfModel {
     /// Fit the model on a corpus of strings (one "document" each).
     pub fn fit<'a>(corpus: impl IntoIterator<Item = &'a str>) -> Self {
-        let mut doc_freq: FxHashMap<String, usize> = FxHashMap::default();
+        let mut vocab = TokenInterner::new();
+        let mut doc_freq: Vec<usize> = Vec::new();
         let mut documents = 0usize;
         for doc in corpus {
             documents += 1;
-            let mut tokens = tokenize(doc);
-            tokens.sort_unstable();
-            tokens.dedup();
-            for t in tokens {
-                *doc_freq.entry(t).or_insert(0) += 1;
+            let mut ids: Vec<u32> = tokenize(doc).iter().map(|t| vocab.intern(t)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            doc_freq.resize(vocab.len(), 0);
+            for id in ids {
+                doc_freq[id as usize] += 1;
             }
         }
-        let mut vocab = FxHashMap::default();
-        for (i, (token, df)) in doc_freq.into_iter().enumerate() {
-            // Smoothed idf; always positive.
-            let idf = ((1.0 + documents as f64) / (1.0 + df as f64)).ln() + 1.0;
-            vocab.insert(token, (i as u32, idf));
+        let idf = doc_freq
+            .iter()
+            .map(|&df| smoothed_idf(documents, df))
+            .collect();
+        Self {
+            vocab,
+            idf,
+            documents,
         }
-        Self { vocab, documents }
     }
 
     /// Number of documents the model was fit on.
@@ -50,19 +92,29 @@ impl TfIdfModel {
         self.vocab.len()
     }
 
+    /// The fitted vocabulary interner.
+    pub fn vocab(&self) -> &TokenInterner {
+        &self.vocab
+    }
+
+    /// Idf weight of a vocabulary id.
+    #[inline]
+    pub fn idf(&self, id: u32) -> f64 {
+        self.idf[id as usize]
+    }
+
     /// Sparse idf-weighted vector of a string (sorted by vocabulary id;
     /// out-of-vocabulary tokens are ignored).
     pub fn vector(&self, s: &str) -> Vec<(u32, f64)> {
-        let mut counts: FxHashMap<u32, (f64, f64)> = FxHashMap::default();
+        let mut counts: FxHashMap<u32, f64> = FxHashMap::default();
         for t in tokenize(s) {
-            if let Some(&(id, idf)) = self.vocab.get(&t) {
-                let entry = counts.entry(id).or_insert((0.0, idf));
-                entry.0 += 1.0;
+            if let Some(id) = self.vocab.get(&t) {
+                *counts.entry(id).or_insert(0.0) += 1.0;
             }
         }
         let mut vec: Vec<(u32, f64)> = counts
             .into_iter()
-            .map(|(id, (tf, idf))| (id, tf * idf))
+            .map(|(id, tf)| (id, tf * self.idf[id as usize]))
             .collect();
         vec.sort_unstable_by_key(|&(id, _)| id);
         vec
@@ -72,26 +124,12 @@ impl TfIdfModel {
     pub fn cosine(&self, a: &str, b: &str) -> f64 {
         let va = self.vector(a);
         let vb = self.vector(b);
-        let norm =
-            |v: &[(u32, f64)]| v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        let norm = |v: &[(u32, f64)]| v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
         let (na, nb) = (norm(&va), norm(&vb));
         if na == 0.0 || nb == 0.0 {
             return 0.0;
         }
-        let mut dot = 0.0;
-        let (mut i, mut j) = (0, 0);
-        while i < va.len() && j < vb.len() {
-            match va[i].0.cmp(&vb[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    dot += va[i].1 * vb[j].1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        (dot / (na * nb)).clamp(0.0, 1.0)
+        (dot_sparse(&va, &vb) / (na * nb)).clamp(0.0, 1.0)
     }
 }
 
@@ -147,5 +185,23 @@ mod tests {
         for (a, b) in [("john smith", "jane smith"), ("john rastogi", "smith")] {
             assert!((m.cosine(a, b) - m.cosine(b, a)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn idf_is_monotone_in_rarity() {
+        let m = model();
+        let smith = m.vocab().get("smith").unwrap();
+        let rastogi = m.vocab().get("rastogi").unwrap();
+        let minos = m.vocab().get("minos").unwrap();
+        assert!(m.idf(smith) < m.idf(rastogi));
+        assert!(m.idf(rastogi) < m.idf(minos));
+    }
+
+    #[test]
+    fn dot_sparse_is_a_merge_join() {
+        let a = [(1u32, 1.0), (3, 2.0), (5, 1.0)];
+        let b = [(2u32, 4.0), (3, 0.5), (5, 2.0)];
+        assert_eq!(dot_sparse(&a, &b), 2.0 * 0.5 + 1.0 * 2.0);
+        assert_eq!(dot_sparse(&a, &[]), 0.0);
     }
 }

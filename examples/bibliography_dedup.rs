@@ -65,10 +65,7 @@ fn main() {
             "MMP",
             mmp(&matcher, &dataset, &cover, &none, &MmpConfig::default()).matches,
         ),
-        (
-            "FULL",
-            matcher.match_view(&dataset.full_view(), &none),
-        ),
+        ("FULL", matcher.match_view(&dataset.full_view(), &none)),
     ];
 
     // 5. Evaluate.

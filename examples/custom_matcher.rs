@@ -9,12 +9,12 @@
 //!
 //! Run with: `cargo run --release --example custom_matcher`
 
+use em_blocking::{block_dataset, BlockingConfig, SimilarityKernel};
 use em_core::evidence::Evidence;
 use em_core::framework::smp;
 use em_core::properties::{check_well_behaved, CheckConfig};
 use em_core::{Matcher, PairSet, RelationId, SimLevel, View};
 use em_datagen::{generate, DatasetProfile};
-use em_blocking::{block_dataset, BlockingConfig, SimilarityKernel};
 
 /// Matches level-3 pairs outright, and level-2 pairs whose papers cite a
 /// common paper; iterates nothing (a one-shot matcher), but echoes
@@ -25,7 +25,12 @@ struct CommonCitationMatcher {
 }
 
 impl CommonCitationMatcher {
-    fn shares_cited_paper(&self, view: &View<'_>, a: em_core::EntityId, b: em_core::EntityId) -> bool {
+    fn shares_cited_paper(
+        &self,
+        view: &View<'_>,
+        a: em_core::EntityId,
+        b: em_core::EntityId,
+    ) -> bool {
         let rels = &view.dataset().relations;
         // papers of a → papers they cite; same for b; non-empty overlap?
         let cited_by = |r: em_core::EntityId| -> Vec<em_core::EntityId> {
@@ -50,8 +55,7 @@ impl Matcher for CommonCitationMatcher {
             .filter(|&(p, level)| {
                 !evidence.negative.contains(p)
                     && (level >= SimLevel(3)
-                        || (level >= SimLevel(2)
-                            && self.shares_cited_paper(view, p.lo(), p.hi())))
+                        || (level >= SimLevel(2) && self.shares_cited_paper(view, p.lo(), p.hi())))
             })
             .map(|(p, _)| p)
             .collect();
@@ -90,7 +94,11 @@ fn main() {
     let report = check_well_behaved(&matcher, &dataset, &blocking.cover, &CheckConfig::default());
     println!(
         "well-behavedness: {} ({} cases, {} violations)",
-        if report.is_well_behaved() { "PASS" } else { "FAIL" },
+        if report.is_well_behaved() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         report.cases,
         report.violations.len()
     );

@@ -46,8 +46,13 @@ fn main() {
 
     // Parallel SMP must reach the sequential fixpoint (consistency).
     let workers = ParallelConfig::default().workers;
-    let (parallel_out, smp_trace) =
-        parallel_smp(&matcher, &dataset, &cover, &none, &ParallelConfig { workers });
+    let (parallel_out, smp_trace) = parallel_smp(
+        &matcher,
+        &dataset,
+        &cover,
+        &none,
+        &ParallelConfig { workers },
+    );
     let sequential = smp(&matcher, &dataset, &cover, &none);
     assert_eq!(
         parallel_out.matches, sequential.matches,
@@ -72,7 +77,13 @@ fn main() {
     );
 
     // Grid simulation: replay measured costs on m machines.
-    let mut table = Table::new(["machines", "SMP makespan", "MMP makespan", "SMP speedup", "skew"]);
+    let mut table = Table::new([
+        "machines",
+        "SMP makespan",
+        "MMP makespan",
+        "SMP speedup",
+        "skew",
+    ]);
     for machines in [1usize, 5, 10, 30] {
         let params = GridParams {
             machines,

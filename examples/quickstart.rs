@@ -24,7 +24,11 @@ fn main() {
 
     // The infeasible-at-scale baseline: run the matcher holistically.
     let full = matcher.match_view(&dataset.full_view(), &Evidence::none());
-    println!("\nfull holistic run      → {} matches: {}", full.len(), full);
+    println!(
+        "\nfull holistic run      → {} matches: {}",
+        full.len(),
+        full
+    );
     println!(
         "optimal score          → {}",
         matcher.log_score(&dataset.full_view(), &full)
@@ -33,7 +37,11 @@ fn main() {
     // NO-MP: independent neighborhood runs (only (c1, c2) is locally
     // decidable, thanks to the shared coauthor d1).
     let nomp = no_mp(&matcher, &dataset, &cover, &Evidence::none());
-    println!("\nNO-MP                  → {} matches: {}", nomp.matches.len(), nomp.matches);
+    println!(
+        "\nNO-MP                  → {} matches: {}",
+        nomp.matches.len(),
+        nomp.matches
+    );
 
     // SMP: (c1, c2) travels as a simple message and unlocks (b1, b2).
     let smp_run = smp(&matcher, &dataset, &cover, &Evidence::none());

@@ -1,0 +1,390 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Vendors the API surface the workspace's benches use (`Criterion`,
+//! benchmark groups, `BenchmarkId`, `iter`/`iter_batched`, the
+//! `criterion_group!`/`criterion_main!` macros) with a real — if much
+//! simpler — measurement loop: per benchmark it warms up, picks an
+//! iteration count targeting a fixed sample duration, takes N timed
+//! samples, and reports the median per-iteration time. Results are
+//! printed and appended as JSON lines to
+//! `target/criterion/results.jsonl` (override the directory with
+//! `CRITERION_HOME`) so baselines can be recorded in-repo.
+//!
+//! Passing `--test` (what `cargo test --benches` does) runs every
+//! benchmark exactly once, unmeasured, as a smoke test.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Samples per benchmark (overridable per group via
+/// [`BenchmarkGroup::sample_size`]).
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Target wall time of one sample; total per benchmark ≈ samples × this.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility;
+/// the stand-in always runs setup per batch, unmeasured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-run for every single iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a displayed parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One measured result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest observed sample.
+    pub min: Duration,
+    /// Slowest observed sample.
+    pub max: Duration,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            test_mode,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_owned(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    fn run<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            measurement: None,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok (bench smoke)");
+            return;
+        }
+        if let Some((median, min, max, iters)) = bencher.measurement {
+            let m = Measurement {
+                id: id.clone(),
+                median,
+                min,
+                max,
+                iters_per_sample: iters,
+            };
+            println!(
+                "{:<48} time: [{} {} {}]",
+                m.id,
+                fmt_ns(m.min),
+                fmt_ns(m.median),
+                fmt_ns(m.max)
+            );
+            append_result(&m);
+            self.results.push(m);
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark named `name` within the group.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into_bench_id());
+        self.criterion.run(id, self.sample_size, f);
+        self
+    }
+
+    /// Run a benchmark with an explicit input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run(full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Things accepted as a benchmark name within a group.
+pub trait IntoBenchId {
+    /// The rendered id fragment.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// (median, min, max, iters-per-sample) of the last `iter` call.
+    measurement: Option<(Duration, Duration, Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `routine` called in a tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warmup + calibration: how many iterations fill the target
+        // sample time?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME / 2 || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        self.measurement = Some((median, samples[0], samples[samples.len() - 1], iters));
+    }
+
+    /// Measure `routine` with per-batch setup excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        // Calibrate: batches of 1 input; repeat batch until sample time met.
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            let mut count: u32 = 0;
+            while elapsed < TARGET_SAMPLE_TIME / 4 && count < 1 << 16 {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                elapsed += start.elapsed();
+                count += 1;
+            }
+            samples.push(elapsed / count.max(1));
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        self.measurement = Some((median, samples[0], samples[samples.len() - 1], 1));
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn append_result(m: &Measurement) {
+    // The crate's own unit tests must not litter result files.
+    if cfg!(test) {
+        return;
+    }
+    let dir = std::env::var("CRITERION_HOME").unwrap_or_else(|_| "target/criterion".to_owned());
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = std::path::Path::new(&dir).join("results.jsonl");
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(
+            file,
+            "{{\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"iters_per_sample\":{}}}",
+            m.id.replace('"', "'"),
+            m.median.as_nanos(),
+            m.min.as_nanos(),
+            m.max.as_nanos(),
+            m.iters_per_sample
+        );
+    }
+}
+
+/// Group benchmark functions into one runner, as upstream criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("solve", 128).id, "solve/128");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut c = Criterion {
+            test_mode: false,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].median.as_nanos() < 1_000_000);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        let mut c = Criterion {
+            test_mode: true,
+            results: Vec::new(),
+        };
+        let mut ran = false;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || 21,
+                |x| std::hint::black_box(x * 2),
+                BatchSize::SmallInput,
+            );
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

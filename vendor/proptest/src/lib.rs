@@ -1,0 +1,378 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Vendors the subset the workspace's property tests use: range and tuple
+//! strategies, [`Just`], `collection::vec`, `prop_map`/`prop_flat_map`,
+//! the `proptest!` macro, and the `prop_assert*`/`prop_assume!` macros.
+//! Cases are generated from a fixed seed (deterministic across runs);
+//! there is **no shrinking** — a failing case is reported as-is with its
+//! case index, which is enough to reproduce (same seed, same sequence).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not failed.
+    Reject,
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config requiring `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator. Unlike upstream there is no shrinking tree — a
+/// strategy simply produces values from the runner's RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy yielding a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Ranges usable as collection sizes.
+    pub trait SizeRange {
+        /// Draw a size.
+        fn sample(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rand::RngExt::random_range(rng, self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rand::RngExt::random_range(rng, self.clone())
+        }
+    }
+
+    /// Strategy for vectors of values from `element` with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Run a property test body over generated cases. Used by the
+/// `proptest!` macro; not part of the upstream API.
+pub fn run_cases<S: Strategy>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    // Seed derived from the test name so distinct tests explore distinct
+    // sequences, deterministically.
+    let seed = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(100);
+    while passed < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "proptest {test_name}: too many rejected cases \
+                 ({passed}/{} passed after {attempts} attempts)",
+                config.cases
+            );
+        }
+        attempts += 1;
+        let value = strategy.generate(&mut rng);
+        match body(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {test_name}: case {attempts} failed: {msg}")
+            }
+        }
+    }
+}
+
+/// The common imports, mirroring upstream's prelude.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Assert inside a property test; failure fails only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declare property tests: each `fn name(pat in strategy) { .. }` becomes
+/// a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (@munch ($config:expr)) => {};
+    (
+        @munch ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($pat:pat in $strategy:expr) $body:block
+        $($rest:tt)*
+    ) => {
+        // Callers write `#[test]` (and doc comments) themselves, exactly
+        // as with upstream proptest; the macro passes attributes through.
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = $strategy;
+            $crate::run_cases(
+                stringify!($name),
+                &config,
+                &strategy,
+                |$pat| -> Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let s = (2u32..5).prop_flat_map(|n| (Just(n), collection::vec(0u32..n, 1..4)));
+        for _ in 0..100 {
+            let (n, v) = s.generate(&mut rng);
+            assert!((2..5).contains(&n));
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_assertions_work(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 10);
+            prop_assert_eq!(x + 1, x + 1);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}
