@@ -34,13 +34,10 @@ fn corpus() -> Corpus {
                 .to_owned()
         })
         .collect();
-    let points: Vec<(EntityId, String)> = names
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (EntityId(i as u32), s.clone()))
-        .collect();
-    let cache = FeatureCache::from_points(&points, points.len(), FeatureConfig::default());
-    let entities: Vec<EntityId> = points.iter().map(|&(e, _)| e).collect();
+    // Reuse the generator's shared cache instead of re-interning the
+    // corpus — the same object the blocking pipeline scores from.
+    let cache = generated.features;
+    let entities: Vec<EntityId> = generated.references.clone();
     // Deterministic pseudo-canopy pair sample: each entity vs 8 strided
     // neighbors.
     let n = names.len();

@@ -1,5 +1,5 @@
 //! Figures 3(d), 3(e): running-time comparison of NO-MP, SMP, MMP with
-//! the MLN matcher.
+//! the MLN matcher, plus the evidence-delta ablation.
 //!
 //! The paper's counter-intuitive result: better message passing is
 //! *faster*, because evidence shrinks the active size of revisited
@@ -13,27 +13,40 @@
 //! Usage:
 //!   fig3_runtime [--dataset hepth|dblp|both] [--scale 0.02]
 //!                [--backend exact|walksat|both] [--seed N]
-//!                [--cache on|off|both]
+//!                [--cache on|off|both] [--incremental on|off|both]
+//!                [--bench-out PATH|none]
 //!
 //! `--cache` toggles the zero-recompute matcher memo
-//! ([`em_core::CachedMatcher`]): `on` (default) wraps the matcher so the
-//! NO-MP → SMP → MMP sweeps replay repeated neighborhood evaluations and
-//! probes from the shared memo; `off` reproduces the naive
-//! recompute-everything path; `both` runs the ablation and prints the
-//! cache hit statistics next to each arm. The memo is shared across the
-//! three schemes on purpose — with the cache on, each row reports its
-//! *incremental* cost in sweep order (the per-scheme "cache hits" column
-//! shows the inherited reuse); use `--cache off` for isolated
-//! scheme-vs-scheme timing.
+//! ([`em_core::CachedMatcher`]); see the README's feature-cache section.
+//!
+//! `--incremental` toggles the evidence-delta engine's probe replay
+//! ([`MmpConfig::incremental`]): `on` (default) re-probes only undecided
+//! pairs whose ground-interaction component the delta touched and
+//! replays the rest from the per-neighborhood memo; `off` reproduces the
+//! probe-everything revisit. `both` runs the ablation, verifies the two
+//! arms produce **byte-identical** match sets for every scheme (the
+//! binary exits non-zero on divergence with the exact backend — CI runs
+//! exactly this), and reports the conditioned-probe reduction. Results
+//! are appended to `BENCH_framework.json` (`--bench-out none` skips).
 
-use em_bench::{prepare_opts, Flags, Workload};
+use em_bench::{
+    prepare_opts, ArmRecord, Flags, FrameworkReport, SchemeRecord, Workload, WorkloadRecord,
+};
 use em_core::evidence::Evidence;
 use em_core::framework::{mmp, no_mp, smp, MmpConfig};
-use em_core::CachedMatcher;
+use em_core::{CachedMatcher, MatchOutput};
 use em_eval::{fmt_duration, Table};
 use em_mln::MlnMatcher;
 
-fn run_backend(w: &Workload, inner: &MlnMatcher, label: &str, cache: bool) {
+/// One (backend, cache, incremental) sweep: NO-MP → SMP → MMP.
+/// Returns the per-scheme outputs plus the matcher memo's final
+/// hit/miss counters.
+fn run_arm(
+    w: &Workload,
+    inner: &MlnMatcher,
+    cache: bool,
+    incremental: bool,
+) -> (Vec<(MatchOutput, u64)>, em_core::CacheStats) {
     let matcher = if cache {
         CachedMatcher::new(inner.clone())
     } else {
@@ -41,43 +54,59 @@ fn run_backend(w: &Workload, inner: &MlnMatcher, label: &str, cache: bool) {
     };
     let matcher = &matcher;
     let none = Evidence::none();
-    let mut table = Table::new([
-        "scheme",
-        "time",
-        "matcher calls",
-        "cache hits",
-        "active pairs",
-        "messages",
-        "matches",
-    ]);
+    let mmp_config = MmpConfig {
+        incremental,
+        ..Default::default()
+    };
     // Schemes share one warm memo (that cross-scheme reuse is the point
     // of the cache), so the cached rows measure *incremental* cost in
     // this sweep order; the per-scheme "cache hits" column makes the
     // inherited reuse visible. Compare schemes in isolation with
     // --cache off.
-    type Run<'a> = (&'a str, Box<dyn Fn() -> em_core::MatchOutput + 'a>);
+    type Run<'a> = Box<dyn Fn() -> MatchOutput + 'a>;
     let runs: [Run<'_>; 3] = [
-        (
-            "NO-MP",
-            Box::new(|| no_mp(matcher, &w.dataset, &w.cover, &none)),
-        ),
-        (
-            "SMP",
-            Box::new(|| smp(matcher, &w.dataset, &w.cover, &none)),
-        ),
-        (
-            "MMP",
-            Box::new(|| mmp(matcher, &w.dataset, &w.cover, &none, &MmpConfig::default())),
-        ),
+        Box::new(|| no_mp(matcher, &w.dataset, &w.cover, &none)),
+        Box::new(|| smp(matcher, &w.dataset, &w.cover, &none)),
+        Box::new(|| mmp(matcher, &w.dataset, &w.cover, &none, &mmp_config)),
     ];
-    for (scheme, run) in runs {
-        let before = matcher.stats();
-        let output = run();
-        let hits = matcher.stats().hits - before.hits;
+    let rows = runs
+        .iter()
+        .map(|run| {
+            let before = matcher.stats();
+            let output = run();
+            (output, matcher.stats().hits - before.hits)
+        })
+        .collect();
+    (rows, matcher.stats())
+}
+
+const SCHEMES: [&str; 3] = ["NO-MP", "SMP", "MMP"];
+
+fn print_arm(
+    w: &Workload,
+    label: &str,
+    cache: bool,
+    incremental: bool,
+    rows: &[(MatchOutput, u64)],
+) {
+    let mut table = Table::new([
+        "scheme",
+        "time",
+        "matcher calls",
+        "probes",
+        "replayed",
+        "cache hits",
+        "active pairs",
+        "messages",
+        "matches",
+    ]);
+    for (scheme, (output, hits)) in SCHEMES.iter().zip(rows) {
         table.push_row([
-            scheme.to_owned(),
+            (*scheme).to_owned(),
             fmt_duration(output.stats.wall_time),
             output.stats.matcher_calls.to_string(),
+            output.stats.conditioned_probes.to_string(),
+            output.stats.probes_replayed.to_string(),
             hits.to_string(),
             output.stats.active_pairs_evaluated.to_string(),
             output.stats.messages_sent.to_string(),
@@ -85,29 +114,146 @@ fn run_backend(w: &Workload, inner: &MlnMatcher, label: &str, cache: bool) {
         ]);
     }
     println!(
-        "\nFig. 3({}) — running times, MLN matcher [{label} backend, cache {}]",
+        "\nFig. 3({}) — running times, MLN matcher [{label} backend, cache {}, incremental {}]",
         if w.name == "hepth" { "d" } else { "e" },
-        if cache { "on" } else { "off" }
+        if cache { "on" } else { "off" },
+        if incremental { "on" } else { "off" },
     );
     print!("{}", table.render());
-    if cache {
-        let stats = matcher.stats();
-        println!(
-            "eval cache: {} hits / {} misses ({:.1}% reuse)",
-            stats.hits,
-            stats.misses,
-            100.0 * stats.hit_rate()
-        );
-    }
 }
 
-fn run_dataset(name: &str, scale: f64, seed: Option<u64>, backend: &str, cache: &str) {
-    let cache_arms: &[bool] = match cache {
-        "on" => &[true],
-        "off" => &[false],
-        "both" => &[false, true],
-        other => panic!("unknown --cache {other:?}; expected on | off | both"),
+/// Run the incremental ablation for one backend and record it.
+#[allow(clippy::too_many_arguments)]
+fn run_backend(
+    w: &Workload,
+    inner: &MlnMatcher,
+    label: &str,
+    cache: bool,
+    incremental_arms: &[bool],
+    scale: f64,
+    seed: Option<u64>,
+    report: &mut FrameworkReport,
+) -> bool {
+    let mut arms: Vec<ArmRecord> = Vec::new();
+    let mut outputs: Vec<Vec<(MatchOutput, u64)>> = Vec::new();
+    for &incremental in incremental_arms {
+        let (rows, memo_stats) = run_arm(w, inner, cache, incremental);
+        print_arm(w, label, cache, incremental, &rows);
+        if cache {
+            println!(
+                "eval cache: {} hits / {} misses ({:.1}% reuse)",
+                memo_stats.hits,
+                memo_stats.misses,
+                100.0 * memo_stats.hit_rate()
+            );
+        }
+        arms.push(ArmRecord {
+            incremental,
+            schemes: SCHEMES
+                .iter()
+                .zip(&rows)
+                .map(|(scheme, (output, hits))| SchemeRecord::from_output(scheme, output, *hits))
+                .collect(),
+        });
+        outputs.push(rows);
+    }
+
+    let mut identical = None;
+    let mut reduction = None;
+    let mut ok = true;
+    if outputs.len() == 2 {
+        let mut same = true;
+        for (i, scheme) in SCHEMES.iter().enumerate() {
+            if outputs[0][i].0.matches != outputs[1][i].0.matches {
+                same = false;
+                println!(
+                    "!! {scheme}: match outputs DIVERGE between --incremental arms \
+                     ({} vs {} matches)",
+                    outputs[0][i].0.matches.len(),
+                    outputs[1][i].0.matches.len()
+                );
+            }
+        }
+        identical = Some(same);
+        let full_probes = outputs
+            .iter()
+            .zip(incremental_arms)
+            .find(|(_, inc)| !**inc)
+            .map(|(rows, _)| rows[2].0.stats.conditioned_probes);
+        let incr_probes = outputs
+            .iter()
+            .zip(incremental_arms)
+            .find(|(_, inc)| **inc)
+            .map(|(rows, _)| rows[2].0.stats.conditioned_probes);
+        if let (Some(full), Some(incr)) = (full_probes, incr_probes) {
+            let pct = if full > 0 {
+                100.0 * (full.saturating_sub(incr)) as f64 / full as f64
+            } else {
+                0.0
+            };
+            reduction = Some(pct);
+            println!(
+                "incremental ablation: outputs {} | MMP conditioned probes {full} -> {incr} \
+                 ({pct:.1}% fewer)",
+                if same {
+                    "byte-identical ✓"
+                } else {
+                    "DIVERGED ✗"
+                },
+            );
+        }
+        if !same {
+            if label == "exact" {
+                // Exact supermodular inference factorizes over ground
+                // components, so divergence means a bug — fail loudly
+                // (CI runs this ablation).
+                ok = false;
+            } else {
+                println!(
+                    "   (note: {label} is an approximate backend; probe replay is only \
+                     guaranteed byte-identical for exact inference — use --incremental off)"
+                );
+            }
+        }
+    }
+
+    report.workloads.push(WorkloadRecord {
+        dataset: w.name.clone(),
+        scale,
+        seed,
+        backend: label.to_owned(),
+        cache,
+        references: w.references as u64,
+        neighborhoods: w.cover.len() as u64,
+        candidate_pairs: w.candidate_pairs as u64,
+        arms,
+        outputs_identical: identical,
+        mmp_probe_reduction_pct: reduction,
+    });
+    ok
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_dataset(
+    name: &str,
+    scale: f64,
+    seed: Option<u64>,
+    backend: &str,
+    cache: &str,
+    incremental: &str,
+    report: &mut FrameworkReport,
+) -> bool {
+    let arm_list = |flag: &str, what: &str| -> &'static [bool] {
+        match flag {
+            "on" => &[true],
+            "off" => &[false],
+            "both" => &[false, true],
+            other => panic!("unknown --{what} {other:?}; expected on | off | both"),
+        }
     };
+    let cache_arms = arm_list(cache, "cache");
+    let incremental_arms = arm_list(incremental, "incremental");
+    let mut ok = true;
     for &cached in cache_arms {
         // The cache toggle covers the whole hot path: blocking-phase
         // pair-score dedup and the matcher evaluation memo.
@@ -127,12 +273,31 @@ fn run_dataset(name: &str, scale: f64, seed: Option<u64>, backend: &str, cache: 
             if cached { "on" } else { "off" }
         );
         if backend == "exact" || backend == "both" {
-            run_backend(&w, &w.mln_matcher(), "exact", cached);
+            ok &= run_backend(
+                &w,
+                &w.mln_matcher(),
+                "exact",
+                cached,
+                incremental_arms,
+                scale,
+                seed,
+                report,
+            );
         }
         if backend == "walksat" || backend == "both" {
-            run_backend(&w, &w.mln_walksat_matcher(), "walksat", cached);
+            ok &= run_backend(
+                &w,
+                &w.mln_walksat_matcher(),
+                "walksat",
+                cached,
+                incremental_arms,
+                scale,
+                seed,
+                report,
+            );
         }
     }
+    ok
 }
 
 fn main() {
@@ -140,16 +305,54 @@ fn main() {
     let scale: f64 = flags.get("scale", 0.02);
     let backend = flags.get_str("backend", "exact");
     let cache = flags.get_str("cache", "on");
+    let incremental = flags.get_str("incremental", "on");
+    let bench_out = flags.get_str("bench-out", "BENCH_framework.json");
     let seed: Option<u64> = if flags.has("seed") {
         Some(flags.get("seed", 0u64))
     } else {
         None
     };
-    match flags.get_str("dataset", "both").as_str() {
+    let mut report = FrameworkReport::default();
+    let ok = match flags.get_str("dataset", "both").as_str() {
         "both" => {
-            run_dataset("hepth", scale, seed, &backend, &cache);
-            run_dataset("dblp", scale, seed, &backend, &cache);
+            let a = run_dataset(
+                "hepth",
+                scale,
+                seed,
+                &backend,
+                &cache,
+                &incremental,
+                &mut report,
+            );
+            let b = run_dataset(
+                "dblp",
+                scale,
+                seed,
+                &backend,
+                &cache,
+                &incremental,
+                &mut report,
+            );
+            a && b
         }
-        name => run_dataset(name, scale, seed, &backend, &cache),
+        name => run_dataset(
+            name,
+            scale,
+            seed,
+            &backend,
+            &cache,
+            &incremental,
+            &mut report,
+        ),
+    };
+    if bench_out != "none" {
+        match report.write(&bench_out) {
+            Ok(()) => println!("\nwrote {bench_out}"),
+            Err(e) => eprintln!("\nfailed to write {bench_out}: {e}"),
+        }
+    }
+    if !ok {
+        eprintln!("fig3_runtime: incremental ablation diverged on an exact backend");
+        std::process::exit(1);
     }
 }

@@ -19,7 +19,9 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod report;
 pub mod workload;
 
 pub use cli::Flags;
+pub use report::{ArmRecord, FrameworkReport, SchemeRecord, WorkloadRecord};
 pub use workload::{prepare, prepare_opts, Workload};

@@ -1,0 +1,272 @@
+//! `BENCH_framework.json` — persisted framework-level bench results.
+//!
+//! `fig3_runtime` records, per workload × backend × cache arm, the
+//! NO-MP/SMP/MMP counters of the `--incremental` ablation so probe and
+//! runtime trends survive across PRs next to `BENCH_similarity.json`.
+//! The writer is hand-rolled (offline workspace, no serde); the schema is
+//! versioned so future readers can evolve it.
+
+use em_core::framework::RunStats;
+use em_core::MatchOutput;
+
+/// One scheme's counters within an ablation arm.
+#[derive(Debug, Clone)]
+pub struct SchemeRecord {
+    /// Scheme name ("NO-MP", "SMP", "MMP").
+    pub scheme: String,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Matcher invocations (base evaluations + issued probes).
+    pub matcher_calls: u64,
+    /// Conditioned probes issued to the matcher by `COMPUTEMAXIMAL`.
+    pub conditioned_probes: u64,
+    /// Conditioned probes replayed from the per-neighborhood memo.
+    pub probes_replayed: u64,
+    /// Neighborhood evaluations.
+    pub evaluations: u64,
+    /// Messages (new evidence pairs) routed.
+    pub messages: u64,
+    /// Final match count.
+    pub matches: u64,
+    /// Matcher-cache hits attributable to this run (0 with `--cache off`).
+    pub cache_hits: u64,
+}
+
+impl SchemeRecord {
+    /// Build from a framework run.
+    pub fn from_output(scheme: &str, output: &MatchOutput, cache_hits: u64) -> Self {
+        let RunStats {
+            matcher_calls,
+            neighborhoods_processed,
+            messages_sent,
+            conditioned_probes,
+            probes_replayed,
+            wall_time,
+            ..
+        } = output.stats;
+        Self {
+            scheme: scheme.to_owned(),
+            wall_ms: wall_time.as_secs_f64() * 1e3,
+            matcher_calls,
+            conditioned_probes,
+            probes_replayed,
+            evaluations: neighborhoods_processed,
+            messages: messages_sent,
+            matches: output.matches.len() as u64,
+            cache_hits,
+        }
+    }
+}
+
+/// One `--incremental` arm: the three schemes under one setting.
+#[derive(Debug, Clone)]
+pub struct ArmRecord {
+    /// Whether incremental probe replay was on.
+    pub incremental: bool,
+    /// Per-scheme counters.
+    pub schemes: Vec<SchemeRecord>,
+}
+
+/// One workload × backend × cache-arm entry.
+#[derive(Debug, Clone)]
+pub struct WorkloadRecord {
+    /// Dataset profile name.
+    pub dataset: String,
+    /// Scale factor.
+    pub scale: f64,
+    /// Explicit seed, if any.
+    pub seed: Option<u64>,
+    /// Inference backend label.
+    pub backend: String,
+    /// Whether the matcher memo (`--cache`) was on.
+    pub cache: bool,
+    /// Author references in the workload.
+    pub references: u64,
+    /// Neighborhoods in the cover.
+    pub neighborhoods: u64,
+    /// Candidate pairs.
+    pub candidate_pairs: u64,
+    /// The ablation arms that ran (one or two).
+    pub arms: Vec<ArmRecord>,
+    /// Whether the arms produced byte-identical match sets per scheme
+    /// (only meaningful when both arms ran).
+    pub outputs_identical: Option<bool>,
+    /// MMP conditioned-probe reduction of incremental vs full, percent
+    /// (only when both arms ran).
+    pub mmp_probe_reduction_pct: Option<f64>,
+}
+
+/// The whole report.
+#[derive(Debug, Clone, Default)]
+pub struct FrameworkReport {
+    /// One entry per workload × backend × cache arm.
+    pub workloads: Vec<WorkloadRecord>,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl FrameworkReport {
+    /// Render the report as pretty-printed JSON.
+    pub fn render_json(&self) -> String {
+        let recorded = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"bench-framework-v1\",\n");
+        out.push_str("  \"bench\": \"fig3_runtime (--incremental ablation)\",\n");
+        out.push_str(&format!("  \"recorded_unix_secs\": {recorded},\n"));
+        out.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"dataset\": \"{}\",\n", esc(&w.dataset)));
+            out.push_str(&format!("      \"scale\": {},\n", fmt_f64(w.scale)));
+            match w.seed {
+                Some(s) => out.push_str(&format!("      \"seed\": {s},\n")),
+                None => out.push_str("      \"seed\": null,\n"),
+            }
+            out.push_str(&format!("      \"backend\": \"{}\",\n", esc(&w.backend)));
+            out.push_str(&format!("      \"cache\": {},\n", w.cache));
+            out.push_str(&format!("      \"references\": {},\n", w.references));
+            out.push_str(&format!("      \"neighborhoods\": {},\n", w.neighborhoods));
+            out.push_str(&format!(
+                "      \"candidate_pairs\": {},\n",
+                w.candidate_pairs
+            ));
+            out.push_str("      \"arms\": [\n");
+            for (ai, arm) in w.arms.iter().enumerate() {
+                out.push_str("        {\n");
+                out.push_str(&format!(
+                    "          \"incremental\": {},\n",
+                    arm.incremental
+                ));
+                out.push_str("          \"schemes\": [\n");
+                for (si, s) in arm.schemes.iter().enumerate() {
+                    out.push_str(&format!(
+                        "            {{\"scheme\": \"{}\", \"wall_ms\": {}, \"matcher_calls\": {}, \"conditioned_probes\": {}, \"probes_replayed\": {}, \"evaluations\": {}, \"messages\": {}, \"matches\": {}, \"cache_hits\": {}}}{}\n",
+                        esc(&s.scheme),
+                        fmt_f64(s.wall_ms),
+                        s.matcher_calls,
+                        s.conditioned_probes,
+                        s.probes_replayed,
+                        s.evaluations,
+                        s.messages,
+                        s.matches,
+                        s.cache_hits,
+                        if si + 1 < arm.schemes.len() { "," } else { "" },
+                    ));
+                }
+                out.push_str("          ]\n");
+                out.push_str(&format!(
+                    "        }}{}\n",
+                    if ai + 1 < w.arms.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ],\n");
+            match w.outputs_identical {
+                Some(b) => out.push_str(&format!("      \"outputs_identical\": {b},\n")),
+                None => out.push_str("      \"outputs_identical\": null,\n"),
+            }
+            match w.mmp_probe_reduction_pct {
+                Some(p) => out.push_str(&format!(
+                    "      \"mmp_probe_reduction_pct\": {}\n",
+                    fmt_f64(p)
+                )),
+                None => out.push_str("      \"mmp_probe_reduction_pct\": null\n"),
+            }
+            out.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_shape() {
+        let report = FrameworkReport {
+            workloads: vec![WorkloadRecord {
+                dataset: "hepth".into(),
+                scale: 0.02,
+                seed: Some(7),
+                backend: "exact".into(),
+                cache: true,
+                references: 100,
+                neighborhoods: 10,
+                candidate_pairs: 50,
+                arms: vec![ArmRecord {
+                    incremental: true,
+                    schemes: vec![SchemeRecord {
+                        scheme: "MMP".into(),
+                        wall_ms: 1.5,
+                        matcher_calls: 12,
+                        conditioned_probes: 8,
+                        probes_replayed: 4,
+                        evaluations: 10,
+                        messages: 3,
+                        matches: 5,
+                        cache_hits: 2,
+                    }],
+                }],
+                outputs_identical: Some(true),
+                mmp_probe_reduction_pct: Some(33.3),
+            }],
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"schema\": \"bench-framework-v1\""));
+        assert!(json.contains("\"conditioned_probes\": 8"));
+        assert!(json.contains("\"mmp_probe_reduction_pct\": 33.300"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_quotes_in_strings() {
+        let mut report = FrameworkReport::default();
+        report.workloads.push(WorkloadRecord {
+            dataset: "we\"ird".into(),
+            scale: 1.0,
+            seed: None,
+            backend: "exact".into(),
+            cache: false,
+            references: 0,
+            neighborhoods: 0,
+            candidate_pairs: 0,
+            arms: Vec::new(),
+            outputs_identical: None,
+            mmp_probe_reduction_pct: None,
+        });
+        assert!(report.render_json().contains("we\\\"ird"));
+    }
+}

@@ -1,7 +1,7 @@
 //! Workload preparation shared by all experiment binaries:
 //! generate → block → cover, plus the standard matchers.
 
-use em_blocking::{block_dataset, BlockingConfig, SimilarityKernel};
+use em_blocking::{block_dataset_with_features, BlockingConfig, SimilarityKernel};
 use em_core::{Cover, Dataset, Pair, PairSet};
 use em_datagen::{generate, DatasetProfile, GroundTruth};
 use em_mln::{InferenceBackend, LocalSearchParams, MlnMatcher, MlnModel};
@@ -106,7 +106,9 @@ pub fn prepare_opts(
         dedupe_pair_scores,
         ..Default::default()
     };
-    let blocking = block_dataset(&mut dataset, &config)
+    // Blocking reuses the feature cache the generator interned at render
+    // time — one corpus pass for the whole pipeline.
+    let blocking = block_dataset_with_features(&mut dataset, &config, Some(&generated.features))
         .expect("blocking pipeline produces a valid total cover");
     Workload {
         name: profile.name.clone(),

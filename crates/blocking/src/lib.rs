@@ -29,4 +29,6 @@ pub mod pipeline;
 
 pub use canopy::{canopies, canopies_cached, CanopyParams};
 pub use inverted_index::InvertedIndex;
-pub use pipeline::{block_dataset, BlockingConfig, BlockingOutput, SimilarityKernel};
+pub use pipeline::{
+    block_dataset, block_dataset_with_features, BlockingConfig, BlockingOutput, SimilarityKernel,
+};

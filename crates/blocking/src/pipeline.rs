@@ -120,16 +120,39 @@ pub struct BlockingOutput {
 /// (which would indicate a bug — the construction is total by design and
 /// the validation is kept as an internal consistency check).
 pub fn block_dataset(dataset: &mut Dataset, config: &BlockingConfig) -> Result<BlockingOutput> {
+    block_dataset_with_features(dataset, config, None)
+}
+
+/// [`block_dataset`] reusing a prebuilt [`FeatureCache`] (e.g. the one
+/// `em_datagen` interns at render time) instead of re-tokenizing the
+/// corpus. The caller guarantees the cache was built over the same
+/// `(entity_type, key_attr)` corpus of this dataset; a cache whose n-gram
+/// size disagrees with `config.canopy.ngram` is ignored and the pipeline
+/// falls back to building its own (the canopy index is gram-id based, so
+/// a mismatched cache would change recall).
+pub fn block_dataset_with_features(
+    dataset: &mut Dataset,
+    config: &BlockingConfig,
+    features: Option<&FeatureCache>,
+) -> Result<BlockingOutput> {
     // One pass over the corpus: tokenize, intern, parse, and weight every
-    // key exactly once. Everything below reads from this cache.
-    let cache = FeatureCache::build(
-        dataset,
-        &config.entity_type,
-        &config.key_attr,
-        FeatureConfig {
-            ngram: config.canopy.ngram,
-        },
-    );
+    // key exactly once — or zero passes when the caller already did.
+    // Everything below reads from this cache.
+    let built;
+    let cache: &FeatureCache = match features {
+        Some(shared) if shared.config().ngram == config.canopy.ngram => shared,
+        _ => {
+            built = FeatureCache::build(
+                dataset,
+                &config.entity_type,
+                &config.key_attr,
+                FeatureConfig {
+                    ngram: config.canopy.ngram,
+                },
+            );
+            &built
+        }
+    };
     let points: Vec<EntityId> = {
         let ty = dataset.entities.type_id(&config.entity_type);
         match ty {
@@ -142,11 +165,11 @@ pub fn block_dataset(dataset: &mut Dataset, config: &BlockingConfig) -> Result<B
         }
     };
 
-    let mut canopy_sets = canopies_cached(&points, &cache, &config.canopy);
+    let mut canopy_sets = canopies_cached(&points, cache, &config.canopy);
     if let Some(max) = config.max_canopy_size {
         canopy_sets = canopy_sets
             .into_iter()
-            .flat_map(|canopy| sub_block(canopy, &cache, max))
+            .flat_map(|canopy| sub_block(canopy, cache, max))
             .collect();
     }
 

@@ -391,7 +391,10 @@ impl<M: ProbabilisticMatcher> ProbabilisticMatcher for CachedMatcher<M> {
         self.inner.log_score(view, matches)
     }
 
-    fn global_scorer<'a>(&'a self, dataset: &'a Dataset) -> Box<dyn GlobalScorer + 'a> {
+    fn global_scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+    ) -> Box<dyn GlobalScorer + Send + Sync + 'a> {
         self.inner.global_scorer(dataset)
     }
 }
@@ -469,10 +472,7 @@ mod tests {
     fn positive_and_negative_evidence_fingerprint_differently() {
         let s: PairSet = [p(0, 1)].into_iter().collect();
         let pos = Evidence::positive(s.clone());
-        let neg = Evidence {
-            positive: PairSet::new(),
-            negative: s,
-        };
+        let neg = Evidence::from_parts(PairSet::new(), s);
         assert_ne!(evidence_fingerprint(&pos), evidence_fingerprint(&neg));
     }
 

@@ -1,21 +1,76 @@
-//! Evidence sets `V+` / `V−` (Definition 1 of the paper).
+//! Evidence sets `V+` / `V−` (Definition 1 of the paper), with epoch
+//! tracking for delta-driven schedulers.
 //!
 //! A Type-I matcher takes, besides the entities, a set `V+` of pairs known
 //! to be matches and a set `V−` of pairs known to be non-matches. The
 //! framework drives matchers almost exclusively through `V+` (found matches
 //! become positive evidence for later runs); `V−` is exposed for users who
 //! have hard "cannot match" knowledge (e.g. hand-labelled non-matches).
+//!
+//! ## Epochs
+//!
+//! The message-passing schemes accumulate matches into one growing
+//! `Evidence` value and only ever need to ask *"what changed since I last
+//! looked?"* — re-deriving that from full snapshots is what made the
+//! pre-epoch framework O(|V+|) per neighborhood visit. Every positive pair
+//! inserted through the tracked mutators ([`Evidence::insert_positive`],
+//! [`Evidence::union_positive`], the constructors) is appended to an
+//! insertion log stamped with the current [`Epoch`];
+//! [`Evidence::advance_epoch`] fences the log and
+//! [`Evidence::delta_since`] returns the pairs inserted at or after a
+//! fence as a borrowed slice — no cloning, no set difference.
+//!
+//! The `positive` / `negative` sets remain `pub` for read access (every
+//! matcher implementation reads them); mutating them *directly* bypasses
+//! the log, so code that relies on `delta_since` must go through the
+//! tracked mutators. The framework does.
 
 use crate::pair::{Pair, PairSet};
 
+/// A fence into an [`Evidence`] insertion log, returned by
+/// [`Evidence::advance_epoch`]. Epoch 0 covers the initial evidence the
+/// value was constructed with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u32);
+
 /// Positive and negative evidence for a matcher invocation.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Evidence {
     /// Pairs known to be matches.
     pub positive: PairSet,
     /// Pairs known to be non-matches.
     pub negative: PairSet,
+    /// Whether insertions are logged (accumulators); untracked values
+    /// (per-neighborhood snapshots, probe evidence) skip the log
+    /// entirely.
+    tracked: bool,
+    /// Insertion log of `positive`, in tracked-insertion order.
+    log: Vec<Pair>,
+    /// `epoch_starts[e]` = length of `log` when epoch `e` began.
+    epoch_starts: Vec<usize>,
 }
+
+impl Default for Evidence {
+    fn default() -> Self {
+        Self {
+            positive: PairSet::new(),
+            negative: PairSet::new(),
+            tracked: true,
+            log: Vec::new(),
+            epoch_starts: vec![0],
+        }
+    }
+}
+
+/// Equality is over the evidence *sets*; the epoch history is bookkeeping
+/// and two evidences with the same sets are interchangeable for matchers.
+impl PartialEq for Evidence {
+    fn eq(&self, other: &Self) -> bool {
+        self.positive == other.positive && self.negative == other.negative
+    }
+}
+
+impl Eq for Evidence {}
 
 impl Evidence {
     /// No evidence.
@@ -25,10 +80,7 @@ impl Evidence {
 
     /// Only positive evidence.
     pub fn positive(positive: PairSet) -> Self {
-        Self {
-            positive,
-            negative: PairSet::new(),
-        }
+        Self::from_parts(positive, PairSet::new())
     }
 
     /// Both evidence sets.
@@ -41,23 +93,113 @@ impl Evidence {
             positive.is_disjoint(&negative),
             "positive and negative evidence overlap"
         );
-        Self { positive, negative }
+        Self::from_parts(positive, negative)
+    }
+
+    /// Both evidence sets, without the disjointness check, with epoch
+    /// tracking. Used by the framework for the accumulating `M+`, where
+    /// the invariant is maintained upstream and a misbehaving matcher
+    /// must not panic the whole run.
+    pub fn from_parts(positive: PairSet, negative: PairSet) -> Self {
+        let mut log = positive.to_sorted_vec();
+        log.shrink_to_fit();
+        Self {
+            positive,
+            negative,
+            tracked: true,
+            log,
+            epoch_starts: vec![0],
+        }
+    }
+
+    /// Both evidence sets **without epoch tracking**: no insertion log is
+    /// kept and `delta_since` always returns an empty delta. The cheap
+    /// constructor for read-mostly matcher inputs — per-neighborhood
+    /// restrictions and conditioned-probe evidence — which are never
+    /// delta-queried.
+    pub fn untracked(positive: PairSet, negative: PairSet) -> Self {
+        Self {
+            positive,
+            negative,
+            tracked: false,
+            log: Vec::new(),
+            epoch_starts: vec![0],
+        }
     }
 
     /// Evidence with `extra` added to the positive set (used by
-    /// `COMPUTEMAXIMAL`, which conditions on one extra hypothetical match).
+    /// `COMPUTEMAXIMAL`, which conditions on one extra hypothetical
+    /// match). The result is untracked — it is matcher input, so the
+    /// epoch log is not copied.
     pub fn with_extra_positive(&self, extra: Pair) -> Self {
         let mut positive = self.positive.clone();
         positive.insert(extra);
-        Self {
-            positive,
-            negative: self.negative.clone(),
-        }
+        Self::untracked(positive, self.negative.clone())
     }
 
     /// Whether both sets are empty.
     pub fn is_empty(&self) -> bool {
         self.positive.is_empty() && self.negative.is_empty()
+    }
+
+    /// The current epoch. Starts at 0; bumped by [`Evidence::advance_epoch`].
+    pub fn epoch(&self) -> Epoch {
+        Epoch((self.epoch_starts.len() - 1) as u32)
+    }
+
+    /// Fence the insertion log and begin a new epoch, returning it.
+    /// Immediately after the fence, `delta_since(fence)` is empty; every
+    /// pair inserted afterwards lands at or after the returned epoch.
+    pub fn advance_epoch(&mut self) -> Epoch {
+        self.epoch_starts.push(self.log.len());
+        Epoch((self.epoch_starts.len() - 1) as u32)
+    }
+
+    /// The pairs inserted at epoch `since` or later, in insertion order,
+    /// as a borrowed slice of the log — the whole point of epochs is that
+    /// consumers never clone or diff the full positive set. Epochs later
+    /// than the current one yield an empty delta.
+    pub fn delta_since(&self, since: Epoch) -> &[Pair] {
+        match self.epoch_starts.get(since.0 as usize) {
+            Some(&start) => &self.log[start..],
+            None => &[],
+        }
+    }
+
+    /// Insert a positive pair, recording it in the current epoch's log
+    /// (untracked evidence just inserts). Returns `true` if the pair was
+    /// new.
+    pub fn insert_positive(&mut self, pair: Pair) -> bool {
+        let new = self.positive.insert(pair);
+        if new && self.tracked {
+            self.log.push(pair);
+        }
+        new
+    }
+
+    /// Insert every pair of `other` into the positive set (new pairs are
+    /// logged in sorted order so runs are reproducible regardless of the
+    /// source set's iteration order). Returns the number of new pairs.
+    pub fn union_positive(&mut self, other: &PairSet) -> usize {
+        if !self.tracked {
+            return self.positive.union_with(other);
+        }
+        let mut fresh: Vec<Pair> = other
+            .iter()
+            .filter(|p| !self.positive.contains(*p))
+            .collect();
+        fresh.sort_unstable();
+        for &p in &fresh {
+            self.positive.insert(p);
+            self.log.push(p);
+        }
+        fresh.len()
+    }
+
+    /// Consume the evidence, returning the positive set (the framework's
+    /// final `M+` extraction).
+    pub fn into_positive(self) -> PairSet {
+        self.positive
     }
 }
 
@@ -87,6 +229,13 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_skips_the_disjointness_check() {
+        let s: PairSet = [p(0, 1)].into_iter().collect();
+        let ev = Evidence::from_parts(s.clone(), s);
+        assert_eq!(ev.positive, ev.negative);
+    }
+
+    #[test]
     fn with_extra_positive_does_not_mutate_original() {
         let ev = Evidence::positive([p(0, 1)].into_iter().collect());
         let ev2 = ev.with_extra_positive(p(2, 3));
@@ -94,5 +243,78 @@ mod tests {
         assert_eq!(ev2.positive.len(), 2);
         assert!(ev2.positive.contains(p(2, 3)));
         assert_eq!(ev.negative, ev2.negative);
+    }
+
+    #[test]
+    fn initial_evidence_lands_in_epoch_zero() {
+        let ev = Evidence::positive([p(2, 3), p(0, 1)].into_iter().collect());
+        assert_eq!(ev.epoch(), Epoch(0));
+        // Sorted for reproducibility regardless of set iteration order.
+        assert_eq!(ev.delta_since(Epoch(0)), &[p(0, 1), p(2, 3)]);
+    }
+
+    #[test]
+    fn delta_is_empty_immediately_after_a_fence() {
+        let mut ev = Evidence::positive([p(0, 1)].into_iter().collect());
+        let fence = ev.advance_epoch();
+        assert_eq!(fence, Epoch(1));
+        assert!(ev.delta_since(fence).is_empty());
+        // The pre-fence pair is still visible from epoch 0.
+        assert_eq!(ev.delta_since(Epoch(0)), &[p(0, 1)]);
+    }
+
+    #[test]
+    fn delta_merges_across_epochs() {
+        let mut ev = Evidence::none();
+        let e1 = ev.advance_epoch();
+        ev.insert_positive(p(0, 1));
+        let e2 = ev.advance_epoch();
+        ev.insert_positive(p(2, 3));
+        ev.insert_positive(p(4, 5));
+        assert_eq!(ev.delta_since(e1), &[p(0, 1), p(2, 3), p(4, 5)]);
+        assert_eq!(ev.delta_since(e2), &[p(2, 3), p(4, 5)]);
+        assert_eq!(ev.epoch(), e2);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_not_logged_twice() {
+        let mut ev = Evidence::none();
+        assert!(ev.insert_positive(p(0, 1)));
+        assert!(!ev.insert_positive(p(0, 1)));
+        let other: PairSet = [p(0, 1), p(2, 3)].into_iter().collect();
+        assert_eq!(ev.union_positive(&other), 1);
+        assert_eq!(ev.delta_since(Epoch(0)), &[p(0, 1), p(2, 3)]);
+        assert_eq!(ev.positive.len(), 2);
+    }
+
+    #[test]
+    fn future_epochs_yield_empty_deltas() {
+        let ev = Evidence::positive([p(0, 1)].into_iter().collect());
+        assert!(ev.delta_since(Epoch(7)).is_empty());
+    }
+
+    #[test]
+    fn untracked_evidence_keeps_no_log() {
+        let mut ev = Evidence::untracked([p(0, 1)].into_iter().collect(), PairSet::new());
+        ev.insert_positive(p(2, 3));
+        let other: PairSet = [p(4, 5)].into_iter().collect();
+        ev.union_positive(&other);
+        assert_eq!(ev.positive.len(), 3);
+        assert!(ev.delta_since(Epoch(0)).is_empty(), "no log is kept");
+        // Probe evidence derived from a tracked accumulator is untracked.
+        let tracked = Evidence::positive([p(0, 1)].into_iter().collect());
+        let probe = tracked.with_extra_positive(p(8, 9));
+        assert!(probe.positive.contains(p(8, 9)));
+        assert!(probe.delta_since(Epoch(0)).is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_epoch_history() {
+        let mut a = Evidence::none();
+        a.insert_positive(p(0, 1));
+        a.advance_epoch();
+        a.insert_positive(p(2, 3));
+        let b = Evidence::positive([p(0, 1), p(2, 3)].into_iter().collect());
+        assert_eq!(a, b);
     }
 }

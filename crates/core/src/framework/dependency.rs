@@ -1,0 +1,267 @@
+//! The pair → neighborhood dependency index behind the delta scheduler.
+//!
+//! Message passing converges because new evidence only perturbs the
+//! neighborhoods that *share pairs* with the delta (the paper's own
+//! scaling argument). Acting on that requires answering "which
+//! neighborhoods can use pair `p` as evidence?" for every pair of every
+//! delta — previously an ad-hoc `Cover::containing_pair` sorted-list
+//! intersection (with a fresh allocation) per pair per message. The
+//! [`DependencyIndex`] is built **once** per run from the [`Cover`]:
+//!
+//! * `pair → neighborhood ids` for every candidate pair of the dataset
+//!   (the common case: matcher outputs and messages are candidate pairs);
+//! * `entity → neighborhood ids`, for the fallback when user-supplied
+//!   evidence mentions non-candidate pairs;
+//! * `neighborhood → overlapping neighborhoods` via shared entities — the
+//!   coarse adjacency that upper-bounds pair routing, useful for sharding
+//!   and diagnostics.
+//!
+//! [`super::Worklist`] schedules over this index: a delta pair activates
+//! exactly the neighborhoods containing both endpoints, and the pair is
+//! recorded in each activated neighborhood's dirty set so the evaluation
+//! can update its cached local evidence (and, for MMP, invalidate only
+//! the conditioned probes the pair can actually affect).
+
+use crate::cover::{Cover, NeighborhoodId};
+use crate::dataset::Dataset;
+use crate::hash::FxHashMap;
+use crate::pair::Pair;
+
+/// Immutable pair/entity → neighborhood dependency index of one cover.
+#[derive(Debug, Clone)]
+pub struct DependencyIndex {
+    /// Candidate pair → ids of neighborhoods containing both endpoints,
+    /// ascending.
+    pair_index: FxHashMap<Pair, Vec<NeighborhoodId>>,
+    /// Entity → ids of neighborhoods containing it, ascending (the
+    /// fallback for non-candidate evidence pairs).
+    entity_index: Vec<Vec<NeighborhoodId>>,
+    /// Number of neighborhoods in the cover.
+    neighborhoods: usize,
+    /// Neighborhood → ids of *other* neighborhoods sharing at least one
+    /// entity, ascending. Derived from `entity_index` on first use —
+    /// the schedulers never need it, so framework runs do not pay the
+    /// quadratic-in-overlap construction.
+    overlaps: std::sync::OnceLock<Vec<Vec<NeighborhoodId>>>,
+}
+
+impl DependencyIndex {
+    /// Build the index for `cover` over `dataset`. One pass over the
+    /// candidate pairs plus one over the cover's membership lists.
+    pub fn build(dataset: &Dataset, cover: &Cover) -> Self {
+        let entity_index: Vec<Vec<NeighborhoodId>> = (0..dataset.entities.len())
+            .map(|e| {
+                cover
+                    .containing_entity(crate::entity::EntityId(e as u32))
+                    .to_vec()
+            })
+            .collect();
+
+        let mut pair_index: FxHashMap<Pair, Vec<NeighborhoodId>> = FxHashMap::default();
+        pair_index.reserve(dataset.candidate_count());
+        for (pair, _) in dataset.candidate_pairs() {
+            let ids = cover.containing_pair(pair);
+            if !ids.is_empty() {
+                pair_index.insert(pair, ids);
+            }
+        }
+
+        Self {
+            pair_index,
+            entity_index,
+            neighborhoods: cover.len(),
+            overlaps: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn compute_overlaps(&self) -> Vec<Vec<NeighborhoodId>> {
+        let mut overlaps: Vec<Vec<NeighborhoodId>> = vec![Vec::new(); self.neighborhoods];
+        for ids in &self.entity_index {
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    overlaps[a.index()].push(b);
+                    overlaps[b.index()].push(a);
+                }
+            }
+        }
+        for list in &mut overlaps {
+            list.sort_unstable();
+            list.dedup();
+        }
+        overlaps
+    }
+
+    /// Neighborhoods containing both endpoints of a *candidate* pair,
+    /// ascending. Empty for pairs outside the index (non-candidates or
+    /// pairs no neighborhood contains); use
+    /// [`DependencyIndex::for_each_neighborhood`] when non-candidate
+    /// evidence must be routed too.
+    pub fn neighborhoods_of(&self, pair: Pair) -> &[NeighborhoodId] {
+        self.pair_index.get(&pair).map_or(&[], Vec::as_slice)
+    }
+
+    /// Visit every neighborhood containing both endpoints of `pair`,
+    /// falling back to an entity-index intersection for pairs outside the
+    /// candidate index (user evidence may mention arbitrary pairs).
+    pub fn for_each_neighborhood(&self, pair: Pair, mut f: impl FnMut(NeighborhoodId)) {
+        if let Some(ids) = self.pair_index.get(&pair) {
+            for &id in ids {
+                f(id);
+            }
+            return;
+        }
+        let a = self.entity_lists(pair.lo());
+        let b = self.entity_lists(pair.hi());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    f(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    fn entity_lists(&self, e: crate::entity::EntityId) -> &[NeighborhoodId] {
+        self.entity_index.get(e.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Neighborhoods sharing at least one entity with `id` (excluding
+    /// `id` itself), ascending. For any pair `p`,
+    /// `neighborhoods_of(p)` is contained in `{n} ∪ overlapping(n)` for
+    /// every `n` containing `p` — the coarse adjacency bound, useful for
+    /// sharding and diagnostics. Computed lazily on first call.
+    pub fn overlapping(&self, id: NeighborhoodId) -> &[NeighborhoodId] {
+        &self.overlaps.get_or_init(|| self.compute_overlaps())[id.index()]
+    }
+
+    /// Number of indexed candidate pairs.
+    pub fn indexed_pairs(&self) -> usize {
+        self.pair_index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SimLevel;
+    use crate::entity::EntityId;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    /// Overlapping canopy-style cover: C0 = {0,1,2}, C1 = {2,3,4},
+    /// C2 = {0,4,5} — every adjacent canopy shares an entity.
+    fn overlapping_world() -> (Dataset, Cover) {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        for _ in 0..6 {
+            ds.entities.add_entity(ty);
+        }
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (4, 5), (2, 4)] {
+            ds.set_similar(Pair::new(e(a), e(b)), SimLevel(2));
+        }
+        let cover = Cover::from_neighborhoods(vec![
+            vec![e(0), e(1), e(2)],
+            vec![e(2), e(3), e(4)],
+            vec![e(0), e(4), e(5)],
+        ]);
+        (ds, cover)
+    }
+
+    #[test]
+    fn pair_index_matches_cover_lookup_on_every_candidate() {
+        let (ds, cover) = overlapping_world();
+        let index = DependencyIndex::build(&ds, &cover);
+        let mut indexed = 0usize;
+        for (pair, _) in ds.candidate_pairs() {
+            let expected = cover.containing_pair(pair);
+            assert_eq!(
+                index.neighborhoods_of(pair),
+                expected.as_slice(),
+                "pair {pair} routed incompletely"
+            );
+            if !expected.is_empty() {
+                indexed += 1;
+            }
+        }
+        assert_eq!(index.indexed_pairs(), indexed);
+        // Pairs contained in two overlapping canopies route to both.
+        assert_eq!(
+            index.neighborhoods_of(Pair::new(e(2), e(4))),
+            &[NeighborhoodId(1)],
+            "(2,4) is only jointly contained in C1"
+        );
+        let mut visited = Vec::new();
+        index.for_each_neighborhood(Pair::new(e(0), e(4)), |id| visited.push(id));
+        assert_eq!(visited, vec![NeighborhoodId(2)]);
+    }
+
+    #[test]
+    fn non_candidate_pairs_fall_back_to_the_entity_index() {
+        let (ds, cover) = overlapping_world();
+        let index = DependencyIndex::build(&ds, &cover);
+        // (0, 2) is not a candidate pair but lives wholly inside C0.
+        let pair = Pair::new(e(0), e(2));
+        assert!(index.neighborhoods_of(pair).is_empty(), "not indexed");
+        let mut visited = Vec::new();
+        index.for_each_neighborhood(pair, |id| visited.push(id));
+        assert_eq!(visited, cover.containing_pair(pair));
+        assert_eq!(visited, vec![NeighborhoodId(0)]);
+        // A pair no neighborhood contains routes nowhere.
+        let mut none = Vec::new();
+        index.for_each_neighborhood(Pair::new(e(1), e(5)), |id| none.push(id));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn overlaps_list_neighborhoods_sharing_entities() {
+        let (ds, cover) = overlapping_world();
+        let index = DependencyIndex::build(&ds, &cover);
+        assert_eq!(
+            index.overlapping(NeighborhoodId(0)),
+            &[NeighborhoodId(1), NeighborhoodId(2)]
+        );
+        assert_eq!(
+            index.overlapping(NeighborhoodId(1)),
+            &[NeighborhoodId(0), NeighborhoodId(2)]
+        );
+        // Overlap adjacency bounds pair routing: every neighborhood of a
+        // pair is the neighborhood itself or one of its overlaps.
+        for (pair, _) in ds.candidate_pairs() {
+            let routed = index.neighborhoods_of(pair);
+            for &n in routed {
+                for &m in routed {
+                    assert!(
+                        n == m || index.overlapping(n).contains(&m),
+                        "{pair}: {n} and {m} must overlap"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_neighborhoods_have_no_overlaps() {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        for _ in 0..4 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(Pair::new(e(0), e(1)), SimLevel(1));
+        ds.set_similar(Pair::new(e(2), e(3)), SimLevel(1));
+        let cover = Cover::from_neighborhoods(vec![vec![e(0), e(1)], vec![e(2), e(3)]]);
+        let index = DependencyIndex::build(&ds, &cover);
+        assert!(index.overlapping(NeighborhoodId(0)).is_empty());
+        assert!(index.overlapping(NeighborhoodId(1)).is_empty());
+        assert_eq!(
+            index.neighborhoods_of(Pair::new(e(0), e(1))),
+            &[NeighborhoodId(0)]
+        );
+    }
+}

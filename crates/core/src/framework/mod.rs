@@ -16,15 +16,25 @@
 //! For well-behaved matchers, SMP and MMP are *sound* (output ⊆ full-run
 //! output), *consistent* (order-invariant), and linear in the number of
 //! neighborhoods (Theorems 1–5).
+//!
+//! Both message-passing schemes run on an evidence-delta engine: the
+//! accumulating `M+` is an epoch-tracked [`crate::Evidence`], a
+//! [`DependencyIndex`] built once from the cover routes each delta pair
+//! to exactly the neighborhoods that can use it, and MMP re-probes only
+//! the conditioned probes the delta can have changed (see [`mmp`] and
+//! [`compute_maximal_incremental`]).
 
+mod dependency;
 mod mmp;
 mod nomp;
 mod smp;
 mod stats;
 mod worklist;
 
+pub use dependency::DependencyIndex;
 pub use mmp::{
-    compute_maximal, mark_dirty_around, mmp, mmp_with_order, promote_dirty, MessageStore, MmpConfig,
+    compute_maximal, compute_maximal_incremental, mark_dirty_around, mmp, mmp_with_order,
+    promote_dirty, MessageStore, MmpConfig, ProbeMemo,
 };
 pub use nomp::no_mp;
 pub use smp::{smp, smp_with_order};

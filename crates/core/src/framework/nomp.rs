@@ -24,10 +24,10 @@ pub fn no_mp(
     let mut out = MatchOutput::default();
     for id in cover.ids() {
         let view = cover.view(dataset, id);
-        let local_evidence = Evidence {
-            positive: view.restrict(&evidence.positive),
-            negative: view.restrict(&evidence.negative),
-        };
+        let local_evidence = Evidence::untracked(
+            view.restrict(&evidence.positive),
+            view.restrict(&evidence.negative),
+        );
         let undecided = view
             .candidate_pairs()
             .iter()

@@ -1,4 +1,4 @@
-//! SMP — Simple Message Passing (Algorithm 1).
+//! SMP — Simple Message Passing (Algorithm 1), delta-driven.
 //!
 //! The algorithm maintains the set `A` of active neighborhoods and the set
 //! `M+` of matches found so far. Evaluating a neighborhood `C` runs the
@@ -6,6 +6,13 @@
 //! containing both endpoints of a new pair (those are the neighborhoods
 //! whose inference can use the pair as evidence). Terminates when `A` is
 //! empty.
+//!
+//! `M+` is an epoch-tracked [`Evidence`]: each evaluation fences the log,
+//! inserts its new matches, and routes exactly the epoch delta through
+//! the [`super::DependencyIndex`]-backed scheduler. Per-neighborhood
+//! local evidence is cached and updated from the routed dirty pairs, so
+//! a revisit costs O(|delta|) bookkeeping instead of re-restricting the
+//! full `M+`.
 //!
 //! For a well-behaved matcher SMP is sound, consistent, and runs in
 //! `O(k² f(k) n)` (Theorems 2 and 3): a neighborhood of size `k` can be
@@ -19,7 +26,7 @@ use crate::matcher::{MatchOutput, Matcher};
 use crate::pair::PairSet;
 use std::time::Instant;
 
-use super::Worklist;
+use super::{DependencyIndex, Worklist};
 
 /// Run SMP with the default (id-order) initial schedule.
 pub fn smp(
@@ -41,48 +48,58 @@ pub fn smp_with_order(
     order: Option<&[NeighborhoodId]>,
 ) -> MatchOutput {
     let start = Instant::now();
+    let index = DependencyIndex::build(dataset, cover);
     let mut worklist = match order {
-        Some(order) => Worklist::with_order(cover.len(), order),
-        None => Worklist::full(cover.len()),
+        Some(order) => Worklist::with_order(&index, cover.len(), order),
+        None => Worklist::full(&index, cover.len()),
     };
     let mut out = MatchOutput::default();
-    let mut found = evidence.positive.clone();
+    let mut found = Evidence::from_parts(evidence.positive.clone(), evidence.negative.clone());
+    let mut local: Vec<Option<Evidence>> = vec![None; cover.len()];
 
-    while let Some(id) = worklist.pop() {
+    while let Some((id, dirty)) = worklist.pop() {
         let view = cover.view(dataset, id);
-        let local_evidence = Evidence {
-            positive: view.restrict(&found),
-            negative: view.restrict(&evidence.negative),
+        let local_evidence: &Evidence = match &mut local[id.index()] {
+            Some(ev) => {
+                for p in dirty.iter() {
+                    ev.insert_positive(p);
+                }
+                ev
+            }
+            slot @ None => slot.insert(Evidence::untracked(
+                view.restrict(&found.positive),
+                view.restrict(&found.negative),
+            )),
         };
         let undecided = view
             .candidate_pairs()
             .iter()
             .filter(|(p, _)| !local_evidence.positive.contains(*p))
             .count() as u64;
-        let matches = matcher.match_view(&view, &local_evidence);
+        let matches = matcher.match_view(&view, local_evidence);
         out.stats.matcher_calls += 1;
         out.stats.neighborhoods_processed += 1;
         out.stats.active_pairs_evaluated += undecided;
 
-        // New matches become messages: reactivate affected neighborhoods.
-        let new_matches: PairSet = matches.difference(&found);
+        // New matches become messages: the epoch delta is routed to the
+        // neighborhoods the dependency index says can use it.
+        let fence = found.advance_epoch();
+        let new_matches: PairSet = matches.difference(&found.positive);
         if !new_matches.is_empty() {
-            out.stats.messages_sent += new_matches.len() as u64;
-            for pair in new_matches.iter() {
-                for affected in cover.containing_pair(pair) {
-                    if affected != id {
-                        worklist.push(affected);
-                    }
-                }
+            found.union_positive(&new_matches);
+            let delta = found.delta_since(fence);
+            out.stats.messages_sent += delta.len() as u64;
+            for &p in delta {
+                worklist.route(p, Some(id));
             }
-            found.union_with(&new_matches);
         }
     }
 
+    let mut matches = found.into_positive();
     for p in evidence.negative.iter() {
-        found.remove(p);
+        matches.remove(p);
     }
-    out.matches = found;
+    out.matches = matches;
     out.stats.wall_time = start.elapsed();
     out
 }

@@ -9,11 +9,14 @@ use std::time::Duration;
 /// sum of running times of MLN on all the neighborhoods; the actual
 /// overhead of message passing is minimal"), and `active_pairs_evaluated`
 /// explains why SMP/MMP can be *faster* than NO-MP — evidence shrinks the
-/// active size of revisited neighborhoods.
+/// active size of revisited neighborhoods. `conditioned_probes` vs
+/// `probes_replayed` is the incremental-MMP ledger: probes whose
+/// conditioning set provably did not change are replayed from the
+/// per-neighborhood memo instead of re-running inference.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Invocations of the black-box matcher (including `COMPUTEMAXIMAL`'s
-    /// conditioned probes).
+    /// conditioned probes actually issued to the matcher).
     pub matcher_calls: u64,
     /// Neighborhood evaluations (≥ number of neighborhoods when revisits
     /// happen).
@@ -30,6 +33,15 @@ pub struct RunStats {
     pub promotions: u64,
     /// Global score-delta evaluations (MMP step 7 probes).
     pub score_delta_calls: u64,
+    /// Conditioned probes issued to the matcher by `COMPUTEMAXIMAL`.
+    pub conditioned_probes: u64,
+    /// Conditioned probes answered without inference (incremental MMP):
+    /// replayed from the per-neighborhood memo because the delta could
+    /// not have changed them, or elided because the pair is a singleton
+    /// ground-interaction component.
+    pub probes_replayed: u64,
+    /// Parallel rounds executed (0 for sequential runs).
+    pub rounds: u64,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
 }
@@ -37,7 +49,7 @@ pub struct RunStats {
 impl RunStats {
     /// Merge counters from another run (used by the parallel executor when
     /// combining per-worker stats; wall time takes the max since workers
-    /// overlap).
+    /// overlap, rounds take the max since workers share the round loop).
     pub fn merge(&mut self, other: &RunStats) {
         self.matcher_calls += other.matcher_calls;
         self.neighborhoods_processed += other.neighborhoods_processed;
@@ -46,6 +58,9 @@ impl RunStats {
         self.maximal_messages_created += other.maximal_messages_created;
         self.promotions += other.promotions;
         self.score_delta_calls += other.score_delta_calls;
+        self.conditioned_probes += other.conditioned_probes;
+        self.probes_replayed += other.probes_replayed;
+        self.rounds = self.rounds.max(other.rounds);
         self.wall_time = self.wall_time.max(other.wall_time);
     }
 }
@@ -64,16 +79,25 @@ mod tests {
             maximal_messages_created: 4,
             promotions: 1,
             score_delta_calls: 5,
+            conditioned_probes: 2,
+            probes_replayed: 1,
+            rounds: 3,
             wall_time: Duration::from_millis(10),
         };
         let b = RunStats {
             matcher_calls: 7,
+            conditioned_probes: 5,
+            probes_replayed: 2,
+            rounds: 1,
             wall_time: Duration::from_millis(25),
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.matcher_calls, 10);
         assert_eq!(a.neighborhoods_processed, 2);
+        assert_eq!(a.conditioned_probes, 7);
+        assert_eq!(a.probes_replayed, 3);
+        assert_eq!(a.rounds, 3);
         assert_eq!(a.wall_time, Duration::from_millis(25));
     }
 }

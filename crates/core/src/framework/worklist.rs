@@ -1,35 +1,55 @@
-//! FIFO worklist of active neighborhoods with O(1) dedup.
+//! Delta-driven scheduler over the [`DependencyIndex`].
 //!
-//! Both SMP and MMP maintain the set `A` of active neighborhoods. A plain
-//! queue would let the same neighborhood be enqueued many times before its
-//! next evaluation; pairing the queue with an "is queued" bitmap keeps each
-//! neighborhood at most once in flight, which is what bounds revisits by
-//! the `k²` argument of Theorem 3.
+//! Both SMP and MMP maintain the set `A` of active neighborhoods. The
+//! pre-epoch worklist was a FIFO + "is queued" bitmap fed by ad-hoc
+//! `Cover::containing_pair` scans; the scheduler keeps that dedup (which
+//! is what bounds revisits by the `k²` argument of Theorem 3) and adds
+//! *routing*: [`Worklist::route`] pushes a new evidence pair to exactly
+//! the neighborhoods the dependency index says can use it, recording the
+//! pair in each one's **dirty set**. [`Worklist::pop`] hands the
+//! evaluation the neighborhood together with everything that became
+//! evidence for it since its last evaluation, so the caller can update a
+//! cached local-evidence set (instead of re-restricting the full `M+`)
+//! and re-probe only what the delta can affect.
 
+use super::DependencyIndex;
 use crate::cover::NeighborhoodId;
+use crate::pair::{Pair, PairSet};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone)]
-pub(crate) struct Worklist {
+pub(crate) struct Worklist<'a> {
+    index: &'a DependencyIndex,
     queue: VecDeque<NeighborhoodId>,
     queued: Vec<bool>,
+    /// Pairs that became positive evidence for each neighborhood since
+    /// its last evaluation.
+    dirty: Vec<PairSet>,
 }
 
-impl Worklist {
+impl<'a> Worklist<'a> {
     /// Worklist initially containing all `n` neighborhoods in id order.
-    pub(crate) fn full(n: usize) -> Self {
+    pub(crate) fn full(index: &'a DependencyIndex, n: usize) -> Self {
         Self {
+            index,
             queue: (0..n as u32).map(NeighborhoodId).collect(),
             queued: vec![true; n],
+            dirty: vec![PairSet::new(); n],
         }
     }
 
     /// Worklist over `n` neighborhoods seeded with an explicit order
     /// (used by consistency tests to permute evaluation order).
-    pub(crate) fn with_order(n: usize, order: &[NeighborhoodId]) -> Self {
+    pub(crate) fn with_order(
+        index: &'a DependencyIndex,
+        n: usize,
+        order: &[NeighborhoodId],
+    ) -> Self {
         let mut wl = Self {
+            index,
             queue: VecDeque::with_capacity(n),
             queued: vec![false; n],
+            dirty: vec![PairSet::new(); n],
         };
         for &id in order {
             wl.push(id);
@@ -45,11 +65,31 @@ impl Worklist {
         }
     }
 
-    /// Dequeue the next active neighborhood.
-    pub(crate) fn pop(&mut self) -> Option<NeighborhoodId> {
+    /// Route a new evidence pair: record it in the dirty set of every
+    /// neighborhood containing both endpoints and activate each of them —
+    /// except `from`, the neighborhood that produced the pair (its own
+    /// output is not news to it, but its dirty set still records the pair
+    /// so its cached local evidence catches up on the next visit).
+    pub(crate) fn route(&mut self, pair: Pair, from: Option<NeighborhoodId>) {
+        let mut activate: Vec<NeighborhoodId> = Vec::new();
+        self.index.for_each_neighborhood(pair, |id| {
+            self.dirty[id.index()].insert(pair);
+            if Some(id) != from {
+                activate.push(id);
+            }
+        });
+        for id in activate {
+            self.push(id);
+        }
+    }
+
+    /// Dequeue the next active neighborhood together with its accumulated
+    /// dirty pairs (ownership transferred; the stored set is reset).
+    pub(crate) fn pop(&mut self) -> Option<(NeighborhoodId, PairSet)> {
         let id = self.queue.pop_front()?;
         self.queued[id.index()] = false;
-        Some(id)
+        let dirty = std::mem::take(&mut self.dirty[id.index()]);
+        Some((id, dirty))
     }
 
     /// Whether no neighborhood is active.
@@ -62,28 +102,77 @@ impl Worklist {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cover::Cover;
+    use crate::dataset::{Dataset, SimLevel};
+    use crate::entity::EntityId;
+
+    fn e(id: u32) -> EntityId {
+        EntityId(id)
+    }
+
+    fn world() -> (Dataset, Cover) {
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        for _ in 0..5 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(Pair::new(e(0), e(1)), SimLevel(2));
+        ds.set_similar(Pair::new(e(1), e(2)), SimLevel(2));
+        let cover = Cover::from_neighborhoods(vec![
+            vec![e(0), e(1), e(2)],
+            vec![e(1), e(2), e(3)],
+            vec![e(4)],
+        ]);
+        (ds, cover)
+    }
 
     #[test]
     fn dedups_enqueues() {
-        let mut wl = Worklist::full(2);
+        let (ds, cover) = world();
+        let index = DependencyIndex::build(&ds, &cover);
+        let mut wl = Worklist::full(&index, 2);
         wl.push(NeighborhoodId(0));
         wl.push(NeighborhoodId(1));
-        assert_eq!(wl.pop(), Some(NeighborhoodId(0)));
-        assert_eq!(wl.pop(), Some(NeighborhoodId(1)));
+        assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(0)));
+        assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(1)));
         assert!(wl.is_empty());
         // Re-activation after pop works.
         wl.push(NeighborhoodId(1));
         wl.push(NeighborhoodId(1));
-        assert_eq!(wl.pop(), Some(NeighborhoodId(1)));
+        assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(1)));
         assert!(wl.pop().is_none());
     }
 
     #[test]
     fn with_order_respects_permutation() {
+        let (ds, cover) = world();
+        let index = DependencyIndex::build(&ds, &cover);
         let order = [NeighborhoodId(2), NeighborhoodId(0), NeighborhoodId(1)];
-        let mut wl = Worklist::with_order(3, &order);
-        assert_eq!(wl.pop(), Some(NeighborhoodId(2)));
-        assert_eq!(wl.pop(), Some(NeighborhoodId(0)));
-        assert_eq!(wl.pop(), Some(NeighborhoodId(1)));
+        let mut wl = Worklist::with_order(&index, 3, &order);
+        assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(2)));
+        assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(0)));
+        assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(1)));
+    }
+
+    #[test]
+    fn routing_activates_containing_neighborhoods_and_records_dirt() {
+        let (ds, cover) = world();
+        let index = DependencyIndex::build(&ds, &cover);
+        let mut wl = Worklist::with_order(&index, 3, &[]);
+        // (1,2) lives in C0 and C1; routed from C0, only C1 activates,
+        // but both dirty sets record the pair.
+        wl.route(Pair::new(e(1), e(2)), Some(NeighborhoodId(0)));
+        let (id, dirty) = wl.pop().expect("C1 active");
+        assert_eq!(id, NeighborhoodId(1));
+        assert!(dirty.contains(Pair::new(e(1), e(2))));
+        assert!(wl.is_empty());
+        // C0's dirty set was recorded even though it was not activated.
+        wl.push(NeighborhoodId(0));
+        let (_, dirty0) = wl.pop().unwrap();
+        assert!(dirty0.contains(Pair::new(e(1), e(2))));
+        // Dirty sets are drained by pop.
+        wl.push(NeighborhoodId(0));
+        let (_, again) = wl.pop().unwrap();
+        assert!(again.is_empty());
     }
 }

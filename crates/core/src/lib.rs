@@ -64,7 +64,8 @@ pub use cover::{Cover, CoverStats, NeighborhoodId};
 pub use dataset::{Dataset, SimLevel, View};
 pub use entity::{AttrId, EntityId, EntityStore, TypeId};
 pub use error::{Error, Result};
-pub use evidence::Evidence;
+pub use evidence::{Epoch, Evidence};
+pub use framework::DependencyIndex;
 pub use matcher::{GlobalScorer, MatchOutput, Matcher, ProbabilisticMatcher, Score};
 pub use pair::{Pair, PairSet};
 pub use relation::{RelationId, RelationStore};

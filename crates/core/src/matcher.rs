@@ -145,9 +145,15 @@ pub trait ProbabilisticMatcher: Matcher {
 
     /// Build a scorer over the *whole dataset*, used by MMP's step 7 to
     /// evaluate `P_E(M+ ∪ M) ≥ P_E(M+)` globally without re-running
-    /// inference. Implementations typically ground the model once and
-    /// answer deltas from an index.
-    fn global_scorer<'a>(&'a self, dataset: &'a Dataset) -> Box<dyn GlobalScorer + 'a>;
+    /// inference, and by incremental `COMPUTEMAXIMAL` to flood-fill the
+    /// ground-interaction components a delta touches. Implementations
+    /// typically ground the model once and answer deltas from an index;
+    /// the scorer is shared read-only across parallel workers, hence the
+    /// `Send + Sync` bound.
+    fn global_scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+    ) -> Box<dyn GlobalScorer + Send + Sync + 'a>;
 }
 
 /// Incremental global score oracle: answers "what happens to the score if

@@ -154,14 +154,14 @@ pub fn check_well_behaved(
 
         // Idempotence (Definition 2).
         let out = matcher.match_view(&view, &evidence);
-        let evidence_again = Evidence {
-            positive: {
+        let evidence_again = Evidence::untracked(
+            {
                 let mut pos = out.clone();
                 pos.union_with(&evidence.positive);
                 pos
             },
-            negative: evidence.negative.clone(),
-        };
+            evidence.negative.clone(),
+        );
         let out_again = matcher.match_view(&view, &evidence_again);
         if out_again != out {
             report.violations.push(Violation {
@@ -178,10 +178,10 @@ pub fn check_well_behaved(
         let sub_members = sample_members(&mut rng, view.members(), 70);
         if !sub_members.is_empty() {
             let sub_view = dataset.view(sub_members.iter().copied());
-            let sub_evidence = Evidence {
-                positive: sub_view.restrict(&evidence.positive),
-                negative: sub_view.restrict(&evidence.negative),
-            };
+            let sub_evidence = Evidence::untracked(
+                sub_view.restrict(&evidence.positive),
+                sub_view.restrict(&evidence.negative),
+            );
             let sub_out = matcher.match_view(&sub_view, &sub_evidence);
             // Compare against the larger view run *with the same evidence*.
             let big_out = matcher.match_view(&view, &sub_evidence);
@@ -202,14 +202,14 @@ pub fn check_well_behaved(
             .iter()
             .find(|p| !evidence.positive.contains(**p) && !evidence.negative.contains(**p))
         {
-            let more = Evidence {
-                positive: {
+            let more = Evidence::untracked(
+                {
                     let mut pos = evidence.positive.clone();
                     pos.insert(extra);
                     pos
                 },
-                negative: evidence.negative.clone(),
-            };
+                evidence.negative.clone(),
+            );
             let out_more = matcher.match_view(&view, &more);
             if !out.is_subset(&out_more) {
                 report.violations.push(Violation {
@@ -224,14 +224,11 @@ pub fn check_well_behaved(
             .iter()
             .find(|p| !evidence.positive.contains(**p) && !evidence.negative.contains(**p))
         {
-            let more = Evidence {
-                positive: evidence.positive.clone(),
-                negative: {
-                    let mut neg = evidence.negative.clone();
-                    neg.insert(extra);
-                    neg
-                },
-            };
+            let more = Evidence::untracked(evidence.positive.clone(), {
+                let mut neg = evidence.negative.clone();
+                neg.insert(extra);
+                neg
+            });
             let out_more = matcher.match_view(&view, &more);
             if !out_more.is_subset(&out) {
                 report.violations.push(Violation {

@@ -231,7 +231,10 @@ impl ProbabilisticMatcher for TableMatcher {
         total
     }
 
-    fn global_scorer<'a>(&'a self, dataset: &'a Dataset) -> Box<dyn GlobalScorer + 'a> {
+    fn global_scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+    ) -> Box<dyn GlobalScorer + Send + Sync + 'a> {
         Box::new(TableScorer {
             matcher: self,
             dataset,

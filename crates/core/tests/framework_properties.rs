@@ -104,6 +104,33 @@ fn reversed_order(cover: &Cover) -> Vec<NeighborhoodId> {
     ids
 }
 
+/// The pre-epoch SMP: a plain FIFO worklist where every visit restricts
+/// the full `M+` snapshot. Kept here as the reference the delta-scheduled
+/// implementation must reproduce exactly.
+fn snapshot_smp_reference(matcher: &dyn Matcher, ds: &Dataset, cover: &Cover) -> PairSet {
+    use std::collections::VecDeque;
+    let mut queue: VecDeque<NeighborhoodId> = cover.ids().collect();
+    let mut queued = vec![true; cover.len()];
+    let mut found = PairSet::new();
+    while let Some(id) = queue.pop_front() {
+        queued[id.index()] = false;
+        let view = cover.view(ds, id);
+        let local = Evidence::from_parts(view.restrict(&found), PairSet::new());
+        let matches = matcher.match_view(&view, &local);
+        let new_matches: PairSet = matches.difference(&found);
+        for p in new_matches.iter() {
+            for affected in cover.containing_pair(p) {
+                if affected != id && !queued[affected.index()] {
+                    queued[affected.index()] = true;
+                    queue.push_back(affected);
+                }
+            }
+        }
+        found.union_with(&new_matches);
+    }
+    found
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -155,6 +182,38 @@ proptest! {
         let backward =
             mmp_with_order(&matcher, &ds, &cover, &Evidence::none(), &config, Some(&order));
         prop_assert_eq!(forward.matches, backward.matches);
+    }
+
+    #[test]
+    fn incremental_mmp_is_byte_identical_and_probe_bounded(instance in instance_strategy()) {
+        // The evidence-delta engine must be invisible in the output: probe
+        // replay + isolated-pair elision produce exactly the fixpoint of
+        // probe-everything MMP, with no more conditioned probes, and every
+        // probe is either issued or replayed.
+        let (ds, cover, matcher) = build(&instance);
+        let full_cfg = MmpConfig { incremental: false, ..Default::default() };
+        let full = mmp(&matcher, &ds, &cover, &Evidence::none(), &full_cfg);
+        let incr = mmp(&matcher, &ds, &cover, &Evidence::none(), &MmpConfig::default());
+        prop_assert_eq!(&incr.matches, &full.matches,
+            "incremental MMP diverged from full recompute");
+        prop_assert!(incr.stats.conditioned_probes <= full.stats.conditioned_probes,
+            "incremental issued more probes ({} > {})",
+            incr.stats.conditioned_probes, full.stats.conditioned_probes);
+        prop_assert_eq!(
+            incr.stats.conditioned_probes + incr.stats.probes_replayed,
+            full.stats.conditioned_probes,
+            "probe ledger must balance");
+        prop_assert_eq!(full.stats.probes_replayed, 0);
+    }
+
+    #[test]
+    fn delta_scheduled_smp_equals_snapshot_smp(instance in instance_strategy()) {
+        // The scheduler's cached local evidence + routed deltas must
+        // reproduce the naive "restrict the full M+ every visit" fixpoint.
+        let (ds, cover, matcher) = build(&instance);
+        let delta_run = smp(&matcher, &ds, &cover, &Evidence::none());
+        let snapshot = snapshot_smp_reference(&matcher, &ds, &cover);
+        prop_assert_eq!(delta_run.matches, snapshot);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::noise::render_reference;
 use crate::profiles::DatasetProfile;
 use crate::world::{generate_world, World};
 use em_core::{Dataset, EntityId};
+use em_similarity::{FeatureCache, FeatureConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,6 +29,12 @@ pub struct GeneratedDataset {
     pub references: Vec<EntityId>,
     /// All paper entities, indexed by world paper index.
     pub papers: Vec<EntityId>,
+    /// Interned string features of every reference's `name` key, built
+    /// once at render time. The blocking pipeline
+    /// (`em_blocking::block_dataset_with_features`) and any profile
+    /// evaluation over the generated names read from this one cache
+    /// instead of re-tokenizing and re-interning the corpus.
+    pub features: FeatureCache,
 }
 
 /// Generate a dataset from a profile (deterministic per profile seed).
@@ -56,6 +63,7 @@ pub fn render(profile: &DatasetProfile, world: &World) -> GeneratedDataset {
     let mut truth = GroundTruth::new();
     let mut references = Vec::with_capacity(world.reference_count());
     let mut papers = Vec::with_capacity(world.papers.len());
+    let mut points: Vec<(EntityId, String)> = Vec::with_capacity(world.reference_count());
 
     for (paper_idx, team) in world.papers.iter().enumerate() {
         let paper_entity = dataset.entities.add_entity(paper_ty);
@@ -72,6 +80,7 @@ pub fn render(profile: &DatasetProfile, world: &World) -> GeneratedDataset {
             let key = em_similarity::normalize_name(&rendered);
             let parsed = em_similarity::NameKey::parse(&rendered);
             let reference = dataset.entities.add_entity(author_ty);
+            points.push((reference, key.clone()));
             dataset.entities.set_attr(reference, name_attr, key);
             dataset
                 .entities
@@ -123,11 +132,17 @@ pub fn render(profile: &DatasetProfile, world: &World) -> GeneratedDataset {
             .add_tuple(cites, papers[citing as usize], papers[cited as usize]);
     }
 
+    // One corpus pass interns every key's tokens, n-grams, TF-IDF vector
+    // and parsed name; blocking and profile evaluation share it.
+    let features =
+        FeatureCache::from_points(&points, dataset.entities.len(), FeatureConfig::default());
+
     GeneratedDataset {
         dataset,
         truth,
         references,
         papers,
+        features,
     }
 }
 
@@ -215,6 +230,25 @@ mod tests {
                 consistent as f64 / total as f64 > 0.5,
                 "{consistent}/{total}"
             );
+        }
+    }
+
+    #[test]
+    fn shared_feature_cache_covers_every_reference() {
+        let g = tiny(DatasetProfile::hepth());
+        assert_eq!(g.features.len(), g.references.len());
+        for &r in &g.references {
+            let fv = g.features.get(r).expect("every reference has features");
+            assert_eq!(
+                fv.key,
+                g.dataset.entities.attr(r, "name").expect("name"),
+                "cache key is the stored blocking key"
+            );
+            assert!(!fv.grams.is_empty() || fv.key.len() < 3);
+        }
+        // Papers are not in the name corpus.
+        for &p in &g.papers {
+            assert!(g.features.get(p).is_none());
         }
     }
 

@@ -170,7 +170,10 @@ impl ProbabilisticMatcher for MlnMatcher {
         self.ground_view(view).score_where(|p| matches.contains(p))
     }
 
-    fn global_scorer<'a>(&'a self, dataset: &'a Dataset) -> Box<dyn GlobalScorer + 'a> {
+    fn global_scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+    ) -> Box<dyn GlobalScorer + Send + Sync + 'a> {
         Box::new(MlnGlobalScorer {
             gm: ground(&self.model, &dataset.full_view()),
         })

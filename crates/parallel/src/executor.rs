@@ -1,14 +1,24 @@
-//! Round-based parallel execution of the framework (§6.3).
+//! Round-based parallel execution of the framework (§6.3), delta-driven.
 //!
 //! The paper's parallel scheme: "run it in rounds. All neighborhoods are
 //! marked active at the beginning. In each round, EM is run on all the
 //! active neighborhoods in parallel, then the new evidence from the runs
 //! is collected, and used to obtain active neighborhoods for the next
-//! round." Evidence is therefore a *snapshot per round* — workers never
-//! see each other's in-flight matches — which is exactly what makes the
-//! result deterministic and equal to the sequential fixpoint (the
-//! consistency theorem says the fixpoint does not depend on evaluation
-//! order).
+//! round." Workers never see each other's in-flight matches — which is
+//! exactly what makes the result deterministic and equal to the
+//! sequential fixpoint (the consistency theorem says the fixpoint does
+//! not depend on evaluation order).
+//!
+//! The per-round isolation is enforced with **epoch fences** on the
+//! accumulating [`Evidence`] rather than whole-set snapshots: the reduce
+//! step fences the epoch, folds every worker's new matches in, and routes
+//! only `delta_since(fence)` through the [`DependencyIndex`] — each delta
+//! pair activates exactly the neighborhoods containing both endpoints and
+//! is appended to their cached local evidence. Re-running a neighborhood
+//! therefore costs O(|its delta|) bookkeeping instead of re-restricting a
+//! clone of the full `M+`, and MMP workers re-probe only the conditioned
+//! probes their delta can have changed (see
+//! [`em_core::framework::compute_maximal_incremental`]).
 //!
 //! Work distribution uses a crossbeam channel as a shared work queue, so
 //! large neighborhoods do not straggle a statically partitioned worker.
@@ -16,7 +26,8 @@
 use crossbeam::channel;
 use em_core::cover::{Cover, NeighborhoodId};
 use em_core::framework::{
-    compute_maximal, mark_dirty_around, promote_dirty, MessageStore, MmpConfig, RunStats,
+    compute_maximal, compute_maximal_incremental, mark_dirty_around, promote_dirty,
+    DependencyIndex, MessageStore, MmpConfig, ProbeMemo, RunStats,
 };
 use em_core::{Dataset, Evidence, MatchOutput, Matcher, Pair, PairSet, ProbabilisticMatcher};
 use std::time::{Duration, Instant};
@@ -76,8 +87,8 @@ impl RoundTrace {
     }
 }
 
-/// One round: evaluate `active` neighborhoods in parallel against a
-/// frozen evidence snapshot. Returns per-neighborhood outputs.
+/// One round: evaluate `active` neighborhoods in parallel against frozen
+/// per-neighborhood evidence. Returns per-neighborhood outputs.
 fn run_round<R: Send>(
     workers: usize,
     active: &[NeighborhoodId],
@@ -112,6 +123,78 @@ fn run_round<R: Send>(
     results
 }
 
+/// Per-neighborhood scheduler state shared by the parallel schemes:
+/// cached local evidence plus the dirty pairs routed since the
+/// neighborhood's last evaluation.
+struct DeltaState {
+    local: Vec<Option<Evidence>>,
+    pending: Vec<PairSet>,
+}
+
+impl DeltaState {
+    fn new(n: usize) -> Self {
+        Self {
+            local: vec![None; n],
+            pending: vec![PairSet::new(); n],
+        }
+    }
+
+    /// Apply each active neighborhood's pending delta to its cached local
+    /// evidence (first visits restrict lazily in the worker). When
+    /// `collect` is set, the drained dirty sets are returned indexed by
+    /// neighborhood — MMP's probe invalidation needs them; SMP just
+    /// applies and discards.
+    fn begin_round(&mut self, active: &[NeighborhoodId], collect: bool) -> Vec<PairSet> {
+        let mut round_dirty: Vec<PairSet> = if collect {
+            vec![PairSet::new(); self.pending.len()]
+        } else {
+            Vec::new()
+        };
+        for &id in active {
+            let dirty = std::mem::take(&mut self.pending[id.index()]);
+            if let Some(ev) = &mut self.local[id.index()] {
+                for p in dirty.iter() {
+                    ev.insert_positive(p);
+                }
+            }
+            if collect {
+                round_dirty[id.index()] = dirty;
+            }
+        }
+        round_dirty
+    }
+
+    /// Cached local evidence of `id`, if it has been evaluated before.
+    /// Workers borrow this read-only; first visits compute the
+    /// restriction themselves and return it for caching.
+    fn cached(&self, id: NeighborhoodId) -> Option<&Evidence> {
+        self.local[id.index()].as_ref()
+    }
+
+    /// First-visit restriction of the accumulated `found` to the view.
+    fn restricted(view: &em_core::View<'_>, found: &Evidence) -> Evidence {
+        Evidence::untracked(
+            view.restrict(&found.positive),
+            view.restrict(&found.negative),
+        )
+    }
+
+    /// Route one delta pair: record it in the pending set of every
+    /// neighborhood containing both endpoints and report them as active.
+    fn route(&mut self, index: &DependencyIndex, pair: Pair, activate: &mut Vec<NeighborhoodId>) {
+        index.for_each_neighborhood(pair, |id| {
+            self.pending[id.index()].insert(pair);
+            activate.push(id);
+        });
+    }
+}
+
+fn sorted_active(mut next: Vec<NeighborhoodId>) -> Vec<NeighborhoodId> {
+    next.sort_unstable();
+    next.dedup();
+    next
+}
+
 /// Parallel SMP: the round-based scheme with simple messages.
 pub fn parallel_smp(
     matcher: &(dyn Matcher + Sync),
@@ -121,33 +204,47 @@ pub fn parallel_smp(
     config: &ParallelConfig,
 ) -> (MatchOutput, RoundTrace) {
     let start = Instant::now();
+    let index = DependencyIndex::build(dataset, cover);
     let mut stats = RunStats::default();
     let mut trace = RoundTrace::default();
-    let mut found = evidence.positive.clone();
+    let mut found = Evidence::from_parts(evidence.positive.clone(), evidence.negative.clone());
+    let mut state = DeltaState::new(cover.len());
     let mut active: Vec<NeighborhoodId> = cover.ids().collect();
 
     while !active.is_empty() {
-        let snapshot = found.clone();
+        stats.rounds += 1;
+        state.begin_round(&active, false);
+        let found_ref = &found;
+        let state_ref = &state;
         let results = run_round(config.workers, &active, |id| {
             let view = cover.view(dataset, id);
-            let local = Evidence {
-                positive: view.restrict(&snapshot),
-                negative: view.restrict(&evidence.negative),
+            let computed = match state_ref.cached(id) {
+                Some(_) => None,
+                None => Some(DeltaState::restricted(&view, found_ref)),
             };
-            matcher.match_view(&view, &local)
+            let local: &Evidence = computed
+                .as_ref()
+                .or_else(|| state_ref.cached(id))
+                .expect("cached or computed");
+            let matches = matcher.match_view(&view, local);
+            (matches, computed)
         });
 
+        let fence = found.advance_epoch();
         let mut record = Vec::with_capacity(results.len());
         let mut new_matches = PairSet::new();
-        for (id, matches, cost) in results {
+        for (id, (matches, computed_local), cost) in results {
             stats.matcher_calls += 1;
             stats.neighborhoods_processed += 1;
             record.push(EvalRecord {
                 neighborhood: id,
                 cost,
             });
+            if let Some(local) = computed_local {
+                state.local[id.index()] = Some(local);
+            }
             for p in matches.iter() {
-                if !found.contains(p) {
+                if !found.positive.contains(p) {
                     new_matches.insert(p);
                 }
             }
@@ -157,32 +254,29 @@ pub fn parallel_smp(
         if new_matches.is_empty() {
             break;
         }
-        stats.messages_sent += new_matches.len() as u64;
-        found.union_with(&new_matches);
-        let mut next: Vec<NeighborhoodId> = new_matches
-            .iter()
-            .flat_map(|p| cover.containing_pair(p))
-            .collect();
-        next.sort_unstable();
-        next.dedup();
-        active = next;
+        found.union_positive(&new_matches);
+        let delta: Vec<Pair> = found.delta_since(fence).to_vec();
+        stats.messages_sent += delta.len() as u64;
+        let mut next: Vec<NeighborhoodId> = Vec::new();
+        for p in delta {
+            state.route(&index, p, &mut next);
+        }
+        active = sorted_active(next);
     }
 
+    let mut matches = found.into_positive();
     for p in evidence.negative.iter() {
-        found.remove(p);
+        matches.remove(p);
     }
     stats.wall_time = start.elapsed();
-    (
-        MatchOutput {
-            matches: found,
-            stats,
-        },
-        trace,
-    )
+    (MatchOutput { matches, stats }, trace)
 }
 
 /// Parallel MMP: rounds compute both matches and maximal messages;
-/// merging and promotion happen in the reduce step.
+/// merging and promotion happen in the reduce step. With
+/// [`MmpConfig::incremental`], workers re-probe only the conditioned
+/// probes their round delta can have changed and replay the rest from
+/// the per-neighborhood [`ProbeMemo`] carried across rounds.
 pub fn parallel_mmp(
     matcher: &(dyn ProbabilisticMatcher + Sync),
     dataset: &Dataset,
@@ -193,40 +287,77 @@ pub fn parallel_mmp(
 ) -> (MatchOutput, RoundTrace) {
     let start = Instant::now();
     let scorer = matcher.global_scorer(dataset);
+    let index = DependencyIndex::build(dataset, cover);
     let mut stats = RunStats::default();
     let mut trace = RoundTrace::default();
-    let mut found = evidence.positive.clone();
+    let mut found = Evidence::from_parts(evidence.positive.clone(), evidence.negative.clone());
     let mut store = MessageStore::new();
-    let mut dirty: Vec<Pair> = Vec::new();
+    let mut dirty_messages: Vec<Pair> = Vec::new();
+    let mut state = DeltaState::new(cover.len());
+    let mut memos: Vec<ProbeMemo> = vec![ProbeMemo::new(); cover.len()];
     let mut active: Vec<NeighborhoodId> = cover.ids().collect();
 
     while !active.is_empty() {
-        let snapshot = found.clone();
+        stats.rounds += 1;
+        let round_dirty = state.begin_round(&active, mmp_config.incremental);
+        let found_ref = &found;
+        let state_ref = &state;
+        let memos_ref = &memos;
+        let round_dirty_ref = &round_dirty;
+        let scorer_ref = scorer.as_ref();
         let results = run_round(config.workers, &active, |id| {
             let view = cover.view(dataset, id);
-            let local = Evidence {
-                positive: view.restrict(&snapshot),
-                negative: view.restrict(&evidence.negative),
+            let computed = match state_ref.cached(id) {
+                Some(_) => None,
+                None => Some(DeltaState::restricted(&view, found_ref)),
             };
+            let local: &Evidence = computed
+                .as_ref()
+                .or_else(|| state_ref.cached(id))
+                .expect("cached or computed");
             let mut local_stats = RunStats::default();
-            let base = matcher.match_view(&view, &local);
+            let base = matcher.match_view(&view, local);
             local_stats.matcher_calls += 1;
-            let messages =
-                compute_maximal(matcher, &view, &local, &base, mmp_config, &mut local_stats);
-            (base, messages, local_stats)
+            let (messages, memo) = if mmp_config.incremental {
+                // The shared memo slice is read-only across workers; the
+                // clone is this evaluation's private working copy, whose
+                // entries move into the returned memo.
+                compute_maximal_incremental(
+                    matcher,
+                    &view,
+                    local,
+                    &base,
+                    &round_dirty_ref[id.index()],
+                    scorer_ref,
+                    memos_ref[id.index()].clone(),
+                    mmp_config,
+                    &mut local_stats,
+                )
+            } else {
+                (
+                    compute_maximal(matcher, &view, local, &base, mmp_config, &mut local_stats),
+                    ProbeMemo::new(),
+                )
+            };
+            (base, messages, memo, computed, local_stats)
         });
 
+        let fence = found.advance_epoch();
         let mut record = Vec::with_capacity(results.len());
         let mut new_matches = PairSet::new();
-        for (id, (base, messages, local_stats), cost) in results {
+        for (id, (base, messages, memo, computed_local, local_stats), cost) in results {
             stats.merge(&local_stats);
             stats.neighborhoods_processed += 1;
             record.push(EvalRecord {
                 neighborhood: id,
                 cost,
             });
+            memos[id.index()] = memo;
+            if let Some(local) = computed_local {
+                state.local[id.index()] = Some(local);
+            }
             for p in base.iter() {
-                if !found.contains(p) {
+                if !found.positive.contains(p) {
                     new_matches.insert(p);
                 }
             }
@@ -236,48 +367,47 @@ pub fn parallel_mmp(
                     continue;
                 }
                 if let Some(root) = store.add_message(message) {
-                    dirty.push(root);
+                    dirty_messages.push(root);
                 }
             }
         }
         trace.rounds.push(record);
-        found.union_with(&new_matches);
-        mark_dirty_around(&new_matches, scorer.as_ref(), &mut store, &mut dirty);
+        found.union_positive(&new_matches);
+        mark_dirty_around(
+            &new_matches,
+            scorer.as_ref(),
+            &mut store,
+            &mut dirty_messages,
+        );
 
-        // Promotion sweep (sequential reduce step).
-        let promoted = promote_dirty(
+        // Promotion sweep (sequential reduce step); promoted pairs land
+        // in this round's epoch delta through the tracked mutator.
+        promote_dirty(
             &mut store,
             scorer.as_ref(),
             &mut found,
-            &mut dirty,
+            &mut dirty_messages,
             &mut stats,
         );
-        new_matches.extend(promoted.iter());
 
-        if new_matches.is_empty() {
+        let delta: Vec<Pair> = found.delta_since(fence).to_vec();
+        if delta.is_empty() {
             break;
         }
-        stats.messages_sent += new_matches.len() as u64;
-        let mut next: Vec<NeighborhoodId> = new_matches
-            .iter()
-            .flat_map(|p| cover.containing_pair(p))
-            .collect();
-        next.sort_unstable();
-        next.dedup();
-        active = next;
+        stats.messages_sent += delta.len() as u64;
+        let mut next: Vec<NeighborhoodId> = Vec::new();
+        for p in delta {
+            state.route(&index, p, &mut next);
+        }
+        active = sorted_active(next);
     }
 
+    let mut matches = found.into_positive();
     for p in evidence.negative.iter() {
-        found.remove(p);
+        matches.remove(p);
     }
     stats.wall_time = start.elapsed();
-    (
-        MatchOutput {
-            matches: found,
-            stats,
-        },
-        trace,
-    )
+    (MatchOutput { matches, stats }, trace)
 }
 
 /// Parallel NO-MP: a single round over all neighborhoods (the natural
@@ -294,12 +424,13 @@ pub fn parallel_no_mp(
     let active: Vec<NeighborhoodId> = cover.ids().collect();
     let results = run_round(config.workers, &active, |id| {
         let view = cover.view(dataset, id);
-        let local = Evidence {
-            positive: view.restrict(&evidence.positive),
-            negative: view.restrict(&evidence.negative),
-        };
+        let local = Evidence::untracked(
+            view.restrict(&evidence.positive),
+            view.restrict(&evidence.negative),
+        );
         matcher.match_view(&view, &local)
     });
+    stats.rounds = 1;
     let mut found = evidence.positive.clone();
     let mut record = Vec::with_capacity(results.len());
     for (id, matches, cost) in results {
@@ -346,6 +477,7 @@ mod tests {
             );
             assert_eq!(parallel.matches, sequential.matches, "workers={workers}");
             assert!(!trace.is_empty());
+            assert_eq!(parallel.stats.rounds as usize, trace.len());
         }
     }
 
@@ -371,6 +503,33 @@ mod tests {
             );
             assert_eq!(parallel.matches, expected, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn parallel_mmp_incremental_matches_full_recompute() {
+        let (ds, cover, matcher, expected) = paper_example();
+        let config = ParallelConfig { workers: 3 };
+        let full_cfg = MmpConfig {
+            incremental: false,
+            ..Default::default()
+        };
+        let (full, _) = parallel_mmp(&matcher, &ds, &cover, &Evidence::none(), &full_cfg, &config);
+        let (incr, _) = parallel_mmp(
+            &matcher,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            &config,
+        );
+        assert_eq!(full.matches, expected);
+        assert_eq!(incr.matches, expected);
+        assert!(incr.stats.conditioned_probes <= full.stats.conditioned_probes);
+        assert_eq!(
+            incr.stats.conditioned_probes + incr.stats.probes_replayed,
+            full.stats.conditioned_probes,
+            "every probe is either issued or replayed"
+        );
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! # em-parallel — parallel execution and grid simulation (§6.3)
 //!
 //! The framework parallelizes naturally: within a round, neighborhood
-//! evaluations are independent given the round's evidence snapshot.
-//! [`executor`] implements the paper's round-based scheme over worker
-//! threads (NO-MP, SMP, and MMP variants), with per-neighborhood cost
-//! tracing; [`grid`] replays a trace onto `m` simulated machines with
-//! random assignment and per-round job overhead — reproducing Table 1's
-//! observation that 30 machines yield ~11×, not 30×.
+//! evaluations are independent given the evidence the round was fenced
+//! on. [`executor`] implements the paper's round-based scheme over
+//! worker threads (NO-MP, SMP, and MMP variants) as a delta-driven
+//! scheduler — per-round epoch fences on the accumulating evidence, a
+//! `DependencyIndex` routing each delta pair to the neighborhoods that
+//! can use it, and incremental probe replay for MMP — with
+//! per-neighborhood cost tracing; [`grid`] replays a trace onto `m`
+//! simulated machines with random assignment and per-round job overhead
+//! — reproducing Table 1's observation that 30 machines yield ~11×, not
+//! 30×.
 
 #![warn(missing_docs)]
 
