@@ -14,7 +14,7 @@
 //!   fig3_runtime [--dataset hepth|dblp|both] [--scale 0.02]
 //!                [--backend exact|walksat|both] [--seed N]
 //!                [--cache on|off|both] [--incremental on|off|both]
-//!                [--bench-out PATH|none]
+//!                [--shards K] [--bench-out PATH|none]
 //!
 //! `--cache` toggles the zero-recompute matcher memo
 //! ([`em_core::CachedMatcher`]); see the README's feature-cache section.
@@ -28,15 +28,27 @@
 //! binary exits non-zero on divergence with the exact backend — CI runs
 //! exactly this), and reports the conditioned-probe reduction. Results
 //! are appended to `BENCH_framework.json` (`--bench-out none` skips).
+//!
+//! `--shards K` (K ≥ 1) additionally runs the `em_shard` sharded
+//! runtime with `K` shards against the single-machine MMP baseline
+//! (exact backend only; the equality guarantee needs exact inference,
+//! like `--incremental`), verifies byte-identical matches — exiting
+//! non-zero on divergence, CI runs exactly this — and prints and
+//! persists a Table 1-style per-shard load/skew/makespan report. The
+//! sharded arm inherits the `--incremental` setting (`both` → on): the
+//! per-shard drivers carry the same probe memos as the sequential
+//! scheduler.
 
 use em_bench::{
-    prepare_opts, ArmRecord, Flags, FrameworkReport, SchemeRecord, Workload, WorkloadRecord,
+    prepare_opts, ArmRecord, Flags, FrameworkReport, SchemeRecord, ShardRunRecord, Workload,
+    WorkloadRecord,
 };
 use em_core::evidence::Evidence;
 use em_core::framework::{mmp, no_mp, smp, MmpConfig};
 use em_core::{CachedMatcher, MatchOutput};
-use em_eval::{fmt_duration, Table};
+use em_eval::{fmt_duration, fmt_ratio, Table};
 use em_mln::MlnMatcher;
+use em_shard::{shard_mmp, shard_smp, ShardConfig};
 
 /// One (backend, cache, incremental) sweep: NO-MP → SMP → MMP.
 /// Returns the per-scheme outputs plus the matcher memo's final
@@ -233,6 +245,107 @@ fn run_backend(
     ok
 }
 
+/// The `--shards K` ablation: sharded MMP (and SMP) against the
+/// single-machine baselines, byte-identical check included. Returns
+/// `false` on divergence.
+fn run_shard_ablation(
+    w: &Workload,
+    shards: usize,
+    incremental: bool,
+    scale: f64,
+    seed: Option<u64>,
+    report: &mut FrameworkReport,
+) -> bool {
+    let none = Evidence::none();
+    let mmp_config = MmpConfig {
+        incremental,
+        ..Default::default()
+    };
+    let shard_config = ShardConfig::with_shards(shards);
+
+    // A fresh matcher per arm: MlnMatcher memoizes ground models per
+    // view, so sharing one instance would let the baseline warm the
+    // cache for the sharded run and bias its measured times.
+    let single = mmp(&w.mln_matcher(), &w.dataset, &w.cover, &none, &mmp_config);
+    let (sharded, shard_report) = shard_mmp(
+        &w.mln_matcher(),
+        &w.dataset,
+        &w.cover,
+        &none,
+        &mmp_config,
+        &shard_config,
+    );
+    let single_smp = smp(&w.mln_matcher(), &w.dataset, &w.cover, &none);
+    let (sharded_smp, _) = shard_smp(&w.mln_matcher(), &w.dataset, &w.cover, &none, &shard_config);
+
+    let mut table = Table::new([
+        "shard",
+        "neighborhoods",
+        "units",
+        "est cost",
+        "busy",
+        "evaluations",
+    ]);
+    for s in &shard_report.per_shard {
+        table.push_row([
+            s.shard.to_string(),
+            s.neighborhoods.to_string(),
+            s.units.to_string(),
+            s.est_cost.to_string(),
+            fmt_duration(s.busy),
+            s.evaluations.to_string(),
+        ]);
+    }
+    println!(
+        "\nem_shard — {shards} shards over {} evidence components \
+         (largest: {} neighborhoods; {} split, {} pinned) [exact backend, incremental {}]",
+        shard_report.components,
+        shard_report.largest_component,
+        shard_report.split_components,
+        shard_report.pinned_components,
+        if incremental { "on" } else { "off" },
+    );
+    print!("{}", table.render());
+    println!(
+        "epochs {} | cross-shard pairs {} | est skew {} | busy skew {} | \
+         makespan {} | total work {} | speedup {:.2}x (single-machine MMP wall {})",
+        shard_report.epochs,
+        shard_report.cross_shard_pairs,
+        fmt_ratio(shard_report.est_skew),
+        fmt_ratio(shard_report.busy_skew),
+        fmt_duration(shard_report.makespan),
+        fmt_duration(shard_report.total_work),
+        shard_report.speedup,
+        fmt_duration(single.stats.wall_time),
+    );
+
+    let mmp_identical = sharded.matches == single.matches;
+    let smp_identical = sharded_smp.matches == single_smp.matches;
+    println!(
+        "shard ablation: MMP outputs {} | SMP outputs {}",
+        if mmp_identical {
+            "byte-identical ✓"
+        } else {
+            "DIVERGED ✗"
+        },
+        if smp_identical {
+            "byte-identical ✓"
+        } else {
+            "DIVERGED ✗"
+        },
+    );
+
+    report.shard_runs.push(ShardRunRecord::from_run(
+        &w.name,
+        scale,
+        seed,
+        &shard_report,
+        &sharded,
+        &single,
+    ));
+    mmp_identical && smp_identical
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_dataset(
     name: &str,
@@ -241,6 +354,7 @@ fn run_dataset(
     backend: &str,
     cache: &str,
     incremental: &str,
+    shards: usize,
     report: &mut FrameworkReport,
 ) -> bool {
     let arm_list = |flag: &str, what: &str| -> &'static [bool] {
@@ -297,6 +411,19 @@ fn run_dataset(
             );
         }
     }
+    if shards > 0 {
+        if backend == "walksat" {
+            println!(
+                "\n(skipping --shards {shards}: the byte-identical guarantee needs the \
+                 exact backend; walksat probes are not component-factorizable)"
+            );
+        } else {
+            // One shard ablation per dataset, against a fresh workload so
+            // the matcher memo state of the cache arms cannot leak in.
+            let w = prepare_opts(name, scale, seed, true);
+            ok &= run_shard_ablation(&w, shards, incremental != "off", scale, seed, report);
+        }
+    }
     ok
 }
 
@@ -306,6 +433,7 @@ fn main() {
     let backend = flags.get_str("backend", "exact");
     let cache = flags.get_str("cache", "on");
     let incremental = flags.get_str("incremental", "on");
+    let shards: usize = flags.get("shards", 0usize);
     let bench_out = flags.get_str("bench-out", "BENCH_framework.json");
     let seed: Option<u64> = if flags.has("seed") {
         Some(flags.get("seed", 0u64))
@@ -322,6 +450,7 @@ fn main() {
                 &backend,
                 &cache,
                 &incremental,
+                shards,
                 &mut report,
             );
             let b = run_dataset(
@@ -331,6 +460,7 @@ fn main() {
                 &backend,
                 &cache,
                 &incremental,
+                shards,
                 &mut report,
             );
             a && b
@@ -342,6 +472,7 @@ fn main() {
             &backend,
             &cache,
             &incremental,
+            shards,
             &mut report,
         ),
     };
@@ -352,7 +483,7 @@ fn main() {
         }
     }
     if !ok {
-        eprintln!("fig3_runtime: incremental ablation diverged on an exact backend");
+        eprintln!("fig3_runtime: an ablation diverged on an exact backend");
         std::process::exit(1);
     }
 }

@@ -7,6 +7,11 @@
 //! overhead (the two effects behind the paper's ~11× — not 30× —
 //! speedup).
 //!
+//! Both placement policies are simulated: the paper's random
+//! assignment (whose skew explains the 11× ≠ 30× gap) and the LPT
+//! greedy the `em_shard` balancer uses — reported side by side so the
+//! skew cost of random placement is visible.
+//!
 //! Usage:
 //!   table1_grid [--scale 0.002] [--machines 30] [--workers N]
 //!               [--overhead-secs 20] [--dataset dblp-big]
@@ -16,7 +21,8 @@ use em_core::evidence::Evidence;
 use em_core::framework::MmpConfig;
 use em_eval::{fmt_duration, fmt_ratio, Table};
 use em_parallel::{
-    parallel_mmp, parallel_no_mp, parallel_smp, simulate, GridParams, ParallelConfig, RoundTrace,
+    parallel_mmp, parallel_no_mp, parallel_smp, simulate, Assignment, GridParams, ParallelConfig,
+    RoundTrace,
 };
 use std::time::Duration;
 
@@ -75,42 +81,69 @@ fn main() {
         single[1].clone(),
         single[2].clone(),
     ]);
-    let grid_params = GridParams {
+    let random_params = GridParams {
         machines,
         per_round_overhead: overhead,
         ..Default::default()
     };
-    let reports: Vec<_> = runs
+    let lpt_params = GridParams {
+        assignment: Assignment::Lpt,
+        ..random_params
+    };
+    let random: Vec<_> = runs
         .iter()
-        .map(|(_, trace)| simulate(trace, &grid_params))
+        .map(|(_, trace)| simulate(trace, &random_params))
+        .collect();
+    let lpt: Vec<_> = runs
+        .iter()
+        .map(|(_, trace)| simulate(trace, &lpt_params))
         .collect();
     table.push_row([
-        format!("Grid ({machines} machines)"),
-        fmt_duration(reports[0].makespan),
-        fmt_duration(reports[1].makespan),
-        fmt_duration(reports[2].makespan),
+        format!("Grid ({machines} machines, random)"),
+        fmt_duration(random[0].makespan),
+        fmt_duration(random[1].makespan),
+        fmt_duration(random[2].makespan),
     ]);
     table.push_row([
-        "Speedup".to_owned(),
-        format!("{:.1}x", reports[0].speedup),
-        format!("{:.1}x", reports[1].speedup),
-        format!("{:.1}x", reports[2].speedup),
+        "Speedup (random)".to_owned(),
+        format!("{:.1}x", random[0].speedup),
+        format!("{:.1}x", random[1].speedup),
+        format!("{:.1}x", random[2].speedup),
     ]);
     table.push_row([
-        "Mean assignment skew".to_owned(),
-        fmt_ratio(reports[0].mean_skew),
-        fmt_ratio(reports[1].mean_skew),
-        fmt_ratio(reports[2].mean_skew),
+        "Mean skew (random)".to_owned(),
+        fmt_ratio(random[0].mean_skew),
+        fmt_ratio(random[1].mean_skew),
+        fmt_ratio(random[2].mean_skew),
+    ]);
+    table.push_row([
+        format!("Grid ({machines} machines, LPT)"),
+        fmt_duration(lpt[0].makespan),
+        fmt_duration(lpt[1].makespan),
+        fmt_duration(lpt[2].makespan),
+    ]);
+    table.push_row([
+        "Speedup (LPT)".to_owned(),
+        format!("{:.1}x", lpt[0].speedup),
+        format!("{:.1}x", lpt[1].speedup),
+        format!("{:.1}x", lpt[2].speedup),
+    ]);
+    table.push_row([
+        "Mean skew (LPT)".to_owned(),
+        fmt_ratio(lpt[0].mean_skew),
+        fmt_ratio(lpt[1].mean_skew),
+        fmt_ratio(lpt[2].mean_skew),
     ]);
     table.push_row([
         "Rounds".to_owned(),
-        reports[0].rounds.to_string(),
-        reports[1].rounds.to_string(),
-        reports[2].rounds.to_string(),
+        random[0].rounds.to_string(),
+        random[1].rounds.to_string(),
+        random[2].rounds.to_string(),
     ]);
     println!(
         "\nTable 1 — running times: single machine vs simulated grid \
-         (overhead {}/round; threaded run used {workers} workers)",
+         (overhead {}/round; threaded run used {workers} workers; \
+         random = the paper's placement, LPT = em_shard's balancer)",
         fmt_duration(overhead)
     );
     print!("{}", table.render());

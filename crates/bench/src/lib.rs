@@ -23,5 +23,7 @@ pub mod report;
 pub mod workload;
 
 pub use cli::Flags;
-pub use report::{ArmRecord, FrameworkReport, SchemeRecord, WorkloadRecord};
+pub use report::{
+    ArmRecord, FrameworkReport, SchemeRecord, ShardLoadRecord, ShardRunRecord, WorkloadRecord,
+};
 pub use workload::{prepare, prepare_opts, Workload};

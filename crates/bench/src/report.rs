@@ -1,13 +1,16 @@
 //! `BENCH_framework.json` — persisted framework-level bench results.
 //!
 //! `fig3_runtime` records, per workload × backend × cache arm, the
-//! NO-MP/SMP/MMP counters of the `--incremental` ablation so probe and
-//! runtime trends survive across PRs next to `BENCH_similarity.json`.
-//! The writer is hand-rolled (offline workspace, no serde); the schema is
+//! NO-MP/SMP/MMP counters of the `--incremental` ablation — and, when
+//! `--shards k` is passed, a [`ShardRunRecord`] per workload with the
+//! per-shard load/skew/makespan ledger — so probe, runtime, and balance
+//! trends survive across PRs next to `BENCH_similarity.json`. The
+//! writer is hand-rolled (offline workspace, no serde); the schema is
 //! versioned so future readers can evolve it.
 
 use em_core::framework::RunStats;
 use em_core::MatchOutput;
+use em_shard::ShardReport;
 
 /// One scheme's counters within an ablation arm.
 #[derive(Debug, Clone)]
@@ -96,11 +99,120 @@ pub struct WorkloadRecord {
     pub mmp_probe_reduction_pct: Option<f64>,
 }
 
+/// One shard's slice of a sharded-runtime ablation.
+#[derive(Debug, Clone)]
+pub struct ShardLoadRecord {
+    /// Shard index.
+    pub shard: u64,
+    /// Member neighborhoods.
+    pub neighborhoods: u64,
+    /// Placement units assigned.
+    pub units: u64,
+    /// Estimated cost in balancer units.
+    pub est_cost: u64,
+    /// Measured busy time, milliseconds.
+    pub busy_ms: f64,
+    /// Neighborhood evaluations performed.
+    pub evaluations: u64,
+}
+
+/// One `fig3_runtime --shards k` ablation: the sharded MMP run against
+/// the single-machine baseline, with the balance ledger.
+#[derive(Debug, Clone)]
+pub struct ShardRunRecord {
+    /// Dataset profile name.
+    pub dataset: String,
+    /// Scale factor.
+    pub scale: f64,
+    /// Explicit seed, if any.
+    pub seed: Option<u64>,
+    /// Shard count.
+    pub shards: u64,
+    /// Evidence components in the dependency index.
+    pub components: u64,
+    /// Neighborhoods in the largest component.
+    pub largest_component: u64,
+    /// Oversized components split for balance.
+    pub split_components: u64,
+    /// Oversized components pinned whole.
+    pub pinned_components: u64,
+    /// Epoch fences to the fixpoint.
+    pub epochs: u64,
+    /// Distinct evidence pairs exchanged across shards.
+    pub cross_shard_pairs: u64,
+    /// `max/mean` estimated shard load.
+    pub est_skew: f64,
+    /// `max/mean` measured shard busy time.
+    pub busy_skew: f64,
+    /// Longest shard busy time, milliseconds.
+    pub makespan_ms: f64,
+    /// Summed shard busy time, milliseconds.
+    pub total_work_ms: f64,
+    /// `total_work / makespan` — the balance-limited speedup.
+    pub speedup: f64,
+    /// Single-machine MMP wall time, milliseconds (the baseline arm).
+    pub single_wall_ms: f64,
+    /// Final match count of the sharded run.
+    pub matches: u64,
+    /// Whether the sharded matches equal the single-machine matches
+    /// byte for byte (CI greps this).
+    pub shard_outputs_identical: bool,
+    /// Per-shard loads.
+    pub per_shard: Vec<ShardLoadRecord>,
+}
+
+impl ShardRunRecord {
+    /// Build from a sharded run and its single-machine baseline.
+    pub fn from_run(
+        dataset: &str,
+        scale: f64,
+        seed: Option<u64>,
+        report: &ShardReport,
+        sharded: &MatchOutput,
+        single: &MatchOutput,
+    ) -> Self {
+        Self {
+            dataset: dataset.to_owned(),
+            scale,
+            seed,
+            shards: report.shards as u64,
+            components: report.components as u64,
+            largest_component: report.largest_component as u64,
+            split_components: report.split_components as u64,
+            pinned_components: report.pinned_components as u64,
+            epochs: report.epochs,
+            cross_shard_pairs: report.cross_shard_pairs,
+            est_skew: report.est_skew,
+            busy_skew: report.busy_skew,
+            makespan_ms: report.makespan.as_secs_f64() * 1e3,
+            total_work_ms: report.total_work.as_secs_f64() * 1e3,
+            speedup: report.speedup,
+            single_wall_ms: single.stats.wall_time.as_secs_f64() * 1e3,
+            matches: sharded.matches.len() as u64,
+            shard_outputs_identical: sharded.matches == single.matches,
+            per_shard: report
+                .per_shard
+                .iter()
+                .map(|s| ShardLoadRecord {
+                    shard: s.shard as u64,
+                    neighborhoods: s.neighborhoods as u64,
+                    units: s.units as u64,
+                    est_cost: s.est_cost,
+                    busy_ms: s.busy.as_secs_f64() * 1e3,
+                    evaluations: s.evaluations,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The whole report.
 #[derive(Debug, Clone, Default)]
 pub struct FrameworkReport {
     /// One entry per workload × backend × cache arm.
     pub workloads: Vec<WorkloadRecord>,
+    /// One entry per workload when `--shards` ran.
+    pub shard_runs: Vec<ShardRunRecord>,
 }
 
 fn esc(s: &str) -> String {
@@ -124,8 +236,8 @@ impl FrameworkReport {
             .unwrap_or(0);
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"bench-framework-v1\",\n");
-        out.push_str("  \"bench\": \"fig3_runtime (--incremental ablation)\",\n");
+        out.push_str("  \"schema\": \"bench-framework-v2\",\n");
+        out.push_str("  \"bench\": \"fig3_runtime (--incremental / --shards ablations)\",\n");
         out.push_str(&format!("  \"recorded_unix_secs\": {recorded},\n"));
         out.push_str("  \"workloads\": [\n");
         for (wi, w) in self.workloads.iter().enumerate() {
@@ -194,6 +306,78 @@ impl FrameworkReport {
                 }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"shard_runs\": [\n");
+        for (ri, r) in self.shard_runs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"dataset\": \"{}\",\n", esc(&r.dataset)));
+            out.push_str(&format!("      \"scale\": {},\n", fmt_f64(r.scale)));
+            match r.seed {
+                Some(s) => out.push_str(&format!("      \"seed\": {s},\n")),
+                None => out.push_str("      \"seed\": null,\n"),
+            }
+            out.push_str(&format!("      \"shards\": {},\n", r.shards));
+            out.push_str(&format!("      \"components\": {},\n", r.components));
+            out.push_str(&format!(
+                "      \"largest_component\": {},\n",
+                r.largest_component
+            ));
+            out.push_str(&format!(
+                "      \"split_components\": {},\n",
+                r.split_components
+            ));
+            out.push_str(&format!(
+                "      \"pinned_components\": {},\n",
+                r.pinned_components
+            ));
+            out.push_str(&format!("      \"epochs\": {},\n", r.epochs));
+            out.push_str(&format!(
+                "      \"cross_shard_pairs\": {},\n",
+                r.cross_shard_pairs
+            ));
+            out.push_str(&format!("      \"est_skew\": {},\n", fmt_f64(r.est_skew)));
+            out.push_str(&format!("      \"busy_skew\": {},\n", fmt_f64(r.busy_skew)));
+            out.push_str(&format!(
+                "      \"makespan_ms\": {},\n",
+                fmt_f64(r.makespan_ms)
+            ));
+            out.push_str(&format!(
+                "      \"total_work_ms\": {},\n",
+                fmt_f64(r.total_work_ms)
+            ));
+            out.push_str(&format!("      \"speedup\": {},\n", fmt_f64(r.speedup)));
+            out.push_str(&format!(
+                "      \"single_wall_ms\": {},\n",
+                fmt_f64(r.single_wall_ms)
+            ));
+            out.push_str(&format!("      \"matches\": {},\n", r.matches));
+            out.push_str(&format!(
+                "      \"shard_outputs_identical\": {},\n",
+                r.shard_outputs_identical
+            ));
+            out.push_str("      \"per_shard\": [\n");
+            for (si, s) in r.per_shard.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"shard\": {}, \"neighborhoods\": {}, \"units\": {}, \"est_cost\": {}, \"busy_ms\": {}, \"evaluations\": {}}}{}\n",
+                    s.shard,
+                    s.neighborhoods,
+                    s.units,
+                    s.est_cost,
+                    fmt_f64(s.busy_ms),
+                    s.evaluations,
+                    if si + 1 < r.per_shard.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if ri + 1 < self.shard_runs.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -237,10 +421,41 @@ mod tests {
                 outputs_identical: Some(true),
                 mmp_probe_reduction_pct: Some(33.3),
             }],
+            shard_runs: vec![ShardRunRecord {
+                dataset: "hepth".into(),
+                scale: 0.02,
+                seed: Some(7),
+                shards: 4,
+                components: 154,
+                largest_component: 93,
+                split_components: 1,
+                pinned_components: 0,
+                epochs: 2,
+                cross_shard_pairs: 331,
+                est_skew: 1.0,
+                busy_skew: 1.3,
+                makespan_ms: 25.4,
+                total_work_ms: 76.9,
+                speedup: 3.03,
+                single_wall_ms: 23.5,
+                matches: 120,
+                shard_outputs_identical: true,
+                per_shard: vec![ShardLoadRecord {
+                    shard: 0,
+                    neighborhoods: 60,
+                    units: 40,
+                    est_cost: 775_000,
+                    busy_ms: 20.1,
+                    evaluations: 64,
+                }],
+            }],
         };
         let json = report.render_json();
-        assert!(json.contains("\"schema\": \"bench-framework-v1\""));
+        assert!(json.contains("\"schema\": \"bench-framework-v2\""));
         assert!(json.contains("\"conditioned_probes\": 8"));
+        assert!(json.contains("\"shard_outputs_identical\": true"));
+        assert!(json.contains("\"cross_shard_pairs\": 331"));
+        assert!(json.contains("\"est_cost\": 775000"));
         assert!(json.contains("\"mmp_probe_reduction_pct\": 33.300"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(

@@ -1,0 +1,163 @@
+//! End-to-end property tests of the sharded runtime on random datagen
+//! worlds with the real MLN matcher (exact backend), plus the grid
+//! simulator's validation path against a real shard run.
+//!
+//! The sharding machinery — evidence-component partitioning, split
+//! oversized components, per-shard drivers with epoch-fenced delta
+//! exchange, coordinator-side message closure and promotion — must be
+//! *invisible* in the outputs: for every generated world and every
+//! shard count, `shard_smp`/`shard_mmp` are byte-identical to the
+//! single-threaded schemes, and the incremental probe ledger balances
+//! against the full-recompute arm of the same partition.
+
+use em_bench::prepare;
+use em_blocking::{block_dataset_with_features, BlockingConfig, SimilarityKernel};
+use em_core::cover::NeighborhoodId;
+use em_core::framework::{mmp, smp, MmpConfig};
+use em_core::{Cover, Dataset, Evidence};
+use em_datagen::{generate, DatasetProfile};
+use em_mln::{MlnMatcher, MlnModel};
+use em_parallel::{simulate, Assignment, EvalRecord, GridParams, RoundTrace};
+use em_shard::{shard_mmp, shard_smp, ShardConfig, SplitPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Generate and block a tiny world (profile picked by parity, seed free).
+fn world(seed: u64) -> (Dataset, Cover, MlnMatcher) {
+    let profile = if seed.is_multiple_of(2) {
+        DatasetProfile::hepth()
+    } else {
+        DatasetProfile::dblp()
+    };
+    let generated = generate(&profile.scaled(0.003).with_seed(seed));
+    let mut dataset = generated.dataset;
+    let config = BlockingConfig {
+        kernel: SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    let blocking = block_dataset_with_features(&mut dataset, &config, Some(&generated.features))
+        .expect("valid total cover");
+    let coauthor = dataset
+        .relations
+        .relation_id("coauthor")
+        .expect("generated datasets declare coauthor");
+    let matcher = MlnMatcher::new(MlnModel::paper_model(coauthor));
+    (dataset, blocking.cover, matcher)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn sharded_runs_equal_the_single_machine_fixpoint(seed in 0u64..10_000) {
+        let (ds, cover, matcher) = world(seed);
+        let none = Evidence::none();
+        let seq_mmp = mmp(&matcher, &ds, &cover, &none, &MmpConfig::default());
+        let seq_smp = smp(&matcher, &ds, &cover, &none);
+        for k in [1usize, 2, 4, 7] {
+            let config = ShardConfig::with_shards(k);
+            let (out, report) = shard_mmp(
+                &matcher, &ds, &cover, &none, &MmpConfig::default(), &config,
+            );
+            prop_assert_eq!(&out.matches, &seq_mmp.matches,
+                "seed {} k {}: sharded MMP diverged", seed, k);
+            prop_assert!(report.epochs >= 2, "seed {} k {}: missing confirm epoch", seed, k);
+            let (out_smp, _) = shard_smp(&matcher, &ds, &cover, &none, &config);
+            prop_assert_eq!(&out_smp.matches, &seq_smp.matches,
+                "seed {} k {}: sharded SMP diverged", seed, k);
+        }
+        // The strict-locality policy reaches the same fixpoint too.
+        let pin = ShardConfig { shards: 4, policy: SplitPolicy::Pin };
+        let (out_pin, _) = shard_mmp(&matcher, &ds, &cover, &none, &MmpConfig::default(), &pin);
+        prop_assert_eq!(&out_pin.matches, &seq_mmp.matches, "seed {}: Pin diverged", seed);
+    }
+
+    #[test]
+    fn sharded_probe_ledger_balances(seed in 0u64..10_000) {
+        // Within one partition, every conditioned probe of the
+        // full-recompute arm is either issued or replayed by the
+        // incremental arm — the same ledger invariant the sequential
+        // scheduler maintains.
+        let (ds, cover, matcher) = world(seed);
+        let none = Evidence::none();
+        let config = ShardConfig::with_shards(4);
+        let (incr, _) = shard_mmp(&matcher, &ds, &cover, &none, &MmpConfig::default(), &config);
+        let full_cfg = MmpConfig { incremental: false, ..Default::default() };
+        let (full, _) = shard_mmp(&matcher, &ds, &cover, &none, &full_cfg, &config);
+        prop_assert_eq!(&incr.matches, &full.matches, "seed {}: arms diverged", seed);
+        prop_assert!(incr.stats.conditioned_probes <= full.stats.conditioned_probes,
+            "seed {}: incremental issued more probes ({} > {})",
+            seed, incr.stats.conditioned_probes, full.stats.conditioned_probes);
+        prop_assert_eq!(
+            incr.stats.conditioned_probes + incr.stats.probes_replayed,
+            full.stats.conditioned_probes,
+            "seed {}: probe ledger must balance", seed);
+    }
+}
+
+/// The grid simulator's validation path: its LPT mode, replaying the
+/// deterministic per-neighborhood cost estimates of a real `em_shard`
+/// run, must reproduce that run's balance. The simulator packs
+/// neighborhoods individually while the planner packs placement units
+/// (whole small components + fragments of split ones) — same greedy
+/// discipline at slightly different granularity, so the makespans must
+/// agree within 10% (on these workloads they agree exactly), and LPT
+/// must not lose to the paper's random placement on its own trace.
+#[test]
+fn lpt_grid_simulation_matches_a_real_shard_run() {
+    let w = prepare("hepth", 0.005, Some(7));
+    let matcher = w.mln_matcher();
+    let k = 4;
+    let (out, report) = shard_mmp(
+        &matcher,
+        &w.dataset,
+        &w.cover,
+        &Evidence::none(),
+        &MmpConfig::default(),
+        &ShardConfig::with_shards(k),
+    );
+    assert!(!out.matches.is_empty(), "workload must produce matches");
+
+    let round: Vec<EvalRecord> = report
+        .neighborhood_costs
+        .iter()
+        .enumerate()
+        .map(|(i, &cost)| EvalRecord {
+            neighborhood: NeighborhoodId(i as u32),
+            cost: Duration::from_micros(cost),
+        })
+        .collect();
+    let trace = RoundTrace {
+        rounds: vec![round],
+    };
+    let params = GridParams {
+        machines: k,
+        per_round_overhead: Duration::ZERO,
+        seed: 1,
+        assignment: Assignment::Lpt,
+    };
+    let lpt = simulate(&trace, &params);
+    let random = simulate(
+        &trace,
+        &GridParams {
+            assignment: Assignment::Random,
+            ..params
+        },
+    );
+
+    let real = Duration::from_micros(report.est_makespan());
+    let (lo, hi) = (real.mul_f64(0.9), real.mul_f64(1.1));
+    assert!(
+        lpt.makespan >= lo && lpt.makespan <= hi,
+        "simulated LPT makespan {:?} must be within 10% of the shard plan's {:?}",
+        lpt.makespan,
+        real
+    );
+    assert!(
+        lpt.makespan <= random.makespan,
+        "LPT ({:?}) must not lose to random placement ({:?}) on its own trace",
+        lpt.makespan,
+        random.makespan
+    );
+    assert!(lpt.mean_skew <= random.mean_skew);
+}

@@ -27,6 +27,21 @@ use crate::dataset::Dataset;
 use crate::hash::FxHashMap;
 use crate::pair::Pair;
 
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+fn union(parent: &mut [usize], a: usize, b: usize) {
+    let (ra, rb) = (find(parent, a), find(parent, b));
+    if ra != rb {
+        parent[ra.max(rb)] = ra.min(rb);
+    }
+}
+
 /// Immutable pair/entity → neighborhood dependency index of one cover.
 #[derive(Debug, Clone)]
 pub struct DependencyIndex {
@@ -72,6 +87,97 @@ impl DependencyIndex {
             neighborhoods: cover.len(),
             overlaps: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Derive a **shard-local** index: every neighborhood list of this
+    /// index filtered to `members`, so routing a pair through the result
+    /// activates only the member neighborhoods. A pure filter over the
+    /// already-built structures — O(index size), no dataset re-scan — so
+    /// a sharded runtime builds the full index once and restricts it `k`
+    /// times. The result still spans the full id space (dirty sets and
+    /// worklists stay indexable by global [`NeighborhoodId`]); pairs with
+    /// no member neighborhood are simply not indexed and route nowhere.
+    pub fn restrict_to(&self, members: &[NeighborhoodId]) -> Self {
+        let mut keep = vec![false; self.neighborhoods];
+        for id in members {
+            keep[id.index()] = true;
+        }
+        let entity_index: Vec<Vec<NeighborhoodId>> = self
+            .entity_index
+            .iter()
+            .map(|ids| ids.iter().copied().filter(|id| keep[id.index()]).collect())
+            .collect();
+        let pair_index: FxHashMap<Pair, Vec<NeighborhoodId>> = self
+            .pair_index
+            .iter()
+            .filter_map(|(pair, ids)| {
+                let ids: Vec<NeighborhoodId> =
+                    ids.iter().copied().filter(|id| keep[id.index()]).collect();
+                (!ids.is_empty()).then_some((*pair, ids))
+            })
+            .collect();
+
+        Self {
+            pair_index,
+            entity_index,
+            neighborhoods: self.neighborhoods,
+            overlaps: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Connected components of the neighborhood-overlap graph (two
+    /// neighborhoods are adjacent when they share an entity), each sorted
+    /// ascending, ordered by smallest member id. The *coarse* adjacency:
+    /// it upper-bounds every finer notion of interaction, so disjoint
+    /// overlap components are fully independent sub-problems. Canopy
+    /// covers chain heavily through shared entities, which is why
+    /// sharding works on [`DependencyIndex::evidence_components`] — the
+    /// exact routing adjacency — instead.
+    pub fn overlap_components(&self) -> Vec<Vec<NeighborhoodId>> {
+        self.components_of(|parent| {
+            for ids in &self.entity_index {
+                for w in ids.windows(2) {
+                    union(parent, w[0].index(), w[1].index());
+                }
+            }
+        })
+    }
+
+    /// Connected components of the **evidence-routing** graph: two
+    /// neighborhoods are adjacent when they share a candidate pair (both
+    /// endpoints in both neighborhoods) — exactly the condition under
+    /// which one neighborhood's output is evidence for the other, and
+    /// the condition under which two maximal messages can overlap and
+    /// must merge. A partition along these components keeps all
+    /// candidate-pair routing and all message merging within a part;
+    /// they refine [`DependencyIndex::overlap_components`] (sharing a
+    /// pair implies sharing both its endpoints).
+    pub fn evidence_components(&self) -> Vec<Vec<NeighborhoodId>> {
+        self.components_of(|parent| {
+            for ids in self.pair_index.values() {
+                for w in ids.windows(2) {
+                    union(parent, w[0].index(), w[1].index());
+                }
+            }
+        })
+    }
+
+    fn components_of(&self, link: impl FnOnce(&mut [usize])) -> Vec<Vec<NeighborhoodId>> {
+        let mut parent: Vec<usize> = (0..self.neighborhoods).collect();
+        link(&mut parent);
+        let mut by_root: FxHashMap<usize, Vec<NeighborhoodId>> = FxHashMap::default();
+        for i in 0..self.neighborhoods {
+            let root = find(&mut parent, i);
+            by_root
+                .entry(root)
+                .or_default()
+                .push(NeighborhoodId(i as u32));
+        }
+        let mut components: Vec<Vec<NeighborhoodId>> = by_root.into_values().collect();
+        // Members are pushed in ascending id order; sort components by
+        // their smallest member for a deterministic listing.
+        components.sort_unstable_by_key(|c| c[0]);
+        components
     }
 
     fn compute_overlaps(&self) -> Vec<Vec<NeighborhoodId>> {
@@ -247,6 +353,97 @@ mod tests {
     }
 
     #[test]
+    fn overlap_components_merge_transitively() {
+        let (ds, cover) = overlapping_world();
+        let index = DependencyIndex::build(&ds, &cover);
+        // C0–C1 share e2, C1–C2 share e4, C0–C2 share e0: one component.
+        assert_eq!(
+            index.overlap_components(),
+            vec![vec![
+                NeighborhoodId(0),
+                NeighborhoodId(1),
+                NeighborhoodId(2)
+            ]]
+        );
+    }
+
+    #[test]
+    fn every_pair_routes_within_one_evidence_component() {
+        // The sharding invariant: all neighborhoods of a candidate pair
+        // fall in the same evidence component (hence also in the same,
+        // coarser, overlap component).
+        let (ds, cover) = overlapping_world();
+        let index = DependencyIndex::build(&ds, &cover);
+        for components in [index.evidence_components(), index.overlap_components()] {
+            let component_of = |id: NeighborhoodId| {
+                components
+                    .iter()
+                    .position(|c| c.contains(&id))
+                    .expect("every neighborhood is in a component")
+            };
+            for (pair, _) in ds.candidate_pairs() {
+                let routed = index.neighborhoods_of(pair);
+                for w in routed.windows(2) {
+                    assert_eq!(
+                        component_of(w[0]),
+                        component_of(w[1]),
+                        "{pair} spans components"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evidence_components_refine_overlap_components() {
+        // C0 = {0,1,2} and C2 = {0,4,5} share entity 0 but no candidate
+        // pair (no similar pair has both endpoints in both), so the
+        // evidence graph separates what the entity-overlap graph chains.
+        let (ds, cover) = overlapping_world();
+        let index = DependencyIndex::build(&ds, &cover);
+        let overlap = index.overlap_components();
+        let evidence = index.evidence_components();
+        assert_eq!(overlap.len(), 1, "entity overlap chains everything");
+        assert!(
+            evidence.len() >= overlap.len(),
+            "evidence components are at least as fine"
+        );
+        // Every evidence component is wholly inside one overlap component.
+        for ec in &evidence {
+            let host = overlap
+                .iter()
+                .find(|oc| oc.contains(&ec[0]))
+                .expect("host overlap component");
+            assert!(ec.iter().all(|id| host.contains(id)));
+        }
+    }
+
+    #[test]
+    fn restrict_to_limits_routing_to_members() {
+        let (ds, cover) = overlapping_world();
+        let full = DependencyIndex::build(&ds, &cover);
+        let members = [NeighborhoodId(0), NeighborhoodId(2)];
+        let local = full.restrict_to(&members);
+        for (pair, _) in ds.candidate_pairs() {
+            let expected: Vec<NeighborhoodId> = full
+                .neighborhoods_of(pair)
+                .iter()
+                .copied()
+                .filter(|id| members.contains(id))
+                .collect();
+            assert_eq!(local.neighborhoods_of(pair), expected.as_slice(), "{pair}");
+        }
+        // The entity fallback is restricted too: (0,2) lives wholly in C0.
+        let mut visited = Vec::new();
+        local.for_each_neighborhood(Pair::new(e(0), e(2)), |id| visited.push(id));
+        assert_eq!(visited, vec![NeighborhoodId(0)]);
+        // A pair only contained in the excluded C1 routes nowhere.
+        let mut none = Vec::new();
+        local.for_each_neighborhood(Pair::new(e(2), e(3)), |id| none.push(id));
+        assert!(none.is_empty());
+    }
+
+    #[test]
     fn disjoint_neighborhoods_have_no_overlaps() {
         let mut ds = Dataset::new();
         let ty = ds.entities.intern_type("t");
@@ -262,6 +459,10 @@ mod tests {
         assert_eq!(
             index.neighborhoods_of(Pair::new(e(0), e(1))),
             &[NeighborhoodId(0)]
+        );
+        assert_eq!(
+            index.overlap_components(),
+            vec![vec![NeighborhoodId(0)], vec![NeighborhoodId(1)]]
         );
     }
 }

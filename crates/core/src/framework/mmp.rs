@@ -39,7 +39,7 @@ use crate::matcher::{GlobalScorer, MatchOutput, ProbabilisticMatcher, Score};
 use crate::pair::{Pair, PairSet};
 use std::time::Instant;
 
-use super::{DependencyIndex, RunStats, Worklist};
+use super::RunStats;
 
 /// Tuning knobs for MMP.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +60,15 @@ pub struct MmpConfig {
     /// component-factorizable, turn this off to reproduce the
     /// full-recompute behaviour exactly.
     pub incremental: bool,
+    /// Upper bound on the total number of memoized probe entries kept
+    /// across all per-neighborhood [`ProbeMemo`]s (the [`MemoPool`]
+    /// evicts whole least-recently-evaluated memos past it). Bounds the
+    /// memory of DBLP-BIG-scale incremental runs; an evicted
+    /// neighborhood simply re-probes on its next visit, so outputs are
+    /// unchanged. `usize::MAX` means unbounded. The bound is per run:
+    /// `em-shard` divides it across its per-shard pools so a sharded
+    /// run respects the same total.
+    pub memo_capacity: usize,
 }
 
 impl Default for MmpConfig {
@@ -68,6 +77,7 @@ impl Default for MmpConfig {
             singleton_messages: true,
             max_probes_per_neighborhood: usize::MAX,
             incremental: true,
+            memo_capacity: usize::MAX,
         }
     }
 }
@@ -219,6 +229,106 @@ impl ProbeMemo {
     /// Whether the memo holds a previous evaluation.
     pub fn is_visited(&self) -> bool {
         self.visited
+    }
+
+    /// Number of memoized probe entries (the unit [`MemoPool`]'s
+    /// capacity is measured in).
+    pub fn entries(&self) -> usize {
+        self.entailed.len()
+    }
+}
+
+/// The per-neighborhood [`ProbeMemo`]s of one run, bounded by
+/// [`MmpConfig::memo_capacity`] total entries with least-recently-used
+/// eviction at neighborhood granularity: when the pool overflows, the
+/// memo whose neighborhood was evaluated longest ago is dropped whole
+/// (its next revisit re-probes from scratch — sound, just slower) and
+/// the eviction is surfaced in [`RunStats::memo_evictions`].
+#[derive(Debug, Clone)]
+pub struct MemoPool {
+    memos: Vec<ProbeMemo>,
+    /// Last evaluation tick of each neighborhood (0 = never).
+    stamps: Vec<u64>,
+    /// Non-empty memos ordered by `(stamp, id)` — O(log n) LRU victim
+    /// selection instead of scanning every neighborhood on the hot
+    /// evaluation path (a capacity-bounded pool sits at capacity in
+    /// steady state, so eviction runs on nearly every put).
+    lru: std::collections::BTreeSet<(u64, usize)>,
+    tick: u64,
+    capacity: usize,
+    total: usize,
+}
+
+impl MemoPool {
+    /// Pool of `n` empty memos holding at most `capacity` entries.
+    pub fn new(n: usize, capacity: usize) -> Self {
+        Self {
+            memos: vec![ProbeMemo::new(); n],
+            stamps: vec![0; n],
+            lru: std::collections::BTreeSet::new(),
+            tick: 0,
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Whether eviction can ever run; the unbounded default (every
+    /// sequential and parallel run unless configured otherwise) skips
+    /// all LRU bookkeeping on the hot path.
+    fn bounded(&self) -> bool {
+        self.capacity != usize::MAX
+    }
+
+    /// Take neighborhood `id`'s memo out of the pool (replaced by an
+    /// empty one until [`MemoPool::put`] returns it).
+    pub fn take(&mut self, id: NeighborhoodId) -> ProbeMemo {
+        let memo = std::mem::take(&mut self.memos[id.index()]);
+        self.total -= memo.entries();
+        if self.bounded() {
+            self.lru.remove(&(self.stamps[id.index()], id.index()));
+        }
+        memo
+    }
+
+    /// Read access to neighborhood `id`'s memo (parallel workers clone
+    /// their private working copy from this).
+    pub fn get(&self, id: NeighborhoodId) -> &ProbeMemo {
+        &self.memos[id.index()]
+    }
+
+    /// Store `memo` as neighborhood `id`'s, stamping it most recently
+    /// used, then evict least-recently-used memos until the pool fits
+    /// the capacity again. Evicted entries are counted into
+    /// `stats.memo_evictions`.
+    pub fn put(&mut self, id: NeighborhoodId, memo: ProbeMemo, stats: &mut RunStats) {
+        let old = std::mem::replace(&mut self.memos[id.index()], memo);
+        self.total -= old.entries();
+        self.total += self.memos[id.index()].entries();
+        if !self.bounded() {
+            return;
+        }
+        self.lru.remove(&(self.stamps[id.index()], id.index()));
+        self.tick += 1;
+        self.stamps[id.index()] = self.tick;
+        if self.memos[id.index()].entries() > 0 {
+            self.lru.insert((self.tick, id.index()));
+        }
+        while self.total > self.capacity {
+            // Oldest non-empty memo; the just-put one has the newest
+            // stamp, so it goes last.
+            let Some(&(stamp, victim)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&(stamp, victim));
+            let evicted = std::mem::take(&mut self.memos[victim]);
+            self.total -= evicted.entries();
+            stats.memo_evictions += evicted.entries() as u64;
+        }
+    }
+
+    /// Memoized probe entries currently held across all neighborhoods.
+    pub fn total_entries(&self) -> usize {
+        self.total
     }
 }
 
@@ -494,6 +604,8 @@ pub fn mmp(
 }
 
 /// MMP with an explicit initial evaluation order (consistency tests).
+/// A thin wrapper over [`super::MmpDriver`]: one driver spanning the
+/// whole cover, run to quiescence once.
 pub fn mmp_with_order(
     matcher: &dyn ProbabilisticMatcher,
     dataset: &Dataset,
@@ -504,127 +616,12 @@ pub fn mmp_with_order(
 ) -> MatchOutput {
     let start = Instant::now();
     let scorer = matcher.global_scorer(dataset);
-    let index = DependencyIndex::build(dataset, cover);
-    let mut worklist = match order {
-        Some(order) => Worklist::with_order(&index, cover.len(), order),
-        None => Worklist::full(&index, cover.len()),
+    let mut driver = match order {
+        Some(order) => super::MmpDriver::with_order(dataset, cover, evidence, config, order),
+        None => super::MmpDriver::new(dataset, cover, evidence, config),
     };
-    let mut out = MatchOutput::default();
-    // The accumulating `M+`, epoch-fenced per neighborhood evaluation so
-    // step 8 routes exactly the evaluation's delta.
-    let mut found = Evidence::from_parts(evidence.positive.clone(), evidence.negative.clone());
-    let mut store = MessageStore::new();
-    // Messages whose promotion delta may have changed, identified by any
-    // member pair (resolved to the current root when processed).
-    let mut dirty_messages: Vec<Pair> = Vec::new();
-    // Per-neighborhood cached local evidence (first visit restricts the
-    // full sets; revisits apply only the scheduler's dirty pairs).
-    let mut local: Vec<Option<Evidence>> = vec![None; cover.len()];
-    let mut memos: Vec<ProbeMemo> = vec![ProbeMemo::new(); cover.len()];
-
-    while let Some((id, dirty)) = worklist.pop() {
-        let view = cover.view(dataset, id);
-        let local_evidence: &Evidence = match &mut local[id.index()] {
-            Some(ev) => {
-                for p in dirty.iter() {
-                    ev.insert_positive(p);
-                }
-                ev
-            }
-            slot @ None => slot.insert(Evidence::untracked(
-                view.restrict(&found.positive),
-                view.restrict(&found.negative),
-            )),
-        };
-        let undecided = view
-            .candidate_pairs()
-            .iter()
-            .filter(|(p, _)| !local_evidence.positive.contains(*p))
-            .count() as u64;
-        let base = matcher.match_view(&view, local_evidence);
-        out.stats.matcher_calls += 1;
-        out.stats.neighborhoods_processed += 1;
-        out.stats.active_pairs_evaluated += undecided;
-
-        // Step 5b: new maximal messages from this neighborhood.
-        let (new_messages, new_memo) = if config.incremental {
-            compute_maximal_incremental(
-                matcher,
-                &view,
-                local_evidence,
-                &base,
-                &dirty,
-                scorer.as_ref(),
-                std::mem::take(&mut memos[id.index()]),
-                config,
-                &mut out.stats,
-            )
-        } else {
-            (
-                compute_maximal(
-                    matcher,
-                    &view,
-                    local_evidence,
-                    &base,
-                    config,
-                    &mut out.stats,
-                ),
-                ProbeMemo::new(),
-            )
-        };
-        memos[id.index()] = new_memo;
-        out.stats.maximal_messages_created += new_messages.len() as u64;
-        for message in &new_messages {
-            // Messages touching hard negative evidence can never be
-            // all-true; drop them.
-            if message.iter().any(|p| evidence.negative.contains(*p)) {
-                continue;
-            }
-            if let Some(root) = store.add_message(message) {
-                dirty_messages.push(root);
-            }
-        }
-
-        // Step 6: fold the direct matches into M+. Each new match makes
-        // dirty every message it shares a ground edge with.
-        let fence = found.advance_epoch();
-        let new_matches: PairSet = base.difference(&found.positive);
-        found.union_positive(&new_matches);
-        mark_dirty_around(
-            &new_matches,
-            scorer.as_ref(),
-            &mut store,
-            &mut dirty_messages,
-        );
-
-        // Step 7: promote messages whose global score delta is
-        // non-negative, to fixpoint (a promotion can enable another).
-        promote_dirty(
-            &mut store,
-            scorer.as_ref(),
-            &mut found,
-            &mut dirty_messages,
-            &mut out.stats,
-        );
-
-        // Step 8: route this evaluation's epoch delta (direct matches and
-        // promotions alike) to the neighborhoods that can use it.
-        let delta = found.delta_since(fence);
-        if !delta.is_empty() {
-            out.stats.messages_sent += delta.len() as u64;
-            for &p in delta {
-                worklist.route(p, Some(id));
-            }
-        }
-    }
-
-    let mut matches = found.into_positive();
-    for p in evidence.negative.iter() {
-        matches.remove(p);
-    }
-    out.matches = matches;
-    out.stats.wall_time = start.elapsed();
-    out
+    driver.run(matcher, scorer.as_ref());
+    driver.finish(start)
 }
 
 /// Mark dirty every stored message containing a pair that interacts with
@@ -841,6 +838,99 @@ mod tests {
         store.add_message(&[p(2, 3), p(8, 9)]);
         assert_eq!(store.len(), 1);
         assert_eq!(store.message(store.roots()[0]).unwrap().len(), 2);
+    }
+
+    fn memo_with_entries(pairs: &[Pair]) -> ProbeMemo {
+        ProbeMemo {
+            visited: true,
+            undecided: pairs.to_vec(),
+            entailed: pairs.iter().map(|&p| (p, Vec::new())).collect(),
+        }
+    }
+
+    #[test]
+    fn memo_pool_evicts_least_recently_used_first() {
+        use crate::cover::NeighborhoodId;
+        let mut stats = RunStats::default();
+        let mut pool = MemoPool::new(3, 4);
+        pool.put(
+            NeighborhoodId(0),
+            memo_with_entries(&[p(0, 1), p(2, 3)]),
+            &mut stats,
+        );
+        pool.put(
+            NeighborhoodId(1),
+            memo_with_entries(&[p(4, 5), p(6, 7)]),
+            &mut stats,
+        );
+        assert_eq!(pool.total_entries(), 4);
+        assert_eq!(stats.memo_evictions, 0);
+        // Overflow: neighborhood 0 is the least recently used, so its two
+        // entries go; 1 and 2 stay.
+        pool.put(NeighborhoodId(2), memo_with_entries(&[p(8, 9)]), &mut stats);
+        assert_eq!(stats.memo_evictions, 2);
+        assert_eq!(pool.total_entries(), 3);
+        assert_eq!(pool.get(NeighborhoodId(0)).entries(), 0);
+        assert!(!pool.get(NeighborhoodId(0)).is_visited(), "evicted whole");
+        assert_eq!(pool.get(NeighborhoodId(1)).entries(), 2);
+        assert_eq!(pool.get(NeighborhoodId(2)).entries(), 1);
+        // take() releases capacity; putting back re-accounts it.
+        let taken = pool.take(NeighborhoodId(1));
+        assert_eq!(pool.total_entries(), 1);
+        pool.put(NeighborhoodId(1), taken, &mut stats);
+        assert_eq!(pool.total_entries(), 3);
+        assert_eq!(stats.memo_evictions, 2, "no further evictions");
+    }
+
+    #[test]
+    fn memo_pool_evicts_even_the_just_put_memo_when_alone_over_capacity() {
+        use crate::cover::NeighborhoodId;
+        let mut stats = RunStats::default();
+        let mut pool = MemoPool::new(2, 1);
+        pool.put(
+            NeighborhoodId(0),
+            memo_with_entries(&[p(0, 1), p(2, 3), p(4, 5)]),
+            &mut stats,
+        );
+        // A single memo larger than the whole capacity cannot be kept:
+        // the memory bound wins over the replay opportunity.
+        assert_eq!(stats.memo_evictions, 3);
+        assert_eq!(pool.total_entries(), 0);
+    }
+
+    #[test]
+    fn bounded_memo_capacity_is_byte_identical_and_surfaces_evictions() {
+        let (ds, cover, matcher, expected) = paper_example();
+        let unbounded = mmp(
+            &matcher,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &MmpConfig::default(),
+        );
+        assert_eq!(unbounded.stats.memo_evictions, 0);
+        let bounded = mmp(
+            &matcher,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &MmpConfig {
+                memo_capacity: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            bounded.matches, expected,
+            "eviction must not change outputs"
+        );
+        assert!(
+            bounded.stats.memo_evictions > 0,
+            "a one-entry capacity must evict on this workload"
+        );
+        assert!(
+            bounded.stats.conditioned_probes >= unbounded.stats.conditioned_probes,
+            "lost memos can only cost extra probes"
+        );
     }
 
     #[test]

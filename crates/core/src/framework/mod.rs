@@ -25,6 +25,7 @@
 //! [`compute_maximal_incremental`]).
 
 mod dependency;
+mod engine;
 mod mmp;
 mod nomp;
 mod smp;
@@ -32,9 +33,10 @@ mod stats;
 mod worklist;
 
 pub use dependency::DependencyIndex;
+pub use engine::{EvalTrace, MmpDriver, SmpDriver};
 pub use mmp::{
     compute_maximal, compute_maximal_incremental, mark_dirty_around, mmp, mmp_with_order,
-    promote_dirty, MessageStore, MmpConfig, ProbeMemo,
+    promote_dirty, MemoPool, MessageStore, MmpConfig, ProbeMemo,
 };
 pub use nomp::no_mp;
 pub use smp::{smp, smp_with_order};

@@ -23,10 +23,9 @@ use crate::cover::{Cover, NeighborhoodId};
 use crate::dataset::Dataset;
 use crate::evidence::Evidence;
 use crate::matcher::{MatchOutput, Matcher};
-use crate::pair::PairSet;
 use std::time::Instant;
 
-use super::{DependencyIndex, Worklist};
+use super::SmpDriver;
 
 /// Run SMP with the default (id-order) initial schedule.
 pub fn smp(
@@ -39,7 +38,9 @@ pub fn smp(
 }
 
 /// Run SMP with an explicit initial evaluation order (used by the
-/// consistency tests; Theorem 2(3) says the output must not depend on it).
+/// consistency tests; Theorem 2(3) says the output must not depend on
+/// it). A thin wrapper over [`SmpDriver`]: one driver spanning the whole
+/// cover, run to quiescence once.
 pub fn smp_with_order(
     matcher: &dyn Matcher,
     dataset: &Dataset,
@@ -48,58 +49,10 @@ pub fn smp_with_order(
     order: Option<&[NeighborhoodId]>,
 ) -> MatchOutput {
     let start = Instant::now();
-    let index = DependencyIndex::build(dataset, cover);
-    let mut worklist = match order {
-        Some(order) => Worklist::with_order(&index, cover.len(), order),
-        None => Worklist::full(&index, cover.len()),
+    let mut driver = match order {
+        Some(order) => SmpDriver::with_order(dataset, cover, evidence, order),
+        None => SmpDriver::new(dataset, cover, evidence),
     };
-    let mut out = MatchOutput::default();
-    let mut found = Evidence::from_parts(evidence.positive.clone(), evidence.negative.clone());
-    let mut local: Vec<Option<Evidence>> = vec![None; cover.len()];
-
-    while let Some((id, dirty)) = worklist.pop() {
-        let view = cover.view(dataset, id);
-        let local_evidence: &Evidence = match &mut local[id.index()] {
-            Some(ev) => {
-                for p in dirty.iter() {
-                    ev.insert_positive(p);
-                }
-                ev
-            }
-            slot @ None => slot.insert(Evidence::untracked(
-                view.restrict(&found.positive),
-                view.restrict(&found.negative),
-            )),
-        };
-        let undecided = view
-            .candidate_pairs()
-            .iter()
-            .filter(|(p, _)| !local_evidence.positive.contains(*p))
-            .count() as u64;
-        let matches = matcher.match_view(&view, local_evidence);
-        out.stats.matcher_calls += 1;
-        out.stats.neighborhoods_processed += 1;
-        out.stats.active_pairs_evaluated += undecided;
-
-        // New matches become messages: the epoch delta is routed to the
-        // neighborhoods the dependency index says can use it.
-        let fence = found.advance_epoch();
-        let new_matches: PairSet = matches.difference(&found.positive);
-        if !new_matches.is_empty() {
-            found.union_positive(&new_matches);
-            let delta = found.delta_since(fence);
-            out.stats.messages_sent += delta.len() as u64;
-            for &p in delta {
-                worklist.route(p, Some(id));
-            }
-        }
-    }
-
-    let mut matches = found.into_positive();
-    for p in evidence.negative.iter() {
-        matches.remove(p);
-    }
-    out.matches = matches;
-    out.stats.wall_time = start.elapsed();
-    out
+    driver.run(matcher);
+    driver.finish(start)
 }

@@ -40,6 +40,10 @@ pub struct RunStats {
     /// not have changed them, or elided because the pair is a singleton
     /// ground-interaction component.
     pub probes_replayed: u64,
+    /// Memoized probe entries dropped by the [`super::MemoPool`]'s LRU
+    /// eviction (`MmpConfig::memo_capacity`); each evicted entry costs
+    /// one extra conditioned probe on the neighborhood's next revisit.
+    pub memo_evictions: u64,
     /// Parallel rounds executed (0 for sequential runs).
     pub rounds: u64,
     /// Wall-clock time of the run.
@@ -60,6 +64,7 @@ impl RunStats {
         self.score_delta_calls += other.score_delta_calls;
         self.conditioned_probes += other.conditioned_probes;
         self.probes_replayed += other.probes_replayed;
+        self.memo_evictions += other.memo_evictions;
         self.rounds = self.rounds.max(other.rounds);
         self.wall_time = self.wall_time.max(other.wall_time);
     }
@@ -81,6 +86,7 @@ mod tests {
             score_delta_calls: 5,
             conditioned_probes: 2,
             probes_replayed: 1,
+            memo_evictions: 0,
             rounds: 3,
             wall_time: Duration::from_millis(10),
         };

@@ -11,6 +11,10 @@
 //! evidence for it since its last evaluation, so the caller can update a
 //! cached local-evidence set (instead of re-restricting the full `M+`)
 //! and re-probe only what the delta can affect.
+//!
+//! The index is a parameter of [`Worklist::route`] rather than a stored
+//! borrow so a per-shard driver can own its (shard-local) index and its
+//! worklist side by side.
 
 use super::DependencyIndex;
 use crate::cover::NeighborhoodId;
@@ -18,8 +22,7 @@ use crate::pair::{Pair, PairSet};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone)]
-pub(crate) struct Worklist<'a> {
-    index: &'a DependencyIndex,
+pub(crate) struct Worklist {
     queue: VecDeque<NeighborhoodId>,
     queued: Vec<bool>,
     /// Pairs that became positive evidence for each neighborhood since
@@ -27,34 +30,26 @@ pub(crate) struct Worklist<'a> {
     dirty: Vec<PairSet>,
 }
 
-impl<'a> Worklist<'a> {
-    /// Worklist initially containing all `n` neighborhoods in id order.
-    pub(crate) fn full(index: &'a DependencyIndex, n: usize) -> Self {
-        Self {
-            index,
-            queue: (0..n as u32).map(NeighborhoodId).collect(),
-            queued: vec![true; n],
-            dirty: vec![PairSet::new(); n],
-        }
-    }
-
-    /// Worklist over `n` neighborhoods seeded with an explicit order
-    /// (used by consistency tests to permute evaluation order).
-    pub(crate) fn with_order(
-        index: &'a DependencyIndex,
-        n: usize,
-        order: &[NeighborhoodId],
-    ) -> Self {
+impl Worklist {
+    /// Worklist over `n` neighborhood ids, initially containing `seed`
+    /// in the given order. Sequential runs seed with every id in id
+    /// order; shard drivers seed with their member neighborhoods only
+    /// (`n` stays the full cover size so global ids index directly).
+    pub(crate) fn seeded(n: usize, seed: impl IntoIterator<Item = NeighborhoodId>) -> Self {
         let mut wl = Self {
-            index,
-            queue: VecDeque::with_capacity(n),
+            queue: VecDeque::new(),
             queued: vec![false; n],
             dirty: vec![PairSet::new(); n],
         };
-        for &id in order {
+        for id in seed {
             wl.push(id);
         }
         wl
+    }
+
+    /// Worklist initially containing all `n` neighborhoods in id order.
+    pub(crate) fn full(n: usize) -> Self {
+        Self::seeded(n, (0..n as u32).map(NeighborhoodId))
     }
 
     /// Enqueue if not already queued.
@@ -66,13 +61,18 @@ impl<'a> Worklist<'a> {
     }
 
     /// Route a new evidence pair: record it in the dirty set of every
-    /// neighborhood containing both endpoints and activate each of them —
-    /// except `from`, the neighborhood that produced the pair (its own
-    /// output is not news to it, but its dirty set still records the pair
-    /// so its cached local evidence catches up on the next visit).
-    pub(crate) fn route(&mut self, pair: Pair, from: Option<NeighborhoodId>) {
+    /// neighborhood `index` maps it to and activate each of them — except
+    /// `from`, the neighborhood that produced the pair (its own output is
+    /// not news to it, but its dirty set still records the pair so its
+    /// cached local evidence catches up on the next visit).
+    pub(crate) fn route(
+        &mut self,
+        index: &DependencyIndex,
+        pair: Pair,
+        from: Option<NeighborhoodId>,
+    ) {
         let mut activate: Vec<NeighborhoodId> = Vec::new();
-        self.index.for_each_neighborhood(pair, |id| {
+        index.for_each_neighborhood(pair, |id| {
             self.dirty[id.index()].insert(pair);
             if Some(id) != from {
                 activate.push(id);
@@ -93,7 +93,6 @@ impl<'a> Worklist<'a> {
     }
 
     /// Whether no neighborhood is active.
-    #[cfg(test)]
     pub(crate) fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
@@ -128,9 +127,7 @@ mod tests {
 
     #[test]
     fn dedups_enqueues() {
-        let (ds, cover) = world();
-        let index = DependencyIndex::build(&ds, &cover);
-        let mut wl = Worklist::full(&index, 2);
+        let mut wl = Worklist::full(2);
         wl.push(NeighborhoodId(0));
         wl.push(NeighborhoodId(1));
         assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(0)));
@@ -144,11 +141,9 @@ mod tests {
     }
 
     #[test]
-    fn with_order_respects_permutation() {
-        let (ds, cover) = world();
-        let index = DependencyIndex::build(&ds, &cover);
+    fn seeded_respects_permutation() {
         let order = [NeighborhoodId(2), NeighborhoodId(0), NeighborhoodId(1)];
-        let mut wl = Worklist::with_order(&index, 3, &order);
+        let mut wl = Worklist::seeded(3, order);
         assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(2)));
         assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(0)));
         assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(1)));
@@ -158,10 +153,10 @@ mod tests {
     fn routing_activates_containing_neighborhoods_and_records_dirt() {
         let (ds, cover) = world();
         let index = DependencyIndex::build(&ds, &cover);
-        let mut wl = Worklist::with_order(&index, 3, &[]);
+        let mut wl = Worklist::seeded(3, []);
         // (1,2) lives in C0 and C1; routed from C0, only C1 activates,
         // but both dirty sets record the pair.
-        wl.route(Pair::new(e(1), e(2)), Some(NeighborhoodId(0)));
+        wl.route(&index, Pair::new(e(1), e(2)), Some(NeighborhoodId(0)));
         let (id, dirty) = wl.pop().expect("C1 active");
         assert_eq!(id, NeighborhoodId(1));
         assert!(dirty.contains(Pair::new(e(1), e(2))));
@@ -174,5 +169,17 @@ mod tests {
         wl.push(NeighborhoodId(0));
         let (_, again) = wl.pop().unwrap();
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn shard_local_index_routes_only_to_members() {
+        let (ds, cover) = world();
+        let local = DependencyIndex::build(&ds, &cover).restrict_to(&[NeighborhoodId(0)]);
+        let mut wl = Worklist::seeded(3, []);
+        // (1,2) lives in C0 and C1 globally; the shard-local index only
+        // knows C0.
+        wl.route(&local, Pair::new(e(1), e(2)), None);
+        assert_eq!(wl.pop().map(|(id, _)| id), Some(NeighborhoodId(0)));
+        assert!(wl.is_empty());
     }
 }

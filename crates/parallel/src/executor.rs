@@ -27,7 +27,7 @@ use crossbeam::channel;
 use em_core::cover::{Cover, NeighborhoodId};
 use em_core::framework::{
     compute_maximal, compute_maximal_incremental, mark_dirty_around, promote_dirty,
-    DependencyIndex, MessageStore, MmpConfig, ProbeMemo, RunStats,
+    DependencyIndex, MemoPool, MessageStore, MmpConfig, ProbeMemo, RunStats,
 };
 use em_core::{Dataset, Evidence, MatchOutput, Matcher, Pair, PairSet, ProbabilisticMatcher};
 use std::time::{Duration, Instant};
@@ -294,7 +294,7 @@ pub fn parallel_mmp(
     let mut store = MessageStore::new();
     let mut dirty_messages: Vec<Pair> = Vec::new();
     let mut state = DeltaState::new(cover.len());
-    let mut memos: Vec<ProbeMemo> = vec![ProbeMemo::new(); cover.len()];
+    let mut memos = MemoPool::new(cover.len(), mmp_config.memo_capacity);
     let mut active: Vec<NeighborhoodId> = cover.ids().collect();
 
     while !active.is_empty() {
@@ -329,7 +329,7 @@ pub fn parallel_mmp(
                     &base,
                     &round_dirty_ref[id.index()],
                     scorer_ref,
-                    memos_ref[id.index()].clone(),
+                    memos_ref.get(id).clone(),
                     mmp_config,
                     &mut local_stats,
                 )
@@ -352,7 +352,7 @@ pub fn parallel_mmp(
                 neighborhood: id,
                 cost,
             });
-            memos[id.index()] = memo;
+            memos.put(id, memo, &mut stats);
             if let Some(local) = computed_local {
                 state.local[id.index()] = Some(local);
             }

@@ -14,6 +14,22 @@ use crate::executor::RoundTrace;
 use em_core::properties::SplitMix64;
 use std::time::Duration;
 
+/// How neighborhoods are placed onto virtual machines within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Assignment {
+    /// Uniform random placement — the paper's setting ("neighborhoods
+    /// are randomly assigned to nodes"), and the source of its reported
+    /// skew.
+    #[default]
+    Random,
+    /// Longest-processing-time greedy: neighborhoods sorted by
+    /// descending cost (ties by id), each placed on the currently
+    /// least-loaded machine. The balancing discipline `em-shard` uses
+    /// for components; simulating it here is the validation path
+    /// between the simulator and real shard runs.
+    Lpt,
+}
+
 /// Grid simulation parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct GridParams {
@@ -21,8 +37,10 @@ pub struct GridParams {
     pub machines: usize,
     /// Map/Reduce job setup overhead charged once per round.
     pub per_round_overhead: Duration,
-    /// Assignment RNG seed.
+    /// Assignment RNG seed (used by [`Assignment::Random`] only).
     pub seed: u64,
+    /// Placement policy.
+    pub assignment: Assignment,
 }
 
 impl Default for GridParams {
@@ -33,6 +51,7 @@ impl Default for GridParams {
             // was tens of seconds.
             per_round_overhead: Duration::from_secs(20),
             seed: 0x6121D,
+            assignment: Assignment::Random,
         }
     }
 }
@@ -65,11 +84,28 @@ pub fn simulate(trace: &RoundTrace, params: &GridParams) -> GridReport {
             continue;
         }
         let mut loads = vec![Duration::ZERO; params.machines];
-        for eval in round {
-            // Random assignment, as in the paper ("neighborhoods are
-            // randomly assigned to nodes").
-            let machine = rng.below(params.machines);
-            loads[machine] += eval.cost;
+        match params.assignment {
+            Assignment::Random => {
+                for eval in round {
+                    // Random assignment, as in the paper ("neighborhoods
+                    // are randomly assigned to nodes").
+                    let machine = rng.below(params.machines);
+                    loads[machine] += eval.cost;
+                }
+            }
+            Assignment::Lpt => {
+                let mut order: Vec<&crate::executor::EvalRecord> = round.iter().collect();
+                order.sort_by_key(|e| (std::cmp::Reverse(e.cost), e.neighborhood));
+                for eval in order {
+                    let machine = loads
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, load)| (*load, i))
+                        .map(|(i, _)| i)
+                        .expect("at least one machine");
+                    loads[machine] += eval.cost;
+                }
+            }
         }
         let max = loads.iter().copied().max().unwrap_or(Duration::ZERO);
         let total: Duration = loads.iter().copied().sum();
@@ -131,6 +167,7 @@ mod tests {
                 machines: 1,
                 per_round_overhead: Duration::from_millis(5),
                 seed: 1,
+                assignment: Assignment::Random,
             },
         );
         assert_eq!(report.makespan, Duration::from_millis(65));
@@ -149,6 +186,7 @@ mod tests {
                 machines: 30,
                 per_round_overhead: Duration::ZERO,
                 seed: 2,
+                assignment: Assignment::Random,
             },
         );
         assert!(report.speedup > 10.0, "speedup {}", report.speedup);
@@ -164,11 +202,69 @@ mod tests {
             machines: 4,
             per_round_overhead: Duration::from_millis(100),
             seed: 3,
+            assignment: Assignment::Random,
         };
         let a = simulate(&one_round, &params);
         let b = simulate(&four_rounds, &params);
         assert!(b.makespan > a.makespan);
         assert_eq!(b.rounds, 4);
+    }
+
+    #[test]
+    fn lpt_balances_no_worse_than_random() {
+        // Mixed costs over many machines: the greedy balancer's makespan
+        // is within 4/3 of optimal (Graham), so it beats a random
+        // placement on any skew-prone trace.
+        let t = trace(vec![(0..200).map(|i| (i % 23) + 1).collect()]);
+        let base = GridParams {
+            machines: 10,
+            per_round_overhead: Duration::ZERO,
+            seed: 5,
+            assignment: Assignment::Random,
+        };
+        let random = simulate(&t, &base);
+        let lpt = simulate(
+            &t,
+            &GridParams {
+                assignment: Assignment::Lpt,
+                ..base
+            },
+        );
+        assert!(
+            lpt.makespan <= random.makespan,
+            "LPT {:?} vs random {:?}",
+            lpt.makespan,
+            random.makespan
+        );
+        assert!(lpt.mean_skew <= random.mean_skew);
+        assert!(lpt.mean_skew >= 1.0 - 1e-9);
+        // LPT lower bound: makespan at least total / machines.
+        assert!(lpt.makespan * 10 >= lpt.total_work);
+    }
+
+    #[test]
+    fn lpt_is_deterministic_and_seed_independent() {
+        let t = trace(vec![(0..50).map(|i| (i * 7) % 13 + 1).collect()]);
+        let a = simulate(
+            &t,
+            &GridParams {
+                machines: 7,
+                per_round_overhead: Duration::ZERO,
+                seed: 1,
+                assignment: Assignment::Lpt,
+            },
+        );
+        let b = simulate(
+            &t,
+            &GridParams {
+                machines: 7,
+                per_round_overhead: Duration::ZERO,
+                seed: 999,
+                assignment: Assignment::Lpt,
+            },
+        );
+        assert_eq!(a.makespan, b.makespan, "seed must not matter for LPT");
+        assert!((a.mean_skew - b.mean_skew).abs() < 1e-12);
     }
 
     #[test]
@@ -190,6 +286,7 @@ mod tests {
                 machines: 0,
                 per_round_overhead: Duration::ZERO,
                 seed: 0,
+                assignment: Assignment::Random,
             },
         );
     }

@@ -20,4 +20,4 @@ pub mod grid;
 pub use executor::{
     parallel_mmp, parallel_no_mp, parallel_smp, EvalRecord, ParallelConfig, RoundTrace,
 };
-pub use grid::{simulate, GridParams, GridReport};
+pub use grid::{simulate, Assignment, GridParams, GridReport};

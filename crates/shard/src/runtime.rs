@@ -1,0 +1,700 @@
+//! The epoch-fenced sharded runtime.
+//!
+//! One [`em_core::framework::SmpDriver`]/[`MmpDriver`] per shard, each
+//! on its own thread with a [`DependencyIndex`] restricted to its
+//! member neighborhoods, exchanging evidence as **epoch-fenced delta
+//! messages** over channels:
+//!
+//! ```text
+//!            ┌─ Epoch{delta} ──▶ shard 0: absorb → fence → drain ─┐
+//! coordinator├─ Epoch{delta} ──▶ shard 1: absorb → fence → drain ─┤ EpochDone{delta,
+//!            └─ Epoch{delta} ──▶ shard 2: absorb → fence → drain ─┘            messages}
+//!                  ▲                                              │
+//!                  └─ merge · message closure · promote ◀─────────┘
+//! ```
+//!
+//! Within an epoch a shard runs its delta-driven scheduler to local
+//! quiescence — intra-shard evidence takes effect immediately, which is
+//! what the component-aligned placement buys. Cross-shard evidence
+//! travels once per epoch: the coordinator folds every shard's
+//! produced delta into the global epoch-tracked evidence (pairs that
+//! raced in from several shards dedup against it), merges the shards'
+//! maximal messages into the **one global
+//! [`em_core::framework::MessageStore`]**, promotes to fixpoint, and
+//! broadcasts the fresh pairs back out. Centralizing the store is what
+//! makes splitting an oversized evidence component sound: two messages
+//! sharing a pair may then originate on different shards, and the
+//! paper's `(T ∪ TC)*` merge closure is only maintainable where both
+//! are visible. The matcher-dominated work — base evaluations and
+//! conditioned probes, with their per-shard local-evidence caches and
+//! probe memos — never leaves the shards; what crosses the boundary is
+//! pairs and message handles.
+//!
+//! **Termination** is a by-product of the fence: the coordinator only
+//! inspects the merged delta once all `k` responses for the epoch are
+//! in, so "all shards idle and no delta in flight" reduces to "this
+//! epoch's merged delta is empty", at which point it broadcasts `Stop`.
+//!
+//! **Determinism**: each shard's schedule is deterministic, responses
+//! are reduced in shard-id order, and the fixpoint itself is
+//! independent of evaluation order (the consistency theorems; promotion
+//! against a one-epoch-stale replica is sound for supermodular models
+//! and retried when the missing evidence arrives). The final match set
+//! is byte-identical to the single-machine run's.
+
+use crate::partition::{estimate_costs, skew, ShardPlan, SplitPolicy};
+use crossbeam::channel::{self, Receiver, Sender};
+use em_core::cover::{Cover, NeighborhoodId};
+use em_core::framework::{
+    mark_dirty_around, promote_dirty, DependencyIndex, EvalTrace, MessageStore, MmpConfig,
+    MmpDriver, RunStats, SmpDriver,
+};
+use em_core::{
+    Dataset, Evidence, GlobalScorer, MatchOutput, Matcher, Pair, PairSet, ProbabilisticMatcher,
+};
+use std::time::{Duration, Instant};
+
+/// Sharded-runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Number of shards (each runs on its own thread).
+    pub shards: usize,
+    /// What to do with evidence components too big to balance.
+    pub policy: SplitPolicy,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            policy: SplitPolicy::default(),
+        }
+    }
+}
+
+impl ShardConfig {
+    /// `shards` shards with the default split policy.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-shard load figures of one run.
+#[derive(Debug, Clone)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Member neighborhoods.
+    pub neighborhoods: usize,
+    /// Placement units (whole components or split fragments) assigned.
+    pub units: usize,
+    /// Estimated cost (the balancer's units).
+    pub est_cost: u64,
+    /// Measured busy time (absorb + drain, summed over epochs).
+    pub busy: Duration,
+    /// Neighborhood evaluations performed.
+    pub evaluations: u64,
+}
+
+/// What a sharded run reports besides its matches.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Number of shards.
+    pub shards: usize,
+    /// Number of evidence components.
+    pub components: usize,
+    /// Neighborhood count of the largest component.
+    pub largest_component: usize,
+    /// Estimated cost of the most expensive component.
+    pub largest_component_cost: u64,
+    /// Oversized components split into per-neighborhood units.
+    pub split_components: usize,
+    /// Oversized components kept whole and pinned solo: all of them
+    /// under [`SplitPolicy::Pin`]; single-neighborhood ones (nothing to
+    /// split) even under [`SplitPolicy::Split`].
+    pub pinned_components: usize,
+    /// Epoch fences until the global fixpoint (≥ 2: at least one work
+    /// epoch plus the empty confirming epoch).
+    pub epochs: u64,
+    /// Distinct evidence pairs exchanged across shards.
+    pub cross_shard_pairs: u64,
+    /// Per-shard loads.
+    pub per_shard: Vec<ShardLoad>,
+    /// `max/mean` of the estimated shard loads (the balancer's view).
+    pub est_skew: f64,
+    /// `max/mean` of the measured busy times.
+    pub busy_skew: f64,
+    /// Longest shard busy time — the sharded wall-clock bound.
+    pub makespan: Duration,
+    /// Summed shard busy time — the single-machine equivalent work.
+    pub total_work: Duration,
+    /// `total_work / makespan`; > 1 whenever at least two shards did
+    /// real work.
+    pub speedup: f64,
+    /// The per-neighborhood cost estimates the plan was built from
+    /// (indexed by neighborhood id) — the deterministic trace the grid
+    /// simulator's LPT mode is validated against.
+    pub neighborhood_costs: Vec<u64>,
+    /// Measured per-neighborhood evaluation costs, summed over visits.
+    pub measured: Vec<(NeighborhoodId, Duration)>,
+}
+
+impl ShardReport {
+    /// Estimated makespan: the most loaded shard in the balancer's cost
+    /// units (deterministic counterpart of [`ShardReport::makespan`]).
+    pub fn est_makespan(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.est_cost).max().unwrap_or(0)
+    }
+}
+
+enum ToShard {
+    Epoch { delta: Vec<Pair> },
+    Stop,
+}
+
+struct EpochDone {
+    shard: usize,
+    delta: Vec<Pair>,
+    messages: Vec<Vec<Pair>>,
+}
+
+struct ShardOutcome {
+    stats: RunStats,
+    busy: Duration,
+    trace: EvalTrace,
+}
+
+/// One shard's epoch loop over its driver; generic so SMP and MMP share
+/// the runtime verbatim.
+trait EpochWorker {
+    fn absorb(&mut self, delta: &[Pair]);
+    fn fence(&mut self) -> em_core::Epoch;
+    fn drain(&mut self);
+    /// This epoch's outgoing delta and maximal messages.
+    fn produced(&mut self, since: em_core::Epoch) -> (Vec<Pair>, Vec<Vec<Pair>>);
+    fn finish(self) -> (RunStats, EvalTrace);
+}
+
+struct SmpWorker<'a> {
+    driver: SmpDriver<'a>,
+    matcher: &'a (dyn Matcher + Sync),
+}
+
+impl EpochWorker for SmpWorker<'_> {
+    fn absorb(&mut self, delta: &[Pair]) {
+        self.driver.absorb(delta);
+    }
+    fn fence(&mut self) -> em_core::Epoch {
+        self.driver.fence()
+    }
+    fn drain(&mut self) {
+        self.driver.run(self.matcher);
+    }
+    fn produced(&mut self, since: em_core::Epoch) -> (Vec<Pair>, Vec<Vec<Pair>>) {
+        (self.driver.delta_since(since).to_vec(), Vec::new())
+    }
+    fn finish(mut self) -> (RunStats, EvalTrace) {
+        let trace = self.driver.take_trace();
+        (*self.driver.stats(), trace)
+    }
+}
+
+struct MmpWorker<'a> {
+    driver: MmpDriver<'a>,
+    matcher: &'a (dyn ProbabilisticMatcher + Sync),
+    scorer: &'a (dyn GlobalScorer + Send + Sync),
+}
+
+impl EpochWorker for MmpWorker<'_> {
+    fn absorb(&mut self, delta: &[Pair]) {
+        self.driver.absorb(delta, self.scorer);
+    }
+    fn fence(&mut self) -> em_core::Epoch {
+        self.driver.fence()
+    }
+    fn drain(&mut self) {
+        self.driver.run(self.matcher, self.scorer);
+    }
+    fn produced(&mut self, since: em_core::Epoch) -> (Vec<Pair>, Vec<Vec<Pair>>) {
+        (
+            self.driver.delta_since(since).to_vec(),
+            self.driver.take_outbox(),
+        )
+    }
+    fn finish(mut self) -> (RunStats, EvalTrace) {
+        let trace = self.driver.take_trace();
+        (*self.driver.stats(), trace)
+    }
+}
+
+fn worker_loop<W: EpochWorker>(
+    mut worker: W,
+    shard: usize,
+    rx: Receiver<ToShard>,
+    tx: Sender<EpochDone>,
+) -> ShardOutcome {
+    let mut busy = Duration::ZERO;
+    loop {
+        match rx.recv().expect("coordinator alive") {
+            ToShard::Stop => break,
+            ToShard::Epoch { delta } => {
+                let t0 = Instant::now();
+                worker.absorb(&delta);
+                let fence = worker.fence();
+                worker.drain();
+                let (produced, messages) = worker.produced(fence);
+                busy += t0.elapsed();
+                tx.send(EpochDone {
+                    shard,
+                    delta: produced,
+                    messages,
+                })
+                .expect("coordinator alive");
+            }
+        }
+    }
+    let (stats, trace) = worker.finish();
+    ShardOutcome { stats, busy, trace }
+}
+
+/// Run the epoch protocol over `k` workers built by `make_worker`,
+/// reducing each epoch's responses with `reduce` (which folds deltas
+/// and messages into `global` and returns the fresh pairs to
+/// broadcast). Returns the global evidence at fixpoint, per-shard
+/// outcomes, the epoch count, and the distinct cross-shard pair count.
+fn run_epochs<W, F, R>(
+    k: usize,
+    evidence: &Evidence,
+    make_worker: F,
+    mut reduce: R,
+) -> (Evidence, Vec<ShardOutcome>, u64, u64)
+where
+    W: EpochWorker + Send,
+    F: Fn(usize) -> W + Sync,
+    R: FnMut(&mut Evidence, Vec<EpochDone>) -> Vec<Pair>,
+{
+    let make_worker = &make_worker;
+    std::thread::scope(|scope| {
+        let (done_tx, done_rx) = channel::unbounded::<EpochDone>();
+        let mut to_shard: Vec<Sender<ToShard>> = Vec::with_capacity(k);
+        let mut handles = Vec::with_capacity(k);
+        for shard in 0..k {
+            let (tx, rx) = channel::unbounded::<ToShard>();
+            to_shard.push(tx);
+            let done_tx = done_tx.clone();
+            handles.push(scope.spawn(move || worker_loop(make_worker(shard), shard, rx, done_tx)));
+        }
+        drop(done_tx);
+
+        let mut global = Evidence::from_parts(evidence.positive.clone(), evidence.negative.clone());
+        let mut epochs = 0u64;
+        let mut cross_shard_pairs = 0u64;
+        let mut delta: Vec<Pair> = Vec::new();
+        loop {
+            epochs += 1;
+            for tx in &to_shard {
+                tx.send(ToShard::Epoch {
+                    delta: delta.clone(),
+                })
+                .expect("shard alive");
+            }
+            // The fence: nothing proceeds until every shard reported its
+            // epoch, so there are never deltas in flight when the merged
+            // delta is inspected for termination. A worker only exits
+            // before `Stop` by panicking, and its sibling senders keep
+            // the channel open — so a plain blocking recv would hang
+            // forever on a dead shard; poll with a liveness check and
+            // propagate the death as a panic instead.
+            let mut responses: Vec<Option<EpochDone>> = (0..k).map(|_| None).collect();
+            for _ in 0..k {
+                let done = loop {
+                    if let Some(done) = done_rx.try_recv() {
+                        break done;
+                    }
+                    if handles.iter().any(|h| h.is_finished()) {
+                        panic!("a shard worker terminated before its epoch response");
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                };
+                let slot = done.shard;
+                responses[slot] = Some(done);
+            }
+            // Reduce in shard-id order — deterministic regardless of
+            // thread scheduling.
+            let fresh = reduce(&mut global, responses.into_iter().flatten().collect());
+            if fresh.is_empty() {
+                break;
+            }
+            cross_shard_pairs += fresh.len() as u64;
+            delta = fresh;
+        }
+        for tx in &to_shard {
+            tx.send(ToShard::Stop).expect("shard alive");
+        }
+        let outcomes: Vec<ShardOutcome> = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread"))
+            .collect();
+        (global, outcomes, epochs, cross_shard_pairs)
+    })
+}
+
+/// Assemble the output + report shared by both schemes.
+fn assemble(
+    start: Instant,
+    plan: ShardPlan,
+    coordinator_stats: RunStats,
+    global: Evidence,
+    outcomes: Vec<ShardOutcome>,
+    epochs: u64,
+    cross_shard_pairs: u64,
+) -> (MatchOutput, ShardReport) {
+    let mut stats = coordinator_stats;
+    let mut per_shard = Vec::with_capacity(outcomes.len());
+    let mut measured: Vec<(NeighborhoodId, Duration)> = Vec::new();
+    let mut busy_units = Vec::with_capacity(outcomes.len());
+    let mut makespan = Duration::ZERO;
+    let mut total_work = Duration::ZERO;
+    for (s, outcome) in outcomes.into_iter().enumerate() {
+        stats.merge(&outcome.stats);
+        per_shard.push(ShardLoad {
+            shard: s,
+            neighborhoods: plan.shards[s].len(),
+            units: plan.units_on(s),
+            est_cost: plan.shard_cost[s],
+            busy: outcome.busy,
+            evaluations: outcome.stats.neighborhoods_processed,
+        });
+        busy_units.push(outcome.busy.as_nanos() as u64);
+        makespan = makespan.max(outcome.busy);
+        total_work += outcome.busy;
+        measured.extend(outcome.trace);
+    }
+    measured.sort_by_key(|&(id, _)| id);
+    // Sum repeated visits of the same neighborhood into one entry.
+    measured.dedup_by(|next, acc| {
+        if next.0 == acc.0 {
+            acc.1 += next.1;
+            true
+        } else {
+            false
+        }
+    });
+    stats.rounds = epochs;
+    stats.wall_time = start.elapsed();
+
+    let report = ShardReport {
+        shards: plan.shards.len(),
+        components: plan.components.len(),
+        largest_component: plan.largest_component(),
+        largest_component_cost: plan.largest_component_cost(),
+        split_components: plan.split_components,
+        pinned_components: plan.pinned_components,
+        epochs,
+        cross_shard_pairs,
+        est_skew: plan.est_skew(),
+        busy_skew: skew(&busy_units),
+        makespan,
+        total_work,
+        speedup: if makespan > Duration::ZERO {
+            total_work.as_secs_f64() / makespan.as_secs_f64()
+        } else {
+            1.0
+        },
+        per_shard,
+        neighborhood_costs: plan.costs,
+        measured,
+    };
+
+    let negative = global.negative.clone();
+    let mut matches = global.into_positive();
+    for p in negative.iter() {
+        matches.remove(p);
+    }
+    (MatchOutput { matches, stats }, report)
+}
+
+/// Sharded SMP: the fixpoint equals [`em_core::framework::smp`]'s.
+pub fn shard_smp(
+    matcher: &(dyn Matcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+    config: &ShardConfig,
+) -> (MatchOutput, ShardReport) {
+    let start = Instant::now();
+    let index = DependencyIndex::build(dataset, cover);
+    let costs = estimate_costs(dataset, cover);
+    let plan = ShardPlan::build(&index, config.shards, &costs, config.policy);
+    let plan_ref = &plan;
+    let index_ref = &index;
+    let (global, outcomes, epochs, crossed) = run_epochs(
+        plan.shards.len(),
+        evidence,
+        |shard| {
+            let mut driver = SmpDriver::for_members(
+                dataset,
+                cover,
+                index_ref,
+                &plan_ref.shards[shard],
+                evidence,
+            );
+            driver.enable_trace();
+            SmpWorker { driver, matcher }
+        },
+        |global, responses| {
+            let fence = global.advance_epoch();
+            for done in responses {
+                for p in done.delta {
+                    global.insert_positive(p);
+                }
+            }
+            global.delta_since(fence).to_vec()
+        },
+    );
+    assemble(
+        start,
+        plan,
+        RunStats::default(),
+        global,
+        outcomes,
+        epochs,
+        crossed,
+    )
+}
+
+/// Sharded MMP: the fixpoint equals [`em_core::framework::mmp`]'s for
+/// exact supermodular matchers (the same caveat as
+/// [`MmpConfig::incremental`] applies to approximate backends). Shards
+/// compute base matches and maximal messages; the coordinator owns the
+/// message store and the promotion loop.
+pub fn shard_mmp(
+    matcher: &(dyn ProbabilisticMatcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+    mmp_config: &MmpConfig,
+    config: &ShardConfig,
+) -> (MatchOutput, ShardReport) {
+    let start = Instant::now();
+    let index = DependencyIndex::build(dataset, cover);
+    let costs = estimate_costs(dataset, cover);
+    let plan = ShardPlan::build(&index, config.shards, &costs, config.policy);
+    let plan_ref = &plan;
+    let index_ref = &index;
+    // One grounding shared read-only by every shard, exactly like the
+    // round-based executor.
+    let scorer = matcher.global_scorer(dataset);
+    let scorer_ref: &(dyn GlobalScorer + Send + Sync) = scorer.as_ref();
+    // `memo_capacity` bounds the run's total memoized probe entries, so
+    // each shard's private pool gets an equal slice of it.
+    let per_shard_config = MmpConfig {
+        memo_capacity: if mmp_config.memo_capacity == usize::MAX {
+            usize::MAX
+        } else {
+            (mmp_config.memo_capacity / plan.shards.len().max(1)).max(1)
+        },
+        ..*mmp_config
+    };
+    let per_shard_config = &per_shard_config;
+    let mut store = MessageStore::new();
+    let mut dirty_messages: Vec<Pair> = Vec::new();
+    let mut coordinator_stats = RunStats::default();
+    let (global, outcomes, epochs, crossed) = run_epochs(
+        plan.shards.len(),
+        evidence,
+        |shard| {
+            let mut driver = MmpDriver::for_members(
+                dataset,
+                cover,
+                index_ref,
+                &plan_ref.shards[shard],
+                evidence,
+                per_shard_config,
+            );
+            driver.defer_promotions();
+            driver.enable_trace();
+            MmpWorker {
+                driver,
+                matcher,
+                scorer: scorer_ref,
+            }
+        },
+        |global, responses| {
+            let fence = global.advance_epoch();
+            // Fold direct matches; remember which are new for dirty
+            // marking.
+            let mut batch = PairSet::new();
+            for done in &responses {
+                for &p in &done.delta {
+                    if global.insert_positive(p) {
+                        batch.insert(p);
+                    }
+                }
+            }
+            // Merge the shards' maximal messages into the one store the
+            // closure invariant lives in.
+            for done in responses {
+                for message in done.messages {
+                    if message.iter().any(|p| global.negative.contains(*p)) {
+                        continue;
+                    }
+                    if let Some(root) = store.add_message(&message) {
+                        dirty_messages.push(root);
+                    }
+                }
+            }
+            mark_dirty_around(&batch, scorer_ref, &mut store, &mut dirty_messages);
+            promote_dirty(
+                &mut store,
+                scorer_ref,
+                global,
+                &mut dirty_messages,
+                &mut coordinator_stats,
+            );
+            global.delta_since(fence).to_vec()
+        },
+    );
+    assemble(
+        start,
+        plan,
+        coordinator_stats,
+        global,
+        outcomes,
+        epochs,
+        crossed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::framework::{mmp, smp};
+    use em_core::testing::paper_example;
+
+    fn config(shards: usize, policy: SplitPolicy) -> ShardConfig {
+        ShardConfig { shards, policy }
+    }
+
+    #[test]
+    fn shard_smp_equals_sequential_fixpoint() {
+        let (ds, cover, matcher, _) = paper_example();
+        let sequential = smp(&matcher, &ds, &cover, &Evidence::none());
+        for policy in [SplitPolicy::Pin, SplitPolicy::Split] {
+            for shards in [1, 2, 3, 5] {
+                let (out, report) = shard_smp(
+                    &matcher,
+                    &ds,
+                    &cover,
+                    &Evidence::none(),
+                    &config(shards, policy),
+                );
+                assert_eq!(out.matches, sequential.matches, "shards={shards}");
+                assert_eq!(report.shards, shards);
+                assert!(report.epochs >= 2, "work epoch + confirming epoch");
+                let evals: u64 = report.per_shard.iter().map(|s| s.evaluations).sum();
+                assert_eq!(evals, out.stats.neighborhoods_processed);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_mmp_equals_sequential_fixpoint() {
+        let (ds, cover, matcher, expected) = paper_example();
+        let sequential = mmp(
+            &matcher,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &MmpConfig::default(),
+        );
+        assert_eq!(sequential.matches, expected);
+        for policy in [SplitPolicy::Pin, SplitPolicy::Split] {
+            for shards in [1, 2, 4] {
+                let (out, report) = shard_mmp(
+                    &matcher,
+                    &ds,
+                    &cover,
+                    &Evidence::none(),
+                    &MmpConfig::default(),
+                    &config(shards, policy),
+                );
+                assert_eq!(out.matches, expected, "shards={shards} policy={policy:?}");
+                assert_eq!(out.stats.rounds, report.epochs);
+                assert!(report.makespan <= report.total_work + Duration::from_nanos(1));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_mmp_full_recompute_arm_matches_too() {
+        let (ds, cover, matcher, expected) = paper_example();
+        let mmp_config = MmpConfig {
+            incremental: false,
+            ..Default::default()
+        };
+        let (out, _) = shard_mmp(
+            &matcher,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &mmp_config,
+            &config(3, SplitPolicy::Split),
+        );
+        assert_eq!(out.matches, expected);
+    }
+
+    #[test]
+    fn report_accounts_for_every_neighborhood_and_unit() {
+        let (ds, cover, matcher, _) = paper_example();
+        let (out, report) = shard_mmp(
+            &matcher,
+            &ds,
+            &cover,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            &config(2, SplitPolicy::Split),
+        );
+        assert_eq!(
+            report
+                .per_shard
+                .iter()
+                .map(|s| s.neighborhoods)
+                .sum::<usize>(),
+            cover.len()
+        );
+        assert_eq!(report.neighborhood_costs.len(), cover.len());
+        // Every neighborhood was measured at least once.
+        assert_eq!(report.measured.len(), cover.len());
+        assert!(report.est_skew >= 1.0 - 1e-9);
+        assert!(report.busy_skew >= 1.0 - 1e-9);
+        assert!(report.speedup >= 1.0 - 1e-9);
+        assert!(out.stats.promotions > 0, "the paper example promotes");
+    }
+
+    #[test]
+    fn initial_evidence_flows_through_the_sharded_run() {
+        let (ds, cover, matcher, _) = paper_example();
+        // Feed the sequential SMP fixpoint back in as evidence: the
+        // sharded run must reproduce the sequential MMP-on-evidence
+        // fixpoint.
+        let smp_out = smp(&matcher, &ds, &cover, &Evidence::none());
+        let evidence = Evidence::positive(smp_out.matches.clone());
+        let sequential = mmp(&matcher, &ds, &cover, &evidence, &MmpConfig::default());
+        let (sharded, _) = shard_mmp(
+            &matcher,
+            &ds,
+            &cover,
+            &evidence,
+            &MmpConfig::default(),
+            &config(2, SplitPolicy::Split),
+        );
+        assert_eq!(sharded.matches, sequential.matches);
+        assert!(smp_out.matches.is_subset(&sharded.matches));
+    }
+}
