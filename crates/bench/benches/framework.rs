@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use em_bench::prepare;
 use em_core::evidence::Evidence;
-use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em_core::framework::{mmp_with_order, no_mp_baseline, smp_with_order, MmpConfig};
 use em_core::testing::paper_example;
-use em_parallel::{parallel_smp, ParallelConfig};
+use em_parallel::{execute_smp, ParallelConfig};
 use std::hint::black_box;
 
 fn bench_paper_example(c: &mut Criterion) {
@@ -15,13 +15,22 @@ fn bench_paper_example(c: &mut Criterion) {
     let none = Evidence::none();
     let mut group = c.benchmark_group("paper_example");
     group.bench_function("no_mp", |b| {
-        b.iter(|| black_box(no_mp(&matcher, &ds, &cover, &none)))
+        b.iter(|| black_box(no_mp_baseline(&matcher, &ds, &cover, &none)))
     });
     group.bench_function("smp", |b| {
-        b.iter(|| black_box(smp(&matcher, &ds, &cover, &none)))
+        b.iter(|| black_box(smp_with_order(&matcher, &ds, &cover, &none, None)))
     });
     group.bench_function("mmp", |b| {
-        b.iter(|| black_box(mmp(&matcher, &ds, &cover, &none, &MmpConfig::default())))
+        b.iter(|| {
+            black_box(mmp_with_order(
+                &matcher,
+                &ds,
+                &cover,
+                &none,
+                &MmpConfig::default(),
+                None,
+            ))
+        })
     });
     group.finish();
 }
@@ -33,19 +42,20 @@ fn bench_schemes_on_workload(c: &mut Criterion) {
     let mut group = c.benchmark_group("dblp_0.005");
     group.sample_size(10);
     group.bench_with_input(BenchmarkId::new("no_mp", w.cover.len()), &w, |b, w| {
-        b.iter(|| black_box(no_mp(&matcher, &w.dataset, &w.cover, &none)))
+        b.iter(|| black_box(no_mp_baseline(&matcher, &w.dataset, &w.cover, &none)))
     });
     group.bench_with_input(BenchmarkId::new("smp", w.cover.len()), &w, |b, w| {
-        b.iter(|| black_box(smp(&matcher, &w.dataset, &w.cover, &none)))
+        b.iter(|| black_box(smp_with_order(&matcher, &w.dataset, &w.cover, &none, None)))
     });
     group.bench_with_input(BenchmarkId::new("mmp", w.cover.len()), &w, |b, w| {
         b.iter(|| {
-            black_box(mmp(
+            black_box(mmp_with_order(
                 &matcher,
                 &w.dataset,
                 &w.cover,
                 &none,
                 &MmpConfig::default(),
+                None,
             ))
         })
     });
@@ -54,10 +64,11 @@ fn bench_schemes_on_workload(c: &mut Criterion) {
         &w,
         |b, w| {
             b.iter(|| {
-                black_box(parallel_smp(
+                black_box(execute_smp(
                     &matcher,
                     &w.dataset,
                     &w.cover,
+                    None,
                     &none,
                     &ParallelConfig { workers: 4 },
                 ))

@@ -7,7 +7,7 @@
 
 use em_bench::{prepare, Flags};
 use em_core::evidence::Evidence;
-use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em_core::framework::{mmp_with_order, no_mp_baseline, smp_with_order, MmpConfig};
 use em_core::{MatchOutput, PairSet, ProbabilisticMatcher};
 use em_eval::{fmt_ratio, pairwise_metrics, soundness_completeness, upper_bound, Table};
 
@@ -27,11 +27,24 @@ fn run_dataset(name: &str, scale: f64, seed: Option<u64>) {
     // paper's "infeasible" reference is directly measurable.
     let full = em_core::Matcher::match_view(&matcher, &w.dataset.full_view(), &none);
     let runs: Vec<(&str, MatchOutput)> = vec![
-        ("NO-MP", no_mp(&matcher, &w.dataset, &w.cover, &none)),
-        ("SMP", smp(&matcher, &w.dataset, &w.cover, &none)),
+        (
+            "NO-MP",
+            no_mp_baseline(&matcher, &w.dataset, &w.cover, &none),
+        ),
+        (
+            "SMP",
+            smp_with_order(&matcher, &w.dataset, &w.cover, &none, None),
+        ),
         (
             "MMP",
-            mmp(&matcher, &w.dataset, &w.cover, &none, &MmpConfig::default()),
+            mmp_with_order(
+                &matcher,
+                &w.dataset,
+                &w.cover,
+                &none,
+                &MmpConfig::default(),
+                None,
+            ),
         ),
     ];
 

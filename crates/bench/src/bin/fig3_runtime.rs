@@ -1,5 +1,6 @@
 //! Figures 3(d), 3(e): running-time comparison of NO-MP, SMP, MMP with
-//! the MLN matcher, plus the evidence-delta ablation.
+//! the MLN matcher, plus the evidence-delta, shard, and warm-start
+//! ablations — all driven through the `em::Pipeline` front door.
 //!
 //! The paper's counter-intuitive result: better message passing is
 //! *faster*, because evidence shrinks the active size of revisited
@@ -14,15 +15,15 @@
 //!   fig3_runtime [--dataset hepth|dblp|both] [--scale 0.02]
 //!                [--backend exact|walksat|both] [--seed N]
 //!                [--cache on|off|both] [--incremental on|off|both]
-//!                [--shards K] [--bench-out PATH|none]
+//!                [--shards K] [--warm-start on|off] [--bench-out PATH|none]
 //!
 //! `--cache` toggles the zero-recompute matcher memo
 //! ([`em_core::CachedMatcher`]); see the README's feature-cache section.
 //!
-//! `--incremental` toggles the evidence-delta engine's probe replay
-//! ([`MmpConfig::incremental`]): `on` (default) re-probes only undecided
-//! pairs whose ground-interaction component the delta touched and
-//! replays the rest from the per-neighborhood memo; `off` reproduces the
+//! `--incremental` toggles the evidence-delta engine's probe replay:
+//! `on` (default) re-probes only undecided pairs whose
+//! ground-interaction component the delta touched and replays the rest
+//! from the per-neighborhood memo; `off` reproduces the
 //! probe-everything revisit. `both` runs the ablation, verifies the two
 //! arms produce **byte-identical** match sets for every scheme (the
 //! binary exits non-zero on divergence with the exact backend — CI runs
@@ -31,62 +32,85 @@
 //!
 //! `--shards K` (K ≥ 1) additionally runs the `em_shard` sharded
 //! runtime with `K` shards against the single-machine MMP baseline
-//! (exact backend only; the equality guarantee needs exact inference,
-//! like `--incremental`), verifies byte-identical matches — exiting
+//! (exact backend only), verifies byte-identical matches — exiting
 //! non-zero on divergence, CI runs exactly this — and prints and
-//! persists a Table 1-style per-shard load/skew/makespan report. The
-//! sharded arm inherits the `--incremental` setting (`both` → on): the
-//! per-shard drivers carry the same probe memos as the sequential
-//! scheduler.
+//! persists a Table 1-style per-shard load/skew/makespan report.
+//!
+//! `--warm-start on` runs the session-growth ablation: a `MatchSession`
+//! over half the dataset, grown to full size with
+//! `MatchSession::extend` and warm-started, against a cold session over
+//! the full dataset — sequential and sharded (K from `--shards`,
+//! default 4). The warm run must be byte-identical with fewer
+//! conditioned probes; both facts are persisted as `warm_start` entries
+//! (CI greps `"warm_start_identical": true`) and the binary exits
+//! non-zero on divergence.
 
+use em::{Backend, DatasetGrowth, MatchOutcome, MatcherChoice, Pipeline, Scheme, SplitPolicy};
 use em_bench::{
-    prepare_opts, ArmRecord, Flags, FrameworkReport, SchemeRecord, ShardRunRecord, Workload,
-    WorkloadRecord,
+    prepare_opts, profile_by_name, ArmRecord, Flags, FrameworkReport, SchemeRecord, ShardRunRecord,
+    WarmStartRecord, Workload,
 };
-use em_core::evidence::Evidence;
-use em_core::framework::{mmp, no_mp, smp, MmpConfig};
-use em_core::{CachedMatcher, MatchOutput};
+use em_blocking::{BlockingConfig, SimilarityKernel};
+use em_core::{CachedMatcher, Dataset};
+use em_datagen::generate;
 use em_eval::{fmt_duration, fmt_ratio, Table};
 use em_mln::MlnMatcher;
-use em_shard::{shard_mmp, shard_smp, ShardConfig};
+use std::sync::Arc;
+
+/// A session over an already-blocked workload (so per-scheme sessions
+/// share one blocking pass), with an explicit matcher choice.
+fn workload_session(
+    w: &Workload,
+    matcher: MatcherChoice,
+    scheme: Scheme,
+    backend: Backend,
+    incremental: bool,
+) -> em::MatchSession {
+    Pipeline::new(w.dataset.clone())
+        .cover(w.cover.clone())
+        .matcher(matcher)
+        .scheme(scheme)
+        .backend(backend)
+        .incremental(incremental)
+        .build()
+        .expect("bench configurations are coherent")
+}
 
 /// One (backend, cache, incremental) sweep: NO-MP → SMP → MMP.
-/// Returns the per-scheme outputs plus the matcher memo's final
+/// Returns the per-scheme outcomes plus the matcher memo's final
 /// hit/miss counters.
 fn run_arm(
     w: &Workload,
     inner: &MlnMatcher,
     cache: bool,
     incremental: bool,
-) -> (Vec<(MatchOutput, u64)>, em_core::CacheStats) {
-    let matcher = if cache {
+) -> (Vec<(MatchOutcome, u64)>, em_core::CacheStats) {
+    let matcher = Arc::new(if cache {
         CachedMatcher::new(inner.clone())
     } else {
         CachedMatcher::disabled(inner.clone())
-    };
-    let matcher = &matcher;
-    let none = Evidence::none();
-    let mmp_config = MmpConfig {
-        incremental,
-        ..Default::default()
-    };
+    });
     // Schemes share one warm memo (that cross-scheme reuse is the point
     // of the cache), so the cached rows measure *incremental* cost in
     // this sweep order; the per-scheme "cache hits" column makes the
     // inherited reuse visible. Compare schemes in isolation with
-    // --cache off.
-    type Run<'a> = Box<dyn Fn() -> MatchOutput + 'a>;
-    let runs: [Run<'_>; 3] = [
-        Box::new(|| no_mp(matcher, &w.dataset, &w.cover, &none)),
-        Box::new(|| smp(matcher, &w.dataset, &w.cover, &none)),
-        Box::new(|| mmp(matcher, &w.dataset, &w.cover, &none, &mmp_config)),
-    ];
-    let rows = runs
-        .iter()
-        .map(|run| {
+    // --cache off. The walksat arms run through the Custom escape hatch
+    // deliberately: the named MlnWalksat choice would (rightly) reject
+    // incremental MMP, but this binary's job is to measure both arms
+    // and warn on divergence.
+    let rows = [Scheme::NoMp, Scheme::Smp, Scheme::Mmp]
+        .into_iter()
+        .map(|scheme| {
+            let mut session = workload_session(
+                w,
+                MatcherChoice::CustomProbabilistic(matcher.clone()),
+                scheme,
+                Backend::Sequential,
+                incremental,
+            );
             let before = matcher.stats();
-            let output = run();
-            (output, matcher.stats().hits - before.hits)
+            let outcome = session.run();
+            (outcome, matcher.stats().hits - before.hits)
         })
         .collect();
     (rows, matcher.stats())
@@ -99,7 +123,7 @@ fn print_arm(
     label: &str,
     cache: bool,
     incremental: bool,
-    rows: &[(MatchOutput, u64)],
+    rows: &[(MatchOutcome, u64)],
 ) {
     let mut table = Table::new([
         "scheme",
@@ -112,17 +136,17 @@ fn print_arm(
         "messages",
         "matches",
     ]);
-    for (scheme, (output, hits)) in SCHEMES.iter().zip(rows) {
+    for (scheme, (outcome, hits)) in SCHEMES.iter().zip(rows) {
         table.push_row([
             (*scheme).to_owned(),
-            fmt_duration(output.stats.wall_time),
-            output.stats.matcher_calls.to_string(),
-            output.stats.conditioned_probes.to_string(),
-            output.stats.probes_replayed.to_string(),
+            fmt_duration(outcome.stats.wall_time),
+            outcome.stats.matcher_calls.to_string(),
+            outcome.stats.conditioned_probes.to_string(),
+            outcome.stats.probes_replayed.to_string(),
             hits.to_string(),
-            output.stats.active_pairs_evaluated.to_string(),
-            output.stats.messages_sent.to_string(),
-            output.matches.len().to_string(),
+            outcome.stats.active_pairs_evaluated.to_string(),
+            outcome.stats.messages_sent.to_string(),
+            outcome.matches.len().to_string(),
         ]);
     }
     println!(
@@ -147,7 +171,7 @@ fn run_backend(
     report: &mut FrameworkReport,
 ) -> bool {
     let mut arms: Vec<ArmRecord> = Vec::new();
-    let mut outputs: Vec<Vec<(MatchOutput, u64)>> = Vec::new();
+    let mut outputs: Vec<Vec<(MatchOutcome, u64)>> = Vec::new();
     for &incremental in incremental_arms {
         let (rows, memo_stats) = run_arm(w, inner, cache, incremental);
         print_arm(w, label, cache, incremental, &rows);
@@ -164,7 +188,14 @@ fn run_backend(
             schemes: SCHEMES
                 .iter()
                 .zip(&rows)
-                .map(|(scheme, (output, hits))| SchemeRecord::from_output(scheme, output, *hits))
+                .map(|(scheme, (outcome, hits))| {
+                    SchemeRecord::from_stats(
+                        scheme,
+                        &outcome.stats,
+                        outcome.matches.len() as u64,
+                        *hits,
+                    )
+                })
                 .collect(),
         });
         outputs.push(rows);
@@ -229,7 +260,7 @@ fn run_backend(
         }
     }
 
-    report.workloads.push(WorkloadRecord {
+    report.workloads.push(em_bench::WorkloadRecord {
         dataset: w.name.clone(),
         scale,
         seed,
@@ -245,6 +276,14 @@ fn run_backend(
     ok
 }
 
+/// Extract the shard report from a sharded outcome.
+fn shard_report(outcome: &MatchOutcome) -> &em::ShardReport {
+    match &outcome.backend {
+        em::BackendReport::Sharded(report) => report,
+        other => panic!("expected a sharded report, got {other:?}"),
+    }
+}
+
 /// The `--shards K` ablation: sharded MMP (and SMP) against the
 /// single-machine baselines, byte-identical check included. Returns
 /// `false` on divergence.
@@ -256,27 +295,45 @@ fn run_shard_ablation(
     seed: Option<u64>,
     report: &mut FrameworkReport,
 ) -> bool {
-    let none = Evidence::none();
-    let mmp_config = MmpConfig {
-        incremental,
-        ..Default::default()
+    let backend = Backend::Sharded {
+        shards,
+        split_policy: SplitPolicy::Split,
     };
-    let shard_config = ShardConfig::with_shards(shards);
-
-    // A fresh matcher per arm: MlnMatcher memoizes ground models per
-    // view, so sharing one instance would let the baseline warm the
-    // cache for the sharded run and bias its measured times.
-    let single = mmp(&w.mln_matcher(), &w.dataset, &w.cover, &none, &mmp_config);
-    let (sharded, shard_report) = shard_mmp(
-        &w.mln_matcher(),
-        &w.dataset,
-        &w.cover,
-        &none,
-        &mmp_config,
-        &shard_config,
-    );
-    let single_smp = smp(&w.mln_matcher(), &w.dataset, &w.cover, &none);
-    let (sharded_smp, _) = shard_smp(&w.mln_matcher(), &w.dataset, &w.cover, &none, &shard_config);
+    // A fresh matcher per session (MatcherChoice::MlnExact instantiates
+    // one): the baseline cannot warm any cache for the sharded run.
+    let single = workload_session(
+        w,
+        MatcherChoice::MlnExact,
+        Scheme::Mmp,
+        Backend::Sequential,
+        incremental,
+    )
+    .run();
+    let sharded = workload_session(
+        w,
+        MatcherChoice::MlnExact,
+        Scheme::Mmp,
+        backend,
+        incremental,
+    )
+    .run();
+    let single_smp = workload_session(
+        w,
+        MatcherChoice::MlnExact,
+        Scheme::Smp,
+        Backend::Sequential,
+        incremental,
+    )
+    .run();
+    let sharded_smp = workload_session(
+        w,
+        MatcherChoice::MlnExact,
+        Scheme::Smp,
+        backend,
+        incremental,
+    )
+    .run();
+    let shard_rep = shard_report(&sharded);
 
     let mut table = Table::new([
         "shard",
@@ -286,7 +343,7 @@ fn run_shard_ablation(
         "busy",
         "evaluations",
     ]);
-    for s in &shard_report.per_shard {
+    for s in &shard_rep.per_shard {
         table.push_row([
             s.shard.to_string(),
             s.neighborhoods.to_string(),
@@ -299,23 +356,23 @@ fn run_shard_ablation(
     println!(
         "\nem_shard — {shards} shards over {} evidence components \
          (largest: {} neighborhoods; {} split, {} pinned) [exact backend, incremental {}]",
-        shard_report.components,
-        shard_report.largest_component,
-        shard_report.split_components,
-        shard_report.pinned_components,
+        shard_rep.components,
+        shard_rep.largest_component,
+        shard_rep.split_components,
+        shard_rep.pinned_components,
         if incremental { "on" } else { "off" },
     );
     print!("{}", table.render());
     println!(
         "epochs {} | cross-shard pairs {} | est skew {} | busy skew {} | \
          makespan {} | total work {} | speedup {:.2}x (single-machine MMP wall {})",
-        shard_report.epochs,
-        shard_report.cross_shard_pairs,
-        fmt_ratio(shard_report.est_skew),
-        fmt_ratio(shard_report.busy_skew),
-        fmt_duration(shard_report.makespan),
-        fmt_duration(shard_report.total_work),
-        shard_report.speedup,
+        shard_rep.epochs,
+        shard_rep.cross_shard_pairs,
+        fmt_ratio(shard_rep.est_skew),
+        fmt_ratio(shard_rep.busy_skew),
+        fmt_duration(shard_rep.makespan),
+        fmt_duration(shard_rep.total_work),
+        shard_rep.speedup,
         fmt_duration(single.stats.wall_time),
     );
 
@@ -339,11 +396,113 @@ fn run_shard_ablation(
         &w.name,
         scale,
         seed,
-        &shard_report,
-        &sharded,
-        &single,
+        shard_rep,
+        sharded.matches.len() as u64,
+        mmp_identical,
+        single.stats.wall_time.as_secs_f64() * 1e3,
     ));
     mmp_identical && smp_identical
+}
+
+/// The `--warm-start` ablation: grow a session in two steps and compare
+/// against a cold session over the full dataset, sequential and
+/// sharded. Returns `false` on divergence.
+fn run_warm_ablation(
+    name: &str,
+    scale: f64,
+    seed: Option<u64>,
+    shards: usize,
+    report: &mut FrameworkReport,
+) -> bool {
+    let mut profile = profile_by_name(name).scaled(scale);
+    if let Some(seed) = seed {
+        profile = profile.with_seed(seed);
+    }
+    let template = generate(&profile).dataset;
+    let n = template.entities.len() as u32;
+    let blocking = BlockingConfig {
+        kernel: SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    let build = |dataset: Dataset, backend: Backend| {
+        Pipeline::new(dataset)
+            .blocking(blocking.clone())
+            .matcher(MatcherChoice::MlnExact)
+            .scheme(Scheme::Mmp)
+            .backend(backend)
+            .build()
+            .expect("exact MMP is coherent on both backends")
+    };
+
+    println!(
+        "\nwarm-start ablation — {name} (scale {scale}): grow {} → {} entities, \
+         extend() + warm run vs cold full run",
+        n / 2,
+        n
+    );
+    let mut ok = true;
+    for (label, backend) in [
+        ("sequential".to_owned(), Backend::Sequential),
+        (
+            format!("sharded-{shards}"),
+            Backend::Sharded {
+                shards,
+                split_policy: SplitPolicy::Split,
+            },
+        ),
+    ] {
+        let mut base = Dataset::new();
+        DatasetGrowth::carve(&template, 0..n / 2).apply(&mut base);
+        let mut session = build(base, backend);
+        session.run();
+        session.extend(&DatasetGrowth::carve(&template, n / 2..n));
+        let warm = session.run();
+
+        let mut full = Dataset::new();
+        DatasetGrowth::carve(&template, 0..n).apply(&mut full);
+        let cold = build(full, backend).run();
+
+        let identical = warm.matches == cold.matches;
+        let fewer = warm.stats.conditioned_probes < cold.stats.conditioned_probes;
+        let pct = 100.0
+            * cold
+                .stats
+                .conditioned_probes
+                .saturating_sub(warm.stats.conditioned_probes) as f64
+            / cold.stats.conditioned_probes.max(1) as f64;
+        println!(
+            "  {label:<12} outputs {} | probes cold {} -> warm {} ({pct:.1}% fewer{}) | \
+             wall cold {} -> warm {}",
+            if identical {
+                "byte-identical ✓"
+            } else {
+                "DIVERGED ✗"
+            },
+            cold.stats.conditioned_probes,
+            warm.stats.conditioned_probes,
+            if fewer { "" } else { " — NOT FEWER ✗" },
+            fmt_duration(cold.stats.wall_time),
+            fmt_duration(warm.stats.wall_time),
+        );
+        ok &= identical && fewer;
+        report.warm_start.push(WarmStartRecord {
+            dataset: name.to_owned(),
+            scale,
+            seed,
+            backend: label,
+            base_entities: (n / 2) as u64,
+            grown_entities: n as u64,
+            cold_probes: cold.stats.conditioned_probes,
+            warm_probes: warm.stats.conditioned_probes,
+            warm_probes_replayed: warm.stats.probes_replayed,
+            probe_reduction_pct: pct,
+            cold_wall_ms: cold.stats.wall_time.as_secs_f64() * 1e3,
+            warm_wall_ms: warm.stats.wall_time.as_secs_f64() * 1e3,
+            matches: warm.matches.len() as u64,
+            warm_start_identical: identical,
+        });
+    }
+    ok
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -355,6 +514,7 @@ fn run_dataset(
     cache: &str,
     incremental: &str,
     shards: usize,
+    warm_start: bool,
     report: &mut FrameworkReport,
 ) -> bool {
     let arm_list = |flag: &str, what: &str| -> &'static [bool] {
@@ -424,6 +584,15 @@ fn run_dataset(
             ok &= run_shard_ablation(&w, shards, incremental != "off", scale, seed, report);
         }
     }
+    if warm_start {
+        if backend == "walksat" {
+            println!(
+                "\n(skipping --warm-start: the byte-identical guarantee needs the exact backend)"
+            );
+        } else {
+            ok &= run_warm_ablation(name, scale, seed, shards.max(4), report);
+        }
+    }
     ok
 }
 
@@ -434,6 +603,11 @@ fn main() {
     let cache = flags.get_str("cache", "on");
     let incremental = flags.get_str("incremental", "on");
     let shards: usize = flags.get("shards", 0usize);
+    let warm_start = match flags.get_str("warm-start", "off").as_str() {
+        "on" => true,
+        "off" => false,
+        other => panic!("unknown --warm-start {other:?}; expected on | off"),
+    };
     let bench_out = flags.get_str("bench-out", "BENCH_framework.json");
     let seed: Option<u64> = if flags.has("seed") {
         Some(flags.get("seed", 0u64))
@@ -441,31 +615,8 @@ fn main() {
         None
     };
     let mut report = FrameworkReport::default();
-    let ok = match flags.get_str("dataset", "both").as_str() {
-        "both" => {
-            let a = run_dataset(
-                "hepth",
-                scale,
-                seed,
-                &backend,
-                &cache,
-                &incremental,
-                shards,
-                &mut report,
-            );
-            let b = run_dataset(
-                "dblp",
-                scale,
-                seed,
-                &backend,
-                &cache,
-                &incremental,
-                shards,
-                &mut report,
-            );
-            a && b
-        }
-        name => run_dataset(
+    let run = |name: &str, report: &mut FrameworkReport| {
+        run_dataset(
             name,
             scale,
             seed,
@@ -473,8 +624,17 @@ fn main() {
             &cache,
             &incremental,
             shards,
-            &mut report,
-        ),
+            warm_start,
+            report,
+        )
+    };
+    let ok = match flags.get_str("dataset", "both").as_str() {
+        "both" => {
+            let a = run("hepth", &mut report);
+            let b = run("dblp", &mut report);
+            a && b
+        }
+        name => run(name, &mut report),
     };
     if bench_out != "none" {
         match report.write(&bench_out) {

@@ -17,7 +17,7 @@
 
 use em_bench::{prepare, Flags};
 use em_core::evidence::Evidence;
-use em_core::framework::{mmp, MmpConfig};
+use em_core::framework::{mmp_with_order, MmpConfig};
 use em_core::Matcher;
 use em_eval::{fmt_duration, Table};
 use std::time::{Duration, Instant};
@@ -57,12 +57,13 @@ fn main() {
         };
 
         let start = Instant::now();
-        let _ = mmp(
+        let _ = mmp_with_order(
             &exact,
             &w.dataset,
             &w.cover,
             &Evidence::none(),
             &MmpConfig::default(),
+            None,
         );
         let mmp_time = start.elapsed();
 

@@ -9,9 +9,9 @@
 //! Usage:
 //!   fig4_rules [--dataset hepth|dblp|both] [--scale 0.02] [--seed N]
 
+use em::{MatcherChoice, Pipeline, Scheme};
 use em_bench::{prepare, Flags};
 use em_core::evidence::Evidence;
-use em_core::framework::{no_mp, smp};
 use em_core::Matcher;
 use em_eval::{fmt_duration, fmt_ratio, pairwise_metrics, soundness_completeness, Table};
 use std::time::Instant;
@@ -26,17 +26,25 @@ fn run_dataset(name: &str, scale: f64, seed: Option<u64>) -> (String, Vec<(Strin
         w.candidate_pairs
     );
 
+    // One session per scheme over the prepared workload's cover —
+    // MatcherChoice::Rules instantiates the paper's RULES matcher (with
+    // transitive closure) against the session's dataset.
+    let session = |scheme: Scheme| {
+        Pipeline::new(w.dataset.clone())
+            .cover(w.cover.clone())
+            .matcher(MatcherChoice::Rules)
+            .scheme(scheme)
+            .build()
+            .expect("RULES under NO-MP/SMP is coherent")
+            .run()
+    };
+    let nomp_out = session(Scheme::NoMp);
+    let nomp_time = nomp_out.stats.wall_time;
+    let smp_out = session(Scheme::Smp);
+    let smp_time = smp_out.stats.wall_time;
     let matcher = w.rules_matcher();
-    let none = Evidence::none();
-
     let start = Instant::now();
-    let nomp_out = no_mp(&matcher, &w.dataset, &w.cover, &none);
-    let nomp_time = start.elapsed();
-    let start = Instant::now();
-    let smp_out = smp(&matcher, &w.dataset, &w.cover, &none);
-    let smp_time = start.elapsed();
-    let start = Instant::now();
-    let full = matcher.match_view(&w.dataset.full_view(), &none);
+    let full = matcher.match_view(&w.dataset.full_view(), &Evidence::none());
     let full_time = start.elapsed();
 
     let true_pairs = w.truth.true_pair_count();

@@ -24,6 +24,7 @@ pub mod workload;
 
 pub use cli::Flags;
 pub use report::{
-    ArmRecord, FrameworkReport, SchemeRecord, ShardLoadRecord, ShardRunRecord, WorkloadRecord,
+    ArmRecord, FrameworkReport, SchemeRecord, ShardLoadRecord, ShardRunRecord, WarmStartRecord,
+    WorkloadRecord,
 };
-pub use workload::{prepare, prepare_opts, Workload};
+pub use workload::{prepare, prepare_opts, profile_by_name, Workload};

@@ -38,6 +38,16 @@ pub struct SchemeRecord {
 impl SchemeRecord {
     /// Build from a framework run.
     pub fn from_output(scheme: &str, output: &MatchOutput, cache_hits: u64) -> Self {
+        Self::from_stats(
+            scheme,
+            &output.stats,
+            output.matches.len() as u64,
+            cache_hits,
+        )
+    }
+
+    /// Build from the unified counters (what `em::MatchOutcome` exposes).
+    pub fn from_stats(scheme: &str, stats: &RunStats, matches: u64, cache_hits: u64) -> Self {
         let RunStats {
             matcher_calls,
             neighborhoods_processed,
@@ -46,7 +56,7 @@ impl SchemeRecord {
             probes_replayed,
             wall_time,
             ..
-        } = output.stats;
+        } = *stats;
         Self {
             scheme: scheme.to_owned(),
             wall_ms: wall_time.as_secs_f64() * 1e3,
@@ -55,7 +65,7 @@ impl SchemeRecord {
             probes_replayed,
             evaluations: neighborhoods_processed,
             messages: messages_sent,
-            matches: output.matches.len() as u64,
+            matches,
             cache_hits,
         }
     }
@@ -168,8 +178,9 @@ impl ShardRunRecord {
         scale: f64,
         seed: Option<u64>,
         report: &ShardReport,
-        sharded: &MatchOutput,
-        single: &MatchOutput,
+        matches: u64,
+        shard_outputs_identical: bool,
+        single_wall_ms: f64,
     ) -> Self {
         Self {
             dataset: dataset.to_owned(),
@@ -187,9 +198,9 @@ impl ShardRunRecord {
             makespan_ms: report.makespan.as_secs_f64() * 1e3,
             total_work_ms: report.total_work.as_secs_f64() * 1e3,
             speedup: report.speedup,
-            single_wall_ms: single.stats.wall_time.as_secs_f64() * 1e3,
-            matches: sharded.matches.len() as u64,
-            shard_outputs_identical: sharded.matches == single.matches,
+            single_wall_ms,
+            matches,
+            shard_outputs_identical,
             per_shard: report
                 .per_shard
                 .iter()
@@ -206,6 +217,42 @@ impl ShardRunRecord {
     }
 }
 
+/// One `fig3_runtime --warm-start` ablation arm: a session grown with
+/// `MatchSession::extend` + warm-started, against a cold run over the
+/// equivalent full dataset.
+#[derive(Debug, Clone)]
+pub struct WarmStartRecord {
+    /// Dataset profile name.
+    pub dataset: String,
+    /// Scale factor.
+    pub scale: f64,
+    /// Explicit seed, if any.
+    pub seed: Option<u64>,
+    /// Backend label ("sequential" or "sharded-K").
+    pub backend: String,
+    /// Entities before growth.
+    pub base_entities: u64,
+    /// Entities after growth (= the cold run's dataset size).
+    pub grown_entities: u64,
+    /// The cold full run's conditioned probes.
+    pub cold_probes: u64,
+    /// The warm (post-`extend`) run's conditioned probes.
+    pub warm_probes: u64,
+    /// Probes the warm run answered from carried memos.
+    pub warm_probes_replayed: u64,
+    /// `(cold - warm) / cold`, percent.
+    pub probe_reduction_pct: f64,
+    /// Cold full-run wall time, milliseconds.
+    pub cold_wall_ms: f64,
+    /// Warm run wall time, milliseconds.
+    pub warm_wall_ms: f64,
+    /// Final match count.
+    pub matches: u64,
+    /// Whether warm and cold match sets are byte-identical (CI greps
+    /// this).
+    pub warm_start_identical: bool,
+}
+
 /// The whole report.
 #[derive(Debug, Clone, Default)]
 pub struct FrameworkReport {
@@ -213,6 +260,8 @@ pub struct FrameworkReport {
     pub workloads: Vec<WorkloadRecord>,
     /// One entry per workload when `--shards` ran.
     pub shard_runs: Vec<ShardRunRecord>,
+    /// One entry per backend when `--warm-start` ran.
+    pub warm_start: Vec<WarmStartRecord>,
 }
 
 fn esc(s: &str) -> String {
@@ -236,8 +285,10 @@ impl FrameworkReport {
             .unwrap_or(0);
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"bench-framework-v2\",\n");
-        out.push_str("  \"bench\": \"fig3_runtime (--incremental / --shards ablations)\",\n");
+        out.push_str("  \"schema\": \"bench-framework-v3\",\n");
+        out.push_str(
+            "  \"bench\": \"fig3_runtime (--incremental / --shards / --warm-start ablations)\",\n",
+        );
         out.push_str(&format!("  \"recorded_unix_secs\": {recorded},\n"));
         out.push_str("  \"workloads\": [\n");
         for (wi, w) in self.workloads.iter().enumerate() {
@@ -378,6 +429,54 @@ impl FrameworkReport {
                 }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"warm_start\": [\n");
+        for (wi, w) in self.warm_start.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"dataset\": \"{}\",\n", esc(&w.dataset)));
+            out.push_str(&format!("      \"scale\": {},\n", fmt_f64(w.scale)));
+            match w.seed {
+                Some(s) => out.push_str(&format!("      \"seed\": {s},\n")),
+                None => out.push_str("      \"seed\": null,\n"),
+            }
+            out.push_str(&format!("      \"backend\": \"{}\",\n", esc(&w.backend)));
+            out.push_str(&format!("      \"base_entities\": {},\n", w.base_entities));
+            out.push_str(&format!(
+                "      \"grown_entities\": {},\n",
+                w.grown_entities
+            ));
+            out.push_str(&format!("      \"cold_probes\": {},\n", w.cold_probes));
+            out.push_str(&format!("      \"warm_probes\": {},\n", w.warm_probes));
+            out.push_str(&format!(
+                "      \"warm_probes_replayed\": {},\n",
+                w.warm_probes_replayed
+            ));
+            out.push_str(&format!(
+                "      \"probe_reduction_pct\": {},\n",
+                fmt_f64(w.probe_reduction_pct)
+            ));
+            out.push_str(&format!(
+                "      \"cold_wall_ms\": {},\n",
+                fmt_f64(w.cold_wall_ms)
+            ));
+            out.push_str(&format!(
+                "      \"warm_wall_ms\": {},\n",
+                fmt_f64(w.warm_wall_ms)
+            ));
+            out.push_str(&format!("      \"matches\": {},\n", w.matches));
+            out.push_str(&format!(
+                "      \"warm_start_identical\": {}\n",
+                w.warm_start_identical
+            ));
+            out.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.warm_start.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -449,13 +548,31 @@ mod tests {
                     evaluations: 64,
                 }],
             }],
+            warm_start: vec![WarmStartRecord {
+                dataset: "hepth".into(),
+                scale: 0.02,
+                seed: Some(7),
+                backend: "sharded-4".into(),
+                base_entities: 1000,
+                grown_entities: 2000,
+                cold_probes: 5615,
+                warm_probes: 1452,
+                warm_probes_replayed: 40000,
+                probe_reduction_pct: 74.1,
+                cold_wall_ms: 310.0,
+                warm_wall_ms: 120.0,
+                matches: 1639,
+                warm_start_identical: true,
+            }],
         };
         let json = report.render_json();
-        assert!(json.contains("\"schema\": \"bench-framework-v2\""));
+        assert!(json.contains("\"schema\": \"bench-framework-v3\""));
         assert!(json.contains("\"conditioned_probes\": 8"));
         assert!(json.contains("\"shard_outputs_identical\": true"));
         assert!(json.contains("\"cross_shard_pairs\": 331"));
         assert!(json.contains("\"est_cost\": 775000"));
+        assert!(json.contains("\"warm_start_identical\": true"));
+        assert!(json.contains("\"probe_reduction_pct\": 74.100"));
         assert!(json.contains("\"mmp_probe_reduction_pct\": 33.300"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(

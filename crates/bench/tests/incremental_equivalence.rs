@@ -9,11 +9,11 @@
 //! the same fixpoint as the sequential schemes.
 
 use em_blocking::{block_dataset_with_features, BlockingConfig, SimilarityKernel};
-use em_core::framework::{mmp, smp, MmpConfig};
+use em_core::framework::{mmp_with_order, smp_with_order, MmpConfig};
 use em_core::{Cover, Dataset, Evidence};
 use em_datagen::{generate, DatasetProfile};
 use em_mln::{MlnMatcher, MlnModel};
-use em_parallel::{parallel_mmp, parallel_smp, ParallelConfig};
+use em_parallel::{execute_mmp, execute_smp, ParallelConfig};
 use proptest::prelude::*;
 
 /// Generate and block a tiny world (profile picked by parity, seed free).
@@ -37,6 +37,22 @@ fn world(seed: u64) -> (Dataset, Cover, MlnMatcher) {
         .expect("generated datasets declare coauthor");
     let matcher = MlnMatcher::new(MlnModel::paper_model(coauthor));
     (dataset, blocking.cover, matcher)
+}
+
+// Engine-hook shims (the plain free functions are deprecated in favour
+// of `em::Pipeline`; these property tests target the engines).
+fn smp(matcher: &MlnMatcher, ds: &Dataset, cover: &Cover, ev: &Evidence) -> em_core::MatchOutput {
+    smp_with_order(matcher, ds, cover, ev, None)
+}
+
+fn mmp(
+    matcher: &MlnMatcher,
+    ds: &Dataset,
+    cover: &Cover,
+    ev: &Evidence,
+    config: &MmpConfig,
+) -> em_core::MatchOutput {
+    mmp_with_order(matcher, ds, cover, ev, config, None)
 }
 
 proptest! {
@@ -67,12 +83,12 @@ proptest! {
         let pconfig = ParallelConfig { workers: 3 };
 
         let seq_smp = smp(&matcher, &ds, &cover, &none);
-        let (par_smp, _) = parallel_smp(&matcher, &ds, &cover, &none, &pconfig);
+        let (par_smp, _) = execute_smp(&matcher, &ds, &cover, None, &none, &pconfig);
         prop_assert_eq!(&par_smp.matches, &seq_smp.matches, "seed {}: SMP", seed);
 
         let seq_mmp = mmp(&matcher, &ds, &cover, &none, &MmpConfig::default());
-        let (par_mmp, _) = parallel_mmp(
-            &matcher, &ds, &cover, &none, &MmpConfig::default(), &pconfig,
+        let (par_mmp, _) = execute_mmp(
+            &matcher, &ds, &cover, None, &none, &MmpConfig::default(), &pconfig,
         );
         prop_assert_eq!(&par_mmp.matches, &seq_mmp.matches, "seed {}: MMP", seed);
         prop_assert!(seq_smp.matches.is_subset(&seq_mmp.matches),

@@ -13,12 +13,17 @@
 use em_bench::prepare;
 use em_blocking::{block_dataset_with_features, BlockingConfig, SimilarityKernel};
 use em_core::cover::NeighborhoodId;
-use em_core::framework::{mmp, smp, MmpConfig};
+use em_core::framework::DependencyIndex;
+use em_core::framework::{mmp_with_order, smp_with_order, MmpConfig};
+use em_core::MatchOutput;
 use em_core::{Cover, Dataset, Evidence};
 use em_datagen::{generate, DatasetProfile};
 use em_mln::{MlnMatcher, MlnModel};
 use em_parallel::{simulate, Assignment, EvalRecord, GridParams, RoundTrace};
-use em_shard::{shard_mmp, shard_smp, ShardConfig, SplitPolicy};
+use em_shard::{
+    estimate_costs, shard_mmp_planned, shard_smp_planned, ShardConfig, ShardPlan, ShardReport,
+    SplitPolicy,
+};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -43,6 +48,57 @@ fn world(seed: u64) -> (Dataset, Cover, MlnMatcher) {
         .expect("generated datasets declare coauthor");
     let matcher = MlnMatcher::new(MlnModel::paper_model(coauthor));
     (dataset, blocking.cover, matcher)
+}
+
+// Engine-hook shims with the deprecated wrappers' historical shape (the
+// plain free functions are deprecated in favour of `em::Pipeline`).
+fn smp(matcher: &MlnMatcher, ds: &Dataset, cover: &Cover, ev: &Evidence) -> MatchOutput {
+    smp_with_order(matcher, ds, cover, ev, None)
+}
+
+fn mmp(
+    matcher: &MlnMatcher,
+    ds: &Dataset,
+    cover: &Cover,
+    ev: &Evidence,
+    config: &MmpConfig,
+) -> MatchOutput {
+    mmp_with_order(matcher, ds, cover, ev, config, None)
+}
+
+fn shard_smp(
+    matcher: &MlnMatcher,
+    ds: &Dataset,
+    cover: &Cover,
+    ev: &Evidence,
+    config: &ShardConfig,
+) -> (MatchOutput, ShardReport) {
+    let index = DependencyIndex::build(ds, cover);
+    let plan = ShardPlan::build(
+        &index,
+        config.shards,
+        &estimate_costs(ds, cover),
+        config.policy,
+    );
+    shard_smp_planned(matcher, ds, cover, &index, &plan, ev)
+}
+
+fn shard_mmp(
+    matcher: &MlnMatcher,
+    ds: &Dataset,
+    cover: &Cover,
+    ev: &Evidence,
+    mmp_config: &MmpConfig,
+    config: &ShardConfig,
+) -> (MatchOutput, ShardReport) {
+    let index = DependencyIndex::build(ds, cover);
+    let plan = ShardPlan::build(
+        &index,
+        config.shards,
+        &estimate_costs(ds, cover),
+        config.policy,
+    );
+    shard_mmp_planned(matcher, ds, cover, &index, &plan, ev, mmp_config, None)
 }
 
 proptest! {

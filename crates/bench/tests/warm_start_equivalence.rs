@@ -1,0 +1,103 @@
+//! End-to-end property tests of session growth + warm-starting on
+//! random datagen worlds with the real MLN matcher (exact backend).
+//!
+//! The whole warm-start apparatus — delta re-blocking (incremental
+//! feature interning + pair-score replay), warm evidence from the
+//! previous fixpoint, the carried message store, skip-unchanged
+//! scheduling, and cross-run probe-memo replay — must be *invisible* in
+//! the outputs: a session grown in steps with `MatchSession::extend` is
+//! byte-identical to a cold session over the equivalent full dataset,
+//! sequential and sharded (k ∈ {1, 4}), and never issues more
+//! conditioned probes than the cold run.
+
+use em::{Backend, DatasetGrowth, MatcherChoice, Pipeline, Scheme, SplitPolicy};
+use em_blocking::{BlockingConfig, SimilarityKernel};
+use em_core::Dataset;
+use em_datagen::{generate, DatasetProfile};
+use proptest::prelude::*;
+
+fn template(seed: u64) -> Dataset {
+    let profile = if seed.is_multiple_of(2) {
+        DatasetProfile::hepth()
+    } else {
+        DatasetProfile::dblp()
+    };
+    generate(&profile.scaled(0.004).with_seed(seed)).dataset
+}
+
+fn build(dataset: Dataset, backend: Backend) -> em::MatchSession {
+    Pipeline::new(dataset)
+        .blocking(BlockingConfig {
+            kernel: SimilarityKernel::AuthorName,
+            ..Default::default()
+        })
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Mmp)
+        .backend(backend)
+        .build()
+        .expect("exact MMP is coherent on both backends")
+}
+
+/// One grown-vs-cold check; panics (with context) on violation so the
+/// proptest bodies below stay within the vendored macro's limits.
+fn check_grown_equals_cold(seed: u64, cut_pct: u32) {
+    let template = template(seed);
+    let n = template.entities.len() as u32;
+    let cut = n * cut_pct / 100;
+    for shards in [1usize, 4] {
+        let backend = if shards == 1 {
+            Backend::Sequential
+        } else {
+            Backend::Sharded {
+                shards,
+                split_policy: SplitPolicy::Split,
+            }
+        };
+        let mut base = Dataset::new();
+        DatasetGrowth::carve(&template, 0..cut).apply(&mut base);
+        let mut session = build(base, backend);
+        let first = session.run();
+        session.extend(&DatasetGrowth::carve(&template, cut..n));
+        let warm = session.run();
+        assert!(warm.warm_started, "seed {seed} k {shards}");
+        assert!(
+            first.matches.is_subset(&warm.matches),
+            "seed {seed} k {shards}: growth must be monotone"
+        );
+
+        let mut full = Dataset::new();
+        DatasetGrowth::carve(&template, 0..n).apply(&mut full);
+        let cold = build(full, backend).run();
+        assert_eq!(
+            warm.matches, cold.matches,
+            "seed {seed} cut {cut} k {shards}: grown session diverged from cold run"
+        );
+        assert!(
+            warm.stats.conditioned_probes <= cold.stats.conditioned_probes,
+            "seed {seed} k {shards}: warm run issued more probes ({} > {})",
+            warm.stats.conditioned_probes,
+            cold.stats.conditioned_probes
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn grown_sessions_equal_cold_runs_on_datagen_worlds(
+        (seed, cut_pct) in (0u64..10_000, 35u32..75)
+    ) {
+        check_grown_equals_cold(seed, cut_pct);
+    }
+
+    #[test]
+    fn rerun_without_growth_is_probe_free(seed in 0u64..10_000) {
+        let mut session = build(template(seed), Backend::Sequential);
+        let first = session.run();
+        let second = session.run();
+        prop_assert_eq!(&first.matches, &second.matches, "seed {}", seed);
+        prop_assert_eq!(second.stats.conditioned_probes, 0,
+            "seed {}: an unchanged re-run replays every probe", seed);
+    }
+}

@@ -30,5 +30,6 @@ pub mod pipeline;
 pub use canopy::{canopies, canopies_cached, CanopyParams};
 pub use inverted_index::InvertedIndex;
 pub use pipeline::{
-    block_dataset, block_dataset_with_features, BlockingConfig, BlockingOutput, SimilarityKernel,
+    block_dataset, block_dataset_session, block_dataset_with_features, BlockingConfig,
+    BlockingOutput, SimilarityKernel,
 };

@@ -135,6 +135,31 @@ pub fn block_dataset_with_features(
     config: &BlockingConfig,
     features: Option<&FeatureCache>,
 ) -> Result<BlockingOutput> {
+    block_dataset_session(dataset, config, features, None)
+}
+
+/// [`block_dataset_with_features`] with a caller-owned pair-score cache.
+///
+/// A session that re-blocks a *growing* dataset passes the same
+/// `PairCache` every time: pairs scored by a previous blocking pass are
+/// skipped outright (their annotation is already on the dataset and
+/// `Dataset::set_similar` keeps it), so each re-block pays the expensive
+/// kernel only for pairs involving new entities — the delta. Requires
+/// [`BlockingConfig::dedupe_pair_scores`]; with it off the external
+/// cache is ignored (the ablation arm recomputes everything by design).
+///
+/// Only meaningful for kernels whose score is a pure function of the two
+/// feature vectors (Jaro-Winkler, AuthorName): a cached score replayed
+/// on a grown corpus must equal what a cold run over that corpus would
+/// compute. [`SimilarityKernel::TfIdfCosine`] weighs tokens by corpus
+/// frequency, so sessions using it must clear the cache (and rebuild the
+/// feature cache) instead of reusing scores.
+pub fn block_dataset_session(
+    dataset: &mut Dataset,
+    config: &BlockingConfig,
+    features: Option<&FeatureCache>,
+    session_scores: Option<&PairCache<f64>>,
+) -> Result<BlockingOutput> {
     // One pass over the corpus: tokenize, intern, parse, and weight every
     // key exactly once — or zero passes when the caller already did.
     // Everything below reads from this cache.
@@ -175,8 +200,17 @@ pub fn block_dataset_with_features(
 
     // Exact similarity within canopies, straight from cached features.
     // Overlapping canopies repeat pairs; the pair-score cache makes each
-    // pair's kernel evaluation (and level annotation) happen exactly once.
-    let scores: PairCache<f64> = PairCache::new();
+    // pair's kernel evaluation (and level annotation) happen exactly once
+    // — across re-blocks too, when the caller owns the cache.
+    let fresh_scores;
+    let scores: &PairCache<f64> = match session_scores {
+        Some(shared) => shared,
+        None => {
+            fresh_scores = PairCache::new();
+            &fresh_scores
+        }
+    };
+    let hits_before = scores.stats().hits;
     let mut candidate_pairs = 0usize;
     let mut annotations: Vec<(Pair, em_core::SimLevel)> = Vec::new();
     for canopy in &canopy_sets {
@@ -202,8 +236,7 @@ pub fn block_dataset_with_features(
             }
         }
     }
-    let pair_scores_reused = scores.stats().hits;
-    drop(scores);
+    let pair_scores_reused = scores.stats().hits - hits_before;
     for (pair, level) in annotations {
         if dataset.set_similar(pair, level) {
             candidate_pairs += 1;
@@ -372,6 +405,31 @@ mod tests {
         pairs_on.sort_unstable();
         pairs_off.sort_unstable();
         assert_eq!(pairs_on, pairs_off);
+    }
+
+    #[test]
+    fn session_score_cache_skips_previously_scored_pairs_on_reblock() {
+        let mut ds = dataset();
+        let scores = PairCache::new();
+        let config = BlockingConfig::default();
+        let first = block_dataset_session(&mut ds, &config, None, Some(&scores)).unwrap();
+        assert!(
+            !scores.is_empty(),
+            "session cache captured the pass's scores"
+        );
+        let pairs_before: usize = ds.candidate_pairs().count();
+        // Re-blocking the unchanged dataset with the same cache re-scores
+        // nothing and annotates nothing new.
+        let second = block_dataset_session(&mut ds, &config, None, Some(&scores)).unwrap();
+        assert_eq!(second.candidate_pairs, 0, "no new candidates");
+        assert!(
+            second.pair_scores_reused >= first.candidate_pairs as u64,
+            "every previously scored pair replays: {} < {}",
+            second.pair_scores_reused,
+            first.candidate_pairs
+        );
+        assert_eq!(ds.candidate_pairs().count(), pairs_before);
+        assert_eq!(second.cover.len(), first.cover.len());
     }
 
     #[test]

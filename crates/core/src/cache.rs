@@ -403,7 +403,7 @@ impl<M: ProbabilisticMatcher> ProbabilisticMatcher for CachedMatcher<M> {
 mod tests {
     use super::*;
     use crate::entity::EntityId;
-    use crate::framework::{mmp, no_mp, smp, MmpConfig};
+    use crate::framework::{mmp_with_order, no_mp_baseline, smp_with_order, MmpConfig};
     use crate::testing::paper_example;
 
     fn p(a: u32, b: u32) -> Pair {
@@ -507,16 +507,16 @@ mod tests {
         let uncached = CachedMatcher::disabled(matcher);
         let none = Evidence::none();
         assert_eq!(
-            no_mp(&cached, &ds, &cover, &none).matches,
-            no_mp(&uncached, &ds, &cover, &none).matches
+            no_mp_baseline(&cached, &ds, &cover, &none).matches,
+            no_mp_baseline(&uncached, &ds, &cover, &none).matches
         );
         assert_eq!(
-            smp(&cached, &ds, &cover, &none).matches,
-            smp(&uncached, &ds, &cover, &none).matches
+            smp_with_order(&cached, &ds, &cover, &none, None).matches,
+            smp_with_order(&uncached, &ds, &cover, &none, None).matches
         );
         let config = MmpConfig::default();
-        let via_cache = mmp(&cached, &ds, &cover, &none, &config);
-        let via_inner = mmp(&uncached, &ds, &cover, &none, &config);
+        let via_cache = mmp_with_order(&cached, &ds, &cover, &none, &config, None);
+        let via_inner = mmp_with_order(&uncached, &ds, &cover, &none, &config, None);
         assert_eq!(via_cache.matches, expected);
         assert_eq!(via_inner.matches, expected);
         assert!(

@@ -206,6 +206,19 @@ impl EntityStore {
         self.types.len()
     }
 
+    /// All interned type names in id order (so a second store interning
+    /// them in this order assigns identical [`TypeId`]s — what dataset
+    /// carving/growth relies on).
+    pub fn type_names(&self) -> impl Iterator<Item = &str> {
+        (0..self.types.len() as u16).map(|i| self.types.name(i))
+    }
+
+    /// All interned attribute names in id order (see
+    /// [`EntityStore::type_names`]).
+    pub fn attr_names(&self) -> impl Iterator<Item = &str> {
+        (0..self.attrs.len() as u16).map(|i| self.attrs.name(i))
+    }
+
     /// Iterate over all entity ids in order.
     pub fn ids(&self) -> impl Iterator<Item = EntityId> + '_ {
         (0..self.entity_types.len() as u32).map(EntityId)

@@ -36,10 +36,20 @@ use crate::pair::{Pair, PairSet};
 use std::time::{Duration, Instant};
 
 use super::mmp::{
-    compute_maximal, compute_maximal_incremental, mark_dirty_around, promote_dirty, MemoPool,
-    MessageStore, MmpConfig, ProbeMemo,
+    compute_maximal, compute_maximal_incremental, mark_dirty_around, promote_dirty, MemoBank,
+    MemoPool, MessageStore, MmpConfig, ProbeMemo,
 };
 use super::{DependencyIndex, RunStats, Worklist};
+
+/// Where a driver's [`DependencyIndex`] comes from: built fresh from the
+/// dataset (the one-shot free functions), borrowed pre-built (a
+/// [`crate::framework`] session that owns it across runs), or restricted
+/// to a shard's members.
+enum IndexSource<'i> {
+    Build,
+    Borrowed(&'i DependencyIndex),
+    Restrict(&'i DependencyIndex, &'i [NeighborhoodId]),
+}
 
 /// Per-neighborhood evaluation costs recorded by a driver when tracing
 /// is enabled (feeds the grid simulator's validation path).
@@ -49,7 +59,7 @@ pub type EvalTrace = Vec<(NeighborhoodId, Duration)>;
 struct DriverCore<'a> {
     dataset: &'a Dataset,
     cover: &'a Cover,
-    index: DependencyIndex,
+    index: std::borrow::Cow<'a, DependencyIndex>,
     worklist: Worklist,
     /// Replica of the accumulating global `M+` (plus the negative set),
     /// epoch-tracked so the scope's outgoing deltas are borrowed slices.
@@ -65,19 +75,27 @@ impl<'a> DriverCore<'a> {
     fn new(
         dataset: &'a Dataset,
         cover: &'a Cover,
-        shard: Option<(&DependencyIndex, &[NeighborhoodId])>,
+        source: IndexSource<'a>,
         evidence: &Evidence,
         order: Option<&[NeighborhoodId]>,
     ) -> Self {
         // A shard filters the caller's already-built full index (a pure
-        // O(index) restriction) instead of re-scanning the dataset.
-        let index = match shard {
-            Some((full, members)) => full.restrict_to(members),
-            None => DependencyIndex::build(dataset, cover),
+        // O(index) restriction) instead of re-scanning the dataset; a
+        // session lends its long-lived index by reference — no clone.
+        let members = match &source {
+            IndexSource::Restrict(_, members) => Some(*members),
+            _ => None,
         };
-        let worklist = match (order, shard) {
+        let index = match source {
+            IndexSource::Restrict(full, members) => {
+                std::borrow::Cow::Owned(full.restrict_to(members))
+            }
+            IndexSource::Borrowed(index) => std::borrow::Cow::Borrowed(index),
+            IndexSource::Build => std::borrow::Cow::Owned(DependencyIndex::build(dataset, cover)),
+        };
+        let worklist = match (order, members) {
             (Some(order), _) => Worklist::seeded(cover.len(), order.iter().copied()),
-            (None, Some((_, members))) => Worklist::seeded(cover.len(), members.iter().copied()),
+            (None, Some(members)) => Worklist::seeded(cover.len(), members.iter().copied()),
             (None, None) => Worklist::full(cover.len()),
         };
         Self {
@@ -159,7 +177,7 @@ impl<'a> SmpDriver<'a> {
     /// Driver over the whole cover (the sequential case).
     pub fn new(dataset: &'a Dataset, cover: &'a Cover, evidence: &Evidence) -> Self {
         Self {
-            core: DriverCore::new(dataset, cover, None, evidence, None),
+            core: DriverCore::new(dataset, cover, IndexSource::Build, evidence, None),
         }
     }
 
@@ -172,7 +190,21 @@ impl<'a> SmpDriver<'a> {
         order: &[NeighborhoodId],
     ) -> Self {
         Self {
-            core: DriverCore::new(dataset, cover, None, evidence, Some(order)),
+            core: DriverCore::new(dataset, cover, IndexSource::Build, evidence, Some(order)),
+        }
+    }
+
+    /// Driver over the whole cover with a pre-built [`DependencyIndex`]
+    /// (a session that owns the index across runs lends it by reference
+    /// instead of paying the dataset scan — or a clone — again).
+    pub fn with_index(
+        dataset: &'a Dataset,
+        cover: &'a Cover,
+        index: &'a DependencyIndex,
+        evidence: &Evidence,
+    ) -> Self {
+        Self {
+            core: DriverCore::new(dataset, cover, IndexSource::Borrowed(index), evidence, None),
         }
     }
 
@@ -181,12 +213,18 @@ impl<'a> SmpDriver<'a> {
     pub fn for_members(
         dataset: &'a Dataset,
         cover: &'a Cover,
-        index: &DependencyIndex,
-        members: &[NeighborhoodId],
+        index: &'a DependencyIndex,
+        members: &'a [NeighborhoodId],
         evidence: &Evidence,
     ) -> Self {
         Self {
-            core: DriverCore::new(dataset, cover, Some((index, members)), evidence, None),
+            core: DriverCore::new(
+                dataset,
+                cover,
+                IndexSource::Restrict(index, members),
+                evidence,
+                None,
+            ),
         }
     }
 
@@ -300,7 +338,27 @@ impl<'a> MmpDriver<'a> {
         evidence: &Evidence,
         config: &MmpConfig,
     ) -> Self {
-        Self::build(dataset, cover, None, evidence, config, None)
+        Self::build(dataset, cover, IndexSource::Build, evidence, config, None)
+    }
+
+    /// Driver over the whole cover with a pre-built [`DependencyIndex`]
+    /// (a session that owns the index across runs lends it by reference
+    /// instead of paying the dataset scan — or a clone — again).
+    pub fn with_index(
+        dataset: &'a Dataset,
+        cover: &'a Cover,
+        index: &'a DependencyIndex,
+        evidence: &Evidence,
+        config: &MmpConfig,
+    ) -> Self {
+        Self::build(
+            dataset,
+            cover,
+            IndexSource::Borrowed(index),
+            evidence,
+            config,
+            None,
+        )
     }
 
     /// Driver over the whole cover with an explicit initial evaluation
@@ -312,7 +370,14 @@ impl<'a> MmpDriver<'a> {
         config: &MmpConfig,
         order: &[NeighborhoodId],
     ) -> Self {
-        Self::build(dataset, cover, None, evidence, config, Some(order))
+        Self::build(
+            dataset,
+            cover,
+            IndexSource::Build,
+            evidence,
+            config,
+            Some(order),
+        )
     }
 
     /// Shard driver: `index` (the full, already-built dependency index)
@@ -327,15 +392,15 @@ impl<'a> MmpDriver<'a> {
     pub fn for_members(
         dataset: &'a Dataset,
         cover: &'a Cover,
-        index: &DependencyIndex,
-        members: &[NeighborhoodId],
+        index: &'a DependencyIndex,
+        members: &'a [NeighborhoodId],
         evidence: &Evidence,
         config: &MmpConfig,
     ) -> Self {
         Self::build(
             dataset,
             cover,
-            Some((index, members)),
+            IndexSource::Restrict(index, members),
             evidence,
             config,
             None,
@@ -345,13 +410,13 @@ impl<'a> MmpDriver<'a> {
     fn build(
         dataset: &'a Dataset,
         cover: &'a Cover,
-        shard: Option<(&DependencyIndex, &[NeighborhoodId])>,
+        source: IndexSource<'a>,
         evidence: &Evidence,
         config: &MmpConfig,
         order: Option<&[NeighborhoodId]>,
     ) -> Self {
         Self {
-            core: DriverCore::new(dataset, cover, shard, evidence, order),
+            core: DriverCore::new(dataset, cover, source, evidence, order),
             config: *config,
             store: MessageStore::new(),
             dirty_messages: Vec::new(),
@@ -384,6 +449,62 @@ impl<'a> MmpDriver<'a> {
     /// [`MmpDriver::enable_trace`] was called).
     pub fn take_trace(&mut self) -> EvalTrace {
         self.core.trace.take().unwrap_or_default()
+    }
+
+    /// Seed one neighborhood's probe memo directly (the caller withdrew
+    /// it from a [`MemoBank`] — [`MemoBank::withdraw_grown`] — under the
+    /// view-identity contract documented there).
+    pub fn seed_memo(&mut self, id: NeighborhoodId, memo: ProbeMemo) {
+        self.memos.put(id, memo, &mut self.core.stats);
+    }
+
+    /// Replace the driver's (empty) message store with a previous
+    /// fixpoint's and mark every carried message dirty, so the next
+    /// [`MmpDriver::run`] re-checks each one's promotion against the
+    /// current evidence and scorer before any evaluation.
+    ///
+    /// Promotion from a carried message is sound regardless of how the
+    /// dataset grew since the store was taken: Theorem 4's argument is
+    /// provenance-free (any set whose global score delta is non-negative
+    /// is contained in the full run's output, by supermodularity).
+    /// Carrying the store is what lets a warm-started run skip
+    /// re-evaluating neighborhoods whose view did not change — their
+    /// old messages are already here, waiting for new evidence to
+    /// promote them.
+    pub fn warm_store(&mut self, store: MessageStore) {
+        self.dirty_messages = store.roots();
+        self.store = store;
+    }
+
+    /// Take the message store out of the driver (call after
+    /// [`MmpDriver::run`]; the store at quiescence is the input to the
+    /// next run's [`MmpDriver::warm_store`]).
+    pub fn take_store(&mut self) -> MessageStore {
+        std::mem::take(&mut self.store)
+    }
+
+    /// Replace the initial worklist: only `ids` start active (their
+    /// dirty sets empty). A warm-started caller seeds the neighborhoods
+    /// whose views changed since the previous fixpoint; unchanged ones
+    /// are activated later only if routed evidence reaches them.
+    ///
+    /// Sound for warm runs because an unchanged view re-evaluated
+    /// against the previous fixpoint's evidence reproduces its quiescent
+    /// state: its base matches are already in the evidence and its
+    /// maximal messages are already in the carried store.
+    pub fn seed_worklist(&mut self, ids: &[NeighborhoodId]) {
+        self.core.worklist = Worklist::seeded(self.core.cover.len(), ids.iter().copied());
+    }
+
+    /// Deposit the driver's probe memos into `bank` under their current
+    /// view identities, for the next run to withdraw
+    /// ([`MemoBank::withdraw_grown`]) and [`MmpDriver::seed_memo`] from.
+    /// Call after [`MmpDriver::run`] reaches quiescence.
+    pub fn bank_memos(&mut self, bank: &mut MemoBank) {
+        for (id, memo) in self.memos.drain() {
+            let view = self.core.cover.view(self.core.dataset, id);
+            bank.deposit(&view, memo);
+        }
     }
 
     /// Absorb a cross-shard delta: union new pairs into the replica,

@@ -214,6 +214,11 @@ impl MessageStore {
 pub struct ProbeMemo {
     /// Whether the neighborhood has been evaluated at least once.
     visited: bool,
+    /// Whether the memo crossed runs through a [`MemoBank`]: the view
+    /// it meets may then have *gained* candidate pairs, which the
+    /// within-run revisit path never sees — gates the entered-pair
+    /// seeding in [`compute_maximal_incremental`] off the hot path.
+    from_bank: bool,
     /// The (sorted, truncated) undecided pairs of the last evaluation.
     undecided: Vec<Pair>,
     /// Last known entailed set of each probed pair.
@@ -330,6 +335,178 @@ impl MemoPool {
     pub fn total_entries(&self) -> usize {
         self.total
     }
+
+    /// Drain every non-empty memo out of the pool (cross-run
+    /// warm-starting moves them into a [`MemoBank`]).
+    pub fn drain(&mut self) -> Vec<(NeighborhoodId, ProbeMemo)> {
+        self.lru.clear();
+        self.total = 0;
+        self.memos
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, m)| m.visited)
+            .map(|(i, m)| (NeighborhoodId(i as u32), std::mem::take(m)))
+            .collect()
+    }
+}
+
+/// Everything a warm-started MMP run carries over from the previous
+/// fixpoint: the probe-memo bank and the merge-closed message store.
+///
+/// The two cover complementary halves of "don't recompute":
+///
+/// * the **store** carries every maximal message alive at the previous
+///   fixpoint. Messages are sets of pairs — no neighborhood ids — so
+///   they survive re-blocking; a warm run marks them all dirty and
+///   re-checks promotion against the current evidence and scorer (sound
+///   by Theorem 4's provenance-free argument). Because unchanged
+///   neighborhoods' messages are already here, a warm run only needs to
+///   *evaluate* neighborhoods whose view changed;
+/// * the **bank** carries the per-neighborhood probe memos under view
+///   identities, so changed-but-revisited or delta-activated
+///   neighborhoods replay the probes their delta cannot have affected.
+#[derive(Debug, Default, Clone)]
+pub struct WarmStart {
+    /// Probe memos keyed by view identity.
+    pub bank: MemoBank,
+    /// The message store at the previous fixpoint.
+    pub store: MessageStore,
+    /// Number of entities the dataset had when the bank was deposited:
+    /// entities with ids at or above this floor are *new* since the
+    /// previous fixpoint, which is what lets
+    /// [`MemoBank::withdraw_grown`] match a grown view to its
+    /// predecessor's memo.
+    pub entity_floor: u32,
+}
+
+impl WarmStart {
+    /// An empty warm-start (what a cold run leaves behind before its
+    /// first fixpoint).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Cross-run store of per-neighborhood [`ProbeMemo`]s, keyed by the
+/// neighborhood's *view identity* — its member entities plus its
+/// candidate pairs with levels.
+///
+/// [`NeighborhoodId`]s are not stable across re-blocking (growing a
+/// dataset renumbers the cover), but a probe's result depends only on
+/// the view and the local evidence. A memo recorded at a run's fixpoint
+/// is therefore valid for a later run's neighborhood exactly when
+///
+/// 1. the view is *identical* (same members, same candidate pairs at
+///    the same levels — checked byte-for-byte at withdrawal), and
+/// 2. the new run's starting local evidence equals the old fixpoint's
+///    (which warm-started sessions guarantee: they seed the run with
+///    the previous fixpoint, whose restriction to an unchanged view is
+///    exactly the view's local evidence at quiescence).
+///
+/// Under those conditions the first visit's evidence delta is empty and
+/// the undecided set unchanged, so [`compute_maximal_incremental`]
+/// replays every probe and re-probes only what later routed deltas
+/// touch. Views that changed in any way miss the bank and re-probe from
+/// scratch — stale entries are dropped, never replayed.
+#[derive(Debug, Default, Clone)]
+pub struct MemoBank {
+    entries: FxHashMap<Vec<crate::entity::EntityId>, BankEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct BankEntry {
+    /// The view's candidate pairs with levels, sorted — the rest of the
+    /// view-identity check beyond the member key.
+    pairs: Vec<(Pair, crate::dataset::SimLevel)>,
+    memo: ProbeMemo,
+}
+
+impl MemoBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of banked neighborhoods.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bank holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Store `memo` under the view identity of `view`.
+    pub fn deposit(&mut self, view: &View<'_>, memo: ProbeMemo) {
+        let mut pairs = view.candidate_pairs();
+        pairs.sort_unstable();
+        self.entries
+            .insert(view.members().to_vec(), BankEntry { pairs, memo });
+    }
+
+    /// Merge another bank's entries into this one (shards deposit into
+    /// private banks; the coordinator folds them together).
+    pub fn absorb(&mut self, other: MemoBank) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Take the memo banked for `view`, if its identity still matches.
+    /// The entry is removed either way — a stale entry can never match
+    /// again (views only change by growing), so it is dropped.
+    pub fn withdraw(&mut self, view: &View<'_>) -> Option<ProbeMemo> {
+        let entry = self.entries.remove(view.members())?;
+        let mut pairs = view.candidate_pairs();
+        pairs.sort_unstable();
+        (entry.pairs == pairs).then_some(entry.memo).map(|mut m| {
+            m.from_bank = true;
+            m
+        })
+    }
+
+    /// Take the memo banked for the *predecessor* of `view` in a grown
+    /// dataset. Returns the memo plus whether the view is byte-identical
+    /// to the banked one (`true`) or grew (`false`).
+    ///
+    /// Entities with ids at or above `entity_floor` did not exist when
+    /// the bank was deposited. A grown view matches its predecessor
+    /// exactly when the below-floor part of its members and candidate
+    /// pairs equals a banked entry: every addition is then genuinely new
+    /// to the dataset, so every added candidate pair *enters* the
+    /// undecided set and seeds its ground component for re-probing
+    /// (see [`compute_maximal_incremental`]); probes in components no
+    /// new pair reaches replay soundly, because append-only growth
+    /// cannot create ground interactions among pre-existing pairs. A
+    /// view that gained a pre-existing entity, or a new candidate pair
+    /// between pre-existing entities, misses the bank and re-probes in
+    /// full.
+    pub fn withdraw_grown(
+        &mut self,
+        view: &View<'_>,
+        entity_floor: u32,
+    ) -> Option<(ProbeMemo, bool)> {
+        let old_members: Vec<crate::entity::EntityId> = view
+            .members()
+            .iter()
+            .copied()
+            .filter(|e| e.0 < entity_floor)
+            .collect();
+        let entry = self.entries.remove(&old_members)?;
+        let mut pairs = view.candidate_pairs();
+        pairs.sort_unstable();
+        let old_pairs: Vec<(Pair, crate::dataset::SimLevel)> = pairs
+            .iter()
+            .copied()
+            .filter(|(p, _)| p.lo().0 < entity_floor && p.hi().0 < entity_floor)
+            .collect();
+        if entry.pairs != old_pairs {
+            return None;
+        }
+        let identical = old_members.len() == view.members().len() && old_pairs.len() == pairs.len();
+        let mut memo = entry.memo;
+        memo.from_bank = true;
+        Some((memo, identical))
+    }
 }
 
 /// The undecided candidate pairs of a view: candidates not already
@@ -399,6 +576,7 @@ fn compute_maximal_core(
             Vec::new(),
             ProbeMemo {
                 visited: true,
+                from_bank: false,
                 undecided,
                 entailed: FxHashMap::default(),
             },
@@ -429,12 +607,33 @@ fn compute_maximal_core(
                 // must re-probe; everything else replays — the memoized
                 // entailed sets are *moved*, not cloned (the caller
                 // replaces the memo with the one we return).
-                let seeds = dirty.iter().chain(
-                    memo.undecided
+                //
+                // Pairs that *entered* the undecided set also seed.
+                // Within a run the undecided set only shrinks, so the
+                // scan is skipped on the classic revisit path — but a
+                // memo carried across runs by a [`MemoBank`] can meet a
+                // view that gained candidate pairs (dataset growth), and
+                // the new pairs' ground components must then re-probe
+                // rather than replay around them.
+                let entered: Vec<Pair> = if memo.from_bank {
+                    let memo_undecided: FxHashSet<Pair> = memo.undecided.iter().copied().collect();
+                    undecided
                         .iter()
                         .copied()
-                        .filter(|p| !undecided_set.contains(p)),
-                );
+                        .filter(|p| !memo_undecided.contains(p))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let seeds = dirty
+                    .iter()
+                    .chain(
+                        memo.undecided
+                            .iter()
+                            .copied()
+                            .filter(|p| !undecided_set.contains(p)),
+                    )
+                    .chain(entered.iter().copied());
                 let invalid = invalidated_component(seeds, &undecided_set, scorer);
                 let mut probe = Vec::new();
                 for &p in &undecided {
@@ -538,6 +737,7 @@ fn compute_maximal_core(
         messages,
         ProbeMemo {
             visited: true,
+            from_bank: false,
             undecided,
             entailed: entailed_by_pair,
         },
@@ -593,6 +793,10 @@ pub fn compute_maximal_incremental(
 }
 
 /// Algorithm 3: run MMP over a cover.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `em::Pipeline` front door (umbrella crate); `mmp_with_order` / `MmpDriver` are the engine hooks"
+)]
 pub fn mmp(
     matcher: &dyn ProbabilisticMatcher,
     dataset: &Dataset,
@@ -702,6 +906,16 @@ mod tests {
     use super::*;
     use crate::entity::EntityId;
     use crate::testing::paper_example;
+
+    fn run_mmp(
+        matcher: &dyn ProbabilisticMatcher,
+        ds: &Dataset,
+        cover: &Cover,
+        ev: &Evidence,
+        config: &MmpConfig,
+    ) -> MatchOutput {
+        mmp_with_order(matcher, ds, cover, ev, config, None)
+    }
 
     fn p(a: u32, b: u32) -> Pair {
         Pair::new(EntityId(a), EntityId(b))
@@ -843,6 +1057,7 @@ mod tests {
     fn memo_with_entries(pairs: &[Pair]) -> ProbeMemo {
         ProbeMemo {
             visited: true,
+            from_bank: false,
             undecided: pairs.to_vec(),
             entailed: pairs.iter().map(|&p| (p, Vec::new())).collect(),
         }
@@ -901,7 +1116,7 @@ mod tests {
     #[test]
     fn bounded_memo_capacity_is_byte_identical_and_surfaces_evictions() {
         let (ds, cover, matcher, expected) = paper_example();
-        let unbounded = mmp(
+        let unbounded = run_mmp(
             &matcher,
             &ds,
             &cover,
@@ -909,7 +1124,7 @@ mod tests {
             &MmpConfig::default(),
         );
         assert_eq!(unbounded.stats.memo_evictions, 0);
-        let bounded = mmp(
+        let bounded = run_mmp(
             &matcher,
             &ds,
             &cover,
@@ -940,8 +1155,8 @@ mod tests {
             incremental: false,
             ..Default::default()
         };
-        let full = mmp(&matcher, &ds, &cover, &Evidence::none(), &full_cfg);
-        let incr = mmp(
+        let full = run_mmp(&matcher, &ds, &cover, &Evidence::none(), &full_cfg);
+        let incr = run_mmp(
             &matcher,
             &ds,
             &cover,
@@ -965,7 +1180,7 @@ mod tests {
         // the neighborhood through one component must not re-probe the
         // other.
         let (ds, cover, matcher, _) = paper_example();
-        let out = mmp(
+        let out = run_mmp(
             &matcher,
             &ds,
             &cover,
@@ -976,7 +1191,7 @@ mod tests {
         // chain component re-probes but at least the bookkeeping holds.
         assert_eq!(
             out.stats.conditioned_probes + out.stats.probes_replayed,
-            mmp(
+            run_mmp(
                 &matcher,
                 &ds,
                 &cover,

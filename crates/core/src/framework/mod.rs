@@ -34,11 +34,17 @@ mod worklist;
 
 pub use dependency::DependencyIndex;
 pub use engine::{EvalTrace, MmpDriver, SmpDriver};
+#[allow(deprecated)]
+pub use mmp::mmp;
 pub use mmp::{
-    compute_maximal, compute_maximal_incremental, mark_dirty_around, mmp, mmp_with_order,
-    promote_dirty, MemoPool, MessageStore, MmpConfig, ProbeMemo,
+    compute_maximal, compute_maximal_incremental, mark_dirty_around, mmp_with_order, promote_dirty,
+    MemoBank, MemoPool, MessageStore, MmpConfig, ProbeMemo, WarmStart,
 };
+#[allow(deprecated)]
 pub use nomp::no_mp;
-pub use smp::{smp, smp_with_order};
+pub use nomp::no_mp_baseline;
+#[allow(deprecated)]
+pub use smp::smp;
+pub use smp::smp_with_order;
 pub use stats::RunStats;
 pub(crate) use worklist::Worklist;

@@ -14,7 +14,27 @@ use crate::pair::PairSet;
 use std::time::Instant;
 
 /// Run `matcher` independently on every neighborhood of `cover`.
+///
+/// Prefer the `em::Pipeline` front door (umbrella crate) with
+/// `Scheme::NoMp`; this free function remains as its engine hook and as
+/// a compatibility wrapper target.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `em::Pipeline` front door (umbrella crate); `no_mp_baseline` is the engine hook"
+)]
 pub fn no_mp(
+    matcher: &dyn Matcher,
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+) -> MatchOutput {
+    no_mp_baseline(matcher, dataset, cover, evidence)
+}
+
+/// The NO-MP engine: one matcher call per neighborhood, outputs unioned.
+/// This is what [`no_mp`] always did; the plain name is deprecated in
+/// favour of the `em::Pipeline` front door, which calls this hook.
+pub fn no_mp_baseline(
     matcher: &dyn Matcher,
     dataset: &Dataset,
     cover: &Cover,

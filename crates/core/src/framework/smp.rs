@@ -28,6 +28,14 @@ use std::time::Instant;
 use super::SmpDriver;
 
 /// Run SMP with the default (id-order) initial schedule.
+///
+/// Prefer the `em::Pipeline` front door (umbrella crate) with
+/// `Scheme::Smp`, which owns the dependency index and evidence across
+/// runs; this free function remains as a one-shot compatibility wrapper.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `em::Pipeline` front door (umbrella crate); `smp_with_order` / `SmpDriver` are the engine hooks"
+)]
 pub fn smp(
     matcher: &dyn Matcher,
     dataset: &Dataset,

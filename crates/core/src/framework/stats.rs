@@ -51,9 +51,13 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    /// Merge counters from another run (used by the parallel executor when
-    /// combining per-worker stats; wall time takes the max since workers
-    /// overlap, rounds take the max since workers share the round loop).
+    /// Merge counters from another run. This is the **one** aggregation
+    /// rule every backend uses — the sequential drivers, the round-based
+    /// parallel executor, and the sharded runtime all combine per-worker
+    /// stats through it: counters sum, wall time takes the max (workers
+    /// overlap), rounds take the max (workers share the round loop).
+    /// Backends that know the true wall time / round count of the whole
+    /// run fix them up afterwards with [`RunStats::finalize`].
     pub fn merge(&mut self, other: &RunStats) {
         self.matcher_calls += other.matcher_calls;
         self.neighborhoods_processed += other.neighborhoods_processed;
@@ -67,6 +71,52 @@ impl RunStats {
         self.memo_evictions += other.memo_evictions;
         self.rounds = self.rounds.max(other.rounds);
         self.wall_time = self.wall_time.max(other.wall_time);
+    }
+
+    /// Overwrite the run-level fields after a [`RunStats::merge`] fold:
+    /// the coordinator (parallel reduce loop, shard epoch loop, session)
+    /// knows the real wall clock and round/epoch count; worker-side
+    /// values were only placeholders.
+    pub fn finalize(&mut self, wall_time: Duration, rounds: u64) {
+        self.wall_time = wall_time;
+        self.rounds = rounds;
+    }
+}
+
+/// One-line human-readable summary, so examples and bench binaries stop
+/// hand-formatting the same fields. Omits zero-valued MMP counters for
+/// NO-MP/SMP runs.
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} matcher calls | {} evaluations | {} active pairs | {} messages",
+            self.matcher_calls,
+            self.neighborhoods_processed,
+            self.active_pairs_evaluated,
+            self.messages_sent,
+        )?;
+        if self.conditioned_probes > 0 || self.probes_replayed > 0 {
+            write!(
+                f,
+                " | {} probes ({} replayed)",
+                self.conditioned_probes, self.probes_replayed
+            )?;
+        }
+        if self.maximal_messages_created > 0 || self.promotions > 0 {
+            write!(
+                f,
+                " | {} maximal messages, {} promoted",
+                self.maximal_messages_created, self.promotions
+            )?;
+        }
+        if self.memo_evictions > 0 {
+            write!(f, " | {} memo evictions", self.memo_evictions)?;
+        }
+        if self.rounds > 0 {
+            write!(f, " | {} rounds", self.rounds)?;
+        }
+        write!(f, " | wall {:.1?}", self.wall_time)
     }
 }
 
@@ -105,5 +155,47 @@ mod tests {
         assert_eq!(a.probes_replayed, 3);
         assert_eq!(a.rounds, 3);
         assert_eq!(a.wall_time, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn finalize_overwrites_run_level_fields_only() {
+        let mut s = RunStats {
+            matcher_calls: 9,
+            rounds: 2,
+            wall_time: Duration::from_millis(4),
+            ..Default::default()
+        };
+        s.finalize(Duration::from_millis(100), 7);
+        assert_eq!(s.matcher_calls, 9, "counters untouched");
+        assert_eq!(s.rounds, 7);
+        assert_eq!(s.wall_time, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn display_elides_zero_mmp_counters() {
+        let smp_like = RunStats {
+            matcher_calls: 5,
+            neighborhoods_processed: 5,
+            messages_sent: 2,
+            ..Default::default()
+        };
+        let line = smp_like.to_string();
+        assert!(line.contains("5 matcher calls"));
+        assert!(!line.contains("probes"), "no probe clause for SMP: {line}");
+        assert!(!line.contains("maximal"), "no MMP clause: {line}");
+
+        let mmp_like = RunStats {
+            matcher_calls: 5,
+            conditioned_probes: 3,
+            probes_replayed: 1,
+            maximal_messages_created: 2,
+            promotions: 1,
+            rounds: 4,
+            ..Default::default()
+        };
+        let line = mmp_like.to_string();
+        assert!(line.contains("3 probes (1 replayed)"), "{line}");
+        assert!(line.contains("2 maximal messages, 1 promoted"), "{line}");
+        assert!(line.contains("4 rounds"), "{line}");
     }
 }

@@ -8,9 +8,13 @@
 //!
 //! ## Walkthrough
 //!
+//! (Applications should prefer the umbrella crate's `em::Pipeline`
+//! front door, which wraps these engine hooks behind one builder; the
+//! hooks below are what it calls.)
+//!
 //! ```
 //! use em_core::evidence::Evidence;
-//! use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+//! use em_core::framework::{mmp_with_order, no_mp_baseline, smp_with_order, MmpConfig};
 //! use em_core::testing::paper_example;
 //!
 //! // The paper's running example: 9 author references, coauthor edges,
@@ -18,15 +22,22 @@
 //! let (dataset, cover, matcher, expected_full_run) = paper_example();
 //!
 //! // NO-MP finds only the locally decidable match (c1, c2).
-//! let nomp = no_mp(&matcher, &dataset, &cover, &Evidence::none());
+//! let nomp = no_mp_baseline(&matcher, &dataset, &cover, &Evidence::none());
 //! assert_eq!(nomp.matches.len(), 1);
 //!
 //! // SMP recovers (b1, b2) via a simple message, but not the 3-pair chain.
-//! let smp_run = smp(&matcher, &dataset, &cover, &Evidence::none());
+//! let smp_run = smp_with_order(&matcher, &dataset, &cover, &Evidence::none(), None);
 //! assert_eq!(smp_run.matches.len(), 2);
 //!
 //! // MMP completes the chain with maximal messages: the full-run output.
-//! let mmp_run = mmp(&matcher, &dataset, &cover, &Evidence::none(), &MmpConfig::default());
+//! let mmp_run = mmp_with_order(
+//!     &matcher,
+//!     &dataset,
+//!     &cover,
+//!     &Evidence::none(),
+//!     &MmpConfig::default(),
+//!     None,
+//! );
 //! assert_eq!(mmp_run.matches, expected_full_run);
 //! ```
 //!

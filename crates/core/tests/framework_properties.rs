@@ -13,8 +13,8 @@ use em_core::cover::{Cover, NeighborhoodId};
 use em_core::dataset::{Dataset, SimLevel};
 use em_core::entity::EntityId;
 use em_core::evidence::Evidence;
-use em_core::framework::{mmp, mmp_with_order, no_mp, smp, smp_with_order, MmpConfig};
-use em_core::matcher::{Matcher, Score};
+use em_core::framework::{mmp_with_order, no_mp_baseline, smp_with_order, MmpConfig};
+use em_core::matcher::{MatchOutput, Matcher, Score};
 use em_core::pair::{Pair, PairSet};
 use em_core::testing::{paper_example, TableMatcher};
 use proptest::prelude::*;
@@ -95,6 +95,27 @@ fn build(instance: &Instance) -> (Dataset, Cover, TableMatcher) {
             .map(|nb| nb.iter().map(|&e| EntityId(e)).collect::<Vec<_>>()),
     );
     (ds, cover, matcher)
+}
+
+// Local shims over the engine hooks (the plain `no_mp`/`smp`/`mmp` free
+// functions are deprecated in favour of the `em::Pipeline` front door;
+// these property tests target the engines directly).
+fn no_mp(matcher: &dyn Matcher, ds: &Dataset, cover: &Cover, ev: &Evidence) -> MatchOutput {
+    no_mp_baseline(matcher, ds, cover, ev)
+}
+
+fn smp(matcher: &dyn Matcher, ds: &Dataset, cover: &Cover, ev: &Evidence) -> MatchOutput {
+    smp_with_order(matcher, ds, cover, ev, None)
+}
+
+fn mmp(
+    matcher: &dyn em_core::ProbabilisticMatcher,
+    ds: &Dataset,
+    cover: &Cover,
+    ev: &Evidence,
+    config: &MmpConfig,
+) -> MatchOutput {
+    mmp_with_order(matcher, ds, cover, ev, config, None)
 }
 
 /// Reverse permutation of the neighborhood ids, as an adversarial order.

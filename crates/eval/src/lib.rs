@@ -6,7 +6,7 @@
 //!   of predictions before scoring);
 //! * [`soundness`] — the framework-level soundness and completeness of a
 //!   scheme's output relative to a reference run (§2.2.1);
-//! * [`upper_bound`] — the paper's **UB** scheme: the ground-truth-
+//! * [`upper_bound()`] — the paper's **UB** scheme: the ground-truth-
 //!   conditioned upper bound on a supermodular matcher's full-run output,
 //!   used when the full run is infeasible;
 //! * [`report`] — fixed-width tables for the bench binaries' output.

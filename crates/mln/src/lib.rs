@@ -1,7 +1,7 @@
 //! # em-mln — the Markov Logic Network collective entity matcher
 //!
 //! A native implementation of the paper's primary black box: the MLN
-//! matcher of Singla & Domingos [18] with the learned rule set of
+//! matcher of Singla & Domingos \[18\] with the learned rule set of
 //! Appendix B. The score of a match set is the total weight of the ground
 //! rules it makes true (body **and** head; §2.1), which for rules with a
 //! single `Match` term in the implicant is a supermodular function
@@ -10,7 +10,7 @@
 //!
 //! Pipeline per matcher invocation:
 //!
-//! 1. [`ground`] the model over the view (one variable per candidate
+//! 1. [`ground()`] the model over the view (one variable per candidate
 //!    pair; deduplicated groundings following the paper's accounting);
 //! 2. condition on the evidence (`V+` contracted, `V−` deleted);
 //! 3. solve MAP — exactly by max-weight closure / min-cut

@@ -1,7 +1,7 @@
 //! The MLN entity matcher: the paper's Type-II black box.
 //!
 //! [`MlnMatcher`] wires the pieces together: ground the model over the
-//! view ([`crate::ground`]), condition on the evidence, and solve MAP
+//! view ([`crate::ground()`]), condition on the evidence, and solve MAP
 //! either exactly ([`crate::infer`], the default) or by local search
 //! ([`crate::local_search`]). It implements both
 //! [`em_core::Matcher`] and [`em_core::ProbabilisticMatcher`], so every

@@ -6,13 +6,38 @@ use em_core::cover::Cover;
 use em_core::dataset::{Dataset, SimLevel};
 use em_core::entity::EntityId;
 use em_core::evidence::Evidence;
-use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em_core::framework::{mmp_with_order, no_mp_baseline, smp_with_order, MmpConfig};
 use em_core::matcher::Matcher;
 use em_core::pair::Pair;
 use em_core::properties::{check_well_behaved, CheckConfig};
 use em_core::Score;
 use em_mln::{ground, solve_map, solve_map_brute_force, MlnMatcher, MlnModel, RelationalRule};
 use proptest::prelude::*;
+
+// Engine-hook shims (the plain free functions are deprecated in favour
+// of `em::Pipeline`; these validation tests target the engines).
+fn no_mp(
+    matcher: &dyn Matcher,
+    ds: &Dataset,
+    cover: &Cover,
+    ev: &Evidence,
+) -> em_core::MatchOutput {
+    no_mp_baseline(matcher, ds, cover, ev)
+}
+
+fn smp(matcher: &dyn Matcher, ds: &Dataset, cover: &Cover, ev: &Evidence) -> em_core::MatchOutput {
+    smp_with_order(matcher, ds, cover, ev, None)
+}
+
+fn mmp(
+    matcher: &dyn em_core::ProbabilisticMatcher,
+    ds: &Dataset,
+    cover: &Cover,
+    ev: &Evidence,
+    config: &MmpConfig,
+) -> em_core::MatchOutput {
+    mmp_with_order(matcher, ds, cover, ev, config, None)
+}
 
 /// Random bibliographic-shaped instance: entities, symmetric relation
 /// tuples, candidate pairs with levels, and model weights.

@@ -196,6 +196,10 @@ fn sorted_active(mut next: Vec<NeighborhoodId>) -> Vec<NeighborhoodId> {
 }
 
 /// Parallel SMP: the round-based scheme with simple messages.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `em::Pipeline` front door (umbrella crate) with `Backend::Parallel`; `execute_smp` is the engine hook"
+)]
 pub fn parallel_smp(
     matcher: &(dyn Matcher + Sync),
     dataset: &Dataset,
@@ -203,8 +207,29 @@ pub fn parallel_smp(
     evidence: &Evidence,
     config: &ParallelConfig,
 ) -> (MatchOutput, RoundTrace) {
+    execute_smp(matcher, dataset, cover, None, evidence, config)
+}
+
+/// The parallel SMP engine. `index` is the cover's [`DependencyIndex`]
+/// when the caller (a session) already owns it; `None` builds one for
+/// this run — what the deprecated [`parallel_smp`] wrapper always did.
+pub fn execute_smp(
+    matcher: &(dyn Matcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    index: Option<&DependencyIndex>,
+    evidence: &Evidence,
+    config: &ParallelConfig,
+) -> (MatchOutput, RoundTrace) {
     let start = Instant::now();
-    let index = DependencyIndex::build(dataset, cover);
+    let built;
+    let index = match index {
+        Some(shared) => shared,
+        None => {
+            built = DependencyIndex::build(dataset, cover);
+            &built
+        }
+    };
     let mut stats = RunStats::default();
     let mut trace = RoundTrace::default();
     let mut found = Evidence::from_parts(evidence.positive.clone(), evidence.negative.clone());
@@ -259,7 +284,7 @@ pub fn parallel_smp(
         stats.messages_sent += delta.len() as u64;
         let mut next: Vec<NeighborhoodId> = Vec::new();
         for p in delta {
-            state.route(&index, p, &mut next);
+            state.route(index, p, &mut next);
         }
         active = sorted_active(next);
     }
@@ -268,7 +293,8 @@ pub fn parallel_smp(
     for p in evidence.negative.iter() {
         matches.remove(p);
     }
-    stats.wall_time = start.elapsed();
+    let rounds = stats.rounds;
+    stats.finalize(start.elapsed(), rounds);
     (MatchOutput { matches, stats }, trace)
 }
 
@@ -277,6 +303,10 @@ pub fn parallel_smp(
 /// [`MmpConfig::incremental`], workers re-probe only the conditioned
 /// probes their round delta can have changed and replay the rest from
 /// the per-neighborhood [`ProbeMemo`] carried across rounds.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `em::Pipeline` front door (umbrella crate) with `Backend::Parallel`; `execute_mmp` is the engine hook"
+)]
 pub fn parallel_mmp(
     matcher: &(dyn ProbabilisticMatcher + Sync),
     dataset: &Dataset,
@@ -285,9 +315,31 @@ pub fn parallel_mmp(
     mmp_config: &MmpConfig,
     config: &ParallelConfig,
 ) -> (MatchOutput, RoundTrace) {
+    execute_mmp(matcher, dataset, cover, None, evidence, mmp_config, config)
+}
+
+/// The parallel MMP engine (see [`execute_smp`] for the `index`
+/// contract).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_mmp(
+    matcher: &(dyn ProbabilisticMatcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    index: Option<&DependencyIndex>,
+    evidence: &Evidence,
+    mmp_config: &MmpConfig,
+    config: &ParallelConfig,
+) -> (MatchOutput, RoundTrace) {
     let start = Instant::now();
     let scorer = matcher.global_scorer(dataset);
-    let index = DependencyIndex::build(dataset, cover);
+    let built;
+    let index = match index {
+        Some(shared) => shared,
+        None => {
+            built = DependencyIndex::build(dataset, cover);
+            &built
+        }
+    };
     let mut stats = RunStats::default();
     let mut trace = RoundTrace::default();
     let mut found = Evidence::from_parts(evidence.positive.clone(), evidence.negative.clone());
@@ -397,7 +449,7 @@ pub fn parallel_mmp(
         stats.messages_sent += delta.len() as u64;
         let mut next: Vec<NeighborhoodId> = Vec::new();
         for p in delta {
-            state.route(&index, p, &mut next);
+            state.route(index, p, &mut next);
         }
         active = sorted_active(next);
     }
@@ -406,13 +458,29 @@ pub fn parallel_mmp(
     for p in evidence.negative.iter() {
         matches.remove(p);
     }
-    stats.wall_time = start.elapsed();
+    let rounds = stats.rounds;
+    stats.finalize(start.elapsed(), rounds);
     (MatchOutput { matches, stats }, trace)
 }
 
 /// Parallel NO-MP: a single round over all neighborhoods (the natural
 /// grid baseline for Table 1).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `em::Pipeline` front door (umbrella crate) with `Backend::Parallel`; `execute_no_mp` is the engine hook"
+)]
 pub fn parallel_no_mp(
+    matcher: &(dyn Matcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    evidence: &Evidence,
+    config: &ParallelConfig,
+) -> (MatchOutput, RoundTrace) {
+    execute_no_mp(matcher, dataset, cover, evidence, config)
+}
+
+/// The parallel NO-MP engine (no dependency index: nothing is routed).
+pub fn execute_no_mp(
     matcher: &(dyn Matcher + Sync),
     dataset: &Dataset,
     cover: &Cover,
@@ -430,7 +498,6 @@ pub fn parallel_no_mp(
         );
         matcher.match_view(&view, &local)
     });
-    stats.rounds = 1;
     let mut found = evidence.positive.clone();
     let mut record = Vec::with_capacity(results.len());
     for (id, matches, cost) in results {
@@ -445,7 +512,7 @@ pub fn parallel_no_mp(
     for p in evidence.negative.iter() {
         found.remove(p);
     }
-    stats.wall_time = start.elapsed();
+    stats.finalize(start.elapsed(), 1);
     (
         MatchOutput {
             matches: found,
@@ -460,15 +527,37 @@ pub fn parallel_no_mp(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use em_core::framework::{mmp, smp};
+    use em_core::framework::{mmp_with_order, smp_with_order};
     use em_core::testing::paper_example;
+
+    // Engine-hook shims with the wrappers' historical shape (no index).
+    fn run_psmp(
+        matcher: &(dyn Matcher + Sync),
+        dataset: &Dataset,
+        cover: &Cover,
+        evidence: &Evidence,
+        config: &ParallelConfig,
+    ) -> (MatchOutput, RoundTrace) {
+        execute_smp(matcher, dataset, cover, None, evidence, config)
+    }
+
+    fn run_pmmp(
+        matcher: &(dyn ProbabilisticMatcher + Sync),
+        dataset: &Dataset,
+        cover: &Cover,
+        evidence: &Evidence,
+        mmp_config: &MmpConfig,
+        config: &ParallelConfig,
+    ) -> (MatchOutput, RoundTrace) {
+        execute_mmp(matcher, dataset, cover, None, evidence, mmp_config, config)
+    }
 
     #[test]
     fn parallel_smp_equals_sequential_fixpoint() {
         let (ds, cover, matcher, _) = paper_example();
-        let sequential = smp(&matcher, &ds, &cover, &Evidence::none());
+        let sequential = smp_with_order(&matcher, &ds, &cover, &Evidence::none(), None);
         for workers in [1, 2, 4] {
-            let (parallel, trace) = parallel_smp(
+            let (parallel, trace) = run_psmp(
                 &matcher,
                 &ds,
                 &cover,
@@ -484,16 +573,17 @@ mod tests {
     #[test]
     fn parallel_mmp_equals_sequential_fixpoint() {
         let (ds, cover, matcher, expected) = paper_example();
-        let sequential = mmp(
+        let sequential = mmp_with_order(
             &matcher,
             &ds,
             &cover,
             &Evidence::none(),
             &MmpConfig::default(),
+            None,
         );
         assert_eq!(sequential.matches, expected);
         for workers in [1, 3] {
-            let (parallel, _) = parallel_mmp(
+            let (parallel, _) = run_pmmp(
                 &matcher,
                 &ds,
                 &cover,
@@ -513,8 +603,8 @@ mod tests {
             incremental: false,
             ..Default::default()
         };
-        let (full, _) = parallel_mmp(&matcher, &ds, &cover, &Evidence::none(), &full_cfg, &config);
-        let (incr, _) = parallel_mmp(
+        let (full, _) = run_pmmp(&matcher, &ds, &cover, &Evidence::none(), &full_cfg, &config);
+        let (incr, _) = run_pmmp(
             &matcher,
             &ds,
             &cover,
@@ -535,7 +625,7 @@ mod tests {
     #[test]
     fn parallel_no_mp_is_single_round() {
         let (ds, cover, matcher, _) = paper_example();
-        let (out, trace) = parallel_no_mp(
+        let (out, trace) = execute_no_mp(
             &matcher,
             &ds,
             &cover,
@@ -554,7 +644,7 @@ mod tests {
         let (ds, cover, matcher, expected) = paper_example();
         let cached = em_core::CachedMatcher::new(matcher);
         let config = ParallelConfig { workers: 4 };
-        let (out, _) = parallel_mmp(
+        let (out, _) = run_pmmp(
             &cached,
             &ds,
             &cover,
@@ -564,7 +654,7 @@ mod tests {
         );
         assert_eq!(out.matches, expected);
         let before = cached.stats();
-        let (replay, _) = parallel_mmp(
+        let (replay, _) = run_pmmp(
             &cached,
             &ds,
             &cover,
@@ -586,15 +676,15 @@ mod tests {
         let (ds, cover, matcher, _) = paper_example();
         let cached = em_core::CachedMatcher::new(matcher.clone());
         let config = ParallelConfig { workers: 3 };
-        let (with_cache, _) = parallel_smp(&cached, &ds, &cover, &Evidence::none(), &config);
-        let (without, _) = parallel_smp(&matcher, &ds, &cover, &Evidence::none(), &config);
+        let (with_cache, _) = run_psmp(&cached, &ds, &cover, &Evidence::none(), &config);
+        let (without, _) = run_psmp(&matcher, &ds, &cover, &Evidence::none(), &config);
         assert_eq!(with_cache.matches, without.matches);
     }
 
     #[test]
     fn trace_records_every_evaluation() {
         let (ds, cover, matcher, _) = paper_example();
-        let (out, trace) = parallel_smp(
+        let (out, trace) = run_psmp(
             &matcher,
             &ds,
             &cover,

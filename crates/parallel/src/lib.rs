@@ -18,6 +18,8 @@ pub mod executor;
 pub mod grid;
 
 pub use executor::{
-    parallel_mmp, parallel_no_mp, parallel_smp, EvalRecord, ParallelConfig, RoundTrace,
+    execute_mmp, execute_no_mp, execute_smp, EvalRecord, ParallelConfig, RoundTrace,
 };
+#[allow(deprecated)]
+pub use executor::{parallel_mmp, parallel_no_mp, parallel_smp};
 pub use grid::{simulate, Assignment, GridParams, GridReport};

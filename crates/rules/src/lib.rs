@@ -1,7 +1,7 @@
 //! # em-rules — the declarative RULES matcher and pairwise baseline
 //!
 //! The paper's second black box (Appendix B/C) is a matcher in the style
-//! of Dedupalog (Arasu, Ré, Suciu [2]): users write datalog-like rules
+//! of Dedupalog (Arasu, Ré, Suciu \[2\]): users write datalog-like rules
 //! over `similar`, the dataset relations, and the derived `equals`
 //! predicate; the monotone fragment (no negation, no transitivity
 //! constraint — Proposition 5) is evaluated to a least fixpoint, with an

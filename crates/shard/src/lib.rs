@@ -33,4 +33,6 @@ pub mod partition;
 pub mod runtime;
 
 pub use partition::{estimate_costs, PlacementUnit, ShardPlan, SplitPolicy};
-pub use runtime::{shard_mmp, shard_smp, ShardConfig, ShardLoad, ShardReport};
+#[allow(deprecated)]
+pub use runtime::{shard_mmp, shard_smp};
+pub use runtime::{shard_mmp_planned, shard_smp_planned, ShardConfig, ShardLoad, ShardReport};

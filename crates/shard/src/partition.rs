@@ -107,6 +107,9 @@ pub struct ShardPlan {
     pub pinned_components: usize,
     /// The per-neighborhood costs the plan was built from.
     pub costs: Vec<u64>,
+    /// The split policy the plan was built with (re-used by
+    /// [`ShardPlan::replan_from`]).
+    pub policy: SplitPolicy,
 }
 
 impl ShardPlan {
@@ -195,7 +198,31 @@ impl ShardPlan {
             split_components,
             pinned_components,
             costs: costs.to_vec(),
+            policy,
         }
+    }
+
+    /// Measured-cost re-planning: rebuild the partition with the same
+    /// shard count and policy, but with the balancer's cost slice
+    /// replaced by a previous run's **measured** per-neighborhood busy
+    /// times (`ShardReport::measured`, nanoseconds, summed over visits).
+    /// Neighborhoods the report did not measure fall back to cost 1,
+    /// the cheapest unit, so they cannot displace measured load — which
+    /// means the report should cover (nearly) every neighborhood to be
+    /// a sane basis. Cold runs measure everything; warm-started runs
+    /// skip unchanged views and produce sparse traces, so callers (the
+    /// session does this) should only re-plan from full-coverage
+    /// reports. The deterministic estimate the original plan used is
+    /// thereby corrected by exactly the skew the estimate got wrong;
+    /// `table1_grid` prints the two plans side by side.
+    pub fn replan_from(&self, index: &DependencyIndex, report: &crate::ShardReport) -> ShardPlan {
+        let mut costs = vec![1u64; self.costs.len()];
+        for &(id, busy) in &report.measured {
+            if id.index() < costs.len() {
+                costs[id.index()] = (busy.as_nanos() as u64).max(1);
+            }
+        }
+        ShardPlan::build(index, self.shards.len(), &costs, self.policy)
     }
 
     /// `max / mean` of the estimated shard loads (1.0 = perfectly

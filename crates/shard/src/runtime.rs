@@ -46,8 +46,8 @@ use crate::partition::{estimate_costs, skew, ShardPlan, SplitPolicy};
 use crossbeam::channel::{self, Receiver, Sender};
 use em_core::cover::{Cover, NeighborhoodId};
 use em_core::framework::{
-    mark_dirty_around, promote_dirty, DependencyIndex, EvalTrace, MessageStore, MmpConfig,
-    MmpDriver, RunStats, SmpDriver,
+    mark_dirty_around, promote_dirty, DependencyIndex, EvalTrace, MemoBank, MessageStore,
+    MmpConfig, MmpDriver, ProbeMemo, RunStats, SmpDriver, WarmStart,
 };
 use em_core::{
     Dataset, Evidence, GlobalScorer, MatchOutput, Matcher, Pair, PairSet, ProbabilisticMatcher,
@@ -167,6 +167,8 @@ struct ShardOutcome {
     stats: RunStats,
     busy: Duration,
     trace: EvalTrace,
+    /// Probe memos at quiescence, keyed by view identity (MMP only).
+    memos: MemoBank,
 }
 
 /// One shard's epoch loop over its driver; generic so SMP and MMP share
@@ -177,7 +179,7 @@ trait EpochWorker {
     fn drain(&mut self);
     /// This epoch's outgoing delta and maximal messages.
     fn produced(&mut self, since: em_core::Epoch) -> (Vec<Pair>, Vec<Vec<Pair>>);
-    fn finish(self) -> (RunStats, EvalTrace);
+    fn finish(self) -> (RunStats, EvalTrace, MemoBank);
 }
 
 struct SmpWorker<'a> {
@@ -198,9 +200,9 @@ impl EpochWorker for SmpWorker<'_> {
     fn produced(&mut self, since: em_core::Epoch) -> (Vec<Pair>, Vec<Vec<Pair>>) {
         (self.driver.delta_since(since).to_vec(), Vec::new())
     }
-    fn finish(mut self) -> (RunStats, EvalTrace) {
+    fn finish(mut self) -> (RunStats, EvalTrace, MemoBank) {
         let trace = self.driver.take_trace();
-        (*self.driver.stats(), trace)
+        (*self.driver.stats(), trace, MemoBank::new())
     }
 }
 
@@ -208,6 +210,9 @@ struct MmpWorker<'a> {
     driver: MmpDriver<'a>,
     matcher: &'a (dyn ProbabilisticMatcher + Sync),
     scorer: &'a (dyn GlobalScorer + Send + Sync),
+    /// Whether to bank probe memos at quiescence (only when the caller
+    /// passed a cross-run [`MemoBank`]).
+    collect_memos: bool,
 }
 
 impl EpochWorker for MmpWorker<'_> {
@@ -226,9 +231,13 @@ impl EpochWorker for MmpWorker<'_> {
             self.driver.take_outbox(),
         )
     }
-    fn finish(mut self) -> (RunStats, EvalTrace) {
+    fn finish(mut self) -> (RunStats, EvalTrace, MemoBank) {
         let trace = self.driver.take_trace();
-        (*self.driver.stats(), trace)
+        let mut memos = MemoBank::new();
+        if self.collect_memos {
+            self.driver.bank_memos(&mut memos);
+        }
+        (*self.driver.stats(), trace, memos)
     }
 }
 
@@ -258,8 +267,13 @@ fn worker_loop<W: EpochWorker>(
             }
         }
     }
-    let (stats, trace) = worker.finish();
-    ShardOutcome { stats, busy, trace }
+    let (stats, trace, memos) = worker.finish();
+    ShardOutcome {
+        stats,
+        busy,
+        trace,
+        memos,
+    }
 }
 
 /// Run the epoch protocol over `k` workers built by `make_worker`,
@@ -347,7 +361,7 @@ where
 /// Assemble the output + report shared by both schemes.
 fn assemble(
     start: Instant,
-    plan: ShardPlan,
+    plan: &ShardPlan,
     coordinator_stats: RunStats,
     global: Evidence,
     outcomes: Vec<ShardOutcome>,
@@ -385,8 +399,7 @@ fn assemble(
             false
         }
     });
-    stats.rounds = epochs;
-    stats.wall_time = start.elapsed();
+    stats.finalize(start.elapsed(), epochs);
 
     let report = ShardReport {
         shards: plan.shards.len(),
@@ -407,7 +420,7 @@ fn assemble(
             1.0
         },
         per_shard,
-        neighborhood_costs: plan.costs,
+        neighborhood_costs: plan.costs.clone(),
         measured,
     };
 
@@ -419,7 +432,11 @@ fn assemble(
     (MatchOutput { matches, stats }, report)
 }
 
-/// Sharded SMP: the fixpoint equals [`em_core::framework::smp`]'s.
+/// Sharded SMP: the fixpoint equals the sequential SMP fixpoint.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `em::Pipeline` front door (umbrella crate) with `Backend::Sharded`; `shard_smp_planned` is the engine hook"
+)]
 pub fn shard_smp(
     matcher: &(dyn Matcher + Sync),
     dataset: &Dataset,
@@ -427,12 +444,28 @@ pub fn shard_smp(
     evidence: &Evidence,
     config: &ShardConfig,
 ) -> (MatchOutput, ShardReport) {
-    let start = Instant::now();
     let index = DependencyIndex::build(dataset, cover);
     let costs = estimate_costs(dataset, cover);
     let plan = ShardPlan::build(&index, config.shards, &costs, config.policy);
-    let plan_ref = &plan;
-    let index_ref = &index;
+    shard_smp_planned(matcher, dataset, cover, &index, &plan, evidence)
+}
+
+/// The sharded SMP engine over a caller-owned [`DependencyIndex`] and
+/// [`ShardPlan`] — what a session uses so the index survives across runs
+/// and the plan can be rebuilt from measured costs
+/// ([`ShardPlan::replan_from`]). The deprecated [`shard_smp`] wrapper
+/// builds both from estimates and delegates here.
+pub fn shard_smp_planned(
+    matcher: &(dyn Matcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    index: &DependencyIndex,
+    plan: &ShardPlan,
+    evidence: &Evidence,
+) -> (MatchOutput, ShardReport) {
+    let start = Instant::now();
+    let plan_ref = plan;
+    let index_ref = index;
     let (global, outcomes, epochs, crossed) = run_epochs(
         plan.shards.len(),
         evidence,
@@ -473,6 +506,10 @@ pub fn shard_smp(
 /// [`MmpConfig::incremental`] applies to approximate backends). Shards
 /// compute base matches and maximal messages; the coordinator owns the
 /// message store and the promotion loop.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `em::Pipeline` front door (umbrella crate) with `Backend::Sharded`; `shard_mmp_planned` is the engine hook"
+)]
 pub fn shard_mmp(
     matcher: &(dyn ProbabilisticMatcher + Sync),
     dataset: &Dataset,
@@ -481,12 +518,85 @@ pub fn shard_mmp(
     mmp_config: &MmpConfig,
     config: &ShardConfig,
 ) -> (MatchOutput, ShardReport) {
-    let start = Instant::now();
     let index = DependencyIndex::build(dataset, cover);
     let costs = estimate_costs(dataset, cover);
     let plan = ShardPlan::build(&index, config.shards, &costs, config.policy);
-    let plan_ref = &plan;
-    let index_ref = &index;
+    shard_mmp_planned(
+        matcher, dataset, cover, &index, &plan, evidence, mmp_config, None,
+    )
+}
+
+/// Per-shard warm-start slice: probe memos for unchanged member views
+/// plus the initial worklist (the changed members only).
+struct ShardSeed {
+    memos: Vec<(NeighborhoodId, ProbeMemo)>,
+    active: Vec<NeighborhoodId>,
+}
+
+/// The sharded MMP engine over a caller-owned index and plan (see
+/// [`shard_smp_planned`]).
+///
+/// `warm`, when given, is the cross-run [`WarmStart`]: the coordinator
+/// adopts the previous fixpoint's message store (every carried message
+/// re-checked for promotion against the current evidence and scorer),
+/// each shard's initial worklist is restricted to the member
+/// neighborhoods whose view identity misses the memo bank (i.e. views
+/// that changed since the previous fixpoint — unchanged views would
+/// reproduce their quiescent state, and their messages are already in
+/// the carried store), and bank hits seed the shard drivers' probe
+/// memos so delta-activated revisits replay instead of re-probing. At
+/// quiescence the store and memos flow back into `warm` for the next
+/// run. Only consulted for [`MmpConfig::incremental`] runs — replay is
+/// the incremental path.
+#[allow(clippy::too_many_arguments)]
+pub fn shard_mmp_planned(
+    matcher: &(dyn ProbabilisticMatcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    index: &DependencyIndex,
+    plan: &ShardPlan,
+    evidence: &Evidence,
+    mmp_config: &MmpConfig,
+    mut warm: Option<&mut WarmStart>,
+) -> (MatchOutput, ShardReport) {
+    let start = Instant::now();
+    if !mmp_config.incremental {
+        warm = None;
+    }
+    // Pre-partition the warm state by shard so each worker thread can
+    // take its slice without contending on the caller's bank.
+    let seeds: Vec<std::sync::Mutex<Option<ShardSeed>>> = {
+        let mut per_shard: Vec<Option<ShardSeed>> = (0..plan.shards.len()).map(|_| None).collect();
+        if let Some(warm) = warm.as_deref_mut() {
+            for (slot, members) in per_shard.iter_mut().zip(&plan.shards) {
+                let mut seed = ShardSeed {
+                    memos: Vec::new(),
+                    active: Vec::new(),
+                };
+                for &id in members {
+                    let view = cover.view(dataset, id);
+                    match warm.bank.withdraw_grown(&view, warm.entity_floor) {
+                        // Identical view: quiescent; its messages are in
+                        // the carried store — skip it.
+                        Some((memo, true)) => seed.memos.push((id, memo)),
+                        // Grown view: re-evaluate with the old memo so
+                        // untouched components replay.
+                        Some((memo, false)) => {
+                            seed.memos.push((id, memo));
+                            seed.active.push(id);
+                        }
+                        None => seed.active.push(id),
+                    }
+                }
+                *slot = Some(seed);
+            }
+        }
+        per_shard.into_iter().map(std::sync::Mutex::new).collect()
+    };
+    let seeds_ref = &seeds;
+    let collect_memos = warm.is_some();
+    let plan_ref = plan;
+    let index_ref = index;
     // One grounding shared read-only by every shard, exactly like the
     // round-based executor.
     let scorer = matcher.global_scorer(dataset);
@@ -502,8 +612,13 @@ pub fn shard_mmp(
         ..*mmp_config
     };
     let per_shard_config = &per_shard_config;
-    let mut store = MessageStore::new();
-    let mut dirty_messages: Vec<Pair> = Vec::new();
+    // A warm run adopts the previous fixpoint's store and re-checks
+    // every carried message's promotion in the first reduce.
+    let mut store = match warm.as_deref_mut() {
+        Some(warm) => std::mem::take(&mut warm.store),
+        None => MessageStore::new(),
+    };
+    let mut dirty_messages: Vec<Pair> = store.roots();
     let mut coordinator_stats = RunStats::default();
     let (global, outcomes, epochs, crossed) = run_epochs(
         plan.shards.len(),
@@ -519,10 +634,17 @@ pub fn shard_mmp(
             );
             driver.defer_promotions();
             driver.enable_trace();
+            if let Some(seed) = seeds_ref[shard].lock().expect("seed lock").take() {
+                driver.seed_worklist(&seed.active);
+                for (id, memo) in seed.memos {
+                    driver.seed_memo(id, memo);
+                }
+            }
             MmpWorker {
                 driver,
                 matcher,
                 scorer: scorer_ref,
+                collect_memos,
             }
         },
         |global, responses| {
@@ -560,6 +682,13 @@ pub fn shard_mmp(
             global.delta_since(fence).to_vec()
         },
     );
+    let mut outcomes = outcomes;
+    if let Some(warm) = warm {
+        warm.store = store;
+        for outcome in &mut outcomes {
+            warm.bank.absorb(std::mem::take(&mut outcome.memos));
+        }
+    }
     assemble(
         start,
         plan,
@@ -574,11 +703,69 @@ pub fn shard_mmp(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use em_core::framework::{mmp, smp};
+    use em_core::framework::{mmp_with_order, smp_with_order};
     use em_core::testing::paper_example;
 
     fn config(shards: usize, policy: SplitPolicy) -> ShardConfig {
         ShardConfig { shards, policy }
+    }
+
+    // Engine-hook shims with the deprecated wrappers' historical shape.
+    fn run_shard_smp(
+        matcher: &(dyn Matcher + Sync),
+        dataset: &Dataset,
+        cover: &Cover,
+        evidence: &Evidence,
+        config: &ShardConfig,
+    ) -> (MatchOutput, ShardReport) {
+        let index = DependencyIndex::build(dataset, cover);
+        let plan = ShardPlan::build(
+            &index,
+            config.shards,
+            &estimate_costs(dataset, cover),
+            config.policy,
+        );
+        shard_smp_planned(matcher, dataset, cover, &index, &plan, evidence)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_shard_mmp(
+        matcher: &(dyn ProbabilisticMatcher + Sync),
+        dataset: &Dataset,
+        cover: &Cover,
+        evidence: &Evidence,
+        mmp_config: &MmpConfig,
+        config: &ShardConfig,
+    ) -> (MatchOutput, ShardReport) {
+        let index = DependencyIndex::build(dataset, cover);
+        let plan = ShardPlan::build(
+            &index,
+            config.shards,
+            &estimate_costs(dataset, cover),
+            config.policy,
+        );
+        shard_mmp_planned(
+            matcher, dataset, cover, &index, &plan, evidence, mmp_config, None,
+        )
+    }
+
+    fn smp(
+        matcher: &dyn Matcher,
+        dataset: &Dataset,
+        cover: &Cover,
+        evidence: &Evidence,
+    ) -> MatchOutput {
+        smp_with_order(matcher, dataset, cover, evidence, None)
+    }
+
+    fn mmp(
+        matcher: &dyn ProbabilisticMatcher,
+        dataset: &Dataset,
+        cover: &Cover,
+        evidence: &Evidence,
+        config: &MmpConfig,
+    ) -> MatchOutput {
+        mmp_with_order(matcher, dataset, cover, evidence, config, None)
     }
 
     #[test]
@@ -587,7 +774,7 @@ mod tests {
         let sequential = smp(&matcher, &ds, &cover, &Evidence::none());
         for policy in [SplitPolicy::Pin, SplitPolicy::Split] {
             for shards in [1, 2, 3, 5] {
-                let (out, report) = shard_smp(
+                let (out, report) = run_shard_smp(
                     &matcher,
                     &ds,
                     &cover,
@@ -616,7 +803,7 @@ mod tests {
         assert_eq!(sequential.matches, expected);
         for policy in [SplitPolicy::Pin, SplitPolicy::Split] {
             for shards in [1, 2, 4] {
-                let (out, report) = shard_mmp(
+                let (out, report) = run_shard_mmp(
                     &matcher,
                     &ds,
                     &cover,
@@ -638,7 +825,7 @@ mod tests {
             incremental: false,
             ..Default::default()
         };
-        let (out, _) = shard_mmp(
+        let (out, _) = run_shard_mmp(
             &matcher,
             &ds,
             &cover,
@@ -652,7 +839,7 @@ mod tests {
     #[test]
     fn report_accounts_for_every_neighborhood_and_unit() {
         let (ds, cover, matcher, _) = paper_example();
-        let (out, report) = shard_mmp(
+        let (out, report) = run_shard_mmp(
             &matcher,
             &ds,
             &cover,
@@ -678,6 +865,48 @@ mod tests {
     }
 
     #[test]
+    fn replan_from_measured_costs_is_valid_and_byte_identical() {
+        let (ds, cover, matcher, expected) = paper_example();
+        let index = DependencyIndex::build(&ds, &cover);
+        let plan = ShardPlan::build(&index, 2, &estimate_costs(&ds, &cover), SplitPolicy::Split);
+        let (out, report) = shard_mmp_planned(
+            &matcher,
+            &ds,
+            &cover,
+            &index,
+            &plan,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            None,
+        );
+        assert_eq!(out.matches, expected);
+
+        let replanned = plan.replan_from(&index, &report);
+        assert_eq!(replanned.shards.len(), plan.shards.len());
+        assert_eq!(replanned.policy, plan.policy);
+        // The balancer's cost slice is now the measured busy times.
+        for &(id, busy) in &report.measured {
+            assert_eq!(replanned.costs[id.index()], (busy.as_nanos() as u64).max(1));
+        }
+        // Still a partition, and the fixpoint does not depend on the plan.
+        let mut seen: Vec<NeighborhoodId> = replanned.shards.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), cover.len());
+        let (again, report2) = shard_mmp_planned(
+            &matcher,
+            &ds,
+            &cover,
+            &index,
+            &replanned,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            None,
+        );
+        assert_eq!(again.matches, expected);
+        assert_eq!(report2.shards, 2);
+    }
+
+    #[test]
     fn initial_evidence_flows_through_the_sharded_run() {
         let (ds, cover, matcher, _) = paper_example();
         // Feed the sequential SMP fixpoint back in as evidence: the
@@ -686,7 +915,7 @@ mod tests {
         let smp_out = smp(&matcher, &ds, &cover, &Evidence::none());
         let evidence = Evidence::positive(smp_out.matches.clone());
         let sequential = mmp(&matcher, &ds, &cover, &evidence, &MmpConfig::default());
-        let (sharded, _) = shard_mmp(
+        let (sharded, _) = run_shard_mmp(
             &matcher,
             &ds,
             &cover,

@@ -157,6 +157,10 @@ pub struct FeatureCache {
     grams: TokenInterner,
     features: Vec<Option<FeatureVec>>,
     documents: usize,
+    /// Documents containing each token id at least once (kept so the
+    /// cache can be extended with new entities without re-reading the
+    /// old corpus; see [`FeatureCache::extend_from`]).
+    doc_freq: Vec<u32>,
 }
 
 impl FeatureCache {
@@ -246,7 +250,103 @@ impl FeatureCache {
             grams,
             features,
             documents,
+            doc_freq,
         }
+    }
+
+    /// Intern features for every `entity_type` entity of `dataset` that
+    /// carries `key_attr` but has no cached entry yet — the delta pass a
+    /// growing match session uses instead of re-tokenizing the whole
+    /// corpus. Returns the number of entities added.
+    ///
+    /// Token and gram ids are append-only, so every existing feature
+    /// vector (keys, parsed names, gram-id sets — everything the canopy
+    /// pass and the corpus-independent kernels read) is untouched and
+    /// byte-identical to a full rebuild. The exception is TF-IDF: new
+    /// entities are weighted with the *updated* document frequencies
+    /// while old entities keep the weights of the corpus they were built
+    /// against. Callers scoring with the TF-IDF kernel should rebuild
+    /// the cache instead of extending it.
+    pub fn extend_from(
+        &mut self,
+        dataset: &em_core::Dataset,
+        entity_type: &str,
+        key_attr: &str,
+    ) -> usize {
+        let points: Vec<(EntityId, String)> = match dataset.entities.type_id(entity_type) {
+            Some(ty) => dataset
+                .entities
+                .ids_of_type(ty)
+                .filter(|&e| self.get(e).is_none())
+                .filter_map(|e| {
+                    dataset
+                        .entities
+                        .attr(e, key_attr)
+                        .map(|s| (e, s.to_owned()))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        if self.features.len() < dataset.entities.len() {
+            self.features.resize(dataset.entities.len(), None);
+        }
+        // Pass 1 over the delta only: intern, count document frequencies.
+        let mut token_seqs: Vec<(EntityId, Vec<u32>)> = Vec::with_capacity(points.len());
+        for (e, raw) in &points {
+            let normalized = normalize_name(raw);
+            let mut seq: Vec<u32> = normalized
+                .split(' ')
+                .filter(|t| !t.is_empty())
+                .map(|t| self.tokens.intern(t))
+                .collect();
+            self.doc_freq.resize(self.tokens.len(), 0);
+            seq.sort_unstable();
+            for (i, &t) in seq.iter().enumerate() {
+                if i == 0 || seq[i - 1] != t {
+                    self.doc_freq[t as usize] += 1;
+                }
+            }
+            let mut gram_ids: Vec<u32> = Vec::new();
+            for_each_ngram(raw, self.config.ngram, |g| {
+                gram_ids.push(self.grams.intern(g))
+            });
+            gram_ids.sort_unstable();
+            gram_ids.dedup();
+            self.features[e.index()] = Some(FeatureVec {
+                key: raw.clone(),
+                name: NameKey::parse(raw),
+                tokens: Vec::new(),
+                grams: gram_ids,
+                tfidf: Vec::new(),
+                norm: 0.0,
+            });
+            token_seqs.push((*e, seq));
+        }
+        // Pass 2: TF-IDF for the new entities against the grown corpus.
+        self.documents += points.len();
+        for (e, seq) in token_seqs {
+            let fv = self.features[e.index()].as_mut().expect("filled in pass 1");
+            let mut tfidf: Vec<(u32, f64)> = Vec::new();
+            let mut distinct: Vec<u32> = Vec::with_capacity(seq.len());
+            let mut i = 0;
+            while i < seq.len() {
+                let t = seq[i];
+                let mut tf = 0usize;
+                while i < seq.len() && seq[i] == t {
+                    tf += 1;
+                    i += 1;
+                }
+                distinct.push(t);
+                tfidf.push((
+                    t,
+                    tf as f64 * smoothed_idf(self.documents, self.doc_freq[t as usize] as usize),
+                ));
+            }
+            fv.norm = tfidf.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+            fv.tfidf = tfidf;
+            fv.tokens = distinct;
+        }
+        points.len()
     }
 
     /// Build over every entity of `entity_type` carrying `key_attr` in
@@ -448,5 +548,76 @@ mod tests {
             .unwrap()
             .tfidf_cosine(c.get(EntityId(2)).unwrap());
         assert!(rare > common, "{rare} <= {common}");
+    }
+
+    /// Build a small author_ref dataset holding `names` in id order.
+    fn name_dataset(names: &[&str]) -> em_core::Dataset {
+        let mut ds = em_core::Dataset::new();
+        let ty = ds.entities.intern_type("author_ref");
+        let attr = ds.entities.intern_attr("name");
+        for n in names {
+            let id = ds.entities.add_entity(ty);
+            ds.entities.set_attr(id, attr, *n);
+        }
+        ds
+    }
+
+    #[test]
+    fn extend_from_equals_full_rebuild_for_corpus_independent_features() {
+        let prefix = name_dataset(&NAMES[..3]);
+        let full = name_dataset(&NAMES);
+        let mut grown =
+            FeatureCache::build(&prefix, "author_ref", "name", FeatureConfig::default());
+        let added = grown.extend_from(&full, "author_ref", "name");
+        assert_eq!(added, NAMES.len() - 3);
+        assert_eq!(
+            grown.extend_from(&full, "author_ref", "name"),
+            0,
+            "idempotent"
+        );
+        assert_eq!(grown.len(), NAMES.len());
+
+        let cold = FeatureCache::build(&full, "author_ref", "name", FeatureConfig::default());
+        for i in 0..NAMES.len() as u32 {
+            let g = grown.get(EntityId(i)).expect("grown entry");
+            let c = cold.get(EntityId(i)).expect("cold entry");
+            // Prefix interning order is identical, so ids — not just
+            // strings — must agree.
+            assert_eq!(g.key, c.key, "entity {i}");
+            assert_eq!(g.grams, c.grams, "entity {i} gram ids");
+            assert_eq!(g.tokens, c.tokens, "entity {i} token ids");
+            assert_eq!(g.name.last, c.name.last, "entity {i} parsed name");
+            // Corpus-independent kernels are byte-identical either way.
+            for j in 0..NAMES.len() as u32 {
+                let (gj, cj) = (
+                    grown.get(EntityId(j)).unwrap(),
+                    cold.get(EntityId(j)).unwrap(),
+                );
+                assert_eq!(g.key_jaro_winkler(gj), c.key_jaro_winkler(cj));
+                assert_eq!(g.author_score(gj), c.author_score(cj));
+                assert_eq!(g.ngram_jaccard(gj), c.ngram_jaccard(cj));
+            }
+        }
+    }
+
+    #[test]
+    fn extend_from_weights_new_entities_with_current_corpus() {
+        let prefix = name_dataset(&NAMES[..3]);
+        let full = name_dataset(&NAMES);
+        let mut grown =
+            FeatureCache::build(&prefix, "author_ref", "name", FeatureConfig::default());
+        grown.extend_from(&full, "author_ref", "name");
+        let cold = FeatureCache::build(&full, "author_ref", "name", FeatureConfig::default());
+        // New entities see the grown document frequencies: their TF-IDF
+        // matches the cold rebuild exactly (old entities may keep stale
+        // weights — the documented trade-off).
+        for i in 3..NAMES.len() as u32 {
+            let g = grown.get(EntityId(i)).unwrap();
+            let c = cold.get(EntityId(i)).unwrap();
+            for ((gt, gw), (ct, cw)) in g.tfidf.iter().zip(&c.tfidf) {
+                assert_eq!(gt, ct);
+                assert!((gw - cw).abs() < 1e-12, "entity {i}: {gw} vs {cw}");
+            }
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Jaccard similarity over token sets and character n-gram sets.
 //!
-//! The Canopy blocking algorithm (McCallum et al. [13], used by the paper
+//! The Canopy blocking algorithm (McCallum et al. \[13\], used by the paper
 //! for covering) calls for a *cheap* distance; n-gram Jaccard backed by an
 //! inverted index is the standard choice and is what `em-blocking` uses.
 

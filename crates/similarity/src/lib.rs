@@ -6,9 +6,9 @@
 //! using the JaroWinkler distance, and was discretized"). This crate
 //! provides:
 //!
-//! * the classic similarity kernels — [`jaro`] / Jaro-Winkler (the paper's
-//!   choice), [`levenshtein`] (plus Damerau), [`jaccard`] over tokens and
-//!   character n-grams, [`soundex`] phonetic codes, and corpus-weighted
+//! * the classic similarity kernels — [`jaro()`] / Jaro-Winkler (the paper's
+//!   choice), [`levenshtein()`] (plus Damerau), [`mod@jaccard`] over tokens and
+//!   character n-grams, [`soundex()`] phonetic codes, and corpus-weighted
 //!   [`tfidf`] cosine;
 //! * [`normalize`] — name normalization utilities (case folding, initials,
 //!   token splitting) shared by the blocking and data-generation crates;

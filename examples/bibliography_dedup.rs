@@ -1,16 +1,15 @@
 //! Bibliography deduplication: the full production pipeline on a
-//! generated HEPTH-style dataset.
+//! generated HEPTH-style dataset, through `em::Pipeline`.
 //!
-//! generate → canopy blocking → total cover → MLN matcher under MMP →
-//! evaluation against ground truth, with the full holistic run (feasible
-//! here thanks to exact min-cut inference) as the soundness/completeness
-//! reference.
+//! generate → (session-owned) canopy blocking → total cover → MLN
+//! matcher under each scheme → evaluation against ground truth, with the
+//! full holistic run (feasible here thanks to exact min-cut inference)
+//! as the soundness/completeness reference.
 //!
 //! Run with: `cargo run --release --example bibliography_dedup [scale]`
 
-use em_blocking::{block_dataset, BlockingConfig, SimilarityKernel};
-use em_core::evidence::Evidence;
-use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em::{Evidence, MatcherChoice, Pipeline, Scheme};
+use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_core::Matcher;
 use em_datagen::{generate, DatasetProfile};
 use em_eval::{fmt_ratio, pairwise_metrics, soundness_completeness, Table};
@@ -24,7 +23,7 @@ fn main() {
 
     // 1. Generate a synthetic bibliography with ground truth.
     let generated = generate(&DatasetProfile::hepth().scaled(scale));
-    let mut dataset = generated.dataset;
+    let dataset = generated.dataset;
     let truth = generated.truth;
     println!(
         "generated {} author references over {} papers ({} true authors)",
@@ -33,44 +32,55 @@ fn main() {
         truth.distinct_authors()
     );
 
-    // 2. Blocking: canopies over names, exact author-aware similarity,
-    //    total cover with relational boundary.
-    let blocking = block_dataset(
-        &mut dataset,
-        &BlockingConfig {
-            kernel: SimilarityKernel::AuthorName,
-            ..Default::default()
-        },
-    )
-    .expect("blocking");
-    let cover = blocking.cover;
-    println!(
-        "blocking: {} canopies → {} neighborhoods (max size {}), {} candidate pairs",
-        blocking.canopies,
-        cover.len(),
-        cover.max_size(),
-        dataset.candidate_count()
-    );
+    // 2–4. One session per scheme; each session runs the blocking
+    // pipeline (canopies over names, exact author-aware similarity,
+    // total cover with relational boundary) at build time, reusing the
+    // generator's interned feature cache.
+    let blocking = BlockingConfig {
+        kernel: SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    let mut runs: Vec<(&str, em::PairSet)> = Vec::new();
+    let mut reference_session = None;
+    for (label, scheme) in [
+        ("NO-MP", Scheme::NoMp),
+        ("SMP", Scheme::Smp),
+        ("MMP", Scheme::Mmp),
+    ] {
+        let mut session = Pipeline::new(dataset.clone())
+            .blocking(blocking.clone())
+            .features(generated.features.clone())
+            .matcher(MatcherChoice::MlnExact)
+            .scheme(scheme)
+            .build()
+            .expect("MLN under any scheme is coherent");
+        if runs.is_empty() {
+            println!(
+                "blocking: {} neighborhoods (max size {}), {} candidate pairs",
+                session.cover().len(),
+                session.cover().max_size(),
+                session.dataset().candidate_count()
+            );
+        }
+        let outcome = session.run();
+        println!("{label:<6} [{}]", outcome.stats);
+        runs.push((label, outcome.matches));
+        reference_session = Some(session);
+    }
 
-    // 3. The MLN matcher with the paper's learned weights.
-    let coauthor = dataset.relations.relation_id("coauthor").expect("coauthor");
+    // The holistic reference run over the session's annotated dataset.
+    let session = reference_session.expect("at least one session ran");
+    let coauthor = session
+        .dataset()
+        .relations
+        .relation_id("coauthor")
+        .expect("generated datasets declare coauthor");
     let matcher = MlnMatcher::new(MlnModel::paper_model(coauthor));
-
-    // 4. Run all three schemes plus the holistic reference.
-    let none = Evidence::none();
-    let runs = [
-        ("NO-MP", no_mp(&matcher, &dataset, &cover, &none).matches),
-        ("SMP", smp(&matcher, &dataset, &cover, &none).matches),
-        (
-            "MMP",
-            mmp(&matcher, &dataset, &cover, &none, &MmpConfig::default()).matches,
-        ),
-        ("FULL", matcher.match_view(&dataset.full_view(), &none)),
-    ];
+    let full = matcher.match_view(&session.dataset().full_view(), &Evidence::none());
+    runs.push(("FULL", full.clone()));
 
     // 5. Evaluate.
     let true_pairs = truth.true_pair_count();
-    let full = runs[3].1.clone();
     let mut table = Table::new(["scheme", "P", "R", "F1", "sound", "complete"]);
     for (label, matches) in &runs {
         let pr = pairwise_metrics(matches, |p| truth.is_match(p), true_pairs);

@@ -1,20 +1,22 @@
-//! Plugging a custom matcher into the framework.
+//! Plugging a custom matcher into the `em::Pipeline` front door.
 //!
 //! The framework treats matchers as black boxes: anything implementing
-//! `em_core::Matcher` can run under NO-MP and SMP (probabilistic matchers
-//! additionally unlock MMP). This example implements a small
-//! domain-specific matcher — "match when names agree at level ≥ 2 and the
-//! references cite a common paper" — validates its well-behavedness with
-//! the property harness, and runs it under SMP.
+//! `em_core::Matcher` runs under NO-MP and SMP via
+//! `MatcherChoice::Custom` (probabilistic matchers additionally unlock
+//! MMP via `MatcherChoice::CustomProbabilistic`). This example
+//! implements a small domain-specific matcher — "match when names agree
+//! at level ≥ 2 and the references cite a common paper" — validates its
+//! well-behavedness with the property harness, and runs it under SMP.
 //!
 //! Run with: `cargo run --release --example custom_matcher`
 
-use em_blocking::{block_dataset, BlockingConfig, SimilarityKernel};
+use em::{MatcherChoice, Pipeline, Scheme};
+use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_core::evidence::Evidence;
-use em_core::framework::smp;
 use em_core::properties::{check_well_behaved, CheckConfig};
 use em_core::{Matcher, PairSet, RelationId, SimLevel, View};
 use em_datagen::{generate, DatasetProfile};
+use std::sync::Arc;
 
 /// Matches level-3 pairs outright, and level-2 pairs whose papers cite a
 /// common paper; iterates nothing (a one-shot matcher), but echoes
@@ -74,24 +76,34 @@ impl Matcher for CommonCitationMatcher {
 
 fn main() {
     let generated = generate(&DatasetProfile::dblp().scaled(0.01));
-    let mut dataset = generated.dataset;
-    let blocking = block_dataset(
-        &mut dataset,
-        &BlockingConfig {
-            kernel: SimilarityKernel::AuthorName,
-            ..Default::default()
-        },
-    )
-    .expect("blocking");
+    let dataset = generated.dataset;
 
-    let matcher = CommonCitationMatcher {
+    // Relation ids are stable across blocking, so the matcher can be
+    // built before the session blocks the dataset.
+    let matcher = Arc::new(CommonCitationMatcher {
         authored: dataset.relations.relation_id("authored").expect("authored"),
         cites: dataset.relations.relation_id("cites").expect("cites"),
-    };
+    });
+
+    let mut session = Pipeline::new(dataset)
+        .blocking(BlockingConfig {
+            kernel: SimilarityKernel::AuthorName,
+            ..Default::default()
+        })
+        .features(generated.features)
+        .matcher(MatcherChoice::Custom(matcher.clone()))
+        .scheme(Scheme::Smp)
+        .build()
+        .expect("custom Type-I matcher under SMP is coherent");
 
     // The framework's guarantees require a well-behaved matcher; check it
     // before trusting the run (Definition 4 via randomized probing).
-    let report = check_well_behaved(&matcher, &dataset, &blocking.cover, &CheckConfig::default());
+    let report = check_well_behaved(
+        &*matcher,
+        session.dataset(),
+        session.cover(),
+        &CheckConfig::default(),
+    );
     println!(
         "well-behavedness: {} ({} cases, {} violations)",
         if report.is_well_behaved() {
@@ -107,21 +119,21 @@ fn main() {
     }
     assert!(report.is_well_behaved());
 
-    let out = smp(&matcher, &dataset, &blocking.cover, &Evidence::none());
+    let outcome = session.run();
     println!(
-        "SMP with {}: {} matches across {} neighborhoods ({} matcher calls)",
+        "SMP with {}: {} matches across {} neighborhoods\n[{}]",
         matcher.name(),
-        out.matches.len(),
-        blocking.cover.len(),
-        out.stats.matcher_calls
+        outcome.matches.len(),
+        session.cover().len(),
+        outcome.stats
     );
 
     // Soundness against the holistic run, as the theory promises.
-    let full = matcher.match_view(&dataset.full_view(), &Evidence::none());
-    assert!(out.matches.is_subset(&full), "SMP must be sound");
+    let full = matcher.match_view(&session.dataset().full_view(), &Evidence::none());
+    assert!(outcome.matches.is_subset(&full), "SMP must be sound");
     println!(
         "soundness vs full run ✓ ({} of {} full-run matches recovered)",
-        out.matches.intersection_len(&full),
+        outcome.matches.intersection_len(&full),
         full.len()
     );
 }

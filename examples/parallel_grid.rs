@@ -1,21 +1,19 @@
-//! Parallel execution and grid simulation (§6.3).
+//! Parallel execution and grid simulation (§6.3) through `em::Pipeline`.
 //!
-//! Runs the round-based parallel SMP/MMP over worker threads on a
-//! DBLP-style workload, verifies the result equals the sequential
-//! fixpoint (consistency), and replays the measured per-neighborhood
-//! costs onto simulated grids of increasing size — reproducing Table 1's
+//! Runs the round-based parallel SMP/MMP backend on a DBLP-style
+//! workload, verifies the result equals the sequential fixpoint
+//! (consistency), and replays the measured per-neighborhood costs onto
+//! simulated grids of increasing size — reproducing Table 1's
 //! observation that random assignment and per-round overhead keep the
 //! speedup well below the machine count.
 //!
 //! Run with: `cargo run --release --example parallel_grid [scale]`
 
-use em_blocking::{block_dataset, BlockingConfig, SimilarityKernel};
-use em_core::evidence::Evidence;
-use em_core::framework::{smp, MmpConfig};
+use em::{Backend, BackendReport, MatcherChoice, Pipeline, Scheme};
+use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_datagen::{generate, DatasetProfile};
 use em_eval::{fmt_duration, Table};
-use em_mln::{MlnMatcher, MlnModel};
-use em_parallel::{parallel_mmp, parallel_smp, simulate, GridParams, ParallelConfig};
+use em_parallel::{simulate, GridParams, ParallelConfig, RoundTrace};
 use std::time::Duration;
 
 fn main() {
@@ -25,39 +23,44 @@ fn main() {
         .unwrap_or(0.01);
 
     let generated = generate(&DatasetProfile::dblp().scaled(scale));
-    let mut dataset = generated.dataset;
-    let blocking = block_dataset(
-        &mut dataset,
-        &BlockingConfig {
-            kernel: SimilarityKernel::AuthorName,
-            ..Default::default()
-        },
-    )
-    .expect("blocking");
-    let cover = blocking.cover;
-    let coauthor = dataset.relations.relation_id("coauthor").expect("coauthor");
-    let matcher = MlnMatcher::new(MlnModel::paper_model(coauthor));
-    let none = Evidence::none();
+    let blocking = BlockingConfig {
+        kernel: SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    let workers = ParallelConfig::default().workers;
+    let build = |scheme: Scheme, backend: Backend| {
+        Pipeline::new(generated.dataset.clone())
+            .blocking(blocking.clone())
+            .features(generated.features.clone())
+            .matcher(MatcherChoice::MlnExact)
+            .scheme(scheme)
+            .backend(backend)
+            .build()
+            .expect("MLN on any backend is coherent")
+    };
+    let parallel = Backend::Parallel { workers };
+
+    let mut smp_session = build(Scheme::Smp, parallel);
     println!(
         "workload: {} refs, {} neighborhoods",
         generated.references.len(),
-        cover.len()
+        smp_session.cover().len()
     );
 
     // Parallel SMP must reach the sequential fixpoint (consistency).
-    let workers = ParallelConfig::default().workers;
-    let (parallel_out, smp_trace) = parallel_smp(
-        &matcher,
-        &dataset,
-        &cover,
-        &none,
-        &ParallelConfig { workers },
-    );
-    let sequential = smp(&matcher, &dataset, &cover, &none);
+    let parallel_out = smp_session.run();
+    let sequential = build(Scheme::Smp, Backend::Sequential).run();
     assert_eq!(
         parallel_out.matches, sequential.matches,
         "parallel SMP equals the sequential fixpoint"
     );
+    let trace_of = |outcome: &em::MatchOutcome| -> RoundTrace {
+        match &outcome.backend {
+            BackendReport::Parallel { trace, .. } => trace.clone(),
+            other => panic!("expected a parallel trace, got {other:?}"),
+        }
+    };
+    let smp_trace = trace_of(&parallel_out);
     println!(
         "parallel SMP ({} workers): {} matches in {} rounds, wall {} (sequential: {}) ✓ same output",
         workers,
@@ -67,14 +70,8 @@ fn main() {
         fmt_duration(sequential.stats.wall_time),
     );
 
-    let (_, mmp_trace) = parallel_mmp(
-        &matcher,
-        &dataset,
-        &cover,
-        &none,
-        &MmpConfig::default(),
-        &ParallelConfig { workers },
-    );
+    let mmp_out = build(Scheme::Mmp, parallel).run();
+    let mmp_trace = trace_of(&mmp_out);
 
     // Grid simulation: replay measured costs on m machines.
     let mut table = Table::new([

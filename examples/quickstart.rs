@@ -1,20 +1,21 @@
-//! Quickstart: the paper's running example (§2.1–2.2), end to end.
+//! Quickstart: the paper's running example (§2.1–2.2) through the
+//! `em::Pipeline` front door.
 //!
 //! Nine author references, coauthor edges, and the illustration weights
 //! `R1 = −5`, `R2 = +8`. Shows the three schemes diverging exactly as the
 //! paper narrates: NO-MP finds one match, SMP recovers one more through a
 //! simple message, and MMP completes the three-pair chain through maximal
-//! messages.
+//! messages — and that a session's second run warm-starts from the
+//! fixpoint.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use em_core::evidence::Evidence;
-use em_core::framework::{mmp, no_mp, smp, MmpConfig};
+use em::{Evidence, MatcherChoice, Pipeline, Scheme};
 use em_core::testing::paper_example;
-use em_core::{Matcher, ProbabilisticMatcher};
+use em_core::ProbabilisticMatcher;
 
 fn main() {
-    let (dataset, cover, matcher, _expected) = paper_example();
+    let (dataset, cover, matcher, expected) = paper_example();
     println!(
         "dataset: {} entities, {} candidate pairs, {} neighborhoods",
         dataset.entities.len(),
@@ -23,7 +24,7 @@ fn main() {
     );
 
     // The infeasible-at-scale baseline: run the matcher holistically.
-    let full = matcher.match_view(&dataset.full_view(), &Evidence::none());
+    let full = em_core::Matcher::match_view(&matcher, &dataset.full_view(), &Evidence::none());
     println!(
         "\nfull holistic run      → {} matches: {}",
         full.len(),
@@ -34,45 +35,48 @@ fn main() {
         matcher.log_score(&dataset.full_view(), &full)
     );
 
-    // NO-MP: independent neighborhood runs (only (c1, c2) is locally
-    // decidable, thanks to the shared coauthor d1).
-    let nomp = no_mp(&matcher, &dataset, &cover, &Evidence::none());
-    println!(
-        "\nNO-MP                  → {} matches: {}",
-        nomp.matches.len(),
-        nomp.matches
-    );
-
-    // SMP: (c1, c2) travels as a simple message and unlocks (b1, b2).
-    let smp_run = smp(&matcher, &dataset, &cover, &Evidence::none());
-    println!(
-        "SMP                    → {} matches: {} ({} messages)",
-        smp_run.matches.len(),
-        smp_run.matches,
-        smp_run.stats.messages_sent
-    );
-
-    // MMP: the three-pair chain (a1,a2),(b2,b3),(c2,c3) is an
-    // all-or-nothing cluster; maximal messages from C1 and C2 merge and
-    // get promoted when their combined score delta is non-negative.
-    let mmp_run = mmp(
-        &matcher,
-        &dataset,
-        &cover,
-        &Evidence::none(),
-        &MmpConfig::default(),
-    );
-    println!(
-        "MMP                    → {} matches: {} ({} maximal messages, {} promotions)",
-        mmp_run.matches.len(),
-        mmp_run.matches,
-        mmp_run.stats.maximal_messages_created,
-        mmp_run.stats.promotions
-    );
+    // One session per scheme. The example ships a hand-built total
+    // cover, so `.cover(...)` skips the blocking stage; see
+    // `bibliography_dedup` for a session that blocks its own dataset.
+    let schemes = [
+        ("NO-MP", Scheme::NoMp),
+        ("SMP", Scheme::Smp),
+        ("MMP", Scheme::Mmp),
+    ];
+    let mut mmp_matches = None;
+    for (label, scheme) in schemes {
+        let mut session = Pipeline::new(dataset.clone())
+            .cover(cover.clone())
+            .matcher(MatcherChoice::custom_probabilistic(matcher.clone()))
+            .scheme(scheme)
+            .build()
+            .expect("the paper example is a coherent configuration");
+        let outcome = session.run();
+        println!(
+            "{label:<6} → {} matches: {}\n          [{}]",
+            outcome.matches.len(),
+            outcome.matches,
+            outcome.stats
+        );
+        if scheme == Scheme::Mmp {
+            // A session is resumable: re-running warm-starts from the
+            // fixpoint — same output, and every pair already decided.
+            let again = session.run();
+            assert!(again.warm_started);
+            assert_eq!(again.matches, outcome.matches);
+            println!(
+                "          warm re-run reproduces the fixpoint ({} active pairs evaluated)",
+                again.stats.active_pairs_evaluated
+            );
+            mmp_matches = Some(outcome.matches);
+        }
+    }
 
     assert_eq!(
-        mmp_run.matches, full,
+        mmp_matches.expect("MMP ran"),
+        full,
         "MMP reproduces the full run on the paper's example"
     );
+    assert_eq!(full, expected);
     println!("\nMMP output == full holistic run ✓ (sound and complete)");
 }

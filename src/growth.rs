@@ -1,0 +1,409 @@
+//! Dataset growth batches: the delta a [`crate::MatchSession`] ingests.
+//!
+//! A [`DatasetGrowth`] is a self-contained description of *new* data —
+//! entities with their attributes, relation tuples (which may connect
+//! new entities to existing ones), and optional pre-annotated candidate
+//! pairs — that [`crate::MatchSession::extend`] applies to the session's
+//! dataset before re-blocking the delta and warm-starting the matcher.
+//!
+//! Two ways to build one:
+//!
+//! * programmatically, with [`DatasetGrowth::add_entity`] /
+//!   [`DatasetGrowth::add_tuple`] — the "records arriving from
+//!   production traffic" shape;
+//! * by [`DatasetGrowth::carve`]-ing an entity-id range out of a
+//!   *template* dataset — the shape the growth experiments and the
+//!   warm-start equivalence gates use: carving `0..n1`, `n1..n2`,
+//!   `n2..len` and applying the batches in order reproduces the
+//!   template byte-for-byte (same entity ids, same interned type /
+//!   attribute / relation ids), so a session grown in steps can be
+//!   compared against a cold run over the whole template.
+
+use em_core::{Dataset, EntityId, Pair, SimLevel};
+use std::ops::Range;
+
+/// A reference to an entity from inside a growth batch: either one that
+/// already exists in the dataset being grown, or one of the batch's own
+/// new entities by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthRef {
+    /// An entity already present before this batch is applied.
+    Existing(EntityId),
+    /// The `i`-th entity of this batch (0-based).
+    New(usize),
+}
+
+/// One new entity: its type name and `(attribute, value)` pairs.
+#[derive(Debug, Clone)]
+pub struct GrowthEntity {
+    /// Entity type name (interned on apply).
+    pub ty: String,
+    /// Attribute values, in the order they are set.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// One new relation tuple.
+#[derive(Debug, Clone)]
+pub struct GrowthTuple {
+    /// Relation name (declared on apply if new).
+    pub relation: String,
+    /// Whether the relation is symmetric (must agree with an existing
+    /// declaration).
+    pub symmetric: bool,
+    /// First endpoint (source, for directed relations).
+    pub a: GrowthRef,
+    /// Second endpoint.
+    pub b: GrowthRef,
+}
+
+/// A batch of new data to grow a dataset (and a session) with.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetGrowth {
+    /// Entity type names to intern up front, in id order. Carved batches
+    /// list the template's full vocabulary so interned ids match the
+    /// template no matter where the carve boundary falls.
+    pub types: Vec<String>,
+    /// Attribute names to intern up front, in id order.
+    pub attrs: Vec<String>,
+    /// Relations to declare up front, in id order, with symmetry flags.
+    pub relations: Vec<(String, bool)>,
+    /// The new entities.
+    pub entities: Vec<GrowthEntity>,
+    /// New relation tuples (endpoints may be existing or new entities).
+    pub tuples: Vec<GrowthTuple>,
+    /// Pre-annotated candidate pairs with similarity levels. Usually
+    /// empty — blocking annotates candidates — but carving an already
+    /// annotated template preserves its annotations.
+    pub similar: Vec<(GrowthRef, GrowthRef, SimLevel)>,
+}
+
+impl DatasetGrowth {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the batch holds no entities, tuples, or annotations.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty() && self.tuples.is_empty() && self.similar.is_empty()
+    }
+
+    /// Whether any tuple or annotation links two *existing* entities.
+    ///
+    /// Append-only batches (every edge touches at least one new entity —
+    /// what [`DatasetGrowth::carve`] produces by construction) cannot
+    /// create new ground interactions between pre-existing candidate
+    /// pairs, which is the condition under which a session may keep its
+    /// cross-run probe memos. A batch that links two existing entities
+    /// invalidates them (the session then re-probes from scratch —
+    /// correct, just not delta-cheap).
+    pub fn has_existing_link(&self) -> bool {
+        let existing_pair = |a: &GrowthRef, b: &GrowthRef| {
+            matches!(a, GrowthRef::Existing(_)) && matches!(b, GrowthRef::Existing(_))
+        };
+        self.tuples.iter().any(|t| existing_pair(&t.a, &t.b))
+            || self.similar.iter().any(|(a, b, _)| existing_pair(a, b))
+    }
+
+    /// Add a new entity; returns a [`GrowthRef::New`] handle for use in
+    /// tuples of the same batch.
+    pub fn add_entity(&mut self, ty: &str, attrs: &[(&str, &str)]) -> GrowthRef {
+        self.entities.push(GrowthEntity {
+            ty: ty.to_owned(),
+            attrs: attrs
+                .iter()
+                .map(|&(a, v)| (a.to_owned(), v.to_owned()))
+                .collect(),
+        });
+        GrowthRef::New(self.entities.len() - 1)
+    }
+
+    /// Add a relation tuple between two (existing or new) entities.
+    pub fn add_tuple(&mut self, relation: &str, symmetric: bool, a: GrowthRef, b: GrowthRef) {
+        self.tuples.push(GrowthTuple {
+            relation: relation.to_owned(),
+            symmetric,
+            a,
+            b,
+        });
+    }
+
+    /// Carve the entities with ids in `range` out of `template`, as the
+    /// batch that grows a dataset holding entities `0..range.start` to
+    /// one holding `0..range.end`.
+    ///
+    /// Relation tuples and candidate pairs are attached to the batch in
+    /// which their *higher* endpoint id lands (the first batch where both
+    /// endpoints exist). The template's full type / attribute / relation
+    /// vocabularies ride along so interned ids agree with the template
+    /// regardless of the carve boundaries.
+    ///
+    /// # Panics
+    /// Panics if `range` extends past the template's entities.
+    pub fn carve(template: &Dataset, range: Range<u32>) -> Self {
+        assert!(
+            (range.end as usize) <= template.entities.len(),
+            "carve range {range:?} exceeds template ({} entities)",
+            template.entities.len()
+        );
+        let mut batch = Self {
+            types: template.entities.type_names().map(str::to_owned).collect(),
+            attrs: template.entities.attr_names().map(str::to_owned).collect(),
+            relations: template
+                .relations
+                .ids()
+                .map(|r| {
+                    (
+                        template.relations.name(r).to_owned(),
+                        template.relations.is_symmetric(r),
+                    )
+                })
+                .collect(),
+            ..Self::default()
+        };
+        let growth_ref = |e: EntityId| {
+            if e.0 < range.start {
+                GrowthRef::Existing(e)
+            } else {
+                GrowthRef::New((e.0 - range.start) as usize)
+            }
+        };
+        for id in range.clone() {
+            let e = EntityId(id);
+            batch.entities.push(GrowthEntity {
+                ty: template
+                    .entities
+                    .type_name(template.entities.entity_type(e))
+                    .to_owned(),
+                attrs: template
+                    .entities
+                    .attributes(e)
+                    .iter()
+                    .map(|(a, v)| (template.entities.attr_name(a).to_owned(), v.to_owned()))
+                    .collect(),
+            });
+        }
+        for rel in template.relations.ids() {
+            let name = template.relations.name(rel);
+            let symmetric = template.relations.is_symmetric(rel);
+            for &(a, b) in template.relations.tuples(rel) {
+                let hi = a.max(b);
+                if range.contains(&hi.0) {
+                    batch.tuples.push(GrowthTuple {
+                        relation: name.to_owned(),
+                        symmetric,
+                        a: growth_ref(a),
+                        b: growth_ref(b),
+                    });
+                }
+            }
+        }
+        let mut similar: Vec<(Pair, SimLevel)> = template
+            .candidate_pairs()
+            .filter(|(p, _)| range.contains(&p.hi().0))
+            .collect();
+        similar.sort_unstable();
+        batch.similar = similar
+            .into_iter()
+            .map(|(p, level)| (growth_ref(p.lo()), growth_ref(p.hi()), level))
+            .collect();
+        batch
+    }
+
+    /// Apply the batch to `dataset`: intern vocabularies, add the new
+    /// entities, then insert tuples and annotations. Returns the ids
+    /// assigned to the batch's new entities, in batch order.
+    ///
+    /// # Panics
+    /// Panics on a malformed batch: a [`GrowthRef::New`] out of range, a
+    /// [`GrowthRef::Existing`] id the dataset does not have, or a
+    /// relation re-declared with different symmetry.
+    pub fn apply(&self, dataset: &mut Dataset) -> Vec<EntityId> {
+        for ty in &self.types {
+            dataset.entities.intern_type(ty);
+        }
+        for attr in &self.attrs {
+            dataset.entities.intern_attr(attr);
+        }
+        for (name, symmetric) in &self.relations {
+            dataset.relations.declare(name, *symmetric);
+        }
+        let mut new_ids = Vec::with_capacity(self.entities.len());
+        for entity in &self.entities {
+            let ty = dataset.entities.intern_type(&entity.ty);
+            let id = dataset.entities.add_entity(ty);
+            for (attr, value) in &entity.attrs {
+                let attr = dataset.entities.intern_attr(attr);
+                dataset.entities.set_attr(id, attr, value.clone());
+            }
+            new_ids.push(id);
+        }
+        let entity_count = dataset.entities.len();
+        let resolve = |r: GrowthRef| -> EntityId {
+            match r {
+                GrowthRef::Existing(e) => {
+                    assert!(
+                        e.index() < entity_count,
+                        "growth references unknown entity {e}"
+                    );
+                    e
+                }
+                GrowthRef::New(i) => *new_ids
+                    .get(i)
+                    .unwrap_or_else(|| panic!("growth references missing batch entity {i}")),
+            }
+        };
+        for tuple in &self.tuples {
+            let rel = dataset.relations.declare(&tuple.relation, tuple.symmetric);
+            dataset
+                .relations
+                .add_tuple(rel, resolve(tuple.a), resolve(tuple.b));
+        }
+        for &(a, b, level) in &self.similar {
+            dataset.set_similar(Pair::new(resolve(a), resolve(b)), level);
+        }
+        new_ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> Dataset {
+        let mut ds = Dataset::new();
+        let author = ds.entities.intern_type("author_ref");
+        let paper = ds.entities.intern_type("paper");
+        let name = ds.entities.intern_attr("name");
+        for i in 0..4 {
+            let e = ds.entities.add_entity(author);
+            ds.entities.set_attr(e, name, format!("author {i}"));
+        }
+        let p = ds.entities.add_entity(paper);
+        let authored = ds.relations.declare("authored", false);
+        let co = ds.relations.declare("coauthor", true);
+        ds.relations.add_tuple(authored, EntityId(0), p);
+        ds.relations.add_tuple(authored, EntityId(3), p);
+        ds.relations.add_tuple(co, EntityId(0), EntityId(3));
+        ds.set_similar(Pair::new(EntityId(0), EntityId(1)), SimLevel(2));
+        ds.set_similar(Pair::new(EntityId(2), EntityId(3)), SimLevel(3));
+        ds
+    }
+
+    fn datasets_equal(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.entities.len(), b.entities.len());
+        for e in a.entities.ids() {
+            assert_eq!(
+                a.entities.type_name(a.entities.entity_type(e)),
+                b.entities.type_name(b.entities.entity_type(e)),
+                "{e}"
+            );
+            let attrs_a: Vec<(&str, &str)> = a
+                .entities
+                .attributes(e)
+                .iter()
+                .map(|(id, v)| (a.entities.attr_name(id), v))
+                .collect();
+            let attrs_b: Vec<(&str, &str)> = b
+                .entities
+                .attributes(e)
+                .iter()
+                .map(|(id, v)| (b.entities.attr_name(id), v))
+                .collect();
+            assert_eq!(attrs_a, attrs_b, "{e}");
+        }
+        let rels_a: Vec<_> = a.relations.ids().map(|r| a.relations.name(r)).collect();
+        let rels_b: Vec<_> = b.relations.ids().map(|r| b.relations.name(r)).collect();
+        assert_eq!(rels_a, rels_b);
+        for r in a.relations.ids() {
+            assert_eq!(a.relations.tuples(r), b.relations.tuples(r));
+        }
+        let mut sim_a: Vec<_> = a.candidate_pairs().collect();
+        let mut sim_b: Vec<_> = b.candidate_pairs().collect();
+        sim_a.sort_unstable();
+        sim_b.sort_unstable();
+        assert_eq!(sim_a, sim_b);
+    }
+
+    #[test]
+    fn carving_in_batches_reproduces_the_template() {
+        let template = template();
+        let n = template.entities.len() as u32;
+        let full: Vec<std::ops::Range<u32>> = std::iter::once(0..n).collect();
+        for cuts in [full, vec![0..2, 2..n], vec![0..1, 1..4, 4..n]] {
+            let mut grown = Dataset::new();
+            for range in cuts {
+                let batch = DatasetGrowth::carve(&template, range.clone());
+                let ids = batch.apply(&mut grown);
+                assert_eq!(ids.len(), range.len());
+                assert_eq!(
+                    ids.first().map(|e| e.0),
+                    (!ids.is_empty()).then_some(range.start)
+                );
+            }
+            datasets_equal(&template, &grown);
+        }
+    }
+
+    #[test]
+    fn tuples_land_in_the_batch_of_their_higher_endpoint() {
+        let template = template();
+        // The authored(e3, e4) and coauthor(e0, e3) tuples have their high
+        // endpoint at ids 4 and 3.
+        let first = DatasetGrowth::carve(&template, 0..4);
+        assert!(first
+            .tuples
+            .iter()
+            .any(|t| t.relation == "coauthor" && t.b == GrowthRef::New(3)));
+        assert!(!first.tuples.iter().any(|t| t.relation == "authored"));
+        let second = DatasetGrowth::carve(&template, 4..5);
+        assert_eq!(
+            second
+                .tuples
+                .iter()
+                .filter(|t| t.relation == "authored")
+                .count(),
+            2
+        );
+        assert!(second
+            .tuples
+            .iter()
+            .all(|t| matches!(t.b, GrowthRef::New(0))));
+    }
+
+    #[test]
+    fn programmatic_batches_connect_new_to_existing() {
+        let mut ds = template();
+        let before = ds.entities.len();
+        let mut batch = DatasetGrowth::new();
+        let fresh = batch.add_entity("author_ref", &[("name", "author 9")]);
+        batch.add_tuple("coauthor", true, GrowthRef::Existing(EntityId(1)), fresh);
+        let ids = batch.apply(&mut ds);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ds.entities.len(), before + 1);
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        assert!(ds.relations.has_tuple(co, EntityId(1), ids[0]));
+        assert_eq!(ds.entities.attr(ids[0], "name"), Some("author 9"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing batch entity")]
+    fn dangling_new_ref_panics() {
+        let mut ds = template();
+        let mut batch = DatasetGrowth::new();
+        batch.add_tuple(
+            "coauthor",
+            true,
+            GrowthRef::Existing(EntityId(0)),
+            GrowthRef::New(7),
+        );
+        batch.apply(&mut ds);
+    }
+
+    #[test]
+    #[should_panic(expected = "carve range")]
+    fn carve_past_the_template_panics() {
+        let template = template();
+        let _ = DatasetGrowth::carve(&template, 0..99);
+    }
+}

@@ -1,3 +1,70 @@
-//! Umbrella crate re-exporting the collective entity matching workspace.
-//! See README.md; real content arrives with the examples and tests.
+//! # em — large-scale collective entity matching, behind one front door
+//!
+//! Umbrella crate for the workspace reproducing *"Large-Scale Collective
+//! Entity Matching"* (Rastogi, Dalvi, Garofalakis; PVLDB 4(4), 2011),
+//! grown into a session-owning library: callers submit datasets and
+//! growth deltas, not orchestration scripts.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use em::{Backend, MatcherChoice, Pipeline, Scheme};
+//! use em_core::testing::paper_example;
+//!
+//! // The paper's running example ships with a hand-built total cover,
+//! // so this session skips blocking; datasets without a cover get the
+//! // canopy blocking pipeline run for them at build() (see
+//! // `Pipeline::blocking`).
+//! let (dataset, cover, matcher, expected) = paper_example();
+//! let mut session = Pipeline::new(dataset)
+//!     .cover(cover)
+//!     .matcher(MatcherChoice::custom_probabilistic(matcher))
+//!     .scheme(Scheme::Mmp)
+//!     .backend(Backend::Sequential)
+//!     .build()
+//!     .expect("coherent configuration");
+//! let outcome = session.run();
+//! assert_eq!(outcome.matches, expected);
+//!
+//! // Runs are resumable: a second run warm-starts from the fixpoint.
+//! let again = session.run();
+//! assert!(again.warm_started);
+//! assert_eq!(again.matches, expected);
+//! ```
+//!
+//! The builder validates incoherent combinations into typed
+//! [`PipelineError`]s, and [`MatchSession::extend`] grows the dataset
+//! incrementally — re-blocking only the delta and warm-starting the next
+//! run from the previous fixpoint. See [`pipeline`] for the full tour.
+//!
+//! ## Workspace map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`em_core`] (re-exported as [`core`]) | data model, matcher traits, the framework engines |
+//! | [`em_blocking`] | canopy blocking → total covers |
+//! | [`em_similarity`] | interned feature cache + similarity kernels |
+//! | [`em_mln`], [`em_rules`] | the paper's MLN and RULES matchers |
+//! | [`em_parallel`] | round-based parallel executor + grid simulator |
+//! | [`em_shard`] | epoch-fenced sharded runtime |
+
+#![warn(missing_docs)]
+
+pub mod growth;
+pub mod pipeline;
+
+pub use growth::{DatasetGrowth, GrowthEntity, GrowthRef, GrowthTuple};
+pub use pipeline::{
+    Backend, BackendReport, MatchOutcome, MatchSession, MatcherChoice, Pipeline, PipelineError,
+    Scheme, SplitPolicy, StageTimings,
+};
+
 pub use em_core as core;
+
+// The pieces a Pipeline caller configures or consumes, re-exported so
+// `em` alone is enough for most programs.
+pub use em_blocking::{BlockingConfig, SimilarityKernel};
+pub use em_core::framework::RunStats;
+pub use em_core::{Cover, Dataset, EntityId, Evidence, Pair, PairSet, SimLevel};
+pub use em_shard::{ShardPlan, ShardReport};
+pub use em_similarity::FeatureCache;

@@ -1,0 +1,959 @@
+//! The front door: a typed [`Pipeline`] builder producing a resumable
+//! [`MatchSession`].
+//!
+//! The framework is one abstraction — run a black-box matcher on a
+//! cover, pass messages — but the workspace grew four divergent surfaces
+//! for it (the sequential free functions, the round-based parallel
+//! executor, the sharded runtime, and per-binary hand-wiring of feature
+//! cache → blocking → cover → matcher). This module folds them behind a
+//! single builder:
+//!
+//! ```text
+//! Pipeline::new(dataset)
+//!     .blocking(BlockingConfig)      // or .cover(prebuilt_total_cover)
+//!     .matcher(MatcherChoice)        // MLN (exact | walksat), RULES, custom
+//!     .scheme(Scheme)                // NoMp | Smp | Mmp
+//!     .backend(Backend)              // Sequential | Parallel | Sharded
+//!     .incremental(bool)             // MMP probe replay
+//!     .memo_capacity(usize)          // probe-memo LRU bound
+//!     .build()?                      // validates → MatchSession
+//! ```
+//!
+//! [`Pipeline::build`] validates the combination (every incoherent combo
+//! is a typed [`PipelineError`]) and pays the per-dataset costs once:
+//! feature interning, blocking, the [`DependencyIndex`], and — for the
+//! sharded backend — the [`ShardPlan`]. The resulting session owns that
+//! state across runs, which is what makes two things natural that the
+//! one-shot surfaces could not express:
+//!
+//! * **warm starts** — [`MatchSession::extend`] ingests a
+//!   [`DatasetGrowth`] batch, re-blocks only the delta (feature
+//!   interning and pair scoring are incremental; see the equivalence
+//!   notes there), and the next [`MatchSession::run`] seeds the matcher
+//!   with the previous fixpoint, so almost every candidate pair is
+//!   already decided and MMP's conditioned probes collapse to the
+//!   genuinely new ones. For exact supermodular matchers the result is
+//!   byte-identical to a cold run over the grown dataset (gated in CI);
+//! * **measured-cost re-planning** — a sharded session feeds each run's
+//!   measured per-neighborhood busy times back into the LPT balancer
+//!   ([`ShardPlan::replan_from`]), so the second run is balanced by what
+//!   the matcher actually cost instead of an estimate.
+
+use crate::growth::DatasetGrowth;
+use em_blocking::{block_dataset_session, BlockingConfig, SimilarityKernel};
+use em_core::framework::{no_mp_baseline, MmpConfig, MmpDriver, RunStats, SmpDriver, WarmStart};
+use em_core::{
+    Cover, Dataset, DependencyIndex, Evidence, MatchOutput, Matcher, PairCache, PairSet,
+    ProbabilisticMatcher,
+};
+use em_mln::{InferenceBackend, LocalSearchParams, MlnMatcher, MlnModel};
+use em_parallel::{execute_mmp, execute_no_mp, execute_smp, ParallelConfig, RoundTrace};
+use em_rules::{paper_rules, RulesMatcher};
+use em_shard::{estimate_costs, shard_mmp_planned, shard_smp_planned, ShardPlan, ShardReport};
+use em_similarity::{FeatureCache, FeatureConfig};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use em_shard::SplitPolicy;
+
+/// Which message-passing scheme a session runs (§5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// Independent neighborhood runs, no messages (the NO-MP baseline).
+    NoMp,
+    /// Simple message passing (Algorithm 1).
+    Smp,
+    /// Maximal message passing (Algorithms 2 + 3); needs a
+    /// probabilistic matcher.
+    #[default]
+    Mmp,
+}
+
+/// Which execution backend drives the scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// One delta-driven driver on the calling thread.
+    #[default]
+    Sequential,
+    /// The round-based parallel executor (§6.3).
+    Parallel {
+        /// Worker threads per round.
+        workers: usize,
+    },
+    /// The epoch-fenced sharded runtime (`em-shard`).
+    Sharded {
+        /// Shard count (one driver thread each).
+        shards: usize,
+        /// What to do with evidence components too big to balance.
+        split_policy: SplitPolicy,
+    },
+}
+
+/// Which matcher the session runs.
+///
+/// The named variants are the paper's matchers, instantiated against the
+/// session's dataset at [`Pipeline::build`] (both require a `coauthor`
+/// relation). The `Custom*` variants accept any black-box matcher; the
+/// builder then cannot see its inference properties, so the
+/// exact-inference validations ([`PipelineError::IncrementalNeedsExact`],
+/// [`PipelineError::ShardedMmpNeedsExact`]) become the caller's
+/// responsibility.
+#[derive(Clone, Default)]
+pub enum MatcherChoice {
+    /// The paper's MLN matcher (Appendix B weights) with exact min-cut
+    /// inference.
+    #[default]
+    MlnExact,
+    /// The MLN matcher with the MaxWalkSAT-style local-search backend
+    /// (what Alchemy runs). Approximate: probe results are not
+    /// component-factorizable, so incremental MMP and the sharded MMP
+    /// equality guarantee do not apply.
+    MlnWalksat,
+    /// The paper's RULES matcher (Appendix C) with final transitive
+    /// closure. Type-I: supports NO-MP and SMP only.
+    Rules,
+    /// Any Type-I matcher.
+    Custom(Arc<dyn Matcher + Send + Sync>),
+    /// Any Type-II (probabilistic) matcher.
+    CustomProbabilistic(Arc<dyn ProbabilisticMatcher + Send + Sync>),
+}
+
+impl MatcherChoice {
+    /// Wrap a concrete Type-I matcher.
+    pub fn custom<M: Matcher + Send + Sync + 'static>(matcher: M) -> Self {
+        MatcherChoice::Custom(Arc::new(matcher))
+    }
+
+    /// Wrap a concrete Type-II matcher.
+    pub fn custom_probabilistic<M: ProbabilisticMatcher + Send + Sync + 'static>(
+        matcher: M,
+    ) -> Self {
+        MatcherChoice::CustomProbabilistic(Arc::new(matcher))
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            MatcherChoice::MlnExact => "mln-exact",
+            MatcherChoice::MlnWalksat => "mln-walksat",
+            MatcherChoice::Rules => "rules",
+            MatcherChoice::Custom(_) => "custom",
+            MatcherChoice::CustomProbabilistic(_) => "custom-probabilistic",
+        }
+    }
+}
+
+impl fmt::Debug for MatcherChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a [`Pipeline`] cannot be built.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// [`Scheme::Mmp`] with a Type-I matcher: maximal messages need
+    /// conditioned probes and a global score, which only a
+    /// [`ProbabilisticMatcher`] provides.
+    MmpNeedsProbabilistic {
+        /// The offending matcher choice.
+        matcher: &'static str,
+    },
+    /// Incremental MMP probe replay is only sound for exact inference:
+    /// MaxWalkSAT probe results are not component-factorizable, so
+    /// `MlnWalksat` + `incremental(true)` under MMP would silently
+    /// diverge from the full recompute. Turn `incremental` off for the
+    /// faithful walksat arm.
+    IncrementalNeedsExact,
+    /// The sharded MMP runtime's byte-identical-to-sequential guarantee
+    /// (promotion against a lagged replica) needs exact supermodular
+    /// inference; `MlnWalksat` cannot provide it.
+    ShardedMmpNeedsExact,
+    /// NO-MP exchanges no messages, so the epoch-fenced sharded runtime
+    /// has nothing to do for it; use [`Backend::Parallel`] to spread
+    /// independent neighborhood runs over threads.
+    ShardedNoMp,
+    /// [`Backend::Parallel`] with zero workers.
+    ZeroWorkers,
+    /// [`Backend::Sharded`] with zero shards.
+    ZeroShards,
+    /// A probe-memo capacity of zero can hold nothing; use
+    /// `usize::MAX` for "unbounded" (the default).
+    ZeroMemoCapacity,
+    /// A named matcher needs a relation the dataset does not declare
+    /// (the paper's MLN and RULES matchers ground over `coauthor`).
+    MissingRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// A caller-provided cover failed total-cover validation against the
+    /// dataset (Definition 7: some tuple or candidate pair is contained
+    /// in no neighborhood).
+    InvalidCover(em_core::Error),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::MmpNeedsProbabilistic { matcher } => write!(
+                f,
+                "Scheme::Mmp needs a probabilistic (Type-II) matcher; {matcher} is Type-I"
+            ),
+            PipelineError::IncrementalNeedsExact => write!(
+                f,
+                "incremental MMP probe replay is only sound for exact inference; \
+                 use .incremental(false) with MatcherChoice::MlnWalksat"
+            ),
+            PipelineError::ShardedMmpNeedsExact => write!(
+                f,
+                "sharded MMP's byte-identical guarantee needs exact inference; \
+                 MatcherChoice::MlnWalksat cannot run under Backend::Sharded + Scheme::Mmp"
+            ),
+            PipelineError::ShardedNoMp => write!(
+                f,
+                "NO-MP has no messages to exchange; use Backend::Parallel instead of \
+                 Backend::Sharded"
+            ),
+            PipelineError::ZeroWorkers => write!(f, "Backend::Parallel needs at least one worker"),
+            PipelineError::ZeroShards => write!(f, "Backend::Sharded needs at least one shard"),
+            PipelineError::ZeroMemoCapacity => write!(
+                f,
+                "memo_capacity 0 can hold nothing; use usize::MAX for unbounded"
+            ),
+            PipelineError::MissingRelation { relation } => write!(
+                f,
+                "the chosen matcher grounds over the {relation:?} relation, which the \
+                 dataset does not declare"
+            ),
+            PipelineError::InvalidCover(e) => write!(f, "provided cover is not total: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The session's matcher, instantiated at build time.
+enum SessionMatcher {
+    Mln(MlnMatcher),
+    Rules(RulesMatcher),
+    Custom(Arc<dyn Matcher + Send + Sync>),
+    CustomProb(Arc<dyn ProbabilisticMatcher + Send + Sync>),
+}
+
+impl SessionMatcher {
+    fn as_matcher(&self) -> &(dyn Matcher + Sync) {
+        match self {
+            SessionMatcher::Mln(m) => m,
+            SessionMatcher::Rules(m) => m,
+            SessionMatcher::Custom(m) => &**m,
+            SessionMatcher::CustomProb(m) => &**m,
+        }
+    }
+
+    fn as_probabilistic(&self) -> Option<&(dyn ProbabilisticMatcher + Sync)> {
+        match self {
+            SessionMatcher::Mln(m) => Some(m),
+            SessionMatcher::CustomProb(m) => Some(&**m),
+            SessionMatcher::Rules(_) | SessionMatcher::Custom(_) => None,
+        }
+    }
+}
+
+/// Typed builder for a [`MatchSession`]. See the [module docs](self)
+/// for the shape; every method is cheap — all real work happens in
+/// [`Pipeline::build`].
+#[derive(Debug)]
+pub struct Pipeline {
+    dataset: Dataset,
+    blocking: BlockingConfig,
+    cover: Option<Cover>,
+    features: Option<FeatureCache>,
+    matcher: MatcherChoice,
+    scheme: Scheme,
+    backend: Backend,
+    incremental: bool,
+    memo_capacity: usize,
+    evidence: Evidence,
+}
+
+impl Pipeline {
+    /// Start a pipeline over `dataset`. The dataset needs no similarity
+    /// annotations — [`Pipeline::build`] runs the blocking pipeline —
+    /// unless a pre-built cover is supplied with [`Pipeline::cover`].
+    pub fn new(dataset: Dataset) -> Self {
+        Self {
+            dataset,
+            blocking: BlockingConfig::default(),
+            cover: None,
+            features: None,
+            matcher: MatcherChoice::default(),
+            scheme: Scheme::default(),
+            backend: Backend::default(),
+            incremental: true,
+            memo_capacity: usize::MAX,
+            evidence: Evidence::none(),
+        }
+    }
+
+    /// Configure the blocking pipeline (canopies → similarity annotation
+    /// → total cover) that [`Pipeline::build`] runs. Ignored when a
+    /// cover is supplied with [`Pipeline::cover`].
+    pub fn blocking(mut self, config: BlockingConfig) -> Self {
+        self.blocking = config;
+        self
+    }
+
+    /// Use a pre-built total cover instead of running blocking. The
+    /// dataset must already carry its candidate-pair annotations; the
+    /// cover is validated (Definition 7) at build time. Sessions built
+    /// this way manage no blocking state, so they cannot
+    /// [`MatchSession::extend`].
+    pub fn cover(mut self, cover: Cover) -> Self {
+        self.cover = Some(cover);
+        self
+    }
+
+    /// Reuse a pre-built [`FeatureCache`] (e.g. the one `em-datagen`
+    /// interns at render time) instead of re-tokenizing the corpus at
+    /// build time. Ignored if its n-gram size disagrees with the
+    /// blocking configuration.
+    pub fn features(mut self, features: FeatureCache) -> Self {
+        self.features = Some(features);
+        self
+    }
+
+    /// Choose the matcher (default: the paper's MLN with exact
+    /// inference).
+    pub fn matcher(mut self, matcher: MatcherChoice) -> Self {
+        self.matcher = matcher;
+        self
+    }
+
+    /// Choose the message-passing scheme (default: [`Scheme::Mmp`]).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Choose the execution backend (default: [`Backend::Sequential`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Toggle incremental MMP probe replay (default on; see
+    /// [`MmpConfig::incremental`]). Must be off for approximate
+    /// inference ([`MatcherChoice::MlnWalksat`]).
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Bound the total memoized probe entries kept across
+    /// neighborhoods (default unbounded; see [`MmpConfig::memo_capacity`]).
+    pub fn memo_capacity(mut self, capacity: usize) -> Self {
+        self.memo_capacity = capacity;
+        self
+    }
+
+    /// Seed the session with caller-supplied evidence (known matches /
+    /// known non-matches), applied to every run.
+    pub fn evidence(mut self, evidence: Evidence) -> Self {
+        self.evidence = evidence;
+        self
+    }
+
+    /// Validate the configuration and assemble the session: run (or
+    /// validate) blocking, instantiate the matcher, build the
+    /// [`DependencyIndex`] and — for the sharded backend — the initial
+    /// estimate-based [`ShardPlan`].
+    pub fn build(self) -> Result<MatchSession, PipelineError> {
+        let Pipeline {
+            mut dataset,
+            blocking,
+            cover,
+            features,
+            matcher,
+            scheme,
+            backend,
+            incremental,
+            memo_capacity,
+            evidence,
+        } = self;
+
+        // --- combination validation (every arm is a typed error) ---
+        match backend {
+            Backend::Parallel { workers: 0 } => return Err(PipelineError::ZeroWorkers),
+            Backend::Sharded { shards: 0, .. } => return Err(PipelineError::ZeroShards),
+            Backend::Sharded { .. } if scheme == Scheme::NoMp => {
+                return Err(PipelineError::ShardedNoMp)
+            }
+            _ => {}
+        }
+        if memo_capacity == 0 {
+            return Err(PipelineError::ZeroMemoCapacity);
+        }
+        if scheme == Scheme::Mmp {
+            match &matcher {
+                MatcherChoice::Rules | MatcherChoice::Custom(_) => {
+                    return Err(PipelineError::MmpNeedsProbabilistic {
+                        matcher: matcher.label(),
+                    })
+                }
+                MatcherChoice::MlnWalksat => {
+                    if incremental {
+                        return Err(PipelineError::IncrementalNeedsExact);
+                    }
+                    if matches!(backend, Backend::Sharded { .. }) {
+                        return Err(PipelineError::ShardedMmpNeedsExact);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // --- blocking (or cover validation) ---
+        let block_start = Instant::now();
+        let scores = PairCache::new();
+        let (cover, features, cover_managed) = match cover {
+            Some(cover) => {
+                cover
+                    .validate_total(&dataset)
+                    .map_err(PipelineError::InvalidCover)?;
+                (cover, None, false)
+            }
+            None => {
+                let built;
+                let shared = match &features {
+                    Some(f) if f.config().ngram == blocking.canopy.ngram => f,
+                    _ => {
+                        built = FeatureCache::build(
+                            &dataset,
+                            &blocking.entity_type,
+                            &blocking.key_attr,
+                            FeatureConfig {
+                                ngram: blocking.canopy.ngram,
+                            },
+                        );
+                        &built
+                    }
+                };
+                let out =
+                    block_dataset_session(&mut dataset, &blocking, Some(shared), Some(&scores))
+                        .expect("blocking pipeline produces a valid total cover");
+                let features = shared.clone();
+                (out.cover, Some(features), true)
+            }
+        };
+        let blocking_time = block_start.elapsed();
+
+        // --- matcher instantiation ---
+        let matcher = match matcher {
+            MatcherChoice::MlnExact | MatcherChoice::MlnWalksat => {
+                let coauthor = dataset.relations.relation_id("coauthor").ok_or_else(|| {
+                    PipelineError::MissingRelation {
+                        relation: "coauthor".to_owned(),
+                    }
+                })?;
+                let model = MlnModel::paper_model(coauthor);
+                SessionMatcher::Mln(match matcher {
+                    MatcherChoice::MlnWalksat => MlnMatcher::with_backend(
+                        model,
+                        InferenceBackend::LocalSearch(LocalSearchParams::default()),
+                    ),
+                    _ => MlnMatcher::new(model),
+                })
+            }
+            MatcherChoice::Rules => SessionMatcher::Rules(
+                RulesMatcher::new(paper_rules()).with_transitive_closure(true),
+            ),
+            MatcherChoice::Custom(m) => SessionMatcher::Custom(m),
+            MatcherChoice::CustomProbabilistic(m) => SessionMatcher::CustomProb(m),
+        };
+
+        // --- long-lived scheduling state ---
+        let plan_start = Instant::now();
+        let index = DependencyIndex::build(&dataset, &cover);
+        let plan = match backend {
+            Backend::Sharded {
+                shards,
+                split_policy,
+            } => Some(ShardPlan::build(
+                &index,
+                shards,
+                &estimate_costs(&dataset, &cover),
+                split_policy,
+            )),
+            _ => None,
+        };
+        let planning_time = plan_start.elapsed();
+
+        Ok(MatchSession {
+            dataset,
+            blocking,
+            scheme,
+            backend,
+            mmp_config: MmpConfig {
+                incremental,
+                memo_capacity,
+                ..Default::default()
+            },
+            matcher,
+            base_evidence: evidence,
+            features,
+            scores,
+            cover,
+            cover_managed,
+            index,
+            plan,
+            last_shard_report: None,
+            warm: PairSet::new(),
+            warm_state: WarmStart::new(),
+            runs: 0,
+            pending_blocking: blocking_time,
+            pending_planning: planning_time,
+        })
+    }
+}
+
+/// Per-stage wall-clock costs attributable to one [`MatchSession::run`]:
+/// the blocking and planning the session performed since the previous
+/// run (build or [`MatchSession::extend`] work), plus the matching
+/// itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Feature interning + canopy blocking + cover assembly.
+    pub blocking: Duration,
+    /// Dependency-index and shard-plan construction (including
+    /// measured-cost re-planning).
+    pub planning: Duration,
+    /// The framework run itself.
+    pub matching: Duration,
+}
+
+/// What the backend reports beyond the unified [`RunStats`].
+#[derive(Debug, Clone)]
+pub enum BackendReport {
+    /// Sequential runs have nothing extra to say.
+    Sequential,
+    /// The parallel executor's per-round evaluation trace (feeds the
+    /// grid simulator).
+    Parallel {
+        /// Worker threads used.
+        workers: usize,
+        /// Per-round, per-neighborhood measured costs.
+        trace: RoundTrace,
+    },
+    /// The sharded runtime's load/skew/makespan ledger.
+    Sharded(Box<ShardReport>),
+}
+
+/// One run's outcome: the matches plus every report the backends used
+/// to shape differently, merged into one shape.
+#[derive(Debug, Clone)]
+pub struct MatchOutcome {
+    /// The match set at fixpoint.
+    pub matches: PairSet,
+    /// Unified counters ([`RunStats::merge`] semantics across all
+    /// backends).
+    pub stats: RunStats,
+    /// Per-stage wall-clock costs attributable to this run.
+    pub timings: StageTimings,
+    /// Backend-specific report.
+    pub backend: BackendReport,
+    /// Whether this run was seeded with a previous run's fixpoint.
+    pub warm_started: bool,
+    /// 0-based index of this run within the session.
+    pub run_index: u32,
+}
+
+/// A resumable matching session: the long-lived state behind
+/// [`Pipeline`] (dataset, feature cache, pair-score cache, cover,
+/// dependency index, shard plan, and the accumulated fixpoint), with
+/// [`MatchSession::run`] to reach a fixpoint and
+/// [`MatchSession::extend`] to grow the dataset and warm-start the next
+/// one. See the [module docs](self).
+pub struct MatchSession {
+    dataset: Dataset,
+    blocking: BlockingConfig,
+    scheme: Scheme,
+    backend: Backend,
+    mmp_config: MmpConfig,
+    matcher: SessionMatcher,
+    base_evidence: Evidence,
+    /// `Some` iff the session manages its own blocking (built without
+    /// [`Pipeline::cover`]); extended incrementally on growth.
+    features: Option<FeatureCache>,
+    /// Pair scores survive re-blocking: pairs scored once are never
+    /// re-scored (exact for corpus-independent kernels).
+    scores: PairCache<f64>,
+    cover: Cover,
+    cover_managed: bool,
+    index: DependencyIndex,
+    plan: Option<ShardPlan>,
+    last_shard_report: Option<ShardReport>,
+    /// The previous run's fixpoint — next run's warm start.
+    warm: PairSet,
+    /// The previous fixpoint's message store and probe-memo bank (see
+    /// [`WarmStart`]): what lets a warm run evaluate only the
+    /// neighborhoods whose views changed and replay probes elsewhere.
+    warm_state: WarmStart,
+    runs: u32,
+    pending_blocking: Duration,
+    pending_planning: Duration,
+}
+
+impl MatchSession {
+    /// The session's dataset (with its candidate-pair annotations).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The cover the framework runs on.
+    pub fn cover(&self) -> &Cover {
+        &self.cover
+    }
+
+    /// The previous run's fixpoint (empty before the first run) — what
+    /// the next run warm-starts from.
+    pub fn warm_matches(&self) -> &PairSet {
+        &self.warm
+    }
+
+    /// Number of completed runs.
+    pub fn runs(&self) -> u32 {
+        self.runs
+    }
+
+    /// The sharded backend's current plan, if any.
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Drop the warm-start state: the next run is cold.
+    pub fn reset_warm(&mut self) {
+        self.warm = PairSet::new();
+        self.warm_state = WarmStart::new();
+    }
+
+    /// The evidence the next run will be seeded with: the caller's base
+    /// evidence plus the previous fixpoint.
+    fn run_evidence(&self) -> Evidence {
+        let mut positive = self.base_evidence.positive.clone();
+        for p in self.warm.iter() {
+            if !self.base_evidence.negative.contains(p) {
+                positive.insert(p);
+            }
+        }
+        Evidence::from_parts(positive, self.base_evidence.negative.clone())
+    }
+
+    /// Run the configured scheme on the configured backend to fixpoint.
+    ///
+    /// Re-runs reuse everything the session owns: the dependency index,
+    /// the probe memos' capacity budget, the previous fixpoint as warm
+    /// evidence, and — on the sharded backend — a plan rebalanced from
+    /// the previous run's **measured** per-neighborhood costs.
+    pub fn run(&mut self) -> MatchOutcome {
+        // Measured-cost re-planning: after a sharded run, the report's
+        // busy-time trace replaces the estimate in the LPT balancer —
+        // but only when the trace covers every neighborhood. A
+        // warm-started run skips unchanged views, so its sparse trace
+        // says nothing about most of the load; replanning from it would
+        // give the unmeasured majority the fallback cost and erase the
+        // balance history. The current plan (built from the last full
+        // measurement or the estimate) stays in force instead.
+        if let (Some(plan), Some(report)) = (&self.plan, &self.last_shard_report) {
+            if report.measured.len() == self.cover.len() {
+                let t0 = Instant::now();
+                self.plan = Some(plan.replan_from(&self.index, report));
+                self.pending_planning += t0.elapsed();
+            }
+        }
+
+        let warm_started = !self.warm.is_empty();
+        let evidence = self.run_evidence();
+        let mut warm_state = std::mem::take(&mut self.warm_state);
+        let match_start = Instant::now();
+        let (output, backend_report) = self.dispatch(&evidence, &mut warm_state);
+        let matching = match_start.elapsed();
+        self.warm_state = warm_state;
+        // Entities added after this point are "new" to the banked memos.
+        self.warm_state.entity_floor = self.dataset.entities.len() as u32;
+
+        if let BackendReport::Sharded(report) = &backend_report {
+            self.last_shard_report = Some((**report).clone());
+        }
+        self.warm = output.matches.clone();
+        let timings = StageTimings {
+            blocking: std::mem::take(&mut self.pending_blocking),
+            planning: std::mem::take(&mut self.pending_planning),
+            matching,
+        };
+        let run_index = self.runs;
+        self.runs += 1;
+        MatchOutcome {
+            matches: output.matches,
+            stats: output.stats,
+            timings,
+            backend: backend_report,
+            warm_started,
+            run_index,
+        }
+    }
+
+    fn dispatch(&self, evidence: &Evidence, warm: &mut WarmStart) -> (MatchOutput, BackendReport) {
+        let start = Instant::now();
+        match (self.scheme, self.backend) {
+            (Scheme::NoMp, Backend::Sequential) => (
+                no_mp_baseline(
+                    self.matcher.as_matcher(),
+                    &self.dataset,
+                    &self.cover,
+                    evidence,
+                ),
+                BackendReport::Sequential,
+            ),
+            (Scheme::Smp, Backend::Sequential) => {
+                let mut driver =
+                    SmpDriver::with_index(&self.dataset, &self.cover, &self.index, evidence);
+                driver.run(self.matcher.as_matcher());
+                (driver.finish(start), BackendReport::Sequential)
+            }
+            (Scheme::Mmp, Backend::Sequential) => {
+                let matcher = self.probabilistic();
+                let scorer = matcher.global_scorer(&self.dataset);
+                let mut driver = MmpDriver::with_index(
+                    &self.dataset,
+                    &self.cover,
+                    &self.index,
+                    evidence,
+                    &self.mmp_config,
+                );
+                // Cross-run warm start is the incremental path: adopt
+                // the previous fixpoint's message store, seed probe
+                // memos for neighborhoods whose view identity is
+                // unchanged, and evaluate only the changed ones (an
+                // unchanged view re-evaluated at the old fixpoint's
+                // evidence reproduces its quiescent state; its messages
+                // are already in the carried store). The first run's
+                // empty bank misses everywhere, which degenerates to the
+                // cold full worklist.
+                if self.mmp_config.incremental {
+                    let mut active: Vec<em_core::NeighborhoodId> = Vec::new();
+                    for id in self.cover.ids() {
+                        let view = self.cover.view(&self.dataset, id);
+                        match warm.bank.withdraw_grown(&view, warm.entity_floor) {
+                            // Identical view: quiescent; skip it.
+                            Some((memo, true)) => driver.seed_memo(id, memo),
+                            // Grown view: must re-evaluate, but probes in
+                            // components no new pair reaches replay.
+                            Some((memo, false)) => {
+                                driver.seed_memo(id, memo);
+                                active.push(id);
+                            }
+                            None => active.push(id),
+                        }
+                    }
+                    driver.seed_worklist(&active);
+                    driver.warm_store(std::mem::take(&mut warm.store));
+                }
+                driver.run(matcher, scorer.as_ref());
+                if self.mmp_config.incremental {
+                    warm.store = driver.take_store();
+                    driver.bank_memos(&mut warm.bank);
+                }
+                (driver.finish(start), BackendReport::Sequential)
+            }
+            (scheme, Backend::Parallel { workers }) => {
+                let config = ParallelConfig { workers };
+                let (output, trace) = match scheme {
+                    Scheme::NoMp => execute_no_mp(
+                        self.matcher.as_matcher(),
+                        &self.dataset,
+                        &self.cover,
+                        evidence,
+                        &config,
+                    ),
+                    Scheme::Smp => execute_smp(
+                        self.matcher.as_matcher(),
+                        &self.dataset,
+                        &self.cover,
+                        Some(&self.index),
+                        evidence,
+                        &config,
+                    ),
+                    Scheme::Mmp => execute_mmp(
+                        self.probabilistic(),
+                        &self.dataset,
+                        &self.cover,
+                        Some(&self.index),
+                        evidence,
+                        &self.mmp_config,
+                        &config,
+                    ),
+                };
+                (output, BackendReport::Parallel { workers, trace })
+            }
+            (scheme, Backend::Sharded { .. }) => {
+                let plan = self.plan.as_ref().expect("sharded sessions hold a plan");
+                let (output, report) = match scheme {
+                    Scheme::Smp => shard_smp_planned(
+                        self.matcher.as_matcher(),
+                        &self.dataset,
+                        &self.cover,
+                        &self.index,
+                        plan,
+                        evidence,
+                    ),
+                    Scheme::Mmp => shard_mmp_planned(
+                        self.probabilistic(),
+                        &self.dataset,
+                        &self.cover,
+                        &self.index,
+                        plan,
+                        evidence,
+                        &self.mmp_config,
+                        Some(warm),
+                    ),
+                    Scheme::NoMp => unreachable!("rejected at build time (ShardedNoMp)"),
+                };
+                (output, BackendReport::Sharded(Box::new(report)))
+            }
+        }
+    }
+
+    fn probabilistic(&self) -> &(dyn ProbabilisticMatcher + Sync) {
+        self.matcher
+            .as_probabilistic()
+            .expect("MMP sessions validate the matcher at build time")
+    }
+
+    /// Grow the session's dataset with a batch of new entities, re-block
+    /// only the delta, and arm the next [`MatchSession::run`] to
+    /// warm-start from the previous fixpoint.
+    ///
+    /// What "re-block only the delta" means concretely:
+    ///
+    /// * feature interning is incremental — only the new entities are
+    ///   tokenized ([`FeatureCache::extend_from`]);
+    /// * the cheap canopy pass re-runs over all points (it is gram-id
+    ///   merges, a tiny fraction of blocking cost), and because centers
+    ///   are visited in ascending entity-id order and growth only
+    ///   appends ids, previously formed within-canopy pairs persist;
+    /// * the expensive exact kernel runs only for pairs not in the
+    ///   session's pair-score cache — i.e. pairs involving new entities;
+    /// * the cover, [`DependencyIndex`], and shard plan are rebuilt
+    ///   (they are cheap relative to matching, and neighborhood ids are
+    ///   not stable across re-blocking — which also invalidates the
+    ///   previous run's measured-cost trace, so the next sharded run
+    ///   plans from estimates again).
+    ///
+    /// For exact supermodular matchers and corpus-independent similarity
+    /// kernels, a grown session's next run is **byte-identical** to a
+    /// cold run over the equivalent full dataset (the previous fixpoint
+    /// is contained in the grown fixpoint by view monotonicity, so
+    /// seeding it changes no decisions — only the work needed to reach
+    /// them). With the corpus-weighted
+    /// [`SimilarityKernel::TfIdfCosine`] kernel, the grown corpus
+    /// re-weights every score, so nothing carried from before the
+    /// growth is trustworthy: the session rebuilds the feature cache,
+    /// clears the score cache, and drops the warm state *including the
+    /// previous fixpoint* — the next run is cold. (Candidate-pair
+    /// levels already annotated on the dataset can still only rise —
+    /// `Dataset::set_similar` keeps the higher level — so a TF-IDF
+    /// session's dataset is not guaranteed to equal a cold build's;
+    /// prefer the corpus-independent kernels for growing sessions.)
+    ///
+    /// # Panics
+    /// Panics if the session was built with a caller-provided
+    /// [`Pipeline::cover`] (the session does not manage blocking then),
+    /// or if the growth batch is malformed (see
+    /// [`DatasetGrowth::apply`]).
+    pub fn extend(&mut self, growth: &DatasetGrowth) -> &mut Self {
+        assert!(
+            self.cover_managed,
+            "MatchSession::extend needs a blocking-managed cover; sessions built with \
+             Pipeline::cover(...) own no blocking state to re-run"
+        );
+        if growth.has_existing_link() {
+            // A batch linking two pre-existing entities can create new
+            // ground interactions between old candidate pairs, which the
+            // carried probe memos and skip-unchanged scheduling cannot
+            // see. Drop them; the next run recomputes (warm evidence is
+            // still sound — growth only adds supermodular synergy).
+            self.warm_state = WarmStart::new();
+        }
+        let block_start = Instant::now();
+        growth.apply(&mut self.dataset);
+
+        let features = self.features.as_mut().expect("blocking-managed session");
+        if self.blocking.kernel == SimilarityKernel::TfIdfCosine {
+            // Corpus-weighted kernel: the grown corpus re-weights every
+            // score, so the previous fixpoint (matched under the old
+            // weights) is not valid evidence either. Rebuild the
+            // features, drop the caches *and* the warm fixpoint — the
+            // next run is cold.
+            *features = FeatureCache::build(
+                &self.dataset,
+                &self.blocking.entity_type,
+                &self.blocking.key_attr,
+                FeatureConfig {
+                    ngram: self.blocking.canopy.ngram,
+                },
+            );
+            self.scores.clear();
+            self.warm = PairSet::new();
+            self.warm_state = WarmStart::new();
+        } else {
+            features.extend_from(
+                &self.dataset,
+                &self.blocking.entity_type,
+                &self.blocking.key_attr,
+            );
+        }
+        let out = block_dataset_session(
+            &mut self.dataset,
+            &self.blocking,
+            Some(features),
+            Some(&self.scores),
+        )
+        .expect("blocking pipeline produces a valid total cover");
+        self.cover = out.cover;
+        self.pending_blocking += block_start.elapsed();
+
+        let plan_start = Instant::now();
+        self.index = DependencyIndex::build(&self.dataset, &self.cover);
+        if let Backend::Sharded {
+            shards,
+            split_policy,
+        } = self.backend
+        {
+            // Neighborhood ids changed; the measured trace no longer
+            // applies. Plan from estimates, re-plan after the next run.
+            self.plan = Some(ShardPlan::build(
+                &self.index,
+                shards,
+                &estimate_costs(&self.dataset, &self.cover),
+                split_policy,
+            ));
+            self.last_shard_report = None;
+        }
+        self.pending_planning += plan_start.elapsed();
+        self
+    }
+}
+
+impl fmt::Debug for MatchSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatchSession")
+            .field("scheme", &self.scheme)
+            .field("backend", &self.backend)
+            .field("entities", &self.dataset.entities.len())
+            .field("candidate_pairs", &self.dataset.candidate_count())
+            .field("neighborhoods", &self.cover.len())
+            .field("runs", &self.runs)
+            .field("warm_matches", &self.warm.len())
+            .finish()
+    }
+}

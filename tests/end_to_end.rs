@@ -1,36 +1,47 @@
-//! End-to-end integration tests spanning every crate: generation →
-//! blocking → cover → matchers → framework → evaluation → parallelism.
+//! End-to-end integration tests spanning every crate through the
+//! `em::Pipeline` front door: generation → blocking → cover → matchers →
+//! framework → evaluation → parallelism.
 
+use em::{Backend, Evidence, MatcherChoice, Pipeline, Scheme};
 use em_bench::prepare;
-use em_core::evidence::Evidence;
-use em_core::framework::{mmp, no_mp, smp, MmpConfig};
 use em_core::Matcher;
 use em_eval::{pairwise_metrics, soundness_completeness, transitive_closure, upper_bound};
-use em_parallel::{parallel_mmp, parallel_smp, ParallelConfig};
+
+/// A session over an already prepared workload (dataset pre-annotated,
+/// cover pre-built — the bench harness's blocking), so per-scheme
+/// sessions don't re-block.
+fn session(w: &em_bench::Workload, scheme: Scheme, backend: Backend) -> em::MatchSession {
+    Pipeline::new(w.dataset.clone())
+        .cover(w.cover.clone())
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(scheme)
+        .backend(backend)
+        .build()
+        .expect("exact MLN is coherent on every backend")
+}
 
 #[test]
 fn hepth_pipeline_reproduces_paper_ordering() {
     let w = prepare("hepth", 0.015, Some(21));
-    let matcher = w.mln_matcher();
-    let none = Evidence::none();
-
-    let nomp = no_mp(&matcher, &w.dataset, &w.cover, &none);
-    let smp_run = smp(&matcher, &w.dataset, &w.cover, &none);
-    let mmp_run = mmp(&matcher, &w.dataset, &w.cover, &none, &MmpConfig::default());
-    let full = matcher.match_view(&w.dataset.full_view(), &none);
+    let nomp = session(&w, Scheme::NoMp, Backend::Sequential).run();
+    let smp = session(&w, Scheme::Smp, Backend::Sequential).run();
+    let mmp = session(&w, Scheme::Mmp, Backend::Sequential).run();
+    let full = w
+        .mln_matcher()
+        .match_view(&w.dataset.full_view(), &Evidence::none());
 
     // Soundness (Theorems 2 and 4): every scheme ⊆ full run.
     assert!(nomp.matches.is_subset(&full));
-    assert!(smp_run.matches.is_subset(&full));
-    assert!(mmp_run.matches.is_subset(&full));
+    assert!(smp.matches.is_subset(&full));
+    assert!(mmp.matches.is_subset(&full));
 
     // Monotone scheme ordering.
-    assert!(nomp.matches.is_subset(&smp_run.matches));
-    assert!(smp_run.matches.is_subset(&mmp_run.matches));
+    assert!(nomp.matches.is_subset(&smp.matches));
+    assert!(smp.matches.is_subset(&mmp.matches));
 
     // The paper's empirical headline: MMP is complete.
     assert_eq!(
-        mmp_run.matches, full,
+        mmp.matches, full,
         "MMP must reproduce the full holistic run"
     );
 }
@@ -38,11 +49,11 @@ fn hepth_pipeline_reproduces_paper_ordering() {
 #[test]
 fn dblp_pipeline_schemes_are_sound_and_mmp_complete() {
     let w = prepare("dblp", 0.01, Some(5));
-    let matcher = w.mln_matcher();
-    let none = Evidence::none();
-    let full = matcher.match_view(&w.dataset.full_view(), &none);
-    let mmp_run = mmp(&matcher, &w.dataset, &w.cover, &none, &MmpConfig::default());
-    let report = soundness_completeness(&mmp_run.matches, &full);
+    let full = w
+        .mln_matcher()
+        .match_view(&w.dataset.full_view(), &Evidence::none());
+    let mmp = session(&w, Scheme::Mmp, Backend::Sequential).run();
+    let report = soundness_completeness(&mmp.matches, &full);
     assert_eq!(report.soundness, 1.0);
     assert_eq!(report.completeness, 1.0);
 }
@@ -50,41 +61,68 @@ fn dblp_pipeline_schemes_are_sound_and_mmp_complete() {
 #[test]
 fn parallel_equals_sequential_on_generated_workload() {
     let w = prepare("dblp", 0.006, Some(13));
-    let matcher = w.mln_matcher();
-    let none = Evidence::none();
-    let sequential = smp(&matcher, &w.dataset, &w.cover, &none);
+    let sequential = session(&w, Scheme::Smp, Backend::Sequential).run();
     for workers in [1, 4] {
-        let (parallel, trace) = parallel_smp(
-            &matcher,
-            &w.dataset,
-            &w.cover,
-            &none,
-            &ParallelConfig { workers },
-        );
+        let parallel = session(&w, Scheme::Smp, Backend::Parallel { workers }).run();
         assert_eq!(parallel.matches, sequential.matches, "workers={workers}");
-        assert!(!trace.is_empty());
+        match parallel.backend {
+            em::BackendReport::Parallel { trace, .. } => assert!(!trace.is_empty()),
+            other => panic!("expected a parallel report, got {other:?}"),
+        }
     }
-    let sequential_mmp = mmp(&matcher, &w.dataset, &w.cover, &none, &MmpConfig::default());
-    let (parallel, _) = parallel_mmp(
-        &matcher,
-        &w.dataset,
-        &w.cover,
-        &none,
-        &MmpConfig::default(),
-        &ParallelConfig { workers: 3 },
+    let sequential_mmp = session(&w, Scheme::Mmp, Backend::Sequential).run();
+    let parallel_mmp = session(&w, Scheme::Mmp, Backend::Parallel { workers: 3 }).run();
+    assert_eq!(parallel_mmp.matches, sequential_mmp.matches);
+}
+
+#[test]
+fn sharded_session_equals_sequential_and_replans_on_rerun() {
+    let w = prepare("dblp", 0.006, Some(13));
+    let sequential = session(&w, Scheme::Mmp, Backend::Sequential).run();
+    let mut sharded = session(
+        &w,
+        Scheme::Mmp,
+        Backend::Sharded {
+            shards: 4,
+            split_policy: em::SplitPolicy::Split,
+        },
     );
-    assert_eq!(parallel.matches, sequential_mmp.matches);
+    let first = sharded.run();
+    assert_eq!(first.matches, sequential.matches);
+    let estimate_costs = sharded.shard_plan().expect("sharded session").costs.clone();
+
+    // The re-run rebalances from measured busy times and warm-starts
+    // from the fixpoint — byte-identical, and the plan really changed
+    // its cost basis.
+    let second = sharded.run();
+    assert!(second.warm_started);
+    assert_eq!(second.matches, sequential.matches);
+    let replanned_costs = &sharded.shard_plan().expect("sharded session").costs;
+    assert_ne!(
+        &estimate_costs, replanned_costs,
+        "second run must plan from measured costs, not estimates"
+    );
+    assert!(
+        second.stats.conditioned_probes <= first.stats.conditioned_probes,
+        "warm re-run cannot probe more"
+    );
 }
 
 #[test]
 fn rules_matcher_smp_is_complete_wrt_full_run() {
     // Appendix C's result: SMP with RULES matches the full run exactly.
     let w = prepare("dblp", 0.008, Some(3));
-    let matcher = w.rules_matcher();
-    let none = Evidence::none();
-    let smp_run = smp(&matcher, &w.dataset, &w.cover, &none);
-    let full = matcher.match_view(&w.dataset.full_view(), &none);
-    let report = soundness_completeness(&smp_run.matches, &full);
+    let out = Pipeline::new(w.dataset.clone())
+        .cover(w.cover.clone())
+        .matcher(MatcherChoice::Rules)
+        .scheme(Scheme::Smp)
+        .build()
+        .expect("RULES under SMP is coherent")
+        .run();
+    let full = w
+        .rules_matcher()
+        .match_view(&w.dataset.full_view(), &Evidence::none());
+    let report = soundness_completeness(&out.matches, &full);
     assert_eq!(report.soundness, 1.0, "SMP sound");
     assert_eq!(report.completeness, 1.0, "SMP complete for RULES");
 }
@@ -108,14 +146,7 @@ fn ub_bounds_the_full_run_recall() {
 #[test]
 fn closure_of_mmp_output_is_consistent_with_clusters() {
     let w = prepare("dblp", 0.006, Some(2));
-    let matcher = w.mln_matcher();
-    let out = mmp(
-        &matcher,
-        &w.dataset,
-        &w.cover,
-        &Evidence::none(),
-        &MmpConfig::default(),
-    );
+    let out = session(&w, Scheme::Mmp, Backend::Sequential).run();
     let closed = transitive_closure(&out.matches);
     assert!(out.matches.is_subset(&closed));
     // Idempotent closure.
@@ -125,17 +156,18 @@ fn closure_of_mmp_output_is_consistent_with_clusters() {
 #[test]
 fn negative_evidence_is_respected_end_to_end() {
     let w = prepare("dblp", 0.006, Some(17));
-    let matcher = w.mln_matcher();
-    let baseline = smp(&matcher, &w.dataset, &w.cover, &Evidence::none());
+    let baseline = session(&w, Scheme::Smp, Backend::Sequential).run();
     let Some(blocked) = baseline.matches.iter().next() else {
         panic!("expected at least one match");
     };
-    let negative: em_core::PairSet = [blocked].into_iter().collect();
-    let out = smp(
-        &matcher,
-        &w.dataset,
-        &w.cover,
-        &Evidence::new(em_core::PairSet::new(), negative),
-    );
+    let negative: em::PairSet = [blocked].into_iter().collect();
+    let out = Pipeline::new(w.dataset.clone())
+        .cover(w.cover.clone())
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Smp)
+        .evidence(Evidence::new(em::PairSet::new(), negative))
+        .build()
+        .expect("coherent")
+        .run();
     assert!(!out.matches.contains(blocked));
 }

@@ -1,0 +1,381 @@
+//! The `em::Pipeline` surface: builder validation (every
+//! [`em::PipelineError`] variant is constructible), equivalence of the
+//! deprecated free-function wrappers with the sessions that replace
+//! them, and the warm-start/growth contract on small workloads.
+
+use em::{
+    Backend, DatasetGrowth, Evidence, MatcherChoice, Pipeline, PipelineError, Scheme, SplitPolicy,
+};
+use em_core::testing::paper_example;
+use em_core::{Dataset, EntityId, Pair, SimLevel};
+use em_datagen::{generate, DatasetProfile};
+
+fn sharded(shards: usize) -> Backend {
+    Backend::Sharded {
+        shards,
+        split_policy: SplitPolicy::Split,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder validation: one test per error variant.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mmp_with_type_i_matcher_is_rejected() {
+    let (dataset, cover, _, _) = paper_example();
+    let err = Pipeline::new(dataset)
+        .cover(cover)
+        .matcher(MatcherChoice::Rules)
+        .scheme(Scheme::Mmp)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PipelineError::MmpNeedsProbabilistic { matcher: "rules" }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn walksat_with_incremental_mmp_is_rejected() {
+    let (dataset, cover, _, _) = paper_example();
+    let err = Pipeline::new(dataset)
+        .cover(cover)
+        .matcher(MatcherChoice::MlnWalksat)
+        .scheme(Scheme::Mmp)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::IncrementalNeedsExact), "{err}");
+}
+
+#[test]
+fn walksat_under_sharded_mmp_is_rejected_even_without_replay() {
+    let (dataset, cover, _, _) = paper_example();
+    let err = Pipeline::new(dataset)
+        .cover(cover)
+        .matcher(MatcherChoice::MlnWalksat)
+        .scheme(Scheme::Mmp)
+        .incremental(false)
+        .backend(sharded(2))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::ShardedMmpNeedsExact), "{err}");
+}
+
+#[test]
+fn sharded_no_mp_is_rejected() {
+    let (dataset, cover, _, _) = paper_example();
+    let err = Pipeline::new(dataset)
+        .cover(cover)
+        .scheme(Scheme::NoMp)
+        .backend(sharded(2))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::ShardedNoMp), "{err}");
+}
+
+#[test]
+fn zero_workers_and_zero_shards_are_rejected() {
+    let (dataset, cover, _, _) = paper_example();
+    let err = Pipeline::new(dataset.clone())
+        .cover(cover.clone())
+        .backend(Backend::Parallel { workers: 0 })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::ZeroWorkers), "{err}");
+    let err = Pipeline::new(dataset)
+        .cover(cover)
+        .backend(sharded(0))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::ZeroShards), "{err}");
+}
+
+#[test]
+fn zero_memo_capacity_is_rejected() {
+    let (dataset, cover, _, _) = paper_example();
+    let err = Pipeline::new(dataset)
+        .cover(cover)
+        .memo_capacity(0)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::ZeroMemoCapacity), "{err}");
+}
+
+#[test]
+fn mln_without_coauthor_relation_is_rejected() {
+    // A dataset with entities but no `coauthor` relation.
+    let mut dataset = Dataset::new();
+    let ty = dataset.entities.intern_type("author_ref");
+    let name = dataset.entities.intern_attr("name");
+    for i in 0..4 {
+        let e = dataset.entities.add_entity(ty);
+        dataset.entities.set_attr(e, name, format!("author {i}"));
+    }
+    let err = Pipeline::new(dataset).build().unwrap_err();
+    match err {
+        PipelineError::MissingRelation { relation } => assert_eq!(relation, "coauthor"),
+        other => panic!("expected MissingRelation, got {other}"),
+    }
+}
+
+#[test]
+fn non_total_cover_is_rejected() {
+    let (dataset, _, _, _) = paper_example();
+    // A cover over only the first two entities loses tuples and pairs.
+    let partial = em::Cover::from_neighborhoods(vec![vec![EntityId(0), EntityId(1)]]);
+    let err = Pipeline::new(dataset).cover(partial).build().unwrap_err();
+    assert!(matches!(err, PipelineError::InvalidCover(_)), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Deprecated-wrapper equivalence: the old free functions and the
+// sessions that replace them produce byte-identical matches.
+// ---------------------------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_agree_with_sessions() {
+    let (dataset, cover, matcher, expected) = paper_example();
+    let none = Evidence::none();
+    let build = |scheme: Scheme, backend: Backend| {
+        Pipeline::new(dataset.clone())
+            .cover(cover.clone())
+            .matcher(MatcherChoice::custom_probabilistic(matcher.clone()))
+            .scheme(scheme)
+            .backend(backend)
+            .build()
+            .expect("coherent")
+            .run()
+    };
+
+    let nomp = em_core::framework::no_mp(&matcher, &dataset, &cover, &none);
+    assert_eq!(
+        nomp.matches,
+        build(Scheme::NoMp, Backend::Sequential).matches
+    );
+
+    let smp = em_core::framework::smp(&matcher, &dataset, &cover, &none);
+    assert_eq!(smp.matches, build(Scheme::Smp, Backend::Sequential).matches);
+
+    let mmp = em_core::framework::mmp(
+        &matcher,
+        &dataset,
+        &cover,
+        &none,
+        &em_core::framework::MmpConfig::default(),
+    );
+    assert_eq!(mmp.matches, expected);
+    assert_eq!(mmp.matches, build(Scheme::Mmp, Backend::Sequential).matches);
+
+    let config = em_parallel::ParallelConfig { workers: 2 };
+    let (psmp, _) = em_parallel::parallel_smp(&matcher, &dataset, &cover, &none, &config);
+    assert_eq!(
+        psmp.matches,
+        build(Scheme::Smp, Backend::Parallel { workers: 2 }).matches
+    );
+    let (pmmp, _) = em_parallel::parallel_mmp(
+        &matcher,
+        &dataset,
+        &cover,
+        &none,
+        &em_core::framework::MmpConfig::default(),
+        &config,
+    );
+    assert_eq!(
+        pmmp.matches,
+        build(Scheme::Mmp, Backend::Parallel { workers: 2 }).matches
+    );
+
+    let shard_config = em_shard::ShardConfig {
+        shards: 2,
+        policy: SplitPolicy::Split,
+    };
+    let (ssmp, _) = em_shard::shard_smp(&matcher, &dataset, &cover, &none, &shard_config);
+    assert_eq!(ssmp.matches, build(Scheme::Smp, sharded(2)).matches);
+    let (smmp, _) = em_shard::shard_mmp(
+        &matcher,
+        &dataset,
+        &cover,
+        &none,
+        &em_core::framework::MmpConfig::default(),
+        &shard_config,
+    );
+    assert_eq!(smmp.matches, build(Scheme::Mmp, sharded(2)).matches);
+}
+
+// ---------------------------------------------------------------------
+// Session behaviour: warm re-runs, growth, and the blocking-managed
+// cover requirement.
+// ---------------------------------------------------------------------
+
+#[test]
+fn warm_rerun_is_byte_identical_and_probe_free() {
+    let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let mut session = Pipeline::new(template)
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Mmp)
+        .build()
+        .expect("coherent");
+    let first = session.run();
+    assert!(!first.warm_started);
+    let second = session.run();
+    assert!(second.warm_started);
+    assert_eq!(second.run_index, 1);
+    assert_eq!(first.matches, second.matches);
+    assert_eq!(
+        second.stats.conditioned_probes, 0,
+        "an unchanged warm re-run replays every probe"
+    );
+}
+
+#[test]
+fn extend_grown_session_equals_cold_run_with_fewer_probes() {
+    let template = generate(&DatasetProfile::hepth().scaled(0.006)).dataset;
+    let n = template.entities.len() as u32;
+    let mut base = Dataset::new();
+    DatasetGrowth::carve(&template, 0..n / 2).apply(&mut base);
+    let mut session = Pipeline::new(base)
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Mmp)
+        .build()
+        .expect("coherent");
+    session.run();
+    session.extend(&DatasetGrowth::carve(&template, n / 2..n));
+    let warm = session.run();
+    assert!(warm.warm_started);
+
+    let mut full = Dataset::new();
+    DatasetGrowth::carve(&template, 0..n).apply(&mut full);
+    let cold = Pipeline::new(full)
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Mmp)
+        .build()
+        .expect("coherent")
+        .run();
+    assert_eq!(warm.matches, cold.matches, "warm-start must be invisible");
+    assert!(
+        warm.stats.conditioned_probes < cold.stats.conditioned_probes,
+        "warm {} vs cold {}",
+        warm.stats.conditioned_probes,
+        cold.stats.conditioned_probes
+    );
+}
+
+#[test]
+fn growth_linking_existing_entities_drops_carried_state_but_stays_correct() {
+    let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let n = template.entities.len() as u32;
+    let mut base = Dataset::new();
+    DatasetGrowth::carve(&template, 0..n).apply(&mut base);
+    let mut session = Pipeline::new(base)
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Mmp)
+        .build()
+        .expect("coherent");
+    let first = session.run();
+
+    // A batch linking two existing references (a coauthor edge between
+    // pre-existing entities) invalidates carried memos; the session must
+    // fall back to a full recompute and still agree with a cold run.
+    let mut batch = DatasetGrowth::new();
+    let (a, b) = {
+        let mut refs = template
+            .entities
+            .ids()
+            .filter(|&e| template.entities.attr(e, "name").is_some());
+        (refs.next().expect("a ref"), refs.nth(3).expect("a ref"))
+    };
+    assert!(!batch.has_existing_link());
+    batch.add_tuple(
+        "coauthor",
+        true,
+        em::GrowthRef::Existing(a),
+        em::GrowthRef::Existing(b),
+    );
+    assert!(batch.has_existing_link());
+    session.extend(&batch);
+    let warm = session.run();
+
+    let mut grown = Dataset::new();
+    DatasetGrowth::carve(&template, 0..n).apply(&mut grown);
+    batch.apply(&mut grown);
+    let cold = Pipeline::new(grown)
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Mmp)
+        .build()
+        .expect("coherent")
+        .run();
+    assert_eq!(warm.matches, cold.matches);
+    assert!(first.matches.is_subset(&warm.matches), "growth is monotone");
+}
+
+#[test]
+#[should_panic(expected = "blocking-managed cover")]
+fn extend_on_a_provided_cover_panics() {
+    let (dataset, cover, matcher, _) = paper_example();
+    let mut session = Pipeline::new(dataset)
+        .cover(cover)
+        .matcher(MatcherChoice::custom_probabilistic(matcher))
+        .build()
+        .expect("coherent");
+    let mut growth = DatasetGrowth::new();
+    growth.add_entity("author_ref", &[("name", "new author")]);
+    session.extend(&growth);
+}
+
+#[test]
+fn provided_evidence_reaches_every_backend() {
+    let (dataset, cover, matcher, _) = paper_example();
+    // Block the pair the paper example always matches.
+    let blocked = Pair::new(EntityId(5), EntityId(6));
+    let negative: em::PairSet = [blocked].into_iter().collect();
+    for backend in [
+        Backend::Sequential,
+        Backend::Parallel { workers: 2 },
+        sharded(2),
+    ] {
+        let out = Pipeline::new(dataset.clone())
+            .cover(cover.clone())
+            .matcher(MatcherChoice::custom_probabilistic(matcher.clone()))
+            .scheme(Scheme::Smp)
+            .backend(backend)
+            .evidence(Evidence::new(em::PairSet::new(), negative.clone()))
+            .build()
+            .expect("coherent")
+            .run();
+        assert!(!out.matches.contains(blocked), "{backend:?}");
+    }
+}
+
+#[test]
+fn carved_growth_is_append_only_by_construction() {
+    let template = generate(&DatasetProfile::dblp().scaled(0.004)).dataset;
+    let n = template.entities.len() as u32;
+    for cut in [n / 3, n / 2, 2 * n / 3] {
+        assert!(!DatasetGrowth::carve(&template, cut..n).has_existing_link());
+    }
+}
+
+#[test]
+fn pre_annotated_similar_pairs_survive_carving() {
+    let mut template = generate(&DatasetProfile::dblp().scaled(0.004)).dataset;
+    let refs: Vec<EntityId> = template.entities.ids().take(4).collect();
+    template.set_similar(Pair::new(refs[0], refs[1]), SimLevel(2));
+    template.set_similar(Pair::new(refs[2], refs[3]), SimLevel(3));
+    let n = template.entities.len() as u32;
+    let mut rebuilt = Dataset::new();
+    DatasetGrowth::carve(&template, 0..n / 2).apply(&mut rebuilt);
+    DatasetGrowth::carve(&template, n / 2..n).apply(&mut rebuilt);
+    assert_eq!(
+        rebuilt.similarity(Pair::new(refs[0], refs[1])),
+        Some(SimLevel(2))
+    );
+    assert_eq!(
+        rebuilt.similarity(Pair::new(refs[2], refs[3])),
+        Some(SimLevel(3))
+    );
+}
