@@ -15,7 +15,8 @@
 //!   fig3_runtime [--dataset hepth|dblp|both] [--scale 0.02]
 //!                [--backend exact|walksat|both] [--seed N]
 //!                [--cache on|off|both] [--incremental on|off|both]
-//!                [--shards K] [--warm-start on|off] [--bench-out PATH|none]
+//!                [--shards K] [--warm-start on|off] [--churn on|off]
+//!                [--bench-out PATH|none]
 //!
 //! `--cache` toggles the zero-recompute matcher memo
 //! ([`em_core::CachedMatcher`]); see the README's feature-cache section.
@@ -36,6 +37,18 @@
 //! non-zero on divergence, CI runs exactly this — and prints and
 //! persists a Table 1-style per-shard load/skew/makespan report.
 //!
+//! `--churn on` runs the bidirectional-update ablation: sessions fed a
+//! `DatasetDelta::churn_script` — three arms: append-only,
+//! append+retract (4% of the live population retracted per step, the
+//! production-shaped regime), and retract-heavy (20% per step) — with
+//! `MatchSession::update`, each step compared against a **cold run over
+//! a mirror dataset** built by applying the same deltas, sequential and
+//! sharded. Byte-identity is enforced (non-zero exit on divergence; CI
+//! greps `churn_outputs_identical`), and the component-scoped rollback
+//! ledger (components invalidated, messages/memos dropped, pairs
+//! re-blocked, canopies replayed) is printed and persisted as
+//! `churn_runs` entries.
+//!
 //! `--warm-start on` runs the session-growth ablation: a `MatchSession`
 //! over half the dataset, grown to full size with
 //! `MatchSession::extend` and warm-started, against a cold session over
@@ -45,10 +58,10 @@
 //! (CI greps `"warm_start_identical": true`) and the binary exits
 //! non-zero on divergence.
 
-use em::{Backend, DatasetGrowth, MatchOutcome, MatcherChoice, Pipeline, Scheme, SplitPolicy};
+use em::{Backend, DatasetDelta, MatchOutcome, MatcherChoice, Pipeline, Scheme, SplitPolicy};
 use em_bench::{
-    prepare_opts, profile_by_name, ArmRecord, Flags, FrameworkReport, SchemeRecord, ShardRunRecord,
-    WarmStartRecord, Workload,
+    prepare_opts, profile_by_name, ArmRecord, ChurnRecord, Flags, FrameworkReport, SchemeRecord,
+    ShardRunRecord, WarmStartRecord, Workload,
 };
 use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_core::{CachedMatcher, Dataset};
@@ -452,14 +465,14 @@ fn run_warm_ablation(
         ),
     ] {
         let mut base = Dataset::new();
-        DatasetGrowth::carve(&template, 0..n / 2).apply(&mut base);
+        DatasetDelta::carve(&template, 0..n / 2).apply(&mut base);
         let mut session = build(base, backend);
         session.run();
-        session.extend(&DatasetGrowth::carve(&template, n / 2..n));
+        session.update(&DatasetDelta::carve(&template, n / 2..n));
         let warm = session.run();
 
         let mut full = Dataset::new();
-        DatasetGrowth::carve(&template, 0..n).apply(&mut full);
+        DatasetDelta::carve(&template, 0..n).apply(&mut full);
         let cold = build(full, backend).run();
 
         let identical = warm.matches == cold.matches;
@@ -505,6 +518,142 @@ fn run_warm_ablation(
     ok
 }
 
+/// The `--churn` ablation: sessions fed a `DatasetDelta::churn_script`
+/// (append-only and retract-heavy arms), compared step by step against
+/// cold runs over a mirror dataset, sequential and sharded. Returns
+/// `false` on divergence.
+fn run_churn_ablation(
+    name: &str,
+    scale: f64,
+    seed: Option<u64>,
+    shards: usize,
+    report: &mut FrameworkReport,
+) -> bool {
+    let mut profile = profile_by_name(name).scaled(scale);
+    if let Some(seed) = seed {
+        profile = profile.with_seed(seed);
+    }
+    let template = em_datagen::generate(&profile).dataset;
+    let n = template.entities.len() as u32;
+    let blocking = BlockingConfig {
+        kernel: SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    let build = |dataset: Dataset, backend: Backend| {
+        Pipeline::new(dataset)
+            .blocking(blocking.clone())
+            .matcher(MatcherChoice::MlnExact)
+            .scheme(Scheme::Mmp)
+            .backend(backend)
+            .build()
+            .expect("exact MMP is coherent on both backends")
+    };
+    let script_seed = seed.unwrap_or(7);
+    let steps = 2usize;
+
+    println!(
+        "\nchurn ablation — {name} (scale {scale}): {} → {n} entities over {steps} update steps, \
+         update() + warm run vs cold mirror run per step",
+        n * 3 / 5,
+    );
+    let mut ok = true;
+    // Three churn regimes: pure growth, production-shaped churn (a few
+    // percent of the live population corrected per step), and heavy
+    // churn (a fifth of the population per step — the regime where
+    // rolling back approaches a cold run, reported to keep the
+    // degradation curve honest).
+    for (arm, retract_fraction) in [
+        ("append-only", 0.0),
+        ("append+retract", 0.04),
+        ("retract-heavy", 0.2),
+    ] {
+        for (backend_label, backend) in [
+            ("sequential".to_owned(), Backend::Sequential),
+            (
+                format!("sharded-{shards}"),
+                Backend::Sharded {
+                    shards,
+                    split_policy: SplitPolicy::Split,
+                },
+            ),
+        ] {
+            let (initial, deltas) = DatasetDelta::churn_script(
+                &template,
+                n * 3 / 5,
+                steps,
+                retract_fraction,
+                script_seed,
+            );
+            let initial_entities = initial.entities.len() as u64;
+            let mut session = build(initial.clone(), backend);
+            session.run();
+            let mut mirror = initial;
+            let mut identical = true;
+            let (mut cold_probes, mut warm_probes, mut replayed) = (0u64, 0u64, 0u64);
+            let (mut components, mut messages, mut memos, mut reblocked) = (0u64, 0u64, 0u64, 0u64);
+            let (mut replayed_canopies, mut recomputed_canopies) = (0u64, 0u64);
+            let mut retracted = 0u64;
+            let mut matches = 0u64;
+            for delta in &deltas {
+                let up = session.update(delta);
+                retracted += up.entities_retracted;
+                components += up.components_invalidated;
+                messages += up.messages_dropped;
+                memos += up.memos_dropped;
+                reblocked += up.pairs_reblocked;
+                replayed_canopies += up.canopies_replayed;
+                recomputed_canopies += up.canopies_recomputed;
+                delta.apply(&mut mirror);
+                let warm = session.run();
+                let cold = build(mirror.clone(), backend).run();
+                identical &= warm.matches == cold.matches;
+                cold_probes += cold.stats.conditioned_probes;
+                warm_probes += warm.stats.conditioned_probes;
+                replayed += warm.stats.probes_replayed;
+                matches = warm.matches.len() as u64;
+            }
+            let pct =
+                100.0 * cold_probes.saturating_sub(warm_probes) as f64 / cold_probes.max(1) as f64;
+            println!(
+                "  {arm:<14} {backend_label:<12} outputs {} | probes cold {cold_probes} -> warm \
+                 {warm_probes} ({pct:.1}% fewer) | {retracted} retracted | {components} components \
+                 rolled back ({messages} messages, {memos} memos) | {reblocked} pairs re-blocked | \
+                 canopies {replayed_canopies} replayed / {recomputed_canopies} recomputed",
+                if identical {
+                    "byte-identical ✓"
+                } else {
+                    "DIVERGED ✗"
+                },
+            );
+            ok &= identical;
+            report.churn_runs.push(ChurnRecord {
+                dataset: name.to_owned(),
+                scale,
+                seed,
+                arm: arm.to_owned(),
+                backend: backend_label,
+                steps: steps as u64,
+                initial_entities,
+                final_live_entities: mirror.entities.live_count() as u64,
+                entities_retracted: retracted,
+                cold_probes,
+                warm_probes,
+                warm_probes_replayed: replayed,
+                probe_reduction_pct: pct,
+                components_invalidated: components,
+                messages_dropped: messages,
+                memos_dropped: memos,
+                pairs_reblocked: reblocked,
+                canopies_replayed: replayed_canopies,
+                canopies_recomputed: recomputed_canopies,
+                matches,
+                churn_outputs_identical: identical,
+            });
+        }
+    }
+    ok
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_dataset(
     name: &str,
@@ -515,6 +664,7 @@ fn run_dataset(
     incremental: &str,
     shards: usize,
     warm_start: bool,
+    churn: bool,
     report: &mut FrameworkReport,
 ) -> bool {
     let arm_list = |flag: &str, what: &str| -> &'static [bool] {
@@ -593,6 +743,13 @@ fn run_dataset(
             ok &= run_warm_ablation(name, scale, seed, shards.max(4), report);
         }
     }
+    if churn {
+        if backend == "walksat" {
+            println!("\n(skipping --churn: the byte-identical guarantee needs the exact backend)");
+        } else {
+            ok &= run_churn_ablation(name, scale, seed, shards.max(4), report);
+        }
+    }
     ok
 }
 
@@ -607,6 +764,11 @@ fn main() {
         "on" => true,
         "off" => false,
         other => panic!("unknown --warm-start {other:?}; expected on | off"),
+    };
+    let churn = match flags.get_str("churn", "off").as_str() {
+        "on" => true,
+        "off" => false,
+        other => panic!("unknown --churn {other:?}; expected on | off"),
     };
     let bench_out = flags.get_str("bench-out", "BENCH_framework.json");
     let seed: Option<u64> = if flags.has("seed") {
@@ -625,6 +787,7 @@ fn main() {
             &incremental,
             shards,
             warm_start,
+            churn,
             report,
         )
     };

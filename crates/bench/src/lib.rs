@@ -24,7 +24,7 @@ pub mod workload;
 
 pub use cli::Flags;
 pub use report::{
-    ArmRecord, FrameworkReport, SchemeRecord, ShardLoadRecord, ShardRunRecord, WarmStartRecord,
-    WorkloadRecord,
+    ArmRecord, ChurnRecord, FrameworkReport, SchemeRecord, ShardLoadRecord, ShardRunRecord,
+    WarmStartRecord, WorkloadRecord,
 };
 pub use workload::{prepare, prepare_opts, profile_by_name, Workload};

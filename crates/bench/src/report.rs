@@ -253,6 +253,57 @@ pub struct WarmStartRecord {
     pub warm_start_identical: bool,
 }
 
+/// One `fig3_runtime --churn` ablation arm: a session fed a
+/// `DatasetDelta::churn_script` (interleaved additions and retractions)
+/// with `MatchSession::update`, compared step by step against cold runs
+/// over a mirror dataset.
+#[derive(Debug, Clone)]
+pub struct ChurnRecord {
+    /// Dataset profile name.
+    pub dataset: String,
+    /// Scale factor.
+    pub scale: f64,
+    /// Explicit seed, if any.
+    pub seed: Option<u64>,
+    /// Arm label ("append-only", "append+retract", or "retract-heavy").
+    pub arm: String,
+    /// Backend label ("sequential" or "sharded-K").
+    pub backend: String,
+    /// Script steps applied.
+    pub steps: u64,
+    /// Entities before the script.
+    pub initial_entities: u64,
+    /// Live entities after the script.
+    pub final_live_entities: u64,
+    /// Entities the script retracted.
+    pub entities_retracted: u64,
+    /// Conditioned probes summed over the cold per-step runs.
+    pub cold_probes: u64,
+    /// Conditioned probes summed over the warm per-step runs.
+    pub warm_probes: u64,
+    /// Probes the warm runs replayed from carried memos.
+    pub warm_probes_replayed: u64,
+    /// `(cold - warm) / cold`, percent.
+    pub probe_reduction_pct: f64,
+    /// Ground components the rollbacks invalidated (summed).
+    pub components_invalidated: u64,
+    /// Carried messages the rollbacks dropped (summed).
+    pub messages_dropped: u64,
+    /// Banked probe memos the rollbacks dropped (summed).
+    pub memos_dropped: u64,
+    /// Kernel evaluations the delta re-blocks performed (summed).
+    pub pairs_reblocked: u64,
+    /// Canopies replayed from the memo across the script.
+    pub canopies_replayed: u64,
+    /// Canopies recomputed across the script.
+    pub canopies_recomputed: u64,
+    /// Final match count.
+    pub matches: u64,
+    /// Whether every step's warm matches equalled the cold mirror run's
+    /// byte for byte (CI greps this).
+    pub churn_outputs_identical: bool,
+}
+
 /// The whole report.
 #[derive(Debug, Clone, Default)]
 pub struct FrameworkReport {
@@ -262,6 +313,8 @@ pub struct FrameworkReport {
     pub shard_runs: Vec<ShardRunRecord>,
     /// One entry per backend when `--warm-start` ran.
     pub warm_start: Vec<WarmStartRecord>,
+    /// One entry per arm × backend when `--churn` ran.
+    pub churn_runs: Vec<ChurnRecord>,
 }
 
 fn esc(s: &str) -> String {
@@ -285,9 +338,10 @@ impl FrameworkReport {
             .unwrap_or(0);
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"bench-framework-v3\",\n");
+        out.push_str("  \"schema\": \"bench-framework-v4\",\n");
         out.push_str(
-            "  \"bench\": \"fig3_runtime (--incremental / --shards / --warm-start ablations)\",\n",
+            "  \"bench\": \"fig3_runtime (--incremental / --shards / --warm-start / --churn \
+             ablations)\",\n",
         );
         out.push_str(&format!("  \"recorded_unix_secs\": {recorded},\n"));
         out.push_str("  \"workloads\": [\n");
@@ -477,6 +531,76 @@ impl FrameworkReport {
                 }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"churn_runs\": [\n");
+        for (ci, c) in self.churn_runs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"dataset\": \"{}\",\n", esc(&c.dataset)));
+            out.push_str(&format!("      \"scale\": {},\n", fmt_f64(c.scale)));
+            match c.seed {
+                Some(s) => out.push_str(&format!("      \"seed\": {s},\n")),
+                None => out.push_str("      \"seed\": null,\n"),
+            }
+            out.push_str(&format!("      \"arm\": \"{}\",\n", esc(&c.arm)));
+            out.push_str(&format!("      \"backend\": \"{}\",\n", esc(&c.backend)));
+            out.push_str(&format!("      \"steps\": {},\n", c.steps));
+            out.push_str(&format!(
+                "      \"initial_entities\": {},\n",
+                c.initial_entities
+            ));
+            out.push_str(&format!(
+                "      \"final_live_entities\": {},\n",
+                c.final_live_entities
+            ));
+            out.push_str(&format!(
+                "      \"entities_retracted\": {},\n",
+                c.entities_retracted
+            ));
+            out.push_str(&format!("      \"cold_probes\": {},\n", c.cold_probes));
+            out.push_str(&format!("      \"warm_probes\": {},\n", c.warm_probes));
+            out.push_str(&format!(
+                "      \"warm_probes_replayed\": {},\n",
+                c.warm_probes_replayed
+            ));
+            out.push_str(&format!(
+                "      \"probe_reduction_pct\": {},\n",
+                fmt_f64(c.probe_reduction_pct)
+            ));
+            out.push_str(&format!(
+                "      \"components_invalidated\": {},\n",
+                c.components_invalidated
+            ));
+            out.push_str(&format!(
+                "      \"messages_dropped\": {},\n",
+                c.messages_dropped
+            ));
+            out.push_str(&format!("      \"memos_dropped\": {},\n", c.memos_dropped));
+            out.push_str(&format!(
+                "      \"pairs_reblocked\": {},\n",
+                c.pairs_reblocked
+            ));
+            out.push_str(&format!(
+                "      \"canopies_replayed\": {},\n",
+                c.canopies_replayed
+            ));
+            out.push_str(&format!(
+                "      \"canopies_recomputed\": {},\n",
+                c.canopies_recomputed
+            ));
+            out.push_str(&format!("      \"matches\": {},\n", c.matches));
+            out.push_str(&format!(
+                "      \"churn_outputs_identical\": {}\n",
+                c.churn_outputs_identical
+            ));
+            out.push_str(&format!(
+                "    }}{}\n",
+                if ci + 1 < self.churn_runs.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -548,6 +672,29 @@ mod tests {
                     evaluations: 64,
                 }],
             }],
+            churn_runs: vec![ChurnRecord {
+                dataset: "hepth".into(),
+                scale: 0.02,
+                seed: Some(7),
+                arm: "retract-heavy".into(),
+                backend: "sequential".into(),
+                steps: 2,
+                initial_entities: 1200,
+                final_live_entities: 1900,
+                entities_retracted: 140,
+                cold_probes: 9000,
+                warm_probes: 2500,
+                warm_probes_replayed: 30000,
+                probe_reduction_pct: 72.2,
+                components_invalidated: 12,
+                messages_dropped: 30,
+                memos_dropped: 44,
+                pairs_reblocked: 820,
+                canopies_replayed: 900,
+                canopies_recomputed: 210,
+                matches: 1500,
+                churn_outputs_identical: true,
+            }],
             warm_start: vec![WarmStartRecord {
                 dataset: "hepth".into(),
                 scale: 0.02,
@@ -566,7 +713,10 @@ mod tests {
             }],
         };
         let json = report.render_json();
-        assert!(json.contains("\"schema\": \"bench-framework-v3\""));
+        assert!(json.contains("\"schema\": \"bench-framework-v4\""));
+        assert!(json.contains("\"churn_outputs_identical\": true"));
+        assert!(json.contains("\"components_invalidated\": 12"));
+        assert!(json.contains("\"canopies_replayed\": 900"));
         assert!(json.contains("\"conditioned_probes\": 8"));
         assert!(json.contains("\"shard_outputs_identical\": true"));
         assert!(json.contains("\"cross_shard_pairs\": 331"));

@@ -1,0 +1,152 @@
+//! End-to-end property tests of bidirectional session updates on random
+//! datagen worlds with the real MLN matcher (exact backend).
+//!
+//! The whole churn apparatus — `DatasetDelta` application (tombstoned
+//! retraction of entities, tuples, and links), the incremental canopy
+//! re-block with suspect-pair purging, and the component-scoped
+//! rollback of carried warm-start state — must be *invisible* in the
+//! outputs: a session fed a random interleaving of additions and
+//! retractions with `MatchSession::update` is byte-identical, run by
+//! run, to a cold session over a mirror dataset built by applying the
+//! same deltas, sequential and sharded (k ∈ {1, 4}). The probe ledger
+//! must also stay balanced under rollback: every conditioned probe of a
+//! warm churn run is either issued or replayed, never double-counted.
+
+use em::{Backend, DatasetDelta, MatcherChoice, Pipeline, Scheme, SplitPolicy};
+use em_blocking::{BlockingConfig, SimilarityKernel};
+use em_core::Dataset;
+use em_datagen::{generate, DatasetProfile};
+use proptest::prelude::*;
+
+fn template(seed: u64) -> Dataset {
+    let profile = if seed.is_multiple_of(2) {
+        DatasetProfile::hepth()
+    } else {
+        DatasetProfile::dblp()
+    };
+    generate(&profile.scaled(0.004).with_seed(seed)).dataset
+}
+
+fn build(dataset: Dataset, backend: Backend) -> em::MatchSession {
+    Pipeline::new(dataset)
+        .blocking(BlockingConfig {
+            kernel: SimilarityKernel::AuthorName,
+            ..Default::default()
+        })
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Mmp)
+        .backend(backend)
+        .build()
+        .expect("exact MMP is coherent on both backends")
+}
+
+/// One churned-vs-cold check over a whole script; panics (with context)
+/// on violation so the proptest bodies below stay within the vendored
+/// macro's limits.
+fn check_churn_equals_cold(seed: u64, retract_pct: u32) {
+    let template = template(seed);
+    let n = template.entities.len() as u32;
+    let (initial, deltas) =
+        DatasetDelta::churn_script(&template, n * 2 / 5, 3, retract_pct as f64 / 100.0, seed);
+    for shards in [1usize, 4] {
+        let backend = if shards == 1 {
+            Backend::Sequential
+        } else {
+            Backend::Sharded {
+                shards,
+                split_policy: SplitPolicy::Split,
+            }
+        };
+        let mut session = build(initial.clone(), backend);
+        session.run();
+        let mut mirror = initial.clone();
+        for (step, delta) in deltas.iter().enumerate() {
+            let report = session.update(delta);
+            assert!(
+                !report.degraded_to_cold,
+                "seed {seed} k {shards} step {step}: exact MMP must roll back, not degrade"
+            );
+            delta.apply(&mut mirror);
+            let warm = session.run();
+            let cold = build(mirror.clone(), backend).run();
+            assert_eq!(
+                warm.matches, cold.matches,
+                "seed {seed} k {shards} step {step} (retract {retract_pct}%): churned session \
+                 diverged from cold run"
+            );
+            // The warm run never issues more probes than cold.
+            assert!(
+                warm.stats.conditioned_probes <= cold.stats.conditioned_probes,
+                "seed {seed} k {shards} step {step}: warm run issued more probes ({} > {})",
+                warm.stats.conditioned_probes,
+                cold.stats.conditioned_probes
+            );
+            // Probe-ledger balance under rollback, on the churned
+            // (tombstoned) dataset: the incremental cold run's issued +
+            // replayed probes must equal the full-recompute cold run's
+            // issued probes — the PR 2 invariant, now exercised over
+            // datasets with retracted entities, purged pairs, and
+            // removed tuples. Sequential only (the sharded ledger
+            // partitions per shard and is covered by shard_equivalence).
+            if shards == 1 {
+                let full = Pipeline::new(mirror.clone())
+                    .blocking(BlockingConfig {
+                        kernel: SimilarityKernel::AuthorName,
+                        ..Default::default()
+                    })
+                    .matcher(MatcherChoice::MlnExact)
+                    .scheme(Scheme::Mmp)
+                    .incremental(false)
+                    .build()
+                    .expect("coherent")
+                    .run();
+                assert_eq!(full.matches, cold.matches, "seed {seed} step {step}");
+                assert_eq!(
+                    cold.stats.conditioned_probes + cold.stats.probes_replayed,
+                    full.stats.conditioned_probes,
+                    "seed {seed} step {step}: probe ledger must balance on the churned dataset"
+                );
+            }
+            if delta.has_retractions() {
+                assert!(
+                    report.components_invalidated > 0
+                        || report.warm_matches_dropped == 0
+                            && report.messages_dropped == 0
+                            && report.memos_dropped == 0,
+                    "seed {seed} step {step}: dropped state must be attributed to components"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn churned_sessions_equal_cold_runs_on_datagen_worlds(
+        (seed, retract_pct) in (0u64..10_000, 5u32..20)
+    ) {
+        check_churn_equals_cold(seed, retract_pct);
+    }
+
+    #[test]
+    fn retract_heavy_updates_stay_byte_identical(seed in 0u64..10_000) {
+        // A script that mostly retracts: small growth slices, a third of
+        // the live population retracted per step.
+        let template = template(seed);
+        let n = template.entities.len() as u32;
+        let (initial, deltas) = DatasetDelta::churn_script(&template, n * 3 / 4, 2, 0.33, seed);
+        let mut session = build(initial.clone(), Backend::Sequential);
+        session.run();
+        let mut mirror = initial;
+        for delta in &deltas {
+            session.update(delta);
+            delta.apply(&mut mirror);
+            let warm = session.run();
+            let cold = build(mirror.clone(), Backend::Sequential).run();
+            prop_assert_eq!(&warm.matches, &cold.matches,
+                "seed {}: retract-heavy churn diverged", seed);
+        }
+    }
+}

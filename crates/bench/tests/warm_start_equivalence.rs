@@ -2,15 +2,16 @@
 //! random datagen worlds with the real MLN matcher (exact backend).
 //!
 //! The whole warm-start apparatus — delta re-blocking (incremental
-//! feature interning + pair-score replay), warm evidence from the
-//! previous fixpoint, the carried message store, skip-unchanged
-//! scheduling, and cross-run probe-memo replay — must be *invisible* in
-//! the outputs: a session grown in steps with `MatchSession::extend` is
+//! feature interning + pair-score replay + canopy-memo replay), warm
+//! evidence from the previous fixpoint, the carried message store,
+//! skip-unchanged scheduling, and cross-run probe-memo replay — must be
+//! *invisible* in the outputs: a session grown in steps with
+//! additions-only `MatchSession::update` deltas is
 //! byte-identical to a cold session over the equivalent full dataset,
 //! sequential and sharded (k ∈ {1, 4}), and never issues more
 //! conditioned probes than the cold run.
 
-use em::{Backend, DatasetGrowth, MatcherChoice, Pipeline, Scheme, SplitPolicy};
+use em::{Backend, DatasetDelta, MatcherChoice, Pipeline, Scheme, SplitPolicy};
 use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_core::Dataset;
 use em_datagen::{generate, DatasetProfile};
@@ -54,10 +55,10 @@ fn check_grown_equals_cold(seed: u64, cut_pct: u32) {
             }
         };
         let mut base = Dataset::new();
-        DatasetGrowth::carve(&template, 0..cut).apply(&mut base);
+        DatasetDelta::carve(&template, 0..cut).apply(&mut base);
         let mut session = build(base, backend);
         let first = session.run();
-        session.extend(&DatasetGrowth::carve(&template, cut..n));
+        session.update(&DatasetDelta::carve(&template, cut..n));
         let warm = session.run();
         assert!(warm.warm_started, "seed {seed} k {shards}");
         assert!(
@@ -66,7 +67,7 @@ fn check_grown_equals_cold(seed: u64, cut_pct: u32) {
         );
 
         let mut full = Dataset::new();
-        DatasetGrowth::carve(&template, 0..n).apply(&mut full);
+        DatasetDelta::carve(&template, 0..n).apply(&mut full);
         let cold = build(full, backend).run();
         assert_eq!(
             warm.matches, cold.matches,

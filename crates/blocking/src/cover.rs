@@ -24,7 +24,9 @@ pub fn cover_from_canopies(
     }
     let mut neighborhoods = canopies;
     for (i, was_covered) in covered.iter().enumerate() {
-        if !was_covered {
+        // Retracted entities need no singleton — they carry no tuples or
+        // candidate pairs and the cover validation skips them.
+        if !was_covered && !dataset.entities.is_retracted(EntityId(i as u32)) {
             neighborhoods.push(vec![EntityId(i as u32)]);
         }
     }

@@ -27,9 +27,12 @@ pub mod inverted_index;
 pub mod partition;
 pub mod pipeline;
 
-pub use canopy::{canopies, canopies_cached, CanopyParams};
+pub use canopy::{
+    canopies, canopies_cached, canopies_cached_incremental, CanopyDelta, CanopyMemo, CanopyParams,
+    ChangedCanopy,
+};
 pub use inverted_index::InvertedIndex;
 pub use pipeline::{
-    block_dataset, block_dataset_session, block_dataset_with_features, BlockingConfig,
-    BlockingOutput, SimilarityKernel,
+    block_dataset, block_dataset_churn, block_dataset_session, block_dataset_with_features,
+    AnnotationChange, BlockingConfig, BlockingOutput, ChurnBlockingOutput, SimilarityKernel,
 };

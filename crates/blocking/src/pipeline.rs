@@ -9,10 +9,11 @@
 //! exact similarity is computed exactly once (toggle with
 //! [`BlockingConfig::dedupe_pair_scores`] for ablations).
 
-use crate::canopy::{canopies_cached, CanopyParams};
+use crate::canopy::{canopies_cached, canopies_cached_incremental, CanopyMemo, CanopyParams};
 use crate::cover::{cover_from_canopies, dedupe_exact};
 use crate::partition::split_oversized;
-use em_core::{Cover, Dataset, EntityId, Pair, PairCache, Result};
+use em_core::hash::{FxHashMap, FxHashSet};
+use em_core::{Cover, Dataset, EntityId, Pair, PairCache, Result, SimLevel};
 use em_similarity::discretize::Discretizer;
 use em_similarity::{FeatureCache, FeatureConfig, FeatureVec};
 
@@ -105,6 +106,9 @@ pub struct BlockingOutput {
     /// already scored the pair in an overlapping canopy (0 when
     /// [`BlockingConfig::dedupe_pair_scores`] is off).
     pub pair_scores_reused: u64,
+    /// Exact-kernel evaluations this pass actually performed (the
+    /// delta-proportional cost of a churn re-block).
+    pub pairs_scored: u64,
 }
 
 /// Run the full blocking pipeline on `dataset`:
@@ -190,7 +194,20 @@ pub fn block_dataset_session(
         }
     };
 
-    let mut canopy_sets = canopies_cached(&points, cache, &config.canopy);
+    let canopy_sets = canopies_cached(&points, cache, &config.canopy);
+    annotate_and_cover(dataset, config, cache, canopy_sets, session_scores)
+}
+
+/// The shared back half of every blocking entry point: sub-block
+/// oversized canopies, score + annotate within-canopy pairs, assemble
+/// the total cover.
+fn annotate_and_cover(
+    dataset: &mut Dataset,
+    config: &BlockingConfig,
+    cache: &FeatureCache,
+    mut canopy_sets: Vec<Vec<EntityId>>,
+    session_scores: Option<&PairCache<f64>>,
+) -> Result<BlockingOutput> {
     if let Some(max) = config.max_canopy_size {
         canopy_sets = canopy_sets
             .into_iter()
@@ -212,7 +229,8 @@ pub fn block_dataset_session(
     };
     let hits_before = scores.stats().hits;
     let mut candidate_pairs = 0usize;
-    let mut annotations: Vec<(Pair, em_core::SimLevel)> = Vec::new();
+    let mut pairs_scored = 0u64;
+    let mut annotations: Vec<(Pair, SimLevel)> = Vec::new();
     for canopy in &canopy_sets {
         for (i, &a) in canopy.iter().enumerate() {
             for &b in &canopy[i + 1..] {
@@ -230,6 +248,7 @@ pub fn block_dataset_session(
                 } else {
                     config.kernel.score(fa, fb)
                 };
+                pairs_scored += 1;
                 if let Some(level) = config.discretizer.level(score) {
                     annotations.push((pair, level));
                 }
@@ -255,6 +274,133 @@ pub fn block_dataset_session(
         canopies: canopy_sets.len(),
         candidate_pairs,
         pair_scores_reused,
+        pairs_scored,
+    })
+}
+
+/// One candidate pair whose annotation this churn re-block changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnotationChange {
+    /// The pair.
+    pub pair: Pair,
+    /// Its level before the re-block (None = not a candidate).
+    pub before: Option<SimLevel>,
+    /// Its level after (None = no longer a candidate).
+    pub after: Option<SimLevel>,
+}
+
+/// What a churn re-block did beyond the [`BlockingOutput`].
+#[derive(Debug)]
+pub struct ChurnBlockingOutput {
+    /// The regular blocking output (cover, counters).
+    pub output: BlockingOutput,
+    /// Every candidate pair whose annotation changed — removed because
+    /// its canopy co-location vanished, added between pre-existing
+    /// entities, or re-discretized at a different level. These pairs
+    /// seed the session's component-scoped rollback.
+    pub changed_pairs: Vec<AnnotationChange>,
+    /// Canopies replayed from the memo without an index query.
+    pub canopies_replayed: u64,
+    /// Canopies recomputed against the inverted index.
+    pub canopies_recomputed: u64,
+}
+
+/// The churn-aware re-block behind `MatchSession::update`: an
+/// incremental canopy pass with cross-pass replay ([`CanopyMemo`]), a
+/// *suspect-pair purge* that withdraws annotations only where canopy
+/// co-location can have changed, and a report of every annotation the
+/// pass ended up changing.
+///
+/// `delta_grams` holds the gram-id set of every added or removed point
+/// (removed points' sets captured before their features were dropped);
+/// only canopies centered within the loose threshold of a delta point
+/// re-query the index (see [`canopies_cached_incremental`]).
+/// When `purge_suspects` is set (deltas with retractions), the pairs of
+/// every *changed* canopy — old and new membership alike — are
+/// un-annotated and evicted from the score cache before the annotate
+/// loop runs, so the loop re-derives exactly what a cold pass over the
+/// edited dataset would: pairs still co-located come back at the same
+/// kernel score, pairs that lost co-location stay gone. `protected`
+/// pairs (caller-supplied links and pre-blocking annotations) are never
+/// purged — cold runs see them on the dataset too.
+///
+/// Byte-identical cover + annotations to [`block_dataset_session`] over
+/// the same dataset and (fresh) caches, at delta-proportional cost.
+#[allow(clippy::too_many_arguments)]
+pub fn block_dataset_churn(
+    dataset: &mut Dataset,
+    config: &BlockingConfig,
+    cache: &FeatureCache,
+    session_scores: &PairCache<f64>,
+    memo: &mut CanopyMemo,
+    delta_grams: &[Vec<u32>],
+    purge_suspects: bool,
+    protected: &FxHashMap<Pair, SimLevel>,
+) -> Result<ChurnBlockingOutput> {
+    let points: Vec<EntityId> = {
+        let ty = dataset.entities.type_id(&config.entity_type);
+        match ty {
+            Some(ty) => dataset
+                .entities
+                .ids_of_type(ty)
+                .filter(|&e| cache.get(e).is_some())
+                .collect(),
+            None => Vec::new(),
+        }
+    };
+    let (canopy_sets, delta) =
+        canopies_cached_incremental(&points, cache, &config.canopy, memo, delta_grams);
+
+    // Suspect pairs: every pair of every changed canopy, old or new
+    // membership. Only their co-location can have changed, so only they
+    // are purged and re-derived; protected pairs keep their annotation
+    // (the annotate loop may still raise it, mirroring a cold pass).
+    let mut suspects: Vec<Pair> = Vec::new();
+    if purge_suspects {
+        let mut seen: FxHashSet<Pair> = FxHashSet::default();
+        for changed in &delta.changed {
+            for members in [&changed.old_members, &changed.new_members] {
+                for (i, &a) in members.iter().enumerate() {
+                    for &b in &members[i + 1..] {
+                        let pair = Pair::new(a, b);
+                        if seen.insert(pair) && !protected.contains_key(&pair) {
+                            suspects.push(pair);
+                        }
+                    }
+                }
+            }
+        }
+        suspects.sort_unstable();
+    }
+    // Pre-purge levels: the diff below is against what the dataset held
+    // when the caller handed it over.
+    let before: Vec<(Pair, Option<SimLevel>)> = suspects
+        .iter()
+        .map(|&p| (p, dataset.similarity(p)))
+        .collect();
+    for &pair in &suspects {
+        dataset.retract_similar(pair);
+        session_scores.remove(pair);
+    }
+
+    let output = annotate_and_cover(dataset, config, cache, canopy_sets, Some(session_scores))?;
+
+    let mut changed_pairs: Vec<AnnotationChange> = Vec::new();
+    for (pair, before) in before {
+        let after = dataset.similarity(pair);
+        if before != after {
+            changed_pairs.push(AnnotationChange {
+                pair,
+                before,
+                after,
+            });
+        }
+    }
+    Ok(ChurnBlockingOutput {
+        output,
+        changed_pairs,
+        canopies_replayed: delta.replayed,
+        canopies_recomputed: delta.recomputed,
     })
 }
 

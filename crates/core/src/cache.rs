@@ -148,6 +148,29 @@ impl<V: Copy> PairCache<V> {
         }
     }
 
+    /// Remove one pair's entry; returns `true` if it was cached.
+    pub fn remove(&self, pair: Pair) -> bool {
+        self.shard(pair)
+            .lock()
+            .expect("cache lock")
+            .remove(&pair)
+            .is_some()
+    }
+
+    /// Keep only the entries whose pair satisfies `keep`, returning the
+    /// number dropped. Component-scoped rollback uses this to evict the
+    /// blocking scores of pairs that mention retracted entities.
+    pub fn retain(&self, mut keep: impl FnMut(Pair) -> bool) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("cache lock");
+            let before = map.len();
+            map.retain(|&pair, _| keep(pair));
+            dropped += before - map.len();
+        }
+        dropped
+    }
+
     /// Hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -381,6 +404,11 @@ impl<M: Matcher> Matcher for CachedMatcher<M> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn invalidate_caches(&self) {
+        self.clear();
+        self.inner.invalidate_caches();
     }
 }
 

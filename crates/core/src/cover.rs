@@ -148,7 +148,10 @@ impl Cover {
         dataset.view(self.members(id).iter().copied())
     }
 
-    /// Check that the neighborhoods cover every entity of the dataset.
+    /// Check that the neighborhoods cover every *live* entity of the
+    /// dataset (retracted entities need no coverage — blocking never
+    /// emits them and their tuples and candidate pairs are purged at
+    /// retraction).
     pub fn validate_cover(&self, dataset: &Dataset) -> Result<()> {
         let mut covered = vec![false; dataset.entities.len()];
         for n in &self.neighborhoods {
@@ -159,7 +162,11 @@ impl Cover {
                 covered[e.index()] = true;
             }
         }
-        if let Some(missing) = covered.iter().position(|c| !c) {
+        if let Some(missing) = covered
+            .iter()
+            .enumerate()
+            .position(|(i, c)| !c && !dataset.entities.is_retracted(EntityId(i as u32)))
+        {
             return Err(Error::NotACover {
                 missing: EntityId(missing as u32),
             });

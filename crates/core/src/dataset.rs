@@ -22,6 +22,10 @@ impl SimLevel {
     pub const MAX: SimLevel = SimLevel(3);
 }
 
+/// What [`Dataset::retract_entity`] removed: the entity's relation
+/// tuples as `(relation, a, b)` and its candidate pairs with levels.
+pub type RetractionFootprint = (Vec<(RelationId, EntityId, EntityId)>, Vec<(Pair, SimLevel)>);
+
 /// A complete entity-matching problem instance.
 #[derive(Debug, Default, Clone)]
 pub struct Dataset {
@@ -85,6 +89,52 @@ impl Dataset {
         }
     }
 
+    /// Retract a candidate-pair annotation: `pair` stops being a
+    /// candidate (its match variable disappears from every view).
+    /// Returns the level it had, if any. The inverse of
+    /// [`Dataset::set_similar`]; relative order of the surviving
+    /// adjacency entries is preserved.
+    pub fn retract_similar(&mut self, pair: Pair) -> Option<SimLevel> {
+        let level = self.similar.remove(&pair)?;
+        for (e, other) in [(pair.lo(), pair.hi()), (pair.hi(), pair.lo())] {
+            let adj = &mut self.sim_adj[e.index()];
+            if let Some(i) = adj.iter().position(|&(f, _)| f == other) {
+                adj.remove(i);
+            }
+        }
+        Some(level)
+    }
+
+    /// Retract an entity: tombstone its id, remove every relation tuple
+    /// incident to it, and purge every candidate pair containing it.
+    /// Returns the removed tuples (as `(relation, a, b)`) and the purged
+    /// candidate pairs with their levels — the raw material rollback
+    /// needs to find the ground interactions the retraction destroyed.
+    ///
+    /// # Panics
+    /// Panics if the id was never assigned or is already retracted.
+    pub fn retract_entity(&mut self, e: EntityId) -> RetractionFootprint {
+        assert!(
+            self.entities.is_live(e),
+            "retract_entity({e}): not a live entity"
+        );
+        self.entities.retract(e);
+        let tuples = self.relations.retract_entity(e);
+        let neighbors: Vec<EntityId> = self
+            .sim_neighbors(e)
+            .iter()
+            .map(|&(other, _)| other)
+            .collect();
+        let mut pairs = Vec::with_capacity(neighbors.len());
+        for other in neighbors {
+            let pair = Pair::new(e, other);
+            if let Some(level) = self.retract_similar(pair) {
+                pairs.push((pair, level));
+            }
+        }
+        (tuples, pairs)
+    }
+
     /// Similarity level of a pair, if it is a candidate pair.
     #[inline]
     pub fn similarity(&self, pair: Pair) -> Option<SimLevel> {
@@ -113,13 +163,17 @@ impl Dataset {
         self.sim_adj.get(e.index()).map_or(&[], Vec::as_slice)
     }
 
-    /// A view over the whole dataset (all entities).
+    /// A view over the whole dataset (all live entities). The constant-
+    /// time membership fast path only applies while no entity has been
+    /// retracted; with tombstones present, membership falls back to the
+    /// member list so dead ids test as outside the view.
     pub fn full_view(&self) -> View<'_> {
         let members: Vec<EntityId> = self.entities.ids().collect();
+        let full = members.len() == self.entities.len();
         View {
             dataset: self,
             members,
-            full: true,
+            full,
         }
     }
 
@@ -283,6 +337,48 @@ mod tests {
     fn level_zero_is_rejected() {
         let mut ds = small_dataset();
         ds.set_similar(Pair::new(e(0), e(5)), SimLevel(0));
+    }
+
+    #[test]
+    fn retract_similar_unwinds_annotation_and_adjacency() {
+        let mut ds = small_dataset();
+        let p = Pair::new(e(0), e(1));
+        assert_eq!(ds.retract_similar(p), Some(SimLevel(2)));
+        assert_eq!(ds.retract_similar(p), None, "second retraction no-op");
+        assert_eq!(ds.similarity(p), None);
+        assert!(!ds.is_candidate(p));
+        assert!(ds.sim_neighbors(e(0)).is_empty());
+        assert!(ds.sim_neighbors(e(1)).is_empty());
+        assert_eq!(ds.candidate_count(), 2);
+        // Re-annotation after retraction starts fresh (no max-keeping).
+        assert!(ds.set_similar(p, SimLevel(1)));
+        assert_eq!(ds.similarity(p), Some(SimLevel(1)));
+    }
+
+    #[test]
+    fn retract_entity_purges_tuples_and_pairs() {
+        let mut ds = small_dataset();
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        let (tuples, pairs) = ds.retract_entity(e(0));
+        assert_eq!(tuples, vec![(co, e(0), e(2))]);
+        assert_eq!(pairs, vec![(Pair::new(e(0), e(1)), SimLevel(2))]);
+        assert!(!ds.entities.is_live(e(0)));
+        assert!(!ds.is_candidate(Pair::new(e(0), e(1))));
+        assert!(!ds.relations.has_tuple(co, e(0), e(2)));
+        // Untouched structure survives.
+        assert!(ds.is_candidate(Pair::new(e(2), e(3))));
+        assert!(ds.relations.has_tuple(co, e(1), e(3)));
+        // Full views no longer list the tombstone.
+        assert!(!ds.full_view().members().contains(&e(0)));
+        assert_eq!(ds.full_view().candidate_pairs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live entity")]
+    fn retracting_twice_panics() {
+        let mut ds = small_dataset();
+        ds.retract_entity(e(0));
+        ds.retract_entity(e(0));
     }
 
     #[test]

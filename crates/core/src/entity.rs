@@ -114,6 +114,14 @@ impl Attributes {
 }
 
 /// Columnar store of all entities in a dataset.
+///
+/// Ids are never reused: retracting an entity ([`EntityStore::retract`])
+/// tombstones its id rather than compacting the store, so every dense
+/// id-indexed structure downstream (covers, ground models, feature
+/// caches) stays valid and ids assigned after a retraction are still
+/// fresh. Iteration ([`EntityStore::ids`], [`EntityStore::ids_of_type`])
+/// skips tombstones; [`EntityStore::len`] remains the *id-space* size
+/// (use [`EntityStore::live_count`] for the live population).
 #[derive(Debug, Default, Clone)]
 pub struct EntityStore {
     types: Interner,
@@ -122,6 +130,10 @@ pub struct EntityStore {
     entity_types: Vec<TypeId>,
     /// Attributes of each entity, indexed by `EntityId`.
     attributes: Vec<Attributes>,
+    /// Tombstones, indexed by `EntityId` (`true` = retracted).
+    retracted: Vec<bool>,
+    /// Number of `true` entries in `retracted`.
+    retracted_count: usize,
 }
 
 impl EntityStore {
@@ -165,7 +177,46 @@ impl EntityStore {
         let id = u32::try_from(self.entity_types.len()).expect("more than u32::MAX entities");
         self.entity_types.push(ty);
         self.attributes.push(Attributes::default());
+        self.retracted.push(false);
         EntityId(id)
+    }
+
+    /// Tombstone an entity: its id stays valid as an index but it no
+    /// longer appears in [`EntityStore::ids`] / [`EntityStore::ids_of_type`].
+    /// Returns `true` if the entity was live. The caller (see
+    /// `Dataset::retract_entity`) is responsible for purging relation
+    /// tuples and candidate pairs that mention it.
+    ///
+    /// # Panics
+    /// Panics if the id was never assigned.
+    pub fn retract(&mut self, entity: EntityId) -> bool {
+        let slot = &mut self.retracted[entity.index()];
+        let was_live = !*slot;
+        if was_live {
+            *slot = true;
+            self.retracted_count += 1;
+            // Attribute strings of a dead entity are unreachable via the
+            // public iteration surface; free them.
+            self.attributes[entity.index()] = Attributes::default();
+        }
+        was_live
+    }
+
+    /// Whether `entity` has been retracted (false for ids never assigned).
+    #[inline]
+    pub fn is_retracted(&self, entity: EntityId) -> bool {
+        self.retracted.get(entity.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether `entity` is an assigned, non-retracted id.
+    #[inline]
+    pub fn is_live(&self, entity: EntityId) -> bool {
+        entity.index() < self.entity_types.len() && !self.retracted[entity.index()]
+    }
+
+    /// Number of live (non-retracted) entities.
+    pub fn live_count(&self) -> usize {
+        self.entity_types.len() - self.retracted_count
     }
 
     /// Set an attribute on an existing entity.
@@ -219,17 +270,20 @@ impl EntityStore {
         (0..self.attrs.len() as u16).map(|i| self.attrs.name(i))
     }
 
-    /// Iterate over all entity ids in order.
+    /// Iterate over all live entity ids in ascending order (tombstoned
+    /// ids are skipped).
     pub fn ids(&self) -> impl Iterator<Item = EntityId> + '_ {
-        (0..self.entity_types.len() as u32).map(EntityId)
+        (0..self.entity_types.len() as u32)
+            .map(EntityId)
+            .filter(move |e| !self.retracted[e.index()])
     }
 
-    /// Iterate over entity ids of a given type.
+    /// Iterate over live entity ids of a given type, ascending.
     pub fn ids_of_type(&self, ty: TypeId) -> impl Iterator<Item = EntityId> + '_ {
         self.entity_types
             .iter()
             .enumerate()
-            .filter(move |(_, t)| **t == ty)
+            .filter(move |&(i, t)| *t == ty && !self.retracted[i])
             .map(|(i, _)| EntityId(i as u32))
     }
 }
@@ -288,6 +342,35 @@ mod tests {
         attrs.set(AttrId(2), "b");
         let collected: Vec<_> = attrs.iter().map(|(a, v)| (a.0, v)).collect();
         assert_eq!(collected, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn retraction_tombstones_without_renumbering() {
+        let mut store = EntityStore::new();
+        let ty = store.intern_type("author_ref");
+        let attr = store.intern_attr("name");
+        let e0 = store.add_entity(ty);
+        let e1 = store.add_entity(ty);
+        store.set_attr(e1, attr, "gone");
+        assert!(store.retract(e1));
+        assert!(!store.retract(e1), "second retraction is a no-op");
+        assert!(store.is_retracted(e1));
+        assert!(!store.is_live(e1));
+        assert!(store.is_live(e0));
+        assert_eq!(store.len(), 2, "id space keeps the tombstone");
+        assert_eq!(store.live_count(), 1);
+        assert_eq!(store.ids().collect::<Vec<_>>(), vec![e0]);
+        assert_eq!(store.ids_of_type(ty).collect::<Vec<_>>(), vec![e0]);
+        assert!(store.attributes(e1).is_empty(), "attributes freed");
+        // Ids assigned after a retraction are fresh, never recycled.
+        let e2 = store.add_entity(ty);
+        assert_eq!(e2, EntityId(2));
+        assert_eq!(store.ids().collect::<Vec<_>>(), vec![e0, e2]);
+        assert!(
+            !store.is_retracted(EntityId(99)),
+            "unassigned id is not retracted"
+        );
+        assert!(!store.is_live(EntityId(99)));
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub struct Evidence {
     log: Vec<Pair>,
     /// `epoch_starts[e]` = length of `log` when epoch `e` began.
     epoch_starts: Vec<usize>,
+    /// Retraction (tombstone) log of `positive`, in tracked-retraction
+    /// order. Insertions stay in `log` even after a retraction; a
+    /// consumer replaying an epoch window applies the window's
+    /// insertions first, then its retractions (see
+    /// [`Evidence::retractions_since`]).
+    retract_log: Vec<Pair>,
+    /// `retract_epoch_starts[e]` = length of `retract_log` when epoch
+    /// `e` began.
+    retract_epoch_starts: Vec<usize>,
 }
 
 impl Default for Evidence {
@@ -58,6 +67,8 @@ impl Default for Evidence {
             tracked: true,
             log: Vec::new(),
             epoch_starts: vec![0],
+            retract_log: Vec::new(),
+            retract_epoch_starts: vec![0],
         }
     }
 }
@@ -109,6 +120,8 @@ impl Evidence {
             tracked: true,
             log,
             epoch_starts: vec![0],
+            retract_log: Vec::new(),
+            retract_epoch_starts: vec![0],
         }
     }
 
@@ -124,6 +137,8 @@ impl Evidence {
             tracked: false,
             log: Vec::new(),
             epoch_starts: vec![0],
+            retract_log: Vec::new(),
+            retract_epoch_starts: vec![0],
         }
     }
 
@@ -152,6 +167,7 @@ impl Evidence {
     /// pair inserted afterwards lands at or after the returned epoch.
     pub fn advance_epoch(&mut self) -> Epoch {
         self.epoch_starts.push(self.log.len());
+        self.retract_epoch_starts.push(self.retract_log.len());
         Epoch((self.epoch_starts.len() - 1) as u32)
     }
 
@@ -175,6 +191,41 @@ impl Evidence {
             self.log.push(pair);
         }
         new
+    }
+
+    /// Retract a positive pair, recording a tombstone in the current
+    /// epoch's retraction log (untracked evidence just removes). The
+    /// non-monotone mutator behind `DatasetDelta` rollback: sessions use
+    /// it to withdraw caller-supplied evidence that mentions retracted
+    /// entities. Returns `true` if the pair was present.
+    ///
+    /// The insertion log is *not* rewritten — earlier epochs keep the
+    /// pair in their windows; consumers replaying history apply each
+    /// window's insertions, then its retractions.
+    pub fn retract_positive(&mut self, pair: Pair) -> bool {
+        let removed = self.positive.remove(pair);
+        if removed && self.tracked {
+            self.retract_log.push(pair);
+        }
+        removed
+    }
+
+    /// Retract a negative pair. The negative set has no epoch log (no
+    /// scheduler consumes negative deltas), so this is a plain removal.
+    /// Returns `true` if the pair was present.
+    pub fn retract_negative(&mut self, pair: Pair) -> bool {
+        self.negative.remove(pair)
+    }
+
+    /// The pairs retracted at epoch `since` or later, in retraction
+    /// order, as a borrowed slice of the tombstone log (the retraction
+    /// counterpart of [`Evidence::delta_since`]). Epochs later than the
+    /// current one yield an empty slice.
+    pub fn retractions_since(&self, since: Epoch) -> &[Pair] {
+        match self.retract_epoch_starts.get(since.0 as usize) {
+            Some(&start) => &self.retract_log[start..],
+            None => &[],
+        }
     }
 
     /// Insert every pair of `other` into the positive set (new pairs are
@@ -306,6 +357,40 @@ mod tests {
         let probe = tracked.with_extra_positive(p(8, 9));
         assert!(probe.positive.contains(p(8, 9)));
         assert!(probe.delta_since(Epoch(0)).is_empty());
+    }
+
+    #[test]
+    fn retraction_tombstones_land_in_their_epoch() {
+        let mut ev = Evidence::positive([p(0, 1), p(2, 3)].into_iter().collect());
+        let fence = ev.advance_epoch();
+        assert!(ev.retract_positive(p(0, 1)));
+        assert!(!ev.retract_positive(p(0, 1)), "already gone");
+        assert!(!ev.positive.contains(p(0, 1)));
+        assert_eq!(ev.retractions_since(fence), &[p(0, 1)]);
+        assert_eq!(ev.retractions_since(Epoch(0)), &[p(0, 1)]);
+        // The insertion log keeps history; the next fence empties both.
+        assert_eq!(ev.delta_since(Epoch(0)), &[p(0, 1), p(2, 3)]);
+        let later = ev.advance_epoch();
+        assert!(ev.retractions_since(later).is_empty());
+        assert!(ev.retractions_since(Epoch(9)).is_empty());
+        // Re-insertion after retraction logs a fresh insertion.
+        assert!(ev.insert_positive(p(0, 1)));
+        assert_eq!(ev.delta_since(later), &[p(0, 1)]);
+    }
+
+    #[test]
+    fn negative_retraction_is_a_plain_removal() {
+        let mut ev = Evidence::new(PairSet::new(), [p(4, 5)].into_iter().collect());
+        assert!(ev.retract_negative(p(4, 5)));
+        assert!(!ev.retract_negative(p(4, 5)));
+        assert!(ev.negative.is_empty());
+    }
+
+    #[test]
+    fn untracked_retractions_keep_no_log() {
+        let mut ev = Evidence::untracked([p(0, 1)].into_iter().collect(), PairSet::new());
+        assert!(ev.retract_positive(p(0, 1)));
+        assert!(ev.retractions_since(Epoch(0)).is_empty());
     }
 
     #[test]

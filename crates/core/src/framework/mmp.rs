@@ -182,6 +182,31 @@ impl MessageStore {
         Some(members)
     }
 
+    /// Keep only the messages whose member slice satisfies `keep`,
+    /// returning the number of messages dropped.
+    ///
+    /// A union-find cannot un-merge, so the store is **rebuilt from the
+    /// retained messages**: surviving messages are re-added (in
+    /// deterministic root order) to a fresh store, which reconstructs
+    /// the parent forest and re-establishes the `(T ∪ TC)*` closure over
+    /// exactly the retained set. This is the message-store half of
+    /// component-scoped rollback — messages touching an invalidated
+    /// ground component are dropped, everything else survives verbatim.
+    pub fn retain_messages(&mut self, mut keep: impl FnMut(&[Pair]) -> bool) -> usize {
+        let mut rebuilt = MessageStore::new();
+        let mut dropped = 0usize;
+        for root in self.roots() {
+            let members = self.members.get(&root).expect("root has members");
+            if keep(members) {
+                rebuilt.add_message(members);
+            } else {
+                dropped += 1;
+            }
+        }
+        *self = rebuilt;
+        dropped
+    }
+
     /// Roots of all current messages (deterministic order for consistency:
     /// sorted by the canonical pair order).
     pub fn roots(&self) -> Vec<Pair> {
@@ -419,6 +444,13 @@ struct BankEntry {
     /// view-identity check beyond the member key.
     pairs: Vec<(Pair, crate::dataset::SimLevel)>,
     memo: ProbeMemo,
+    /// Set by [`MemoBank::taint`]: the view's *evidence* was rolled
+    /// back even though its identity is unchanged. A tainted entry is
+    /// never treated as "identical → quiescent"; it withdraws as a
+    /// changed view so the neighborhood re-evaluates (regenerating its
+    /// messages) with probe replay in the components the rollback did
+    /// not touch.
+    tainted: bool,
 }
 
 impl MemoBank {
@@ -437,12 +469,20 @@ impl MemoBank {
         self.entries.is_empty()
     }
 
-    /// Store `memo` under the view identity of `view`.
+    /// Store `memo` under the view identity of `view` (untainted — a
+    /// fresh deposit reflects the state the depositing run just
+    /// reached).
     pub fn deposit(&mut self, view: &View<'_>, memo: ProbeMemo) {
         let mut pairs = view.candidate_pairs();
         pairs.sort_unstable();
-        self.entries
-            .insert(view.members().to_vec(), BankEntry { pairs, memo });
+        self.entries.insert(
+            view.members().to_vec(),
+            BankEntry {
+                pairs,
+                memo,
+                tainted: false,
+            },
+        );
     }
 
     /// Merge another bank's entries into this one (shards deposit into
@@ -462,6 +502,110 @@ impl MemoBank {
             m.from_bank = true;
             m
         })
+    }
+
+    /// Drop every banked entry whose view `predicate` marks as touched,
+    /// returning the number dropped. The predicate sees the entry's
+    /// member list (sorted ascending) and its candidate pairs with
+    /// levels (sorted) — the full view identity the bank keys on.
+    ///
+    /// This is the probe-memo half of component-scoped rollback: a
+    /// banked memo whose view lost a member, lost a ground tuple, or
+    /// contains an invalidated pair must not be replayed — its probes
+    /// were conditioned on structure or evidence that no longer exists.
+    /// (Views whose *identity* changed would miss the bank anyway; the
+    /// dangerous case is a view that is byte-identical but whose
+    /// component's evidence was rolled back — the identity check cannot
+    /// see that, so the rollback must evict explicitly.)
+    pub fn invalidate(
+        &mut self,
+        mut predicate: impl FnMut(
+            &[crate::entity::EntityId],
+            &[(Pair, crate::dataset::SimLevel)],
+        ) -> bool,
+    ) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|members, entry| !predicate(members, &entry.pairs));
+        before - self.entries.len()
+    }
+
+    /// Re-key entries whose views *shrank* by retraction: every entry
+    /// containing a member of `gone` is re-indexed under its surviving
+    /// member list, with the retracted members' candidate pairs removed
+    /// from the identity and every `invalid` pair's memoized probe
+    /// entry deleted (forcing its re-probe on the next evaluation).
+    /// The entry is tainted, so the view re-evaluates rather than being
+    /// skipped. Returns the number of entries re-keyed.
+    ///
+    /// Soundness leans on `invalid` being **closed** under the global
+    /// ground-interaction adjacency: a surviving pair outside a closed
+    /// set shares no within-view ground component with anything inside
+    /// it (view grounding is a restriction of global grounding), so its
+    /// memoized probe is exact in the shrunk view too. Probes of pairs
+    /// inside the set — the only ones whose conditioning changed — are
+    /// deleted here and re-issued.
+    pub fn rekey_shrunk(
+        &mut self,
+        gone: &crate::hash::FxHashSet<crate::entity::EntityId>,
+        invalid: &crate::pair::PairSet,
+    ) -> usize {
+        if gone.is_empty() {
+            return 0;
+        }
+        let shrunk: Vec<Vec<crate::entity::EntityId>> = self
+            .entries
+            .keys()
+            .filter(|members| members.iter().any(|e| gone.contains(e)))
+            .cloned()
+            .collect();
+        let mut rekeyed = 0;
+        for key in shrunk {
+            let Some(mut entry) = self.entries.remove(&key) else {
+                continue;
+            };
+            let survivors: Vec<crate::entity::EntityId> =
+                key.iter().copied().filter(|e| !gone.contains(e)).collect();
+            if survivors.is_empty() {
+                continue;
+            }
+            let dead_pair = |p: &Pair| gone.contains(&p.lo()) || gone.contains(&p.hi());
+            entry.pairs.retain(|(p, _)| !dead_pair(p));
+            entry.memo.undecided.retain(|p| !dead_pair(p));
+            entry
+                .memo
+                .entailed
+                .retain(|p, _| !dead_pair(p) && !invalid.contains(*p));
+            entry.tainted = true;
+            rekeyed += 1;
+            self.entries.insert(survivors, entry);
+        }
+        rekeyed
+    }
+
+    /// Mark every entry whose view `predicate` selects as **tainted**,
+    /// returning the number newly tainted. The gentler sibling of
+    /// [`MemoBank::invalidate`]: the memo's probe entries stay usable
+    /// for replay (the per-pair probe results in components the
+    /// rollback did not touch are still exact), but the view is no
+    /// longer quiescent — its carried messages were dropped or its warm
+    /// evidence shrank — so withdrawal reports it as changed and the
+    /// neighborhood re-evaluates.
+    pub fn taint(
+        &mut self,
+        mut predicate: impl FnMut(
+            &[crate::entity::EntityId],
+            &[(Pair, crate::dataset::SimLevel)],
+        ) -> bool,
+    ) -> usize {
+        let mut tainted = 0;
+        for (members, entry) in &mut self.entries {
+            if !entry.tainted && predicate(members, &entry.pairs) {
+                entry.tainted = true;
+                tainted += 1;
+            }
+        }
+        tainted
     }
 
     /// Take the memo banked for the *predecessor* of `view` in a grown
@@ -502,7 +646,12 @@ impl MemoBank {
         if entry.pairs != old_pairs {
             return None;
         }
-        let identical = old_members.len() == view.members().len() && old_pairs.len() == pairs.len();
+        // A tainted entry is never "identical": its view's evidence was
+        // rolled back, so the neighborhood must re-evaluate (with
+        // replay) even when the view itself is byte-identical.
+        let identical = !entry.tainted
+            && old_members.len() == view.members().len()
+            && old_pairs.len() == pairs.len();
         let mut memo = entry.memo;
         memo.from_bank = true;
         Some((memo, identical))
@@ -1052,6 +1201,65 @@ mod tests {
         store.add_message(&[p(2, 3), p(8, 9)]);
         assert_eq!(store.len(), 1);
         assert_eq!(store.message(store.roots()[0]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn retain_messages_rebuilds_the_union_find_from_survivors() {
+        let mut store = MessageStore::new();
+        store.add_message(&[p(0, 1), p(2, 3)]);
+        store.add_message(&[p(4, 5), p(6, 7)]);
+        store.add_message(&[p(8, 9)]);
+        assert_eq!(store.len(), 3);
+        // Drop the message holding (4,5); the others survive verbatim.
+        let dropped = store.retain_messages(|m| !m.contains(&p(4, 5)));
+        assert_eq!(dropped, 1);
+        assert_eq!(store.len(), 2);
+        assert!(store.root_of(p(4, 5)).is_none(), "fully retired");
+        assert!(store.root_of(p(6, 7)).is_none(), "whole message gone");
+        let surviving = store.root_of(p(0, 1)).expect("survivor");
+        let mut members = store.message(surviving).unwrap().to_vec();
+        members.sort_unstable();
+        assert_eq!(members, vec![p(0, 1), p(2, 3)]);
+        // The rebuilt forest still merges correctly.
+        store.add_message(&[p(2, 3), p(8, 9)]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.message(store.roots()[0]).unwrap().len(), 3);
+        // Retaining everything is a no-op; dropping everything empties.
+        assert_eq!(store.retain_messages(|_| true), 0);
+        assert_eq!(store.retain_messages(|_| false), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn memo_bank_invalidate_drops_touched_views() {
+        use crate::dataset::{Dataset, SimLevel};
+        use crate::entity::EntityId;
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        for _ in 0..4 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(p(0, 1), SimLevel(2));
+        ds.set_similar(p(2, 3), SimLevel(1));
+        let mut bank = MemoBank::new();
+        bank.deposit(
+            &ds.view([EntityId(0), EntityId(1)]),
+            memo_with_entries(&[p(0, 1)]),
+        );
+        bank.deposit(
+            &ds.view([EntityId(2), EntityId(3)]),
+            memo_with_entries(&[p(2, 3)]),
+        );
+        assert_eq!(bank.len(), 2);
+        let dropped = bank.invalidate(|members, pairs| {
+            members.contains(&EntityId(0)) || pairs.iter().any(|&(q, _)| q == p(9, 10))
+        });
+        assert_eq!(dropped, 1);
+        assert_eq!(bank.len(), 1);
+        // The surviving entry still withdraws for its identical view.
+        assert!(bank
+            .withdraw(&ds.view([EntityId(2), EntityId(3)]))
+            .is_some());
     }
 
     fn memo_with_entries(pairs: &[Pair]) -> ProbeMemo {

@@ -46,6 +46,17 @@ pub struct RunStats {
     pub memo_evictions: u64,
     /// Parallel rounds executed (0 for sequential runs).
     pub rounds: u64,
+    /// Ground-interaction components whose carried state a session
+    /// rollback dropped before this run (`MatchSession::update` with
+    /// retractions; 0 otherwise).
+    pub components_invalidated: u64,
+    /// Carried maximal messages dropped by that rollback.
+    pub messages_dropped: u64,
+    /// Banked probe memos dropped by that rollback.
+    pub memos_dropped: u64,
+    /// Candidate pairs whose similarity the delta re-block re-scored
+    /// (new pairs plus pairs whose canopy changed).
+    pub pairs_reblocked: u64,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
 }
@@ -69,6 +80,10 @@ impl RunStats {
         self.conditioned_probes += other.conditioned_probes;
         self.probes_replayed += other.probes_replayed;
         self.memo_evictions += other.memo_evictions;
+        self.components_invalidated += other.components_invalidated;
+        self.messages_dropped += other.messages_dropped;
+        self.memos_dropped += other.memos_dropped;
+        self.pairs_reblocked += other.pairs_reblocked;
         self.rounds = self.rounds.max(other.rounds);
         self.wall_time = self.wall_time.max(other.wall_time);
     }
@@ -113,6 +128,20 @@ impl std::fmt::Display for RunStats {
         if self.memo_evictions > 0 {
             write!(f, " | {} memo evictions", self.memo_evictions)?;
         }
+        if self.components_invalidated > 0
+            || self.messages_dropped > 0
+            || self.memos_dropped > 0
+            || self.pairs_reblocked > 0
+        {
+            write!(
+                f,
+                " | rollback: {} components, {} messages, {} memos dropped, {} pairs re-blocked",
+                self.components_invalidated,
+                self.messages_dropped,
+                self.memos_dropped,
+                self.pairs_reblocked
+            )?;
+        }
         if self.rounds > 0 {
             write!(f, " | {} rounds", self.rounds)?;
         }
@@ -139,6 +168,7 @@ mod tests {
             memo_evictions: 0,
             rounds: 3,
             wall_time: Duration::from_millis(10),
+            ..Default::default()
         };
         let b = RunStats {
             matcher_calls: 7,
@@ -197,5 +227,33 @@ mod tests {
         assert!(line.contains("3 probes (1 replayed)"), "{line}");
         assert!(line.contains("2 maximal messages, 1 promoted"), "{line}");
         assert!(line.contains("4 rounds"), "{line}");
+    }
+
+    #[test]
+    fn rollback_counters_merge_and_display() {
+        let mut a = RunStats {
+            components_invalidated: 2,
+            messages_dropped: 5,
+            memos_dropped: 3,
+            pairs_reblocked: 40,
+            ..Default::default()
+        };
+        let b = RunStats {
+            components_invalidated: 1,
+            pairs_reblocked: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.components_invalidated, 3);
+        assert_eq!(a.pairs_reblocked, 42);
+        let line = a.to_string();
+        assert!(
+            line.contains(
+                "rollback: 3 components, 5 messages, 3 memos dropped, 42 pairs re-blocked"
+            ),
+            "{line}"
+        );
+        let clean = RunStats::default().to_string();
+        assert!(!clean.contains("rollback"), "{clean}");
     }
 }

@@ -130,6 +130,14 @@ pub trait Matcher {
     fn name(&self) -> &str {
         "matcher"
     }
+
+    /// Drop any internal memoization keyed by dataset identity or view
+    /// contents. Long-lived sessions call this after mutating their
+    /// dataset **in place** (growth that links existing entities,
+    /// retraction) — address-keyed caches (a grounding cache, a
+    /// `(view, evidence)` fingerprint memo) would otherwise replay
+    /// pre-mutation results. Stateless matchers keep the default no-op.
+    fn invalidate_caches(&self) {}
 }
 
 /// Type-II (probabilistic) entity matcher — Definition 5.

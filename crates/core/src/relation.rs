@@ -86,6 +86,45 @@ impl Relation {
     fn neighbors_in(&self, e: EntityId) -> &[EntityId] {
         self.inc.get(e.index()).map_or(&[], Vec::as_slice)
     }
+
+    /// Remove one tuple (in its canonical key orientation). Returns
+    /// `true` if it existed. Relative order of the surviving tuples and
+    /// adjacency entries is preserved, so grounding and cover expansion
+    /// see the same deterministic sequences a fresh store would build.
+    fn remove(&mut self, a: EntityId, b: EntityId) -> bool {
+        let key = if self.symmetric {
+            (a.min(b), a.max(b))
+        } else {
+            (a, b)
+        };
+        if !self.seen.remove(&key) {
+            return false;
+        }
+        let pos = self
+            .tuples
+            .iter()
+            .position(|&t| t == key)
+            .expect("seen and tuples agree");
+        self.tuples.remove(pos);
+        let (a, b) = key;
+        let drop_one = |list: &mut Vec<EntityId>, target: EntityId| {
+            if let Some(i) = list.iter().position(|&x| x == target) {
+                list.remove(i);
+            }
+        };
+        if self.symmetric {
+            drop_one(&mut self.out[a.index()], b);
+            drop_one(&mut self.inc[a.index()], b);
+            if a != b {
+                drop_one(&mut self.out[b.index()], a);
+                drop_one(&mut self.inc[b.index()], a);
+            }
+        } else {
+            drop_one(&mut self.out[a.index()], b);
+            drop_one(&mut self.inc[b.index()], a);
+        }
+        true
+    }
 }
 
 /// All relations of a dataset.
@@ -154,6 +193,47 @@ impl RelationStore {
     #[inline]
     pub fn neighbors_in(&self, rel: RelationId, e: EntityId) -> &[EntityId] {
         self.relations[rel.0 as usize].neighbors_in(e)
+    }
+
+    /// Remove a tuple `(a, b)` from relation `rel` (orientation-
+    /// insensitive for symmetric relations). Returns `true` if it was
+    /// present.
+    pub fn remove_tuple(&mut self, rel: RelationId, a: EntityId, b: EntityId) -> bool {
+        self.relations[rel.0 as usize].remove(a, b)
+    }
+
+    /// Remove every tuple (of every relation) incident to `e`, returning
+    /// the removed tuples as `(relation, a, b)` in canonical key
+    /// orientation — what [`crate::Dataset::retract_entity`] reports so
+    /// rollback can find the ground interactions each tuple supported.
+    /// The incident set comes from the adjacency lists (O(degree) per
+    /// relation), not a scan of every stored tuple — retract-heavy churn
+    /// calls this once per victim.
+    pub fn retract_entity(&mut self, e: EntityId) -> Vec<(RelationId, EntityId, EntityId)> {
+        let mut removed = Vec::new();
+        for rel in 0..self.relations.len() {
+            let r = &self.relations[rel];
+            let mut incident: Vec<(EntityId, EntityId)> = Vec::new();
+            if r.symmetric {
+                for &f in r.neighbors_out(e) {
+                    incident.push((e.min(f), e.max(f)));
+                }
+            } else {
+                for &f in r.neighbors_out(e) {
+                    incident.push((e, f));
+                }
+                for &f in r.neighbors_in(e) {
+                    incident.push((f, e));
+                }
+            }
+            incident.sort_unstable();
+            incident.dedup();
+            for (a, b) in incident {
+                self.relations[rel].remove(a, b);
+                removed.push((RelationId(rel as u16), a, b));
+            }
+        }
+        removed
     }
 
     /// Whether a tuple exists (orientation-insensitive for symmetric relations).
@@ -235,6 +315,48 @@ mod tests {
         assert_eq!(store.neighbors_in(cites, e(2)), &[e(1)]);
         assert!(store.has_tuple(cites, e(1), e(2)));
         assert_eq!(store.tuples(cites).len(), 2);
+    }
+
+    #[test]
+    fn remove_tuple_unwinds_both_directions() {
+        let mut store = RelationStore::new();
+        let co = store.declare("coauthor", true);
+        let cites = store.declare("cites", false);
+        store.add_tuple(co, e(1), e(2));
+        store.add_tuple(co, e(1), e(3));
+        store.add_tuple(cites, e(2), e(1));
+        assert!(store.remove_tuple(co, e(2), e(1)), "reverse orientation");
+        assert!(!store.remove_tuple(co, e(1), e(2)), "already gone");
+        assert!(!store.has_tuple(co, e(1), e(2)));
+        assert_eq!(store.neighbors_out(co, e(1)), &[e(3)]);
+        assert_eq!(store.neighbors_out(co, e(2)), &[] as &[EntityId]);
+        // The directed relation is untouched and orientation-sensitive.
+        assert!(!store.remove_tuple(cites, e(1), e(2)));
+        assert!(store.remove_tuple(cites, e(2), e(1)));
+        assert!(store.tuples(cites).is_empty());
+        // Removed tuples can be re-added.
+        assert!(store.add_tuple(co, e(1), e(2)));
+        assert_eq!(store.neighbors_out(co, e(2)), &[e(1)]);
+    }
+
+    #[test]
+    fn retract_entity_sweeps_every_relation() {
+        let mut store = RelationStore::new();
+        let co = store.declare("coauthor", true);
+        let cites = store.declare("cites", false);
+        store.add_tuple(co, e(0), e(1));
+        store.add_tuple(co, e(1), e(2));
+        store.add_tuple(co, e(0), e(2));
+        store.add_tuple(cites, e(1), e(3));
+        let removed = store.retract_entity(e(1));
+        assert_eq!(removed.len(), 3);
+        assert!(removed.contains(&(co, e(0), e(1))));
+        assert!(removed.contains(&(co, e(1), e(2))));
+        assert!(removed.contains(&(cites, e(1), e(3))));
+        assert_eq!(store.tuples(co), &[(e(0), e(2))]);
+        assert!(store.tuples(cites).is_empty());
+        assert!(store.neighbors_out(co, e(1)).is_empty());
+        assert!(store.neighbors_in(cites, e(3)).is_empty());
     }
 
     #[test]

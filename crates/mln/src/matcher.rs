@@ -163,6 +163,14 @@ impl Matcher for MlnMatcher {
             InferenceBackend::LocalSearch(_) => "mln-walksat",
         }
     }
+
+    fn invalidate_caches(&self) {
+        // The grounding cache is keyed by (dataset address, member hash);
+        // a session that mutates its dataset in place (retraction, links
+        // between existing entities) must evict it or identical member
+        // lists would replay pre-mutation ground models.
+        self.cache.lock().expect("cache lock").clear();
+    }
 }
 
 impl ProbabilisticMatcher for MlnMatcher {

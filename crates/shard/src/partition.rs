@@ -225,6 +225,20 @@ impl ShardPlan {
         ShardPlan::build(index, self.shards.len(), &costs, self.policy)
     }
 
+    /// Repair the plan for a cover that **changed shape** — a churned
+    /// session's re-block renumbers neighborhoods and can shrink, grow,
+    /// split, or merge evidence components. The previous plan's
+    /// neighborhood-indexed state (costs, unit membership, measured
+    /// traces) is meaningless against the new ids, so repair keeps only
+    /// what *is* stable — the shard count and the split policy — and
+    /// re-partitions the new index's components over fresh `costs`.
+    /// Handles shrunk covers gracefully: with fewer components than
+    /// shards the spares are left empty, exactly as [`ShardPlan::build`]
+    /// does, and an empty cover yields an all-empty plan.
+    pub fn repair(&self, index: &DependencyIndex, costs: &[u64]) -> ShardPlan {
+        ShardPlan::build(index, self.shards.len(), costs, self.policy)
+    }
+
     /// `max / mean` of the estimated shard loads (1.0 = perfectly
     /// balanced; empty shards count into the mean, as in the grid
     /// simulator's skew).
@@ -352,6 +366,36 @@ mod tests {
                 pin.est_skew()
             );
         }
+    }
+
+    #[test]
+    fn repair_re_partitions_a_shrunk_cover() {
+        use em_core::{Dataset, EntityId, Pair, SimLevel};
+        let (plan, _, _) = paper_plan(4, SplitPolicy::Split);
+        // A much smaller post-churn world: two disjoint components.
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        for _ in 0..4 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(Pair::new(EntityId(0), EntityId(1)), SimLevel(1));
+        ds.set_similar(Pair::new(EntityId(2), EntityId(3)), SimLevel(1));
+        let cover = em_core::Cover::from_neighborhoods(vec![
+            vec![EntityId(0), EntityId(1)],
+            vec![EntityId(2), EntityId(3)],
+        ]);
+        let index = DependencyIndex::build(&ds, &cover);
+        let repaired = plan.repair(&index, &[3, 5]);
+        assert_eq!(repaired.shards.len(), 4, "shard count survives");
+        assert_eq!(repaired.policy, plan.policy);
+        let mut seen: Vec<NeighborhoodId> = repaired.shards.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![NeighborhoodId(0), NeighborhoodId(1)]);
+        assert_eq!(
+            repaired.shards.iter().filter(|s| s.is_empty()).count(),
+            2,
+            "spare shards stay empty"
+        );
     }
 
     #[test]

@@ -380,6 +380,21 @@ impl FeatureCache {
         self.features.get(e.index()).and_then(Option::as_ref)
     }
 
+    /// Drop an entity's cached features (a retraction), returning the
+    /// removed vector so the caller can mark the gram ids it carried as
+    /// *dirty* for incremental re-blocking.
+    ///
+    /// Interned vocabularies and document frequencies are left as they
+    /// are: token/gram ids are append-only (so surviving vectors stay
+    /// valid), and the corpus-independent kernels never read `doc_freq`.
+    /// TF-IDF consumers must rebuild the cache instead — exactly the
+    /// discipline growing sessions already follow.
+    pub fn remove(&mut self, e: EntityId) -> Option<FeatureVec> {
+        let removed = self.features.get_mut(e.index())?.take()?;
+        self.documents -= 1;
+        Some(removed)
+    }
+
     /// The extraction configuration.
     pub fn config(&self) -> FeatureConfig {
         self.config
@@ -598,6 +613,21 @@ mod tests {
                 assert_eq!(g.ngram_jaccard(gj), c.ngram_jaccard(cj));
             }
         }
+    }
+
+    #[test]
+    fn remove_drops_features_and_leaves_survivors_untouched() {
+        let (mut c, ids) = cache(&NAMES);
+        let before = c.get(ids[1]).unwrap().clone();
+        let removed = c.remove(ids[0]).expect("was cached");
+        assert_eq!(removed.key, NAMES[0]);
+        assert!(c.get(ids[0]).is_none());
+        assert!(c.remove(ids[0]).is_none(), "second removal is None");
+        assert_eq!(c.len(), NAMES.len() - 1);
+        let after = c.get(ids[1]).unwrap();
+        assert_eq!(after.tokens, before.tokens);
+        assert_eq!(after.grams, before.grams);
+        assert_eq!(after.key, before.key);
     }
 
     #[test]

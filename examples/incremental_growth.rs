@@ -1,18 +1,21 @@
-//! Incremental growth: grow a world in three steps and watch the
-//! warm-start save conditioned probes.
+//! Incremental updates: grow a world in steps, then *retract* part of
+//! it, and watch the session warm-start through both.
 //!
 //! A `MatchSession` owns the long-lived state of the pipeline — feature
-//! cache, pair-score cache, dependency index, and the previous fixpoint.
-//! `extend()` ingests a batch of new entities, re-blocks only the delta
-//! (new entities are tokenized; only pairs touching them are scored),
-//! and the next `run()` seeds the matcher with the previous fixpoint, so
-//! MMP re-probes only what the new data can actually change. The final
-//! grown fixpoint is byte-identical to a cold run over the full dataset
-//! (exact matchers) — asserted below.
+//! cache, pair-score cache, canopy memo, dependency index, and the
+//! previous fixpoint. `update()` ingests a `DatasetDelta` (additions
+//! *and* retractions), re-blocks only the affected region (new entities
+//! are tokenized; untouched canopies replay from the memo; only pairs
+//! the churn can have changed are re-scored), rolls back exactly the
+//! carried state the retractions invalidate (component-scoped: warm
+//! matches, messages, and probe memos outside the churn's
+//! ground-interaction closure survive), and the next `run()` warm-starts
+//! the rest. Every step's fixpoint is byte-identical to a cold run over
+//! the same edited dataset (exact matchers) — asserted below.
 //!
 //! Run with: `cargo run --release --example incremental_growth [scale]`
 
-use em::{DatasetGrowth, MatcherChoice, Pipeline, Scheme};
+use em::{DatasetDelta, MatcherChoice, Pipeline, Scheme};
 use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_datagen::{generate, DatasetProfile};
 use em_eval::fmt_duration;
@@ -40,16 +43,20 @@ fn main() {
         kernel: SimilarityKernel::AuthorName,
         ..Default::default()
     };
+    let build = |dataset: em::Dataset| {
+        Pipeline::new(dataset)
+            .blocking(blocking.clone())
+            .matcher(MatcherChoice::MlnExact)
+            .scheme(Scheme::Mmp)
+            .build()
+            .expect("exact MLN under MMP is coherent")
+    };
 
-    // Session over the first batch.
-    let mut base = em::Dataset::new();
-    DatasetGrowth::carve(&template, 0..cuts[0]).apply(&mut base);
-    let mut session = Pipeline::new(base)
-        .blocking(blocking.clone())
-        .matcher(MatcherChoice::MlnExact)
-        .scheme(Scheme::Mmp)
-        .build()
-        .expect("exact MLN under MMP is coherent");
+    // Session over the first batch; `mirror` receives the same deltas so
+    // cold reference runs see the byte-identical dataset.
+    let mut mirror = em::Dataset::new();
+    DatasetDelta::carve(&template, 0..cuts[0]).apply(&mut mirror);
+    let mut session = build(mirror.clone());
 
     let mut prev = cuts[0];
     let first = session.run();
@@ -64,7 +71,9 @@ fn main() {
 
     let mut last_warm_probes = 0u64;
     for (step, &cut) in cuts.iter().enumerate().skip(1) {
-        session.extend(&DatasetGrowth::carve(&template, prev..cut));
+        let delta = DatasetDelta::carve(&template, prev..cut);
+        session.update(&delta);
+        delta.apply(&mut mirror);
         let outcome = session.run();
         assert!(outcome.warm_started);
         println!(
@@ -81,18 +90,10 @@ fn main() {
         prev = cut;
     }
 
-    // The gate: a cold session over the full template must agree byte
+    // Growth gate: a cold session over the full template must agree byte
     // for byte, and pay more conditioned probes than the grown session's
     // final run did.
-    let mut full = em::Dataset::new();
-    DatasetGrowth::carve(&template, 0..n).apply(&mut full);
-    let cold = Pipeline::new(full)
-        .blocking(blocking)
-        .matcher(MatcherChoice::MlnExact)
-        .scheme(Scheme::Mmp)
-        .build()
-        .expect("coherent")
-        .run();
+    let cold = build(mirror.clone()).run();
     assert_eq!(
         cold.matches,
         *session.warm_matches(),
@@ -119,4 +120,31 @@ fn main() {
         "warm-start must probe less than the cold run"
     );
     println!("grown fixpoint == cold fixpoint ✓");
+
+    // Now the non-monotone half: retract every 17th entity (records get
+    // deleted, duplicates get split) and update the session in place.
+    let mut correction = DatasetDelta::new();
+    for e in mirror.entities.ids().filter(|e| e.0.is_multiple_of(17)) {
+        correction.retract_entity(e);
+    }
+    let report = session.update(&correction);
+    correction.apply(&mut mirror);
+    println!(
+        "\nretraction delta: {} entities retracted\nrollback: {report}",
+        report.entities_retracted
+    );
+    let warm = session.run();
+    let cold = build(mirror).run();
+    assert_eq!(
+        warm.matches, cold.matches,
+        "rolled-back session must be byte-identical to a cold run on the edited dataset"
+    );
+    println!(
+        "post-retraction warm run: {} matches | {} probes ({} replayed) vs cold {} probes",
+        warm.matches.len(),
+        warm.stats.conditioned_probes,
+        warm.stats.probes_replayed,
+        cold.stats.conditioned_probes,
+    );
+    println!("edited fixpoint == cold fixpoint ✓");
 }

@@ -1,0 +1,667 @@
+//! Bidirectional dataset deltas: the mutation a [`crate::MatchSession`]
+//! ingests.
+//!
+//! A [`DatasetDelta`] generalizes the append-only
+//! [`crate::DatasetGrowth`] to *both directions*: it can add entities,
+//! relation tuples, and candidate links — and **retract** them.
+//! [`crate::MatchSession::update`] applies a delta, re-blocks only the
+//! affected region, and performs component-scoped rollback of the
+//! carried warm-start state so the next run is byte-identical to a cold
+//! run over the edited dataset (for exact supermodular matchers; see the
+//! rollback notes on `update`).
+//!
+//! Three ways to build one:
+//!
+//! * the fluent builder — [`DatasetDelta::add_entity`] /
+//!   [`DatasetDelta::add_tuple`] / [`DatasetDelta::retract_entity`] /
+//!   [`DatasetDelta::retract_tuple`] / … — the "corrections arriving
+//!   from production traffic" shape;
+//! * [`DatasetDelta::carve`] — the additions-only carve of an entity-id
+//!   range out of a template, byte-compatible with
+//!   [`crate::DatasetGrowth::carve`];
+//! * [`DatasetDelta::churn_script`] — a deterministic interleaving of
+//!   carve-style additions and pseudo-random retractions over a
+//!   template, the workload generator behind the churn equivalence
+//!   tests and the `fig3_runtime --churn` ablation.
+//!
+//! Retraction semantics: entity ids are **never reused** — a retracted
+//! entity tombstones its id (`em_core::EntityStore::retract`), its
+//! relation tuples and candidate pairs are purged, and later additions
+//! get fresh ids. Within one delta, retractions apply before additions,
+//! so a delta may not reference an entity it retracts.
+
+#[allow(deprecated)]
+use crate::growth::DatasetGrowth;
+use crate::growth::{GrowthEntity, GrowthRef, GrowthTuple};
+use em_core::hash::FxHashSet;
+use em_core::{Dataset, EntityId, Pair, RelationId, SimLevel};
+use std::ops::Range;
+
+/// One tuple retraction, by relation name and endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetractTuple {
+    /// Relation name (must be declared).
+    pub relation: String,
+    /// First endpoint.
+    pub a: EntityId,
+    /// Second endpoint.
+    pub b: EntityId,
+}
+
+/// A bidirectional batch of dataset mutations. See the [module
+/// docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct DatasetDelta {
+    /// Entity type names to intern up front, in id order (carved deltas
+    /// list the template's full vocabulary; see
+    /// [`crate::DatasetGrowth::types`]).
+    pub types: Vec<String>,
+    /// Attribute names to intern up front, in id order.
+    pub attrs: Vec<String>,
+    /// Relations to declare up front, in id order, with symmetry flags.
+    pub relations: Vec<(String, bool)>,
+    /// New entities.
+    pub add_entities: Vec<GrowthEntity>,
+    /// New relation tuples (endpoints may be existing or new entities).
+    pub add_tuples: Vec<GrowthTuple>,
+    /// New candidate links with similarity levels (the bidirectional
+    /// counterpart of `DatasetGrowth::similar`).
+    pub add_links: Vec<(GrowthRef, GrowthRef, SimLevel)>,
+    /// Entities to retract (tombstoned; their tuples and candidate
+    /// pairs are purged).
+    pub retract_entities: Vec<EntityId>,
+    /// Tuples to retract.
+    pub retract_tuples: Vec<RetractTuple>,
+    /// Candidate links to retract.
+    pub retract_links: Vec<Pair>,
+}
+
+/// What [`DatasetDelta::apply`] did, beyond mutating the dataset: the
+/// ids of the new entities plus the full retraction footprint (explicit
+/// and implied), which component-scoped rollback seeds from.
+#[derive(Debug, Clone, Default)]
+pub struct AppliedDelta {
+    /// Ids assigned to [`DatasetDelta::add_entities`], in batch order.
+    pub new_ids: Vec<EntityId>,
+    /// Candidate links added, resolved to pairs.
+    pub added_links: Vec<(Pair, SimLevel)>,
+    /// Tuples added between two *pre-existing* entities, resolved.
+    pub added_existing_tuples: Vec<(EntityId, EntityId)>,
+    /// Every tuple removed: the explicit retractions plus the tuples
+    /// implied by entity retraction.
+    pub retracted_tuples: Vec<(RelationId, EntityId, EntityId)>,
+    /// Every candidate pair purged, with its level: pairs incident to
+    /// retracted entities plus the explicit link retractions.
+    pub retracted_pairs: Vec<(Pair, SimLevel)>,
+}
+
+impl DatasetDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the delta holds no mutations at all.
+    pub fn is_empty(&self) -> bool {
+        self.add_entities.is_empty()
+            && self.add_tuples.is_empty()
+            && self.add_links.is_empty()
+            && !self.has_retractions()
+    }
+
+    /// Whether the delta retracts anything (the non-monotone half).
+    pub fn has_retractions(&self) -> bool {
+        !self.retract_entities.is_empty()
+            || !self.retract_tuples.is_empty()
+            || !self.retract_links.is_empty()
+    }
+
+    /// Whether any *added* tuple or link connects two pre-existing
+    /// entities — the growth shape that creates new ground interactions
+    /// among old candidate pairs (see
+    /// [`crate::DatasetGrowth::has_existing_link`]).
+    pub fn has_existing_link(&self) -> bool {
+        let existing_pair = |a: &GrowthRef, b: &GrowthRef| {
+            matches!(a, GrowthRef::Existing(_)) && matches!(b, GrowthRef::Existing(_))
+        };
+        self.add_tuples.iter().any(|t| existing_pair(&t.a, &t.b))
+            || self.add_links.iter().any(|(a, b, _)| existing_pair(a, b))
+    }
+
+    /// Whether applying the delta can perturb the state of *pre-existing*
+    /// candidate pairs: any retraction, or any addition linking two
+    /// existing entities. Pure append-only deltas (what
+    /// [`DatasetDelta::carve`] produces) leave old pairs' evidence
+    /// untouched by construction.
+    pub fn perturbs_existing(&self) -> bool {
+        self.has_retractions() || self.has_existing_link()
+    }
+
+    /// Add a new entity; returns a [`GrowthRef::New`] handle for use in
+    /// tuples and links of the same delta.
+    pub fn add_entity(&mut self, ty: &str, attrs: &[(&str, &str)]) -> GrowthRef {
+        self.add_entities.push(GrowthEntity {
+            ty: ty.to_owned(),
+            attrs: attrs
+                .iter()
+                .map(|&(a, v)| (a.to_owned(), v.to_owned()))
+                .collect(),
+        });
+        GrowthRef::New(self.add_entities.len() - 1)
+    }
+
+    /// Add a relation tuple between two (existing or new) entities;
+    /// returns `&mut self` for chaining.
+    pub fn add_tuple(
+        &mut self,
+        relation: &str,
+        symmetric: bool,
+        a: GrowthRef,
+        b: GrowthRef,
+    ) -> &mut Self {
+        self.add_tuples.push(GrowthTuple {
+            relation: relation.to_owned(),
+            symmetric,
+            a,
+            b,
+        });
+        self
+    }
+
+    /// Add a candidate link at `level`; returns `&mut self` for chaining.
+    pub fn add_link(&mut self, a: GrowthRef, b: GrowthRef, level: SimLevel) -> &mut Self {
+        self.add_links.push((a, b, level));
+        self
+    }
+
+    /// Retract an entity (its tuples and candidate pairs go with it);
+    /// returns `&mut self` for chaining.
+    pub fn retract_entity(&mut self, e: EntityId) -> &mut Self {
+        self.retract_entities.push(e);
+        self
+    }
+
+    /// Retract a relation tuple; returns `&mut self` for chaining.
+    pub fn retract_tuple(&mut self, relation: &str, a: EntityId, b: EntityId) -> &mut Self {
+        self.retract_tuples.push(RetractTuple {
+            relation: relation.to_owned(),
+            a,
+            b,
+        });
+        self
+    }
+
+    /// Retract a candidate link; returns `&mut self` for chaining.
+    pub fn retract_link(&mut self, pair: Pair) -> &mut Self {
+        self.retract_links.push(pair);
+        self
+    }
+
+    /// The additions-only delta equivalent to a [`DatasetGrowth`] batch
+    /// (what the deprecated [`crate::MatchSession::extend`] wraps).
+    #[allow(deprecated)]
+    pub fn from_growth(growth: &DatasetGrowth) -> Self {
+        Self {
+            types: growth.types.clone(),
+            attrs: growth.attrs.clone(),
+            relations: growth.relations.clone(),
+            add_entities: growth.entities.clone(),
+            add_tuples: growth.tuples.clone(),
+            add_links: growth.similar.clone(),
+            ..Self::default()
+        }
+    }
+
+    /// Carve the entities with ids in `range` out of `template` as an
+    /// additions-only delta — byte-compatible with
+    /// [`crate::DatasetGrowth::carve`] (same batch contents, same
+    /// interned-id guarantees).
+    ///
+    /// # Panics
+    /// Panics if `range` extends past the template's entities.
+    pub fn carve(template: &Dataset, range: Range<u32>) -> Self {
+        Self::carve_filtered(template, range, &FxHashSet::default())
+    }
+
+    /// [`DatasetDelta::carve`] that skips tuples and links referencing a
+    /// retracted existing entity — the slice constructor
+    /// [`DatasetDelta::churn_script`] uses, where earlier steps have
+    /// already retracted some of the template's entities.
+    fn carve_filtered(
+        template: &Dataset,
+        range: Range<u32>,
+        retracted: &FxHashSet<EntityId>,
+    ) -> Self {
+        assert!(
+            (range.end as usize) <= template.entities.len(),
+            "carve range {range:?} exceeds template ({} entities)",
+            template.entities.len()
+        );
+        let mut delta = Self {
+            types: template.entities.type_names().map(str::to_owned).collect(),
+            attrs: template.entities.attr_names().map(str::to_owned).collect(),
+            relations: template
+                .relations
+                .ids()
+                .map(|r| {
+                    (
+                        template.relations.name(r).to_owned(),
+                        template.relations.is_symmetric(r),
+                    )
+                })
+                .collect(),
+            ..Self::default()
+        };
+        let growth_ref = |e: EntityId| {
+            if e.0 < range.start {
+                GrowthRef::Existing(e)
+            } else {
+                GrowthRef::New((e.0 - range.start) as usize)
+            }
+        };
+        let dropped = |e: EntityId| e.0 < range.start && retracted.contains(&e);
+        for id in range.clone() {
+            let e = EntityId(id);
+            delta.add_entities.push(GrowthEntity {
+                ty: template
+                    .entities
+                    .type_name(template.entities.entity_type(e))
+                    .to_owned(),
+                attrs: template
+                    .entities
+                    .attributes(e)
+                    .iter()
+                    .map(|(a, v)| (template.entities.attr_name(a).to_owned(), v.to_owned()))
+                    .collect(),
+            });
+        }
+        for rel in template.relations.ids() {
+            let name = template.relations.name(rel);
+            let symmetric = template.relations.is_symmetric(rel);
+            for &(a, b) in template.relations.tuples(rel) {
+                let hi = a.max(b);
+                if range.contains(&hi.0) && !dropped(a) && !dropped(b) {
+                    delta.add_tuples.push(GrowthTuple {
+                        relation: name.to_owned(),
+                        symmetric,
+                        a: growth_ref(a),
+                        b: growth_ref(b),
+                    });
+                }
+            }
+        }
+        let mut similar: Vec<(Pair, SimLevel)> = template
+            .candidate_pairs()
+            .filter(|(p, _)| range.contains(&p.hi().0) && !dropped(p.lo()) && !dropped(p.hi()))
+            .collect();
+        similar.sort_unstable();
+        delta.add_links = similar
+            .into_iter()
+            .map(|(p, level)| (growth_ref(p.lo()), growth_ref(p.hi()), level))
+            .collect();
+        delta
+    }
+
+    /// A deterministic churn workload over `template`: the dataset after
+    /// carving `0..initial`, plus `steps` deltas that each add the next
+    /// carve slice **and** retract a `retract_fraction` sample of the
+    /// previously applied entities (pseudo-random from `seed`). Later
+    /// slices are filtered against earlier retractions, so every delta
+    /// in the script applies cleanly in order.
+    ///
+    /// This is the generator behind the churn equivalence gates: a
+    /// session fed the script and a cold run over a mirror dataset built
+    /// by applying the same deltas must produce byte-identical matches.
+    ///
+    /// # Panics
+    /// Panics if `initial` exceeds the template size or
+    /// `retract_fraction` is not in `[0, 1)`.
+    pub fn churn_script(
+        template: &Dataset,
+        initial: u32,
+        steps: usize,
+        retract_fraction: f64,
+        seed: u64,
+    ) -> (Dataset, Vec<DatasetDelta>) {
+        let n = template.entities.len() as u32;
+        assert!(initial <= n, "initial {initial} exceeds template {n}");
+        assert!(
+            (0.0..1.0).contains(&retract_fraction),
+            "retract_fraction must be in [0, 1)"
+        );
+        let mut dataset = Dataset::new();
+        Self::carve(template, 0..initial).apply(&mut dataset);
+
+        let mut rng = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut retracted: FxHashSet<EntityId> = FxHashSet::default();
+        let mut floor = initial;
+        let mut deltas = Vec::with_capacity(steps);
+        for step in 0..steps {
+            let remaining = n - floor;
+            let slice = remaining / (steps - step) as u32;
+            let range = floor..floor + slice;
+
+            // Victims: a sample of live pre-floor entities, chosen before
+            // the carve so the slice never references them.
+            let mut live: Vec<EntityId> = (0..floor)
+                .map(EntityId)
+                .filter(|e| !retracted.contains(e))
+                .collect();
+            let victims = (live.len() as f64 * retract_fraction) as usize;
+            let mut delta = DatasetDelta::new();
+            for _ in 0..victims {
+                let i = (next() % live.len() as u64) as usize;
+                let victim = live.swap_remove(i);
+                retracted.insert(victim);
+                delta.retract_entity(victim);
+            }
+
+            let carved = Self::carve_filtered(template, range.clone(), &retracted);
+            delta.types = carved.types;
+            delta.attrs = carved.attrs;
+            delta.relations = carved.relations;
+            delta.add_entities = carved.add_entities;
+            delta.add_tuples = carved.add_tuples;
+            delta.add_links = carved.add_links;
+            floor = range.end;
+            deltas.push(delta);
+        }
+        (dataset, deltas)
+    }
+
+    /// Apply the delta to `dataset`: intern vocabularies, perform the
+    /// retractions (entities first — their tuples and pairs are purged —
+    /// then explicit tuples and links), then the additions. Returns the
+    /// [`AppliedDelta`] footprint.
+    ///
+    /// # Panics
+    /// Panics on a malformed delta: retracting an entity that is not
+    /// live, a tuple or link that is not present, an undeclared relation;
+    /// adding through a [`GrowthRef`] that does not resolve; re-declaring
+    /// a relation with different symmetry.
+    pub fn apply(&self, dataset: &mut Dataset) -> AppliedDelta {
+        for ty in &self.types {
+            dataset.entities.intern_type(ty);
+        }
+        for attr in &self.attrs {
+            dataset.entities.intern_attr(attr);
+        }
+        for (name, symmetric) in &self.relations {
+            dataset.relations.declare(name, *symmetric);
+        }
+
+        let mut applied = AppliedDelta::default();
+
+        // --- retractions (entities, then tuples, then links) ---
+        for &e in &self.retract_entities {
+            let (tuples, pairs) = dataset.retract_entity(e);
+            applied.retracted_tuples.extend(tuples);
+            applied.retracted_pairs.extend(pairs);
+        }
+        for t in &self.retract_tuples {
+            let rel = dataset
+                .relations
+                .relation_id(&t.relation)
+                .unwrap_or_else(|| panic!("retract_tuple: unknown relation {:?}", t.relation));
+            assert!(
+                dataset.relations.remove_tuple(rel, t.a, t.b),
+                "retract_tuple: {}({}, {}) is not present",
+                t.relation,
+                t.a,
+                t.b
+            );
+            applied.retracted_tuples.push((rel, t.a, t.b));
+        }
+        for &pair in &self.retract_links {
+            let level = dataset
+                .retract_similar(pair)
+                .unwrap_or_else(|| panic!("retract_link: {pair} is not a candidate pair"));
+            applied.retracted_pairs.push((pair, level));
+        }
+
+        // --- additions ---
+        for entity in &self.add_entities {
+            let ty = dataset.entities.intern_type(&entity.ty);
+            let id = dataset.entities.add_entity(ty);
+            for (attr, value) in &entity.attrs {
+                let attr = dataset.entities.intern_attr(attr);
+                dataset.entities.set_attr(id, attr, value.clone());
+            }
+            applied.new_ids.push(id);
+        }
+        let resolve = |dataset: &Dataset, r: GrowthRef| -> EntityId {
+            match r {
+                GrowthRef::Existing(e) => {
+                    assert!(
+                        dataset.entities.is_live(e),
+                        "delta references {e}, which is not a live entity"
+                    );
+                    e
+                }
+                GrowthRef::New(i) => *applied
+                    .new_ids
+                    .get(i)
+                    .unwrap_or_else(|| panic!("delta references missing batch entity {i}")),
+            }
+        };
+        for tuple in &self.add_tuples {
+            let rel = dataset.relations.declare(&tuple.relation, tuple.symmetric);
+            let (a, b) = (resolve(dataset, tuple.a), resolve(dataset, tuple.b));
+            dataset.relations.add_tuple(rel, a, b);
+            if matches!(tuple.a, GrowthRef::Existing(_))
+                && matches!(tuple.b, GrowthRef::Existing(_))
+            {
+                applied.added_existing_tuples.push((a, b));
+            }
+        }
+        for &(a, b, level) in &self.add_links {
+            let pair = Pair::new(resolve(dataset, a), resolve(dataset, b));
+            dataset.set_similar(pair, level);
+            applied.added_links.push((pair, level));
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> Dataset {
+        let mut ds = Dataset::new();
+        let author = ds.entities.intern_type("author_ref");
+        let name = ds.entities.intern_attr("name");
+        for i in 0..6 {
+            let e = ds.entities.add_entity(author);
+            ds.entities.set_attr(e, name, format!("author {i}"));
+        }
+        let co = ds.relations.declare("coauthor", true);
+        ds.relations.add_tuple(co, EntityId(0), EntityId(2));
+        ds.relations.add_tuple(co, EntityId(1), EntityId(3));
+        ds.relations.add_tuple(co, EntityId(4), EntityId(5));
+        ds.set_similar(Pair::new(EntityId(0), EntityId(1)), SimLevel(2));
+        ds.set_similar(Pair::new(EntityId(2), EntityId(3)), SimLevel(3));
+        ds.set_similar(Pair::new(EntityId(4), EntityId(5)), SimLevel(1));
+        ds
+    }
+
+    #[test]
+    fn carve_agrees_with_growth_carve() {
+        #[allow(deprecated)]
+        fn via_growth(t: &Dataset, r: Range<u32>) -> Dataset {
+            let mut out = Dataset::new();
+            DatasetGrowth::carve(t, r).apply(&mut out);
+            out
+        }
+        let t = template();
+        let n = t.entities.len() as u32;
+        for cut in [0, 2, 4, n] {
+            let mut via_delta = Dataset::new();
+            DatasetDelta::carve(&t, 0..cut).apply(&mut via_delta);
+            DatasetDelta::carve(&t, cut..n).apply(&mut via_delta);
+            let reference = via_growth(&t, 0..n);
+            assert_eq!(via_delta.entities.len(), reference.entities.len());
+            let mut a: Vec<_> = via_delta.candidate_pairs().collect();
+            let mut b: Vec<_> = reference.candidate_pairs().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "cut {cut}");
+            for rel in via_delta.relations.ids() {
+                assert_eq!(
+                    via_delta.relations.tuples(rel),
+                    reference.relations.tuples(rel)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retractions_apply_before_additions() {
+        let mut ds = template();
+        let mut delta = DatasetDelta::new();
+        delta
+            .retract_entity(EntityId(0))
+            .retract_tuple("coauthor", EntityId(1), EntityId(3))
+            .retract_link(Pair::new(EntityId(4), EntityId(5)));
+        let fresh = delta.add_entity("author_ref", &[("name", "replacement")]);
+        delta.add_tuple("coauthor", true, GrowthRef::Existing(EntityId(2)), fresh);
+        let applied = delta.apply(&mut ds);
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        assert_eq!(applied.new_ids, vec![EntityId(6)]);
+        assert!(!ds.entities.is_live(EntityId(0)));
+        // Entity retraction purged both its tuple and its pair.
+        assert_eq!(applied.retracted_tuples.len(), 2);
+        assert!(applied
+            .retracted_tuples
+            .contains(&(co, EntityId(0), EntityId(2))));
+        assert!(applied
+            .retracted_tuples
+            .contains(&(co, EntityId(1), EntityId(3))));
+        assert_eq!(applied.retracted_pairs.len(), 2);
+        assert!(!ds.is_candidate(Pair::new(EntityId(4), EntityId(5))));
+        assert!(ds.relations.has_tuple(co, EntityId(2), EntityId(6)));
+        assert!(
+            applied.added_existing_tuples.is_empty(),
+            "one endpoint is new"
+        );
+        assert!(delta.has_retractions());
+        assert!(delta.perturbs_existing());
+    }
+
+    #[test]
+    fn existing_links_are_reported() {
+        let mut ds = template();
+        let mut delta = DatasetDelta::new();
+        delta.add_tuple(
+            "coauthor",
+            true,
+            GrowthRef::Existing(EntityId(0)),
+            GrowthRef::Existing(EntityId(4)),
+        );
+        delta.add_link(
+            GrowthRef::Existing(EntityId(1)),
+            GrowthRef::Existing(EntityId(2)),
+            SimLevel(2),
+        );
+        assert!(delta.has_existing_link());
+        assert!(!delta.has_retractions());
+        assert!(delta.perturbs_existing());
+        let applied = delta.apply(&mut ds);
+        assert_eq!(
+            applied.added_existing_tuples,
+            vec![(EntityId(0), EntityId(4))]
+        );
+        assert_eq!(
+            applied.added_links,
+            vec![(Pair::new(EntityId(1), EntityId(2)), SimLevel(2))]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live entity")]
+    fn retracting_then_referencing_panics() {
+        let mut ds = template();
+        let mut delta = DatasetDelta::new();
+        delta.retract_entity(EntityId(2));
+        let fresh = delta.add_entity("author_ref", &[("name", "x")]);
+        delta.add_tuple("coauthor", true, GrowthRef::Existing(EntityId(2)), fresh);
+        delta.apply(&mut ds);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not present")]
+    fn retracting_a_missing_tuple_panics() {
+        let mut ds = template();
+        let mut delta = DatasetDelta::new();
+        delta.retract_tuple("coauthor", EntityId(0), EntityId(5));
+        delta.apply(&mut ds);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a candidate pair")]
+    fn retracting_a_missing_link_panics() {
+        let mut ds = template();
+        let mut delta = DatasetDelta::new();
+        delta.retract_link(Pair::new(EntityId(0), EntityId(5)));
+        delta.apply(&mut ds);
+    }
+
+    #[test]
+    fn churn_script_applies_cleanly_and_is_deterministic() {
+        let t = template();
+        let (mut a, deltas_a) = DatasetDelta::churn_script(&t, 2, 3, 0.3, 42);
+        let (mut b, deltas_b) = DatasetDelta::churn_script(&t, 2, 3, 0.3, 42);
+        assert_eq!(deltas_a.len(), 3);
+        for (da, db) in deltas_a.iter().zip(&deltas_b) {
+            assert_eq!(da.retract_entities, db.retract_entities, "deterministic");
+            da.apply(&mut a);
+            db.apply(&mut b);
+        }
+        assert_eq!(a.entities.len(), b.entities.len());
+        assert_eq!(a.entities.live_count(), b.entities.live_count());
+        // Every template entity was either added or skipped-by-retraction;
+        // the id space covers the whole template.
+        assert_eq!(a.entities.len(), t.entities.len());
+        // A different seed changes the victim choice somewhere.
+        let (_, other) = DatasetDelta::churn_script(&t, 2, 3, 0.3, 1337);
+        assert!(
+            deltas_a
+                .iter()
+                .zip(&other)
+                .any(|(x, y)| x.retract_entities != y.retract_entities)
+                || deltas_a.iter().all(|d| d.retract_entities.is_empty())
+        );
+    }
+
+    #[test]
+    fn from_growth_round_trips_the_additions() {
+        #[allow(deprecated)]
+        let growth = {
+            let mut g = DatasetGrowth::new();
+            let fresh = g.add_entity("author_ref", &[("name", "new author")]);
+            g.add_tuple("coauthor", true, GrowthRef::Existing(EntityId(1)), fresh);
+            g
+        };
+        let delta = DatasetDelta::from_growth(&growth);
+        assert!(!delta.has_retractions());
+        assert_eq!(delta.add_entities.len(), 1);
+        assert_eq!(delta.add_tuples.len(), 1);
+        let mut via_delta = template();
+        let mut via_growth = template();
+        delta.apply(&mut via_delta);
+        #[allow(deprecated)]
+        growth.apply(&mut via_growth);
+        assert_eq!(via_delta.entities.len(), via_growth.entities.len());
+        let co = via_delta.relations.relation_id("coauthor").unwrap();
+        assert_eq!(
+            via_delta.relations.tuples(co),
+            via_growth.relations.tuples(co)
+        );
+    }
+}

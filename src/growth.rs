@@ -1,10 +1,16 @@
-//! Dataset growth batches: the delta a [`crate::MatchSession`] ingests.
+//! Dataset growth batches: the append-only predecessor of
+//! [`crate::DatasetDelta`].
 //!
 //! A [`DatasetGrowth`] is a self-contained description of *new* data —
 //! entities with their attributes, relation tuples (which may connect
 //! new entities to existing ones), and optional pre-annotated candidate
-//! pairs — that [`crate::MatchSession::extend`] applies to the session's
-//! dataset before re-blocking the delta and warm-starting the matcher.
+//! pairs — that the deprecated [`crate::MatchSession::extend`] applies
+//! to the session's dataset before re-blocking the delta and
+//! warm-starting the matcher. `extend(growth)` is now a thin wrapper
+//! over [`crate::MatchSession::update`] with
+//! [`crate::DatasetDelta::from_growth`]; new code should build
+//! [`crate::DatasetDelta`]s directly — they add retraction on top of
+//! everything a growth batch can say.
 //!
 //! Two ways to build one:
 //!
@@ -138,76 +144,22 @@ impl DatasetGrowth {
     /// vocabularies ride along so interned ids agree with the template
     /// regardless of the carve boundaries.
     ///
+    /// Delegates to [`crate::DatasetDelta::carve`] — there is one carve
+    /// implementation, and the two surfaces are byte-compatible by
+    /// construction.
+    ///
     /// # Panics
     /// Panics if `range` extends past the template's entities.
     pub fn carve(template: &Dataset, range: Range<u32>) -> Self {
-        assert!(
-            (range.end as usize) <= template.entities.len(),
-            "carve range {range:?} exceeds template ({} entities)",
-            template.entities.len()
-        );
-        let mut batch = Self {
-            types: template.entities.type_names().map(str::to_owned).collect(),
-            attrs: template.entities.attr_names().map(str::to_owned).collect(),
-            relations: template
-                .relations
-                .ids()
-                .map(|r| {
-                    (
-                        template.relations.name(r).to_owned(),
-                        template.relations.is_symmetric(r),
-                    )
-                })
-                .collect(),
-            ..Self::default()
-        };
-        let growth_ref = |e: EntityId| {
-            if e.0 < range.start {
-                GrowthRef::Existing(e)
-            } else {
-                GrowthRef::New((e.0 - range.start) as usize)
-            }
-        };
-        for id in range.clone() {
-            let e = EntityId(id);
-            batch.entities.push(GrowthEntity {
-                ty: template
-                    .entities
-                    .type_name(template.entities.entity_type(e))
-                    .to_owned(),
-                attrs: template
-                    .entities
-                    .attributes(e)
-                    .iter()
-                    .map(|(a, v)| (template.entities.attr_name(a).to_owned(), v.to_owned()))
-                    .collect(),
-            });
+        let delta = crate::DatasetDelta::carve(template, range);
+        Self {
+            types: delta.types,
+            attrs: delta.attrs,
+            relations: delta.relations,
+            entities: delta.add_entities,
+            tuples: delta.add_tuples,
+            similar: delta.add_links,
         }
-        for rel in template.relations.ids() {
-            let name = template.relations.name(rel);
-            let symmetric = template.relations.is_symmetric(rel);
-            for &(a, b) in template.relations.tuples(rel) {
-                let hi = a.max(b);
-                if range.contains(&hi.0) {
-                    batch.tuples.push(GrowthTuple {
-                        relation: name.to_owned(),
-                        symmetric,
-                        a: growth_ref(a),
-                        b: growth_ref(b),
-                    });
-                }
-            }
-        }
-        let mut similar: Vec<(Pair, SimLevel)> = template
-            .candidate_pairs()
-            .filter(|(p, _)| range.contains(&p.hi().0))
-            .collect();
-        similar.sort_unstable();
-        batch.similar = similar
-            .into_iter()
-            .map(|(p, level)| (growth_ref(p.lo()), growth_ref(p.hi()), level))
-            .collect();
-        batch
     }
 
     /// Apply the batch to `dataset`: intern vocabularies, add the new

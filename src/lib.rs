@@ -33,9 +33,14 @@
 //! ```
 //!
 //! The builder validates incoherent combinations into typed
-//! [`PipelineError`]s, and [`MatchSession::extend`] grows the dataset
-//! incrementally — re-blocking only the delta and warm-starting the next
-//! run from the previous fixpoint. See [`pipeline`] for the full tour.
+//! [`PipelineError`]s, and [`MatchSession::update`] mutates the dataset
+//! in place with a bidirectional [`DatasetDelta`] — adding *and
+//! retracting* entities, tuples, and links — re-blocking only the
+//! affected region and rolling back exactly the carried warm-start
+//! state the retractions invalidate, so the next run is byte-identical
+//! to a cold run over the edited dataset (exact matchers). See
+//! [`pipeline`] for the full tour and [`delta`] for the mutation
+//! language.
 //!
 //! ## Workspace map
 //!
@@ -50,13 +55,15 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod growth;
 pub mod pipeline;
 
+pub use delta::{AppliedDelta, DatasetDelta, RetractTuple};
 pub use growth::{DatasetGrowth, GrowthEntity, GrowthRef, GrowthTuple};
 pub use pipeline::{
     Backend, BackendReport, MatchOutcome, MatchSession, MatcherChoice, Pipeline, PipelineError,
-    Scheme, SplitPolicy, StageTimings,
+    Scheme, SplitPolicy, StageTimings, UpdateReport,
 };
 
 pub use em_core as core;

@@ -26,25 +26,35 @@
 //! state across runs, which is what makes two things natural that the
 //! one-shot surfaces could not express:
 //!
-//! * **warm starts** — [`MatchSession::extend`] ingests a
-//!   [`DatasetGrowth`] batch, re-blocks only the delta (feature
-//!   interning and pair scoring are incremental; see the equivalence
-//!   notes there), and the next [`MatchSession::run`] seeds the matcher
-//!   with the previous fixpoint, so almost every candidate pair is
-//!   already decided and MMP's conditioned probes collapse to the
-//!   genuinely new ones. For exact supermodular matchers the result is
-//!   byte-identical to a cold run over the grown dataset (gated in CI);
+//! * **warm starts across live mutation** — [`MatchSession::update`]
+//!   ingests a bidirectional [`DatasetDelta`] (additions *and*
+//!   retractions), re-blocks only the affected region (incremental
+//!   feature interning, canopy-memo replay, delta-only pair scoring),
+//!   rolls back exactly the carried state the retractions invalidate
+//!   (component-scoped: see the rollback notes on `update`), and the
+//!   next [`MatchSession::run`] seeds the matcher with the surviving
+//!   fixpoint, so MMP's conditioned probes collapse to what the delta
+//!   can actually change. For exact supermodular matchers the result is
+//!   byte-identical to a cold run over the edited dataset (gated in
+//!   CI). The append-only [`MatchSession::extend`] /
+//!   [`DatasetGrowth`] surface is a deprecated thin wrapper over it;
 //! * **measured-cost re-planning** — a sharded session feeds each run's
 //!   measured per-neighborhood busy times back into the LPT balancer
 //!   ([`ShardPlan::replan_from`]), so the second run is balanced by what
-//!   the matcher actually cost instead of an estimate.
+//!   the matcher actually cost instead of an estimate (after a churned
+//!   re-block, the plan is repaired from estimates first —
+//!   [`ShardPlan::repair`] — because neighborhood ids do not survive).
 
+use crate::delta::DatasetDelta;
 use crate::growth::DatasetGrowth;
-use em_blocking::{block_dataset_session, BlockingConfig, SimilarityKernel};
+use em_blocking::{
+    block_dataset_churn, block_dataset_session, BlockingConfig, CanopyMemo, SimilarityKernel,
+};
 use em_core::framework::{no_mp_baseline, MmpConfig, MmpDriver, RunStats, SmpDriver, WarmStart};
+use em_core::hash::{FxHashMap, FxHashSet};
 use em_core::{
-    Cover, Dataset, DependencyIndex, Evidence, MatchOutput, Matcher, PairCache, PairSet,
-    ProbabilisticMatcher,
+    Cover, Dataset, DependencyIndex, EntityId, Evidence, GlobalScorer, MatchOutput, Matcher, Pair,
+    PairCache, PairSet, ProbabilisticMatcher, SimLevel,
 };
 use em_mln::{InferenceBackend, LocalSearchParams, MlnMatcher, MlnModel};
 use em_parallel::{execute_mmp, execute_no_mp, execute_smp, ParallelConfig, RoundTrace};
@@ -415,6 +425,8 @@ impl Pipeline {
         // --- blocking (or cover validation) ---
         let block_start = Instant::now();
         let scores = PairCache::new();
+        let mut canopy_memo = CanopyMemo::new();
+        let mut protected_links: FxHashMap<Pair, SimLevel> = FxHashMap::default();
         let (cover, features, cover_managed) = match cover {
             Some(cover) => {
                 cover
@@ -423,6 +435,10 @@ impl Pipeline {
                 (cover, None, false)
             }
             None => {
+                // Annotations present *before* blocking are caller
+                // knowledge: churn re-blocks must never purge them (a
+                // cold run over the same dataset would see them too).
+                protected_links = dataset.candidate_pairs().collect();
                 let built;
                 let shared = match &features {
                     Some(f) if f.config().ngram == blocking.canopy.ngram => f,
@@ -438,9 +454,25 @@ impl Pipeline {
                         &built
                     }
                 };
-                let out =
+                // Seed the canopy memo on the way in, so the session's
+                // first `update` already replays untouched canopies.
+                let out = if blocking.canopy.loose > 0.0 {
+                    block_dataset_churn(
+                        &mut dataset,
+                        &blocking,
+                        shared,
+                        &scores,
+                        &mut canopy_memo,
+                        &[],
+                        false,
+                        &protected_links,
+                    )
+                    .expect("blocking pipeline produces a valid total cover")
+                    .output
+                } else {
                     block_dataset_session(&mut dataset, &blocking, Some(shared), Some(&scores))
-                        .expect("blocking pipeline produces a valid total cover");
+                        .expect("blocking pipeline produces a valid total cover")
+                };
                 let features = shared.clone();
                 (out.cover, Some(features), true)
             }
@@ -502,6 +534,8 @@ impl Pipeline {
             base_evidence: evidence,
             features,
             scores,
+            canopy_memo,
+            protected_links,
             cover,
             cover_managed,
             index,
@@ -512,6 +546,7 @@ impl Pipeline {
             runs: 0,
             pending_blocking: blocking_time,
             pending_planning: planning_time,
+            pending_rollback: RunStats::default(),
         })
     }
 }
@@ -587,6 +622,13 @@ pub struct MatchSession {
     /// Pair scores survive re-blocking: pairs scored once are never
     /// re-scored (exact for corpus-independent kernels).
     scores: PairCache<f64>,
+    /// Previous canopy pass, keyed by center, so delta re-blocks replay
+    /// canopies the churn cannot have touched.
+    canopy_memo: CanopyMemo,
+    /// Caller-supplied candidate annotations (pre-blocking dataset
+    /// annotations plus `DatasetDelta::add_links`): churn purges must
+    /// never withdraw these.
+    protected_links: FxHashMap<Pair, SimLevel>,
     cover: Cover,
     cover_managed: bool,
     index: DependencyIndex,
@@ -601,6 +643,9 @@ pub struct MatchSession {
     runs: u32,
     pending_blocking: Duration,
     pending_planning: Duration,
+    /// Rollback accounting of `update` calls since the previous run,
+    /// folded into the next run's [`RunStats`].
+    pending_rollback: RunStats,
 }
 
 impl MatchSession {
@@ -630,10 +675,18 @@ impl MatchSession {
         self.plan.as_ref()
     }
 
-    /// Drop the warm-start state: the next run is cold.
+    /// Drop every cross-run cache: the next run — and the next re-block —
+    /// are cold. Besides the warm fixpoint and the carried
+    /// message/memo state this also clears the pair-score cache and the
+    /// canopy memo (earlier versions left the score cache populated,
+    /// which made a "reset" session replay blocking scores a truly cold
+    /// session would recompute).
     pub fn reset_warm(&mut self) {
         self.warm = PairSet::new();
         self.warm_state = WarmStart::new();
+        self.scores.clear();
+        self.canopy_memo.clear();
+        self.last_shard_report = None;
     }
 
     /// The evidence the next run will be seeded with: the caller's base
@@ -675,8 +728,13 @@ impl MatchSession {
         let evidence = self.run_evidence();
         let mut warm_state = std::mem::take(&mut self.warm_state);
         let match_start = Instant::now();
-        let (output, backend_report) = self.dispatch(&evidence, &mut warm_state);
+        let (mut output, backend_report) = self.dispatch(&evidence, &mut warm_state);
         let matching = match_start.elapsed();
+        // Rollback accounting of the updates since the previous run
+        // surfaces on this run's stats (and its Display line).
+        output
+            .stats
+            .merge(&std::mem::take(&mut self.pending_rollback));
         self.warm_state = warm_state;
         // Entities added after this point are "new" to the banked memos.
         self.warm_state.entity_floor = self.dataset.entities.len() as u32;
@@ -746,8 +804,9 @@ impl MatchSession {
                         match warm.bank.withdraw_grown(&view, warm.entity_floor) {
                             // Identical view: quiescent; skip it.
                             Some((memo, true)) => driver.seed_memo(id, memo),
-                            // Grown view: must re-evaluate, but probes in
-                            // components no new pair reaches replay.
+                            // Grown or tainted view: must re-evaluate,
+                            // but probes in components no change reaches
+                            // replay.
                             Some((memo, false)) => {
                                 driver.seed_memo(id, memo);
                                 active.push(id);
@@ -829,71 +888,223 @@ impl MatchSession {
             .expect("MMP sessions validate the matcher at build time")
     }
 
-    /// Grow the session's dataset with a batch of new entities, re-block
-    /// only the delta, and arm the next [`MatchSession::run`] to
-    /// warm-start from the previous fixpoint.
+    /// Grow the session's dataset with an append-only batch.
     ///
-    /// What "re-block only the delta" means concretely:
+    /// Deprecated thin wrapper over [`MatchSession::update`] with the
+    /// additions-only [`DatasetDelta::from_growth`] — byte-identical
+    /// behaviour to the PR 4 surface (the wrapper-equivalence tests pin
+    /// this), kept so existing callers keep compiling.
     ///
-    /// * feature interning is incremental — only the new entities are
-    ///   tokenized ([`FeatureCache::extend_from`]);
-    /// * the cheap canopy pass re-runs over all points (it is gram-id
-    ///   merges, a tiny fraction of blocking cost), and because centers
-    ///   are visited in ascending entity-id order and growth only
-    ///   appends ids, previously formed within-canopy pairs persist;
-    /// * the expensive exact kernel runs only for pairs not in the
-    ///   session's pair-score cache — i.e. pairs involving new entities;
+    /// # Panics
+    /// Panics if the session was built with a caller-provided
+    /// [`Pipeline::cover`], or if the batch is malformed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use MatchSession::update with a DatasetDelta (additions-only deltas reproduce \
+                extend() exactly)"
+    )]
+    pub fn extend(&mut self, growth: &DatasetGrowth) -> &mut Self {
+        self.update(&DatasetDelta::from_growth(growth));
+        self
+    }
+
+    /// Apply a bidirectional [`DatasetDelta`] — additions *and*
+    /// retractions — re-block only the affected region, roll back
+    /// exactly the carried state the retractions invalidate, and arm the
+    /// next [`MatchSession::run`] to warm-start everything else.
+    ///
+    /// ## What stays incremental
+    ///
+    /// * feature interning: only added entities are tokenized
+    ///   ([`FeatureCache::extend_from`]); retracted entities' features
+    ///   are dropped ([`FeatureCache::remove`]);
+    /// * the canopy pass replays every canopy whose gram neighborhood
+    ///   the delta does not touch ([`em_blocking::CanopyMemo`]) — the
+    ///   cheap pass no longer re-runs in full;
+    /// * the exact kernel runs only for pairs not in the session's
+    ///   score cache: pairs involving new entities, plus pairs of
+    ///   *changed* canopies whose annotations the churn purge withdrew;
     /// * the cover, [`DependencyIndex`], and shard plan are rebuilt
-    ///   (they are cheap relative to matching, and neighborhood ids are
-    ///   not stable across re-blocking — which also invalidates the
-    ///   previous run's measured-cost trace, so the next sharded run
-    ///   plans from estimates again).
+    ///   (neighborhood ids are not stable across re-blocking; a sharded
+    ///   session's plan is repaired via [`ShardPlan::repair`] and the
+    ///   measured-cost trace discarded).
     ///
-    /// For exact supermodular matchers and corpus-independent similarity
-    /// kernels, a grown session's next run is **byte-identical** to a
-    /// cold run over the equivalent full dataset (the previous fixpoint
-    /// is contained in the grown fixpoint by view monotonicity, so
-    /// seeding it changes no decisions — only the work needed to reach
-    /// them). With the corpus-weighted
-    /// [`SimilarityKernel::TfIdfCosine`] kernel, the grown corpus
-    /// re-weights every score, so nothing carried from before the
-    /// growth is trustworthy: the session rebuilds the feature cache,
-    /// clears the score cache, and drops the warm state *including the
-    /// previous fixpoint* — the next run is cold. (Candidate-pair
-    /// levels already annotated on the dataset can still only rise —
-    /// `Dataset::set_similar` keeps the higher level — so a TF-IDF
-    /// session's dataset is not guaranteed to equal a cold build's;
-    /// prefer the corpus-independent kernels for growing sessions.)
+    /// ## Component-scoped rollback
+    ///
+    /// Retraction is non-monotone: pairs the previous fixpoint matched
+    /// may be unmatched by a cold run over the edited dataset, so warm
+    /// state cannot be carried wholesale. Soundness comes from the same
+    /// factorization the incremental prober uses: for exact
+    /// supermodular matchers, evidence in one ground-interaction
+    /// component cannot change decisions in another. The rollback
+    /// therefore computes the closure of the retraction's footprint —
+    /// pairs incident to retracted entities, pairs coupled through
+    /// retracted or newly-added tuples, candidate pairs whose
+    /// annotation the re-block changed — under the global scorer's
+    /// interaction adjacency (before *and* after the edit), widens it
+    /// to whole evidence components
+    /// ([`DependencyIndex::evidence_components`]), and drops exactly
+    /// that slice of carried state:
+    ///
+    /// * invalidated pairs leave the warm fixpoint (they are no longer
+    ///   sound evidence);
+    /// * carried maximal messages touching an invalidated pair are
+    ///   dropped, and the message store's union-find is **rebuilt from
+    ///   the retained messages** (un-merging is impossible);
+    /// * banked probe memos whose view contains a retracted entity, an
+    ///   invalidated pair, or both endpoints of a retracted/added tuple
+    ///   are evicted (their view identity may be unchanged while their
+    ///   conditioning evidence is not — the identity check alone cannot
+    ///   catch that);
+    /// * blocking scores of pairs mentioning retracted entities are
+    ///   evicted; caller evidence mentioning them is retracted
+    ///   ([`Evidence::retract_positive`]).
+    ///
+    /// The next [`MatchSession::run`] then warm-starts untouched
+    /// components exactly as a growth run does, and is
+    /// **byte-identical to a cold run over the edited dataset** for
+    /// exact supermodular matchers, sequential and sharded (CI-gated).
+    ///
+    /// ## When retraction degrades to cold
+    ///
+    /// The rollback needs a [`GlobalScorer`] (interaction adjacency)
+    /// and component-factorizable probes. Sessions that cannot provide
+    /// both — Type-I matchers ([`MatcherChoice::Rules`],
+    /// [`MatcherChoice::Custom`]), approximate inference with
+    /// `.incremental(false)`, the corpus-weighted
+    /// [`SimilarityKernel::TfIdfCosine`] kernel (a churned corpus
+    /// re-weights every score), or a non-positive canopy loose
+    /// threshold (no canopy identity to diff, so annotation changes
+    /// cannot be scoped) — drop the warm state wholesale on any
+    /// retraction and run cold, which is always sound.
+    /// [`UpdateReport::degraded_to_cold`] says when this happened.
     ///
     /// # Panics
     /// Panics if the session was built with a caller-provided
     /// [`Pipeline::cover`] (the session does not manage blocking then),
-    /// or if the growth batch is malformed (see
-    /// [`DatasetGrowth::apply`]).
-    pub fn extend(&mut self, growth: &DatasetGrowth) -> &mut Self {
+    /// or if the delta is malformed (see [`DatasetDelta::apply`]).
+    pub fn update(&mut self, delta: &DatasetDelta) -> UpdateReport {
         assert!(
             self.cover_managed,
-            "MatchSession::extend needs a blocking-managed cover; sessions built with \
+            "MatchSession::update needs a blocking-managed cover; sessions built with \
              Pipeline::cover(...) own no blocking state to re-run"
         );
-        if growth.has_existing_link() {
-            // A batch linking two pre-existing entities can create new
-            // ground interactions between old candidate pairs, which the
-            // carried probe memos and skip-unchanged scheduling cannot
-            // see. Drop them; the next run recomputes (warm evidence is
-            // still sound — growth only adds supermodular synergy).
-            self.warm_state = WarmStart::new();
-        }
-        let block_start = Instant::now();
-        growth.apply(&mut self.dataset);
+        let perturbs_existing = delta.perturbs_existing();
+        let has_retractions = delta.has_retractions();
+        let tfidf = self.blocking.kernel == SimilarityKernel::TfIdfCosine;
+        // A non-positive loose threshold has no canopy identity to diff
+        // (everything gram-sharing joins everything), so such sessions
+        // re-block in full — and without the annotation diff the
+        // rollback closure cannot be scoped, so retraction degrades.
+        let incremental_blocking = !tfidf && self.blocking.canopy.loose > 0.0;
+        let rollback_capable = incremental_blocking
+            && self.mmp_config.incremental
+            && self.matcher.as_probabilistic().is_some();
 
+        let mut report = UpdateReport {
+            entities_added: delta.add_entities.len() as u64,
+            entities_retracted: delta.retract_entities.len() as u64,
+            tuples_added: delta.add_tuples.len() as u64,
+            links_added: delta.add_links.len() as u64,
+            ..UpdateReport::default()
+        };
+
+        // --- Phase 0: capture the old world's interaction structure ---
+        // (before any mutation: the seeds, their closure under the old
+        // scorer's ground adjacency, and the old evidence components).
+        let mut seeds = PairSet::new();
+        let mut old_closure = PairSet::new();
+        let mut old_component_of: FxHashMap<Pair, usize> = FxHashMap::default();
+        let mut guard_tuples: Vec<(EntityId, EntityId)> = Vec::new();
+        if perturbs_existing && rollback_capable {
+            let seed_around = |ds: &Dataset, x: EntityId, seeds: &mut PairSet| {
+                for &(other, _) in ds.sim_neighbors(x) {
+                    seeds.insert(Pair::new(x, other));
+                }
+            };
+            for &e in &delta.retract_entities {
+                seed_around(&self.dataset, e, &mut seeds);
+                for rel in self.dataset.relations.ids() {
+                    for &n in self.dataset.relations.neighbors_out(rel, e) {
+                        seed_around(&self.dataset, n, &mut seeds);
+                    }
+                    for &n in self.dataset.relations.neighbors_in(rel, e) {
+                        seed_around(&self.dataset, n, &mut seeds);
+                    }
+                }
+            }
+            for t in &delta.retract_tuples {
+                seed_around(&self.dataset, t.a, &mut seeds);
+                seed_around(&self.dataset, t.b, &mut seeds);
+                guard_tuples.push((t.a, t.b));
+            }
+            for &p in &delta.retract_links {
+                seeds.insert(p);
+            }
+            for t in &delta.add_tuples {
+                if let (crate::GrowthRef::Existing(a), crate::GrowthRef::Existing(b)) = (t.a, t.b) {
+                    seed_around(&self.dataset, a, &mut seeds);
+                    seed_around(&self.dataset, b, &mut seeds);
+                    guard_tuples.push((a, b));
+                }
+            }
+            for &(a, b, _) in &delta.add_links {
+                if let (crate::GrowthRef::Existing(a), crate::GrowthRef::Existing(b)) = (a, b) {
+                    seeds.insert(Pair::new(a, b));
+                }
+            }
+
+            let matcher = self.probabilistic();
+            let scorer = matcher.global_scorer(&self.dataset);
+            old_closure = flood_closure(&seeds, scorer.as_ref());
+            let components = self.index.evidence_components();
+            let mut component_of_nbhd = vec![usize::MAX; self.cover.len()];
+            for (ci, comp) in components.iter().enumerate() {
+                for id in comp {
+                    component_of_nbhd[id.index()] = ci;
+                }
+            }
+            for (pair, _) in self.dataset.candidate_pairs() {
+                if let Some(&first) = self.index.neighborhoods_of(pair).first() {
+                    old_component_of.insert(pair, component_of_nbhd[first.index()]);
+                }
+            }
+        }
+
+        // --- Phase 1: mutate the dataset ---
+        // Ids at or above this floor are new to this update; pairs
+        // touching them are handled by the (monotone) growth machinery,
+        // never by rollback.
+        let pre_update_floor = self.dataset.entities.len() as u32;
+        let block_start = Instant::now();
+        let applied = delta.apply(&mut self.dataset);
+        for &(pair, level) in &applied.added_links {
+            let slot = self.protected_links.entry(pair).or_insert(level);
+            *slot = (*slot).max(level);
+        }
+        // A retracted link stops being protected and loses its cached
+        // score, so the re-block treats it exactly as a cold run over
+        // the edited dataset would: kernel-similar records re-derive
+        // their candidacy (on both sides), caller-asserted links stay
+        // gone (on both sides). To *forbid* a match between records
+        // that remain similar, use negative evidence instead.
+        for &pair in &delta.retract_links {
+            self.protected_links.remove(&pair);
+            self.scores.remove(pair);
+        }
+        // Caches keyed by dataset identity (the matcher's grounding
+        // cache, the fingerprint memo of a CachedMatcher) are stale the
+        // moment an in-place mutation can change a view's ground model.
+        if perturbs_existing {
+            self.matcher.as_matcher().invalidate_caches();
+        }
+
+        // --- Phase 2: features + delta re-block ---
         let features = self.features.as_mut().expect("blocking-managed session");
-        if self.blocking.kernel == SimilarityKernel::TfIdfCosine {
-            // Corpus-weighted kernel: the grown corpus re-weights every
-            // score, so the previous fixpoint (matched under the old
-            // weights) is not valid evidence either. Rebuild the
-            // features, drop the caches *and* the warm fixpoint — the
-            // next run is cold.
+        let churn_out = if tfidf {
+            // Corpus-weighted kernel: the churned corpus re-weights every
+            // score; nothing carried is trustworthy. Rebuild features,
+            // drop the caches and the warm state — the next run is cold.
             *features = FeatureCache::build(
                 &self.dataset,
                 &self.blocking.entity_type,
@@ -903,25 +1114,95 @@ impl MatchSession {
                 },
             );
             self.scores.clear();
+            self.canopy_memo.clear();
             self.warm = PairSet::new();
             self.warm_state = WarmStart::new();
-        } else {
+            report.degraded_to_cold = true;
+            let out = block_dataset_session(
+                &mut self.dataset,
+                &self.blocking,
+                Some(features),
+                Some(&self.scores),
+            )
+            .expect("blocking pipeline produces a valid total cover");
+            report.pairs_reblocked = out.pairs_scored;
+            self.cover = out.cover;
+            None
+        } else if !incremental_blocking {
+            // Degenerate loose threshold: features stay delta-maintained
+            // but the canopy pass re-runs in full, and retraction (if
+            // any) degrades to cold in phase 4.
+            for &e in &delta.retract_entities {
+                features.remove(e);
+            }
             features.extend_from(
                 &self.dataset,
                 &self.blocking.entity_type,
                 &self.blocking.key_attr,
             );
-        }
-        let out = block_dataset_session(
-            &mut self.dataset,
-            &self.blocking,
-            Some(features),
-            Some(&self.scores),
-        )
-        .expect("blocking pipeline produces a valid total cover");
-        self.cover = out.cover;
+            if has_retractions {
+                let gone: FxHashSet<EntityId> = delta.retract_entities.iter().copied().collect();
+                self.scores
+                    .retain(|p| !gone.contains(&p.lo()) && !gone.contains(&p.hi()));
+            }
+            let out = block_dataset_session(
+                &mut self.dataset,
+                &self.blocking,
+                Some(features),
+                Some(&self.scores),
+            )
+            .expect("blocking pipeline produces a valid total cover");
+            report.pairs_reblocked = out.pairs_scored;
+            self.cover = out.cover;
+            None
+        } else {
+            // The canopy delta footprint: the gram-id sets of every
+            // removed point (captured before the features are dropped)
+            // and every added point.
+            let mut delta_grams: Vec<Vec<u32>> = Vec::new();
+            for &e in &delta.retract_entities {
+                if let Some(removed) = features.remove(e) {
+                    delta_grams.push(removed.grams);
+                }
+            }
+            features.extend_from(
+                &self.dataset,
+                &self.blocking.entity_type,
+                &self.blocking.key_attr,
+            );
+            for &id in &applied.new_ids {
+                if let Some(fv) = features.get(id) {
+                    delta_grams.push(fv.grams.clone());
+                }
+            }
+            // Blocking scores of pairs mentioning a retracted entity are
+            // dead weight (and would shadow a changed world on re-add of
+            // similar keys — ids are fresh, so this is pure hygiene).
+            if has_retractions {
+                let gone: FxHashSet<EntityId> = delta.retract_entities.iter().copied().collect();
+                self.scores
+                    .retain(|p| !gone.contains(&p.lo()) && !gone.contains(&p.hi()));
+            }
+            let mut out = block_dataset_churn(
+                &mut self.dataset,
+                &self.blocking,
+                features,
+                &self.scores,
+                &mut self.canopy_memo,
+                &delta_grams,
+                has_retractions,
+                &self.protected_links,
+            )
+            .expect("blocking pipeline produces a valid total cover");
+            report.pairs_reblocked = out.output.pairs_scored;
+            report.canopies_replayed = out.canopies_replayed;
+            report.canopies_recomputed = out.canopies_recomputed;
+            self.cover = std::mem::take(&mut out.output.cover);
+            Some(out)
+        };
         self.pending_blocking += block_start.elapsed();
 
+        // --- Phase 3: rebuild the scheduling state ---
         let plan_start = Instant::now();
         self.index = DependencyIndex::build(&self.dataset, &self.cover);
         if let Backend::Sharded {
@@ -929,18 +1210,225 @@ impl MatchSession {
             split_policy,
         } = self.backend
         {
-            // Neighborhood ids changed; the measured trace no longer
-            // applies. Plan from estimates, re-plan after the next run.
-            self.plan = Some(ShardPlan::build(
-                &self.index,
-                shards,
-                &estimate_costs(&self.dataset, &self.cover),
-                split_policy,
-            ));
+            let costs = estimate_costs(&self.dataset, &self.cover);
+            self.plan = Some(match self.plan.take() {
+                // Neighborhood ids changed; the measured trace no longer
+                // applies. Repair keeps the shard count and policy,
+                // re-partitioning the (possibly shrunk) component set
+                // from estimates; re-plan from measurements after the
+                // next full run.
+                Some(plan) => plan.repair(&self.index, &costs),
+                None => ShardPlan::build(&self.index, shards, &costs, split_policy),
+            });
             self.last_shard_report = None;
         }
         self.pending_planning += plan_start.elapsed();
-        self
+
+        // --- Phase 4: rollback (or degrade) ---
+        if !perturbs_existing || tfidf {
+            // Pure growth keeps everything (PR 4 semantics); TF-IDF
+            // already went cold above.
+        } else if !rollback_capable {
+            // No scorer to scope the rollback with: degrade. Additions
+            // that only *add* synergy keep the warm fixpoint (growth is
+            // monotone); any retraction drops it too.
+            self.warm_state = WarmStart::new();
+            if has_retractions {
+                self.warm = PairSet::new();
+                report.degraded_to_cold = true;
+            }
+        } else {
+            // Annotation changes among *pre-existing* entities are
+            // genuine perturbations (a canopy reshuffle co-located or
+            // separated two old records). Changes touching a new entity
+            // are pure growth: the grown-view machinery (entered-pair
+            // seeding) handles them, and flooding from them would drag
+            // the whole growth region into the rollback for nothing.
+            let changed: Vec<Pair> = churn_out
+                .as_ref()
+                .map(|c| {
+                    c.changed_pairs
+                        .iter()
+                        .map(|c| c.pair)
+                        .filter(|p| p.lo().0 < pre_update_floor && p.hi().0 < pre_update_floor)
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut new_seeds = old_closure.clone();
+            new_seeds.union_with(&seeds);
+            for &p in &changed {
+                new_seeds.insert(p);
+            }
+            for &(p, _) in &applied.retracted_pairs {
+                new_seeds.insert(p);
+            }
+            let matcher = self.probabilistic();
+            let scorer = matcher.global_scorer(&self.dataset);
+            let invalid = flood_closure(&new_seeds, scorer.as_ref());
+            drop(scorer);
+
+            // Attribute the closure to (old) evidence components — the
+            // unit the rollback is reported and reasoned at. The drops
+            // below stay at pair/view granularity: probes factorize over
+            // ground components, which are *finer* than the
+            // neighborhood-level evidence components, so carried state
+            // outside the closure survives even inside a touched
+            // component.
+            let touched: FxHashSet<usize> = invalid
+                .iter()
+                .filter_map(|p| old_component_of.get(&p).copied())
+                .collect();
+            report.components_invalidated = touched.len() as u64;
+
+            // Drop exactly the invalidated slice of carried state.
+            if has_retractions {
+                let stale: Vec<Pair> = self.warm.iter().filter(|p| invalid.contains(*p)).collect();
+                for p in stale {
+                    self.warm.remove(p);
+                    report.warm_matches_dropped += 1;
+                }
+            }
+            report.messages_dropped = self
+                .warm_state
+                .store
+                .retain_messages(|members| members.iter().all(|p| !invalid.contains(*p)))
+                as u64;
+            let gone: FxHashSet<EntityId> = delta.retract_entities.iter().copied().collect();
+            // Memos of views a retracted/added tuple ran *through* (both
+            // endpoints members) are dropped — their probe results were
+            // computed against ground structure that changed in place.
+            report.memos_dropped = self.warm_state.bank.invalidate(|members, _| {
+                guard_tuples.iter().any(|&(a, b)| {
+                    members.binary_search(&a).is_ok() && members.binary_search(&b).is_ok()
+                })
+            }) as u64;
+            // Views that lost retracted members are re-keyed under their
+            // surviving members: probes of invalidated pairs are deleted
+            // (they re-issue), everything outside the closure replays.
+            // Views whose structure survives but whose pairs intersect
+            // the closure are only *tainted*: they re-evaluate
+            // (regenerating the messages dropped above) with full probe
+            // replay outside the rolled-back ground components.
+            report.memos_tainted = (self.warm_state.bank.rekey_shrunk(&gone, &invalid)
+                + self
+                    .warm_state
+                    .bank
+                    .taint(|_, pairs| pairs.iter().any(|&(p, _)| invalid.contains(p))))
+                as u64;
+            // Caller evidence mentioning retracted entities is retracted
+            // through the tombstoning mutators.
+            if !gone.is_empty() {
+                let stale_pos: Vec<Pair> = self
+                    .base_evidence
+                    .positive
+                    .iter()
+                    .filter(|p| gone.contains(&p.lo()) || gone.contains(&p.hi()))
+                    .collect();
+                for p in stale_pos {
+                    self.base_evidence.retract_positive(p);
+                }
+                let stale_neg: Vec<Pair> = self
+                    .base_evidence
+                    .negative
+                    .iter()
+                    .filter(|p| gone.contains(&p.lo()) || gone.contains(&p.hi()))
+                    .collect();
+                for p in stale_neg {
+                    self.base_evidence.retract_negative(p);
+                }
+            }
+        }
+
+        self.pending_rollback.components_invalidated += report.components_invalidated;
+        self.pending_rollback.messages_dropped += report.messages_dropped;
+        self.pending_rollback.memos_dropped += report.memos_dropped;
+        self.pending_rollback.pairs_reblocked += report.pairs_reblocked;
+        report
+    }
+}
+
+/// Closure of `seeds` under the global scorer's ground-interaction
+/// adjacency, restricted to the scorer's candidate universe (seeds that
+/// are not variables of the ground model stay in the closure but cannot
+/// expand). The component-factorization argument: for exact
+/// supermodular matchers, evidence outside a pair's closure cannot
+/// change its probes or its promotion delta.
+fn flood_closure(seeds: &PairSet, scorer: &dyn GlobalScorer) -> PairSet {
+    let mut closure = seeds.clone();
+    let mut stack: Vec<Pair> = seeds.iter().collect();
+    while let Some(p) = stack.pop() {
+        for q in scorer.affected_pairs(p) {
+            if closure.insert(q) {
+                stack.push(q);
+            }
+        }
+    }
+    closure
+}
+
+/// What one [`MatchSession::update`] did: the delta's size, the
+/// incremental re-block's ledger, and — with retractions — the
+/// component-scoped rollback accounting. The rollback counters also
+/// surface on the next run's [`RunStats`] (and its `Display` line).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Entities the delta added.
+    pub entities_added: u64,
+    /// Entities the delta retracted.
+    pub entities_retracted: u64,
+    /// Tuples the delta added.
+    pub tuples_added: u64,
+    /// Candidate links the delta added.
+    pub links_added: u64,
+    /// Ground-interaction (evidence) components whose carried state was
+    /// invalidated.
+    pub components_invalidated: u64,
+    /// Carried maximal messages dropped by the rollback.
+    pub messages_dropped: u64,
+    /// Banked probe memos dropped by the rollback (their view's ground
+    /// structure changed).
+    pub memos_dropped: u64,
+    /// Banked probe memos *tainted*: their view survives byte-identical
+    /// but its evidence was rolled back, so the neighborhood
+    /// re-evaluates with probe replay instead of being skipped.
+    pub memos_tainted: u64,
+    /// Warm fixpoint pairs dropped (no longer sound evidence).
+    pub warm_matches_dropped: u64,
+    /// Exact-kernel evaluations the delta re-block performed.
+    pub pairs_reblocked: u64,
+    /// Canopies replayed from the memo without an index query.
+    pub canopies_replayed: u64,
+    /// Canopies recomputed against the inverted index.
+    pub canopies_recomputed: u64,
+    /// Whether the session dropped its warm state wholesale instead of
+    /// rolling back component-by-component (Type-I matchers,
+    /// `.incremental(false)`, or the TF-IDF kernel — see
+    /// [`MatchSession::update`]).
+    pub degraded_to_cold: bool,
+}
+
+impl fmt::Display for UpdateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "+{} -{} entities | {} components invalidated | {} messages, {} memos, {} warm \
+             matches dropped ({} memos tainted) | {} pairs re-blocked | canopies {} replayed / \
+             {} recomputed",
+            self.entities_added,
+            self.entities_retracted,
+            self.components_invalidated,
+            self.messages_dropped,
+            self.memos_dropped,
+            self.warm_matches_dropped,
+            self.memos_tainted,
+            self.pairs_reblocked,
+            self.canopies_replayed,
+            self.canopies_recomputed,
+        )?;
+        if self.degraded_to_cold {
+            write!(f, " | degraded to cold")?;
+        }
+        Ok(())
     }
 }
 

@@ -4,7 +4,8 @@
 //! them, and the warm-start/growth contract on small workloads.
 
 use em::{
-    Backend, DatasetGrowth, Evidence, MatcherChoice, Pipeline, PipelineError, Scheme, SplitPolicy,
+    Backend, DatasetDelta, DatasetGrowth, Evidence, MatcherChoice, Pipeline, PipelineError, Scheme,
+    SplitPolicy,
 };
 use em_core::testing::paper_example;
 use em_core::{Dataset, EntityId, Pair, SimLevel};
@@ -233,6 +234,7 @@ fn warm_rerun_is_byte_identical_and_probe_free() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn extend_grown_session_equals_cold_run_with_fewer_probes() {
     let template = generate(&DatasetProfile::hepth().scaled(0.006)).dataset;
     let n = template.entities.len() as u32;
@@ -266,6 +268,7 @@ fn extend_grown_session_equals_cold_run_with_fewer_probes() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn growth_linking_existing_entities_drops_carried_state_but_stays_correct() {
     let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
     let n = template.entities.len() as u32;
@@ -314,6 +317,7 @@ fn growth_linking_existing_entities_drops_carried_state_but_stays_correct() {
 }
 
 #[test]
+#[allow(deprecated)]
 #[should_panic(expected = "blocking-managed cover")]
 fn extend_on_a_provided_cover_panics() {
     let (dataset, cover, matcher, _) = paper_example();
@@ -349,6 +353,271 @@ fn provided_evidence_reaches_every_backend() {
             .run();
         assert!(!out.matches.contains(blocked), "{backend:?}");
     }
+}
+
+// ---------------------------------------------------------------------
+// The bidirectional `DatasetDelta` surface: wrapper equivalence with
+// the deprecated growth API, retraction soundness, and the degrade
+// paths.
+// ---------------------------------------------------------------------
+
+fn mmp_session(dataset: Dataset) -> em::MatchSession {
+    Pipeline::new(dataset)
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Mmp)
+        .build()
+        .expect("coherent")
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_extend_wrapper_equals_update() {
+    let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let n = template.entities.len() as u32;
+    let growth = DatasetGrowth::carve(&template, n / 2..n);
+    let delta = DatasetDelta::from_growth(&growth);
+
+    let mut base = Dataset::new();
+    DatasetGrowth::carve(&template, 0..n / 2).apply(&mut base);
+    let mut via_extend = mmp_session(base.clone());
+    via_extend.run();
+    via_extend.extend(&growth);
+    let extend_out = via_extend.run();
+
+    let mut via_update = mmp_session(base);
+    via_update.run();
+    let report = via_update.update(&delta);
+    let update_out = via_update.run();
+
+    assert_eq!(extend_out.matches, update_out.matches);
+    assert_eq!(
+        extend_out.stats.conditioned_probes, update_out.stats.conditioned_probes,
+        "the wrapper must not change the work either"
+    );
+    assert!(!report.degraded_to_cold);
+    assert_eq!(report.entities_retracted, 0);
+    assert_eq!(report.entities_added, growth.entities.len() as u64);
+}
+
+#[test]
+fn update_with_retractions_equals_cold_run() {
+    let template = generate(&DatasetProfile::hepth().scaled(0.005)).dataset;
+    let n = template.entities.len() as u32;
+    let mut mirror = Dataset::new();
+    DatasetDelta::carve(&template, 0..n).apply(&mut mirror);
+    let mut session = mmp_session(mirror.clone());
+    let first = session.run();
+
+    // Retract every 13th entity plus one explicit tuple and one link.
+    let mut delta = DatasetDelta::new();
+    for e in mirror.entities.ids().filter(|e| e.0 % 13 == 5) {
+        delta.retract_entity(e);
+    }
+    let report = session.update(&delta);
+    delta.apply(&mut mirror);
+    assert!(report.entities_retracted > 0);
+    assert!(!report.degraded_to_cold, "exact MMP rolls back");
+
+    let warm = session.run();
+    let cold = mmp_session(mirror).run();
+    assert_eq!(
+        warm.matches, cold.matches,
+        "post-retraction warm run must be byte-identical to cold"
+    );
+    assert!(
+        warm.stats.conditioned_probes <= cold.stats.conditioned_probes,
+        "rollback must not probe more than cold ({} > {})",
+        warm.stats.conditioned_probes,
+        cold.stats.conditioned_probes
+    );
+    assert!(
+        !first.matches.is_subset(&warm.matches) || warm.matches.len() <= first.matches.len(),
+        "retraction is non-monotone in general"
+    );
+    // Rollback accounting surfaces on the next run's stats too.
+    assert_eq!(
+        warm.stats.components_invalidated,
+        report.components_invalidated
+    );
+    assert_eq!(warm.stats.messages_dropped, report.messages_dropped);
+    assert_eq!(warm.stats.pairs_reblocked, report.pairs_reblocked);
+}
+
+#[test]
+fn retracting_a_tuple_rolls_back_its_region() {
+    let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let n = template.entities.len() as u32;
+    let mut mirror = Dataset::new();
+    DatasetDelta::carve(&template, 0..n).apply(&mut mirror);
+    let mut session = mmp_session(mirror.clone());
+    session.run();
+
+    let co = mirror.relations.relation_id("coauthor").expect("coauthor");
+    let tuples: Vec<(EntityId, EntityId)> = mirror.relations.tuples(co).to_vec();
+    let mut delta = DatasetDelta::new();
+    for &(a, b) in tuples.iter().take(4) {
+        delta.retract_tuple("coauthor", a, b);
+        assert!(mirror.relations.remove_tuple(co, a, b));
+    }
+    let report = session.update(&delta);
+
+    let warm = session.run();
+    let cold = mmp_session(mirror).run();
+    assert_eq!(warm.matches, cold.matches);
+    assert!(!report.degraded_to_cold);
+    assert!(
+        warm.stats.conditioned_probes <= cold.stats.conditioned_probes,
+        "{} > {}",
+        warm.stats.conditioned_probes,
+        cold.stats.conditioned_probes
+    );
+}
+
+#[test]
+fn retracting_an_asserted_link_stays_gone_and_equals_cold() {
+    // A caller-asserted link between records the kernel would never
+    // co-locate: retraction removes it for good (blocking cannot
+    // re-derive it) and the session still equals a cold run. A
+    // kernel-derived candidacy, by contrast, is re-derived on both
+    // sides — use negative evidence to forbid such a match.
+    let mut template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let refs: Vec<EntityId> = template.entities.ids().take(64).collect();
+    let (far_a, far_b) = (refs[0], refs[63]);
+    let link = Pair::new(far_a, far_b);
+    template.set_similar(link, SimLevel(3));
+
+    let mut session = mmp_session(template.clone());
+    session.run();
+    assert!(session.dataset().is_candidate(link));
+
+    let mut delta = DatasetDelta::new();
+    delta.retract_link(link);
+    session.update(&delta);
+    let warm = session.run();
+
+    let mut mirror = template;
+    mirror.retract_similar(link).expect("asserted above");
+    let cold = mmp_session(mirror).run();
+    assert_eq!(warm.matches, cold.matches);
+}
+
+#[test]
+fn type_i_sessions_degrade_to_cold_on_retraction_but_stay_correct() {
+    let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let n = template.entities.len() as u32;
+    let mut mirror = Dataset::new();
+    DatasetDelta::carve(&template, 0..n).apply(&mut mirror);
+    let build = |dataset: Dataset| {
+        Pipeline::new(dataset)
+            .matcher(MatcherChoice::Rules)
+            .scheme(Scheme::Smp)
+            .build()
+            .expect("coherent")
+    };
+    let mut session = build(mirror.clone());
+    session.run();
+    let mut delta = DatasetDelta::new();
+    let victim = mirror.entities.ids().nth(3).expect("entities");
+    delta.retract_entity(victim);
+    let report = session.update(&delta);
+    assert!(
+        report.degraded_to_cold,
+        "a Type-I matcher has no scorer to scope the rollback with"
+    );
+    delta.apply(&mut mirror);
+    let warm = session.run();
+    assert!(!warm.warm_started, "degrade means the next run is cold");
+    let cold = build(mirror).run();
+    assert_eq!(warm.matches, cold.matches);
+}
+
+#[test]
+fn reset_warm_clears_the_pair_score_cache() {
+    let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let n = template.entities.len() as u32;
+    let mut base = Dataset::new();
+    DatasetDelta::carve(&template, 0..n / 2).apply(&mut base);
+    let delta = DatasetDelta::carve(&template, n / 2..n);
+
+    // Warm path: the growth re-block only scores pairs touching new
+    // entities.
+    let mut warm_session = mmp_session(base.clone());
+    warm_session.run();
+    let warm_scored = warm_session.update(&delta).pairs_reblocked;
+
+    // Reset path: reset_warm() must also clear the pair-score cache and
+    // the canopy memo (it used to leave both populated), so the same
+    // update re-scores from scratch like a truly cold session would.
+    let mut reset_session = mmp_session(base);
+    reset_session.run();
+    reset_session.reset_warm();
+    let reset_scored = reset_session.update(&delta).pairs_reblocked;
+    assert!(
+        reset_scored > warm_scored,
+        "a reset session must re-score what the warm session replays \
+         ({reset_scored} <= {warm_scored})"
+    );
+    let next = reset_session.run();
+    assert!(!next.warm_started, "reset also drops the warm fixpoint");
+}
+
+#[test]
+fn non_positive_loose_threshold_updates_without_panicking() {
+    // loose <= 0 has no canopy identity to diff: build() and update()
+    // both fall back to the full blocking pass, and retraction degrades
+    // to cold instead of attempting a scoped rollback.
+    let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let n = template.entities.len() as u32;
+    let mut mirror = Dataset::new();
+    DatasetDelta::carve(&template, 0..n / 2).apply(&mut mirror);
+    let blocking = em::BlockingConfig {
+        canopy: em_blocking::CanopyParams {
+            loose: 0.0,
+            ..Default::default()
+        },
+        kernel: em::SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    let build = |dataset: Dataset| {
+        Pipeline::new(dataset)
+            .blocking(blocking.clone())
+            .matcher(MatcherChoice::MlnExact)
+            .scheme(Scheme::Mmp)
+            .build()
+            .expect("coherent")
+    };
+    let mut session = build(mirror.clone());
+    session.run();
+    // Additions-only update works (the pre-delta behaviour).
+    let grow = DatasetDelta::carve(&template, n / 2..n / 2 + 4);
+    let report = session.update(&grow);
+    grow.apply(&mut mirror);
+    assert!(!report.degraded_to_cold, "pure growth keeps the warm state");
+    session.run();
+    // A retraction degrades but stays correct.
+    let victim = mirror.entities.ids().next().expect("entities");
+    let mut fix = DatasetDelta::new();
+    fix.retract_entity(victim);
+    let report = session.update(&fix);
+    fix.apply(&mut mirror);
+    assert!(report.degraded_to_cold);
+    let warm = session.run();
+    let cold = build(mirror).run();
+    assert_eq!(warm.matches, cold.matches);
+}
+
+#[test]
+#[should_panic(expected = "blocking-managed cover")]
+fn update_on_a_provided_cover_panics() {
+    let (dataset, cover, matcher, _) = paper_example();
+    let mut session = Pipeline::new(dataset)
+        .cover(cover)
+        .matcher(MatcherChoice::custom_probabilistic(matcher))
+        .build()
+        .expect("coherent");
+    let mut delta = DatasetDelta::new();
+    delta.add_entity("author_ref", &[("name", "new author")]);
+    session.update(&delta);
 }
 
 #[test]
