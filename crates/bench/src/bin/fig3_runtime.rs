@@ -16,7 +16,12 @@
 //!                [--backend exact|walksat|both] [--seed N]
 //!                [--cache on|off|both] [--incremental on|off|both]
 //!                [--shards K] [--warm-start on|off] [--churn on|off]
-//!                [--bench-out PATH|none]
+//!                [--bench-out PATH|none] [--metrics PATH]
+//!
+//! `--metrics PATH` additionally streams an `em-metrics-v1` JSONL trace
+//! (see [`em_bench::metrics`]): one `run` line per scheme run, one
+//! `shard` line per sharded ablation, and one `update` + `run` line per
+//! churn step — the same structured counters the soak harness emits.
 //!
 //! `--cache` toggles the zero-recompute matcher memo
 //! ([`em_core::CachedMatcher`]); see the README's feature-cache section.
@@ -60,8 +65,8 @@
 
 use em::{Backend, DatasetDelta, MatchOutcome, MatcherChoice, Pipeline, Scheme, SplitPolicy};
 use em_bench::{
-    prepare_opts, profile_by_name, ArmRecord, ChurnRecord, Flags, FrameworkReport, SchemeRecord,
-    ShardRunRecord, WarmStartRecord, Workload,
+    prepare_opts, profile_by_name, ArmRecord, ChurnRecord, Flags, FrameworkReport, MetricsRecord,
+    MetricsWriter, SchemeRecord, ShardRunRecord, WarmStartRecord, Workload,
 };
 use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_core::{CachedMatcher, Dataset};
@@ -131,6 +136,20 @@ fn run_arm(
 
 const SCHEMES: [&str; 3] = ["NO-MP", "SMP", "MMP"];
 
+/// The `--metrics` sink: an `em-metrics-v1` JSONL stream on disk.
+type FileMetrics = MetricsWriter<std::io::BufWriter<std::fs::File>>;
+
+/// Emit one metrics line if a sink is configured; on a write error,
+/// report it once and stop streaming (the bench itself keeps going).
+fn emit_metric(metrics: &mut Option<FileMetrics>, record: &MetricsRecord) {
+    if let Some(writer) = metrics {
+        if let Err(e) = writer.emit(record) {
+            eprintln!("metrics stream failed, disabling: {e}");
+            *metrics = None;
+        }
+    }
+}
+
 fn print_arm(
     w: &Workload,
     label: &str,
@@ -182,12 +201,25 @@ fn run_backend(
     scale: f64,
     seed: Option<u64>,
     report: &mut FrameworkReport,
+    metrics: &mut Option<FileMetrics>,
 ) -> bool {
     let mut arms: Vec<ArmRecord> = Vec::new();
     let mut outputs: Vec<Vec<(MatchOutcome, u64)>> = Vec::new();
     for &incremental in incremental_arms {
         let (rows, memo_stats) = run_arm(w, inner, cache, incremental);
         print_arm(w, label, cache, incremental, &rows);
+        for (scheme, (outcome, _)) in SCHEMES.iter().zip(&rows) {
+            let arm_label = format!(
+                "{}/{label}/{scheme}/cache-{}/incremental-{}",
+                w.name,
+                if cache { "on" } else { "off" },
+                if incremental { "on" } else { "off" },
+            );
+            emit_metric(
+                metrics,
+                &MetricsRecord::from_run_stats(&arm_label, 0, &outcome.stats),
+            );
+        }
         if cache {
             println!(
                 "eval cache: {} hits / {} misses ({:.1}% reuse)",
@@ -307,6 +339,7 @@ fn run_shard_ablation(
     scale: f64,
     seed: Option<u64>,
     report: &mut FrameworkReport,
+    metrics: &mut Option<FileMetrics>,
 ) -> bool {
     let backend = Backend::Sharded {
         shards,
@@ -347,6 +380,14 @@ fn run_shard_ablation(
     )
     .run();
     let shard_rep = shard_report(&sharded);
+    emit_metric(
+        metrics,
+        &MetricsRecord::from_shard_report(
+            &format!("{}/sharded-{shards}/MMP", w.name),
+            0,
+            shard_rep,
+        ),
+    );
 
     let mut table = Table::new([
         "shard",
@@ -528,6 +569,7 @@ fn run_churn_ablation(
     seed: Option<u64>,
     shards: usize,
     report: &mut FrameworkReport,
+    metrics: &mut Option<FileMetrics>,
 ) -> bool {
     let mut profile = profile_by_name(name).scaled(scale);
     if let Some(seed) = seed {
@@ -594,8 +636,13 @@ fn run_churn_ablation(
             let (mut replayed_canopies, mut recomputed_canopies) = (0u64, 0u64);
             let mut retracted = 0u64;
             let mut matches = 0u64;
-            for delta in &deltas {
+            for (step, delta) in deltas.iter().enumerate() {
+                let churn_label = format!("{name}/{arm}/{backend_label}");
                 let up = session.update(delta);
+                emit_metric(
+                    metrics,
+                    &MetricsRecord::from_update_report(&churn_label, step as u64 + 1, &up),
+                );
                 retracted += up.entities_retracted;
                 components += up.components_invalidated;
                 messages += up.messages_dropped;
@@ -605,6 +652,10 @@ fn run_churn_ablation(
                 recomputed_canopies += up.canopies_recomputed;
                 delta.apply(&mut mirror);
                 let warm = session.run();
+                emit_metric(
+                    metrics,
+                    &MetricsRecord::from_run_stats(&churn_label, step as u64 + 1, &warm.stats),
+                );
                 let cold = build(mirror.clone(), backend).run();
                 identical &= warm.matches == cold.matches;
                 cold_probes += cold.stats.conditioned_probes;
@@ -666,6 +717,7 @@ fn run_dataset(
     warm_start: bool,
     churn: bool,
     report: &mut FrameworkReport,
+    metrics: &mut Option<FileMetrics>,
 ) -> bool {
     let arm_list = |flag: &str, what: &str| -> &'static [bool] {
         match flag {
@@ -706,6 +758,7 @@ fn run_dataset(
                 scale,
                 seed,
                 report,
+                metrics,
             );
         }
         if backend == "walksat" || backend == "both" {
@@ -718,6 +771,7 @@ fn run_dataset(
                 scale,
                 seed,
                 report,
+                metrics,
             );
         }
     }
@@ -731,7 +785,15 @@ fn run_dataset(
             // One shard ablation per dataset, against a fresh workload so
             // the matcher memo state of the cache arms cannot leak in.
             let w = prepare_opts(name, scale, seed, true);
-            ok &= run_shard_ablation(&w, shards, incremental != "off", scale, seed, report);
+            ok &= run_shard_ablation(
+                &w,
+                shards,
+                incremental != "off",
+                scale,
+                seed,
+                report,
+                metrics,
+            );
         }
     }
     if warm_start {
@@ -747,7 +809,7 @@ fn run_dataset(
         if backend == "walksat" {
             println!("\n(skipping --churn: the byte-identical guarantee needs the exact backend)");
         } else {
-            ok &= run_churn_ablation(name, scale, seed, shards.max(4), report);
+            ok &= run_churn_ablation(name, scale, seed, shards.max(4), report, metrics);
         }
     }
     ok
@@ -771,13 +833,25 @@ fn main() {
         other => panic!("unknown --churn {other:?}; expected on | off"),
     };
     let bench_out = flags.get_str("bench-out", "BENCH_framework.json");
+    let metrics_path = flags.get_str("metrics", "none");
     let seed: Option<u64> = if flags.has("seed") {
         Some(flags.get("seed", 0u64))
     } else {
         None
     };
+    let mut metrics: Option<FileMetrics> = if metrics_path == "none" {
+        None
+    } else {
+        match MetricsWriter::create(&metrics_path, "fig3_runtime") {
+            Ok(writer) => Some(writer),
+            Err(e) => {
+                eprintln!("failed to open --metrics {metrics_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
     let mut report = FrameworkReport::default();
-    let run = |name: &str, report: &mut FrameworkReport| {
+    let run = |name: &str, report: &mut FrameworkReport, metrics: &mut Option<FileMetrics>| {
         run_dataset(
             name,
             scale,
@@ -789,20 +863,27 @@ fn main() {
             warm_start,
             churn,
             report,
+            metrics,
         )
     };
     let ok = match flags.get_str("dataset", "both").as_str() {
         "both" => {
-            let a = run("hepth", &mut report);
-            let b = run("dblp", &mut report);
+            let a = run("hepth", &mut report, &mut metrics);
+            let b = run("dblp", &mut report, &mut metrics);
             a && b
         }
-        name => run(name, &mut report),
+        name => run(name, &mut report, &mut metrics),
     };
     if bench_out != "none" {
         match report.write(&bench_out) {
             Ok(()) => println!("\nwrote {bench_out}"),
             Err(e) => eprintln!("\nfailed to write {bench_out}: {e}"),
+        }
+    }
+    if let Some(writer) = metrics.as_mut() {
+        match writer.flush() {
+            Ok(()) => println!("wrote {} metrics lines to {metrics_path}", writer.lines()),
+            Err(e) => eprintln!("failed to flush --metrics {metrics_path}: {e}"),
         }
     }
     if !ok {

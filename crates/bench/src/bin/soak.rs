@@ -1,0 +1,319 @@
+//! Adversarial-churn soak harness: thousands of interleaved
+//! pathological `update()` calls driven into two live sessions — a
+//! sequential baseline and a **fault-injected sharded** arm — with the
+//! invariant checker swept every step and byte-identity against a cold
+//! mirror enforced throughout.
+//!
+//! Usage:
+//!   soak [--dataset hepth|dblp] [--scale 0.004] [--updates 2000]
+//!        [--seed 7] [--shards 4] [--split split|pin]
+//!        [--faults on|off] [--invariants on|off]
+//!        [--mirror-every 25] [--metrics PATH|none]
+//!
+//! Per update step, a [`DatasetDelta::churn_script_with`] pathological
+//! delta (retract-heavy churn plus re-adds after retraction,
+//! tuple-endpoint churn, canopy split/merge link churn, and
+//! oversized-component growth) is applied to both sessions and to a
+//! mirror dataset. The sharded arm gets a fresh
+//! [`FaultPlan::seeded`] fault per update (panic / stall / delayed
+//! fence, reproducible from `--seed`), under a deliberately tight fence
+//! budget so stalls are declared dead quickly. After each step both
+//! arms must produce byte-identical match sets; every `--mirror-every`
+//! steps (and at the end) a **cold session over the mirror** is built
+//! from scratch and must agree too.
+//!
+//! The run ends with two greppable verdict lines (CI gates on both):
+//!
+//! ```text
+//! soak_invariants_ok:true
+//! fault_recovery_identical:true
+//! ```
+//!
+//! `soak_invariants_ok` is true iff every invariant sweep (session
+//! sweeps after each run/update plus the sharded runtime's per-fence
+//! checks) passed. `fault_recovery_identical` is true iff all identity
+//! checks held *and* the fault machinery demonstrably fired (at least
+//! one shard recovered) — a soak whose faults never triggered proves
+//! nothing, so it fails the gate. `--metrics PATH` streams the whole
+//! run as `em-metrics-v1` JSONL (one `update` + `run` line per arm per
+//! step, plus a final `verdict` line). Exits non-zero if either verdict
+//! is false.
+
+use em::{
+    Backend, ChurnOptions, DatasetDelta, FaultPlan, MatcherChoice, Pipeline, RuntimeOptions,
+    Scheme, SplitPolicy,
+};
+use em_bench::{profile_by_name, Flags, MetricsRecord, MetricsWriter};
+use em_blocking::{BlockingConfig, SimilarityKernel};
+use em_core::Dataset;
+use em_datagen::generate;
+use std::time::Duration;
+
+/// The `--metrics` sink: an `em-metrics-v1` JSONL stream on disk.
+type FileMetrics = MetricsWriter<std::io::BufWriter<std::fs::File>>;
+
+/// Emit one metrics line if a sink is configured; on a write error,
+/// report it once and stop streaming (the soak itself keeps going).
+fn emit_metric(metrics: &mut Option<FileMetrics>, record: &MetricsRecord) {
+    if let Some(writer) = metrics {
+        if let Err(e) = writer.emit(record) {
+            eprintln!("metrics stream failed, disabling: {e}");
+            *metrics = None;
+        }
+    }
+}
+
+/// Silence the default panic message for injected faults so a soak of
+/// thousands of updates does not spam stderr with expected panics;
+/// anything that is not an injected fault still reaches the default
+/// hook.
+fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("injected fault:"));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
+fn parse_toggle(flags: &Flags, name: &str, default: &str) -> bool {
+    match flags.get_str(name, default).as_str() {
+        "on" => true,
+        "off" => false,
+        other => panic!("unknown --{name} {other:?}; expected on | off"),
+    }
+}
+
+fn main() {
+    let flags = Flags::parse(std::env::args().skip(1));
+    let dataset = flags.get_str("dataset", "hepth");
+    let scale: f64 = flags.get("scale", 0.004);
+    let updates: usize = flags.get("updates", 2000usize);
+    let seed: u64 = flags.get("seed", 7u64);
+    let shards: usize = flags.get("shards", 4usize);
+    let split_policy = match flags.get_str("split", "split").as_str() {
+        "split" => SplitPolicy::Split,
+        "pin" => SplitPolicy::Pin,
+        other => panic!("unknown --split {other:?}; expected split | pin"),
+    };
+    let faults = parse_toggle(&flags, "faults", "on");
+    let invariants = parse_toggle(&flags, "invariants", "on");
+    let mirror_every: usize = flags.get("mirror-every", 25usize);
+    let metrics_path = flags.get_str("metrics", "none");
+    let mut metrics: Option<FileMetrics> = if metrics_path == "none" {
+        None
+    } else {
+        match MetricsWriter::create(&metrics_path, "soak") {
+            Ok(writer) => Some(writer),
+            Err(e) => {
+                eprintln!("failed to open --metrics {metrics_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    quiet_injected_panics();
+
+    let template = generate(&profile_by_name(&dataset).scaled(scale).with_seed(seed)).dataset;
+    let n = template.entities.len() as u32;
+    // Retract-heavy with every pathological knob on: re-add after
+    // retract, tuple-endpoint churn, canopy splits/merges, and chain
+    // growth that fuses components past any balance share.
+    let opts = ChurnOptions {
+        retract_fraction: 0.2,
+        readd_fraction: 0.5,
+        tuple_churn: 0.25,
+        link_churn: 0.25,
+        oversize_growth: 2,
+    };
+    let (initial, deltas) =
+        DatasetDelta::churn_script_with(&template, n * 3 / 5, updates, seed, &opts);
+    println!(
+        "soak — {dataset} (scale {scale}): {} initial entities, {updates} pathological updates \
+         (retract {:.0}% / re-add {:.0}% / tuple churn {:.0}% / link churn {:.0}% / +{} chain \
+         tuples per step), sequential vs sharded-{shards} ({split_policy:?}, faults {}, \
+         invariants {}), cold mirror every {mirror_every}",
+        initial.entities.len(),
+        opts.retract_fraction * 100.0,
+        opts.readd_fraction * 100.0,
+        opts.tuple_churn * 100.0,
+        opts.link_churn * 100.0,
+        opts.oversize_growth,
+        if faults { "on" } else { "off" },
+        if invariants { "on" } else { "off" },
+    );
+
+    let blocking = BlockingConfig {
+        kernel: SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    // A tight fence budget so injected stalls are declared dead in
+    // ~tens of milliseconds instead of the production default's tens of
+    // seconds — the point of the soak is to hit the recovery path
+    // thousands of times, not to wait politely.
+    let runtime = RuntimeOptions {
+        fence_timeout: Duration::from_millis(10),
+        fence_retries: 2,
+        ..Default::default()
+    };
+    let build = |dataset: Dataset, backend: Backend| {
+        Pipeline::new(dataset)
+            .blocking(blocking.clone())
+            .matcher(MatcherChoice::MlnExact)
+            .scheme(Scheme::Mmp)
+            .backend(backend)
+            .runtime_options(runtime.clone())
+            .check_invariants(invariants)
+            .build()
+            .expect("exact MMP is coherent on both backends")
+    };
+    let sharded_backend = Backend::Sharded {
+        shards,
+        split_policy,
+    };
+    let mut seq = build(initial.clone(), Backend::Sequential);
+    let mut sharded = build(initial.clone(), sharded_backend);
+    let mut mirror = initial;
+
+    let first_seq = seq.run();
+    let first_sharded = sharded.run();
+    let mut identical = first_seq.matches == first_sharded.matches;
+    let (mut checks, mut violations) = (0u64, 0u64);
+    let (mut panics, mut timeouts, mut recovered) = (0u64, 0u64, 0u64);
+    let mut cold_compares = 0u64;
+    for outcome in [&first_seq, &first_sharded] {
+        checks += outcome.stats.invariant_checks;
+        violations += outcome.stats.invariant_violations;
+    }
+    let report_violation = |session: &em::MatchSession, arm: &str, step: usize| {
+        if let Some(report) = session.last_invariants() {
+            if !report.is_ok() {
+                for v in &report.violations {
+                    eprintln!("!! invariant violation [{arm}, step {step}]: {v:?}");
+                }
+            }
+        }
+    };
+    report_violation(&seq, "sequential", 0);
+    report_violation(&sharded, "sharded", 0);
+
+    for (i, delta) in deltas.iter().enumerate() {
+        let step = (i + 1) as u64;
+        if faults {
+            // A fresh reproducible fault per update: over thousands of
+            // updates the seeded mix covers every victim shard, fence
+            // epoch, and all three fault kinds.
+            sharded.set_fault_plan(FaultPlan::seeded(seed ^ step, shards));
+        }
+        let up_seq = seq.update(delta);
+        let up_sharded = sharded.update(delta);
+        delta.apply(&mut mirror);
+        emit_metric(
+            &mut metrics,
+            &MetricsRecord::from_update_report("soak/sequential", step, &up_seq),
+        );
+        emit_metric(
+            &mut metrics,
+            &MetricsRecord::from_update_report("soak/sharded", step, &up_sharded),
+        );
+
+        let warm_seq = seq.run();
+        let warm_sharded = sharded.run();
+        emit_metric(
+            &mut metrics,
+            &MetricsRecord::from_run_stats("soak/sequential", step, &warm_seq.stats),
+        );
+        emit_metric(
+            &mut metrics,
+            &MetricsRecord::from_run_stats("soak/sharded", step, &warm_sharded.stats),
+        );
+        for (report, outcome) in [(&up_seq, &warm_seq), (&up_sharded, &warm_sharded)] {
+            checks += report.invariant_checks + outcome.stats.invariant_checks;
+            violations += report.invariant_violations + outcome.stats.invariant_violations;
+        }
+        report_violation(&seq, "sequential", i + 1);
+        report_violation(&sharded, "sharded", i + 1);
+        panics += warm_sharded.stats.shard_panics;
+        timeouts += warm_sharded.stats.fence_timeouts;
+        recovered += warm_sharded.stats.shards_recovered;
+
+        if warm_seq.matches != warm_sharded.matches {
+            identical = false;
+            eprintln!(
+                "!! step {}: sequential and sharded arms DIVERGE ({} vs {} matches)",
+                i + 1,
+                warm_seq.matches.len(),
+                warm_sharded.matches.len()
+            );
+        }
+        let last = i + 1 == deltas.len();
+        if (i + 1) % mirror_every == 0 || last {
+            let cold = build(mirror.clone(), Backend::Sequential).run();
+            cold_compares += 1;
+            if warm_seq.matches != cold.matches {
+                identical = false;
+                eprintln!(
+                    "!! step {}: warm sessions DIVERGE from the cold mirror ({} vs {} matches)",
+                    i + 1,
+                    warm_seq.matches.len(),
+                    cold.matches.len()
+                );
+            }
+            println!(
+                "  step {:>5}/{updates}: {} live entities, {} matches | invariants {} checks, \
+                 {} violations | faults: {} panics, {} fence timeouts, {} shards recovered",
+                i + 1,
+                mirror.entities.live_count(),
+                warm_seq.matches.len(),
+                checks,
+                violations,
+                panics,
+                timeouts,
+                recovered,
+            );
+        }
+    }
+
+    let invariants_ok = violations == 0;
+    // A soak whose faults never actually fired proves nothing about
+    // recovery — require at least one recovered shard when faults are
+    // on (seeded plans are 2/3 panic/stall, so any real soak trips
+    // this many times over).
+    let recovery_exercised = !faults || recovered > 0;
+    let recovery_identical = identical && recovery_exercised;
+    if faults && recovered == 0 {
+        eprintln!("!! faults were requested but no shard recovery was ever exercised");
+    }
+    println!(
+        "\nsoak complete: {updates} updates, {cold_compares} cold-mirror compares, \
+         {checks} invariant checks, {violations} violations | sharded arm: {panics} shard \
+         panics, {timeouts} fence timeouts, {recovered} shards recovered"
+    );
+    emit_metric(
+        &mut metrics,
+        &MetricsRecord::new("verdict")
+            .push_u64("updates", updates as u64)
+            .push_u64("cold_compares", cold_compares)
+            .push_u64("invariant_checks", checks)
+            .push_u64("invariant_violations", violations)
+            .push_u64("shard_panics", panics)
+            .push_u64("fence_timeouts", timeouts)
+            .push_u64("shards_recovered", recovered)
+            .push_bool("soak_invariants_ok", invariants_ok)
+            .push_bool("fault_recovery_identical", recovery_identical),
+    );
+    if let Some(writer) = metrics.as_mut() {
+        match writer.flush() {
+            Ok(()) => println!("wrote {} metrics lines to {metrics_path}", writer.lines()),
+            Err(e) => eprintln!("failed to flush --metrics {metrics_path}: {e}"),
+        }
+    }
+    println!("soak_invariants_ok:{invariants_ok}");
+    println!("fault_recovery_identical:{recovery_identical}");
+    if !invariants_ok || !recovery_identical {
+        std::process::exit(1);
+    }
+}

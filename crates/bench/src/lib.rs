@@ -19,10 +19,12 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod metrics;
 pub mod report;
 pub mod workload;
 
 pub use cli::Flags;
+pub use metrics::{MetricValue, MetricsRecord, MetricsWriter};
 pub use report::{
     ArmRecord, ChurnRecord, FrameworkReport, SchemeRecord, ShardLoadRecord, ShardRunRecord,
     WarmStartRecord, WorkloadRecord,

@@ -1,0 +1,318 @@
+//! `em-metrics-v1` — a structured JSONL stream of run metrics.
+//!
+//! Where [`crate::report`] persists one aggregated JSON document per
+//! bench invocation, this module streams **one self-describing JSON
+//! object per line** as a run progresses, so long soaks and churn
+//! ablations leave a machine-readable trace of every step: run
+//! counters ([`em_core::framework::RunStats`]), update/rollback ledgers
+//! ([`em::UpdateReport`]), and shard fault/recovery ledgers
+//! ([`em_shard::ShardReport`]). The writer is hand-rolled (offline
+//! workspace, no serde), every line carries `"schema": "em-metrics-v1"`
+//! and a `"kind"` tag, and key order is stable so greps and line diffs
+//! work.
+//!
+//! Line kinds:
+//!
+//! | kind | emitted by | payload |
+//! |------|-----------|---------|
+//! | `run` | one framework run | every [`RunStats`] counter + wall time |
+//! | `update` | one `MatchSession::update` | the [`em::UpdateReport`] ledger |
+//! | `shard` | one sharded run | epochs, skew, fault/recovery counters |
+//! | anything else | callers | free-form fields via [`MetricsRecord::new`] |
+
+use em::UpdateReport;
+use em_core::framework::RunStats;
+use em_shard::ShardReport;
+use std::io::Write;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// One field value in a metrics line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Unsigned counter.
+    U64(u64),
+    /// Floating-point measurement (rendered with 3 decimals; non-finite
+    /// values render as `null`).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// String label (escaped on render).
+    Str(String),
+}
+
+/// One JSONL line: a `kind` tag plus ordered fields. Build with the
+/// `push_*` methods (insertion order is render order) or one of the
+/// `from_*` constructors that flatten a whole report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRecord {
+    kind: String,
+    fields: Vec<(String, MetricValue)>,
+}
+
+impl MetricsRecord {
+    /// An empty record of the given kind.
+    pub fn new(kind: &str) -> Self {
+        Self {
+            kind: kind.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append an unsigned counter.
+    pub fn push_u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_owned(), MetricValue::U64(value)));
+        self
+    }
+
+    /// Append a floating-point measurement.
+    pub fn push_f64(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_owned(), MetricValue::F64(value)));
+        self
+    }
+
+    /// Append a boolean flag.
+    pub fn push_bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_owned(), MetricValue::Bool(value)));
+        self
+    }
+
+    /// Append a string label.
+    pub fn push_str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_owned(), MetricValue::Str(value.to_owned())));
+        self
+    }
+
+    /// A `run` line: every [`RunStats`] counter under its field name,
+    /// tagged with an arm label and a step index.
+    pub fn from_run_stats(label: &str, step: u64, stats: &RunStats) -> Self {
+        Self::new("run")
+            .push_str("label", label)
+            .push_u64("step", step)
+            .push_u64("matcher_calls", stats.matcher_calls)
+            .push_u64("neighborhoods_processed", stats.neighborhoods_processed)
+            .push_u64("active_pairs_evaluated", stats.active_pairs_evaluated)
+            .push_u64("messages_sent", stats.messages_sent)
+            .push_u64("maximal_messages_created", stats.maximal_messages_created)
+            .push_u64("promotions", stats.promotions)
+            .push_u64("score_delta_calls", stats.score_delta_calls)
+            .push_u64("conditioned_probes", stats.conditioned_probes)
+            .push_u64("probes_replayed", stats.probes_replayed)
+            .push_u64("memo_evictions", stats.memo_evictions)
+            .push_u64("rounds", stats.rounds)
+            .push_u64("components_invalidated", stats.components_invalidated)
+            .push_u64("messages_dropped", stats.messages_dropped)
+            .push_u64("memos_dropped", stats.memos_dropped)
+            .push_u64("pairs_reblocked", stats.pairs_reblocked)
+            .push_u64("shard_panics", stats.shard_panics)
+            .push_u64("fence_timeouts", stats.fence_timeouts)
+            .push_u64("shards_recovered", stats.shards_recovered)
+            .push_u64("invariant_checks", stats.invariant_checks)
+            .push_u64("invariant_violations", stats.invariant_violations)
+            .push_f64("wall_ms", stats.wall_time.as_secs_f64() * 1e3)
+    }
+
+    /// An `update` line: one [`em::MatchSession::update`]'s ledger.
+    pub fn from_update_report(label: &str, step: u64, report: &UpdateReport) -> Self {
+        Self::new("update")
+            .push_str("label", label)
+            .push_u64("step", step)
+            .push_u64("entities_added", report.entities_added)
+            .push_u64("entities_retracted", report.entities_retracted)
+            .push_u64("tuples_added", report.tuples_added)
+            .push_u64("links_added", report.links_added)
+            .push_u64("components_invalidated", report.components_invalidated)
+            .push_u64("messages_dropped", report.messages_dropped)
+            .push_u64("memos_dropped", report.memos_dropped)
+            .push_u64("memos_tainted", report.memos_tainted)
+            .push_u64("warm_matches_dropped", report.warm_matches_dropped)
+            .push_u64("pairs_reblocked", report.pairs_reblocked)
+            .push_u64("canopies_replayed", report.canopies_replayed)
+            .push_u64("canopies_recomputed", report.canopies_recomputed)
+            .push_u64("invariant_checks", report.invariant_checks)
+            .push_u64("invariant_violations", report.invariant_violations)
+            .push_bool("degraded_to_cold", report.degraded_to_cold)
+    }
+
+    /// A `shard` line: one sharded run's balance and fault/recovery
+    /// ledger.
+    pub fn from_shard_report(label: &str, step: u64, report: &ShardReport) -> Self {
+        Self::new("shard")
+            .push_str("label", label)
+            .push_u64("step", step)
+            .push_u64("shards", report.shards as u64)
+            .push_u64("components", report.components as u64)
+            .push_u64("largest_component", report.largest_component as u64)
+            .push_u64("epochs", report.epochs)
+            .push_u64("cross_shard_pairs", report.cross_shard_pairs)
+            .push_f64("est_skew", report.est_skew)
+            .push_f64("busy_skew", report.busy_skew)
+            .push_f64("makespan_ms", report.makespan.as_secs_f64() * 1e3)
+            .push_u64("shard_panics", report.shard_panics)
+            .push_u64("fence_timeouts", report.fence_timeouts)
+            .push_u64("stalled_shards", report.stalled_shards)
+            .push_u64("shards_recovered", report.shards_recovered)
+            .push_u64("late_responses_dropped", report.late_responses_dropped)
+    }
+
+    /// Render as one JSON line (no trailing newline). The schema tag
+    /// and kind lead; fields follow in insertion order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\": \"em-metrics-v1\", \"kind\": \"");
+        out.push_str(&esc(&self.kind));
+        out.push('"');
+        for (key, value) in &self.fields {
+            out.push_str(", \"");
+            out.push_str(&esc(key));
+            out.push_str("\": ");
+            match value {
+                MetricValue::U64(v) => out.push_str(&v.to_string()),
+                MetricValue::F64(v) => out.push_str(&fmt_f64(*v)),
+                MetricValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                MetricValue::Str(v) => {
+                    out.push('"');
+                    out.push_str(&esc(v));
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Streams [`MetricsRecord`]s to any sink, one line each. The first
+/// line is always a `meta` record naming the producing tool, so a
+/// metrics file is self-describing from its head.
+pub struct MetricsWriter<W: Write> {
+    sink: W,
+    lines: u64,
+}
+
+impl MetricsWriter<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncate) a metrics file at `path` and write the `meta`
+    /// header line.
+    pub fn create(path: &str, tool: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Self::new(std::io::BufWriter::new(file), tool)
+    }
+}
+
+impl<W: Write> MetricsWriter<W> {
+    /// Wrap an arbitrary sink and write the `meta` header line.
+    pub fn new(sink: W, tool: &str) -> std::io::Result<Self> {
+        let mut writer = Self { sink, lines: 0 };
+        writer.emit(&MetricsRecord::new("meta").push_str("tool", tool))?;
+        Ok(writer)
+    }
+
+    /// Write one record as one line.
+    pub fn emit(&mut self, record: &MetricsRecord) -> std::io::Result<()> {
+        self.sink.write_all(record.render().as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Lines written so far (including the `meta` header).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush the sink.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_carry_schema_kind_and_stable_order() {
+        let stats = RunStats {
+            matcher_calls: 12,
+            neighborhoods_processed: 7,
+            conditioned_probes: 5,
+            shard_panics: 1,
+            invariant_checks: 9,
+            ..RunStats::default()
+        };
+        let line = MetricsRecord::from_run_stats("soak-sharded", 3, &stats).render();
+        assert!(line.starts_with("{\"schema\": \"em-metrics-v1\", \"kind\": \"run\""));
+        assert!(line.contains("\"label\": \"soak-sharded\""));
+        assert!(line.contains("\"step\": 3"));
+        assert!(line.contains("\"matcher_calls\": 12"));
+        assert!(line.contains("\"shard_panics\": 1"));
+        assert!(line.contains("\"invariant_checks\": 9"));
+        assert!(line.ends_with('}'));
+        // Stable order: label before step before the counters.
+        let label = line.find("\"label\"").unwrap();
+        let step = line.find("\"step\"").unwrap();
+        let calls = line.find("\"matcher_calls\"").unwrap();
+        assert!(label < step && step < calls);
+        // One line, balanced braces.
+        assert!(!line.contains('\n'));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn update_lines_flatten_the_report() {
+        let report = UpdateReport {
+            entities_added: 4,
+            entities_retracted: 2,
+            memos_tainted: 5,
+            degraded_to_cold: false,
+            ..UpdateReport::default()
+        };
+        let line = MetricsRecord::from_update_report("soak", 1, &report).render();
+        assert!(line.contains("\"kind\": \"update\""));
+        assert!(line.contains("\"entities_added\": 4"));
+        assert!(line.contains("\"memos_tainted\": 5"));
+        assert!(line.contains("\"degraded_to_cold\": false"));
+    }
+
+    #[test]
+    fn writer_streams_header_then_records() {
+        let mut buf = Vec::new();
+        {
+            let mut w = MetricsWriter::new(&mut buf, "soak").unwrap();
+            w.emit(&MetricsRecord::new("verdict").push_bool("soak_invariants_ok", true))
+                .unwrap();
+            assert_eq!(w.lines(), 2);
+            w.flush().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\": \"meta\""));
+        assert!(lines[0].contains("\"tool\": \"soak\""));
+        assert!(lines[1].contains("\"soak_invariants_ok\": true"));
+        for line in lines {
+            assert!(line.starts_with("{\"schema\": \"em-metrics-v1\""));
+        }
+    }
+
+    #[test]
+    fn escapes_and_non_finite_floats() {
+        let line = MetricsRecord::new("x")
+            .push_str("weird", "a\"b\\c")
+            .push_f64("skew", f64::NAN)
+            .render();
+        assert!(line.contains("\"weird\": \"a\\\"b\\\\c\""));
+        assert!(line.contains("\"skew\": null"));
+    }
+}

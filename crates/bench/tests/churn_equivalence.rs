@@ -12,7 +12,7 @@
 //! must also stay balanced under rollback: every conditioned probe of a
 //! warm churn run is either issued or replayed, never double-counted.
 
-use em::{Backend, DatasetDelta, MatcherChoice, Pipeline, Scheme, SplitPolicy};
+use em::{Backend, ChurnOptions, DatasetDelta, MatcherChoice, Pipeline, Scheme, SplitPolicy};
 use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_core::Dataset;
 use em_datagen::{generate, DatasetProfile};
@@ -120,6 +120,81 @@ fn check_churn_equals_cold(seed: u64, retract_pct: u32) {
     }
 }
 
+/// Re-add after retract: a delta that re-adds an entity byte-identical
+/// to a previously retracted one (same type, same attributes — the
+/// `readd_fraction` generator copies them from the template verbatim)
+/// must get a **fresh id**, leave the tombstone dead, and keep the
+/// session byte-identical to the cold mirror — sequential and sharded.
+#[test]
+fn readd_after_retract_gets_fresh_ids_and_stays_identical() {
+    let template = template(2);
+    let n = template.entities.len() as u32;
+    let opts = ChurnOptions {
+        retract_fraction: 0.3,
+        readd_fraction: 1.0,
+        ..Default::default()
+    };
+    let (initial, deltas) = DatasetDelta::churn_script_with(&template, n * 3 / 5, 3, 11, &opts);
+    assert!(
+        deltas.iter().any(|d| d.has_retractions()),
+        "the script must actually retract"
+    );
+    let mut mirror = initial.clone();
+    for shards in [1usize, 4] {
+        let backend = if shards == 1 {
+            Backend::Sequential
+        } else {
+            Backend::Sharded {
+                shards,
+                split_policy: SplitPolicy::Split,
+            }
+        };
+        let mut session = build(initial.clone(), backend);
+        session.run();
+        let mut arm_mirror = initial.clone();
+        for (step, delta) in deltas.iter().enumerate() {
+            session.update(delta);
+            delta.apply(&mut arm_mirror);
+            let warm = session.run();
+            let cold = build(arm_mirror.clone(), backend).run();
+            assert_eq!(
+                warm.matches, cold.matches,
+                "k {shards} step {step}: re-add-after-retract churn diverged from cold run"
+            );
+        }
+        if shards == 1 {
+            mirror = arm_mirror;
+        }
+    }
+    // Every revival consumed a fresh id: the template tops out at `n`
+    // ids, so total assigned ids beyond `n` can only come from re-adds —
+    // and the retracted originals stay tombstoned (dead ids remain).
+    assert!(
+        mirror.entities.len() > template.entities.len(),
+        "re-adds must mint fresh ids, not reuse tombstoned ones"
+    );
+    assert!(
+        mirror.entities.live_count() < mirror.entities.len(),
+        "tombstones must survive the re-adds"
+    );
+    // Re-added entities are byte-identical copies: every live entity
+    // with a post-template id carries a name the template knows.
+    let template_names: std::collections::HashSet<&str> = (0..n)
+        .filter_map(|i| template.entities.attr(em_core::EntityId(i), "name"))
+        .collect();
+    let mut revived = 0usize;
+    for e in mirror.entities.ids().filter(|e| e.0 >= n) {
+        if let Some(name) = mirror.entities.attr(e, "name") {
+            assert!(
+                template_names.contains(name),
+                "revived entity {e:?} has a name the template never had: {name:?}"
+            );
+        }
+        revived += 1;
+    }
+    assert!(revived > 0, "the script must actually re-add entities");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
@@ -128,6 +203,41 @@ proptest! {
         (seed, retract_pct) in (0u64..10_000, 5u32..20)
     ) {
         check_churn_equals_cold(seed, retract_pct);
+    }
+
+    #[test]
+    fn oversized_component_churn_survives_both_split_policies(seed in 0u64..10_000) {
+        // Chain tuples fuse evidence components past any balance share
+        // (growth); tuple churn then dissolves them (shrink). Both
+        // split policies must stay byte-identical to cold runs while
+        // the oversized component appears and decays — `Pin` because it
+        // serializes the whole component on one shard, `Split` because
+        // its cut must still converge to the same fixpoint.
+        let template = template(seed);
+        let n = template.entities.len() as u32;
+        let opts = ChurnOptions {
+            retract_fraction: 0.15,
+            tuple_churn: 0.2,
+            oversize_growth: 8,
+            ..Default::default()
+        };
+        let (initial, deltas) =
+            DatasetDelta::churn_script_with(&template, n * 3 / 5, 2, seed, &opts);
+        for policy in [SplitPolicy::Split, SplitPolicy::Pin] {
+            let backend = Backend::Sharded { shards: 4, split_policy: policy };
+            let mut session = build(initial.clone(), backend);
+            session.run();
+            let mut mirror = initial.clone();
+            for (step, delta) in deltas.iter().enumerate() {
+                session.update(delta);
+                delta.apply(&mut mirror);
+                let warm = session.run();
+                let cold = build(mirror.clone(), backend).run();
+                prop_assert_eq!(&warm.matches, &cold.matches,
+                    "seed {} policy {:?} step {}: oversized-component churn diverged",
+                    seed, policy, step);
+            }
+        }
     }
 
     #[test]

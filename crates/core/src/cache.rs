@@ -171,6 +171,17 @@ impl<V: Copy> PairCache<V> {
         dropped
     }
 
+    /// Visit every cached pair (values are skipped), shard by shard.
+    /// Counters are untouched. The invariant checker uses this to assert
+    /// no cached pair references a tombstoned entity.
+    pub fn for_each_key(&self, mut visit: impl FnMut(Pair)) {
+        for shard in &self.shards {
+            for &pair in shard.lock().expect("cache lock").keys() {
+                visit(pair);
+            }
+        }
+    }
+
     /// Hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

@@ -252,6 +252,58 @@ impl Evidence {
     pub fn into_positive(self) -> PairSet {
         self.positive
     }
+
+    /// Replay the epoch history and check that it reproduces the current
+    /// positive set — the invariant every `delta_since` /
+    /// `retractions_since` consumer silently relies on. Per epoch window
+    /// the replay applies insertions first, then retractions (the
+    /// documented consumer order). Returns the number of epochs replayed
+    /// on success, or a description of the first divergence.
+    ///
+    /// Untracked evidence keeps no log and trivially validates (0 epochs).
+    pub fn validate_log(&self) -> Result<usize, String> {
+        if !self.tracked {
+            return Ok(0);
+        }
+        let mut replayed = PairSet::new();
+        let epochs = self.epoch_starts.len();
+        for e in 0..epochs {
+            let ins_start = self.epoch_starts[e];
+            let ins_end = self
+                .epoch_starts
+                .get(e + 1)
+                .copied()
+                .unwrap_or(self.log.len());
+            for &p in &self.log[ins_start..ins_end] {
+                replayed.insert(p);
+            }
+            let ret_start = self.retract_epoch_starts[e];
+            let ret_end = self
+                .retract_epoch_starts
+                .get(e + 1)
+                .copied()
+                .unwrap_or(self.retract_log.len());
+            for &p in &self.retract_log[ret_start..ret_end] {
+                replayed.remove(p);
+            }
+        }
+        if replayed != self.positive {
+            let missing = self
+                .positive
+                .iter()
+                .filter(|p| !replayed.contains(*p))
+                .count();
+            let extra = replayed
+                .iter()
+                .filter(|p| !self.positive.contains(*p))
+                .count();
+            return Err(format!(
+                "epoch log replay diverges from positive set: \
+                 {missing} pairs missing from replay, {extra} extra"
+            ));
+        }
+        Ok(epochs)
+    }
 }
 
 #[cfg(test)]
@@ -391,6 +443,25 @@ mod tests {
         let mut ev = Evidence::untracked([p(0, 1)].into_iter().collect(), PairSet::new());
         assert!(ev.retract_positive(p(0, 1)));
         assert!(ev.retractions_since(Epoch(0)).is_empty());
+    }
+
+    #[test]
+    fn validate_log_replays_insertions_and_retractions() {
+        let mut ev = Evidence::positive([p(0, 1), p(2, 3)].into_iter().collect());
+        ev.advance_epoch();
+        ev.insert_positive(p(4, 5));
+        ev.retract_positive(p(0, 1));
+        ev.advance_epoch();
+        ev.insert_positive(p(0, 1)); // re-insert after tombstone
+        assert_eq!(ev.validate_log(), Ok(3));
+
+        // Untracked values trivially validate.
+        let untracked = Evidence::untracked([p(0, 1)].into_iter().collect(), PairSet::new());
+        assert_eq!(untracked.validate_log(), Ok(0));
+
+        // Direct mutation of `positive` bypasses the log and is caught.
+        ev.positive.insert(p(8, 9));
+        assert!(ev.validate_log().is_err());
     }
 
     #[test]

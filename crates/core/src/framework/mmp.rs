@@ -229,6 +229,65 @@ impl MessageStore {
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
     }
+
+    /// Every pair currently covered by some message, in arbitrary order.
+    pub fn all_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.members.values().flatten().copied()
+    }
+
+    /// Check the union-find closure invariants without mutating the
+    /// forest (no path compression — parent chains are chased
+    /// read-only, with a step bound in case of a cycle):
+    ///
+    /// 1. every root in `members` maps to itself in `parent`;
+    /// 2. every pair in `parent` reaches a root that owns a member list;
+    /// 3. every pair appears in exactly one member list — the one owned
+    ///    by the root its parent chain reaches (Proposition 3: `T*` is a
+    ///    partition of the covered pairs);
+    /// 4. `parent` and the member lists cover exactly the same pairs.
+    ///
+    /// Returns the number of pairs checked, or a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<usize, String> {
+        let bound = self.parent.len() + 1;
+        let chase = |start: Pair| -> Result<Pair, String> {
+            let mut cur = start;
+            for _ in 0..bound {
+                match self.parent.get(&cur) {
+                    Some(&next) if next == cur => return Ok(cur),
+                    Some(&next) => cur = next,
+                    None => return Err(format!("parent chain of {start:?} dangles at {cur:?}")),
+                }
+            }
+            Err(format!("parent chain of {start:?} cycles"))
+        };
+        for (&root, members) in &self.members {
+            if self.parent.get(&root) != Some(&root) {
+                return Err(format!("root {root:?} is not self-parented"));
+            }
+            if members.is_empty() {
+                return Err(format!("root {root:?} owns an empty message"));
+            }
+            for &p in members {
+                let found = chase(p)?;
+                if found != root {
+                    return Err(format!(
+                        "pair {p:?} is listed under root {root:?} but its \
+                         chain reaches {found:?}"
+                    ));
+                }
+            }
+        }
+        let listed: usize = self.members.values().map(Vec::len).sum();
+        if listed != self.parent.len() {
+            return Err(format!(
+                "member lists cover {listed} pairs but the parent forest \
+                 holds {} — a pair is missing or double-listed",
+                self.parent.len()
+            ));
+        }
+        Ok(listed)
+    }
 }
 
 /// Per-neighborhood memo of the last `COMPUTEMAXIMAL` evaluation: the
@@ -655,6 +714,19 @@ impl MemoBank {
         let mut memo = entry.memo;
         memo.from_bank = true;
         Some((memo, identical))
+    }
+
+    /// Visit every banked view identity — its member list (sorted) and
+    /// candidate pairs with levels (sorted) — read-only. The invariant
+    /// checker uses this to assert no banked view references a
+    /// tombstoned entity.
+    pub fn for_each_view(
+        &self,
+        mut visit: impl FnMut(&[crate::entity::EntityId], &[(Pair, crate::dataset::SimLevel)]),
+    ) {
+        for (members, entry) in &self.entries {
+            visit(members, &entry.pairs);
+        }
     }
 }
 

@@ -26,6 +26,7 @@
 
 mod dependency;
 mod engine;
+pub mod invariants;
 mod mmp;
 mod nomp;
 mod smp;
@@ -34,6 +35,7 @@ mod worklist;
 
 pub use dependency::DependencyIndex;
 pub use engine::{EvalTrace, MmpDriver, SmpDriver};
+pub use invariants::{InvariantChecker, InvariantReport, InvariantViolation};
 #[allow(deprecated)]
 pub use mmp::mmp;
 pub use mmp::{

@@ -57,6 +57,22 @@ pub struct RunStats {
     /// Candidate pairs whose similarity the delta re-block re-scored
     /// (new pairs plus pairs whose canopy changed).
     pub pairs_reblocked: u64,
+    /// Shard driver threads lost to a panic (injected or organic) that
+    /// the epoch coordinator observed and survived.
+    pub shard_panics: u64,
+    /// Epoch-fence waits that exhausted their bounded timeout (each retry
+    /// that expired counts once; a stalled shard typically accumulates
+    /// several before being declared dead).
+    pub fence_timeouts: u64,
+    /// Dead or stalled shards whose epoch work the coordinator re-executed
+    /// sequentially from the broadcast history (graceful degradation).
+    pub shards_recovered: u64,
+    /// Invariant-checker sweeps executed (per fence in the sharded
+    /// runtime, per run/update at the session level).
+    pub invariant_checks: u64,
+    /// Invariant violations detected across those sweeps. Zero in any
+    /// healthy run; a nonzero value means a structural bug, not a fault.
+    pub invariant_violations: u64,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
 }
@@ -69,6 +85,20 @@ impl RunStats {
     /// overlap), rounds take the max (workers share the round loop).
     /// Backends that know the true wall time / round count of the whole
     /// run fix them up afterwards with [`RunStats::finalize`].
+    ///
+    /// ## Degraded-shard accounting
+    ///
+    /// When the shard coordinator recovers a dead shard by re-executing
+    /// its epoch work inline, exactly one stats object per shard slot may
+    /// enter this fold: the replacement's. A panicked driver's partial
+    /// counters die with its thread (its `ShardOutcome` is never
+    /// produced), and a *stalled* driver that eventually joins cleanly
+    /// has its outcome **discarded** by the coordinator — merging both it
+    /// and its replacement would double-count every neighborhood the two
+    /// evaluated in common and break the probe ledger
+    /// (`matcher_calls == neighborhoods_processed + conditioned_probes`),
+    /// which holds for each surviving stats object individually and is
+    /// therefore preserved by this sum.
     pub fn merge(&mut self, other: &RunStats) {
         self.matcher_calls += other.matcher_calls;
         self.neighborhoods_processed += other.neighborhoods_processed;
@@ -84,6 +114,11 @@ impl RunStats {
         self.messages_dropped += other.messages_dropped;
         self.memos_dropped += other.memos_dropped;
         self.pairs_reblocked += other.pairs_reblocked;
+        self.shard_panics += other.shard_panics;
+        self.fence_timeouts += other.fence_timeouts;
+        self.shards_recovered += other.shards_recovered;
+        self.invariant_checks += other.invariant_checks;
+        self.invariant_violations += other.invariant_violations;
         self.rounds = self.rounds.max(other.rounds);
         self.wall_time = self.wall_time.max(other.wall_time);
     }
@@ -140,6 +175,20 @@ impl std::fmt::Display for RunStats {
                 self.messages_dropped,
                 self.memos_dropped,
                 self.pairs_reblocked
+            )?;
+        }
+        if self.shard_panics > 0 || self.fence_timeouts > 0 || self.shards_recovered > 0 {
+            write!(
+                f,
+                " | faults: {} panics, {} fence timeouts, {} shards recovered",
+                self.shard_panics, self.fence_timeouts, self.shards_recovered
+            )?;
+        }
+        if self.invariant_checks > 0 || self.invariant_violations > 0 {
+            write!(
+                f,
+                " | invariants: {} checks, {} violations",
+                self.invariant_checks, self.invariant_violations
             )?;
         }
         if self.rounds > 0 {
@@ -255,5 +304,46 @@ mod tests {
         );
         let clean = RunStats::default().to_string();
         assert!(!clean.contains("rollback"), "{clean}");
+    }
+
+    #[test]
+    fn fault_and_invariant_counters_merge_and_display() {
+        let mut a = RunStats {
+            shard_panics: 1,
+            fence_timeouts: 2,
+            shards_recovered: 1,
+            invariant_checks: 10,
+            ..Default::default()
+        };
+        let b = RunStats {
+            fence_timeouts: 1,
+            shards_recovered: 1,
+            invariant_checks: 5,
+            invariant_violations: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.shard_panics, 1);
+        assert_eq!(a.fence_timeouts, 3);
+        assert_eq!(a.shards_recovered, 2);
+        assert_eq!(a.invariant_checks, 15);
+        assert_eq!(a.invariant_violations, 1);
+        let line = a.to_string();
+        assert!(
+            line.contains("faults: 1 panics, 3 fence timeouts, 2 shards recovered"),
+            "{line}"
+        );
+        assert!(
+            line.contains("invariants: 15 checks, 1 violations"),
+            "{line}"
+        );
+        let clean = RunStats::default().to_string();
+        assert!(!clean.contains("faults"), "{clean}");
+        assert!(!clean.contains("invariants"), "{clean}");
+        // finalize must leave fault counters alone — they are counters,
+        // not run-level fields.
+        a.finalize(Duration::from_millis(1), 2);
+        assert_eq!(a.shards_recovered, 2);
+        assert_eq!(a.invariant_checks, 15);
     }
 }

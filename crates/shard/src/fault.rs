@@ -1,0 +1,246 @@
+//! Deterministic fault injection for the epoch-fenced runtime.
+//!
+//! A [`FaultPlan`] tells specific shard drivers to misbehave at
+//! specific epochs — panic mid-drain, go silent at a fence, or delay an
+//! epoch response — so the coordinator's recovery paths (panic
+//! catching, bounded fence timeouts with retry/backoff, sequential
+//! re-execution of a dead shard's work) are exercised on demand and
+//! reproducibly. Plans are plain data: build one by hand for a targeted
+//! test, or derive one from a seed ([`FaultPlan::seeded`]) so a soak
+//! run injects a different, reproducible fault per update.
+//!
+//! Faults are **crash faults**, not corruption faults: a faulty shard
+//! stops contributing (or contributes late), it never contributes wrong
+//! evidence. Recovery therefore preserves byte-identical outputs — the
+//! coordinator re-executes the lost shard's components from the
+//! broadcast history, and the fixpoint is independent of evaluation
+//! order (the consistency theorems).
+
+use std::time::Duration;
+
+/// One way a shard driver can misbehave, pinned to an epoch (1-based:
+/// epoch 1 is the initial full evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the driver thread during the epoch's drain. The
+    /// coordinator observes the death via the thread handle and
+    /// re-executes the shard's components inline.
+    Panic {
+        /// Epoch at which the driver panics.
+        epoch: u64,
+    },
+    /// Process the epoch but never send its response — and stay silent
+    /// for every later epoch — simulating a hung fence. The coordinator
+    /// declares the shard dead after its timeout budget and recovers;
+    /// the stalled thread is joined at `Stop` and its outcome
+    /// discarded.
+    Stall {
+        /// Epoch from which the driver goes silent.
+        epoch: u64,
+    },
+    /// Delay the epoch's response by `delay` — a slow exchange rather
+    /// than a lost one. Shorter than the timeout budget it only burns
+    /// retries; longer, it degenerates into a stall (and the late
+    /// response is dropped on arrival).
+    Delay {
+        /// Epoch whose response is delayed.
+        epoch: u64,
+        /// How long the response is held back.
+        delay: Duration,
+    },
+}
+
+impl FaultKind {
+    /// The epoch this fault fires at.
+    pub fn epoch(&self) -> u64 {
+        match *self {
+            FaultKind::Panic { epoch }
+            | FaultKind::Stall { epoch }
+            | FaultKind::Delay { epoch, .. } => epoch,
+        }
+    }
+}
+
+/// A deterministic schedule of shard faults: `(shard, fault)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<(usize, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the default for every runtime entry
+    /// point).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a panic fault: shard `shard` panics during epoch `epoch`.
+    pub fn panic_shard(mut self, shard: usize, epoch: u64) -> Self {
+        self.faults.push((shard, FaultKind::Panic { epoch }));
+        self
+    }
+
+    /// Add a stall fault: shard `shard` goes silent from epoch `epoch`.
+    pub fn stall_shard(mut self, shard: usize, epoch: u64) -> Self {
+        self.faults.push((shard, FaultKind::Stall { epoch }));
+        self
+    }
+
+    /// Add a delay fault: shard `shard` holds epoch `epoch`'s response
+    /// back by `delay`.
+    pub fn delay_response(mut self, shard: usize, epoch: u64, delay: Duration) -> Self {
+        self.faults.push((shard, FaultKind::Delay { epoch, delay }));
+        self
+    }
+
+    /// Derive a one-fault plan deterministically from `seed`: a
+    /// reproducible choice of victim shard (`< shards`), epoch (1 or 2
+    /// — the epochs every run has), and fault kind. The soak harness
+    /// calls this per update so thousands of updates exercise all three
+    /// recovery paths without any run being unreproducible. `shards ==
+    /// 0` yields an empty plan.
+    pub fn seeded(seed: u64, shards: usize) -> Self {
+        if shards == 0 {
+            return Self::new();
+        }
+        let mut rng = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let shard = (next() % shards as u64) as usize;
+        let epoch = 1 + next() % 2;
+        let kind = match next() % 3 {
+            0 => FaultKind::Panic { epoch },
+            1 => FaultKind::Stall { epoch },
+            _ => FaultKind::Delay {
+                epoch,
+                delay: Duration::from_millis(1 + next() % 5),
+            },
+        };
+        Self {
+            faults: vec![(shard, kind)],
+        }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The faults scheduled for one shard, in insertion order.
+    pub fn for_shard(&self, shard: usize) -> Vec<FaultKind> {
+        self.faults
+            .iter()
+            .filter(|(s, _)| *s == shard)
+            .map(|&(_, k)| k)
+            .collect()
+    }
+}
+
+/// Runtime knobs of the epoch coordinator: fault injection, the
+/// fence-timeout budget, and per-fence invariant checking. The
+/// plain `shard_*_planned` entry points use [`RuntimeOptions::default`];
+/// the `_opts` variants take an explicit value.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// First fence-wait timeout. Each retry doubles it (backoff), so
+    /// the total budget before a silent shard is declared dead is
+    /// `fence_timeout * (2^(fence_retries + 1) - 1)`.
+    pub fence_timeout: Duration,
+    /// Extra timed attempts after the first timeout expires.
+    pub fence_retries: u32,
+    /// Faults to inject (empty = healthy run).
+    pub faults: FaultPlan,
+    /// Check evidence-log replay, evidence disjointness, union-find
+    /// closure, and tombstone consistency at every epoch fence,
+    /// recording results in the run's [`em_core::framework::RunStats`].
+    pub check_invariants: bool,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self {
+            fence_timeout: Duration::from_secs(10),
+            fence_retries: 3,
+            faults: FaultPlan::new(),
+            check_invariants: false,
+        }
+    }
+}
+
+impl RuntimeOptions {
+    /// Options that inject `faults` and keep every other default.
+    pub fn with_faults(faults: FaultPlan) -> Self {
+        Self {
+            faults,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_schedule_per_shard() {
+        let plan = FaultPlan::new()
+            .panic_shard(0, 2)
+            .stall_shard(2, 1)
+            .delay_response(0, 1, Duration::from_millis(3));
+        assert_eq!(plan.len(), 3);
+        assert_eq!(
+            plan.for_shard(0),
+            vec![
+                FaultKind::Panic { epoch: 2 },
+                FaultKind::Delay {
+                    epoch: 1,
+                    delay: Duration::from_millis(3)
+                }
+            ]
+        );
+        assert_eq!(plan.for_shard(1), vec![]);
+        assert_eq!(plan.for_shard(2), vec![FaultKind::Stall { epoch: 1 }]);
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::seeded(seed, 4);
+            let b = FaultPlan::seeded(seed, 4);
+            assert_eq!(a, b, "seed {seed} must be reproducible");
+            assert_eq!(a.len(), 1);
+            let (shard, kind) = a.faults[0];
+            assert!(shard < 4);
+            assert!((1..=2).contains(&kind.epoch()));
+        }
+        assert!(FaultPlan::seeded(7, 0).is_empty());
+        // All three kinds appear across seeds.
+        let kinds: std::collections::HashSet<u8> = (0..64)
+            .map(|s| match FaultPlan::seeded(s, 4).faults[0].1 {
+                FaultKind::Panic { .. } => 0,
+                FaultKind::Stall { .. } => 1,
+                FaultKind::Delay { .. } => 2,
+            })
+            .collect();
+        assert_eq!(kinds.len(), 3, "seeds cover panic, stall, and delay");
+    }
+
+    #[test]
+    fn default_options_are_fault_free() {
+        let opts = RuntimeOptions::default();
+        assert!(opts.faults.is_empty());
+        assert!(!opts.check_invariants);
+        assert!(opts.fence_retries > 0);
+        assert!(opts.fence_timeout > Duration::ZERO);
+    }
+}

@@ -42,12 +42,13 @@
 //! and retried when the missing evidence arrives). The final match set
 //! is byte-identical to the single-machine run's.
 
+use crate::fault::{FaultKind, RuntimeOptions};
 use crate::partition::{estimate_costs, skew, ShardPlan, SplitPolicy};
 use crossbeam::channel::{self, Receiver, Sender};
 use em_core::cover::{Cover, NeighborhoodId};
 use em_core::framework::{
-    mark_dirty_around, promote_dirty, DependencyIndex, EvalTrace, MemoBank, MessageStore,
-    MmpConfig, MmpDriver, ProbeMemo, RunStats, SmpDriver, WarmStart,
+    mark_dirty_around, promote_dirty, DependencyIndex, EvalTrace, InvariantChecker, MemoBank,
+    MessageStore, MmpConfig, MmpDriver, ProbeMemo, RunStats, SmpDriver, WarmStart,
 };
 use em_core::{
     Dataset, Evidence, GlobalScorer, MatchOutput, Matcher, Pair, PairSet, ProbabilisticMatcher,
@@ -142,6 +143,21 @@ pub struct ShardReport {
     pub neighborhood_costs: Vec<u64>,
     /// Measured per-neighborhood evaluation costs, summed over visits.
     pub measured: Vec<(NeighborhoodId, Duration)>,
+    /// Shard driver threads lost to a panic (injected or organic).
+    pub shard_panics: u64,
+    /// Fence-wait attempts that expired before every live shard
+    /// responded (retries count individually).
+    pub fence_timeouts: u64,
+    /// Shards declared dead after their fence-timeout budget while the
+    /// thread was still alive (hung fences; their eventual outcomes are
+    /// discarded).
+    pub stalled_shards: u64,
+    /// Dead or stalled shards whose epoch work the coordinator
+    /// re-executed sequentially from the broadcast history.
+    pub shards_recovered: u64,
+    /// Epoch responses that arrived after their shard was declared dead
+    /// (or arrived twice) and were dropped.
+    pub late_responses_dropped: u64,
 }
 
 impl ShardReport {
@@ -241,23 +257,59 @@ impl EpochWorker for MmpWorker<'_> {
     }
 }
 
+/// Counters the coordinator accumulates while surviving faults.
+#[derive(Debug, Default, Clone, Copy)]
+struct FaultCounters {
+    shard_panics: u64,
+    fence_timeouts: u64,
+    stalled_shards: u64,
+    shards_recovered: u64,
+    late_responses_dropped: u64,
+}
+
 fn worker_loop<W: EpochWorker>(
     mut worker: W,
     shard: usize,
     rx: Receiver<ToShard>,
     tx: Sender<EpochDone>,
+    faults: Vec<FaultKind>,
 ) -> ShardOutcome {
     let mut busy = Duration::ZERO;
+    let mut epoch = 0u64;
+    let mut stalled = false;
     loop {
         match rx.recv().expect("coordinator alive") {
             ToShard::Stop => break,
             ToShard::Epoch { delta } => {
+                epoch += 1;
                 let t0 = Instant::now();
                 worker.absorb(&delta);
                 let fence = worker.fence();
+                if faults
+                    .iter()
+                    .any(|f| matches!(f, FaultKind::Panic { epoch: e } if *e == epoch))
+                {
+                    panic!("injected fault: shard {shard} panics at epoch {epoch}");
+                }
                 worker.drain();
                 let (produced, messages) = worker.produced(fence);
                 busy += t0.elapsed();
+                stalled = stalled
+                    || faults
+                        .iter()
+                        .any(|f| matches!(f, FaultKind::Stall { epoch: e } if *e <= epoch));
+                if stalled {
+                    // Hung fence: the epoch's work happened but its
+                    // response never leaves the shard.
+                    continue;
+                }
+                if let Some(FaultKind::Delay { delay, .. }) = faults
+                    .iter()
+                    .find(|f| matches!(f, FaultKind::Delay { epoch: e, .. } if *e == epoch))
+                    .copied()
+                {
+                    std::thread::sleep(delay);
+                }
                 tx.send(EpochDone {
                     shard,
                     delta: produced,
@@ -280,13 +332,41 @@ fn worker_loop<W: EpochWorker>(
 /// reducing each epoch's responses with `reduce` (which folds deltas
 /// and messages into `global` and returns the fresh pairs to
 /// broadcast). Returns the global evidence at fixpoint, per-shard
-/// outcomes, the epoch count, and the distinct cross-shard pair count.
+/// outcomes, the epoch count, the distinct cross-shard pair count, and
+/// the fault/recovery counters.
+///
+/// ## Graceful degradation
+///
+/// A shard driver that panics mid-epoch (observed via its
+/// [`std::thread::JoinHandle`]) or goes silent past the bounded
+/// fence-timeout budget ([`RuntimeOptions::fence_timeout`] with
+/// [`RuntimeOptions::fence_retries`] doubling-backoff retries) is
+/// declared **dead**. The coordinator then re-executes that shard's
+/// components *sequentially, inline*: a fresh worker over the same
+/// member neighborhoods absorbs the full broadcast history (initial
+/// evidence is baked in at construction, so history replay reconstructs
+/// exactly the evidence every live shard has seen) and drains to local
+/// quiescence; its produced delta joins the epoch's reduce like any
+/// other response. Every later epoch drives the replacement inline.
+/// This is sound because the fixpoint is independent of evaluation
+/// order and history (the consistency theorems): re-derived pairs dedup
+/// against the global evidence and re-sent messages merge idempotently
+/// into the one store — so outputs stay byte-identical to the healthy
+/// run, which is CI-gated.
+///
+/// Exactly one outcome per shard slot enters the final stats fold: a
+/// panicked driver's partial counters die with its thread, and a
+/// stalled driver that later joins cleanly has its outcome discarded in
+/// favor of its replacement's (merging both would double-count; see
+/// [`RunStats::merge`]). Responses from shards already declared dead
+/// are dropped and counted.
 fn run_epochs<W, F, R>(
     k: usize,
     evidence: &Evidence,
+    opts: &RuntimeOptions,
     make_worker: F,
     mut reduce: R,
-) -> (Evidence, Vec<ShardOutcome>, u64, u64)
+) -> (Evidence, Vec<ShardOutcome>, u64, u64, FaultCounters)
 where
     W: EpochWorker + Send,
     F: Fn(usize) -> W + Sync,
@@ -301,9 +381,45 @@ where
             let (tx, rx) = channel::unbounded::<ToShard>();
             to_shard.push(tx);
             let done_tx = done_tx.clone();
-            handles.push(scope.spawn(move || worker_loop(make_worker(shard), shard, rx, done_tx)));
+            let faults = opts.faults.for_shard(shard);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("em-shard-{shard}"))
+                    .spawn_scoped(scope, move || {
+                        worker_loop(make_worker(shard), shard, rx, done_tx, faults)
+                    })
+                    .expect("spawn shard driver"),
+            );
         }
         drop(done_tx);
+
+        let mut counters = FaultCounters::default();
+        let mut dead: Vec<bool> = vec![false; k];
+        // Inline replacement workers for dead shards, with the wall
+        // time they have spent (their busy figure).
+        let mut inline: Vec<Option<(W, Duration)>> = (0..k).map(|_| None).collect();
+        // Every broadcast delta so far, flattened — what a replacement
+        // worker absorbs to reconstruct a dead shard's evidence state.
+        let mut history: Vec<Pair> = Vec::new();
+        // Build a replacement for shard `s` and produce its response
+        // for the current epoch (whose delta is already in `history`).
+        let recover = |s: usize, history: &[Pair]| -> (W, Duration, EpochDone) {
+            let mut w = make_worker(s);
+            let t0 = Instant::now();
+            w.absorb(history);
+            let fence = w.fence();
+            w.drain();
+            let (produced, messages) = w.produced(fence);
+            (
+                w,
+                t0.elapsed(),
+                EpochDone {
+                    shard: s,
+                    delta: produced,
+                    messages,
+                },
+            )
+        };
 
         let mut global = Evidence::from_parts(evidence.positive.clone(), evidence.negative.clone());
         let mut epochs = 0u64;
@@ -311,32 +427,99 @@ where
         let mut delta: Vec<Pair> = Vec::new();
         loop {
             epochs += 1;
-            for tx in &to_shard {
-                tx.send(ToShard::Epoch {
+            history.extend_from_slice(&delta);
+            for (s, tx) in to_shard.iter().enumerate() {
+                if dead[s] {
+                    continue;
+                }
+                // A panicked driver has dropped its receiver; ignore
+                // the send error — the death is handled at the fence.
+                let _ = tx.send(ToShard::Epoch {
                     delta: delta.clone(),
-                })
-                .expect("shard alive");
+                });
             }
-            // The fence: nothing proceeds until every shard reported its
-            // epoch, so there are never deltas in flight when the merged
-            // delta is inspected for termination. A worker only exits
-            // before `Stop` by panicking, and its sibling senders keep
-            // the channel open — so a plain blocking recv would hang
-            // forever on a dead shard; poll with a liveness check and
-            // propagate the death as a panic instead.
             let mut responses: Vec<Option<EpochDone>> = (0..k).map(|_| None).collect();
-            for _ in 0..k {
-                let done = loop {
-                    if let Some(done) = done_rx.try_recv() {
-                        break done;
+            // Dead shards first: drive their inline replacements.
+            for s in 0..k {
+                if let Some((w, busy)) = inline[s].as_mut() {
+                    let t0 = Instant::now();
+                    w.absorb(&delta);
+                    let fence = w.fence();
+                    w.drain();
+                    let (produced, messages) = w.produced(fence);
+                    *busy += t0.elapsed();
+                    responses[s] = Some(EpochDone {
+                        shard: s,
+                        delta: produced,
+                        messages,
+                    });
+                }
+            }
+            // The fence: nothing proceeds until every live shard
+            // reported its epoch, so there are never deltas in flight
+            // when the merged delta is inspected for termination. Poll
+            // with a liveness check (a worker only exits before `Stop`
+            // by panicking, and its sibling senders keep the channel
+            // open) and a bounded, retried timeout for silent shards.
+            let mut attempt = 0u32;
+            let mut budget = opts.fence_timeout;
+            let mut waited = Instant::now();
+            loop {
+                let missing: Vec<usize> = (0..k)
+                    .filter(|&s| !dead[s] && responses[s].is_none())
+                    .collect();
+                if missing.is_empty() {
+                    break;
+                }
+                if let Some(done) = done_rx.try_recv() {
+                    let s = done.shard;
+                    if dead[s] || responses[s].is_some() {
+                        counters.late_responses_dropped += 1;
+                    } else {
+                        responses[s] = Some(done);
                     }
-                    if handles.iter().any(|h| h.is_finished()) {
-                        panic!("a shard worker terminated before its epoch response");
+                    continue;
+                }
+                // A driver that finished without responding panicked:
+                // recover it now.
+                let mut observed_panic = false;
+                for &s in &missing {
+                    if handles[s].is_finished() {
+                        dead[s] = true;
+                        counters.shard_panics += 1;
+                        counters.shards_recovered += 1;
+                        let (w, busy, done) = recover(s, &history);
+                        inline[s] = Some((w, busy));
+                        responses[s] = Some(done);
+                        observed_panic = true;
                     }
-                    std::thread::sleep(std::time::Duration::from_micros(200));
-                };
-                let slot = done.shard;
-                responses[slot] = Some(done);
+                }
+                if observed_panic {
+                    continue;
+                }
+                if waited.elapsed() >= budget {
+                    counters.fence_timeouts += 1;
+                    if attempt >= opts.fence_retries {
+                        // Timeout budget exhausted: the silent shards
+                        // are stalled. Declare them dead and recover;
+                        // their eventual responses (and join outcomes)
+                        // are discarded.
+                        for s in missing {
+                            dead[s] = true;
+                            counters.stalled_shards += 1;
+                            counters.shards_recovered += 1;
+                            let (w, busy, done) = recover(s, &history);
+                            inline[s] = Some((w, busy));
+                            responses[s] = Some(done);
+                        }
+                        break;
+                    }
+                    attempt += 1;
+                    budget *= 2;
+                    waited = Instant::now();
+                    continue;
+                }
+                std::thread::sleep(Duration::from_micros(200));
             }
             // Reduce in shard-id order — deterministic regardless of
             // thread scheduling.
@@ -348,17 +531,43 @@ where
             delta = fresh;
         }
         for tx in &to_shard {
-            tx.send(ToShard::Stop).expect("shard alive");
+            // Stalled drivers are still blocked on their inbox and need
+            // the `Stop`; panicked ones have dropped their receiver.
+            let _ = tx.send(ToShard::Stop);
         }
-        let outcomes: Vec<ShardOutcome> = handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread"))
-            .collect();
-        (global, outcomes, epochs, cross_shard_pairs)
+        let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(k);
+        for (s, h) in handles.into_iter().enumerate() {
+            let joined = h.join();
+            let replacement = inline[s].take();
+            let finish = |pair: (W, Duration)| {
+                let (stats, trace, memos) = pair.0.finish();
+                ShardOutcome {
+                    stats,
+                    busy: pair.1,
+                    trace,
+                    memos,
+                }
+            };
+            match (joined, replacement) {
+                (Ok(outcome), None) => outcomes.push(outcome),
+                // A stalled driver joined cleanly, but its replacement
+                // already re-did its work — keeping both would
+                // double-count every neighborhood they evaluated in
+                // common, so the stalled outcome is discarded.
+                (Ok(_stalled), Some(r)) => outcomes.push(finish(r)),
+                (Err(_panic), Some(r)) => outcomes.push(finish(r)),
+                // A death the fence never observed (e.g. a panic after
+                // the final response): nothing replaced it, so this is
+                // a genuine failure — propagate it.
+                (Err(panic), None) => std::panic::resume_unwind(panic),
+            }
+        }
+        (global, outcomes, epochs, cross_shard_pairs, counters)
     })
 }
 
 /// Assemble the output + report shared by both schemes.
+#[allow(clippy::too_many_arguments)]
 fn assemble(
     start: Instant,
     plan: &ShardPlan,
@@ -367,8 +576,12 @@ fn assemble(
     outcomes: Vec<ShardOutcome>,
     epochs: u64,
     cross_shard_pairs: u64,
+    faults: FaultCounters,
 ) -> (MatchOutput, ShardReport) {
     let mut stats = coordinator_stats;
+    stats.shard_panics += faults.shard_panics;
+    stats.fence_timeouts += faults.fence_timeouts;
+    stats.shards_recovered += faults.shards_recovered;
     let mut per_shard = Vec::with_capacity(outcomes.len());
     let mut measured: Vec<(NeighborhoodId, Duration)> = Vec::new();
     let mut busy_units = Vec::with_capacity(outcomes.len());
@@ -422,6 +635,11 @@ fn assemble(
         per_shard,
         neighborhood_costs: plan.costs.clone(),
         measured,
+        shard_panics: faults.shard_panics,
+        fence_timeouts: faults.fence_timeouts,
+        stalled_shards: faults.stalled_shards,
+        shards_recovered: faults.shards_recovered,
+        late_responses_dropped: faults.late_responses_dropped,
     };
 
     let negative = global.negative.clone();
@@ -463,12 +681,37 @@ pub fn shard_smp_planned(
     plan: &ShardPlan,
     evidence: &Evidence,
 ) -> (MatchOutput, ShardReport) {
+    shard_smp_planned_opts(
+        matcher,
+        dataset,
+        cover,
+        index,
+        plan,
+        evidence,
+        &RuntimeOptions::default(),
+    )
+}
+
+/// [`shard_smp_planned`] with explicit [`RuntimeOptions`]: fault
+/// injection, the fence-timeout budget, and per-fence invariant checks.
+#[allow(clippy::too_many_arguments)]
+pub fn shard_smp_planned_opts(
+    matcher: &(dyn Matcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    index: &DependencyIndex,
+    plan: &ShardPlan,
+    evidence: &Evidence,
+    opts: &RuntimeOptions,
+) -> (MatchOutput, ShardReport) {
     let start = Instant::now();
     let plan_ref = plan;
     let index_ref = index;
-    let (global, outcomes, epochs, crossed) = run_epochs(
+    let mut coordinator_stats = RunStats::default();
+    let (global, outcomes, epochs, crossed, faults) = run_epochs(
         plan.shards.len(),
         evidence,
+        opts,
         |shard| {
             let mut driver = SmpDriver::for_members(
                 dataset,
@@ -487,17 +730,23 @@ pub fn shard_smp_planned(
                     global.insert_positive(p);
                 }
             }
+            if opts.check_invariants {
+                let mut checker = InvariantChecker::new(dataset);
+                checker.check_evidence(global);
+                checker.finish().record(&mut coordinator_stats);
+            }
             global.delta_since(fence).to_vec()
         },
     );
     assemble(
         start,
         plan,
-        RunStats::default(),
+        coordinator_stats,
         global,
         outcomes,
         epochs,
         crossed,
+        faults,
     )
 }
 
@@ -557,7 +806,35 @@ pub fn shard_mmp_planned(
     plan: &ShardPlan,
     evidence: &Evidence,
     mmp_config: &MmpConfig,
+    warm: Option<&mut WarmStart>,
+) -> (MatchOutput, ShardReport) {
+    shard_mmp_planned_opts(
+        matcher,
+        dataset,
+        cover,
+        index,
+        plan,
+        evidence,
+        mmp_config,
+        warm,
+        &RuntimeOptions::default(),
+    )
+}
+
+/// [`shard_mmp_planned`] with explicit [`RuntimeOptions`]: fault
+/// injection, the fence-timeout budget, and per-fence invariant checks
+/// (which for MMP also validate the coordinator's message store).
+#[allow(clippy::too_many_arguments)]
+pub fn shard_mmp_planned_opts(
+    matcher: &(dyn ProbabilisticMatcher + Sync),
+    dataset: &Dataset,
+    cover: &Cover,
+    index: &DependencyIndex,
+    plan: &ShardPlan,
+    evidence: &Evidence,
+    mmp_config: &MmpConfig,
     mut warm: Option<&mut WarmStart>,
+    opts: &RuntimeOptions,
 ) -> (MatchOutput, ShardReport) {
     let start = Instant::now();
     if !mmp_config.incremental {
@@ -620,9 +897,10 @@ pub fn shard_mmp_planned(
     };
     let mut dirty_messages: Vec<Pair> = store.roots();
     let mut coordinator_stats = RunStats::default();
-    let (global, outcomes, epochs, crossed) = run_epochs(
+    let (global, outcomes, epochs, crossed, faults) = run_epochs(
         plan.shards.len(),
         evidence,
+        opts,
         |shard| {
             let mut driver = MmpDriver::for_members(
                 dataset,
@@ -679,6 +957,12 @@ pub fn shard_mmp_planned(
                 &mut dirty_messages,
                 &mut coordinator_stats,
             );
+            if opts.check_invariants {
+                let mut checker = InvariantChecker::new(dataset);
+                checker.check_evidence(global);
+                checker.check_message_store(&store);
+                checker.finish().record(&mut coordinator_stats);
+            }
             global.delta_since(fence).to_vec()
         },
     );
@@ -697,6 +981,7 @@ pub fn shard_mmp_planned(
         outcomes,
         epochs,
         crossed,
+        faults,
     )
 }
 
@@ -904,6 +1189,245 @@ mod tests {
         );
         assert_eq!(again.matches, expected);
         assert_eq!(report2.shards, 2);
+    }
+
+    /// Silence the default panic message for injected faults so fault
+    /// tests do not spam stderr; restores nothing (hooks are global, so
+    /// the filter just forwards anything that is not an injected
+    /// fault).
+    fn quiet_injected_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.starts_with("injected fault:"));
+                if !injected {
+                    default(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn panicked_shard_recovers_to_the_same_fixpoint() {
+        quiet_injected_panics();
+        let (ds, cover, matcher, expected) = paper_example();
+        let index = DependencyIndex::build(&ds, &cover);
+        for shards in [2, 3] {
+            let plan = ShardPlan::build(
+                &index,
+                shards,
+                &estimate_costs(&ds, &cover),
+                SplitPolicy::Split,
+            );
+            for victim in 0..shards {
+                for epoch in [1, 2] {
+                    let opts = RuntimeOptions::with_faults(
+                        crate::fault::FaultPlan::new().panic_shard(victim, epoch),
+                    );
+                    let (out, report) = shard_mmp_planned_opts(
+                        &matcher,
+                        &ds,
+                        &cover,
+                        &index,
+                        &plan,
+                        &Evidence::none(),
+                        &MmpConfig::default(),
+                        None,
+                        &opts,
+                    );
+                    assert_eq!(
+                        out.matches, expected,
+                        "shards={shards} victim={victim} epoch={epoch}"
+                    );
+                    assert_eq!(report.shard_panics, 1);
+                    assert_eq!(report.shards_recovered, 1);
+                    assert_eq!(out.stats.shard_panics, 1);
+                    assert_eq!(out.stats.shards_recovered, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_smp_shard_recovers_too() {
+        quiet_injected_panics();
+        let (ds, cover, matcher, _) = paper_example();
+        let sequential = smp(&matcher, &ds, &cover, &Evidence::none());
+        let index = DependencyIndex::build(&ds, &cover);
+        let plan = ShardPlan::build(&index, 3, &estimate_costs(&ds, &cover), SplitPolicy::Pin);
+        let opts = RuntimeOptions::with_faults(crate::fault::FaultPlan::new().panic_shard(1, 1));
+        let (out, report) = shard_smp_planned_opts(
+            &matcher,
+            &ds,
+            &cover,
+            &index,
+            &plan,
+            &Evidence::none(),
+            &opts,
+        );
+        assert_eq!(out.matches, sequential.matches);
+        assert_eq!(report.shard_panics, 1);
+        assert_eq!(report.shards_recovered, 1);
+    }
+
+    #[test]
+    fn stalled_shard_is_declared_dead_and_recovered() {
+        let (ds, cover, matcher, expected) = paper_example();
+        let index = DependencyIndex::build(&ds, &cover);
+        let plan = ShardPlan::build(&index, 2, &estimate_costs(&ds, &cover), SplitPolicy::Split);
+        let opts = RuntimeOptions {
+            // Tight budget so the test declares death fast: 5ms + one
+            // 10ms retry.
+            fence_timeout: Duration::from_millis(5),
+            fence_retries: 1,
+            faults: crate::fault::FaultPlan::new().stall_shard(0, 1),
+            check_invariants: true,
+        };
+        let (out, report) = shard_mmp_planned_opts(
+            &matcher,
+            &ds,
+            &cover,
+            &index,
+            &plan,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            None,
+            &opts,
+        );
+        assert_eq!(out.matches, expected);
+        assert_eq!(report.stalled_shards, 1);
+        assert_eq!(report.shards_recovered, 1);
+        assert!(report.fence_timeouts >= 1);
+        assert_eq!(report.shard_panics, 0);
+        assert!(out.stats.invariant_checks > 0, "fence checks ran");
+        assert_eq!(out.stats.invariant_violations, 0);
+    }
+
+    #[test]
+    fn delayed_response_within_budget_is_not_a_death() {
+        let (ds, cover, matcher, expected) = paper_example();
+        let index = DependencyIndex::build(&ds, &cover);
+        let plan = ShardPlan::build(&index, 2, &estimate_costs(&ds, &cover), SplitPolicy::Split);
+        let opts = RuntimeOptions {
+            fence_timeout: Duration::from_secs(10),
+            fence_retries: 3,
+            faults: crate::fault::FaultPlan::new().delay_response(1, 1, Duration::from_millis(20)),
+            check_invariants: false,
+        };
+        let (out, report) = shard_mmp_planned_opts(
+            &matcher,
+            &ds,
+            &cover,
+            &index,
+            &plan,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            None,
+            &opts,
+        );
+        assert_eq!(out.matches, expected);
+        assert_eq!(report.shards_recovered, 0, "a slow shard is not dead");
+        assert_eq!(report.shard_panics, 0);
+        assert_eq!(report.stalled_shards, 0);
+    }
+
+    #[test]
+    fn delay_past_the_budget_degenerates_to_a_stall_and_drops_the_late_response() {
+        let (ds, cover, matcher, expected) = paper_example();
+        let index = DependencyIndex::build(&ds, &cover);
+        let plan = ShardPlan::build(&index, 2, &estimate_costs(&ds, &cover), SplitPolicy::Split);
+        let opts = RuntimeOptions {
+            fence_timeout: Duration::from_millis(2),
+            fence_retries: 0,
+            faults: crate::fault::FaultPlan::new().delay_response(0, 1, Duration::from_millis(100)),
+            check_invariants: false,
+        };
+        let (out, report) = shard_mmp_planned_opts(
+            &matcher,
+            &ds,
+            &cover,
+            &index,
+            &plan,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            None,
+            &opts,
+        );
+        assert_eq!(out.matches, expected);
+        assert_eq!(report.stalled_shards, 1);
+        assert_eq!(report.shards_recovered, 1);
+    }
+
+    #[test]
+    fn every_shard_dying_degenerates_to_sequential() {
+        quiet_injected_panics();
+        let (ds, cover, matcher, expected) = paper_example();
+        let index = DependencyIndex::build(&ds, &cover);
+        let plan = ShardPlan::build(&index, 3, &estimate_costs(&ds, &cover), SplitPolicy::Split);
+        let faults = crate::fault::FaultPlan::new()
+            .panic_shard(0, 1)
+            .panic_shard(1, 1)
+            .panic_shard(2, 2);
+        let (out, report) = shard_mmp_planned_opts(
+            &matcher,
+            &ds,
+            &cover,
+            &index,
+            &plan,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            None,
+            &RuntimeOptions::with_faults(faults),
+        );
+        assert_eq!(out.matches, expected);
+        assert_eq!(report.shard_panics, 3);
+        assert_eq!(report.shards_recovered, 3);
+    }
+
+    #[test]
+    fn warm_started_run_survives_a_panic() {
+        quiet_injected_panics();
+        let (ds, cover, matcher, expected) = paper_example();
+        let index = DependencyIndex::build(&ds, &cover);
+        let plan = ShardPlan::build(&index, 2, &estimate_costs(&ds, &cover), SplitPolicy::Split);
+        // Healthy warm run to fill the bank...
+        let mut warm = WarmStart::new();
+        let (first, _) = shard_mmp_planned(
+            &matcher,
+            &ds,
+            &cover,
+            &index,
+            &plan,
+            &Evidence::none(),
+            &MmpConfig::default(),
+            Some(&mut warm),
+        );
+        assert_eq!(first.matches, expected);
+        warm.entity_floor = ds.entities.len() as u32;
+        // ...then a faulted warm re-run, seeded (as sessions do) with
+        // the previous fixpoint as evidence: the victim's seed was
+        // taken by the original worker, so its replacement re-evaluates
+        // its full worklist — slower, but byte-identical.
+        let evidence = Evidence::positive(first.matches.clone());
+        let opts = RuntimeOptions::with_faults(crate::fault::FaultPlan::new().panic_shard(0, 1));
+        let (again, report) = shard_mmp_planned_opts(
+            &matcher,
+            &ds,
+            &cover,
+            &index,
+            &plan,
+            &evidence,
+            &MmpConfig::default(),
+            Some(&mut warm),
+            &opts,
+        );
+        assert_eq!(again.matches, expected);
+        assert_eq!(report.shards_recovered, 1);
     }
 
     #[test]

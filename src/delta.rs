@@ -22,7 +22,10 @@
 //! * [`DatasetDelta::churn_script`] — a deterministic interleaving of
 //!   carve-style additions and pseudo-random retractions over a
 //!   template, the workload generator behind the churn equivalence
-//!   tests and the `fig3_runtime --churn` ablation.
+//!   tests and the `fig3_runtime --churn` ablation — and its
+//!   pathological superset [`DatasetDelta::churn_script_with`]
+//!   ([`ChurnOptions`]: re-add after retract, tuple/link churn,
+//!   oversized-component growth), which the soak harness drives.
 //!
 //! Retraction semantics: entity ids are **never reused** — a retracted
 //! entity tombstones its id (`em_core::EntityStore::retract`), its
@@ -33,9 +36,52 @@
 #[allow(deprecated)]
 use crate::growth::DatasetGrowth;
 use crate::growth::{GrowthEntity, GrowthRef, GrowthTuple};
-use em_core::hash::FxHashSet;
+use em_core::hash::{FxHashMap, FxHashSet};
 use em_core::{Dataset, EntityId, Pair, RelationId, SimLevel};
 use std::ops::Range;
+
+/// Knobs of the pathological churn generator
+/// [`DatasetDelta::churn_script_with`]. The plain
+/// [`DatasetDelta::churn_script`] is the all-zero-extras configuration
+/// (only `retract_fraction` set), and the generator is **byte-identical**
+/// to it in that configuration — every extra knob draws from the RNG
+/// only after the base draws, so existing seeds keep their scripts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChurnOptions {
+    /// Fraction of live previously-applied entities each step retracts
+    /// (in `[0, 1)`), as in [`DatasetDelta::churn_script`].
+    pub retract_fraction: f64,
+    /// Fraction of currently-absent entities each step re-adds (in
+    /// `[0, 1]`): the re-added entity carries the *template's*
+    /// attributes byte-for-byte under a **fresh id** (ids are never
+    /// reused), plus the template tuples whose other endpoint is
+    /// present. Exercises the tombstone / fresh-id discipline.
+    pub readd_fraction: f64,
+    /// Fraction of live relation tuples each step churns (in `[0, 1]`):
+    /// every sampled tuple is retracted, and every second one re-added
+    /// in the same delta — endpoint churn that perturbs ground
+    /// structure without (for the re-added half) changing the dataset.
+    pub tuple_churn: f64,
+    /// Fraction of live candidate links each step churns (in `[0, 1]`),
+    /// same retract-half-re-add shape as `tuple_churn`: canopy-level
+    /// splits and merges as seen by the blocking layer.
+    pub link_churn: f64,
+    /// Extra relation tuples per step between random live entities —
+    /// chains that fuse evidence components, growing one component past
+    /// any balance share (the oversized-component regime
+    /// `SplitPolicy::Pin` must survive).
+    pub oversize_growth: usize,
+}
+
+impl ChurnOptions {
+    /// Whether any pathological knob (beyond plain retraction) is set.
+    pub fn is_pathological(&self) -> bool {
+        self.readd_fraction > 0.0
+            || self.tuple_churn > 0.0
+            || self.link_churn > 0.0
+            || self.oversize_growth > 0
+    }
+}
 
 /// One tuple retraction, by relation name and endpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -323,14 +369,80 @@ impl DatasetDelta {
         retract_fraction: f64,
         seed: u64,
     ) -> (Dataset, Vec<DatasetDelta>) {
+        Self::churn_script_with(
+            template,
+            initial,
+            steps,
+            seed,
+            &ChurnOptions {
+                retract_fraction,
+                ..ChurnOptions::default()
+            },
+        )
+    }
+
+    /// [`DatasetDelta::churn_script`] with the pathological knobs of a
+    /// [`ChurnOptions`]: re-add after retract, tuple-endpoint churn,
+    /// candidate-link (canopy) churn, and oversized-component growth.
+    /// With every extra knob zero the output is **byte-identical** to
+    /// `churn_script(template, initial, steps, opts.retract_fraction,
+    /// seed)` — extra knobs draw from the RNG only after the base
+    /// draws, so existing seeds keep their scripts.
+    ///
+    /// When any knob is set, the generator maintains an internal mirror
+    /// of the evolving dataset (every delta is applied to it as it is
+    /// emitted), because the pathological moves must observe current
+    /// state: which tuples and links exist, and which fresh id a
+    /// re-added entity received.
+    ///
+    /// # Panics
+    /// Panics if `initial` exceeds the template size,
+    /// `retract_fraction` is not in `[0, 1)`, or a fraction knob is not
+    /// in `[0, 1]`.
+    pub fn churn_script_with(
+        template: &Dataset,
+        initial: u32,
+        steps: usize,
+        seed: u64,
+        opts: &ChurnOptions,
+    ) -> (Dataset, Vec<DatasetDelta>) {
         let n = template.entities.len() as u32;
         assert!(initial <= n, "initial {initial} exceeds template {n}");
         assert!(
-            (0.0..1.0).contains(&retract_fraction),
+            (0.0..1.0).contains(&opts.retract_fraction),
             "retract_fraction must be in [0, 1)"
         );
+        for (name, f) in [
+            ("readd_fraction", opts.readd_fraction),
+            ("tuple_churn", opts.tuple_churn),
+            ("link_churn", opts.link_churn),
+        ] {
+            assert!((0.0..=1.0).contains(&f), "{name} must be in [0, 1]");
+        }
         let mut dataset = Dataset::new();
         Self::carve(template, 0..initial).apply(&mut dataset);
+
+        let pathological = opts.is_pathological();
+        // The evolving-state mirror the pathological moves sample from.
+        let mut mirror = pathological.then(|| {
+            let mut m = Dataset::new();
+            Self::carve(template, 0..initial).apply(&mut m);
+            m
+        });
+        // Template adjacency for re-adds: every tuple incident to an
+        // entity, in template orientation.
+        let mut tmpl_adj: FxHashMap<EntityId, Vec<(RelationId, EntityId, EntityId)>> =
+            FxHashMap::default();
+        if opts.readd_fraction > 0.0 {
+            for rel in template.relations.ids() {
+                for &(a, b) in template.relations.tuples(rel) {
+                    tmpl_adj.entry(a).or_default().push((rel, a, b));
+                    if a != b {
+                        tmpl_adj.entry(b).or_default().push((rel, a, b));
+                    }
+                }
+            }
+        }
 
         let mut rng = seed ^ 0x9E37_79B9_7F4A_7C15;
         let mut next = move || {
@@ -339,7 +451,13 @@ impl DatasetDelta {
             rng ^= rng << 17;
             rng
         };
-        let mut retracted: FxHashSet<EntityId> = FxHashSet::default();
+        // Template ids currently absent (retracted, not re-added): the
+        // set filters carve slices, the vec is the re-add sample pool.
+        let mut absent_set: FxHashSet<EntityId> = FxHashSet::default();
+        let mut absent: Vec<EntityId> = Vec::new();
+        // Template id → current (re-added) id, for ids that no longer
+        // equal their template id. Identity when missing.
+        let mut alias: FxHashMap<EntityId, EntityId> = FxHashMap::default();
         let mut floor = initial;
         let mut deltas = Vec::with_capacity(steps);
         for step in 0..steps {
@@ -349,26 +467,217 @@ impl DatasetDelta {
 
             // Victims: a sample of live pre-floor entities, chosen before
             // the carve so the slice never references them.
-            let mut live: Vec<EntityId> = (0..floor)
+            let mut live: Vec<(EntityId, EntityId)> = (0..floor)
                 .map(EntityId)
-                .filter(|e| !retracted.contains(e))
+                .filter(|e| !absent_set.contains(e))
+                .map(|e| (e, alias.get(&e).copied().unwrap_or(e)))
                 .collect();
-            let victims = (live.len() as f64 * retract_fraction) as usize;
+            let victims = (live.len() as f64 * opts.retract_fraction) as usize;
             let mut delta = DatasetDelta::new();
+            let mut victim_ids: FxHashSet<EntityId> = FxHashSet::default();
             for _ in 0..victims {
                 let i = (next() % live.len() as u64) as usize;
-                let victim = live.swap_remove(i);
-                retracted.insert(victim);
-                delta.retract_entity(victim);
+                let (origin, current) = live.swap_remove(i);
+                absent_set.insert(origin);
+                absent.push(origin);
+                alias.remove(&origin);
+                victim_ids.insert(current);
+                delta.retract_entity(current);
             }
 
-            let carved = Self::carve_filtered(template, range.clone(), &retracted);
+            // The carve slice, remapped through `alias` so tuples and
+            // links reaching a re-added entity use its current id.
+            let carved = Self::carve_filtered(template, range.clone(), &absent_set);
             delta.types = carved.types;
             delta.attrs = carved.attrs;
             delta.relations = carved.relations;
             delta.add_entities = carved.add_entities;
             delta.add_tuples = carved.add_tuples;
             delta.add_links = carved.add_links;
+            if !alias.is_empty() {
+                let remap = |r: &mut GrowthRef| {
+                    if let GrowthRef::Existing(e) = r {
+                        if let Some(&cur) = alias.get(e) {
+                            *r = GrowthRef::Existing(cur);
+                        }
+                    }
+                };
+                for t in &mut delta.add_tuples {
+                    remap(&mut t.a);
+                    remap(&mut t.b);
+                }
+                for (a, b, _) in &mut delta.add_links {
+                    remap(a);
+                    remap(b);
+                }
+            }
+
+            // Template origin of every entity this delta adds, in
+            // `add_entities` order: the carve slice first (one per
+            // template id in `range`), then any revivals. Once a
+            // revival has consumed a fresh id, the mirror's ids run
+            // ahead of the template's, so *every* subsequent addition
+            // must be alias-tracked — not just the revived ones.
+            let mut added_origins: Vec<EntityId> = range.clone().map(EntityId).collect();
+
+            // Re-adds: resurrect absent entities under fresh ids with
+            // their template attributes and the template tuples whose
+            // other endpoint is present. May resurrect an entity
+            // retracted *in this same delta* (retractions apply first).
+            if opts.readd_fraction > 0.0 {
+                let revive = (absent.len() as f64 * opts.readd_fraction) as usize;
+                let mut revived_ref: FxHashMap<EntityId, GrowthRef> = FxHashMap::default();
+                for _ in 0..revive {
+                    let i = (next() % absent.len() as u64) as usize;
+                    let origin = absent.swap_remove(i);
+                    absent_set.remove(&origin);
+                    let attrs: Vec<(String, String)> = template
+                        .entities
+                        .attributes(origin)
+                        .iter()
+                        .map(|(a, v)| (template.entities.attr_name(a).to_owned(), v.to_owned()))
+                        .collect();
+                    let attrs_ref: Vec<(&str, &str)> = attrs
+                        .iter()
+                        .map(|(a, v)| (a.as_str(), v.as_str()))
+                        .collect();
+                    let ty = template
+                        .entities
+                        .type_name(template.entities.entity_type(origin));
+                    let r = delta.add_entity(ty, &attrs_ref);
+                    let GrowthRef::New(idx) = r else {
+                        unreachable!()
+                    };
+                    debug_assert_eq!(idx, added_origins.len());
+                    added_origins.push(origin);
+                    revived_ref.insert(origin, r);
+                    for &(rel, a, b) in tmpl_adj.get(&origin).map(Vec::as_slice).unwrap_or(&[]) {
+                        let endpoint = |e: EntityId| -> Option<GrowthRef> {
+                            if e == origin {
+                                return Some(r);
+                            }
+                            if let Some(&rr) = revived_ref.get(&e) {
+                                return Some(rr);
+                            }
+                            if e.0 >= floor || absent_set.contains(&e) {
+                                return None;
+                            }
+                            let cur = alias.get(&e).copied().unwrap_or(e);
+                            (!victim_ids.contains(&cur)).then_some(GrowthRef::Existing(cur))
+                        };
+                        // When both endpoints are revivals of this step,
+                        // the earlier one sees the later still absent
+                        // (skip) and the later sees the earlier in
+                        // `revived_ref` — so the tuple is emitted
+                        // exactly once.
+                        if let (Some(ra), Some(rb)) = (endpoint(a), endpoint(b)) {
+                            delta.add_tuple(
+                                template.relations.name(rel),
+                                template.relations.is_symmetric(rel),
+                                ra,
+                                rb,
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Tuple-endpoint churn: retract a sample of live tuples,
+            // re-adding every second one in the same delta.
+            if opts.tuple_churn > 0.0 {
+                let m = mirror.as_ref().expect("pathological scripts keep a mirror");
+                let mut pool: Vec<(RelationId, EntityId, EntityId)> = m
+                    .relations
+                    .ids()
+                    .flat_map(|rel| {
+                        m.relations
+                            .tuples(rel)
+                            .iter()
+                            .map(move |&(a, b)| (rel, a, b))
+                    })
+                    .filter(|&(_, a, b)| !victim_ids.contains(&a) && !victim_ids.contains(&b))
+                    .collect();
+                let churned = (pool.len() as f64 * opts.tuple_churn) as usize;
+                for j in 0..churned {
+                    let i = (next() % pool.len() as u64) as usize;
+                    let (rel, a, b) = pool.swap_remove(i);
+                    let name = m.relations.name(rel);
+                    delta.retract_tuple(name, a, b);
+                    if j % 2 == 0 {
+                        delta.add_tuple(
+                            name,
+                            m.relations.is_symmetric(rel),
+                            GrowthRef::Existing(a),
+                            GrowthRef::Existing(b),
+                        );
+                    }
+                }
+            }
+
+            // Candidate-link churn: the canopy-level analogue.
+            if opts.link_churn > 0.0 {
+                let m = mirror.as_ref().expect("pathological scripts keep a mirror");
+                let mut pool: Vec<(Pair, SimLevel)> = m
+                    .candidate_pairs()
+                    .filter(|(p, _)| !victim_ids.contains(&p.lo()) && !victim_ids.contains(&p.hi()))
+                    .collect();
+                pool.sort_unstable();
+                let churned = (pool.len() as f64 * opts.link_churn) as usize;
+                for j in 0..churned {
+                    let i = (next() % pool.len() as u64) as usize;
+                    let (pair, level) = pool.swap_remove(i);
+                    delta.retract_link(pair);
+                    if j % 2 == 0 {
+                        delta.add_link(
+                            GrowthRef::Existing(pair.lo()),
+                            GrowthRef::Existing(pair.hi()),
+                            level,
+                        );
+                    }
+                }
+            }
+
+            // Oversized-component growth: chain random live entities
+            // with fresh tuples in the first declared relation, fusing
+            // evidence components.
+            if opts.oversize_growth > 0 {
+                let m = mirror.as_ref().expect("pathological scripts keep a mirror");
+                if let Some(rel) = m.relations.ids().next() {
+                    let live_now: Vec<EntityId> = m
+                        .entities
+                        .ids()
+                        .filter(|e| !victim_ids.contains(e))
+                        .collect();
+                    if live_now.len() >= 2 {
+                        for _ in 0..opts.oversize_growth {
+                            let a = live_now[(next() % live_now.len() as u64) as usize];
+                            let b = live_now[(next() % live_now.len() as u64) as usize];
+                            if a == b || m.relations.has_tuple(rel, a, b) {
+                                continue;
+                            }
+                            delta.add_tuple(
+                                m.relations.name(rel),
+                                m.relations.is_symmetric(rel),
+                                GrowthRef::Existing(a),
+                                GrowthRef::Existing(b),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Keep the mirror current and bind every added origin to
+            // the id `apply` assigned its batch slot; identity bindings
+            // are elided (the `alias` fallback covers them).
+            if let Some(m) = mirror.as_mut() {
+                let applied = delta.apply(m);
+                for (idx, &origin) in added_origins.iter().enumerate() {
+                    let assigned = applied.new_ids[idx];
+                    if assigned != origin {
+                        alias.insert(origin, assigned);
+                    }
+                }
+            }
             floor = range.end;
             deltas.push(delta);
         }
@@ -637,6 +946,65 @@ mod tests {
                 .any(|(x, y)| x.retract_entities != y.retract_entities)
                 || deltas_a.iter().all(|d| d.retract_entities.is_empty())
         );
+    }
+
+    #[test]
+    fn churn_script_with_zero_knobs_is_byte_identical() {
+        let t = template();
+        for seed in [7u64, 42, 1337] {
+            let (base_ds, base) = DatasetDelta::churn_script(&t, 2, 3, 0.3, seed);
+            let (opt_ds, opt) = DatasetDelta::churn_script_with(
+                &t,
+                2,
+                3,
+                seed,
+                &ChurnOptions {
+                    retract_fraction: 0.3,
+                    ..ChurnOptions::default()
+                },
+            );
+            assert_eq!(base_ds.entities.len(), opt_ds.entities.len());
+            assert_eq!(
+                format!("{base:?}"),
+                format!("{opt:?}"),
+                "seed {seed}: zero-knob churn_script_with must reproduce churn_script"
+            );
+        }
+    }
+
+    #[test]
+    fn pathological_churn_applies_cleanly_and_reuses_no_ids() {
+        let t = template();
+        let opts = ChurnOptions {
+            retract_fraction: 0.4,
+            readd_fraction: 0.5,
+            tuple_churn: 0.5,
+            link_churn: 0.5,
+            oversize_growth: 2,
+        };
+        let (mut ds, deltas) = DatasetDelta::churn_script_with(&t, 3, 4, 99, &opts);
+        let (_, again) = DatasetDelta::churn_script_with(&t, 3, 4, 99, &opts);
+        assert_eq!(format!("{deltas:?}"), format!("{again:?}"), "deterministic");
+        let mut readds = 0u64;
+        for d in &deltas {
+            // The generator itself validated each delta against its
+            // mirror; applying to a second dataset must agree.
+            d.apply(&mut ds);
+            readds += d.add_entities.len() as u64;
+        }
+        // Re-added entities exist and got fresh ids: the id space grows
+        // past the template (ids are never reused).
+        assert!(
+            readds > (t.entities.len() as u64 - 3),
+            "re-adds on top of the carve slices"
+        );
+        assert!(ds.entities.len() > t.entities.len());
+        // Every live entity's attributes match some template entity's
+        // byte-for-byte (re-adds clone the template).
+        for e in ds.entities.ids() {
+            let v = ds.entities.attr(e, "name").unwrap();
+            assert!(v.starts_with("author "), "unexpected attrs {v:?}");
+        }
     }
 
     #[test]

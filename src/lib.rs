@@ -59,11 +59,11 @@ pub mod delta;
 pub mod growth;
 pub mod pipeline;
 
-pub use delta::{AppliedDelta, DatasetDelta, RetractTuple};
+pub use delta::{AppliedDelta, ChurnOptions, DatasetDelta, RetractTuple};
 pub use growth::{DatasetGrowth, GrowthEntity, GrowthRef, GrowthTuple};
 pub use pipeline::{
-    Backend, BackendReport, MatchOutcome, MatchSession, MatcherChoice, Pipeline, PipelineError,
-    Scheme, SplitPolicy, StageTimings, UpdateReport,
+    Backend, BackendReport, FaultKind, FaultPlan, MatchOutcome, MatchSession, MatcherChoice,
+    Pipeline, PipelineError, RuntimeOptions, Scheme, SplitPolicy, StageTimings, UpdateReport,
 };
 
 pub use em_core as core;
@@ -71,7 +71,7 @@ pub use em_core as core;
 // The pieces a Pipeline caller configures or consumes, re-exported so
 // `em` alone is enough for most programs.
 pub use em_blocking::{BlockingConfig, SimilarityKernel};
-pub use em_core::framework::RunStats;
+pub use em_core::framework::{InvariantChecker, InvariantReport, InvariantViolation, RunStats};
 pub use em_core::{Cover, Dataset, EntityId, Evidence, Pair, PairSet, SimLevel};
 pub use em_shard::{ShardPlan, ShardReport};
 pub use em_similarity::FeatureCache;

@@ -50,7 +50,10 @@ use crate::growth::DatasetGrowth;
 use em_blocking::{
     block_dataset_churn, block_dataset_session, BlockingConfig, CanopyMemo, SimilarityKernel,
 };
-use em_core::framework::{no_mp_baseline, MmpConfig, MmpDriver, RunStats, SmpDriver, WarmStart};
+use em_core::framework::{
+    no_mp_baseline, InvariantChecker, InvariantReport, MmpConfig, MmpDriver, RunStats, SmpDriver,
+    WarmStart,
+};
 use em_core::hash::{FxHashMap, FxHashSet};
 use em_core::{
     Cover, Dataset, DependencyIndex, EntityId, Evidence, GlobalScorer, MatchOutput, Matcher, Pair,
@@ -59,13 +62,15 @@ use em_core::{
 use em_mln::{InferenceBackend, LocalSearchParams, MlnMatcher, MlnModel};
 use em_parallel::{execute_mmp, execute_no_mp, execute_smp, ParallelConfig, RoundTrace};
 use em_rules::{paper_rules, RulesMatcher};
-use em_shard::{estimate_costs, shard_mmp_planned, shard_smp_planned, ShardPlan, ShardReport};
+use em_shard::{
+    estimate_costs, shard_mmp_planned_opts, shard_smp_planned_opts, ShardPlan, ShardReport,
+};
 use em_similarity::{FeatureCache, FeatureConfig};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-pub use em_shard::SplitPolicy;
+pub use em_shard::{FaultKind, FaultPlan, RuntimeOptions, SplitPolicy};
 
 /// Which message-passing scheme a session runs (§5 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -284,6 +289,8 @@ pub struct Pipeline {
     incremental: bool,
     memo_capacity: usize,
     evidence: Evidence,
+    runtime: RuntimeOptions,
+    check_invariants: bool,
 }
 
 impl Pipeline {
@@ -302,6 +309,8 @@ impl Pipeline {
             incremental: true,
             memo_capacity: usize::MAX,
             evidence: Evidence::none(),
+            runtime: RuntimeOptions::default(),
+            check_invariants: false,
         }
     }
 
@@ -373,6 +382,36 @@ impl Pipeline {
         self
     }
 
+    /// Check framework invariants (probe-ledger balance, tombstone
+    /// consistency, union-find closure, evidence-log replay) after every
+    /// [`MatchSession::run`] and [`MatchSession::update`] — and, on the
+    /// sharded backend, at every epoch fence. Results land in
+    /// [`RunStats`] (`invariant_checks` / `invariant_violations`) and in
+    /// [`MatchSession::last_invariants`]. Default off: the sweeps are
+    /// read-only but not free.
+    pub fn check_invariants(mut self, check: bool) -> Self {
+        self.check_invariants = check;
+        self
+    }
+
+    /// Replace the sharded runtime's knobs wholesale: fence-timeout
+    /// budget, retry count, and the fault plan. Ignored by the
+    /// sequential and parallel backends (the invariant flag is
+    /// session-wide and set by [`Pipeline::check_invariants`]).
+    pub fn runtime_options(mut self, opts: RuntimeOptions) -> Self {
+        self.runtime = opts;
+        self
+    }
+
+    /// Inject a deterministic [`FaultPlan`] into the sharded runtime
+    /// (keeping the other runtime defaults). Equivalent to
+    /// `runtime_options(RuntimeOptions::with_faults(plan))` when no
+    /// other knob was customized.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.runtime.faults = plan;
+        self
+    }
+
     /// Validate the configuration and assemble the session: run (or
     /// validate) blocking, instantiate the matcher, build the
     /// [`DependencyIndex`] and — for the sharded backend — the initial
@@ -389,7 +428,10 @@ impl Pipeline {
             incremental,
             memo_capacity,
             evidence,
+            mut runtime,
+            check_invariants,
         } = self;
+        runtime.check_invariants = check_invariants;
 
         // --- combination validation (every arm is a typed error) ---
         match backend {
@@ -541,6 +583,9 @@ impl Pipeline {
             index,
             plan,
             last_shard_report: None,
+            runtime,
+            check_invariants,
+            last_invariants: None,
             warm: PairSet::new(),
             warm_state: WarmStart::new(),
             runs: 0,
@@ -634,6 +679,13 @@ pub struct MatchSession {
     index: DependencyIndex,
     plan: Option<ShardPlan>,
     last_shard_report: Option<ShardReport>,
+    /// Sharded-runtime knobs: fence budget, fault plan, per-fence
+    /// invariant checking.
+    runtime: RuntimeOptions,
+    /// Whether session-level invariant sweeps run after `run`/`update`.
+    check_invariants: bool,
+    /// The most recent invariant sweep (run- or update-level).
+    last_invariants: Option<InvariantReport>,
     /// The previous run's fixpoint — next run's warm start.
     warm: PairSet,
     /// The previous fixpoint's message store and probe-memo bank (see
@@ -673,6 +725,28 @@ impl MatchSession {
     /// The sharded backend's current plan, if any.
     pub fn shard_plan(&self) -> Option<&ShardPlan> {
         self.plan.as_ref()
+    }
+
+    /// The most recent invariant sweep, if the session checks invariants
+    /// (see [`Pipeline::check_invariants`]). `None` before the first
+    /// `run`/`update`, or when checking is off.
+    pub fn last_invariants(&self) -> Option<&InvariantReport> {
+        self.last_invariants.as_ref()
+    }
+
+    /// Replace the fault plan the next sharded run injects. The soak
+    /// harness calls this per update so thousands of runs each exercise
+    /// a different, reproducible fault ([`FaultPlan::seeded`]); pass
+    /// [`FaultPlan::new`] to clear. No-op on non-sharded backends.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.runtime.faults = plan;
+    }
+
+    /// Toggle invariant sweeps (session-level and per-fence) after
+    /// build. Mirrors [`Pipeline::check_invariants`].
+    pub fn set_check_invariants(&mut self, check: bool) {
+        self.check_invariants = check;
+        self.runtime.check_invariants = check;
     }
 
     /// Drop every cross-run cache: the next run — and the next re-block —
@@ -743,6 +817,15 @@ impl MatchSession {
             self.last_shard_report = Some((**report).clone());
         }
         self.warm = output.matches.clone();
+        // Session-level invariant sweep over everything the session now
+        // carries into the next run (the sharded backend additionally
+        // checked merged evidence and the folded store at every fence —
+        // those counts are already in `output.stats`).
+        if self.check_invariants {
+            let sweep = self.sweep_invariants(&evidence, Some(&output.stats));
+            sweep.record(&mut output.stats);
+            self.last_invariants = Some(sweep);
+        }
         let timings = StageTimings {
             blocking: std::mem::take(&mut self.pending_blocking),
             planning: std::mem::take(&mut self.pending_planning),
@@ -857,15 +940,16 @@ impl MatchSession {
             (scheme, Backend::Sharded { .. }) => {
                 let plan = self.plan.as_ref().expect("sharded sessions hold a plan");
                 let (output, report) = match scheme {
-                    Scheme::Smp => shard_smp_planned(
+                    Scheme::Smp => shard_smp_planned_opts(
                         self.matcher.as_matcher(),
                         &self.dataset,
                         &self.cover,
                         &self.index,
                         plan,
                         evidence,
+                        &self.runtime,
                     ),
-                    Scheme::Mmp => shard_mmp_planned(
+                    Scheme::Mmp => shard_mmp_planned_opts(
                         self.probabilistic(),
                         &self.dataset,
                         &self.cover,
@@ -874,12 +958,32 @@ impl MatchSession {
                         evidence,
                         &self.mmp_config,
                         Some(warm),
+                        &self.runtime,
                     ),
                     Scheme::NoMp => unreachable!("rejected at build time (ShardedNoMp)"),
                 };
                 (output, BackendReport::Sharded(Box::new(report)))
             }
         }
+    }
+
+    /// One read-only sweep over everything the session owns: the
+    /// dataset's candidate pairs and tuples, `evidence`, the carried
+    /// message store and probe-memo bank, the blocking-score cache, the
+    /// warm-start entity floor, and — when a run's stats are at hand —
+    /// the probe ledger.
+    fn sweep_invariants(&self, evidence: &Evidence, stats: Option<&RunStats>) -> InvariantReport {
+        let mut checker = InvariantChecker::new(&self.dataset);
+        checker.check_dataset();
+        checker.check_evidence(evidence);
+        checker.check_message_store(&self.warm_state.store);
+        checker.check_memo_bank(&self.warm_state.bank);
+        checker.check_pair_cache("blocking-scores", &self.scores);
+        checker.check_entity_floor(self.warm_state.entity_floor);
+        if let Some(stats) = stats {
+            checker.check_probe_ledger(stats);
+        }
+        checker.finish()
     }
 
     fn probabilistic(&self) -> &(dyn ProbabilisticMatcher + Sync) {
@@ -1343,6 +1447,18 @@ impl MatchSession {
         self.pending_rollback.messages_dropped += report.messages_dropped;
         self.pending_rollback.memos_dropped += report.memos_dropped;
         self.pending_rollback.pairs_reblocked += report.pairs_reblocked;
+
+        // Post-update invariant sweep: the edited dataset, the rolled-
+        // back carried state, and the retraction-scrubbed caller
+        // evidence must already be consistent *before* the next run.
+        // The counters fold into that run's stats like the rollback's.
+        if self.check_invariants {
+            let sweep = self.sweep_invariants(&self.base_evidence, None);
+            sweep.record(&mut self.pending_rollback);
+            report.invariant_checks = sweep.checks;
+            report.invariant_violations = sweep.violations.len() as u64;
+            self.last_invariants = Some(sweep);
+        }
         report
     }
 }
@@ -1400,6 +1516,11 @@ pub struct UpdateReport {
     pub canopies_replayed: u64,
     /// Canopies recomputed against the inverted index.
     pub canopies_recomputed: u64,
+    /// Invariant checks the post-update sweep ran (0 when the session
+    /// does not check invariants — see [`Pipeline::check_invariants`]).
+    pub invariant_checks: u64,
+    /// Invariant violations the post-update sweep found.
+    pub invariant_violations: u64,
     /// Whether the session dropped its warm state wholesale instead of
     /// rolling back component-by-component (Type-I matchers,
     /// `.incremental(false)`, or the TF-IDF kernel — see
@@ -1425,6 +1546,13 @@ impl fmt::Display for UpdateReport {
             self.canopies_replayed,
             self.canopies_recomputed,
         )?;
+        if self.invariant_checks > 0 {
+            write!(
+                f,
+                " | invariants: {} checks, {} violations",
+                self.invariant_checks, self.invariant_violations
+            )?;
+        }
         if self.degraded_to_cold {
             write!(f, " | degraded to cold")?;
         }
