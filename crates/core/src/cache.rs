@@ -26,7 +26,7 @@
 
 use crate::dataset::{Dataset, View};
 use crate::evidence::Evidence;
-use crate::hash::{FxBuildHasher, FxHashMap, FxHasher};
+use crate::hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 use crate::matcher::{GlobalScorer, Matcher, ProbabilisticMatcher, Score};
 use crate::pair::{Pair, PairSet};
 use std::hash::{BuildHasher, Hash, Hasher};
@@ -66,6 +66,11 @@ impl CacheStats {
 #[derive(Debug, Default)]
 pub struct PairCache<V> {
     shards: [Mutex<FxHashMap<Pair, V>>; SHARDS],
+    /// Session-scoped suppression list: pairs a caller retracted for
+    /// good. Not a cache — an intent record — so [`PairCache::clear`]
+    /// keeps it (a reset session must still honor the caller's
+    /// retractions). Tiny in practice; one mutex is enough.
+    suppressed: Mutex<FxHashSet<Pair>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -78,6 +83,7 @@ impl<V: Copy> PairCache<V> {
     pub fn new() -> Self {
         Self {
             shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+            suppressed: Mutex::new(FxHashSet::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -141,7 +147,8 @@ impl<V: Copy> PairCache<V> {
         self.len() == 0
     }
 
-    /// Drop all entries (statistics are kept).
+    /// Drop all entries (statistics and the suppression list are kept —
+    /// see [`PairCache::suppress`]).
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.lock().expect("cache lock").clear();
@@ -180,6 +187,50 @@ impl<V: Copy> PairCache<V> {
                 visit(pair);
             }
         }
+    }
+
+    /// Add `pair` to the session-scoped suppression list and drop its
+    /// cached value: the caller retracted it for good, so later
+    /// re-derivations (a re-block re-scoring the same records) must not
+    /// resurrect it. The list survives [`PairCache::clear`] — it records
+    /// intent, not derived data.
+    pub fn suppress(&self, pair: Pair) {
+        self.remove(pair);
+        self.suppressed
+            .lock()
+            .expect("suppression lock")
+            .insert(pair);
+    }
+
+    /// Remove `pair` from the suppression list (the caller re-asserted
+    /// it); returns whether it was suppressed.
+    pub fn unsuppress(&self, pair: Pair) -> bool {
+        self.suppressed
+            .lock()
+            .expect("suppression lock")
+            .remove(&pair)
+    }
+
+    /// Whether `pair` is on the suppression list.
+    pub fn is_suppressed(&self, pair: Pair) -> bool {
+        self.suppressed
+            .lock()
+            .expect("suppression lock")
+            .contains(&pair)
+    }
+
+    /// Snapshot of the suppression list, sorted for deterministic
+    /// iteration.
+    pub fn suppressed_pairs(&self) -> Vec<Pair> {
+        let mut pairs: Vec<Pair> = self
+            .suppressed
+            .lock()
+            .expect("suppression lock")
+            .iter()
+            .copied()
+            .collect();
+        pairs.sort_unstable();
+        pairs
     }
 
     /// Hit/miss counters so far.
@@ -303,6 +354,10 @@ pub struct CachedMatcher<M> {
     match_memo: ShardedMemo<(u64, EvidenceFp), PairSet>,
     /// (view fp, evidence fp, probe) → entailed pairs.
     probe_memo: ShardedMemo<(u64, EvidenceFp, Pair), Vec<Pair>>,
+    /// (view fp, evidence fp, probe) → (entailed pairs, score gap).
+    /// Separate from `probe_memo`: a certified probe carries its gap, and
+    /// mixing the tables would let a plain probe replay drop one.
+    probe_cert_memo: ShardedMemo<(u64, EvidenceFp, Pair), (Vec<Pair>, Score)>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -326,6 +381,7 @@ impl<M> CachedMatcher<M> {
             enabled,
             match_memo: ShardedMemo::new(),
             probe_memo: ShardedMemo::new(),
+            probe_cert_memo: ShardedMemo::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -353,6 +409,7 @@ impl<M> CachedMatcher<M> {
     pub fn clear(&self) {
         self.match_memo.clear();
         self.probe_memo.clear();
+        self.probe_cert_memo.clear();
     }
 }
 
@@ -413,6 +470,48 @@ impl<M: Matcher> Matcher for CachedMatcher<M> {
         out.into_iter().map(|v| v.expect("filled")).collect()
     }
 
+    fn probe_certificate(
+        &self,
+        view: &View<'_>,
+        evidence: &Evidence,
+        base: &PairSet,
+        probes: &[Pair],
+    ) -> Option<Vec<(Vec<Pair>, Score)>> {
+        if !self.enabled {
+            return self.inner.probe_certificate(view, evidence, base, probes);
+        }
+        let vf = view_fingerprint(view);
+        let ef = evidence_fingerprint(evidence);
+        let mut out: Vec<Option<(Vec<Pair>, Score)>> = vec![None; probes.len()];
+        let mut missing: Vec<(usize, Pair)> = Vec::new();
+        for (i, &p) in probes.iter().enumerate() {
+            match self.probe_cert_memo.get(&(vf, ef, p)) {
+                Some(cached) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = Some(cached);
+                }
+                None => missing.push((i, p)),
+            }
+        }
+        if !missing.is_empty() {
+            let miss_probes: Vec<Pair> = missing.iter().map(|&(_, p)| p).collect();
+            // An inner matcher that produces no gap evidence answers the
+            // whole batch with `None`; the wrapper must do the same (the
+            // framework then falls back to `probe_entailed`), so misses
+            // only count once we know the inner certifies at all.
+            let computed = self
+                .inner
+                .probe_certificate(view, evidence, base, &miss_probes)?;
+            self.misses
+                .fetch_add(missing.len() as u64, Ordering::Relaxed);
+            for ((i, p), certified) in missing.into_iter().zip(computed) {
+                self.probe_cert_memo.insert((vf, ef, p), certified.clone());
+                out[i] = Some(certified);
+            }
+        }
+        Some(out.into_iter().map(|v| v.expect("filled")).collect())
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }
@@ -471,6 +570,26 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn pair_cache_suppression_survives_clear_until_unsuppressed() {
+        let cache: PairCache<f64> = PairCache::new();
+        cache.insert(p(0, 1), 0.9);
+        cache.suppress(p(0, 1));
+        assert!(cache.is_suppressed(p(0, 1)));
+        assert_eq!(cache.get(p(0, 1)), None, "suppress evicts the cached value");
+        cache.insert(p(0, 1), 0.9);
+        cache.clear();
+        assert!(
+            cache.is_suppressed(p(0, 1)),
+            "suppression is intent, not cache: clear() keeps it"
+        );
+        assert_eq!(cache.suppressed_pairs(), vec![p(0, 1)]);
+        assert!(cache.unsuppress(p(0, 1)), "first unsuppress removes");
+        assert!(!cache.unsuppress(p(0, 1)), "second is a no-op");
+        assert!(!cache.is_suppressed(p(0, 1)));
+        assert!(cache.suppressed_pairs().is_empty());
     }
 
     #[test]
@@ -537,6 +656,63 @@ mod tests {
         let seeded = cached.match_view(&view, &Evidence::positive([p(0, 1)].into_iter().collect()));
         assert!(none.len() <= seeded.len());
         assert_eq!(cached.stats().hits, 0, "different evidence, no replay");
+    }
+
+    #[test]
+    fn probe_certificate_memoizes_and_propagates_none() {
+        use std::sync::atomic::AtomicUsize;
+
+        /// Certifies every probe as entailing nothing with gap 500, and
+        /// counts inner calls.
+        struct Certifying {
+            calls: AtomicUsize,
+        }
+        impl Matcher for Certifying {
+            fn match_view(&self, _view: &View<'_>, _evidence: &Evidence) -> PairSet {
+                PairSet::new()
+            }
+            fn probe_certificate(
+                &self,
+                _view: &View<'_>,
+                _evidence: &Evidence,
+                _base: &PairSet,
+                probes: &[Pair],
+            ) -> Option<Vec<(Vec<Pair>, Score)>> {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                Some(probes.iter().map(|_| (Vec::new(), Score(500))).collect())
+            }
+        }
+
+        let (ds, _, exact, _) = paper_example();
+        let view = ds.full_view();
+        let ev = Evidence::none();
+        let probes = [p(0, 1), p(2, 3)];
+
+        // An inner matcher without gap evidence: the wrapper forwards the
+        // `None` so the framework can fall back to plain probes.
+        let no_certs = CachedMatcher::new(exact);
+        assert!(no_certs
+            .probe_certificate(&view, &ev, &PairSet::new(), &probes)
+            .is_none());
+
+        let certifying = CachedMatcher::new(Certifying {
+            calls: AtomicUsize::new(0),
+        });
+        let first = certifying
+            .probe_certificate(&view, &ev, &PairSet::new(), &probes)
+            .expect("certified");
+        let second = certifying
+            .probe_certificate(&view, &ev, &PairSet::new(), &probes)
+            .expect("replayed");
+        assert_eq!(first, second);
+        assert_eq!(
+            certifying.inner().calls.load(Ordering::Relaxed),
+            1,
+            "second batch is answered from the memo"
+        );
+        certifying.invalidate_caches();
+        let _ = certifying.probe_certificate(&view, &ev, &PairSet::new(), &probes);
+        assert_eq!(certifying.inner().calls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

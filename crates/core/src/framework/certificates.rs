@@ -1,0 +1,383 @@
+//! Score-gap certificates: bounded probe reuse for approximate matchers.
+//!
+//! Exact supermodular matchers replay memoized conditioned probes
+//! soundly because MAP inference factorizes over ground-interaction
+//! components — the argument behind [`super::compute_maximal_incremental`].
+//! Approximate backends (MaxWalkSAT) have no such factorization: any
+//! change to the grounding can, in principle, steer the search to a
+//! different local optimum. The fallback so far was probe-everything.
+//!
+//! A **score-gap certificate** closes most of that gap. When a
+//! local-search probe accepts an assignment, the search has also seen a
+//! best *rejected* alternative; the difference of their scores is the
+//! probe's **gap** — the minimum total clause weight a later delta must
+//! move before a different assignment can win. On re-evaluation, the
+//! delta's clause footprint (the summed [`touched
+//! weight`](crate::matcher::GlobalScorer::touched_weight) of the pairs
+//! that changed) is compared against each memoized probe's gap: probes
+//! whose gap exceeds the footprint (scaled by the configured slack)
+//! are **elided** — their memoized result replays — and only breached
+//! certificates force a re-probe.
+//!
+//! The bound is honest but heuristic: local search does not enumerate
+//! all assignments, so the recorded gap is the margin over the
+//! alternatives the search *visited*, not a global second-best. The
+//! bench harness therefore measures divergence against the
+//! probe-everything arm instead of claiming byte-identity; on all
+//! committed datasets the measured divergence is zero and CI asserts it
+//! stays so. Surviving certificates are *weakened* by each absorbed
+//! footprint, so sustained churn eventually breaches them rather than
+//! replaying forever against a stale margin.
+//!
+//! Lifecycle mirrors the probe memos: a [`CertificateSet`] rides next to
+//! each neighborhood's [`super::ProbeMemo`] (pooled per run in a
+//! [`CertificatePool`], banked across runs in a [`CertificateBank`]
+//! parallel to [`super::MemoBank`]). Dropping a certificate is always
+//! safe — the pair just re-probes — so recovery paths (shard
+//! re-execution, rollback) may discard them freely.
+
+use crate::cover::NeighborhoodId;
+use crate::dataset::View;
+use crate::entity::EntityId;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::matcher::Score;
+use crate::pair::{Pair, PairSet};
+
+/// Gap recorded when a probe saw no rejected alternative at all: no
+/// finite delta footprint observed so far can breach it. Kept well away
+/// from `i64::MAX` so footprint sums cannot overflow comparisons.
+pub const UNBOUNDED_GAP: Score = Score(i64::MAX / 4);
+
+/// Whether a delta `footprint` breaches a certificate `gap` under
+/// `slack`. Slack scales the footprint: `1.0` is the measured-honest
+/// default, larger values breach earlier (more conservative), and an
+/// infinite slack breaches every certificate — the probe-everything
+/// degradation.
+pub fn gap_breached(footprint: Score, gap: Score, slack: f64) -> bool {
+    if slack.is_infinite() {
+        return true;
+    }
+    footprint.to_weight() * slack >= gap.to_weight()
+}
+
+/// One neighborhood's score-gap certificates: for each probed pair, the
+/// margin by which its accepted probe assignment beat the best rejected
+/// alternative the search visited.
+#[derive(Debug, Default, Clone)]
+pub struct CertificateSet {
+    gaps: FxHashMap<Pair, Score>,
+}
+
+impl CertificateSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of certified pairs.
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Whether no pair is certified.
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// Record (or overwrite) a pair's gap.
+    pub fn record(&mut self, pair: Pair, gap: Score) {
+        self.gaps.insert(pair, gap);
+    }
+
+    /// The pair's current gap, if certified.
+    pub fn gap(&self, pair: Pair) -> Option<Score> {
+        self.gaps.get(&pair).copied()
+    }
+
+    /// Drop a pair's certificate (breached, or its probe left the memo).
+    pub fn remove(&mut self, pair: Pair) -> Option<Score> {
+        self.gaps.remove(&pair)
+    }
+
+    /// Weaken a surviving certificate by an absorbed delta footprint:
+    /// the margin the footprint may have consumed is subtracted, so
+    /// repeated sub-gap deltas accumulate toward a breach instead of
+    /// each being judged against the original gap.
+    pub fn weaken(&mut self, pair: Pair, spent: Score) {
+        if let Some(gap) = self.gaps.get_mut(&pair) {
+            gap.0 = gap.0.saturating_sub(spent.0.max(0));
+        }
+    }
+
+    /// Keep only the certificates whose pair satisfies `keep`.
+    pub fn retain(&mut self, mut keep: impl FnMut(Pair) -> bool) {
+        self.gaps.retain(|&p, _| keep(p));
+    }
+
+    /// Visit every certified pair with its gap (arbitrary order).
+    pub fn for_each(&self, mut visit: impl FnMut(Pair, Score)) {
+        for (&p, &gap) in &self.gaps {
+            visit(p, gap);
+        }
+    }
+}
+
+/// The per-neighborhood [`CertificateSet`]s of one run — the certificate
+/// sibling of [`super::MemoPool`]. Certificates are a pair-to-integer
+/// map (tiny next to the probe memos), so the pool is unbounded: memo
+/// eviction already bounds what a certificate could ever elide.
+#[derive(Debug, Clone)]
+pub struct CertificatePool {
+    sets: Vec<CertificateSet>,
+}
+
+impl CertificatePool {
+    /// Pool of `n` empty sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            sets: vec![CertificateSet::new(); n],
+        }
+    }
+
+    /// Take neighborhood `id`'s set out of the pool (replaced by an
+    /// empty one until [`CertificatePool::put`] returns it).
+    pub fn take(&mut self, id: NeighborhoodId) -> CertificateSet {
+        std::mem::take(&mut self.sets[id.index()])
+    }
+
+    /// Store `set` as neighborhood `id`'s.
+    pub fn put(&mut self, id: NeighborhoodId, set: CertificateSet) {
+        self.sets[id.index()] = set;
+    }
+
+    /// Read access to neighborhood `id`'s set.
+    pub fn get(&self, id: NeighborhoodId) -> &CertificateSet {
+        &self.sets[id.index()]
+    }
+
+    /// Drain every non-empty set out of the pool (cross-run
+    /// warm-starting moves them into a [`CertificateBank`]).
+    pub fn drain(&mut self) -> Vec<(NeighborhoodId, CertificateSet)> {
+        self.sets
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| (NeighborhoodId(i as u32), std::mem::take(s)))
+            .collect()
+    }
+}
+
+/// Cross-run store of per-neighborhood [`CertificateSet`]s, keyed by the
+/// view's member list exactly like [`super::MemoBank`] — the certificate
+/// half of a warm start.
+///
+/// A banked certificate is only meaningful next to the probe memo it was
+/// recorded with, so callers withdraw certificates **only at the call
+/// sites where the memo withdrawal succeeded** (same key discipline);
+/// a certificate withdrawn without its memo would certify a probe that
+/// is about to be re-issued anyway. Dropping entries is always safe.
+#[derive(Debug, Default, Clone)]
+pub struct CertificateBank {
+    entries: FxHashMap<Vec<EntityId>, CertificateSet>,
+}
+
+impl CertificateBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of banked neighborhoods.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bank holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Store `set` under the member list of `view`; empty sets are
+    /// dropped rather than banked.
+    pub fn deposit(&mut self, view: &View<'_>, set: CertificateSet) {
+        if set.is_empty() {
+            self.entries.remove(view.members());
+        } else {
+            self.entries.insert(view.members().to_vec(), set);
+        }
+    }
+
+    /// Merge another bank's entries into this one (shards deposit into
+    /// private banks; the coordinator folds them together).
+    pub fn absorb(&mut self, other: CertificateBank) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Take the set banked for the *predecessor* of `view` in a grown
+    /// dataset: the key is the view's members below `entity_floor`, the
+    /// same predecessor identity [`super::MemoBank::withdraw_grown`]
+    /// resolves. The entry is removed either way. Callers must only use
+    /// the result when the corresponding memo withdrawal succeeded.
+    pub fn withdraw_grown(&mut self, view: &View<'_>, entity_floor: u32) -> Option<CertificateSet> {
+        let old_members: Vec<EntityId> = view
+            .members()
+            .iter()
+            .copied()
+            .filter(|e| e.0 < entity_floor)
+            .collect();
+        self.entries.remove(&old_members)
+    }
+
+    /// Rollback hygiene after a perturbing delta: entries containing a
+    /// `gone` member are re-keyed under their surviving member list, and
+    /// every certificate for a pair that mentions a gone entity or sits
+    /// in the `invalid` closure is dropped (its probe re-issues, so a
+    /// stale gap must not elide it). Entries left empty are removed.
+    /// Returns the number of certificates dropped.
+    pub fn rollback(&mut self, gone: &FxHashSet<EntityId>, invalid: &PairSet) -> usize {
+        let mut dropped = 0;
+        let dead_pair =
+            |p: Pair| gone.contains(&p.lo()) || gone.contains(&p.hi()) || invalid.contains(p);
+        let keys: Vec<Vec<EntityId>> = self.entries.keys().cloned().collect();
+        for key in keys {
+            let touched_key = key.iter().any(|e| gone.contains(e));
+            let mut entry = match self.entries.remove(&key) {
+                Some(e) => e,
+                None => continue,
+            };
+            let before = entry.len();
+            entry.retain(|p| !dead_pair(p));
+            dropped += before - entry.len();
+            if entry.is_empty() {
+                continue;
+            }
+            let new_key = if touched_key {
+                let survivors: Vec<EntityId> =
+                    key.iter().copied().filter(|e| !gone.contains(e)).collect();
+                if survivors.is_empty() {
+                    continue;
+                }
+                survivors
+            } else {
+                key
+            };
+            self.entries.insert(new_key, entry);
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(EntityId(a), EntityId(b))
+    }
+
+    #[test]
+    fn breach_respects_slack() {
+        let gap = Score::from_weight(2.0);
+        assert!(!gap_breached(Score::from_weight(1.0), gap, 1.0));
+        assert!(gap_breached(Score::from_weight(2.0), gap, 1.0));
+        assert!(gap_breached(Score::from_weight(1.0), gap, 2.0));
+        // Infinite slack breaches everything, even an unbounded gap.
+        assert!(gap_breached(Score::ZERO, UNBOUNDED_GAP, f64::INFINITY));
+        assert!(!gap_breached(Score::from_weight(1e6), UNBOUNDED_GAP, 1.0));
+    }
+
+    #[test]
+    fn weaken_accumulates_toward_breach() {
+        let mut set = CertificateSet::new();
+        set.record(p(0, 1), Score::from_weight(3.0));
+        let footprint = Score::from_weight(2.0);
+        assert!(!gap_breached(footprint, set.gap(p(0, 1)).unwrap(), 1.0));
+        set.weaken(p(0, 1), footprint);
+        // The second identical footprint now breaches the residual gap.
+        assert!(gap_breached(footprint, set.gap(p(0, 1)).unwrap(), 1.0));
+        // Weakening never underflows.
+        set.weaken(p(0, 1), Score(i64::MAX));
+        assert!(set.gap(p(0, 1)).unwrap().0 <= 0);
+    }
+
+    #[test]
+    fn pool_takes_and_puts_by_neighborhood() {
+        let mut pool = CertificatePool::new(2);
+        let mut set = CertificateSet::new();
+        set.record(p(0, 1), Score(500));
+        pool.put(NeighborhoodId(1), set);
+        assert!(pool.get(NeighborhoodId(0)).is_empty());
+        assert_eq!(pool.get(NeighborhoodId(1)).len(), 1);
+        let taken = pool.take(NeighborhoodId(1));
+        assert_eq!(taken.len(), 1);
+        assert!(pool.get(NeighborhoodId(1)).is_empty());
+        pool.put(NeighborhoodId(1), taken);
+        assert_eq!(pool.drain().len(), 1);
+        assert!(pool.get(NeighborhoodId(1)).is_empty());
+    }
+
+    #[test]
+    fn bank_rollback_rekeys_and_drops_dead_pairs() {
+        use crate::dataset::{Dataset, SimLevel};
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        for _ in 0..4 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(p(0, 1), SimLevel(2));
+        ds.set_similar(p(1, 2), SimLevel(2));
+        let mut bank = CertificateBank::new();
+        let mut set = CertificateSet::new();
+        set.record(p(0, 1), Score(100));
+        set.record(p(1, 2), Score(200));
+        bank.deposit(&ds.view([EntityId(0), EntityId(1), EntityId(2)]), set);
+
+        let gone: FxHashSet<EntityId> = [EntityId(0)].into_iter().collect();
+        let dropped = bank.rollback(&gone, &PairSet::new());
+        assert_eq!(dropped, 1, "the pair touching entity 0 is dropped");
+        // The survivor re-keys under {1, 2} and withdraws there.
+        let view = ds.view([EntityId(1), EntityId(2), EntityId(3)]);
+        let got = bank.withdraw_grown(&view, 3).expect("rekeyed entry");
+        assert_eq!(got.gap(p(1, 2)), Some(Score(200)));
+        assert!(bank.is_empty());
+    }
+
+    #[test]
+    fn bank_rollback_invalid_closure_drops_certificates_in_place() {
+        use crate::dataset::{Dataset, SimLevel};
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        for _ in 0..3 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(p(0, 1), SimLevel(2));
+        let mut bank = CertificateBank::new();
+        let mut set = CertificateSet::new();
+        set.record(p(0, 1), Score(100));
+        set.record(p(0, 2), Score(300));
+        bank.deposit(&ds.view([EntityId(0), EntityId(1), EntityId(2)]), set);
+        let invalid: PairSet = [p(0, 1)].into_iter().collect();
+        assert_eq!(bank.rollback(&FxHashSet::default(), &invalid), 1);
+        let view = ds.view([EntityId(0), EntityId(1), EntityId(2)]);
+        let got = bank.withdraw_grown(&view, 3).expect("key unchanged");
+        assert_eq!(got.gap(p(0, 1)), None, "invalid pair dropped");
+        assert_eq!(got.gap(p(0, 2)), Some(Score(300)));
+    }
+
+    #[test]
+    fn empty_deposit_clears_the_slot() {
+        use crate::dataset::Dataset;
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        ds.entities.add_entity(ty);
+        ds.entities.add_entity(ty);
+        let view = ds.view([EntityId(0), EntityId(1)]);
+        let mut bank = CertificateBank::new();
+        let mut set = CertificateSet::new();
+        set.record(p(0, 1), Score(1));
+        bank.deposit(&view, set);
+        assert_eq!(bank.len(), 1);
+        bank.deposit(&view, CertificateSet::new());
+        assert!(bank.is_empty());
+    }
+}

@@ -35,8 +35,9 @@ use crate::matcher::{GlobalScorer, MatchOutput, Matcher, ProbabilisticMatcher};
 use crate::pair::{Pair, PairSet};
 use std::time::{Duration, Instant};
 
+use super::certificates::{CertificateBank, CertificatePool, CertificateSet};
 use super::mmp::{
-    compute_maximal, compute_maximal_incremental, mark_dirty_around, promote_dirty, MemoBank,
+    compute_maximal, compute_maximal_certified, mark_dirty_around, promote_dirty, MemoBank,
     MemoPool, MessageStore, MmpConfig, ProbeMemo,
 };
 use super::{DependencyIndex, RunStats, Worklist};
@@ -319,6 +320,12 @@ pub struct MmpDriver<'a> {
     /// member pair (resolved to the current root when processed).
     dirty_messages: Vec<Pair>,
     memos: MemoPool,
+    /// Per-neighborhood score-gap certificates, riding next to the probe
+    /// memos (see [`super::certificates`]). Populated only when the
+    /// matcher's [`Matcher::probe_certificate`] hook produces gap
+    /// evidence; otherwise every set stays empty and the incremental
+    /// path behaves exactly as before.
+    certs: CertificatePool,
     /// When set, maximal messages are collected into [`MmpDriver::take_outbox`]
     /// instead of being stored and promoted locally. A sharded runtime
     /// that splits an overlap component across shards must centralize
@@ -421,6 +428,7 @@ impl<'a> MmpDriver<'a> {
             store: MessageStore::new(),
             dirty_messages: Vec::new(),
             memos: MemoPool::new(cover.len(), config.memo_capacity),
+            certs: CertificatePool::new(cover.len()),
             defer_promotions: false,
             outbox: Vec::new(),
         }
@@ -456,6 +464,14 @@ impl<'a> MmpDriver<'a> {
     /// view-identity contract documented there).
     pub fn seed_memo(&mut self, id: NeighborhoodId, memo: ProbeMemo) {
         self.memos.put(id, memo, &mut self.core.stats);
+    }
+
+    /// Seed one neighborhood's score-gap certificates (the caller
+    /// withdrew them from a [`CertificateBank`] — only meaningful at call
+    /// sites where the matching [`MmpDriver::seed_memo`] withdrawal
+    /// succeeded; see the bank's key discipline).
+    pub fn seed_certificates(&mut self, id: NeighborhoodId, set: CertificateSet) {
+        self.certs.put(id, set);
     }
 
     /// Replace the driver's (empty) message store with a previous
@@ -504,6 +520,17 @@ impl<'a> MmpDriver<'a> {
         for (id, memo) in self.memos.drain() {
             let view = self.core.cover.view(self.core.dataset, id);
             bank.deposit(&view, memo);
+        }
+    }
+
+    /// Deposit the driver's score-gap certificates into `bank` under
+    /// their current view identities — the certificate half of
+    /// [`MmpDriver::bank_memos`]. Call after [`MmpDriver::run`] reaches
+    /// quiescence.
+    pub fn bank_certificates(&mut self, bank: &mut CertificateBank) {
+        for (id, set) in self.certs.drain() {
+            let view = self.core.cover.view(self.core.dataset, id);
+            bank.deposit(&view, set);
         }
     }
 
@@ -585,7 +612,8 @@ impl<'a> MmpDriver<'a> {
 
             // Step 5b: new maximal messages from this neighborhood.
             let (new_messages, new_memo) = if self.config.incremental {
-                compute_maximal_incremental(
+                let mut certs = self.certs.take(id);
+                let out = compute_maximal_certified(
                     matcher,
                     &view,
                     local_evidence,
@@ -593,9 +621,12 @@ impl<'a> MmpDriver<'a> {
                     &dirty,
                     scorer,
                     self.memos.take(id),
+                    &mut certs,
                     &self.config,
                     &mut self.core.stats,
-                )
+                );
+                self.certs.put(id, certs);
+                out
             } else {
                 (
                     compute_maximal(

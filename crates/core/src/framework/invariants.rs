@@ -244,6 +244,41 @@ impl<'a> InvariantChecker<'a> {
         }
     }
 
+    /// Certificate-ledger balance: every certificate consulted during
+    /// incremental replay either breached (forcing a re-probe) or elided
+    /// its probe, so
+    /// `certificates_checked == certificates_breached + probes_elided`
+    /// exactly; and an elided probe replays its memoized result, so
+    /// `probes_elided <= probes_replayed`. Holds for runs without
+    /// certificates (all zeros) and for any [`RunStats::merge`] fold of
+    /// stats that individually balance.
+    pub fn check_certificate_ledger(&mut self, stats: &RunStats) {
+        self.report.checks += 1;
+        let expected = stats.certificates_breached + stats.probes_elided;
+        if stats.certificates_checked != expected {
+            self.fail(
+                "certificate-ledger",
+                format!(
+                    "certificates_checked = {} but certificates_breached + probes_elided = {} + {} = {}",
+                    stats.certificates_checked,
+                    stats.certificates_breached,
+                    stats.probes_elided,
+                    expected
+                ),
+            );
+        }
+        self.report.checks += 1;
+        if stats.probes_elided > stats.probes_replayed {
+            self.fail(
+                "certificate-ledger",
+                format!(
+                    "probes_elided = {} exceeds probes_replayed = {} (every elided probe must replay)",
+                    stats.probes_elided, stats.probes_replayed
+                ),
+            );
+        }
+    }
+
     /// Warm-start floor sanity: every entity id below the floor must
     /// exist (the floor marks where "new since last fixpoint" begins,
     /// so it can never exceed the id space).
@@ -299,6 +334,10 @@ mod tests {
             matcher_calls: 7,
             neighborhoods_processed: 4,
             conditioned_probes: 3,
+            certificates_checked: 5,
+            certificates_breached: 2,
+            probes_elided: 3,
+            probes_replayed: 6,
             ..Default::default()
         };
         let mut checker = InvariantChecker::new(&ds);
@@ -306,6 +345,7 @@ mod tests {
         checker.check_evidence(&ev);
         checker.check_message_store(&store);
         checker.check_probe_ledger(&stats);
+        checker.check_certificate_ledger(&stats);
         checker.check_entity_floor(4);
         let report = checker.finish();
         assert!(report.is_ok(), "{:?}", report.violations);
@@ -359,6 +399,40 @@ mod tests {
         assert!(checks.contains(&"entity-floor"), "{checks:?}");
         let shown = report.violations[0].to_string();
         assert!(shown.starts_with("[probe-ledger]"), "{shown}");
+    }
+
+    #[test]
+    fn certificate_ledger_catches_both_imbalances() {
+        let ds = small_world();
+        // checked != breached + elided.
+        let unbalanced = RunStats {
+            certificates_checked: 4,
+            certificates_breached: 1,
+            probes_elided: 2,
+            probes_replayed: 9,
+            ..Default::default()
+        };
+        // elided probes without matching replays.
+        let unreplayed = RunStats {
+            certificates_checked: 3,
+            certificates_breached: 0,
+            probes_elided: 3,
+            probes_replayed: 1,
+            ..Default::default()
+        };
+        let mut checker = InvariantChecker::new(&ds);
+        checker.check_certificate_ledger(&unbalanced);
+        checker.check_certificate_ledger(&unreplayed);
+        let report = checker.finish();
+        assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.check == "certificate-ledger"));
+        assert!(report.violations[0].detail.contains("certificates_checked"));
+        assert!(report.violations[1]
+            .detail
+            .contains("exceeds probes_replayed"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::matcher::{GlobalScorer, MatchOutput, ProbabilisticMatcher, Score};
 use crate::pair::{Pair, PairSet};
 use std::time::Instant;
 
+use super::certificates::{gap_breached, CertificateBank, CertificateSet};
 use super::RunStats;
 
 /// Tuning knobs for MMP.
@@ -69,6 +70,24 @@ pub struct MmpConfig {
     /// `em-shard` divides it across its per-shard pools so a sharded
     /// run respects the same total.
     pub memo_capacity: usize,
+    /// Safety knob of the score-gap certificate gate (see
+    /// [`super::certificates`]): the delta's clause footprint is scaled
+    /// by this factor before being compared against each certificate's
+    /// gap, so larger values breach earlier (more conservative).
+    ///
+    /// The default is [`DEFAULT_CERTIFICATE_SLACK`] (`0.25`). Walksat
+    /// gaps are margins over the *best visited* alternative — usually a
+    /// single rejected flip, so under one clause weight — while any
+    /// delta footprint covers at least one whole clause. At `1.0` the
+    /// gate therefore breaches essentially always; `0.25` elides pairs
+    /// whose gap exceeds a quarter of the delta's component footprint,
+    /// which measured byte-identical to the probe-everything arm on the
+    /// committed benchmarks (the bench records the divergence rather
+    /// than assuming it is zero). An infinite slack breaches every
+    /// certificate, reproducing probe-everything for certificate-gated
+    /// backends. Exact matchers never record certificates, so the knob
+    /// has no effect on them.
+    pub certificate_slack: f64,
 }
 
 impl Default for MmpConfig {
@@ -78,9 +97,16 @@ impl Default for MmpConfig {
             max_probes_per_neighborhood: usize::MAX,
             incremental: true,
             memo_capacity: usize::MAX,
+            certificate_slack: DEFAULT_CERTIFICATE_SLACK,
         }
     }
 }
+
+/// Default [`MmpConfig::certificate_slack`]: the largest slack (to one
+/// significant digit) at which the gate still elides on the committed
+/// churn benchmarks. See the field docs for why `1.0` is effectively
+/// probe-everything for walksat-derived gaps.
+pub const DEFAULT_CERTIFICATE_SLACK: f64 = 0.25;
 
 /// The message set `T`, kept closed under union-of-overlapping-messages.
 ///
@@ -453,6 +479,10 @@ impl MemoPool {
 pub struct WarmStart {
     /// Probe memos keyed by view identity.
     pub bank: MemoBank,
+    /// Score-gap certificates keyed by view members, withdrawn only
+    /// where the memo withdrawal succeeds (see
+    /// [`super::certificates::CertificateBank`]).
+    pub certs: CertificateBank,
     /// The message store at the previous fixpoint.
     pub store: MessageStore,
     /// Number of entities the dataset had when the bank was deposited:
@@ -589,37 +619,67 @@ impl MemoBank {
         before - self.entries.len()
     }
 
-    /// Re-key entries whose views *shrank* by retraction: every entry
-    /// containing a member of `gone` is re-indexed under its surviving
-    /// member list, with the retracted members' candidate pairs removed
-    /// from the identity and every `invalid` pair's memoized probe
-    /// entry deleted (forcing its re-probe on the next evaluation).
-    /// The entry is tainted, so the view re-evaluates rather than being
-    /// skipped. Returns the number of entries re-keyed.
-    ///
-    /// Soundness leans on `invalid` being **closed** under the global
-    /// ground-interaction adjacency: a surviving pair outside a closed
-    /// set shares no within-view ground component with anything inside
-    /// it (view grounding is a restriction of global grounding), so its
-    /// memoized probe is exact in the shrunk view too. Probes of pairs
-    /// inside the set — the only ones whose conditioning changed — are
-    /// deleted here and re-issued.
+    /// Re-key entries whose views *shrank* by entity retraction — the
+    /// special case of [`MemoBank::rekey_churned`] with no retracted
+    /// candidate pairs beyond those the gone entities imply.
     pub fn rekey_shrunk(
         &mut self,
         gone: &crate::hash::FxHashSet<crate::entity::EntityId>,
         invalid: &crate::pair::PairSet,
     ) -> usize {
-        if gone.is_empty() {
+        self.rekey_churned(gone, &[], invalid)
+    }
+
+    /// Re-key entries whose views churned — shrank by entity retraction
+    /// (`gone`), lost candidate pairs (`retracted_pairs`: links a delta
+    /// withdrew, including between *surviving* members), or both, even
+    /// when the same delta also grows the view (growth resolves later
+    /// through [`MemoBank::withdraw_grown`]'s entity floor — the bank
+    /// only has to keep the *pre-growth* identity honest here). Every
+    /// touched entry is re-indexed under its surviving member list, with
+    /// dead candidate pairs removed from the identity and every
+    /// `invalid` pair's memoized probe entry deleted (forcing its
+    /// re-probe on the next evaluation). The entry is tainted, so the
+    /// view re-evaluates rather than being skipped. Returns the number
+    /// of entries re-keyed.
+    ///
+    /// `rekey_shrunk` used to miss the combined case: a delta that
+    /// retracts a candidate link between surviving members (no entity
+    /// gone) left the banked identity holding the dead pair, so the next
+    /// withdrawal mismatched and silently dropped the memo — a full
+    /// re-probe where replay was sound.
+    ///
+    /// Soundness leans on `invalid` being **closed** under the global
+    /// ground-interaction adjacency: a surviving pair outside a closed
+    /// set shares no within-view ground component with anything inside
+    /// it (view grounding is a restriction of global grounding), so its
+    /// memoized probe is exact in the churned view too. Probes of pairs
+    /// inside the set — the only ones whose conditioning changed — are
+    /// deleted here and re-issued. (Retracted candidate pairs are always
+    /// part of the caller's closure seeds, so their probe entries go
+    /// through `invalid` as well; removing them from the *identity* is
+    /// what this method adds.)
+    pub fn rekey_churned(
+        &mut self,
+        gone: &crate::hash::FxHashSet<crate::entity::EntityId>,
+        retracted_pairs: &[Pair],
+        invalid: &crate::pair::PairSet,
+    ) -> usize {
+        if gone.is_empty() && retracted_pairs.is_empty() {
             return 0;
         }
-        let shrunk: Vec<Vec<crate::entity::EntityId>> = self
+        let retracted: FxHashSet<Pair> = retracted_pairs.iter().copied().collect();
+        let churned: Vec<Vec<crate::entity::EntityId>> = self
             .entries
-            .keys()
-            .filter(|members| members.iter().any(|e| gone.contains(e)))
-            .cloned()
+            .iter()
+            .filter(|(members, entry)| {
+                members.iter().any(|e| gone.contains(e))
+                    || entry.pairs.iter().any(|&(p, _)| retracted.contains(&p))
+            })
+            .map(|(members, _)| members.clone())
             .collect();
         let mut rekeyed = 0;
-        for key in shrunk {
+        for key in churned {
             let Some(mut entry) = self.entries.remove(&key) else {
                 continue;
             };
@@ -628,7 +688,9 @@ impl MemoBank {
             if survivors.is_empty() {
                 continue;
             }
-            let dead_pair = |p: &Pair| gone.contains(&p.lo()) || gone.contains(&p.hi());
+            let dead_pair = |p: &Pair| {
+                gone.contains(&p.lo()) || gone.contains(&p.hi()) || retracted.contains(p)
+            };
             entry.pairs.retain(|(p, _)| !dead_pair(p));
             entry.memo.undecided.retain(|p| !dead_pair(p));
             entry
@@ -778,6 +840,66 @@ fn invalidated_component(
     invalid
 }
 
+/// Per-pair clause footprint of a delta, scoped to ground-interaction
+/// components: each invalidated pair is charged the summed
+/// [`GlobalScorer::touched_weight`] of exactly the seeds that reach its
+/// component — not the view-global seed weight, which any sizable
+/// growth saturates past every finite score gap.
+///
+/// Components are labelled by flooding `invalid` (the pairs
+/// [`invalidated_component`] returned) over the scorer's
+/// ground-interaction adjacency; a seed that touches several components
+/// (its affected pairs land in disconnected regions of the undecided
+/// graph) charges each of them in full, which over-counts never
+/// under-counts — sound for a breach test.
+fn component_footprint(
+    seeds: &[Pair],
+    invalid: &FxHashSet<Pair>,
+    scorer: &dyn GlobalScorer,
+) -> FxHashMap<Pair, Score> {
+    // Label the invalidated pairs' components.
+    let mut comp_of: FxHashMap<Pair, usize> = FxHashMap::default();
+    let mut comps = 0usize;
+    let mut stack: Vec<Pair> = Vec::new();
+    for &p in invalid {
+        if comp_of.contains_key(&p) {
+            continue;
+        }
+        let id = comps;
+        comps += 1;
+        comp_of.insert(p, id);
+        stack.push(p);
+        while let Some(q) = stack.pop() {
+            for r in scorer.affected_pairs(q) {
+                if invalid.contains(&r) && !comp_of.contains_key(&r) {
+                    comp_of.insert(r, id);
+                    stack.push(r);
+                }
+            }
+        }
+    }
+    // Charge each seed's touched weight to every component it reaches.
+    let mut weight = vec![Score::ZERO; comps];
+    let mut seen: FxHashSet<Pair> = FxHashSet::default();
+    for &seed in seeds {
+        if !seen.insert(seed) {
+            continue;
+        }
+        let w = scorer.touched_weight(seed);
+        let mut charged: Vec<bool> = vec![false; comps];
+        let targets = std::iter::once(seed).chain(scorer.affected_pairs(seed));
+        for q in targets {
+            if let Some(&id) = comp_of.get(&q) {
+                if !charged[id] {
+                    charged[id] = true;
+                    weight[id].0 = weight[id].0.saturating_add(w.0);
+                }
+            }
+        }
+    }
+    comp_of.into_iter().map(|(p, id)| (p, weight[id])).collect()
+}
+
 /// Shared core of [`compute_maximal`] / [`compute_maximal_incremental`]:
 /// decide which probes to issue, replay the rest, build the
 /// mutual-entailment components.
@@ -788,11 +910,16 @@ fn compute_maximal_core(
     evidence: &Evidence,
     base: &PairSet,
     incremental: Option<(&PairSet, &dyn GlobalScorer, ProbeMemo)>,
+    mut certified: Option<&mut CertificateSet>,
     config: &MmpConfig,
     stats: &mut RunStats,
 ) -> (Vec<Vec<Pair>>, ProbeMemo) {
     let undecided = undecided_pairs(view, evidence, base, config);
     if undecided.is_empty() {
+        if let Some(certs) = certified {
+            // Every pair is decided; nothing is left to certify.
+            certs.retain(|_| false);
+        }
         return (
             Vec::new(),
             ProbeMemo {
@@ -846,7 +973,7 @@ fn compute_maximal_core(
                 } else {
                     Vec::new()
                 };
-                let seeds = dirty
+                let seeds: Vec<Pair> = dirty
                     .iter()
                     .chain(
                         memo.undecided
@@ -854,11 +981,51 @@ fn compute_maximal_core(
                             .copied()
                             .filter(|p| !undecided_set.contains(p)),
                     )
-                    .chain(entered.iter().copied());
-                let invalid = invalidated_component(seeds, &undecided_set, scorer);
+                    .chain(entered.iter().copied())
+                    .collect();
+                let invalid = invalidated_component(seeds.iter().copied(), &undecided_set, scorer);
+                // Clause footprint of the delta, scoped per ground
+                // component: by supermodular factorization only the
+                // touched weight *inside a pair's own component* can
+                // move that pair's score, so each certificate is
+                // intersected with its component's seed weight, not the
+                // view-global sum (which any sizable growth saturates).
+                // Only computed when a certificate set is in play.
+                let footprint = certified
+                    .as_ref()
+                    .map(|_| component_footprint(&seeds, &invalid, scorer));
                 let mut probe = Vec::new();
                 for &p in &undecided {
-                    if !invalid.contains(&p) {
+                    let mut replay = !invalid.contains(&p);
+                    if !replay {
+                        // Certificate gate: a delta-touched pair whose
+                        // score-gap certificate exceeds its component's
+                        // footprint keeps its memoized probe; a breached
+                        // (or missing) certificate forces the re-probe.
+                        if let (Some(certs), Some(fp_by_pair)) =
+                            (certified.as_deref_mut(), footprint.as_ref())
+                        {
+                            if memo.entailed.contains_key(&p) {
+                                if let Some(gap) = certs.gap(p) {
+                                    // Every gated pair is in `invalid`,
+                                    // so the map covers it; the sentinel
+                                    // fallback breaches (sound).
+                                    let fp =
+                                        fp_by_pair.get(&p).copied().unwrap_or(Score(i64::MAX / 4));
+                                    stats.certificates_checked += 1;
+                                    if gap_breached(fp, gap, config.certificate_slack) {
+                                        stats.certificates_breached += 1;
+                                        certs.remove(p);
+                                    } else {
+                                        stats.probes_elided += 1;
+                                        certs.weaken(p, fp);
+                                        replay = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if replay {
                         if let Some(prev) = memo.entailed.remove(&p) {
                             replayed.push((p, prev)); // untouched component
                             continue;
@@ -890,7 +1057,31 @@ fn compute_maximal_core(
     stats.conditioned_probes += to_probe.len() as u64;
     stats.probes_replayed += (undecided.len() - to_probe.len()) as u64;
 
-    let probed = matcher.probe_entailed(view, evidence, base, &to_probe);
+    // When certificates are in play, ask the matcher for gap evidence
+    // alongside the entailed sets (one search produces both); matchers
+    // without gap evidence fall back to the plain probe and record no
+    // certificates — every touched pair then re-probes, which is sound.
+    let (probed, gaps) = match (certified.as_ref(), to_probe.is_empty()) {
+        (Some(_), false) => match matcher.probe_certificate(view, evidence, base, &to_probe) {
+            Some(results) => {
+                let mut entailed = Vec::with_capacity(results.len());
+                let mut gap_list = Vec::with_capacity(results.len());
+                for (e, g) in results {
+                    entailed.push(e);
+                    gap_list.push(g);
+                }
+                (entailed, Some(gap_list))
+            }
+            None => (
+                matcher.probe_entailed(view, evidence, base, &to_probe),
+                None,
+            ),
+        },
+        _ => (
+            matcher.probe_entailed(view, evidence, base, &to_probe),
+            None,
+        ),
+    };
     let mut entailed_by_pair: FxHashMap<Pair, Vec<Pair>> =
         FxHashMap::with_capacity_and_hasher(undecided.len(), Default::default());
     entailed_by_pair.extend(replayed);
@@ -899,6 +1090,15 @@ fn compute_maximal_core(
     }
     for (p, set) in to_probe.iter().zip(probed) {
         entailed_by_pair.insert(*p, set);
+    }
+    if let Some(certs) = certified {
+        if let Some(gap_list) = gaps {
+            for (&p, gap) in to_probe.iter().zip(gap_list) {
+                certs.record(p, gap);
+            }
+        }
+        // A certificate is only meaningful next to its memoized probe.
+        certs.retain(|p| entailed_by_pair.contains_key(&p));
     }
 
     // Mutual entailment edges → connected components (union-find on indices).
@@ -980,7 +1180,7 @@ pub fn compute_maximal(
     config: &MmpConfig,
     stats: &mut RunStats,
 ) -> Vec<Vec<Pair>> {
-    compute_maximal_core(matcher, view, evidence, base, None, config, stats).0
+    compute_maximal_core(matcher, view, evidence, base, None, None, config, stats).0
 }
 
 /// Algorithm 2 with delta-driven probe invalidation: `dirty` is the set
@@ -1008,6 +1208,41 @@ pub fn compute_maximal_incremental(
         evidence,
         base,
         Some((dirty, scorer, memo)),
+        None,
+        config,
+        stats,
+    )
+}
+
+/// [`compute_maximal_incremental`] with a score-gap certificate set in
+/// play (see [`super::certificates`]): delta-touched pairs whose
+/// certificate gap exceeds the delta's clause footprint (scaled by
+/// [`MmpConfig::certificate_slack`]) replay instead of re-probing, and
+/// freshly issued probes record new certificates through
+/// [`crate::matcher::Matcher::probe_certificate`]. `certs` is updated in
+/// place; callers keep it next to the returned memo for the next
+/// revisit. With a matcher that yields no gap evidence (exact backends)
+/// this is byte-identical to [`compute_maximal_incremental`].
+#[allow(clippy::too_many_arguments)]
+pub fn compute_maximal_certified(
+    matcher: &dyn ProbabilisticMatcher,
+    view: &View<'_>,
+    evidence: &Evidence,
+    base: &PairSet,
+    dirty: &PairSet,
+    scorer: &dyn GlobalScorer,
+    memo: ProbeMemo,
+    certs: &mut CertificateSet,
+    config: &MmpConfig,
+    stats: &mut RunStats,
+) -> (Vec<Vec<Pair>>, ProbeMemo) {
+    compute_maximal_core(
+        matcher,
+        view,
+        evidence,
+        base,
+        Some((dirty, scorer, memo)),
+        Some(certs),
         config,
         stats,
     )
@@ -1332,6 +1567,95 @@ mod tests {
         assert!(bank
             .withdraw(&ds.view([EntityId(2), EntityId(3)]))
             .is_some());
+    }
+
+    #[test]
+    fn rekey_churned_survives_a_delta_that_shrinks_and_grows_one_view() {
+        use crate::dataset::{Dataset, SimLevel};
+        use crate::entity::EntityId;
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        for _ in 0..3 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(p(0, 1), SimLevel(2));
+        ds.set_similar(p(0, 2), SimLevel(2));
+        let mut bank = MemoBank::new();
+        bank.deposit(
+            &ds.view([EntityId(0), EntityId(1), EntityId(2)]),
+            memo_with_entries(&[p(0, 1), p(0, 2)]),
+        );
+
+        // One delta: entity 2 retracted AND entity 3 added to the same
+        // view. The rekey sees only the shrink half; the grow half
+        // resolves at withdrawal through the entity floor.
+        let gone: FxHashSet<EntityId> = [EntityId(2)].into_iter().collect();
+        let invalid: PairSet = [p(0, 2)].into_iter().collect();
+        assert_eq!(bank.rekey_churned(&gone, &[], &invalid), 1);
+
+        ds.retract_similar(p(0, 2)).expect("asserted above");
+        ds.entities.add_entity(ty);
+        ds.set_similar(p(0, 3), SimLevel(2));
+        let view = ds.view([EntityId(0), EntityId(1), EntityId(3)]);
+        let (memo, identical) = bank
+            .withdraw_grown(&view, 3)
+            .expect("the rekeyed entry must withdraw for the churned view");
+        assert!(!identical, "a churned view re-evaluates");
+        assert!(
+            memo.entailed.contains_key(&p(0, 1)),
+            "the surviving probe replays"
+        );
+        assert!(
+            !memo.entailed.contains_key(&p(0, 2)),
+            "the dead probe re-issues"
+        );
+    }
+
+    #[test]
+    fn rekey_churned_rekeys_link_only_retraction_where_rekey_shrunk_cannot() {
+        use crate::dataset::{Dataset, SimLevel};
+        use crate::entity::EntityId;
+        let mut ds = Dataset::new();
+        let ty = ds.entities.intern_type("t");
+        for _ in 0..3 {
+            ds.entities.add_entity(ty);
+        }
+        ds.set_similar(p(0, 1), SimLevel(3));
+        ds.set_similar(p(1, 2), SimLevel(2));
+        let mut bank = MemoBank::new();
+        bank.deposit(
+            &ds.view([EntityId(0), EntityId(1), EntityId(2)]),
+            memo_with_entries(&[p(0, 1), p(1, 2)]),
+        );
+
+        // A delta retracting only the (0,1) candidate link: no entity is
+        // gone, so the old rekey path cannot touch the entry...
+        let invalid: PairSet = [p(0, 1)].into_iter().collect();
+        let mut via_shrunk = bank.clone();
+        assert_eq!(
+            via_shrunk.rekey_shrunk(&FxHashSet::default(), &invalid),
+            0,
+            "rekey_shrunk misses link-only churn by construction"
+        );
+        // ...and the stale identity then mismatches the churned view,
+        // silently dropping the memo.
+        let mut churned = ds.clone();
+        churned.retract_similar(p(0, 1)).expect("asserted above");
+        assert!(via_shrunk
+            .withdraw_grown(&churned.view([EntityId(0), EntityId(1), EntityId(2)]), 3)
+            .is_none());
+
+        // rekey_churned keeps the identity honest, so the memo survives.
+        assert_eq!(
+            bank.rekey_churned(&FxHashSet::default(), &[p(0, 1)], &invalid),
+            1
+        );
+        let (memo, identical) = bank
+            .withdraw_grown(&churned.view([EntityId(0), EntityId(1), EntityId(2)]), 3)
+            .expect("identity stays honest after link retraction");
+        assert!(!identical, "tainted entries re-evaluate");
+        assert!(memo.entailed.contains_key(&p(1, 2)), "survivor replays");
+        assert!(!memo.entailed.contains_key(&p(0, 1)), "retracted re-issues");
     }
 
     fn memo_with_entries(pairs: &[Pair]) -> ProbeMemo {

@@ -24,6 +24,7 @@
 //! the conditioned probes the delta can have changed (see [`mmp`] and
 //! [`compute_maximal_incremental`]).
 
+pub mod certificates;
 mod dependency;
 mod engine;
 pub mod invariants;
@@ -33,14 +34,16 @@ mod smp;
 mod stats;
 mod worklist;
 
+pub use certificates::{CertificateBank, CertificatePool, CertificateSet};
 pub use dependency::DependencyIndex;
 pub use engine::{EvalTrace, MmpDriver, SmpDriver};
 pub use invariants::{InvariantChecker, InvariantReport, InvariantViolation};
 #[allow(deprecated)]
 pub use mmp::mmp;
 pub use mmp::{
-    compute_maximal, compute_maximal_incremental, mark_dirty_around, mmp_with_order, promote_dirty,
-    MemoBank, MemoPool, MessageStore, MmpConfig, ProbeMemo, WarmStart,
+    compute_maximal, compute_maximal_certified, compute_maximal_incremental, mark_dirty_around,
+    mmp_with_order, promote_dirty, MemoBank, MemoPool, MessageStore, MmpConfig, ProbeMemo,
+    WarmStart, DEFAULT_CERTIFICATE_SLACK,
 };
 #[allow(deprecated)]
 pub use nomp::no_mp;

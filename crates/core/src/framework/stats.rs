@@ -40,6 +40,20 @@ pub struct RunStats {
     /// not have changed them, or elided because the pair is a singleton
     /// ground-interaction component.
     pub probes_replayed: u64,
+    /// Score-gap certificates inspected because their pair sat in a
+    /// delta-touched ground component (the `Approximate` arm; see
+    /// [`super::certificates`]). Each check ends as exactly one of
+    /// `certificates_breached` or `probes_elided`, so
+    /// `certificates_checked == certificates_breached + probes_elided`
+    /// — the certificate ledger the invariant sweep asserts.
+    pub certificates_checked: u64,
+    /// Certificates whose gap the delta footprint breached: the pair's
+    /// memoized probe was discarded and the probe re-issued.
+    pub certificates_breached: u64,
+    /// Delta-touched probes elided because their certificate held: the
+    /// memoized result replayed without re-running the matcher. A
+    /// subset of `probes_replayed`.
+    pub probes_elided: u64,
     /// Memoized probe entries dropped by the [`super::MemoPool`]'s LRU
     /// eviction (`MmpConfig::memo_capacity`); each evicted entry costs
     /// one extra conditioned probe on the neighborhood's next revisit.
@@ -109,6 +123,9 @@ impl RunStats {
         self.score_delta_calls += other.score_delta_calls;
         self.conditioned_probes += other.conditioned_probes;
         self.probes_replayed += other.probes_replayed;
+        self.certificates_checked += other.certificates_checked;
+        self.certificates_breached += other.certificates_breached;
+        self.probes_elided += other.probes_elided;
         self.memo_evictions += other.memo_evictions;
         self.components_invalidated += other.components_invalidated;
         self.messages_dropped += other.messages_dropped;
@@ -158,6 +175,13 @@ impl std::fmt::Display for RunStats {
                 f,
                 " | {} maximal messages, {} promoted",
                 self.maximal_messages_created, self.promotions
+            )?;
+        }
+        if self.certificates_checked > 0 {
+            write!(
+                f,
+                " | certificates: {} checked, {} breached, {} probes elided",
+                self.certificates_checked, self.certificates_breached, self.probes_elided
             )?;
         }
         if self.memo_evictions > 0 {
@@ -276,6 +300,41 @@ mod tests {
         assert!(line.contains("3 probes (1 replayed)"), "{line}");
         assert!(line.contains("2 maximal messages, 1 promoted"), "{line}");
         assert!(line.contains("4 rounds"), "{line}");
+    }
+
+    #[test]
+    fn certificate_counters_merge_and_display() {
+        let mut a = RunStats {
+            certificates_checked: 4,
+            certificates_breached: 1,
+            probes_elided: 3,
+            probes_replayed: 5,
+            ..Default::default()
+        };
+        let b = RunStats {
+            certificates_checked: 2,
+            probes_elided: 2,
+            probes_replayed: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.certificates_checked, 6);
+        assert_eq!(a.certificates_breached, 1);
+        assert_eq!(a.probes_elided, 5);
+        // The certificate ledger survives the merge: every check ends as
+        // a breach or an elision, and elisions replay.
+        assert_eq!(
+            a.certificates_checked,
+            a.certificates_breached + a.probes_elided
+        );
+        assert!(a.probes_elided <= a.probes_replayed);
+        let line = a.to_string();
+        assert!(
+            line.contains("certificates: 6 checked, 1 breached, 5 probes elided"),
+            "{line}"
+        );
+        let clean = RunStats::default().to_string();
+        assert!(!clean.contains("certificates"), "{clean}");
     }
 
     #[test]

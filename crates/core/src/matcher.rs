@@ -126,6 +126,30 @@ pub trait Matcher {
             .collect()
     }
 
+    /// Batched conditioned probes **with score-gap certificates**: like
+    /// [`Matcher::probe_entailed`], but each probe additionally reports
+    /// the margin by which its accepted assignment beat the best
+    /// rejected alternative the matcher considered — the gap a later
+    /// evidence delta must overcome before the probe's result can
+    /// change (see `em_core::framework::certificates`).
+    ///
+    /// The default returns `None`: the matcher produces no gap evidence
+    /// and the framework falls back to [`Matcher::probe_entailed`] with
+    /// no certificates recorded — every delta-touched probe then
+    /// re-issues, which is always sound. Local-search backends override
+    /// this; exact backends keep the default (their replay is justified
+    /// by component factorization, not by gaps).
+    fn probe_certificate(
+        &self,
+        view: &View<'_>,
+        evidence: &Evidence,
+        base: &PairSet,
+        probes: &[Pair],
+    ) -> Option<Vec<(Vec<Pair>, Score)>> {
+        let _ = (view, evidence, base, probes);
+        None
+    }
+
     /// Human-readable name used in reports and logs.
     fn name(&self) -> &str {
         "matcher"
@@ -182,6 +206,21 @@ pub trait GlobalScorer {
     /// supermodular models, `delta(M+, M)` changes only when a new match
     /// shares a ground edge with a member of `M`.
     fn affected_pairs(&self, pair: Pair) -> Vec<Pair>;
+
+    /// Upper bound on the total score weight the ground terms touching
+    /// `pair` can contribute — the pair's share of a delta's *clause
+    /// footprint*, summed over a delta's seed pairs and compared against
+    /// score-gap certificates (see
+    /// `em_core::framework::certificates::gap_breached`).
+    ///
+    /// The default is a huge sentinel: a scorer that cannot bound the
+    /// touched weight breaches every finite certificate, degrading to
+    /// re-probe — always sound. Grounded-model scorers override it with
+    /// the summed absolute weights of the pair's incident clauses.
+    fn touched_weight(&self, pair: Pair) -> Score {
+        let _ = pair;
+        Score(i64::MAX / 4)
+    }
 }
 
 /// Output of one framework run: the matches plus bookkeeping counters.

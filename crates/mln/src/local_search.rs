@@ -14,6 +14,7 @@
 //! empirically superlinear mixing time of collective models.
 
 use crate::ground::GroundModel;
+use em_core::framework::certificates::UNBOUNDED_GAP;
 use em_core::properties::SplitMix64;
 use em_core::{Evidence, PairSet, Score};
 
@@ -48,6 +49,41 @@ pub fn solve_local_search(
     evidence: &Evidence,
     params: &LocalSearchParams,
 ) -> PairSet {
+    solve_local_search_with_gap(gm, evidence, params).0
+}
+
+/// Track the best and best-strictly-worse complete-assignment scores the
+/// search has visited (the gap bookkeeping behind
+/// [`solve_local_search_with_gap`]).
+fn consider(s: Score, best: &mut Option<Score>, runner: &mut Option<Score>) {
+    match *best {
+        None => *best = Some(s),
+        Some(b) if s > b => {
+            *runner = Some(b);
+            *best = Some(s);
+        }
+        Some(b) if s < b && runner.is_none_or(|r| s > r) => *runner = Some(s),
+        _ => {}
+    }
+}
+
+/// Like [`solve_local_search`], additionally reporting the **score gap**:
+/// the margin by which the returned assignment's score beat the best
+/// strictly-worse alternative the search visited. Visited alternatives
+/// are every complete assignment the search touched — restart initial
+/// states, accepted intermediate states, and the hypothetical result of
+/// every rejected flip — so the gap is the minimum score weight a later
+/// model change must move before any of *those* assignments could have
+/// won instead. It is a certificate over the visited neighborhood, not a
+/// global second-best (local search never enumerates the full space);
+/// see `em_core::framework::certificates` for how the framework keeps
+/// that honest. When the search saw no alternative at all (everything
+/// forced by evidence) the gap is [`UNBOUNDED_GAP`].
+pub fn solve_local_search_with_gap(
+    gm: &GroundModel,
+    evidence: &Evidence,
+    params: &LocalSearchParams,
+) -> (PairSet, Score) {
     let n = gm.var_count();
     let mut forced_true = vec![false; n];
     let mut forced_false = vec![false; n];
@@ -62,13 +98,16 @@ pub fn solve_local_search(
         }
     }
     if free.is_empty() {
-        return gm
+        let out = gm
             .vars
             .iter()
             .enumerate()
             .filter(|&(i, _)| forced_true[i])
             .map(|(_, &p)| p)
             .collect();
+        // Every variable is forced: there is exactly one admissible
+        // assignment, so no finite delta can flip the result.
+        return (out, UNBOUNDED_GAP);
     }
 
     let mut rng = SplitMix64::new(params.seed);
@@ -85,6 +124,8 @@ pub fn solve_local_search(
     let flips = params.flips_per_var as u64 * free.len() as u64 * sqrt_n;
 
     let mut best_assignment: Option<(Score, Vec<bool>)> = None;
+    let mut best_seen: Option<Score> = None;
+    let mut runner_up: Option<Score> = None;
     for restart in 0..params.restarts.max(1) {
         // Initial assignment: all-false on the first restart (the empty
         // match set is the natural prior), random afterwards.
@@ -110,6 +151,7 @@ pub fn solve_local_search(
             }
         }
 
+        consider(score, &mut best_seen, &mut runner_up);
         let mut best_local = score;
         let mut best_x = x.clone();
         for _ in 0..flips {
@@ -134,6 +176,9 @@ pub fn solve_local_search(
                     delta = delta - gm.edges[ei].weight;
                 }
             }
+            // The flipped assignment is a visited alternative whether the
+            // walk takes it or not — both feed the gap bookkeeping.
+            consider(score + delta, &mut best_seen, &mut runner_up);
             let accept = delta >= Score::ZERO || rng.chance(params.walk_pct, 100);
             if accept {
                 x[v] = turning_on;
@@ -159,12 +204,18 @@ pub fn solve_local_search(
     }
 
     let (_, best_x) = best_assignment.expect("at least one restart");
-    gm.vars
+    let out = gm
+        .vars
         .iter()
         .enumerate()
         .filter(|&(i, _)| best_x[i])
         .map(|(_, &p)| p)
-        .collect()
+        .collect();
+    let gap = match (best_seen, runner_up) {
+        (Some(b), Some(r)) => Score(b.0.saturating_sub(r.0)),
+        _ => UNBOUNDED_GAP,
+    };
+    (out, gap)
 }
 
 #[cfg(test)]
@@ -229,6 +280,36 @@ mod tests {
         let a = solve_local_search(&gm, &Evidence::none(), &params);
         let b = solve_local_search(&gm, &Evidence::none(), &params);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gap_variant_agrees_with_plain_search_and_reports_positive_gap() {
+        let (ds, model) = small_instance();
+        let gm = ground(&model, &ds.full_view());
+        let params = LocalSearchParams::default();
+        let plain = solve_local_search(&gm, &Evidence::none(), &params);
+        let (out, gap) = solve_local_search_with_gap(&gm, &Evidence::none(), &params);
+        assert_eq!(out, plain, "gap tracking must not perturb the search");
+        // The search visits many assignments on this instance, so the
+        // margin over the best rejected one is finite and positive.
+        assert!(gap > Score::ZERO, "gap = {gap}");
+        assert!(gap < UNBOUNDED_GAP, "gap must be finite here");
+        let (_, gap2) = solve_local_search_with_gap(&gm, &Evidence::none(), &params);
+        assert_eq!(gap, gap2, "deterministic given the seed");
+    }
+
+    #[test]
+    fn fully_forced_world_reports_unbounded_gap() {
+        let (ds, model) = small_instance();
+        let gm = ground(&model, &ds.full_view());
+        let all: PairSet = gm.vars.iter().copied().collect();
+        let (out, gap) = solve_local_search_with_gap(
+            &gm,
+            &Evidence::positive(all.clone()),
+            &LocalSearchParams::default(),
+        );
+        assert_eq!(out, all);
+        assert_eq!(gap, UNBOUNDED_GAP);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::ground::{ground, GroundModel};
 use crate::infer::{solve_map, MapSolver};
-use crate::local_search::{solve_local_search, LocalSearchParams};
+use crate::local_search::{solve_local_search, solve_local_search_with_gap, LocalSearchParams};
 use crate::model::MlnModel;
 use em_core::hash::FxHashMap;
 use em_core::{
@@ -157,6 +157,36 @@ impl Matcher for MlnMatcher {
         }
     }
 
+    fn probe_certificate(
+        &self,
+        view: &View<'_>,
+        evidence: &Evidence,
+        base: &PairSet,
+        probes: &[Pair],
+    ) -> Option<Vec<(Vec<Pair>, Score)>> {
+        // Only the approximate backend produces gap evidence; the exact
+        // backend keeps the default `None` — its incremental replay is
+        // justified by component factorization, not by score margins.
+        let InferenceBackend::LocalSearch(params) = &self.backend else {
+            return None;
+        };
+        let gm = self.ground_view(view);
+        Some(
+            probes
+                .iter()
+                .map(|&p| {
+                    let (out, gap) =
+                        solve_local_search_with_gap(&gm, &evidence.with_extra_positive(p), params);
+                    let entailed = out
+                        .iter()
+                        .filter(|&q| !base.contains(q) && q != p)
+                        .collect();
+                    (entailed, gap)
+                })
+                .collect(),
+        )
+    }
+
     fn name(&self) -> &str {
         match self.backend {
             InferenceBackend::Exact => "mln-exact",
@@ -256,6 +286,22 @@ impl GlobalScorer for MlnGlobalScorer {
         out.dedup();
         out
     }
+
+    fn touched_weight(&self, pair: Pair) -> Score {
+        // The total score weight the pair's ground terms command: its
+        // unary clause plus every incident relational clause, in
+        // absolute value. A delta toggling this pair cannot move any
+        // assignment's score by more than that, which is what makes the
+        // sum a sound clause footprint for gap certificates.
+        let Some(v) = self.gm.var_of(pair) else {
+            return Score::ZERO;
+        };
+        let mut total = self.gm.unary[v as usize].0.abs();
+        for &ei in &self.gm.incident[v as usize] {
+            total = total.saturating_add(self.gm.edges[ei as usize].weight.0.abs());
+        }
+        Score(total)
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +392,71 @@ mod tests {
         let mut model = MlnModel::paper_model(em_core::RelationId(0));
         model.relational[0].weight = Score(-100);
         let _ = MlnMatcher::new(model);
+    }
+
+    #[test]
+    fn probe_certificate_gated_by_backend() {
+        let ds = example();
+        let exact = matcher(&ds);
+        let view = ds.full_view();
+        let ev = Evidence::none();
+        let base = exact.match_view(&view, &ev);
+        let probes: Vec<Pair> = view
+            .candidate_pairs()
+            .iter()
+            .map(|&(p, _)| p)
+            .filter(|&p| !base.contains(p))
+            .collect();
+        assert!(!probes.is_empty());
+        assert!(
+            exact
+                .probe_certificate(&view, &ev, &base, &probes)
+                .is_none(),
+            "exact backend produces no gap evidence"
+        );
+
+        let co = ds.relations.relation_id("coauthor").unwrap();
+        let walksat = MlnMatcher::with_backend(
+            MlnModel::example_model(co),
+            InferenceBackend::LocalSearch(LocalSearchParams::default()),
+        );
+        let base = walksat.match_view(&view, &ev);
+        let probes: Vec<Pair> = view
+            .candidate_pairs()
+            .iter()
+            .map(|&(p, _)| p)
+            .filter(|&p| !base.contains(p))
+            .collect();
+        let certified = walksat
+            .probe_certificate(&view, &ev, &base, &probes)
+            .expect("walksat backend certifies probes");
+        assert_eq!(certified.len(), probes.len());
+        // The entailed sets must agree with the plain probe path, and
+        // every gap must be positive (the accepted assignment won).
+        let plain = walksat.probe_entailed(&view, &ev, &base, &probes);
+        for ((entailed, gap), expected) in certified.iter().zip(&plain) {
+            assert_eq!(entailed, expected);
+            assert!(*gap > Score::ZERO, "gap = {gap}");
+        }
+    }
+
+    #[test]
+    fn touched_weight_sums_unary_and_incident_clause_weights() {
+        let ds = example();
+        let m = matcher(&ds);
+        let scorer = m.global_scorer(&ds);
+        // Candidate pairs carry their (negative) unary weight plus every
+        // incident relational clause's weight, in absolute value. Pair
+        // (3,4) sits on two relational edges, (0,1) on one.
+        let w = scorer.touched_weight(Pair::new(e(3), e(4)));
+        assert!(w > Score::ZERO);
+        let fewer = scorer.touched_weight(Pair::new(e(0), e(1)));
+        assert!(
+            w > fewer,
+            "more incident clauses means more touched weight ({w} vs {fewer})"
+        );
+        // Pairs outside the grounding touch nothing.
+        assert_eq!(scorer.touched_weight(Pair::new(e(0), e(8))), Score::ZERO);
     }
 
     #[test]

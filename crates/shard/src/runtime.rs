@@ -47,8 +47,9 @@ use crate::partition::{estimate_costs, skew, ShardPlan, SplitPolicy};
 use crossbeam::channel::{self, Receiver, Sender};
 use em_core::cover::{Cover, NeighborhoodId};
 use em_core::framework::{
-    mark_dirty_around, promote_dirty, DependencyIndex, EvalTrace, InvariantChecker, MemoBank,
-    MessageStore, MmpConfig, MmpDriver, ProbeMemo, RunStats, SmpDriver, WarmStart,
+    mark_dirty_around, promote_dirty, CertificateBank, CertificateSet, DependencyIndex, EvalTrace,
+    InvariantChecker, MemoBank, MessageStore, MmpConfig, MmpDriver, ProbeMemo, RunStats, SmpDriver,
+    WarmStart,
 };
 use em_core::{
     Dataset, Evidence, GlobalScorer, MatchOutput, Matcher, Pair, PairSet, ProbabilisticMatcher,
@@ -185,6 +186,8 @@ struct ShardOutcome {
     trace: EvalTrace,
     /// Probe memos at quiescence, keyed by view identity (MMP only).
     memos: MemoBank,
+    /// Score-gap certificates at quiescence, parallel to `memos`.
+    certs: CertificateBank,
 }
 
 /// One shard's epoch loop over its driver; generic so SMP and MMP share
@@ -195,7 +198,7 @@ trait EpochWorker {
     fn drain(&mut self);
     /// This epoch's outgoing delta and maximal messages.
     fn produced(&mut self, since: em_core::Epoch) -> (Vec<Pair>, Vec<Vec<Pair>>);
-    fn finish(self) -> (RunStats, EvalTrace, MemoBank);
+    fn finish(self) -> (RunStats, EvalTrace, MemoBank, CertificateBank);
 }
 
 struct SmpWorker<'a> {
@@ -216,9 +219,14 @@ impl EpochWorker for SmpWorker<'_> {
     fn produced(&mut self, since: em_core::Epoch) -> (Vec<Pair>, Vec<Vec<Pair>>) {
         (self.driver.delta_since(since).to_vec(), Vec::new())
     }
-    fn finish(mut self) -> (RunStats, EvalTrace, MemoBank) {
+    fn finish(mut self) -> (RunStats, EvalTrace, MemoBank, CertificateBank) {
         let trace = self.driver.take_trace();
-        (*self.driver.stats(), trace, MemoBank::new())
+        (
+            *self.driver.stats(),
+            trace,
+            MemoBank::new(),
+            CertificateBank::new(),
+        )
     }
 }
 
@@ -247,13 +255,15 @@ impl EpochWorker for MmpWorker<'_> {
             self.driver.take_outbox(),
         )
     }
-    fn finish(mut self) -> (RunStats, EvalTrace, MemoBank) {
+    fn finish(mut self) -> (RunStats, EvalTrace, MemoBank, CertificateBank) {
         let trace = self.driver.take_trace();
         let mut memos = MemoBank::new();
+        let mut certs = CertificateBank::new();
         if self.collect_memos {
             self.driver.bank_memos(&mut memos);
+            self.driver.bank_certificates(&mut certs);
         }
-        (*self.driver.stats(), trace, memos)
+        (*self.driver.stats(), trace, memos, certs)
     }
 }
 
@@ -319,12 +329,13 @@ fn worker_loop<W: EpochWorker>(
             }
         }
     }
-    let (stats, trace, memos) = worker.finish();
+    let (stats, trace, memos, certs) = worker.finish();
     ShardOutcome {
         stats,
         busy,
         trace,
         memos,
+        certs,
     }
 }
 
@@ -540,12 +551,13 @@ where
             let joined = h.join();
             let replacement = inline[s].take();
             let finish = |pair: (W, Duration)| {
-                let (stats, trace, memos) = pair.0.finish();
+                let (stats, trace, memos, certs) = pair.0.finish();
                 ShardOutcome {
                     stats,
                     busy: pair.1,
                     trace,
                     memos,
+                    certs,
                 }
             };
             match (joined, replacement) {
@@ -779,6 +791,9 @@ pub fn shard_mmp(
 /// plus the initial worklist (the changed members only).
 struct ShardSeed {
     memos: Vec<(NeighborhoodId, ProbeMemo)>,
+    /// Score-gap certificates for the seeded memos (only for views
+    /// whose memo withdrawal succeeded — the bank's key discipline).
+    certs: Vec<(NeighborhoodId, CertificateSet)>,
     active: Vec<NeighborhoodId>,
 }
 
@@ -848,18 +863,29 @@ pub fn shard_mmp_planned_opts(
             for (slot, members) in per_shard.iter_mut().zip(&plan.shards) {
                 let mut seed = ShardSeed {
                     memos: Vec::new(),
+                    certs: Vec::new(),
                     active: Vec::new(),
                 };
                 for &id in members {
                     let view = cover.view(dataset, id);
                     match warm.bank.withdraw_grown(&view, warm.entity_floor) {
                         // Identical view: quiescent; its messages are in
-                        // the carried store — skip it.
-                        Some((memo, true)) => seed.memos.push((id, memo)),
+                        // the carried store — skip it. Certificates ride
+                        // along in case routed evidence reactivates it.
+                        Some((memo, true)) => {
+                            seed.memos.push((id, memo));
+                            if let Some(set) = warm.certs.withdraw_grown(&view, warm.entity_floor) {
+                                seed.certs.push((id, set));
+                            }
+                        }
                         // Grown view: re-evaluate with the old memo so
-                        // untouched components replay.
+                        // untouched components replay. Its certificates
+                        // ride along (withdrawn only on a memo hit).
                         Some((memo, false)) => {
                             seed.memos.push((id, memo));
+                            if let Some(set) = warm.certs.withdraw_grown(&view, warm.entity_floor) {
+                                seed.certs.push((id, set));
+                            }
                             seed.active.push(id);
                         }
                         None => seed.active.push(id),
@@ -917,6 +943,9 @@ pub fn shard_mmp_planned_opts(
                 for (id, memo) in seed.memos {
                     driver.seed_memo(id, memo);
                 }
+                for (id, set) in seed.certs {
+                    driver.seed_certificates(id, set);
+                }
             }
             MmpWorker {
                 driver,
@@ -971,6 +1000,7 @@ pub fn shard_mmp_planned_opts(
         warm.store = store;
         for outcome in &mut outcomes {
             warm.bank.absorb(std::mem::take(&mut outcome.memos));
+            warm.certs.absorb(std::mem::take(&mut outcome.certs));
         }
     }
     assemble(

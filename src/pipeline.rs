@@ -110,10 +110,10 @@ pub enum Backend {
 /// The named variants are the paper's matchers, instantiated against the
 /// session's dataset at [`Pipeline::build`] (both require a `coauthor`
 /// relation). The `Custom*` variants accept any black-box matcher; the
-/// builder then cannot see its inference properties, so the
-/// exact-inference validations ([`PipelineError::IncrementalNeedsExact`],
-/// [`PipelineError::ShardedMmpNeedsExact`]) become the caller's
-/// responsibility.
+/// builder cannot see their inference properties, so whether incremental
+/// replay is sound for them is the caller's responsibility (a custom
+/// matcher that returns no [`Matcher::probe_certificate`] evidence gets
+/// the conservative re-probe-everything-touched behaviour).
 #[derive(Clone, Default)]
 pub enum MatcherChoice {
     /// The paper's MLN matcher (Appendix B weights) with exact min-cut
@@ -122,8 +122,12 @@ pub enum MatcherChoice {
     MlnExact,
     /// The MLN matcher with the MaxWalkSAT-style local-search backend
     /// (what Alchemy runs). Approximate: probe results are not
-    /// component-factorizable, so incremental MMP and the sharded MMP
-    /// equality guarantee do not apply.
+    /// component-factorizable, so incremental MMP runs under the
+    /// score-gap certificate gate instead of sound replay — delta-touched
+    /// probes replay only while their recorded gap exceeds the delta's
+    /// clause footprint (see `em_core::framework::certificates` and
+    /// [`Pipeline::certificate_slack`]). An infinite slack degrades to
+    /// probe-everything.
     MlnWalksat,
     /// The paper's RULES matcher (Appendix C) with final transitive
     /// closure. Type-I: supports NO-MP and SMP only.
@@ -174,16 +178,6 @@ pub enum PipelineError {
         /// The offending matcher choice.
         matcher: &'static str,
     },
-    /// Incremental MMP probe replay is only sound for exact inference:
-    /// MaxWalkSAT probe results are not component-factorizable, so
-    /// `MlnWalksat` + `incremental(true)` under MMP would silently
-    /// diverge from the full recompute. Turn `incremental` off for the
-    /// faithful walksat arm.
-    IncrementalNeedsExact,
-    /// The sharded MMP runtime's byte-identical-to-sequential guarantee
-    /// (promotion against a lagged replica) needs exact supermodular
-    /// inference; `MlnWalksat` cannot provide it.
-    ShardedMmpNeedsExact,
     /// NO-MP exchanges no messages, so the epoch-fenced sharded runtime
     /// has nothing to do for it; use [`Backend::Parallel`] to spread
     /// independent neighborhood runs over threads.
@@ -213,16 +207,6 @@ impl fmt::Display for PipelineError {
             PipelineError::MmpNeedsProbabilistic { matcher } => write!(
                 f,
                 "Scheme::Mmp needs a probabilistic (Type-II) matcher; {matcher} is Type-I"
-            ),
-            PipelineError::IncrementalNeedsExact => write!(
-                f,
-                "incremental MMP probe replay is only sound for exact inference; \
-                 use .incremental(false) with MatcherChoice::MlnWalksat"
-            ),
-            PipelineError::ShardedMmpNeedsExact => write!(
-                f,
-                "sharded MMP's byte-identical guarantee needs exact inference; \
-                 MatcherChoice::MlnWalksat cannot run under Backend::Sharded + Scheme::Mmp"
             ),
             PipelineError::ShardedNoMp => write!(
                 f,
@@ -288,6 +272,7 @@ pub struct Pipeline {
     backend: Backend,
     incremental: bool,
     memo_capacity: usize,
+    certificate_slack: f64,
     evidence: Evidence,
     runtime: RuntimeOptions,
     check_invariants: bool,
@@ -308,6 +293,7 @@ impl Pipeline {
             backend: Backend::default(),
             incremental: true,
             memo_capacity: usize::MAX,
+            certificate_slack: em_core::framework::DEFAULT_CERTIFICATE_SLACK,
             evidence: Evidence::none(),
             runtime: RuntimeOptions::default(),
             check_invariants: false,
@@ -361,10 +347,28 @@ impl Pipeline {
     }
 
     /// Toggle incremental MMP probe replay (default on; see
-    /// [`MmpConfig::incremental`]). Must be off for approximate
-    /// inference ([`MatcherChoice::MlnWalksat`]).
+    /// [`MmpConfig::incremental`]). Sound (byte-identical) for exact
+    /// matchers; for approximate inference
+    /// ([`MatcherChoice::MlnWalksat`]) replay runs under the score-gap
+    /// certificate gate — see [`Pipeline::certificate_slack`].
     pub fn incremental(mut self, incremental: bool) -> Self {
         self.incremental = incremental;
+        self
+    }
+
+    /// Safety knob of the certificate gate for approximate matchers
+    /// (default [`em_core::framework::DEFAULT_CERTIFICATE_SLACK`] =
+    /// `0.25`; see [`MmpConfig::certificate_slack`] for why `1.0` is
+    /// effectively probe-everything): a delta's clause footprint is
+    /// scaled by this factor before being compared against each
+    /// memoized probe's score-gap certificate, so larger values
+    /// re-probe more aggressively. An infinite slack breaches every
+    /// consulted certificate — the probe-everything control arm, which
+    /// the benches diff against to *measure* the gate's divergence
+    /// instead of assuming it is zero. Exact matchers record no
+    /// certificates, so the knob has no effect on them.
+    pub fn certificate_slack(mut self, slack: f64) -> Self {
+        self.certificate_slack = slack;
         self
     }
 
@@ -427,6 +431,7 @@ impl Pipeline {
             backend,
             incremental,
             memo_capacity,
+            certificate_slack,
             evidence,
             mut runtime,
             check_invariants,
@@ -445,24 +450,20 @@ impl Pipeline {
         if memo_capacity == 0 {
             return Err(PipelineError::ZeroMemoCapacity);
         }
-        if scheme == Scheme::Mmp {
-            match &matcher {
-                MatcherChoice::Rules | MatcherChoice::Custom(_) => {
-                    return Err(PipelineError::MmpNeedsProbabilistic {
-                        matcher: matcher.label(),
-                    })
-                }
-                MatcherChoice::MlnWalksat => {
-                    if incremental {
-                        return Err(PipelineError::IncrementalNeedsExact);
-                    }
-                    if matches!(backend, Backend::Sharded { .. }) {
-                        return Err(PipelineError::ShardedMmpNeedsExact);
-                    }
-                }
-                _ => {}
-            }
+        if scheme == Scheme::Mmp
+            && matches!(&matcher, MatcherChoice::Rules | MatcherChoice::Custom(_))
+        {
+            return Err(PipelineError::MmpNeedsProbabilistic {
+                matcher: matcher.label(),
+            });
         }
+        // Note on `certificate_slack = ∞`: every certificate breaches
+        // ([`gap_breached`] short-circuits), so the approximate matcher
+        // re-probes every delta-touched pair — the probe-everything
+        // control arm. The untouched-component replay stays on in both
+        // arms (the slack knob deliberately does not govern it: it is
+        // the exact component factorization, not a gap heuristic), so
+        // the two arms differ *only* in what the gate elides.
 
         // --- blocking (or cover validation) ---
         let block_start = Instant::now();
@@ -570,6 +571,7 @@ impl Pipeline {
             mmp_config: MmpConfig {
                 incremental,
                 memo_capacity,
+                certificate_slack,
                 ..Default::default()
             },
             matcher,
@@ -725,6 +727,17 @@ impl MatchSession {
     /// The sharded backend's current plan, if any.
     pub fn shard_plan(&self) -> Option<&ShardPlan> {
         self.plan.as_ref()
+    }
+
+    /// The session's suppression list: every caller link retracted via
+    /// [`DatasetDelta::retract_link`](crate::DatasetDelta::retract_link)
+    /// and not since re-asserted, sorted. These pairs are scrubbed from
+    /// the candidate set after every re-block, so the kernel cannot
+    /// quietly re-derive them. A cold session over the mirrored dataset
+    /// has no such memory — harnesses comparing warm against cold must
+    /// replay this list onto the cold side (see the soak binary).
+    pub fn suppressed_links(&self) -> Vec<Pair> {
+        self.scores.suppressed_pairs()
     }
 
     /// The most recent invariant sweep, if the session checks invariants
@@ -885,13 +898,30 @@ impl MatchSession {
                     for id in self.cover.ids() {
                         let view = self.cover.view(&self.dataset, id);
                         match warm.bank.withdraw_grown(&view, warm.entity_floor) {
-                            // Identical view: quiescent; skip it.
-                            Some((memo, true)) => driver.seed_memo(id, memo),
+                            // Identical view: quiescent; skip it. Its
+                            // certificates ride along so a later routed
+                            // delta can still elide probes (and so the
+                            // run's final banking re-deposits them).
+                            Some((memo, true)) => {
+                                driver.seed_memo(id, memo);
+                                if let Some(set) =
+                                    warm.certs.withdraw_grown(&view, warm.entity_floor)
+                                {
+                                    driver.seed_certificates(id, set);
+                                }
+                            }
                             // Grown or tainted view: must re-evaluate,
                             // but probes in components no change reaches
-                            // replay.
+                            // replay — and touched probes whose
+                            // certificate gap survives the delta's
+                            // footprint replay too.
                             Some((memo, false)) => {
                                 driver.seed_memo(id, memo);
+                                if let Some(set) =
+                                    warm.certs.withdraw_grown(&view, warm.entity_floor)
+                                {
+                                    driver.seed_certificates(id, set);
+                                }
                                 active.push(id);
                             }
                             None => active.push(id),
@@ -904,6 +934,7 @@ impl MatchSession {
                 if self.mmp_config.incremental {
                     warm.store = driver.take_store();
                     driver.bank_memos(&mut warm.bank);
+                    driver.bank_certificates(&mut warm.certs);
                 }
                 (driver.finish(start), BackendReport::Sequential)
             }
@@ -982,6 +1013,7 @@ impl MatchSession {
         checker.check_entity_floor(self.warm_state.entity_floor);
         if let Some(stats) = stats {
             checker.check_probe_ledger(stats);
+            checker.check_certificate_ledger(stats);
         }
         checker.finish()
     }
@@ -1182,19 +1214,25 @@ impl MatchSession {
         let pre_update_floor = self.dataset.entities.len() as u32;
         let block_start = Instant::now();
         let applied = delta.apply(&mut self.dataset);
+        // A retracted link stops being protected, loses its cached
+        // score, and joins the session's suppression list: the kernel
+        // happily re-derives candidacy for records that remain similar,
+        // so without the list the link would re-enter on the next
+        // update's re-block (PR 5 leftover). Suppression is
+        // session-scoped caller intent — it survives `reset_warm` and
+        // every later re-block, until the caller re-asserts the link.
+        // This loop runs before the added-links loop so a delta that
+        // retracts and re-adds the same pair nets out to "present".
+        for &pair in &delta.retract_links {
+            self.protected_links.remove(&pair);
+            self.scores.suppress(pair);
+        }
         for &(pair, level) in &applied.added_links {
             let slot = self.protected_links.entry(pair).or_insert(level);
             *slot = (*slot).max(level);
-        }
-        // A retracted link stops being protected and loses its cached
-        // score, so the re-block treats it exactly as a cold run over
-        // the edited dataset would: kernel-similar records re-derive
-        // their candidacy (on both sides), caller-asserted links stay
-        // gone (on both sides). To *forbid* a match between records
-        // that remain similar, use negative evidence instead.
-        for &pair in &delta.retract_links {
-            self.protected_links.remove(&pair);
-            self.scores.remove(pair);
+            // Re-asserting a previously retracted link lifts its
+            // suppression: the caller's latest intent wins.
+            self.scores.unsuppress(pair);
         }
         // Caches keyed by dataset identity (the matcher's grounding
         // cache, the fingerprint memo of a CachedMatcher) are stale the
@@ -1304,6 +1342,16 @@ impl MatchSession {
             self.cover = std::mem::take(&mut out.output.cover);
             Some(out)
         };
+        // Suppression scrub: whatever the re-block just re-derived for a
+        // retracted caller link is withdrawn again, before the
+        // dependency index and shard plan are rebuilt — the suppressed
+        // pair must be invisible to the next run's scheduling state.
+        for pair in self.scores.suppressed_pairs() {
+            if self.dataset.is_candidate(pair) {
+                self.dataset.retract_similar(pair);
+                self.scores.remove(pair);
+            }
+        }
         self.pending_blocking += block_start.elapsed();
 
         // --- Phase 3: rebuild the scheduling state ---
@@ -1406,19 +1454,32 @@ impl MatchSession {
                     members.binary_search(&a).is_ok() && members.binary_search(&b).is_ok()
                 })
             }) as u64;
-            // Views that lost retracted members are re-keyed under their
-            // surviving members: probes of invalidated pairs are deleted
-            // (they re-issue), everything outside the closure replays.
-            // Views whose structure survives but whose pairs intersect
-            // the closure are only *tainted*: they re-evaluate
-            // (regenerating the messages dropped above) with full probe
-            // replay outside the rolled-back ground components.
-            report.memos_tainted = (self.warm_state.bank.rekey_shrunk(&gone, &invalid)
+            // Views that lost retracted members or candidate links are
+            // re-keyed under their surviving identity: probes of
+            // invalidated pairs are deleted (they re-issue), everything
+            // outside the closure replays — including when the same
+            // delta also grows the view (the entity floor resolves the
+            // growth at withdrawal). Views whose structure survives but
+            // whose pairs intersect the closure are only *tainted*: they
+            // re-evaluate (regenerating the messages dropped above) with
+            // full probe replay outside the rolled-back ground
+            // components.
+            let retracted: Vec<Pair> = applied.retracted_pairs.iter().map(|&(p, _)| p).collect();
+            report.memos_tainted = (self
+                .warm_state
+                .bank
+                .rekey_churned(&gone, &retracted, &invalid)
                 + self
                     .warm_state
                     .bank
                     .taint(|_, pairs| pairs.iter().any(|&(p, _)| invalid.contains(p))))
                 as u64;
+            // Certificates mirror the memos: entries of shrunk views
+            // re-key under their survivors, and every gap recorded for a
+            // pair in the invalid closure (or touching a gone entity) is
+            // dropped — its probe re-issues, so a stale margin must not
+            // elide it.
+            report.certificates_dropped = self.warm_state.certs.rollback(&gone, &invalid) as u64;
             // Caller evidence mentioning retracted entities is retracted
             // through the tombstoning mutators.
             if !gone.is_empty() {
@@ -1508,6 +1569,10 @@ pub struct UpdateReport {
     /// but its evidence was rolled back, so the neighborhood
     /// re-evaluates with probe replay instead of being skipped.
     pub memos_tainted: u64,
+    /// Banked score-gap certificates dropped by the rollback (their
+    /// pair sits in the invalid closure or mentions a retracted entity,
+    /// so the probe re-issues instead of replaying against a stale gap).
+    pub certificates_dropped: u64,
     /// Warm fixpoint pairs dropped (no longer sound evidence).
     pub warm_matches_dropped: u64,
     /// Exact-kernel evaluations the delta re-block performed.
@@ -1546,6 +1611,9 @@ impl fmt::Display for UpdateReport {
             self.canopies_replayed,
             self.canopies_recomputed,
         )?;
+        if self.certificates_dropped > 0 {
+            write!(f, " | {} certificates dropped", self.certificates_dropped)?;
+        }
         if self.invariant_checks > 0 {
             write!(
                 f,

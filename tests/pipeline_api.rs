@@ -41,29 +41,93 @@ fn mmp_with_type_i_matcher_is_rejected() {
 }
 
 #[test]
-fn walksat_with_incremental_mmp_is_rejected() {
+fn walksat_with_incremental_mmp_builds_and_warm_reruns_probe_free() {
+    // PR 7 lifted the old IncrementalNeedsExact rejection: approximate
+    // inference now runs incremental MMP under the score-gap
+    // certificate gate. An unchanged warm re-run is quiescent exactly
+    // like the exact matcher's.
     let (dataset, cover, _, _) = paper_example();
-    let err = Pipeline::new(dataset)
+    let mut session = Pipeline::new(dataset)
         .cover(cover)
         .matcher(MatcherChoice::MlnWalksat)
         .scheme(Scheme::Mmp)
         .build()
-        .unwrap_err();
-    assert!(matches!(err, PipelineError::IncrementalNeedsExact), "{err}");
+        .expect("walksat + incremental MMP is a coherent combination now");
+    let first = session.run();
+    assert!(first.stats.conditioned_probes > 0, "the cold run probes");
+    let second = session.run();
+    assert_eq!(first.matches, second.matches);
+    assert_eq!(
+        second.stats.conditioned_probes, 0,
+        "an unchanged walksat re-run is quiescent under the banked memos"
+    );
 }
 
 #[test]
-fn walksat_under_sharded_mmp_is_rejected_even_without_replay() {
+fn walksat_under_sharded_mmp_builds_and_agrees_with_sequential() {
+    // The old ShardedMmpNeedsExact rejection is lifted too: certificates
+    // ride the shard drivers. The sharded walksat run must produce the
+    // sequential walksat run's matches (same deterministic seed, and the
+    // epoch protocol serializes promotions identically here).
     let (dataset, cover, _, _) = paper_example();
-    let err = Pipeline::new(dataset)
+    let sequential = Pipeline::new(dataset.clone())
+        .cover(cover.clone())
+        .matcher(MatcherChoice::MlnWalksat)
+        .scheme(Scheme::Mmp)
+        .build()
+        .expect("coherent")
+        .run();
+    let sharded_out = Pipeline::new(dataset)
         .cover(cover)
         .matcher(MatcherChoice::MlnWalksat)
         .scheme(Scheme::Mmp)
-        .incremental(false)
         .backend(sharded(2))
         .build()
-        .unwrap_err();
-    assert!(matches!(err, PipelineError::ShardedMmpNeedsExact), "{err}");
+        .expect("walksat + sharded MMP is a coherent combination now")
+        .run();
+    assert_eq!(sequential.matches, sharded_out.matches);
+}
+
+#[test]
+fn infinite_certificate_slack_breaches_every_certificate() {
+    // ∞ slack is the probe-everything control arm: identical machinery,
+    // but every consulted certificate breaches, so nothing is ever
+    // elided — on growth, every delta-touched pair re-probes.
+    let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let n = template.entities.len() as u32;
+    let mut base = Dataset::new();
+    DatasetDelta::carve(&template, 0..n / 2).apply(&mut base);
+    let build = |dataset: Dataset, slack: f64| {
+        Pipeline::new(dataset)
+            .matcher(MatcherChoice::MlnWalksat)
+            .scheme(Scheme::Mmp)
+            .certificate_slack(slack)
+            .build()
+            .expect("infinite slack is a control arm, not an error")
+    };
+    let mut everything = build(base.clone(), f64::INFINITY);
+    let mut certified = build(base, em_core::framework::DEFAULT_CERTIFICATE_SLACK);
+    everything.run();
+    certified.run();
+    let grow = DatasetDelta::carve(&template, n / 2..n);
+    everything.update(&grow);
+    certified.update(&grow);
+    let all = everything.run();
+    let gated = certified.run();
+    assert_eq!(
+        gated.matches, all.matches,
+        "the certificate gate must be an elision device, not an \
+         approximation device"
+    );
+    assert_eq!(all.stats.probes_elided, 0);
+    assert_eq!(
+        all.stats.certificates_checked, all.stats.certificates_breached,
+        "∞ slack breaches every certificate it consults"
+    );
+    assert!(
+        gated.stats.conditioned_probes <= all.stats.conditioned_probes,
+        "the gated arm never probes more than the control arm"
+    );
 }
 
 #[test]
@@ -499,6 +563,58 @@ fn retracting_an_asserted_link_stays_gone_and_equals_cold() {
     mirror.retract_similar(link).expect("asserted above");
     let cold = mmp_session(mirror).run();
     assert_eq!(warm.matches, cold.matches);
+}
+
+#[test]
+fn retracted_kernel_link_stays_suppressed_across_three_updates() {
+    // A *kernel-derived* candidacy: without the session's suppression
+    // list every later re-block would re-derive it and the caller's
+    // retraction would silently evaporate (the PR 5 leftover).
+    let template = generate(&DatasetProfile::hepth().scaled(0.004)).dataset;
+    let n = template.entities.len() as u32;
+    let mut base = Dataset::new();
+    DatasetDelta::carve(&template, 0..n / 2).apply(&mut base);
+    let mut session = mmp_session(base);
+    session.run();
+    let link = session
+        .dataset()
+        .candidate_pairs()
+        .map(|(p, _)| p)
+        .next()
+        .expect("blocking derives candidates on hepth");
+
+    let mut delta = DatasetDelta::new();
+    delta.retract_link(link);
+    session.update(&delta);
+    session.run();
+    assert!(!session.dataset().is_candidate(link));
+
+    // Three growth updates, each re-blocking a region the kernel uses
+    // to re-derive the pair's canopy — the session must remember the
+    // retraction through every one of them.
+    let step = (n - n / 2) / 3;
+    for i in 0..3u32 {
+        let lo = n / 2 + i * step;
+        let hi = if i == 2 { n } else { lo + step };
+        session.update(&DatasetDelta::carve(&template, lo..hi));
+        session.run();
+        assert!(
+            !session.dataset().is_candidate(link),
+            "update {i}: retracted link re-entered via re-block"
+        );
+        assert_eq!(session.suppressed_links(), vec![link]);
+    }
+
+    // Re-asserting lifts suppression: the caller's latest intent wins.
+    let mut readd = DatasetDelta::new();
+    readd.add_link(
+        em::GrowthRef::Existing(link.lo()),
+        em::GrowthRef::Existing(link.hi()),
+        SimLevel(2),
+    );
+    session.update(&readd);
+    assert!(session.dataset().is_candidate(link));
+    assert!(session.suppressed_links().is_empty());
 }
 
 #[test]
