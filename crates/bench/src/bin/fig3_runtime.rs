@@ -16,7 +16,7 @@
 //!                [--backend exact|walksat|both] [--seed N]
 //!                [--cache on|off|both] [--incremental on|off|both]
 //!                [--shards K] [--warm-start on|off] [--churn on|off]
-//!                [--bench-out PATH|none] [--metrics PATH]
+//!                [--store DIR|none] [--bench-out PATH|none] [--metrics PATH]
 //!
 //! `--matcher` is accepted as an alias for `--backend`.
 //!
@@ -68,6 +68,17 @@
 //! diverges from a cold run). Results land in `walksat_churn_runs`,
 //! including `walksat_probes_elided` — the probes the gate skipped
 //! outright.
+//!
+//! `--store DIR` runs the durable-session recovery ablation: a session
+//! built with `Pipeline::store` under `DIR` is driven through
+//! run → update → run (every mutation journaled to the `em-store-v1`
+//! WAL), then recovered from disk twice — once replaying the WAL tail
+//! over the epoch-0 snapshot, once more after `MatchSession::checkpoint`
+//! truncated the log — for **both** matchers (exact and walksat) on
+//! **both** backends (sequential and sharded). Each recovered session's
+//! `state_digest` must equal the live session's, section for section;
+//! the binary exits non-zero on divergence, and the four verdicts land
+//! in `store_runs` (CI greps 4× `"recovery_identical": true`).
 //!
 //! `--warm-start on` runs the session-growth ablation: a `MatchSession`
 //! over half the dataset, grown to full size with
@@ -874,6 +885,140 @@ fn run_walksat_churn_ablation(
     ok
 }
 
+/// The `--store DIR` ablation: durable sessions driven through
+/// build → run → update → run with every mutation journaled, recovered
+/// from disk (snapshot + WAL-tail replay, then again after a
+/// checkpoint truncated the log), and the recovered sessions'
+/// `state_digest` compared against the live session's — exact and
+/// walksat, sequential and sharded. Returns `false` on any digest
+/// divergence.
+fn run_store_ablation(
+    name: &str,
+    scale: f64,
+    seed: Option<u64>,
+    shards: usize,
+    store_base: &str,
+    report: &mut FrameworkReport,
+    metrics: &mut Option<FileMetrics>,
+) -> bool {
+    let mut profile = profile_by_name(name).scaled(scale);
+    if let Some(seed) = seed {
+        profile = profile.with_seed(seed);
+    }
+    let template = generate(&profile).dataset;
+    let n = template.entities.len() as u32;
+    let blocking = BlockingConfig {
+        kernel: SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    println!(
+        "\nstore ablation — {name} (scale {scale}): durable build → run → update → run under \
+         {store_base}, recover from snapshot + WAL tail (digest-compared), checkpoint, recover \
+         again"
+    );
+    let mut ok = true;
+    for matcher_label in ["exact", "walksat"] {
+        for (backend_label, backend) in [
+            ("sequential".to_owned(), Backend::Sequential),
+            (
+                format!("sharded-{shards}"),
+                Backend::Sharded {
+                    shards,
+                    split_policy: SplitPolicy::Split,
+                },
+            ),
+        ] {
+            let dir = std::path::Path::new(store_base)
+                .join(format!("{name}-{matcher_label}-{backend_label}"));
+            if dir.exists() {
+                std::fs::remove_dir_all(&dir).expect("clear stale store dir");
+            }
+            let build = |dataset: Dataset| {
+                let matcher = match matcher_label {
+                    "exact" => MatcherChoice::MlnExact,
+                    _ => MatcherChoice::MlnWalksat,
+                };
+                Pipeline::new(dataset)
+                    .blocking(blocking.clone())
+                    .matcher(matcher)
+                    .scheme(Scheme::Mmp)
+                    .backend(backend)
+                    .store(&dir)
+                    .build()
+                    .expect("durable MMP is coherent for both matchers and backends")
+            };
+            // The live arm: every mutation journals before it applies.
+            let mut base = Dataset::new();
+            DatasetDelta::carve(&template, 0..n / 2).apply(&mut base);
+            let mut live = build(base);
+            live.run();
+            live.update(&DatasetDelta::carve(&template, n / 2..n));
+            let warm = live.run();
+            let live_digest = live.state_digest();
+            let store = live.session_store().expect("durable session has a store");
+            let snapshot_bytes = store.snapshot_bytes();
+            let wal_frames = store.wal_frames();
+
+            // Recovery #1: epoch-0 snapshot + full WAL-tail replay.
+            let t = std::time::Instant::now();
+            let recovered = build(Dataset::new());
+            let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+            let tail_identical = recovered.state_digest() == live_digest;
+            drop(recovered);
+
+            // Recovery #2: after a checkpoint truncates the log.
+            let checkpoint_bytes = live.checkpoint().expect("checkpoint the live session");
+            let frames_after = live.session_store().map_or(0, |s| s.wal_frames());
+            let t = std::time::Instant::now();
+            let recovered = build(Dataset::new());
+            let checkpoint_recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+            let ckpt_identical = recovered.state_digest() == live_digest;
+            drop(recovered);
+
+            let identical = tail_identical && ckpt_identical;
+            println!(
+                "  {matcher_label:<8} {backend_label:<12} recovery {} | snapshot {snapshot_bytes} \
+                 B + {wal_frames} WAL frames in {recovery_ms:.1} ms | checkpoint \
+                 {checkpoint_bytes} B -> {frames_after} frames, re-recovered in \
+                 {checkpoint_recovery_ms:.1} ms",
+                if identical {
+                    "byte-identical ✓"
+                } else {
+                    "DIVERGED ✗"
+                },
+            );
+            emit_metric(
+                metrics,
+                &MetricsRecord::from_store_probe(
+                    &format!("{name}/store/{matcher_label}/{backend_label}"),
+                    0,
+                    snapshot_bytes,
+                    wal_frames,
+                    recovery_ms as u64,
+                    identical,
+                ),
+            );
+            ok &= identical;
+            report.store_runs.push(em_bench::StoreRunRecord {
+                dataset: name.to_owned(),
+                scale,
+                seed,
+                matcher: matcher_label.to_owned(),
+                backend: backend_label,
+                snapshot_bytes,
+                wal_frames_replayed: wal_frames,
+                recovery_ms,
+                checkpoint_bytes,
+                frames_after_checkpoint: frames_after,
+                checkpoint_recovery_ms,
+                matches: warm.matches.len() as u64,
+                recovery_identical: identical,
+            });
+        }
+    }
+    ok
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_dataset(
     name: &str,
@@ -885,6 +1030,7 @@ fn run_dataset(
     shards: usize,
     warm_start: bool,
     churn: bool,
+    store: &str,
     report: &mut FrameworkReport,
     metrics: &mut Option<FileMetrics>,
 ) -> bool {
@@ -982,6 +1128,12 @@ fn run_dataset(
             ok &= run_walksat_churn_ablation(name, scale, seed, shards.max(4), report, metrics);
         }
     }
+    if store != "none" {
+        // The store ablation covers both matchers itself (replay
+        // determinism is per-backend, not a cross-backend claim), so it
+        // runs regardless of --backend.
+        ok &= run_store_ablation(name, scale, seed, shards.max(4), store, report, metrics);
+    }
     ok
 }
 
@@ -1008,6 +1160,7 @@ fn main() {
         "off" => false,
         other => panic!("unknown --churn {other:?}; expected on | off"),
     };
+    let store = flags.get_str("store", "none");
     let bench_out = flags.get_str("bench-out", "BENCH_framework.json");
     let metrics_path = flags.get_str("metrics", "none");
     let seed: Option<u64> = if flags.has("seed") {
@@ -1038,6 +1191,7 @@ fn main() {
             shards,
             warm_start,
             churn,
+            &store,
             report,
             metrics,
         )
@@ -1064,8 +1218,9 @@ fn main() {
     }
     if !ok {
         eprintln!(
-            "fig3_runtime: an ablation diverged where identity is guaranteed (exact backend, or \
-             certified walksat vs its control on an append-only script)"
+            "fig3_runtime: an ablation diverged where identity is guaranteed (exact backend, \
+             certified walksat vs its control on an append-only script, or durable-store \
+             recovery)"
         );
         std::process::exit(1);
     }

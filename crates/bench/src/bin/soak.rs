@@ -8,7 +8,8 @@
 //!   soak [--dataset hepth|dblp] [--scale 0.004] [--updates 2000]
 //!        [--seed 7] [--shards 4] [--split split|pin]
 //!        [--faults on|off] [--invariants on|off]
-//!        [--mirror-every 25] [--metrics PATH|none]
+//!        [--mirror-every 25] [--store DIR|none] [--recover-every 50]
+//!        [--metrics PATH|none]
 //!
 //! Per update step, a [`DatasetDelta::churn_script_with`] pathological
 //! delta (retract-heavy churn plus re-adds after retraction,
@@ -22,11 +23,22 @@
 //! steps (and at the end) a **cold session over the mirror** is built
 //! from scratch and must agree too.
 //!
-//! The run ends with two greppable verdict lines (CI gates on both):
+//! `--store DIR` makes the **sequential arm durable**: every update,
+//! run, and reset journals to an `em-store-v1` WAL under `DIR` before
+//! it applies. Every `--recover-every` steps (and at the end) a fresh
+//! session is recovered from disk — epoch-0-or-latest snapshot plus
+//! WAL-tail replay — and its `state_digest` must equal the live arm's,
+//! after which the live arm checkpoints so the next probe replays only
+//! its own window. A third verdict line gates this
+//! (`store_recovery_identical`, printed only when `--store` is on, and
+//! false if no recovery probe ever ran).
+//!
+//! The run ends with greppable verdict lines (CI gates on them):
 //!
 //! ```text
 //! soak_invariants_ok:true
 //! fault_recovery_identical:true
+//! store_recovery_identical:true
 //! ```
 //!
 //! `soak_invariants_ok` is true iff every invariant sweep (session
@@ -36,8 +48,8 @@
 //! one shard recovered) — a soak whose faults never triggered proves
 //! nothing, so it fails the gate. `--metrics PATH` streams the whole
 //! run as `em-metrics-v1` JSONL (one `update` + `run` line per arm per
-//! step, plus a final `verdict` line). Exits non-zero if either verdict
-//! is false.
+//! step, one `store` line per recovery probe, plus a final `verdict`
+//! line). Exits non-zero if any verdict is false.
 
 use em::{
     Backend, ChurnOptions, DatasetDelta, FaultPlan, MatcherChoice, Pipeline, RuntimeOptions,
@@ -103,6 +115,17 @@ fn main() {
     let faults = parse_toggle(&flags, "faults", "on");
     let invariants = parse_toggle(&flags, "invariants", "on");
     let mirror_every: usize = flags.get("mirror-every", 25usize);
+    let store_path = flags.get_str("store", "none");
+    let recover_every: usize = flags.get("recover-every", 50usize);
+    let store_dir: Option<std::path::PathBuf> = if store_path == "none" {
+        None
+    } else {
+        let dir = std::path::PathBuf::from(&store_path);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).expect("clear stale --store dir");
+        }
+        Some(dir)
+    };
     let metrics_path = flags.get_str("metrics", "none");
     let mut metrics: Option<FileMetrics> = if metrics_path == "none" {
         None
@@ -159,22 +182,30 @@ fn main() {
         fence_retries: 2,
         ..Default::default()
     };
-    let build = |dataset: Dataset, backend: Backend| {
-        Pipeline::new(dataset)
+    let build_with = |dataset: Dataset, backend: Backend, store: Option<&std::path::Path>| {
+        let mut pipeline = Pipeline::new(dataset)
             .blocking(blocking.clone())
             .matcher(MatcherChoice::MlnExact)
             .scheme(Scheme::Mmp)
             .backend(backend)
             .runtime_options(runtime.clone())
-            .check_invariants(invariants)
+            .check_invariants(invariants);
+        if let Some(dir) = store {
+            pipeline = pipeline.store(dir);
+        }
+        pipeline
             .build()
             .expect("exact MMP is coherent on both backends")
     };
+    let build = |dataset: Dataset, backend: Backend| build_with(dataset, backend, None);
     let sharded_backend = Backend::Sharded {
         shards,
         split_policy,
     };
-    let mut seq = build(initial.clone(), Backend::Sequential);
+    // Only the sequential arm journals: the durability claim is about
+    // one session's crash-consistency, and the sharded arm already has
+    // its own in-run fault story.
+    let mut seq = build_with(initial.clone(), Backend::Sequential, store_dir.as_deref());
     let mut sharded = build(initial.clone(), sharded_backend);
     let mut mirror = initial;
 
@@ -184,6 +215,8 @@ fn main() {
     let (mut checks, mut violations) = (0u64, 0u64);
     let (mut panics, mut timeouts, mut recovered) = (0u64, 0u64, 0u64);
     let mut cold_compares = 0u64;
+    let mut store_identical = true;
+    let (mut store_recoveries, mut store_frames_replayed) = (0u64, 0u64);
     for outcome in [&first_seq, &first_sharded] {
         checks += outcome.stats.invariant_checks;
         violations += outcome.stats.invariant_violations;
@@ -250,6 +283,44 @@ fn main() {
             );
         }
         let last = i + 1 == deltas.len();
+        if let Some(dir) = &store_dir {
+            if (i + 1) % recover_every == 0 || last {
+                let snapshot_bytes = seq.session_store().map_or(0, |s| s.snapshot_bytes());
+                let frames = seq.session_store().map_or(0, |s| s.wal_frames());
+                let t = std::time::Instant::now();
+                let recovered_arm = build_with(Dataset::new(), Backend::Sequential, Some(dir));
+                let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+                let same = recovered_arm.state_digest() == seq.state_digest();
+                store_recoveries += 1;
+                store_frames_replayed += frames;
+                if !same {
+                    store_identical = false;
+                    eprintln!(
+                        "!! step {}: recovered session DIVERGES from the live sequential arm \
+                         (live {} vs recovered {})",
+                        i + 1,
+                        seq.state_digest(),
+                        recovered_arm.state_digest()
+                    );
+                }
+                emit_metric(
+                    &mut metrics,
+                    &MetricsRecord::from_store_probe(
+                        "soak/store",
+                        step,
+                        snapshot_bytes,
+                        frames,
+                        recovery_ms as u64,
+                        same,
+                    ),
+                );
+                // Checkpoint so the next probe replays only its own
+                // window (and the checkpoint→tail-replay path itself
+                // gets soaked, not just epoch-0 full replay).
+                seq.checkpoint()
+                    .expect("checkpoint the durable sequential arm");
+            }
+        }
         if (i + 1) % mirror_every == 0 || last {
             // The cold session has no memory of retracted caller links:
             // its blocking pass re-derives candidacy the warm sessions'
@@ -305,10 +376,17 @@ fn main() {
     if faults && recovered == 0 {
         eprintln!("!! faults were requested but no shard recovery was ever exercised");
     }
+    // Same honesty rule as the fault gate: a durable soak whose
+    // recovery probe never ran proves nothing.
+    let store_ok = store_dir.is_none() || (store_identical && store_recoveries > 0);
+    if store_dir.is_some() && store_recoveries == 0 {
+        eprintln!("!! --store was requested but no recovery probe ever ran");
+    }
     println!(
         "\nsoak complete: {updates} updates, {cold_compares} cold-mirror compares, \
          {checks} invariant checks, {violations} violations | sharded arm: {panics} shard \
-         panics, {timeouts} fence timeouts, {recovered} shards recovered"
+         panics, {timeouts} fence timeouts, {recovered} shards recovered | durable arm: \
+         {store_recoveries} recoveries, {store_frames_replayed} WAL frames replayed"
     );
     emit_metric(
         &mut metrics,
@@ -320,8 +398,11 @@ fn main() {
             .push_u64("shard_panics", panics)
             .push_u64("fence_timeouts", timeouts)
             .push_u64("shards_recovered", recovered)
+            .push_u64("store_recoveries", store_recoveries)
+            .push_u64("store_frames_replayed", store_frames_replayed)
             .push_bool("soak_invariants_ok", invariants_ok)
-            .push_bool("fault_recovery_identical", recovery_identical),
+            .push_bool("fault_recovery_identical", recovery_identical)
+            .push_bool("store_recovery_identical", store_ok),
     );
     if let Some(writer) = metrics.as_mut() {
         match writer.flush() {
@@ -331,7 +412,10 @@ fn main() {
     }
     println!("soak_invariants_ok:{invariants_ok}");
     println!("fault_recovery_identical:{recovery_identical}");
-    if !invariants_ok || !recovery_identical {
+    if store_dir.is_some() {
+        println!("store_recovery_identical:{store_ok}");
+    }
+    if !invariants_ok || !recovery_identical || !store_ok {
         std::process::exit(1);
     }
 }

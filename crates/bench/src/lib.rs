@@ -27,6 +27,6 @@ pub use cli::Flags;
 pub use metrics::{MetricValue, MetricsRecord, MetricsWriter};
 pub use report::{
     ArmRecord, ChurnRecord, FrameworkReport, SchemeRecord, ShardLoadRecord, ShardRunRecord,
-    WalksatChurnRecord, WarmStartRecord, WorkloadRecord,
+    StoreRunRecord, WalksatChurnRecord, WarmStartRecord, WorkloadRecord,
 };
 pub use workload::{prepare, prepare_opts, profile_by_name, Workload};

@@ -18,6 +18,7 @@
 //! | `run` | one framework run | every [`RunStats`] counter + wall time |
 //! | `update` | one `MatchSession::update` | the [`em::UpdateReport`] ledger |
 //! | `shard` | one sharded run | epochs, skew, fault/recovery counters |
+//! | `store` | one durable-store recovery probe | snapshot bytes, frames replayed, recovery wall time, byte-identity verdict |
 //! | anything else | callers | free-form fields via [`MetricsRecord::new`] |
 
 use em::UpdateReport;
@@ -120,6 +121,9 @@ impl MetricsRecord {
             .push_u64("shards_recovered", stats.shards_recovered)
             .push_u64("invariant_checks", stats.invariant_checks)
             .push_u64("invariant_violations", stats.invariant_violations)
+            .push_u64("snapshot_bytes", stats.snapshot_bytes)
+            .push_u64("wal_frames_replayed", stats.wal_frames_replayed)
+            .push_u64("recovery_ms", stats.recovery_ms)
             .push_f64("wall_ms", stats.wall_time.as_secs_f64() * 1e3)
     }
 
@@ -143,6 +147,30 @@ impl MetricsRecord {
             .push_u64("invariant_checks", report.invariant_checks)
             .push_u64("invariant_violations", report.invariant_violations)
             .push_bool("degraded_to_cold", report.degraded_to_cold)
+            .push_u64("snapshot_bytes", report.snapshot_bytes)
+            .push_u64("wal_frames_replayed", report.wal_frames_replayed)
+            .push_u64("recovery_ms", report.recovery_ms)
+    }
+
+    /// A `store` line: one durable-store recovery probe — the snapshot
+    /// and WAL volume it restored, how long it took, and whether the
+    /// recovered session's [`em::MatchSession::state_digest`] matched
+    /// the live session's (the byte-identity verdict CI greps for).
+    pub fn from_store_probe(
+        label: &str,
+        step: u64,
+        snapshot_bytes: u64,
+        wal_frames_replayed: u64,
+        recovery_ms: u64,
+        recovery_identical: bool,
+    ) -> Self {
+        Self::new("store")
+            .push_str("label", label)
+            .push_u64("step", step)
+            .push_u64("snapshot_bytes", snapshot_bytes)
+            .push_u64("wal_frames_replayed", wal_frames_replayed)
+            .push_u64("recovery_ms", recovery_ms)
+            .push_bool("recovery_identical", recovery_identical)
     }
 
     /// A `shard` line: one sharded run's balance and fault/recovery
@@ -283,6 +311,19 @@ mod tests {
         assert!(line.contains("\"entities_added\": 4"));
         assert!(line.contains("\"memos_tainted\": 5"));
         assert!(line.contains("\"degraded_to_cold\": false"));
+        assert!(line.contains("\"wal_frames_replayed\": 0"));
+    }
+
+    #[test]
+    fn store_lines_carry_the_recovery_verdict() {
+        let line = MetricsRecord::from_store_probe("soak", 50, 4096, 3, 17, true).render();
+        assert!(line.starts_with("{\"schema\": \"em-metrics-v1\", \"kind\": \"store\""));
+        assert!(line.contains("\"label\": \"soak\""));
+        assert!(line.contains("\"step\": 50"));
+        assert!(line.contains("\"snapshot_bytes\": 4096"));
+        assert!(line.contains("\"wal_frames_replayed\": 3"));
+        assert!(line.contains("\"recovery_ms\": 17"));
+        assert!(line.contains("\"recovery_identical\": true"));
     }
 
     #[test]

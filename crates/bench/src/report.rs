@@ -359,6 +359,48 @@ pub struct WalksatChurnRecord {
     pub matches: u64,
 }
 
+/// One `fig3_runtime --store` ablation arm: a durable session driven
+/// through build → run → update → run with every mutation journaled,
+/// then recovered **twice** from disk — once by replaying the WAL tail
+/// over the epoch-0 snapshot, once more after a checkpoint truncated
+/// the WAL — with the recovered sessions' [`em::MatchSession::state_digest`]
+/// compared against the live session's.
+///
+/// `recovery_identical` is the conjunction of both digest comparisons
+/// (CI greps `"recovery_identical": true` for all four matcher ×
+/// backend arms).
+#[derive(Debug, Clone)]
+pub struct StoreRunRecord {
+    /// Dataset profile name.
+    pub dataset: String,
+    /// Scale factor.
+    pub scale: f64,
+    /// Explicit seed, if any.
+    pub seed: Option<u64>,
+    /// Matcher label ("exact" or "walksat").
+    pub matcher: String,
+    /// Backend label ("sequential" or "sharded-K").
+    pub backend: String,
+    /// Bytes of the snapshot the WAL-tail recovery restored.
+    pub snapshot_bytes: u64,
+    /// WAL frames the first recovery replayed.
+    pub wal_frames_replayed: u64,
+    /// Wall time of the first recovery, milliseconds.
+    pub recovery_ms: f64,
+    /// Bytes of the checkpoint snapshot taken after the warm run.
+    pub checkpoint_bytes: u64,
+    /// WAL frames left after the checkpoint (0 — the checkpoint
+    /// truncates the log).
+    pub frames_after_checkpoint: u64,
+    /// Wall time of the post-checkpoint recovery, milliseconds.
+    pub checkpoint_recovery_ms: f64,
+    /// Final match count of the live session.
+    pub matches: u64,
+    /// Whether both recovered sessions' state digests equalled the live
+    /// session's, section for section (CI greps this).
+    pub recovery_identical: bool,
+}
+
 /// The whole report.
 #[derive(Debug, Clone, Default)]
 pub struct FrameworkReport {
@@ -373,6 +415,9 @@ pub struct FrameworkReport {
     /// One entry per arm × backend when `--churn` ran with the walksat
     /// matcher (the certificate-gate ablation).
     pub walksat_churn_runs: Vec<WalksatChurnRecord>,
+    /// One entry per matcher × backend when `--store` ran (the durable
+    /// session recovery ablation).
+    pub store_runs: Vec<StoreRunRecord>,
 }
 
 fn esc(s: &str) -> String {
@@ -396,10 +441,10 @@ impl FrameworkReport {
             .unwrap_or(0);
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"bench-framework-v5\",\n");
+        out.push_str("  \"schema\": \"bench-framework-v6\",\n");
         out.push_str(
-            "  \"bench\": \"fig3_runtime (--incremental / --shards / --warm-start / --churn \
-             ablations)\",\n",
+            "  \"bench\": \"fig3_runtime (--incremental / --shards / --warm-start / --churn / \
+             --store ablations)\",\n",
         );
         out.push_str(&format!("  \"recorded_unix_secs\": {recorded},\n"));
         out.push_str("  \"workloads\": [\n");
@@ -719,6 +764,56 @@ impl FrameworkReport {
                 }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"store_runs\": [\n");
+        for (si, s) in self.store_runs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"dataset\": \"{}\",\n", esc(&s.dataset)));
+            out.push_str(&format!("      \"scale\": {},\n", fmt_f64(s.scale)));
+            match s.seed {
+                Some(seed) => out.push_str(&format!("      \"seed\": {seed},\n")),
+                None => out.push_str("      \"seed\": null,\n"),
+            }
+            out.push_str(&format!("      \"matcher\": \"{}\",\n", esc(&s.matcher)));
+            out.push_str(&format!("      \"backend\": \"{}\",\n", esc(&s.backend)));
+            out.push_str(&format!(
+                "      \"snapshot_bytes\": {},\n",
+                s.snapshot_bytes
+            ));
+            out.push_str(&format!(
+                "      \"wal_frames_replayed\": {},\n",
+                s.wal_frames_replayed
+            ));
+            out.push_str(&format!(
+                "      \"recovery_ms\": {},\n",
+                fmt_f64(s.recovery_ms)
+            ));
+            out.push_str(&format!(
+                "      \"checkpoint_bytes\": {},\n",
+                s.checkpoint_bytes
+            ));
+            out.push_str(&format!(
+                "      \"frames_after_checkpoint\": {},\n",
+                s.frames_after_checkpoint
+            ));
+            out.push_str(&format!(
+                "      \"checkpoint_recovery_ms\": {},\n",
+                fmt_f64(s.checkpoint_recovery_ms)
+            ));
+            out.push_str(&format!("      \"matches\": {},\n", s.matches));
+            out.push_str(&format!(
+                "      \"recovery_identical\": {}\n",
+                s.recovery_identical
+            ));
+            out.push_str(&format!(
+                "    }}{}\n",
+                if si + 1 < self.store_runs.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -848,9 +943,28 @@ mod tests {
                 walksat_outputs_identical: true,
                 matches: 3100,
             }],
+            store_runs: vec![StoreRunRecord {
+                dataset: "hepth".into(),
+                scale: 0.02,
+                seed: Some(7),
+                matcher: "exact".into(),
+                backend: "sharded-4".into(),
+                snapshot_bytes: 48_213,
+                wal_frames_replayed: 3,
+                recovery_ms: 41.2,
+                checkpoint_bytes: 52_990,
+                frames_after_checkpoint: 0,
+                checkpoint_recovery_ms: 18.6,
+                matches: 120,
+                recovery_identical: true,
+            }],
         };
         let json = report.render_json();
-        assert!(json.contains("\"schema\": \"bench-framework-v5\""));
+        assert!(json.contains("\"schema\": \"bench-framework-v6\""));
+        assert!(json.contains("\"recovery_identical\": true"));
+        assert!(json.contains("\"wal_frames_replayed\": 3"));
+        assert!(json.contains("\"frames_after_checkpoint\": 0"));
+        assert!(json.contains("\"snapshot_bytes\": 48213"));
         assert!(json.contains("\"walksat_outputs_identical\": true"));
         assert!(json.contains("\"walksat_probes_elided\": 102"));
         assert!(json.contains("\"divergence_vs_cold\": 3814"));

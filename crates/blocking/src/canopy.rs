@@ -136,6 +136,37 @@ impl CanopyMemo {
     fn members_of(&self, center: EntityId) -> Option<&StoredCanopy> {
         self.canopies.get(&center)
     }
+
+    /// The parameters the memo was recorded under (`None` for an empty
+    /// or cleared memo).
+    pub fn params(&self) -> Option<CanopyParams> {
+        self.params
+    }
+
+    /// Visit every remembered canopy — its center and its members in
+    /// emission order, each flagged with tight-threshold eligibility —
+    /// in arbitrary order. The durable-session encoder walks this;
+    /// consumers needing determinism must sort by center.
+    pub fn for_each_canopy(&self, mut visit: impl FnMut(EntityId, &[(EntityId, bool)])) {
+        for (&center, stored) in &self.canopies {
+            visit(center, &stored.members);
+        }
+    }
+
+    /// Reassemble a memo from previously walked parts — the decode half
+    /// of [`CanopyMemo::params`] / [`CanopyMemo::for_each_canopy`].
+    pub fn from_parts(
+        params: Option<CanopyParams>,
+        canopies: impl IntoIterator<Item = (EntityId, Vec<(EntityId, bool)>)>,
+    ) -> Self {
+        Self {
+            params,
+            canopies: canopies
+                .into_iter()
+                .map(|(center, members)| (center, StoredCanopy { members }))
+                .collect(),
+        }
+    }
 }
 
 /// What one incremental canopy pass did, beyond the canopies themselves.

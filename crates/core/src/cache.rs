@@ -189,6 +189,18 @@ impl<V: Copy> PairCache<V> {
         }
     }
 
+    /// Visit every cached pair with a clone of its value, shard by
+    /// shard. Counters are untouched. Durable-session capture uses this
+    /// to walk the score map; iteration order is arbitrary, so consumers
+    /// needing determinism must sort what they collect.
+    pub fn for_each_entry(&self, mut visit: impl FnMut(Pair, V)) {
+        for shard in &self.shards {
+            for (&pair, value) in shard.lock().expect("cache lock").iter() {
+                visit(pair, *value);
+            }
+        }
+    }
+
     /// Add `pair` to the session-scoped suppression list and drop its
     /// cached value: the caller retracted it for good, so later
     /// re-derivations (a re-block re-scoring the same records) must not

@@ -163,6 +163,37 @@ impl Dataset {
         self.sim_adj.get(e.index()).map_or(&[], Vec::as_slice)
     }
 
+    /// Install a previously walked per-entity candidate adjacency
+    /// verbatim, replacing the current `similar` map and `sim_adj` —
+    /// the decode half of [`Dataset::sim_neighbors`] for durable-session
+    /// snapshots. Per-entity neighbor *order* is part of the dataset's
+    /// observable behavior ([`View::candidate_pairs`] enumerates it), so
+    /// replaying [`Dataset::set_similar`] calls cannot reproduce a
+    /// churned session's adjacency; this installer can.
+    ///
+    /// # Panics
+    /// Panics if the adjacency is asymmetric (an `(e, other)` entry
+    /// without the mirrored `(other, e)` entry at the same level) — a
+    /// corrupted snapshot must not produce a half-connected dataset.
+    pub fn restore_sim_adjacency(&mut self, sim_adj: Vec<Vec<(EntityId, SimLevel)>>) {
+        let mut similar: FxHashMap<Pair, SimLevel> = FxHashMap::default();
+        for (i, neighbors) in sim_adj.iter().enumerate() {
+            let e = EntityId(i as u32);
+            for &(other, level) in neighbors {
+                let mirrored = sim_adj
+                    .get(other.index())
+                    .is_some_and(|adj| adj.contains(&(e, level)));
+                assert!(
+                    mirrored,
+                    "restored adjacency is asymmetric at ({e}, {other})"
+                );
+                similar.insert(Pair::new(e, other), level);
+            }
+        }
+        self.similar = similar;
+        self.sim_adj = sim_adj;
+    }
+
     /// A view over the whole dataset (all live entities). The constant-
     /// time membership fast path only applies while no entity has been
     /// retracted; with tombstones present, membership falls back to the

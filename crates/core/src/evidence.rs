@@ -253,6 +253,68 @@ impl Evidence {
         self.positive
     }
 
+    /// Whether insertions are logged (see the `tracked` field): `true`
+    /// for accumulators, `false` for per-neighborhood snapshots and
+    /// probe evidence.
+    pub fn is_tracked(&self) -> bool {
+        self.tracked
+    }
+
+    /// The raw epoch history, read-only: `(log, epoch_starts,
+    /// retract_log, retract_epoch_starts)`. Durable-session capture
+    /// persists these so a restored accumulator answers
+    /// [`Evidence::delta_since`] / [`Evidence::retractions_since`]
+    /// exactly like the live one; untracked evidence exposes empty logs.
+    pub fn epoch_parts(&self) -> (&[Pair], &[usize], &[Pair], &[usize]) {
+        (
+            &self.log,
+            &self.epoch_starts,
+            &self.retract_log,
+            &self.retract_epoch_starts,
+        )
+    }
+
+    /// Reassemble tracked evidence from previously walked parts — the
+    /// decode half of [`Evidence::epoch_parts`]. Unlike
+    /// [`Evidence::from_parts`] the epoch history is restored verbatim
+    /// instead of being reset to a single epoch-0 window.
+    ///
+    /// # Panics
+    /// Panics if the supplied history does not replay to `positive`
+    /// (the [`Evidence::validate_log`] invariant) or if either
+    /// epoch-start list is empty.
+    pub fn from_epoch_parts(
+        positive: PairSet,
+        negative: PairSet,
+        log: Vec<Pair>,
+        epoch_starts: Vec<usize>,
+        retract_log: Vec<Pair>,
+        retract_epoch_starts: Vec<usize>,
+    ) -> Self {
+        assert!(
+            !epoch_starts.is_empty(),
+            "epoch-start lists always hold at least the epoch-0 fence"
+        );
+        assert_eq!(
+            epoch_starts.len(),
+            retract_epoch_starts.len(),
+            "insertion and retraction fences advance in lockstep"
+        );
+        let ev = Self {
+            positive,
+            negative,
+            tracked: true,
+            log,
+            epoch_starts,
+            retract_log,
+            retract_epoch_starts,
+        };
+        if let Err(err) = ev.validate_log() {
+            panic!("restored evidence history is inconsistent: {err}");
+        }
+        ev
+    }
+
     /// Replay the epoch history and check that it reproduces the current
     /// positive set — the invariant every `delta_since` /
     /// `retractions_since` consumer silently relies on. Per epoch window

@@ -228,6 +228,26 @@ impl CertificateBank {
         self.entries.remove(&old_members)
     }
 
+    /// Visit every banked entry — the member key and its certificate
+    /// set — read-only, in arbitrary order. The durable-session encoder
+    /// walks this; consumers needing determinism must sort by the
+    /// member key.
+    pub fn for_each_entry(&self, mut visit: impl FnMut(&[EntityId], &CertificateSet)) {
+        for (members, set) in &self.entries {
+            visit(members, set);
+        }
+    }
+
+    /// Insert one banked entry verbatim under `members` — the decode
+    /// half of [`CertificateBank::for_each_entry`]. Unlike
+    /// [`CertificateBank::deposit`] this keys on the raw member list (no
+    /// view needed); empty sets are still dropped.
+    pub fn insert_raw(&mut self, members: Vec<EntityId>, set: CertificateSet) {
+        if !set.is_empty() {
+            self.entries.insert(members, set);
+        }
+    }
+
     /// Rollback hygiene after a perturbing delta: entries containing a
     /// `gone` member are re-keyed under their surviving member list, and
     /// every certificate for a pair that mentions a gone entity or sits

@@ -351,6 +351,47 @@ impl ProbeMemo {
     pub fn entries(&self) -> usize {
         self.entailed.len()
     }
+
+    /// Whether the memo crossed runs through a [`MemoBank`] (see the
+    /// `from_bank` field). Durable-session capture persists the flag so
+    /// a restored memo gates the entered-pair seeding exactly like the
+    /// live one.
+    pub fn is_from_bank(&self) -> bool {
+        self.from_bank
+    }
+
+    /// The memoized undecided pair list of the last evaluation,
+    /// read-only (sorted, truncated — exactly as evaluated).
+    pub fn undecided(&self) -> &[Pair] {
+        &self.undecided
+    }
+
+    /// Visit every memoized probe entry — the probed pair and its last
+    /// known entailed set — in arbitrary order. Consumers needing
+    /// determinism (snapshot encoders) must sort what they collect.
+    pub fn for_each_entailed(&self, mut visit: impl FnMut(Pair, &[Pair])) {
+        for (&p, entailed) in &self.entailed {
+            visit(p, entailed);
+        }
+    }
+
+    /// Reassemble a memo from previously walked parts — the decode half
+    /// of durable-session snapshots, symmetric with
+    /// [`ProbeMemo::is_visited`] / [`ProbeMemo::is_from_bank`] /
+    /// [`ProbeMemo::undecided`] / [`ProbeMemo::for_each_entailed`].
+    pub fn from_parts(
+        visited: bool,
+        from_bank: bool,
+        undecided: Vec<Pair>,
+        entailed: impl IntoIterator<Item = (Pair, Vec<Pair>)>,
+    ) -> Self {
+        Self {
+            visited,
+            from_bank,
+            undecided,
+            entailed: entailed.into_iter().collect(),
+        }
+    }
 }
 
 /// The per-neighborhood [`ProbeMemo`]s of one run, bounded by
@@ -789,6 +830,46 @@ impl MemoBank {
         for (members, entry) in &self.entries {
             visit(members, &entry.pairs);
         }
+    }
+
+    /// Visit every banked entry in full — member key, candidate-pair
+    /// identity, probe memo, and taint flag — read-only, in arbitrary
+    /// order. The durable-session encoder walks this; consumers needing
+    /// determinism must sort by the member key.
+    pub fn for_each_entry(
+        &self,
+        mut visit: impl FnMut(
+            &[crate::entity::EntityId],
+            &[(Pair, crate::dataset::SimLevel)],
+            &ProbeMemo,
+            bool,
+        ),
+    ) {
+        for (members, entry) in &self.entries {
+            visit(members, &entry.pairs, &entry.memo, entry.tainted);
+        }
+    }
+
+    /// Insert one banked entry verbatim — the decode half of
+    /// [`MemoBank::for_each_entry`]. Unlike [`MemoBank::deposit`] this
+    /// takes the candidate-pair identity and taint flag as given (a
+    /// restored bank must reproduce the live one bit-for-bit, including
+    /// taint left by a rollback).
+    pub fn insert_raw(
+        &mut self,
+        members: Vec<crate::entity::EntityId>,
+        pairs: Vec<(Pair, crate::dataset::SimLevel)>,
+        memo: ProbeMemo,
+        tainted: bool,
+    ) {
+        self.entries.insert(
+            members,
+            BankEntry {
+                pairs,
+                memo,
+                tainted,
+            },
+        );
     }
 }
 

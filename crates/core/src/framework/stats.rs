@@ -87,6 +87,17 @@ pub struct RunStats {
     /// Invariant violations detected across those sweeps. Zero in any
     /// healthy run; a nonzero value means a structural bug, not a fault.
     pub invariant_violations: u64,
+    /// Bytes of durable-session snapshots written (checkpoints) or
+    /// loaded (recovery) since the previous run. Zero for sessions
+    /// without an attached store.
+    pub snapshot_bytes: u64,
+    /// Write-ahead-log frames a recovery replayed to rebuild this
+    /// session (each frame re-executes one journaled update, run, or
+    /// warm reset).
+    pub wal_frames_replayed: u64,
+    /// Wall-clock milliseconds a recovery spent loading the snapshot
+    /// and replaying the WAL tail.
+    pub recovery_ms: u64,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
 }
@@ -136,6 +147,9 @@ impl RunStats {
         self.shards_recovered += other.shards_recovered;
         self.invariant_checks += other.invariant_checks;
         self.invariant_violations += other.invariant_violations;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.wal_frames_replayed += other.wal_frames_replayed;
+        self.recovery_ms += other.recovery_ms;
         self.rounds = self.rounds.max(other.rounds);
         self.wall_time = self.wall_time.max(other.wall_time);
     }
@@ -213,6 +227,13 @@ impl std::fmt::Display for RunStats {
                 f,
                 " | invariants: {} checks, {} violations",
                 self.invariant_checks, self.invariant_violations
+            )?;
+        }
+        if self.snapshot_bytes > 0 || self.wal_frames_replayed > 0 || self.recovery_ms > 0 {
+            write!(
+                f,
+                " | store: {} snapshot bytes, {} frames replayed, {} ms recovery",
+                self.snapshot_bytes, self.wal_frames_replayed, self.recovery_ms
             )?;
         }
         if self.rounds > 0 {
@@ -404,5 +425,37 @@ mod tests {
         a.finalize(Duration::from_millis(1), 2);
         assert_eq!(a.shards_recovered, 2);
         assert_eq!(a.invariant_checks, 15);
+    }
+
+    #[test]
+    fn store_counters_merge_finalize_and_display() {
+        let mut a = RunStats {
+            snapshot_bytes: 1024,
+            wal_frames_replayed: 3,
+            recovery_ms: 12,
+            ..Default::default()
+        };
+        let b = RunStats {
+            snapshot_bytes: 512,
+            wal_frames_replayed: 2,
+            recovery_ms: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.snapshot_bytes, 1536);
+        assert_eq!(a.wal_frames_replayed, 5);
+        assert_eq!(a.recovery_ms, 17);
+        let line = a.to_string();
+        assert!(
+            line.contains("store: 1536 snapshot bytes, 5 frames replayed, 17 ms recovery"),
+            "{line}"
+        );
+        // finalize touches only wall time / rounds, not store counters.
+        a.finalize(Duration::from_millis(9), 1);
+        assert_eq!(a.snapshot_bytes, 1536);
+        assert_eq!(a.wal_frames_replayed, 5);
+        // Sessions without a store print no store clause.
+        let clean = RunStats::default().to_string();
+        assert!(!clean.contains("store"), "{clean}");
     }
 }

@@ -419,6 +419,58 @@ impl FeatureCache {
     pub fn is_empty(&self) -> bool {
         self.documents == 0
     }
+
+    /// Size of the dense entity-id index (the `universe` the cache was
+    /// built over, including ids without features). Durable-session
+    /// capture walks `0..universe()` and encodes each [`FeatureCache::get`]
+    /// slot.
+    pub fn universe(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Per-token-id document frequencies (indexed by token id). Part of
+    /// the cache's persistent identity: [`FeatureCache::extend_from`]
+    /// weights new entities against these counts, so a restored cache
+    /// must carry them bit-for-bit.
+    pub fn doc_freq(&self) -> &[u32] {
+        &self.doc_freq
+    }
+
+    /// Reassemble a cache from previously walked parts — the decode half
+    /// of durable-session snapshots. `tokens`/`grams` must be the interned
+    /// vocabularies in id order, `features` the dense per-entity slots,
+    /// `documents` the live feature count, and `doc_freq` one count per
+    /// token id. No invariant re-derivation happens here; callers are
+    /// expected to hand back exactly what the accessors exposed.
+    ///
+    /// # Panics
+    /// Panics if `doc_freq` does not cover the token vocabulary or
+    /// `documents` exceeds the number of feature slots.
+    pub fn from_parts(
+        config: FeatureConfig,
+        tokens: TokenInterner,
+        grams: TokenInterner,
+        features: Vec<Option<FeatureVec>>,
+        documents: usize,
+        doc_freq: Vec<u32>,
+    ) -> Self {
+        assert!(
+            doc_freq.len() == tokens.len(),
+            "doc_freq must have one entry per interned token"
+        );
+        assert!(
+            documents <= features.len(),
+            "more documents than feature slots"
+        );
+        Self {
+            config,
+            tokens,
+            grams,
+            features,
+            documents,
+            doc_freq,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,332 @@
+//! Hand-rolled binary codec primitives: a growing [`Writer`], a
+//! bounds-checked [`Reader`], and a table-driven [`crc32`].
+//!
+//! The encoding is deliberately boring — fixed-width little-endian
+//! integers, `u64` length prefixes, `f64` via [`f64::to_bits`] — so it
+//! is deterministic, bit-exact for floating point, and auditable with a
+//! hex dump. Compactness comes from the structures themselves (interned
+//! ids, dense vectors), not from varint cleverness.
+
+use crate::{Result, StoreError};
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) lookup table,
+/// computed at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` — the checksum guarding every snapshot
+/// section and WAL frame.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Append-only encode buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a bool as one byte (`0` / `1`).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Append an `f64` bit-exactly (via [`f64::to_bits`]), so scores
+    /// and norms survive the round trip byte-for-byte.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked decode cursor over a byte slice. Every read returns
+/// [`StoreError::Truncated`] instead of panicking when the buffer ends
+/// early — corrupt input must surface as a typed error.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole buffer was consumed — decoders check this at
+    /// the end so trailing garbage is detected rather than ignored.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated { context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Read a bool; any byte other than `0` / `1` is corruption.
+    pub fn bool(&mut self, context: &'static str) -> Result<bool> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::Corrupt {
+                context: format!("invalid bool byte {other} in {context}"),
+            }),
+        }
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self, context: &'static str) -> Result<i64> {
+        Ok(self.u64(context)? as i64)
+    }
+
+    /// Read a `u64` and convert to `usize`, rejecting values that do
+    /// not fit (or that exceed the remaining buffer when used as a
+    /// length — callers prefix length reads with [`Reader::len`]).
+    pub fn usize(&mut self, context: &'static str) -> Result<usize> {
+        usize::try_from(self.u64(context)?).map_err(|_| StoreError::Corrupt {
+            context: format!("length does not fit in usize in {context}"),
+        })
+    }
+
+    /// Read a length prefix that is about to gate `per_item`-byte reads,
+    /// rejecting lengths the remaining buffer cannot possibly satisfy —
+    /// a flipped byte in a length field must not trigger a huge
+    /// allocation before the truncation is noticed.
+    pub fn len(&mut self, per_item: usize, context: &'static str) -> Result<usize> {
+        let n = self.usize(context)?;
+        if n.saturating_mul(per_item.max(1)) > self.remaining() {
+            return Err(StoreError::Truncated { context });
+        }
+        Ok(n)
+    }
+
+    /// Read an `f64` stored bit-exactly.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self, context: &'static str) -> Result<&'a [u8]> {
+        let n = self.len(1, context)?;
+        self.take(n, context)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> Result<&'a str> {
+        std::str::from_utf8(self.bytes(context)?).map_err(|_| StoreError::Corrupt {
+            context: format!("invalid utf-8 in {context}"),
+        })
+    }
+
+    /// Require that the buffer was fully consumed.
+    pub fn finish(self, context: &'static str) -> Result<()> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt {
+                context: format!("{} trailing bytes after {context}", self.remaining()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.bool(true);
+        w.bool(false);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.f64(-0.1);
+        w.str("hello κόσμος");
+        w.bytes(&[1, 2, 3]);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("t").unwrap(), 7);
+        assert!(r.bool("t").unwrap());
+        assert!(!r.bool("t").unwrap());
+        assert_eq!(r.u16("t").unwrap(), 0xBEEF);
+        assert_eq!(r.u32("t").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("t").unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64("t").unwrap(), -42);
+        assert_eq!(r.f64("t").unwrap().to_bits(), (-0.1f64).to_bits());
+        assert_eq!(r.str("t").unwrap(), "hello κόσμος");
+        assert_eq!(r.bytes("t").unwrap(), &[1, 2, 3]);
+        r.finish("t").unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let buf = [1u8, 2];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.u32("four bytes"),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bogus_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX); // absurd length prefix
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(r.bytes("giant").is_err());
+    }
+
+    #[test]
+    fn invalid_bool_is_corruption() {
+        let buf = [3u8];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.bool("flag"), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut w = Writer::new();
+        w.u8(1);
+        w.u8(2);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        r.u8("t").unwrap();
+        assert!(r.finish("t").is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Durable sessions: the `em-store-v1` on-disk format.
+//!
+//! A `MatchSession` carries everything that makes incremental matching
+//! fast — interned features, blocking scores, probe memos, score-gap
+//! certificates, the carried message store, the previous fixpoint, a
+//! measured shard plan — and all of it dies with the process. This
+//! crate is the persistence layer that lets a session outlive restarts
+//! and move between machines, in the classic log+snapshot recovery
+//! architecture:
+//!
+//! * [`codec`] — a hand-rolled, deterministic binary codec (fixed-width
+//!   little-endian integers, length-prefixed byte strings, bit-exact
+//!   `f64`), with a table-driven CRC-32 for integrity. No serde: the
+//!   build environment is offline and the workspace vendors no
+//!   serialization framework.
+//! * [`snapshot`] — a versioned, checksummed section container
+//!   (`em-store-v1` magic, named sections, per-section CRC) written via
+//!   temp-file + atomic rename.
+//! * [`wal`] — an append-only write-ahead log of length-prefixed,
+//!   CRC-guarded frames with fsync-on-commit and torn-tail truncation
+//!   on open.
+//! * [`codecs`] — encoders/decoders for the domain structures the
+//!   snapshot persists (dataset, feature cache, pair cache, memo and
+//!   certificate banks, message store, evidence epochs, canopy memo,
+//!   shard plan).
+//!
+//! The orchestration layer (`SessionStore` in the umbrella crate) ties
+//! these together: journal-then-apply on update, snapshot + WAL
+//! truncation on checkpoint, snapshot + frame replay on recovery.
+//! Corruption is never silently accepted: every decode path returns a
+//! typed [`StoreError`].
+
+pub mod codec;
+pub mod codecs;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{crc32, Reader, Writer};
+pub use snapshot::{SnapshotReader, SnapshotWriter, FORMAT_VERSION, MAGIC};
+pub use wal::{Wal, WalFrame};
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing the store.
+///
+/// The corruption variants are the honesty contract: a flipped byte, a
+/// truncated section, or a version bump is reported as itself, never
+/// silently absorbed into a half-restored session.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A buffer ended before the value being decoded did.
+    Truncated {
+        /// What was being decoded when the buffer ran out.
+        context: &'static str,
+    },
+    /// A checksum mismatch or structurally invalid encoding.
+    Corrupt {
+        /// Description of the corrupt structure.
+        context: String,
+    },
+    /// The file's format version is not the one this build understands.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The file does not start with the `em-store-v1` magic.
+    BadMagic,
+    /// A snapshot is missing a section the decoder requires.
+    MissingSection {
+        /// Name of the absent section.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "store i/o error: {err}"),
+            StoreError::Truncated { context } => {
+                write!(f, "store data truncated while decoding {context}")
+            }
+            StoreError::Corrupt { context } => write!(f, "store data corrupt: {context}"),
+            StoreError::VersionMismatch { found, expected } => write!(
+                f,
+                "store format version {found} is not the supported version {expected}"
+            ),
+            StoreError::BadMagic => write!(f, "not an em-store file (bad magic)"),
+            StoreError::MissingSection { name } => {
+                write!(f, "snapshot is missing required section {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+/// Shorthand result type for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,254 @@
+//! The versioned snapshot container: `em-store-v1` magic, a format
+//! version, and a catalog of named, CRC-guarded sections.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [magic  "em-store-v1\0"  12 bytes]
+//! [format version          u32]
+//! [section count           u32]
+//! per section:
+//!   [name   length-prefixed UTF-8]
+//!   [crc32  u32   (over the payload)]
+//!   [payload length-prefixed bytes]
+//! ```
+//!
+//! Sections are opaque byte strings to the container; the domain
+//! encoders in [`crate::codecs`] define their contents. Writing goes
+//! through a temp file plus atomic rename so a crash mid-checkpoint
+//! leaves the previous snapshot intact; every section's CRC is verified
+//! on open so a flipped byte surfaces as [`StoreError::Corrupt`], and a
+//! bumped format version as [`StoreError::VersionMismatch`] — never as
+//! a silently half-restored session.
+
+use crate::codec::{crc32, Reader, Writer};
+use crate::{Result, StoreError};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+/// File magic: identifies an em-store snapshot (and doubles as the
+/// format family name).
+pub const MAGIC: &[u8; 12] = b"em-store-v1\0";
+
+/// Format version this build writes and reads. Bump on any layout
+/// change; readers reject other versions outright.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Builder for a snapshot file: accumulate named sections, then write
+/// atomically.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named section. Names must be unique; the reader indexes by
+    /// name.
+    ///
+    /// # Panics
+    /// Panics on a duplicate section name — that is a programming error
+    /// in the encoder, not a recoverable condition.
+    pub fn section(&mut self, name: &str, payload: Vec<u8>) {
+        assert!(
+            self.sections.iter().all(|(n, _)| n != name),
+            "duplicate snapshot section {name:?}"
+        );
+        self.sections.push((name.to_owned(), payload));
+    }
+
+    /// Serialize the container to bytes (magic + version + catalog).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes_raw(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u32(self.sections.len() as u32);
+        for (name, payload) in &self.sections {
+            w.str(name);
+            w.u32(crc32(payload));
+            w.bytes(payload);
+        }
+        w.into_bytes()
+    }
+
+    /// Write the snapshot to `path` via temp file + atomic rename +
+    /// fsync, returning the number of bytes written. A crash at any
+    /// point leaves either the old snapshot or the new one, never a
+    /// torn mix.
+    pub fn write_to(&self, path: &Path) -> Result<u64> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            // Persist the rename itself (directory entry durability).
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(bytes.len() as u64)
+    }
+}
+
+impl Writer {
+    /// Append raw bytes with no length prefix (container internals:
+    /// the fixed-width magic).
+    fn bytes_raw(&mut self, v: &[u8]) {
+        for &b in v {
+            self.u8(b);
+        }
+    }
+}
+
+/// A parsed snapshot: section payloads indexed by name, each CRC
+/// verified at open.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotReader {
+    /// Parse a snapshot from bytes, verifying magic, version, and every
+    /// section CRC.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut r = Reader::new(&bytes[MAGIC.len()..]);
+        let found = r.u32("snapshot version")?;
+        if found != FORMAT_VERSION {
+            return Err(StoreError::VersionMismatch {
+                found,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let count = r.u32("snapshot section count")?;
+        let mut sections = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name = r.str("snapshot section name")?.to_owned();
+            let crc = r.u32("snapshot section crc")?;
+            let payload = r.bytes("snapshot section payload")?;
+            if crc32(payload) != crc {
+                return Err(StoreError::Corrupt {
+                    context: format!("checksum mismatch in snapshot section {name:?}"),
+                });
+            }
+            sections.push((name, payload.to_vec()));
+        }
+        r.finish("snapshot catalog")?;
+        Ok(Self { sections })
+    }
+
+    /// Read and parse a snapshot file.
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Payload of a named section, or [`StoreError::MissingSection`].
+    pub fn section(&self, name: &'static str) -> Result<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+            .ok_or(StoreError::MissingSection { name })
+    }
+
+    /// Whether a named section exists (for optional sections).
+    pub fn has_section(&self, name: &str) -> bool {
+        self.sections.iter().any(|(n, _)| n == name)
+    }
+
+    /// Section names in file order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_sections() {
+        let mut w = SnapshotWriter::new();
+        w.section("alpha", vec![1, 2, 3]);
+        w.section("beta", Vec::new());
+        let r = SnapshotReader::from_bytes(&w.to_bytes()).unwrap();
+        assert_eq!(r.section("alpha").unwrap(), &[1, 2, 3]);
+        assert_eq!(r.section("beta").unwrap(), &[] as &[u8]);
+        assert!(r.has_section("alpha"));
+        assert!(!r.has_section("gamma"));
+        assert!(matches!(
+            r.section("gamma"),
+            Err(StoreError::MissingSection { name: "gamma" })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate snapshot section")]
+    fn duplicate_section_names_panic() {
+        let mut w = SnapshotWriter::new();
+        w.section("alpha", vec![]);
+        w.section("alpha", vec![]);
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_section_crc() {
+        let mut w = SnapshotWriter::new();
+        w.section("alpha", vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut bytes = w.to_bytes();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x40;
+        assert!(matches!(
+            SnapshotReader::from_bytes(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn version_bump_is_rejected() {
+        let w = SnapshotWriter::new();
+        let mut bytes = w.to_bytes();
+        bytes[MAGIC.len()] = FORMAT_VERSION as u8 + 1; // little-endian low byte
+        assert!(matches!(
+            SnapshotReader::from_bytes(&bytes),
+            Err(StoreError::VersionMismatch { found, expected })
+                if found == FORMAT_VERSION + 1 && expected == FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(
+            SnapshotReader::from_bytes(b"not a snapshot at all"),
+            Err(StoreError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn writes_atomically_to_disk() {
+        let dir = std::env::temp_dir().join(format!("em-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.ems");
+        let mut w = SnapshotWriter::new();
+        w.section("alpha", vec![9, 9, 9]);
+        let bytes = w.write_to(&path).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        let r = SnapshotReader::open(&path).unwrap();
+        assert_eq!(r.section("alpha").unwrap(), &[9, 9, 9]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -52,12 +52,14 @@
 //! | [`em_mln`], [`em_rules`] | the paper's MLN and RULES matchers |
 //! | [`em_parallel`] | round-based parallel executor + grid simulator |
 //! | [`em_shard`] | epoch-fenced sharded runtime |
+//! | [`em_store`] | `em-store-v1` codec: versioned snapshots + the CRC-guarded WAL behind [`Pipeline::store`](pipeline::Pipeline::store) |
 
 #![warn(missing_docs)]
 
 pub mod delta;
 pub mod growth;
 pub mod pipeline;
+pub mod store;
 
 pub use delta::{AppliedDelta, ChurnOptions, DatasetDelta, RetractTuple};
 pub use growth::{DatasetGrowth, GrowthEntity, GrowthRef, GrowthTuple};
@@ -65,6 +67,7 @@ pub use pipeline::{
     Backend, BackendReport, FaultKind, FaultPlan, MatchOutcome, MatchSession, MatcherChoice,
     Pipeline, PipelineError, RuntimeOptions, Scheme, SplitPolicy, StageTimings, UpdateReport,
 };
+pub use store::{SessionStore, SessionStoreError};
 
 pub use em_core as core;
 

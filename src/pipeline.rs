@@ -67,8 +67,11 @@ use em_shard::{
 };
 use em_similarity::{FeatureCache, FeatureConfig};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::store::{SessionStore, SessionStoreError, FRAME_DELTA, FRAME_RESET, FRAME_RUN};
 
 pub use em_shard::{FaultKind, FaultPlan, RuntimeOptions, SplitPolicy};
 
@@ -199,6 +202,9 @@ pub enum PipelineError {
     /// dataset (Definition 7: some tuple or candidate pair is contained
     /// in no neighborhood).
     InvalidCover(em_core::Error),
+    /// Creating or recovering the session's durable store
+    /// ([`Pipeline::store`]) failed.
+    Store(Box<SessionStoreError>),
 }
 
 impl fmt::Display for PipelineError {
@@ -225,6 +231,7 @@ impl fmt::Display for PipelineError {
                  dataset does not declare"
             ),
             PipelineError::InvalidCover(e) => write!(f, "provided cover is not total: {e}"),
+            PipelineError::Store(e) => write!(f, "durable session store: {e}"),
         }
     }
 }
@@ -232,11 +239,44 @@ impl fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {}
 
 /// The session's matcher, instantiated at build time.
-enum SessionMatcher {
+pub(crate) enum SessionMatcher {
     Mln(MlnMatcher),
     Rules(RulesMatcher),
     Custom(Arc<dyn Matcher + Send + Sync>),
     CustomProb(Arc<dyn ProbabilisticMatcher + Send + Sync>),
+}
+
+/// Instantiate a [`MatcherChoice`] against a dataset. Shared by
+/// [`Pipeline::build`] and the store's recovery path (a recovered
+/// session re-instantiates its matcher from the builder's configuration
+/// — matchers are pure functions of their model, so nothing about them
+/// needs persisting).
+pub(crate) fn instantiate_matcher(
+    matcher: MatcherChoice,
+    dataset: &Dataset,
+) -> Result<SessionMatcher, PipelineError> {
+    Ok(match matcher {
+        MatcherChoice::MlnExact | MatcherChoice::MlnWalksat => {
+            let coauthor = dataset.relations.relation_id("coauthor").ok_or_else(|| {
+                PipelineError::MissingRelation {
+                    relation: "coauthor".to_owned(),
+                }
+            })?;
+            let model = MlnModel::paper_model(coauthor);
+            SessionMatcher::Mln(match matcher {
+                MatcherChoice::MlnWalksat => MlnMatcher::with_backend(
+                    model,
+                    InferenceBackend::LocalSearch(LocalSearchParams::default()),
+                ),
+                _ => MlnMatcher::new(model),
+            })
+        }
+        MatcherChoice::Rules => {
+            SessionMatcher::Rules(RulesMatcher::new(paper_rules()).with_transitive_closure(true))
+        }
+        MatcherChoice::Custom(m) => SessionMatcher::Custom(m),
+        MatcherChoice::CustomProbabilistic(m) => SessionMatcher::CustomProb(m),
+    })
 }
 
 impl SessionMatcher {
@@ -263,19 +303,20 @@ impl SessionMatcher {
 /// [`Pipeline::build`].
 #[derive(Debug)]
 pub struct Pipeline {
-    dataset: Dataset,
-    blocking: BlockingConfig,
-    cover: Option<Cover>,
-    features: Option<FeatureCache>,
-    matcher: MatcherChoice,
-    scheme: Scheme,
-    backend: Backend,
-    incremental: bool,
-    memo_capacity: usize,
-    certificate_slack: f64,
-    evidence: Evidence,
-    runtime: RuntimeOptions,
-    check_invariants: bool,
+    pub(crate) dataset: Dataset,
+    pub(crate) blocking: BlockingConfig,
+    pub(crate) cover: Option<Cover>,
+    pub(crate) features: Option<FeatureCache>,
+    pub(crate) matcher: MatcherChoice,
+    pub(crate) scheme: Scheme,
+    pub(crate) backend: Backend,
+    pub(crate) incremental: bool,
+    pub(crate) memo_capacity: usize,
+    pub(crate) certificate_slack: f64,
+    pub(crate) evidence: Evidence,
+    pub(crate) runtime: RuntimeOptions,
+    pub(crate) check_invariants: bool,
+    pub(crate) store_dir: Option<PathBuf>,
 }
 
 impl Pipeline {
@@ -297,7 +338,25 @@ impl Pipeline {
             evidence: Evidence::none(),
             runtime: RuntimeOptions::default(),
             check_invariants: false,
+            store_dir: None,
         }
+    }
+
+    /// Make the session durable under `dir`: [`Pipeline::build`] writes
+    /// a versioned snapshot there and journals every subsequent
+    /// [`MatchSession::update`] / [`MatchSession::run`] /
+    /// [`MatchSession::reset_warm`] to an append-only write-ahead log
+    /// *before* applying it (fsync-on-commit), so the session survives
+    /// a crash at any point. If `dir` already holds a session — written
+    /// by this process or another — `build()` **recovers** it instead
+    /// of building fresh: the snapshot is loaded and the WAL tail
+    /// replayed, yielding a session byte-identical to the one that
+    /// wrote it (the builder's dataset and evidence are ignored on that
+    /// path; its configuration must match the original). See
+    /// [`crate::store`].
+    pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
     }
 
     /// Configure the blocking pipeline (canopies → similarity annotation
@@ -420,7 +479,20 @@ impl Pipeline {
     /// validate) blocking, instantiate the matcher, build the
     /// [`DependencyIndex`] and — for the sharded backend — the initial
     /// estimate-based [`ShardPlan`].
-    pub fn build(self) -> Result<MatchSession, PipelineError> {
+    pub fn build(mut self) -> Result<MatchSession, PipelineError> {
+        // Durable sessions: recover if the directory already holds one,
+        // otherwise build fresh and write the initial checkpoint.
+        if let Some(dir) = self.store_dir.take() {
+            if SessionStore::exists(&dir) {
+                return SessionStore::recover(&dir, self)
+                    .map_err(|e| PipelineError::Store(Box::new(e)));
+            }
+            let mut session = self.build()?;
+            let store = SessionStore::create(&dir, &session)
+                .map_err(|e| PipelineError::Store(Box::new(e)))?;
+            session.store = Some(Box::new(store));
+            return Ok(session);
+        }
         let Pipeline {
             mut dataset,
             blocking,
@@ -435,6 +507,7 @@ impl Pipeline {
             evidence,
             mut runtime,
             check_invariants,
+            store_dir: _,
         } = self;
         runtime.check_invariants = check_invariants;
 
@@ -523,28 +596,7 @@ impl Pipeline {
         let blocking_time = block_start.elapsed();
 
         // --- matcher instantiation ---
-        let matcher = match matcher {
-            MatcherChoice::MlnExact | MatcherChoice::MlnWalksat => {
-                let coauthor = dataset.relations.relation_id("coauthor").ok_or_else(|| {
-                    PipelineError::MissingRelation {
-                        relation: "coauthor".to_owned(),
-                    }
-                })?;
-                let model = MlnModel::paper_model(coauthor);
-                SessionMatcher::Mln(match matcher {
-                    MatcherChoice::MlnWalksat => MlnMatcher::with_backend(
-                        model,
-                        InferenceBackend::LocalSearch(LocalSearchParams::default()),
-                    ),
-                    _ => MlnMatcher::new(model),
-                })
-            }
-            MatcherChoice::Rules => SessionMatcher::Rules(
-                RulesMatcher::new(paper_rules()).with_transitive_closure(true),
-            ),
-            MatcherChoice::Custom(m) => SessionMatcher::Custom(m),
-            MatcherChoice::CustomProbabilistic(m) => SessionMatcher::CustomProb(m),
-        };
+        let matcher = instantiate_matcher(matcher, &dataset)?;
 
         // --- long-lived scheduling state ---
         let plan_start = Instant::now();
@@ -594,6 +646,8 @@ impl Pipeline {
             pending_blocking: blocking_time,
             pending_planning: planning_time,
             pending_rollback: RunStats::default(),
+            state_epoch: 0,
+            store: None,
         })
     }
 }
@@ -656,50 +710,60 @@ pub struct MatchOutcome {
 /// [`MatchSession::extend`] to grow the dataset and warm-start the next
 /// one. See the [module docs](self).
 pub struct MatchSession {
-    dataset: Dataset,
-    blocking: BlockingConfig,
-    scheme: Scheme,
-    backend: Backend,
-    mmp_config: MmpConfig,
-    matcher: SessionMatcher,
-    base_evidence: Evidence,
+    pub(crate) dataset: Dataset,
+    pub(crate) blocking: BlockingConfig,
+    pub(crate) scheme: Scheme,
+    pub(crate) backend: Backend,
+    pub(crate) mmp_config: MmpConfig,
+    pub(crate) matcher: SessionMatcher,
+    pub(crate) base_evidence: Evidence,
     /// `Some` iff the session manages its own blocking (built without
     /// [`Pipeline::cover`]); extended incrementally on growth.
-    features: Option<FeatureCache>,
+    pub(crate) features: Option<FeatureCache>,
     /// Pair scores survive re-blocking: pairs scored once are never
     /// re-scored (exact for corpus-independent kernels).
-    scores: PairCache<f64>,
+    pub(crate) scores: PairCache<f64>,
     /// Previous canopy pass, keyed by center, so delta re-blocks replay
     /// canopies the churn cannot have touched.
-    canopy_memo: CanopyMemo,
+    pub(crate) canopy_memo: CanopyMemo,
     /// Caller-supplied candidate annotations (pre-blocking dataset
     /// annotations plus `DatasetDelta::add_links`): churn purges must
     /// never withdraw these.
-    protected_links: FxHashMap<Pair, SimLevel>,
-    cover: Cover,
-    cover_managed: bool,
-    index: DependencyIndex,
-    plan: Option<ShardPlan>,
-    last_shard_report: Option<ShardReport>,
+    pub(crate) protected_links: FxHashMap<Pair, SimLevel>,
+    pub(crate) cover: Cover,
+    pub(crate) cover_managed: bool,
+    pub(crate) index: DependencyIndex,
+    pub(crate) plan: Option<ShardPlan>,
+    pub(crate) last_shard_report: Option<ShardReport>,
     /// Sharded-runtime knobs: fence budget, fault plan, per-fence
     /// invariant checking.
-    runtime: RuntimeOptions,
+    pub(crate) runtime: RuntimeOptions,
     /// Whether session-level invariant sweeps run after `run`/`update`.
-    check_invariants: bool,
+    pub(crate) check_invariants: bool,
     /// The most recent invariant sweep (run- or update-level).
-    last_invariants: Option<InvariantReport>,
+    pub(crate) last_invariants: Option<InvariantReport>,
     /// The previous run's fixpoint — next run's warm start.
-    warm: PairSet,
+    pub(crate) warm: PairSet,
     /// The previous fixpoint's message store and probe-memo bank (see
     /// [`WarmStart`]): what lets a warm run evaluate only the
     /// neighborhoods whose views changed and replay probes elsewhere.
-    warm_state: WarmStart,
-    runs: u32,
-    pending_blocking: Duration,
-    pending_planning: Duration,
+    pub(crate) warm_state: WarmStart,
+    pub(crate) runs: u32,
+    pub(crate) pending_blocking: Duration,
+    pub(crate) pending_planning: Duration,
     /// Rollback accounting of `update` calls since the previous run,
     /// folded into the next run's [`RunStats`].
-    pending_rollback: RunStats,
+    pub(crate) pending_rollback: RunStats,
+    /// Monotone count of state-mutating operations (`update` / `run` /
+    /// `reset_warm`) completed since build. The durable store fences
+    /// its WAL against this: every journaled frame corresponds to
+    /// exactly one epoch tick, so recovery can assert it reproduced the
+    /// same epoch the live session had reached.
+    pub(crate) state_epoch: u64,
+    /// The durable store, when the session was built with
+    /// [`Pipeline::store`]. During recovery replay this is `None`, so
+    /// replayed operations do not re-journal themselves.
+    pub(crate) store: Option<Box<SessionStore>>,
 }
 
 impl MatchSession {
@@ -722,6 +786,92 @@ impl MatchSession {
     /// Number of completed runs.
     pub fn runs(&self) -> u32 {
         self.runs
+    }
+
+    /// Monotone count of state-mutating operations (`update` / `run` /
+    /// `reset_warm`) completed since build. Durable sessions fence
+    /// their WAL against this counter; recovery reproduces it exactly.
+    pub fn state_epoch(&self) -> u64 {
+        self.state_epoch
+    }
+
+    /// The epoch the durable store's *snapshot* covers, or `None` for a
+    /// non-durable session. WAL frames journal everything between this
+    /// epoch and [`MatchSession::state_epoch`]; the two are equal right
+    /// after build, [`MatchSession::checkpoint`], or recovery-plus-
+    /// checkpoint.
+    pub fn last_persisted_epoch(&self) -> Option<u64> {
+        self.store.as_ref().map(|s| s.persisted_epoch())
+    }
+
+    /// The durable store's directory, or `None` for a non-durable
+    /// session.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.dir())
+    }
+
+    /// The attached durable store, for inspection (journaled frame
+    /// count, torn-tail honesty counters), or `None` for a non-durable
+    /// session.
+    pub fn session_store(&self) -> Option<&SessionStore> {
+        self.store.as_deref()
+    }
+
+    /// Checkpoint the durable session: write a fresh snapshot of the
+    /// full session state (temp file + atomic rename) and truncate the
+    /// WAL the snapshot just absorbed. Returns the snapshot's size in
+    /// bytes. Recovery cost is proportional to the WAL tail, so
+    /// checkpoint periodically on long-lived sessions.
+    ///
+    /// # Errors
+    /// [`SessionStoreError::NoStore`] when the session was built
+    /// without [`Pipeline::store`]; I/O failures otherwise.
+    pub fn checkpoint(&mut self) -> Result<u64, SessionStoreError> {
+        let mut store = self.store.take().ok_or(SessionStoreError::NoStore)?;
+        let result = store.checkpoint(self);
+        self.store = Some(store);
+        result
+    }
+
+    /// Journal one WAL frame ahead of the mutation it describes
+    /// (no-op for non-durable sessions — and during recovery replay,
+    /// where the store is deliberately not yet attached). Returns the
+    /// bytes of the defensive checkpoint this triggered (0 normally).
+    ///
+    /// Journaling failure is a panic, not a `Result`: the mutator has
+    /// promised durability and has no way to give the caller back an
+    /// unmutated session once the WAL cannot be written. Callers who
+    /// need typed errors get them from [`MatchSession::checkpoint`] and
+    /// recovery instead.
+    fn journal(&mut self, kind: u8, payload: &[u8]) -> u64 {
+        let Some(mut store) = self.store.take() else {
+            return 0;
+        };
+        let mut snapshot_bytes = 0;
+        // Defense-in-depth fence: every journaled operation ticks the
+        // epoch once, so a mismatch means some mutation slipped past
+        // the journal (a bug, or state surgery through a future
+        // non-journaling surface). Re-snapshot the whole session so the
+        // store is authoritative again, then journal on top of it.
+        if store.expected_epoch() != self.state_epoch {
+            snapshot_bytes = store
+                .checkpoint(self)
+                .unwrap_or_else(|e| panic!("durable session store: re-checkpoint failed: {e}"));
+        }
+        store
+            .append(kind, payload)
+            .unwrap_or_else(|e| panic!("durable session store: WAL append failed: {e}"));
+        self.store = Some(store);
+        snapshot_bytes
+    }
+
+    /// Tick the state epoch at the end of a completed mutation and tell
+    /// the store the journaled frame now covers it.
+    fn commit_epoch(&mut self) {
+        self.state_epoch += 1;
+        if let Some(store) = self.store.as_mut() {
+            store.note_epoch(self.state_epoch);
+        }
     }
 
     /// The sharded backend's current plan, if any.
@@ -768,12 +918,18 @@ impl MatchSession {
     /// canopy memo (earlier versions left the score cache populated,
     /// which made a "reset" session replay blocking scores a truly cold
     /// session would recompute).
+    /// Durable sessions journal the reset itself (a `Reset` WAL frame)
+    /// before clearing anything, so a recovered session replays the
+    /// reset too — post-reset recovery can never resurrect the dropped
+    /// warm state.
     pub fn reset_warm(&mut self) {
+        self.journal(FRAME_RESET, &[]);
         self.warm = PairSet::new();
         self.warm_state = WarmStart::new();
         self.scores.clear();
         self.canopy_memo.clear();
         self.last_shard_report = None;
+        self.commit_epoch();
     }
 
     /// The evidence the next run will be seeded with: the caller's base
@@ -795,6 +951,12 @@ impl MatchSession {
     /// evidence, and — on the sharded backend — a plan rebalanced from
     /// the previous run's **measured** per-neighborhood costs.
     pub fn run(&mut self) -> MatchOutcome {
+        // Durable sessions journal the run marker first: replaying the
+        // frame re-executes this deterministic fixpoint computation, so
+        // the WAL needs no payload beyond the operation itself.
+        let checkpoint_bytes = self.journal(FRAME_RUN, &[]);
+        self.pending_rollback.snapshot_bytes += checkpoint_bytes;
+
         // Measured-cost re-planning: after a sharded run, the report's
         // busy-time trace replaces the estimate in the LPT balancer —
         // but only when the trace covers every neighborhood. A
@@ -846,6 +1008,7 @@ impl MatchSession {
         };
         let run_index = self.runs;
         self.runs += 1;
+        self.commit_epoch();
         MatchOutcome {
             matches: output.matches,
             stats: output.stats,
@@ -1125,6 +1288,10 @@ impl MatchSession {
             "MatchSession::update needs a blocking-managed cover; sessions built with \
              Pipeline::cover(...) own no blocking state to re-run"
         );
+        // Durable sessions journal the delta *before* applying it
+        // (write-ahead): a crash anywhere past this line recovers by
+        // replaying the frame through this same method.
+        let checkpoint_bytes = self.journal(FRAME_DELTA, &delta.wal_encode());
         let perturbs_existing = delta.perturbs_existing();
         let has_retractions = delta.has_retractions();
         let tfidf = self.blocking.kernel == SimilarityKernel::TfIdfCosine;
@@ -1520,6 +1687,8 @@ impl MatchSession {
             report.invariant_violations = sweep.violations.len() as u64;
             self.last_invariants = Some(sweep);
         }
+        report.snapshot_bytes = checkpoint_bytes;
+        self.commit_epoch();
         report
     }
 }
@@ -1591,6 +1760,16 @@ pub struct UpdateReport {
     /// `.incremental(false)`, or the TF-IDF kernel — see
     /// [`MatchSession::update`]).
     pub degraded_to_cold: bool,
+    /// Bytes of the snapshot a defensive store checkpoint wrote during
+    /// this update (0 normally: the update only appends a WAL frame).
+    pub snapshot_bytes: u64,
+    /// WAL frames replayed on behalf of this update — always 0 for a
+    /// live update; kept for schema symmetry with the recovery-side
+    /// [`RunStats`] counters the metrics pipeline emits.
+    pub wal_frames_replayed: u64,
+    /// Wall-clock milliseconds spent in recovery on behalf of this
+    /// update — always 0 for a live update (see `wal_frames_replayed`).
+    pub recovery_ms: u64,
 }
 
 impl fmt::Display for UpdateReport {
@@ -1623,6 +1802,13 @@ impl fmt::Display for UpdateReport {
         }
         if self.degraded_to_cold {
             write!(f, " | degraded to cold")?;
+        }
+        if self.snapshot_bytes > 0 || self.wal_frames_replayed > 0 || self.recovery_ms > 0 {
+            write!(
+                f,
+                " | store: {} snapshot bytes, {} frames replayed, {} ms recovery",
+                self.snapshot_bytes, self.wal_frames_replayed, self.recovery_ms
+            )?;
         }
         Ok(())
     }

@@ -1,0 +1,505 @@
+//! Durable sessions: [`SessionStore`] ties the `em-store` format
+//! (versioned snapshots + a CRC-guarded WAL) to a live
+//! [`MatchSession`].
+//!
+//! A store directory holds exactly two files:
+//!
+//! ```text
+//! <dir>/snapshot.ems   versioned, checksummed section container
+//!                      (em-store-v1): the full session state as of the
+//!                      last checkpoint
+//! <dir>/wal.log        append-only write-ahead log: one frame per
+//!                      state-mutating operation since that checkpoint
+//! ```
+//!
+//! Three WAL frame kinds, one per mutator:
+//!
+//! * [`FRAME_DELTA`] — a [`DatasetDelta`] (`wal_encode` payload),
+//!   journaled by [`MatchSession::update`] *before* the mutation;
+//! * [`FRAME_RUN`] — empty payload, journaled by
+//!   [`MatchSession::run`]: the fixpoint computation is deterministic,
+//!   so the operation itself is the only thing worth journaling;
+//! * [`FRAME_RESET`] — empty payload, journaled by
+//!   [`MatchSession::reset_warm`]: the reset is part of the operation
+//!   history, so post-reset recovery can never resurrect dropped warm
+//!   state.
+//!
+//! Recovery ([`SessionStore::recover`], reached through
+//! [`Pipeline::store`] + [`Pipeline::build`]) loads the snapshot and
+//! replays the WAL tail through the same `update`/`run`/`reset_warm`
+//! methods the live session executed — deterministic re-execution, so
+//! the recovered session is byte-identical to the one that wrote the
+//! log (see [`MatchSession::state_digest`]), in the same process or a
+//! different one. A torn WAL tail (crash mid-append) is truncated and
+//! reported honestly; a flipped byte anywhere is a typed
+//! [`StoreError`], never a silently half-restored session.
+//!
+//! What is *not* persisted, and why: the [`DependencyIndex`] (rebuilt
+//! from dataset + cover, cheaper than storing it), the matcher (a pure
+//! function of the builder's configuration), the last shard report and
+//! pending stage timings (reporting artifacts of the live process),
+//! and the measured-cost content of the [`em_shard::ShardPlan`] is persisted but
+//! excluded from the byte-identity digest — plans are timing-driven
+//! and may legitimately diverge between a live session and its replay,
+//! while the matches they produce are plan-invariant (CI-gated).
+
+use crate::delta::DatasetDelta;
+use crate::pipeline::{instantiate_matcher, MatchSession, Pipeline, PipelineError};
+use em_core::framework::RunStats;
+use em_core::hash::FxHashMap;
+use em_core::{DependencyIndex, Pair, SimLevel};
+use em_store::codecs::{
+    decode_canopy_memo, decode_cover, decode_dataset, decode_evidence, decode_feature_cache,
+    decode_pair_levels, decode_pair_set, decode_score_cache, decode_shard_plan, decode_warm_start,
+    encode_canopy_memo, encode_cover, encode_dataset, encode_evidence, encode_feature_cache,
+    encode_pair_levels, encode_pair_set, encode_score_cache, encode_shard_plan, encode_warm_start,
+};
+use em_store::{crc32, Reader, SnapshotReader, SnapshotWriter, StoreError, Wal, Writer};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.ems";
+/// Write-ahead log file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// WAL frame kind: a journaled [`DatasetDelta`]
+/// ([`DatasetDelta::wal_encode`] payload).
+pub const FRAME_DELTA: u8 = 1;
+/// WAL frame kind: a [`MatchSession::run`] marker (empty payload).
+pub const FRAME_RUN: u8 = 2;
+/// WAL frame kind: a [`MatchSession::reset_warm`] marker (empty
+/// payload).
+pub const FRAME_RESET: u8 = 3;
+
+/// Everything that can go wrong creating, journaling to, or recovering
+/// a durable session.
+#[derive(Debug)]
+pub enum SessionStoreError {
+    /// The underlying store format layer failed (I/O, corruption,
+    /// version mismatch — see [`StoreError`]).
+    Store(StoreError),
+    /// Recovery could not re-assemble the session (e.g. the builder's
+    /// matcher needs a relation the recovered dataset lacks).
+    Pipeline(Box<PipelineError>),
+    /// [`MatchSession::checkpoint`] on a session built without
+    /// [`Pipeline::store`].
+    NoStore,
+}
+
+impl fmt::Display for SessionStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionStoreError::Store(e) => write!(f, "{e}"),
+            SessionStoreError::Pipeline(e) => write!(f, "recovery could not rebuild: {e}"),
+            SessionStoreError::NoStore => {
+                write!(
+                    f,
+                    "session has no durable store (built without Pipeline::store)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionStoreError::Store(e) => Some(e),
+            SessionStoreError::Pipeline(e) => Some(e),
+            SessionStoreError::NoStore => None,
+        }
+    }
+}
+
+impl From<StoreError> for SessionStoreError {
+    fn from(e: StoreError) -> Self {
+        SessionStoreError::Store(e)
+    }
+}
+
+/// The durable store attached to a [`MatchSession`] built with
+/// [`Pipeline::store`]. Owns the open WAL and the epoch bookkeeping;
+/// the session drives it (journal-then-apply on every mutator,
+/// [`MatchSession::checkpoint`] on demand).
+#[derive(Debug)]
+pub struct SessionStore {
+    dir: PathBuf,
+    wal: Wal,
+    /// The session epoch the journaled history covers. Advanced by
+    /// `note_epoch` after each journaled operation completes; a
+    /// mismatch at journal time triggers a defensive re-checkpoint.
+    expected_epoch: u64,
+    /// The session epoch the on-disk snapshot covers.
+    persisted_epoch: u64,
+    last_snapshot_bytes: u64,
+}
+
+impl SessionStore {
+    /// Whether `dir` already holds a durable session (a snapshot file).
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(SNAPSHOT_FILE).is_file()
+    }
+
+    /// Create a fresh store for `session` under `dir`: write the
+    /// initial snapshot and open an empty WAL (any stale log left by a
+    /// snapshot-less crash is discarded — there is no snapshot those
+    /// frames could apply to).
+    pub fn create(dir: &Path, session: &MatchSession) -> Result<Self, SessionStoreError> {
+        std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+        let bytes = capture(session).write_to(&dir.join(SNAPSHOT_FILE))?;
+        let (mut wal, frames) = Wal::open(&dir.join(WAL_FILE))?;
+        if !frames.is_empty() {
+            wal.truncate()?;
+        }
+        Ok(Self {
+            dir: dir.to_owned(),
+            wal,
+            expected_epoch: session.state_epoch,
+            persisted_epoch: session.state_epoch,
+            last_snapshot_bytes: bytes,
+        })
+    }
+
+    /// Recover the session persisted under `dir`: load the snapshot,
+    /// re-assemble the session around `pipeline`'s configuration
+    /// (matcher choice, scheme, backend, blocking config — the
+    /// builder's dataset and evidence are ignored), replay the WAL
+    /// tail, and attach the store so the recovered session keeps
+    /// journaling. The result is byte-identical to the live session
+    /// that wrote the log ([`MatchSession::state_digest`]).
+    ///
+    /// Recovery accounting (snapshot bytes read, frames replayed,
+    /// wall-clock milliseconds) lands on the next run's [`RunStats`].
+    pub fn recover(dir: &Path, pipeline: Pipeline) -> Result<MatchSession, SessionStoreError> {
+        let start = Instant::now();
+        let snap = SnapshotReader::open(&dir.join(SNAPSHOT_FILE))?;
+        let snapshot_bytes = std::fs::metadata(dir.join(SNAPSHOT_FILE))
+            .map_err(StoreError::Io)?
+            .len();
+
+        let mut meta = Reader::new(snap.section("meta")?);
+        let runs = meta.u32("meta runs")?;
+        let snapshot_epoch = meta.u64("meta state epoch")?;
+        let cover_managed = meta.bool("meta cover-managed flag")?;
+        meta.finish("meta section")?;
+
+        let dataset = decode(snap.section("dataset")?, decode_dataset)?;
+        let features = {
+            let mut r = Reader::new(snap.section("features")?);
+            let features = r
+                .bool("feature-cache presence")?
+                .then(|| decode_feature_cache(&mut r))
+                .transpose()?;
+            r.finish("features section")?;
+            features
+        };
+        let scores = decode(snap.section("scores")?, decode_score_cache)?;
+        let canopy_memo = decode(snap.section("canopy")?, decode_canopy_memo)?;
+        let protected_links: FxHashMap<Pair, SimLevel> =
+            decode(snap.section("protected")?, decode_pair_levels)?
+                .into_iter()
+                .collect();
+        let cover = decode(snap.section("cover")?, decode_cover)?;
+        let base_evidence = decode(snap.section("evidence")?, decode_evidence)?;
+        let warm = decode(snap.section("warm")?, decode_pair_set)?;
+        let warm_state = decode(snap.section("warm_state")?, decode_warm_start)?;
+        let plan = {
+            let mut r = Reader::new(snap.section("plan")?);
+            let plan = r
+                .bool("shard-plan presence")?
+                .then(|| decode_shard_plan(&mut r))
+                .transpose()?;
+            r.finish("plan section")?;
+            plan
+        };
+
+        // Re-assemble the live-only state from the builder's
+        // configuration: the matcher (a pure function of its model) and
+        // the dependency index (a pure function of dataset + cover).
+        let Pipeline {
+            dataset: _,
+            blocking,
+            cover: _,
+            features: _,
+            matcher,
+            scheme,
+            backend,
+            incremental,
+            memo_capacity,
+            certificate_slack,
+            evidence: _,
+            mut runtime,
+            check_invariants,
+            store_dir: _,
+        } = pipeline;
+        runtime.check_invariants = check_invariants;
+        let matcher = instantiate_matcher(matcher, &dataset)
+            .map_err(|e| SessionStoreError::Pipeline(Box::new(e)))?;
+        let index = DependencyIndex::build(&dataset, &cover);
+
+        let mut session = MatchSession {
+            dataset,
+            blocking,
+            scheme,
+            backend,
+            mmp_config: em_core::framework::MmpConfig {
+                incremental,
+                memo_capacity,
+                certificate_slack,
+                ..Default::default()
+            },
+            matcher,
+            base_evidence,
+            features,
+            scores,
+            canopy_memo,
+            protected_links,
+            cover,
+            cover_managed,
+            index,
+            plan,
+            last_shard_report: None,
+            runtime,
+            check_invariants,
+            last_invariants: None,
+            warm,
+            warm_state,
+            runs,
+            pending_blocking: Duration::ZERO,
+            pending_planning: Duration::ZERO,
+            pending_rollback: RunStats::default(),
+            state_epoch: snapshot_epoch,
+            // Deliberately unattached during replay: the replayed
+            // operations must not re-journal themselves.
+            store: None,
+        };
+
+        // Replay the tail. Each frame re-executes the original
+        // operation through the same method that journaled it.
+        let (wal, frames) = Wal::open(&dir.join(WAL_FILE))?;
+        let replayed = frames.len() as u64;
+        for (i, frame) in frames.into_iter().enumerate() {
+            match frame.kind {
+                FRAME_DELTA => {
+                    let delta = DatasetDelta::wal_decode(&frame.payload)?;
+                    session.update(&delta);
+                }
+                FRAME_RUN => {
+                    session.run();
+                }
+                FRAME_RESET => session.reset_warm(),
+                kind => {
+                    return Err(StoreError::Corrupt {
+                        context: format!("WAL frame {i} has unknown kind {kind}"),
+                    }
+                    .into())
+                }
+            }
+        }
+        if session.state_epoch != snapshot_epoch + replayed {
+            return Err(StoreError::Corrupt {
+                context: format!(
+                    "replay reached epoch {} but snapshot epoch {} + {} frames expected {}",
+                    session.state_epoch,
+                    snapshot_epoch,
+                    replayed,
+                    snapshot_epoch + replayed
+                ),
+            }
+            .into());
+        }
+
+        // Honest recovery accounting, folded into the next run's stats.
+        session.pending_rollback.snapshot_bytes += snapshot_bytes;
+        session.pending_rollback.wal_frames_replayed += replayed;
+        session.pending_rollback.recovery_ms += start.elapsed().as_millis() as u64;
+
+        session.store = Some(Box::new(Self {
+            dir: dir.to_owned(),
+            expected_epoch: session.state_epoch,
+            persisted_epoch: snapshot_epoch,
+            last_snapshot_bytes: snapshot_bytes,
+            wal,
+        }));
+        Ok(session)
+    }
+
+    /// Checkpoint `session`: write a fresh snapshot (temp file + atomic
+    /// rename — a crash leaves the old snapshot intact) and truncate
+    /// the WAL it absorbed. Returns the snapshot's size in bytes.
+    pub fn checkpoint(&mut self, session: &MatchSession) -> Result<u64, SessionStoreError> {
+        let bytes = capture(session).write_to(&self.dir.join(SNAPSHOT_FILE))?;
+        self.wal.truncate()?;
+        self.expected_epoch = session.state_epoch;
+        self.persisted_epoch = session.state_epoch;
+        self.last_snapshot_bytes = bytes;
+        Ok(bytes)
+    }
+
+    /// Append one frame to the WAL (fsync-on-commit). Returns the bytes
+    /// appended.
+    pub(crate) fn append(&mut self, kind: u8, payload: &[u8]) -> Result<u64, SessionStoreError> {
+        Ok(self.wal.append(kind, payload)?)
+    }
+
+    /// The session epoch the journaled history covers (the fence the
+    /// session checks before journaling).
+    pub(crate) fn expected_epoch(&self) -> u64 {
+        self.expected_epoch
+    }
+
+    /// Advance the fence after a journaled operation completed.
+    pub(crate) fn note_epoch(&mut self, epoch: u64) {
+        self.expected_epoch = epoch;
+    }
+
+    /// The session epoch the on-disk snapshot covers.
+    pub fn persisted_epoch(&self) -> u64 {
+        self.persisted_epoch
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Size in bytes of the last snapshot this handle wrote or read.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.last_snapshot_bytes
+    }
+
+    /// Frames currently in the WAL (journaled since the last
+    /// checkpoint).
+    pub fn wal_frames(&self) -> u64 {
+        self.wal.frame_count()
+    }
+
+    /// Bytes the WAL's open scan cut off a torn tail (0 for a clean
+    /// log) — the honesty counter for crash-interrupted appends.
+    pub fn wal_torn_bytes(&self) -> u64 {
+        self.wal.torn_bytes_truncated()
+    }
+}
+
+/// Decode one whole snapshot section with `f`, requiring it to consume
+/// the section exactly.
+fn decode<T>(
+    bytes: &[u8],
+    f: impl FnOnce(&mut Reader<'_>) -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    let mut r = Reader::new(bytes);
+    let value = f(&mut r)?;
+    r.finish("snapshot section")?;
+    Ok(value)
+}
+
+/// Encode the session's semantic state as named sections: everything
+/// recovery restores *and* the byte-identity digest covers. The
+/// timing-driven shard plan is excluded (see the module docs) and
+/// handled separately by [`capture`].
+fn semantic_sections(session: &MatchSession) -> Vec<(&'static str, Vec<u8>)> {
+    let mut sections = Vec::with_capacity(10);
+
+    let mut w = Writer::new();
+    w.u32(session.runs);
+    w.u64(session.state_epoch);
+    w.bool(session.cover_managed);
+    sections.push(("meta", w.into_bytes()));
+
+    let mut w = Writer::new();
+    encode_dataset(&mut w, &session.dataset);
+    sections.push(("dataset", w.into_bytes()));
+
+    let mut w = Writer::new();
+    match &session.features {
+        Some(features) => {
+            w.bool(true);
+            encode_feature_cache(&mut w, features);
+        }
+        None => w.bool(false),
+    }
+    sections.push(("features", w.into_bytes()));
+
+    let mut w = Writer::new();
+    encode_score_cache(&mut w, &session.scores);
+    sections.push(("scores", w.into_bytes()));
+
+    let mut w = Writer::new();
+    encode_canopy_memo(&mut w, &session.canopy_memo);
+    sections.push(("canopy", w.into_bytes()));
+
+    let mut w = Writer::new();
+    let mut protected: Vec<(Pair, SimLevel)> = session
+        .protected_links
+        .iter()
+        .map(|(&p, &l)| (p, l))
+        .collect();
+    protected.sort_unstable();
+    encode_pair_levels(&mut w, &protected);
+    sections.push(("protected", w.into_bytes()));
+
+    let mut w = Writer::new();
+    encode_cover(&mut w, &session.cover);
+    sections.push(("cover", w.into_bytes()));
+
+    let mut w = Writer::new();
+    encode_evidence(&mut w, &session.base_evidence);
+    sections.push(("evidence", w.into_bytes()));
+
+    let mut w = Writer::new();
+    encode_pair_set(&mut w, &session.warm);
+    sections.push(("warm", w.into_bytes()));
+
+    let mut w = Writer::new();
+    encode_warm_start(&mut w, &session.warm_state);
+    sections.push(("warm_state", w.into_bytes()));
+
+    sections
+}
+
+/// Build the full snapshot for `session`: the semantic sections plus
+/// the shard plan (persisted for cost continuity, excluded from the
+/// digest).
+fn capture(session: &MatchSession) -> SnapshotWriter {
+    let mut snap = SnapshotWriter::new();
+    for (name, bytes) in semantic_sections(session) {
+        snap.section(name, bytes);
+    }
+    let mut w = Writer::new();
+    match &session.plan {
+        Some(plan) => {
+            w.bool(true);
+            encode_shard_plan(&mut w, plan);
+        }
+        None => w.bool(false),
+    }
+    snap.section("plan", w.into_bytes());
+    snap
+}
+
+impl MatchSession {
+    /// A per-section checksum digest of the session's semantic state —
+    /// what "byte-identical recovery" means operationally: a recovered
+    /// session's digest equals the live session's, section for section.
+    ///
+    /// Covers the dataset, features, blocking scores, canopy memo,
+    /// protected links, cover, evidence, warm fixpoint, carried
+    /// warm-start state, and the run/epoch counters. Excludes the
+    /// shard plan (measured-cost replanning is wall-clock-driven, so
+    /// plans may legitimately differ between a live session and its
+    /// replay; the matches they produce are plan-invariant) and
+    /// transient reporting state (pending timings, the last shard
+    /// report).
+    ///
+    /// The format is deliberately debuggable: `name:crc32` pairs, so a
+    /// divergence names the section that diverged.
+    pub fn state_digest(&self) -> String {
+        semantic_sections(self)
+            .iter()
+            .map(|(name, bytes)| format!("{name}:{:08x}", crc32(bytes)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
