@@ -16,7 +16,8 @@
 //!                [--backend exact|walksat|both] [--seed N]
 //!                [--cache on|off|both] [--incremental on|off|both]
 //!                [--shards K] [--warm-start on|off] [--churn on|off]
-//!                [--store DIR|none] [--bench-out PATH|none] [--metrics PATH]
+//!                [--store DIR|none] [--serve on|off]
+//!                [--bench-out PATH|none] [--metrics PATH]
 //!
 //! `--matcher` is accepted as an alias for `--backend`.
 //!
@@ -80,6 +81,18 @@
 //! the binary exits non-zero on divergence, and the four verdicts land
 //! in `store_runs` (CI greps 4× `"recovery_identical": true`).
 //!
+//! `--serve on` runs the serving-daemon ablation: three sessions with
+//! deliberately different traffic shapes (append-only growth, plain
+//! retraction churn, pathological churn) are hosted by one
+//! [`em_serve::Daemon`] — shared change stream, epoch fences,
+//! micro-batch coalescing, freshness-aware scheduling — sequential and
+//! sharded, and each hosted session is verified **byte-identical**
+//! (state digest + match set) against a standalone session replaying
+//! the daemon's op log. The binary exits non-zero on divergence or any
+//! dead-lettered frame; per-session scheduler counters (batches,
+//! coalesced frames, sheds, staleness percentiles) land in
+//! `serve_runs` (CI greps `"serve_identical": true`).
+//!
 //! `--warm-start on` runs the session-growth ablation: a `MatchSession`
 //! over half the dataset, grown to full size with
 //! `MatchSession::extend` and warm-started, against a cold session over
@@ -89,7 +102,9 @@
 //! (CI greps `"warm_start_identical": true`) and the binary exits
 //! non-zero on divergence.
 
-use em::{Backend, DatasetDelta, MatchOutcome, MatcherChoice, Pipeline, Scheme, SplitPolicy};
+use em::{
+    Backend, ChurnOptions, DatasetDelta, MatchOutcome, MatcherChoice, Pipeline, Scheme, SplitPolicy,
+};
 use em_bench::{
     prepare_opts, profile_by_name, ArmRecord, ChurnRecord, Flags, FrameworkReport, MetricsRecord,
     MetricsWriter, SchemeRecord, ShardRunRecord, WalksatChurnRecord, WarmStartRecord, Workload,
@@ -100,6 +115,7 @@ use em_core::{CachedMatcher, Dataset};
 use em_datagen::generate;
 use em_eval::{fmt_duration, fmt_ratio, Table};
 use em_mln::MlnMatcher;
+use em_serve::{run_load, LoadConfig, ServeConfig, SessionTraffic};
 use std::sync::Arc;
 
 /// A session over an already-blocked workload (so per-scheme sessions
@@ -1019,6 +1035,146 @@ fn run_store_ablation(
     ok
 }
 
+/// The `--serve on` ablation: three daemon-hosted sessions (growth,
+/// retraction churn, pathological churn) fed through one change
+/// stream with fences, micro-batching, and the freshness scheduler —
+/// sequential and sharded — then each verified byte-identical against
+/// a standalone replay of its op log. Returns `false` on any
+/// divergence or dead-lettered frame.
+fn run_serve_ablation(
+    name: &str,
+    scale: f64,
+    seed: Option<u64>,
+    shards: usize,
+    report: &mut FrameworkReport,
+    metrics: &mut Option<FileMetrics>,
+) -> bool {
+    let base_seed = seed.unwrap_or(7);
+    let shapes = [
+        ("grow", ChurnOptions::default()),
+        (
+            "churn",
+            ChurnOptions {
+                retract_fraction: 0.1,
+                ..Default::default()
+            },
+        ),
+        (
+            "storm",
+            ChurnOptions {
+                retract_fraction: 0.1,
+                readd_fraction: 0.5,
+                tuple_churn: 0.1,
+                link_churn: 0.1,
+                oversize_growth: 1,
+            },
+        ),
+    ];
+    println!(
+        "\nserve ablation — {name} (scale {scale}): 3 daemon-hosted sessions \
+         (grow / churn / storm), micro-batched change stream, verified against standalone \
+         replay, sequential and sharded-{shards}"
+    );
+    let mut ok = true;
+    for (backend_label, backend) in [
+        ("sequential".to_owned(), Backend::Sequential),
+        (
+            format!("sharded-{shards}"),
+            Backend::Sharded {
+                shards,
+                split_policy: SplitPolicy::Split,
+            },
+        ),
+    ] {
+        let traffic: Vec<SessionTraffic> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (tag, opts))| {
+                let session_seed = base_seed + i as u64;
+                let mut profile = profile_by_name(name).scaled(scale);
+                profile = profile.with_seed(session_seed);
+                let template = generate(&profile).dataset;
+                let n = template.entities.len() as u32;
+                let (initial, deltas) =
+                    DatasetDelta::churn_script_with(&template, n * 3 / 5, 6, session_seed, opts);
+                SessionTraffic {
+                    name: (*tag).to_owned(),
+                    initial,
+                    deltas,
+                }
+            })
+            .collect();
+        let config = LoadConfig {
+            serve: ServeConfig::default(),
+            fence_every: 3,
+            rounds_per_burst: 2,
+            evict_mid_stream: false,
+        };
+        let blocking = BlockingConfig {
+            kernel: SimilarityKernel::AuthorName,
+            ..Default::default()
+        };
+        let make = move |dataset: Dataset| {
+            Pipeline::new(dataset)
+                .blocking(blocking.clone())
+                .matcher(MatcherChoice::MlnExact)
+                .scheme(Scheme::Mmp)
+                .backend(backend)
+                .check_invariants(true)
+        };
+        let outcome = match run_load(traffic, &config, make) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("  serve ablation failed on {backend_label}: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        for s in &outcome.sessions {
+            println!(
+                "  {backend_label:<12} {:<6} {} | batches {} frames {} coalesced {} sheds {} \
+                 budget misses {} | staleness p50 {:.2} ms p99 {:.2} ms | {} matches",
+                s.name,
+                if s.identical {
+                    "byte-identical ✓"
+                } else {
+                    "DIVERGED ✗"
+                },
+                s.batches,
+                s.frames_applied,
+                s.coalesced_frames,
+                s.shed_events,
+                s.budget_misses,
+                s.staleness_p50_ms,
+                s.staleness_p99_ms,
+                s.final_matches,
+            );
+            emit_metric(
+                metrics,
+                &MetricsRecord::from_serve_session(&format!("{name}/serve/{backend_label}"), s),
+            );
+            report.serve_runs.push(em_bench::ServeRunRecord {
+                dataset: name.to_owned(),
+                scale,
+                seed,
+                backend: backend_label.clone(),
+                session: s.name.clone(),
+                batches: s.batches,
+                frames_applied: s.frames_applied,
+                coalesced_frames: s.coalesced_frames,
+                shed_events: s.shed_events,
+                budget_misses: s.budget_misses,
+                staleness_p50_ms: s.staleness_p50_ms,
+                staleness_p99_ms: s.staleness_p99_ms,
+                matches: s.final_matches,
+                serve_identical: s.identical,
+            });
+        }
+        ok &= outcome.sessions_identical && outcome.dead_letters == 0;
+    }
+    ok
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_dataset(
     name: &str,
@@ -1031,6 +1187,7 @@ fn run_dataset(
     warm_start: bool,
     churn: bool,
     store: &str,
+    serve: bool,
     report: &mut FrameworkReport,
     metrics: &mut Option<FileMetrics>,
 ) -> bool {
@@ -1134,6 +1291,12 @@ fn run_dataset(
         // runs regardless of --backend.
         ok &= run_store_ablation(name, scale, seed, shards.max(4), store, report, metrics);
     }
+    if serve {
+        // The serve ablation's identity gate is the exact backend's
+        // (standalone replay must be deterministic), so it runs exact
+        // regardless of --backend.
+        ok &= run_serve_ablation(name, scale, seed, shards.max(4), report, metrics);
+    }
     ok
 }
 
@@ -1161,6 +1324,11 @@ fn main() {
         other => panic!("unknown --churn {other:?}; expected on | off"),
     };
     let store = flags.get_str("store", "none");
+    let serve = match flags.get_str("serve", "off").as_str() {
+        "on" => true,
+        "off" => false,
+        other => panic!("unknown --serve {other:?}; expected on | off"),
+    };
     let bench_out = flags.get_str("bench-out", "BENCH_framework.json");
     let metrics_path = flags.get_str("metrics", "none");
     let seed: Option<u64> = if flags.has("seed") {
@@ -1192,6 +1360,7 @@ fn main() {
             warm_start,
             churn,
             &store,
+            serve,
             report,
             metrics,
         )
@@ -1219,8 +1388,8 @@ fn main() {
     if !ok {
         eprintln!(
             "fig3_runtime: an ablation diverged where identity is guaranteed (exact backend, \
-             certified walksat vs its control on an append-only script, or durable-store \
-             recovery)"
+             certified walksat vs its control on an append-only script, durable-store \
+             recovery, or a daemon-hosted serve session vs its standalone replay)"
         );
         std::process::exit(1);
     }

@@ -19,10 +19,12 @@
 //! | `update` | one `MatchSession::update` | the [`em::UpdateReport`] ledger |
 //! | `shard` | one sharded run | epochs, skew, fault/recovery counters |
 //! | `store` | one durable-store recovery probe | snapshot bytes, frames replayed, recovery wall time, byte-identity verdict |
+//! | `serve` | one daemon-hosted session after a load run | batching/shed/staleness counters + replay-identity verdict |
 //! | anything else | callers | free-form fields via [`MetricsRecord::new`] |
 
 use em::UpdateReport;
 use em_core::framework::RunStats;
+use em_serve::SessionLoadStats;
 use em_shard::ShardReport;
 use std::io::Write;
 
@@ -146,7 +148,11 @@ impl MetricsRecord {
             .push_u64("canopies_recomputed", report.canopies_recomputed)
             .push_u64("invariant_checks", report.invariant_checks)
             .push_u64("invariant_violations", report.invariant_violations)
-            .push_bool("degraded_to_cold", report.degraded_to_cold)
+            .push_bool("degraded_to_cold", report.degraded_to_cold())
+            .push_str(
+                "degrade_reason",
+                report.degraded.map_or("none", |r| r.label()),
+            )
             .push_u64("snapshot_bytes", report.snapshot_bytes)
             .push_u64("wal_frames_replayed", report.wal_frames_replayed)
             .push_u64("recovery_ms", report.recovery_ms)
@@ -192,6 +198,26 @@ impl MetricsRecord {
             .push_u64("stalled_shards", report.stalled_shards)
             .push_u64("shards_recovered", report.shards_recovered)
             .push_u64("late_responses_dropped", report.late_responses_dropped)
+    }
+
+    /// A `serve` line: one daemon-hosted session's serving counters
+    /// and replay-identity verdict after a load run
+    /// ([`em_serve::run_load`]).
+    pub fn from_serve_session(label: &str, stats: &SessionLoadStats) -> Self {
+        Self::new("serve")
+            .push_str("label", label)
+            .push_str("session", &stats.name)
+            .push_bool("serve_identical", stats.identical)
+            .push_u64("batches", stats.batches)
+            .push_u64("frames_applied", stats.frames_applied)
+            .push_u64("coalesced_frames", stats.coalesced_frames)
+            .push_u64("shed_events", stats.shed_events)
+            .push_u64("budget_misses", stats.budget_misses)
+            .push_u64("degraded_to_cold", stats.degraded_to_cold)
+            .push_u64("overload_degrades", stats.overload_degrades)
+            .push_f64("staleness_p50_ms", stats.staleness_p50_ms)
+            .push_f64("staleness_p99_ms", stats.staleness_p99_ms)
+            .push_u64("final_matches", stats.final_matches)
     }
 
     /// Render as one JSON line (no trailing newline). The schema tag
@@ -303,7 +329,7 @@ mod tests {
             entities_added: 4,
             entities_retracted: 2,
             memos_tainted: 5,
-            degraded_to_cold: false,
+            degraded: None,
             ..UpdateReport::default()
         };
         let line = MetricsRecord::from_update_report("soak", 1, &report).render();
@@ -311,6 +337,7 @@ mod tests {
         assert!(line.contains("\"entities_added\": 4"));
         assert!(line.contains("\"memos_tainted\": 5"));
         assert!(line.contains("\"degraded_to_cold\": false"));
+        assert!(line.contains("\"degrade_reason\": \"none\""));
         assert!(line.contains("\"wal_frames_replayed\": 0"));
     }
 

@@ -401,6 +401,41 @@ pub struct StoreRunRecord {
     pub recovery_identical: bool,
 }
 
+/// One daemon-hosted session from the `--serve` ablation: serving
+/// counters plus the replay-identity verdict, per session.
+#[derive(Debug, Clone)]
+pub struct ServeRunRecord {
+    /// Dataset profile name.
+    pub dataset: String,
+    /// Scale factor.
+    pub scale: f64,
+    /// Explicit seed, if any.
+    pub seed: Option<u64>,
+    /// Backend label ("sequential" or "sharded-K").
+    pub backend: String,
+    /// Hosted session name.
+    pub session: String,
+    /// Micro-batches applied.
+    pub batches: u64,
+    /// Delta frames consumed from the stream.
+    pub frames_applied: u64,
+    /// Frames folded away by merge-compatible coalescing.
+    pub coalesced_frames: u64,
+    /// Backpressure shed-to-cold events.
+    pub shed_events: u64,
+    /// Frames serviced past the staleness budget.
+    pub budget_misses: u64,
+    /// Median queue-head age at service, milliseconds.
+    pub staleness_p50_ms: f64,
+    /// 99th-percentile queue-head age at service, milliseconds.
+    pub staleness_p99_ms: f64,
+    /// Final fixpoint size.
+    pub matches: u64,
+    /// Whether the hosted session's state digest and match set equalled
+    /// a standalone replay of its op log (CI greps this).
+    pub serve_identical: bool,
+}
+
 /// The whole report.
 #[derive(Debug, Clone, Default)]
 pub struct FrameworkReport {
@@ -418,6 +453,9 @@ pub struct FrameworkReport {
     /// One entry per matcher × backend when `--store` ran (the durable
     /// session recovery ablation).
     pub store_runs: Vec<StoreRunRecord>,
+    /// One entry per hosted session when `--serve` ran (the serving
+    /// daemon ablation).
+    pub serve_runs: Vec<ServeRunRecord>,
 }
 
 fn esc(s: &str) -> String {
@@ -441,10 +479,10 @@ impl FrameworkReport {
             .unwrap_or(0);
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"bench-framework-v6\",\n");
+        out.push_str("  \"schema\": \"bench-framework-v7\",\n");
         out.push_str(
             "  \"bench\": \"fig3_runtime (--incremental / --shards / --warm-start / --churn / \
-             --store ablations)\",\n",
+             --store / --serve ablations)\",\n",
         );
         out.push_str(&format!("  \"recorded_unix_secs\": {recorded},\n"));
         out.push_str("  \"workloads\": [\n");
@@ -814,6 +852,51 @@ impl FrameworkReport {
                 }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"serve_runs\": [\n");
+        for (si, s) in self.serve_runs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"dataset\": \"{}\",\n", esc(&s.dataset)));
+            out.push_str(&format!("      \"scale\": {},\n", fmt_f64(s.scale)));
+            match s.seed {
+                Some(seed) => out.push_str(&format!("      \"seed\": {seed},\n")),
+                None => out.push_str("      \"seed\": null,\n"),
+            }
+            out.push_str(&format!("      \"backend\": \"{}\",\n", esc(&s.backend)));
+            out.push_str(&format!("      \"session\": \"{}\",\n", esc(&s.session)));
+            out.push_str(&format!("      \"batches\": {},\n", s.batches));
+            out.push_str(&format!(
+                "      \"frames_applied\": {},\n",
+                s.frames_applied
+            ));
+            out.push_str(&format!(
+                "      \"coalesced_frames\": {},\n",
+                s.coalesced_frames
+            ));
+            out.push_str(&format!("      \"shed_events\": {},\n", s.shed_events));
+            out.push_str(&format!("      \"budget_misses\": {},\n", s.budget_misses));
+            out.push_str(&format!(
+                "      \"staleness_p50_ms\": {},\n",
+                fmt_f64(s.staleness_p50_ms)
+            ));
+            out.push_str(&format!(
+                "      \"staleness_p99_ms\": {},\n",
+                fmt_f64(s.staleness_p99_ms)
+            ));
+            out.push_str(&format!("      \"matches\": {},\n", s.matches));
+            out.push_str(&format!(
+                "      \"serve_identical\": {}\n",
+                s.serve_identical
+            ));
+            out.push_str(&format!(
+                "    }}{}\n",
+                if si + 1 < self.serve_runs.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -958,9 +1041,29 @@ mod tests {
                 matches: 120,
                 recovery_identical: true,
             }],
+            serve_runs: vec![ServeRunRecord {
+                dataset: "hepth".into(),
+                scale: 0.02,
+                seed: Some(7),
+                backend: "sequential".into(),
+                session: "grow".into(),
+                batches: 12,
+                frames_applied: 40,
+                coalesced_frames: 17,
+                shed_events: 1,
+                budget_misses: 0,
+                staleness_p50_ms: 0.4,
+                staleness_p99_ms: 2.9,
+                matches: 118,
+                serve_identical: true,
+            }],
         };
         let json = report.render_json();
-        assert!(json.contains("\"schema\": \"bench-framework-v6\""));
+        assert!(json.contains("\"schema\": \"bench-framework-v7\""));
+        assert!(json.contains("\"serve_identical\": true"));
+        assert!(json.contains("\"coalesced_frames\": 17"));
+        assert!(json.contains("\"staleness_p99_ms\": 2.900"));
+        assert!(json.contains("\"shed_events\": 1"));
         assert!(json.contains("\"recovery_identical\": true"));
         assert!(json.contains("\"wal_frames_replayed\": 3"));
         assert!(json.contains("\"frames_after_checkpoint\": 0"));

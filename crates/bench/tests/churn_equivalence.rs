@@ -63,7 +63,7 @@ fn check_churn_equals_cold(seed: u64, retract_pct: u32) {
         for (step, delta) in deltas.iter().enumerate() {
             let report = session.update(delta);
             assert!(
-                !report.degraded_to_cold,
+                !report.degraded_to_cold(),
                 "seed {seed} k {shards} step {step}: exact MMP must roll back, not degrade"
             );
             delta.apply(&mut mirror);

@@ -1,0 +1,435 @@
+//! Micro-batch coalescing: folding queued [`DatasetDelta`]s into fewer,
+//! larger deltas without changing what the session ends up seeing.
+//!
+//! A hosted session's queue holds deltas in arrival order. Applying
+//! each one through [`em::MatchSession::update`] pays per-delta costs
+//! (re-blocking, rollback scoping) that coalescing amortizes — but two
+//! deltas may only be folded together when applying the merged delta
+//! yields the **same dataset** as applying them back to back. The apply
+//! order inside one delta (all retractions, then all additions — see
+//! [`em::DatasetDelta::apply`]) makes that non-trivial: a retraction in
+//! the second delta of something the first delta *added* would reorder
+//! ahead of the addition. [`merge_compatible`] is the conservative gate
+//! (false negatives only cost a smaller batch, never correctness):
+//!
+//! 1. every entity id `next`'s *retractions* target predates the batch
+//!    floor (a merged delta applies retractions first, so it cannot
+//!    retract what it adds), and every [`GrowthRef::Existing`] id in
+//!    `next`'s *additions* is either below the floor or one of `base`'s
+//!    own new entities — fresh ids are assigned in batch order, so
+//!    `Existing(floor + i)` is exactly `base`'s `New(i)` and [`merge`]
+//!    rewrites it to that index (the common producer pattern "the
+//!    entity I just streamed got id X, now link to it" stays
+//!    coalescible);
+//! 2. `next` retracts no entity that `base`'s additions or retractions
+//!    touch (the merged delta would purge it before `base`'s mutations
+//!    see it), and `base` retracts no entity `next`'s additions
+//!    reference;
+//! 3. `next` retracts no tuple or candidate link that `base` adds
+//!    between pre-existing entities (retract-before-add would invert
+//!    the net effect).
+//!
+//! [`merge`] rebases `next`'s [`GrowthRef::New`] indices past `base`'s
+//! additions, so fresh ids are assigned in exactly the order the
+//! sequential applies would have assigned them (ids are never reused,
+//! so the id streams coincide).
+
+use em::{DatasetDelta, GrowthRef};
+use em_core::EntityId;
+use std::collections::HashSet;
+
+fn existing_id(r: &GrowthRef) -> Option<EntityId> {
+    match r {
+        GrowthRef::Existing(id) => Some(*id),
+        GrowthRef::New(_) => None,
+    }
+}
+
+/// Every pre-existing entity id a delta references in *additions*
+/// (tuple and link endpoints).
+fn existing_add_refs(delta: &DatasetDelta) -> impl Iterator<Item = EntityId> + '_ {
+    delta
+        .add_tuples
+        .iter()
+        .flat_map(|t| [existing_id(&t.a), existing_id(&t.b)])
+        .chain(
+            delta
+                .add_links
+                .iter()
+                .flat_map(|(a, b, _)| [existing_id(a), existing_id(b)]),
+        )
+        .flatten()
+}
+
+/// Every entity id a delta's *retractions* name (entities, tuple
+/// endpoints, link endpoints).
+fn retract_refs(delta: &DatasetDelta) -> impl Iterator<Item = EntityId> + '_ {
+    delta
+        .retract_entities
+        .iter()
+        .copied()
+        .chain(delta.retract_tuples.iter().flat_map(|t| [t.a, t.b]))
+        .chain(delta.retract_links.iter().flat_map(|p| p.endpoints()))
+}
+
+/// Whether `next` may be folded into `base` given that the merged delta
+/// will be applied to a dataset whose entity-id space ends at `floor`
+/// (see the [module docs](self) for the three conditions).
+pub fn merge_compatible(base: &DatasetDelta, next: &DatasetDelta, floor: u32) -> bool {
+    // (1) retractions only target ids that exist at batch start;
+    // addition refs may also name `base`'s own new entities (rewritten
+    // to `New` indices by `merge`).
+    let add_ceiling = floor + base.add_entities.len() as u32;
+    if !existing_add_refs(next).all(|id| id.0 < add_ceiling)
+        || !retract_refs(next).all(|id| id.0 < floor)
+    {
+        return false;
+    }
+
+    // (2) entity-level interference between the two deltas.
+    let base_retracts: HashSet<EntityId> = base.retract_entities.iter().copied().collect();
+    if existing_add_refs(next).any(|id| base_retracts.contains(&id)) {
+        return false;
+    }
+    let base_touches: HashSet<EntityId> =
+        existing_add_refs(base).chain(retract_refs(base)).collect();
+    if next
+        .retract_entities
+        .iter()
+        .any(|id| base_touches.contains(id))
+    {
+        return false;
+    }
+
+    // (3) `next` must not retract a tuple or link `base` adds between
+    // pre-existing entities.
+    let base_added_tuples: HashSet<(&str, EntityId, EntityId)> = base
+        .add_tuples
+        .iter()
+        .filter_map(|t| {
+            let (a, b) = (existing_id(&t.a)?, existing_id(&t.b)?);
+            Some((t.relation.as_str(), a.min(b), a.max(b)))
+        })
+        .collect();
+    if next
+        .retract_tuples
+        .iter()
+        .any(|t| base_added_tuples.contains(&(t.relation.as_str(), t.a.min(t.b), t.a.max(t.b))))
+    {
+        return false;
+    }
+    let base_added_links: HashSet<(EntityId, EntityId)> = base
+        .add_links
+        .iter()
+        .filter_map(|(a, b, _)| {
+            let (a, b) = (existing_id(a)?, existing_id(b)?);
+            Some((a.min(b), a.max(b)))
+        })
+        .collect();
+    !next
+        .retract_links
+        .iter()
+        .any(|p| base_added_links.contains(&(p.lo(), p.hi())))
+}
+
+/// Fold `next` into `base` (caller must have checked
+/// [`merge_compatible`] with the same `floor`): vocabulary lists are
+/// unioned, `next`'s [`GrowthRef::New`] indices are rebased past
+/// `base`'s additions, `next`'s [`GrowthRef::Existing`] references to
+/// entities `base` creates are rewritten to `base`'s `New` indices,
+/// and all mutation lists concatenate in order.
+pub fn merge(base: &mut DatasetDelta, next: &DatasetDelta, floor: u32) {
+    for ty in &next.types {
+        if !base.types.contains(ty) {
+            base.types.push(ty.clone());
+        }
+    }
+    for attr in &next.attrs {
+        if !base.attrs.contains(attr) {
+            base.attrs.push(attr.clone());
+        }
+    }
+    for rel in &next.relations {
+        if !base.relations.iter().any(|(name, _)| name == &rel.0) {
+            base.relations.push(rel.clone());
+        }
+    }
+
+    let by = base.add_entities.len();
+    let rebase = |r: &GrowthRef| match *r {
+        // An id `base` assigned: fresh ids land in batch order, so
+        // `floor + i` is `base`'s i-th new entity.
+        GrowthRef::Existing(id) if id.0 >= floor => GrowthRef::New((id.0 - floor) as usize),
+        GrowthRef::Existing(id) => GrowthRef::Existing(id),
+        GrowthRef::New(i) => GrowthRef::New(i + by),
+    };
+    base.add_entities.extend(next.add_entities.iter().cloned());
+    base.add_tuples.extend(next.add_tuples.iter().map(|t| {
+        let mut t = t.clone();
+        t.a = rebase(&t.a);
+        t.b = rebase(&t.b);
+        t
+    }));
+    base.add_links.extend(
+        next.add_links
+            .iter()
+            .map(|(a, b, level)| (rebase(a), rebase(b), *level)),
+    );
+    base.retract_entities
+        .extend(next.retract_entities.iter().copied());
+    base.retract_tuples
+        .extend(next.retract_tuples.iter().cloned());
+    base.retract_links
+        .extend(next.retract_links.iter().copied());
+}
+
+/// Greedily coalesce a batch of deltas: each frame folds into the
+/// current group when [`merge_compatible`] allows it, otherwise starts
+/// a new group. `floor` is the dataset's entity-id-space size
+/// ([`em_core::EntityStore::len`]) when the batch starts; it advances
+/// past each flushed group's additions because those ids are assigned
+/// before the next group applies.
+///
+/// The output applied sequentially yields the same dataset as the input
+/// applied sequentially; `input.len() - output.len()` frames were
+/// coalesced away.
+pub fn coalesce(frames: Vec<DatasetDelta>, floor: u32) -> Vec<DatasetDelta> {
+    let mut out: Vec<DatasetDelta> = Vec::new();
+    let mut bound = floor;
+    for frame in frames {
+        match out.last_mut() {
+            Some(group) if merge_compatible(group, &frame, bound) => merge(group, &frame, bound),
+            _ => {
+                if let Some(done) = out.last() {
+                    bound += done.add_entities.len() as u32;
+                }
+                out.push(frame);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{Dataset, Pair, SimLevel};
+
+    /// A small base dataset plus a helper for comparing apply outcomes.
+    fn base_dataset() -> Dataset {
+        let mut seed = DatasetDelta::new();
+        let ids: Vec<GrowthRef> = (0..6)
+            .map(|i| seed.add_entity("paper", &[("title", &format!("t{i}"))]))
+            .collect();
+        for w in ids.windows(2) {
+            seed.add_tuple("cites", false, w[0], w[1]);
+        }
+        seed.add_link(ids[0], ids[2], SimLevel(1));
+        seed.add_link(ids[1], ids[3], SimLevel(2));
+        let mut dataset = Dataset::new();
+        seed.apply(&mut dataset);
+        dataset
+    }
+
+    fn fingerprint(dataset: &Dataset) -> (usize, usize, Vec<(Pair, SimLevel)>) {
+        let mut pairs: Vec<_> = dataset.candidate_pairs().collect();
+        pairs.sort();
+        (dataset.entities.len(), dataset.entities.live_count(), pairs)
+    }
+
+    fn assert_equivalent(frames: Vec<DatasetDelta>) {
+        let mut sequential = base_dataset();
+        for f in &frames {
+            f.apply(&mut sequential);
+        }
+        let mut merged = base_dataset();
+        let floor = merged.entities.len() as u32;
+        let groups = coalesce(frames, floor);
+        for g in &groups {
+            g.apply(&mut merged);
+        }
+        assert_eq!(fingerprint(&sequential), fingerprint(&merged));
+    }
+
+    #[test]
+    fn disjoint_growth_coalesces_into_one_group() {
+        let mut a = DatasetDelta::new();
+        let n = a.add_entity("paper", &[("title", "new-a")]);
+        a.add_link(GrowthRef::Existing(EntityId(0)), n, SimLevel(1));
+        let mut b = DatasetDelta::new();
+        let n = b.add_entity("paper", &[("title", "new-b")]);
+        b.add_link(GrowthRef::Existing(EntityId(4)), n, SimLevel(2));
+        b.add_tuple("cites", false, n, GrowthRef::Existing(EntityId(5)));
+
+        let groups = coalesce(vec![a.clone(), b.clone()], 6);
+        assert_eq!(groups.len(), 1, "compatible deltas fold into one");
+        assert_eq!(groups[0].add_entities.len(), 2);
+        assert_equivalent(vec![a, b]);
+    }
+
+    #[test]
+    fn reference_to_a_just_added_entity_rewrites_and_merges() {
+        let mut a = DatasetDelta::new();
+        a.add_entity("paper", &[("title", "fresh")]);
+        // The producer saw the fresh entity get id 6 and linked to it:
+        // inside the merged batch that id becomes base's New(0).
+        let mut b = DatasetDelta::new();
+        b.add_link(
+            GrowthRef::Existing(EntityId(6)),
+            GrowthRef::Existing(EntityId(0)),
+            SimLevel(1),
+        );
+        let groups = coalesce(vec![a.clone(), b.clone()], 6);
+        assert_eq!(groups.len(), 1, "forward references rewrite to New");
+        assert!(matches!(
+            groups[0].add_links[0],
+            (GrowthRef::New(0), GrowthRef::Existing(EntityId(0)), _)
+        ));
+        assert_equivalent(vec![a.clone(), b]);
+
+        // Retracting the just-added entity cannot be expressed in one
+        // delta (retractions apply first), so that still splits.
+        let mut c = DatasetDelta::new();
+        c.retract_entity(EntityId(6));
+        assert!(!merge_compatible(&a, &c, 6));
+        assert_eq!(coalesce(vec![a.clone(), c.clone()], 6).len(), 2);
+    }
+
+    #[test]
+    fn retract_after_touch_splits_retract_before_touch_merges() {
+        // base adds a link incident to entity 3; next retracts entity 3:
+        // merged apply would purge 3 before the link lands.
+        let mut a = DatasetDelta::new();
+        a.add_link(
+            GrowthRef::Existing(EntityId(3)),
+            GrowthRef::Existing(EntityId(5)),
+            SimLevel(1),
+        );
+        let mut b = DatasetDelta::new();
+        b.retract_entity(EntityId(3));
+        assert!(!merge_compatible(&a, &b, 6));
+        assert_eq!(coalesce(vec![a.clone(), b.clone()], 6).len(), 2);
+        assert_equivalent(vec![a, b]);
+
+        // The other order interferes too (base retracts what next cites).
+        let mut c = DatasetDelta::new();
+        c.retract_entity(EntityId(3));
+        let mut d = DatasetDelta::new();
+        d.add_link(
+            GrowthRef::Existing(EntityId(3)),
+            GrowthRef::Existing(EntityId(5)),
+            SimLevel(1),
+        );
+        assert!(!merge_compatible(&c, &d, 6));
+
+        // But retractions of *untouched* entities coalesce freely.
+        let mut e = DatasetDelta::new();
+        e.add_link(
+            GrowthRef::Existing(EntityId(0)),
+            GrowthRef::Existing(EntityId(4)),
+            SimLevel(1),
+        );
+        let mut f = DatasetDelta::new();
+        f.retract_entity(EntityId(2));
+        assert!(merge_compatible(&e, &f, 6));
+        assert_equivalent(vec![e, f]);
+    }
+
+    #[test]
+    fn retracting_a_link_the_group_added_splits() {
+        let mut a = DatasetDelta::new();
+        a.add_link(
+            GrowthRef::Existing(EntityId(0)),
+            GrowthRef::Existing(EntityId(5)),
+            SimLevel(2),
+        );
+        let mut b = DatasetDelta::new();
+        b.retract_link(Pair::new(EntityId(0), EntityId(5)));
+        assert!(!merge_compatible(&a, &b, 6));
+        assert_equivalent(vec![a, b]);
+    }
+
+    #[test]
+    fn new_ref_rebasing_matches_sequential_id_assignment() {
+        let mut a = DatasetDelta::new();
+        let x = a.add_entity("paper", &[("title", "x")]);
+        a.add_link(GrowthRef::Existing(EntityId(1)), x, SimLevel(1));
+        let mut b = DatasetDelta::new();
+        let y = b.add_entity("paper", &[("title", "y")]);
+        let z = b.add_entity("paper", &[("title", "z")]);
+        b.add_link(y, z, SimLevel(3));
+        b.add_tuple("cites", false, y, GrowthRef::Existing(EntityId(2)));
+
+        let groups = coalesce(vec![a.clone(), b.clone()], 6);
+        assert_eq!(groups.len(), 1);
+        // Merged New indices: x=0, y=1, z=2.
+        assert!(matches!(
+            groups[0].add_links[1],
+            (GrowthRef::New(1), GrowthRef::New(2), _)
+        ));
+        assert_equivalent(vec![a, b]);
+    }
+
+    /// Coalesce `deltas` over `initial` and assert the merged apply
+    /// lands on the same dataset as the sequential apply; returns the
+    /// group count.
+    fn coalesced_groups_equivalent(initial: &Dataset, deltas: &[DatasetDelta]) -> usize {
+        let mut sequential = initial.clone();
+        for d in deltas {
+            d.apply(&mut sequential);
+        }
+        let mut merged = initial.clone();
+        let groups = coalesce(deltas.to_vec(), merged.entities.len() as u32);
+        for g in &groups {
+            g.apply(&mut merged);
+        }
+        let mut seq_pairs: Vec<_> = sequential.candidate_pairs().collect();
+        let mut merged_pairs: Vec<_> = merged.candidate_pairs().collect();
+        seq_pairs.sort();
+        merged_pairs.sort();
+        assert_eq!(sequential.entities.len(), merged.entities.len());
+        assert_eq!(
+            sequential.entities.live_count(),
+            merged.entities.live_count()
+        );
+        assert_eq!(seq_pairs, merged_pairs);
+        groups.len()
+    }
+
+    #[test]
+    fn churn_scripts_coalesce_equivalently() {
+        use em::ChurnOptions;
+        use em_datagen::{generate, DatasetProfile};
+        let template = generate(&DatasetProfile::hepth().scaled(0.005).with_seed(11)).dataset;
+        let n = template.entities.len() as u32;
+
+        // Pure growth (carve) traffic: forward references rewrite, so
+        // the whole script folds into very few updates.
+        let (initial, deltas) =
+            DatasetDelta::churn_script_with(&template, n * 3 / 5, 8, 7, &ChurnOptions::default());
+        let groups = coalesced_groups_equivalent(&initial, &deltas);
+        assert!(
+            groups < deltas.len(),
+            "growth traffic should coalesce ({} -> {groups})",
+            deltas.len()
+        );
+
+        // Pathological churn: retractions collide with the previous
+        // step's footprint, so the conservative gate splits most pairs
+        // — equivalence must hold for however much does merge.
+        let (initial, deltas) = DatasetDelta::churn_script_with(
+            &template,
+            n * 3 / 5,
+            8,
+            7,
+            &ChurnOptions {
+                retract_fraction: 0.05,
+                readd_fraction: 0.2,
+                tuple_churn: 0.05,
+                link_churn: 0.05,
+                oversize_growth: 1,
+            },
+        );
+        coalesced_groups_equivalent(&initial, &deltas);
+    }
+}

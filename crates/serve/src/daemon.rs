@@ -1,0 +1,561 @@
+//! The serving daemon: N named sessions, one change stream, one apply
+//! loop.
+//!
+//! A [`Daemon`] owns a set of [admitted](Daemon::admit) sessions — each
+//! an [`em::MatchSession`] built from a caller-supplied [`em::Pipeline`]
+//! factory, optionally durable under `store_root/<name>` — and a
+//! [`ChangeSource`] of session-addressed [`StreamFrame`]s. The loop is
+//! two alternating verbs:
+//!
+//! * [`Daemon::pump`] drains the source into per-session FIFO queues
+//!   (a [`StreamFrame::Fence`] enqueues a batch boundary on *every*
+//!   queue; frames for unknown sessions count as dead letters, never
+//!   silently vanish);
+//! * [`Daemon::step`] asks the [freshness scheduler](crate::sched)
+//!   which backlog to service, [coalesces](crate::batch) that queue's
+//!   frames up to the next fence (or the configured batch cap) into as
+//!   few deltas as merge-compatibility allows, applies them through
+//!   [`em::MatchSession::update`], and re-runs the fixpoint once.
+//!
+//! Between steps, [`Daemon::matches`] and [`Daemon::status`] serve the
+//! last fixpoint — queries never block on ingestion and never observe a
+//! half-applied batch.
+//!
+//! **Backpressure.** A queue deeper than [`ServeConfig::max_pending`]
+//! means churn is outrunning incremental apply. The daemon then *sheds
+//! to cold* rather than stalling the fleet: the entire backlog is
+//! collapsed into maximally coalesced deltas (fences ignored — the
+//! overload forfeits batch-boundary granularity), applied without
+//! intermediate fixpoints, and followed by one
+//! [`em::MatchSession::reset_warm`] + cold run. No frame is ever
+//! dropped; the event is counted in [`SessionStats::shed_events`] and
+//! the cold run in the degrade counters, so overload is always visible
+//! in metrics.
+//!
+//! **Replay identity.** Every state-mutating operation the daemon
+//! performs on a session is recorded in an [`Op`] log.
+//! [`Daemon::replay_standalone`] rebuilds the same pipeline without a
+//! store and replays that log, which must land on the same
+//! [`em::MatchSession::state_digest`] — the CI gate that daemon
+//! plumbing (queueing, coalescing, shedding, evict/recover) never
+//! changes what a session computes.
+
+use crate::batch::coalesce;
+use crate::sched::{pick_next, update_cost_ema, SessionView};
+use crate::source::ChangeSource;
+use crate::wire::StreamFrame;
+use em::{DatasetDelta, MatchSession, Pipeline, PipelineError, SessionStatus};
+use em_core::PairSet;
+use em_store::StoreError;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Most delta frames one [`Daemon::step`] batch may span (fences
+    /// cut batches shorter).
+    pub max_batch_frames: usize,
+    /// Queue depth (delta frames) beyond which a session sheds to cold
+    /// instead of batching incrementally.
+    pub max_pending: usize,
+    /// Staleness SLO: a frame older than this when serviced counts as
+    /// a budget miss.
+    pub staleness_budget_ms: f64,
+    /// When set, every admitted session is durable under
+    /// `store_root/<name>` and may be [evicted](Daemon::evict) and
+    /// revived.
+    pub store_root: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_frames: 8,
+            max_pending: 64,
+            staleness_budget_ms: 1_000.0,
+            store_root: None,
+        }
+    }
+}
+
+/// Errors from daemon admission, scheduling, and recovery.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Building (or recovering) a session failed.
+    Pipeline(PipelineError),
+    /// The change source reported corruption.
+    Source(StoreError),
+    /// A named session is not admitted.
+    UnknownSession(String),
+    /// The operation needs a durable session but no
+    /// [`ServeConfig::store_root`] is set.
+    NotDurable(String),
+    /// The session is currently evicted and the operation cannot
+    /// revive it.
+    Evicted(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Pipeline(e) => write!(f, "session build failed: {e}"),
+            ServeError::Source(e) => write!(f, "change source failed: {e}"),
+            ServeError::UnknownSession(name) => write!(f, "unknown session {name:?}"),
+            ServeError::NotDurable(name) => {
+                write!(f, "session {name:?} has no durable store (set store_root)")
+            }
+            ServeError::Evicted(name) => write!(f, "session {name:?} is evicted"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Source(e)
+    }
+}
+
+/// One state-mutating operation the daemon performed on a session, in
+/// order — the replay-identity log (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Applied one (possibly coalesced) delta (boxed: a delta is by
+    /// far the largest variant payload).
+    Update(Box<DatasetDelta>),
+    /// Dropped warm state on the shed-to-cold path.
+    ResetWarm,
+    /// Re-ran the fixpoint.
+    Run,
+}
+
+/// Per-session counters and staleness samples, exposed via
+/// [`Daemon::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Micro-batches applied (shed batches included).
+    pub batches: u64,
+    /// Delta frames consumed from the queue.
+    pub frames_applied: u64,
+    /// Frames folded into a predecessor by coalescing (consumed minus
+    /// `update()` calls).
+    pub coalesced_frames: u64,
+    /// Times the session shed to cold under backpressure.
+    pub shed_events: u64,
+    /// Frames serviced later than [`ServeConfig::staleness_budget_ms`].
+    pub budget_misses: u64,
+    /// Updates that degraded to a cold recompute, for any reason.
+    pub degraded_to_cold: u64,
+    /// The subset of degrades caused by overload
+    /// ([`em::DegradeReason::is_overload`]).
+    pub overload_degrades: u64,
+    /// Queue-head age at each service, in milliseconds.
+    pub staleness_samples_ms: Vec<f64>,
+}
+
+enum Queued {
+    Delta {
+        delta: Box<DatasetDelta>,
+        enqueued: Instant,
+    },
+    Fence,
+}
+
+struct HostedSession {
+    factory: Box<dyn Fn() -> Pipeline>,
+    /// `None` while evicted (durable sessions only).
+    session: Option<MatchSession>,
+    store_dir: Option<PathBuf>,
+    queue: VecDeque<Queued>,
+    cost_ema_ms: f64,
+    stats: SessionStats,
+    op_log: Vec<Op>,
+}
+
+impl HostedSession {
+    fn pending(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|q| matches!(q, Queued::Delta { .. }))
+            .count()
+    }
+
+    fn oldest_age_ms(&self, now: Instant) -> f64 {
+        self.queue
+            .iter()
+            .find_map(|q| match q {
+                Queued::Delta { enqueued, .. } => {
+                    Some(now.duration_since(*enqueued).as_secs_f64() * 1_000.0)
+                }
+                Queued::Fence => None,
+            })
+            .unwrap_or(0.0)
+    }
+}
+
+/// What one [`Daemon::step`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// The session serviced.
+    pub session: String,
+    /// Delta frames consumed from its queue.
+    pub frames: usize,
+    /// `update()` calls after coalescing.
+    pub updates: usize,
+    /// Whether this step was a backpressure shed.
+    pub shed: bool,
+}
+
+/// What one [`Daemon::pump`] ingested.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Delta frames routed to session queues.
+    pub deltas: u64,
+    /// Fences broadcast to every queue.
+    pub fences: u64,
+    /// Frames addressed to unknown sessions (counted, not delivered).
+    pub dead_letters: u64,
+}
+
+/// The serving daemon. See the [module docs](self).
+pub struct Daemon<S: ChangeSource> {
+    config: ServeConfig,
+    source: S,
+    sessions: BTreeMap<String, HostedSession>,
+    dead_letters: u64,
+}
+
+impl<S: ChangeSource> Daemon<S> {
+    /// A daemon over `source` with the given tuning.
+    pub fn new(source: S, config: ServeConfig) -> Self {
+        Self {
+            config,
+            source,
+            sessions: BTreeMap::new(),
+            dead_letters: 0,
+        }
+    }
+
+    /// Admit a named session. `factory` must build the session's
+    /// [`Pipeline`] from scratch (same configuration every call); the
+    /// daemon appends the durable store when
+    /// [`ServeConfig::store_root`] is set, so the factory itself must
+    /// **not** call [`Pipeline::store`]. The session is built (or
+    /// recovered, when its store directory already exists) immediately,
+    /// and a freshly built session runs its first fixpoint so queries
+    /// have something to serve before any stream traffic arrives.
+    ///
+    /// The replay-identity contract ([`Daemon::replay_standalone`])
+    /// covers sessions admitted *fresh*: a session recovered from a
+    /// previous daemon's store carries history this daemon's [`Op`] log
+    /// does not.
+    pub fn admit(
+        &mut self,
+        name: &str,
+        factory: impl Fn() -> Pipeline + 'static,
+    ) -> Result<(), ServeError> {
+        let store_dir = self.config.store_root.as_ref().map(|root| root.join(name));
+        let mut pipeline = factory();
+        if let Some(dir) = &store_dir {
+            pipeline = pipeline.store(dir);
+        }
+        let mut session = pipeline.build()?;
+        let mut op_log = Vec::new();
+        if session.runs() == 0 {
+            session.run();
+            op_log.push(Op::Run);
+        }
+        self.sessions.insert(
+            name.to_owned(),
+            HostedSession {
+                factory: Box::new(factory),
+                session: Some(session),
+                store_dir,
+                queue: VecDeque::new(),
+                cost_ema_ms: 0.0,
+                stats: SessionStats::default(),
+                op_log,
+            },
+        );
+        Ok(())
+    }
+
+    /// Checkpoint a durable session and drop its in-memory state. Its
+    /// queue keeps accumulating; the next [`Daemon::step`] that
+    /// schedules it (or a direct query via [`Daemon::status`] /
+    /// [`Daemon::matches`] — which report `None` while evicted)
+    /// revives it from the store.
+    pub fn evict(&mut self, name: &str) -> Result<(), ServeError> {
+        let hosted = self
+            .sessions
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
+        if hosted.store_dir.is_none() {
+            return Err(ServeError::NotDurable(name.to_owned()));
+        }
+        if let Some(mut session) = hosted.session.take() {
+            session
+                .checkpoint()
+                .map_err(|e| ServeError::Pipeline(PipelineError::Store(Box::new(e))))?;
+        }
+        Ok(())
+    }
+
+    /// Whether the named session is currently evicted.
+    pub fn is_evicted(&self, name: &str) -> bool {
+        self.sessions.get(name).is_some_and(|h| h.session.is_none())
+    }
+
+    fn revive(hosted: &mut HostedSession) -> Result<(), ServeError> {
+        if hosted.session.is_none() {
+            let dir = hosted
+                .store_dir
+                .clone()
+                .expect("only durable sessions are ever evicted");
+            hosted.session = Some((hosted.factory)().store(dir).build()?);
+        }
+        Ok(())
+    }
+
+    /// Drain the change source into the session queues.
+    pub fn pump(&mut self) -> Result<PumpReport, ServeError> {
+        let mut report = PumpReport::default();
+        for frame in self.source.poll()? {
+            match frame {
+                StreamFrame::Delta { session, delta } => {
+                    if let Some(hosted) = self.sessions.get_mut(&session) {
+                        hosted.queue.push_back(Queued::Delta {
+                            delta,
+                            enqueued: Instant::now(),
+                        });
+                        report.deltas += 1;
+                    } else {
+                        self.dead_letters += 1;
+                        report.dead_letters += 1;
+                    }
+                }
+                StreamFrame::Fence(_) => {
+                    for hosted in self.sessions.values_mut() {
+                        // A fence only matters where a batch could
+                        // otherwise span it.
+                        if !hosted.queue.is_empty() {
+                            hosted.queue.push_back(Queued::Fence);
+                        }
+                    }
+                    report.fences += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Service the most pressing backlog, if any: one scheduler pick,
+    /// one coalesced micro-batch (or one shed), one fixpoint.
+    pub fn step(&mut self) -> Result<Option<StepReport>, ServeError> {
+        let now = Instant::now();
+        let views: Vec<SessionView> = self
+            .sessions
+            .iter()
+            .map(|(name, hosted)| SessionView {
+                name: name.clone(),
+                pending: hosted.pending(),
+                oldest_age_ms: hosted.oldest_age_ms(now),
+                cost_ema_ms: hosted.cost_ema_ms,
+            })
+            .collect();
+        let Some(name) = pick_next(&views, self.config.staleness_budget_ms) else {
+            return Ok(None);
+        };
+        let name = name.to_owned();
+        self.service(&name).map(Some)
+    }
+
+    fn service(&mut self, name: &str) -> Result<StepReport, ServeError> {
+        let config = self.config.clone();
+        let hosted = self
+            .sessions
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
+        let shed = hosted.pending() > config.max_pending;
+
+        // Take this batch's frames: the whole backlog when shedding,
+        // otherwise up to the first fence or the batch cap.
+        let started = Instant::now();
+        let mut frames: Vec<DatasetDelta> = Vec::new();
+        let mut oldest_age_ms: f64 = 0.0;
+        while let Some(front) = hosted.queue.front() {
+            match front {
+                Queued::Fence => {
+                    hosted.queue.pop_front();
+                    if !frames.is_empty() && !shed {
+                        break;
+                    }
+                }
+                Queued::Delta { .. } => {
+                    if !shed && frames.len() >= config.max_batch_frames {
+                        break;
+                    }
+                    let Some(Queued::Delta { delta, enqueued }) = hosted.queue.pop_front() else {
+                        unreachable!("front() said delta");
+                    };
+                    oldest_age_ms =
+                        oldest_age_ms.max(started.duration_since(enqueued).as_secs_f64() * 1_000.0);
+                    frames.push(*delta);
+                }
+            }
+        }
+
+        Self::revive(hosted)?;
+        let floor = hosted
+            .session
+            .as_ref()
+            .expect("revived above")
+            .dataset()
+            .entities
+            .len() as u32;
+        let taken = frames.len();
+        let groups = coalesce(frames, floor);
+        let updates = groups.len();
+        for group in groups {
+            let report = hosted
+                .session
+                .as_mut()
+                .expect("revived above")
+                .update(&group);
+            hosted.op_log.push(Op::Update(Box::new(group)));
+            if report.degraded_to_cold() {
+                hosted.stats.degraded_to_cold += 1;
+                if report.degraded.is_some_and(|r| r.is_overload()) {
+                    hosted.stats.overload_degrades += 1;
+                }
+            }
+        }
+        if shed {
+            hosted.session.as_mut().expect("revived above").reset_warm();
+            hosted.op_log.push(Op::ResetWarm);
+        }
+        hosted.session.as_mut().expect("revived above").run();
+        hosted.op_log.push(Op::Run);
+
+        let cost_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        update_cost_ema(&mut hosted.cost_ema_ms, cost_ms);
+        hosted.stats.batches += 1;
+        hosted.stats.frames_applied += taken as u64;
+        hosted.stats.coalesced_frames += (taken - updates) as u64;
+        hosted.stats.staleness_samples_ms.push(oldest_age_ms);
+        if oldest_age_ms > config.staleness_budget_ms {
+            hosted.stats.budget_misses += 1;
+        }
+        if shed {
+            hosted.stats.shed_events += 1;
+        }
+        Ok(StepReport {
+            session: name.to_owned(),
+            frames: taken,
+            updates,
+            shed,
+        })
+    }
+
+    /// Pump and step until the source is drained and every queue is
+    /// empty; returns the number of steps taken.
+    pub fn run_until_quiescent(&mut self) -> Result<u64, ServeError> {
+        let mut steps = 0;
+        loop {
+            let pumped = self.pump()?;
+            match self.step()? {
+                Some(_) => steps += 1,
+                None if pumped == PumpReport::default() => return Ok(steps),
+                None => {}
+            }
+        }
+    }
+
+    /// The named session's last fixpoint, or `None` when unknown or
+    /// evicted. Never blocks on ingestion: queued frames stay queued.
+    pub fn matches(&self, name: &str) -> Option<&PairSet> {
+        self.sessions
+            .get(name)?
+            .session
+            .as_ref()
+            .map(|s| s.matches())
+    }
+
+    /// The named session's status snapshot, or `None` when unknown or
+    /// evicted.
+    pub fn status(&self, name: &str) -> Option<SessionStatus> {
+        self.sessions
+            .get(name)?
+            .session
+            .as_ref()
+            .map(|s| s.status())
+    }
+
+    /// The named session's serving counters.
+    pub fn stats(&self, name: &str) -> Option<&SessionStats> {
+        self.sessions.get(name).map(|h| &h.stats)
+    }
+
+    /// The named session's replay-identity log.
+    pub fn op_log(&self, name: &str) -> Option<&[Op]> {
+        self.sessions.get(name).map(|h| h.op_log.as_slice())
+    }
+
+    /// Admitted session names, in iteration (scheduling-tiebreak)
+    /// order.
+    pub fn session_names(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
+    }
+
+    /// Frames addressed to sessions nobody admitted (counted at pump
+    /// time, never silently discarded from the stream).
+    pub fn dead_letters(&self) -> u64 {
+        self.dead_letters
+    }
+
+    /// Direct mutable access to a live hosted session (revives an
+    /// evicted durable session first) — the query/escape hatch for
+    /// callers that need more than [`Daemon::matches`] /
+    /// [`Daemon::status`], e.g. digests for identity checks.
+    pub fn session_mut(&mut self, name: &str) -> Result<&mut MatchSession, ServeError> {
+        let hosted = self
+            .sessions
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
+        Self::revive(hosted)?;
+        Ok(hosted.session.as_mut().expect("revived above"))
+    }
+
+    /// Rebuild the named session **without** a store and replay its
+    /// [`Op`] log — the daemon-equals-standalone identity arm. The
+    /// returned session must agree with the hosted one on
+    /// [`em::MatchSession::state_digest`] (and therefore on matches).
+    pub fn replay_standalone(&self, name: &str) -> Result<MatchSession, ServeError> {
+        let hosted = self
+            .sessions
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
+        let mut session = (hosted.factory)().build()?;
+        for op in &hosted.op_log {
+            match op {
+                Op::Update(delta) => {
+                    session.update(delta);
+                }
+                Op::ResetWarm => session.reset_warm(),
+                Op::Run => {
+                    session.run();
+                }
+            }
+        }
+        Ok(session)
+    }
+}

@@ -1,0 +1,56 @@
+//! `em-serve`: a long-lived multi-session matching service over the
+//! collective entity-matching pipeline.
+//!
+//! The batch pipeline answers "match this dataset"; `em-serve` answers
+//! "keep N datasets matched *while they change*". A [`Daemon`] hosts
+//! independent named sessions (each an [`em::Pipeline`]-built
+//! [`em::MatchSession`], optionally durable under its own `em-store`
+//! directory) and consumes one change stream of wire-encoded
+//! [`em::DatasetDelta`] frames:
+//!
+//! ```text
+//!             ┌────────────────────── daemon ──────────────────────┐
+//!  producers  │  pump()          per-session queues        step()  │
+//!  ──frames──▶│ ChangeSource ─▶ [a: ▣▣▣|fence|▣ ]  ─▶ scheduler ─▶ │──▶ update()×k
+//!   (file     │   (decode,      [b: ▣ ]                (freshness/ │     + run()
+//!    tail or  │    route,       [c: ▣▣ ]               cost score) │       │
+//!    channel) │    fence)            │                             │       ▼
+//!             │                 dead letters (counted)       matches()/status()
+//!             └────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The moving parts, bottom up:
+//!
+//! * [`wire`] — the stream format: `em-store-v1` WAL frames carrying
+//!   session-addressed deltas and global epoch fences;
+//! * [`source`] — where frames come from: a tailed stream file
+//!   ([`FileTailSource`]) or an in-process channel ([`ChannelSource`]);
+//! * [`batch`] — micro-batching: queued deltas coalesce into fewer
+//!   `update()` calls when (and only when) the merged delta provably
+//!   applies to the same dataset;
+//! * [`sched`] — freshness-aware scheduling: pending depth and queue
+//!   age (in staleness-budget units) divided by a measured cost EMA,
+//!   with deterministic tiebreaks;
+//! * [`daemon`] — the serving loop, backpressure (shed-to-cold, never
+//!   frame-dropping), evict/revive of durable sessions, and the
+//!   [`Op`]-log replay-identity contract;
+//! * [`load`] — the scripted load driver behind the `serve_load`
+//!   binary and the isolation proptests.
+//!
+//! The crate is deliberately free of any network stack: transports are
+//! a file and a channel, which is what CI can exercise losslessly. A
+//! socket transport is a producer that decodes into the same channel.
+
+pub mod batch;
+pub mod daemon;
+pub mod load;
+pub mod sched;
+pub mod source;
+pub mod wire;
+
+pub use batch::{coalesce, merge, merge_compatible};
+pub use daemon::{Daemon, Op, PumpReport, ServeConfig, ServeError, SessionStats, StepReport};
+pub use load::{run_load, LoadConfig, LoadOutcome, SessionLoadStats, SessionTraffic};
+pub use sched::{pick_next, staleness_percentiles, SessionView};
+pub use source::{channel_source, ChangeSource, ChannelSource, FileTailSource, StreamWriter};
+pub use wire::{StreamFrame, FRAME_STREAM_DELTA, FRAME_STREAM_FENCE};

@@ -1,0 +1,202 @@
+//! The serve-load driver: push scripted traffic through a [`Daemon`]
+//! and verify the serving layer changed nothing.
+//!
+//! [`run_load`] takes per-session traffic (an initial dataset plus a
+//! delta script — the caller generates these however it likes, e.g.
+//! [`em::DatasetDelta::churn_script_with`] over a datagen world),
+//! interleaves the scripts round-robin onto an in-process change
+//! stream with periodic fences, and alternates traffic bursts with
+//! daemon drain cycles so queues actually build depth (that is what
+//! exercises coalescing and, with a small [`ServeConfig::max_pending`],
+//! the shed path). Optionally every durable session is evicted and
+//! revived mid-stream.
+//!
+//! When the stream is drained it runs the identity arm: each hosted
+//! session is compared against [`Daemon::replay_standalone`] on
+//! [`em::MatchSession::state_digest`] and on the match set. The
+//! resulting [`LoadOutcome`] is what the `serve_load` binary prints and
+//! what CI gates on (`sessions_identical`, `staleness_budget_met`).
+
+use crate::daemon::{Daemon, ServeConfig, ServeError};
+use crate::sched::staleness_percentiles;
+use crate::source::channel_source;
+use crate::wire::StreamFrame;
+use em::{DatasetDelta, Pipeline};
+use em_core::Dataset;
+
+/// One session's scripted traffic.
+pub struct SessionTraffic {
+    /// Session name on the stream.
+    pub name: String,
+    /// The dataset the session is admitted with.
+    pub initial: Dataset,
+    /// The delta script to stream at it, in order.
+    pub deltas: Vec<DatasetDelta>,
+}
+
+/// Knobs of [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon tuning (queue caps, staleness budget, store root).
+    pub serve: ServeConfig,
+    /// Broadcast a fence every this many traffic rounds (0 = never).
+    pub fence_every: usize,
+    /// Rounds (one delta per session each) sent before the daemon gets
+    /// to drain — the queue depth the batcher sees.
+    pub rounds_per_burst: usize,
+    /// Evict every session once, halfway through the stream (requires
+    /// [`ServeConfig::store_root`]).
+    pub evict_mid_stream: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            serve: ServeConfig::default(),
+            fence_every: 4,
+            rounds_per_burst: 4,
+            evict_mid_stream: false,
+        }
+    }
+}
+
+/// One session's verdict and counters after a load run.
+#[derive(Debug, Clone)]
+pub struct SessionLoadStats {
+    /// Session name.
+    pub name: String,
+    /// Daemon-hosted state digest == standalone op-log replay digest,
+    /// and the match sets agree.
+    pub identical: bool,
+    /// Micro-batches applied.
+    pub batches: u64,
+    /// Delta frames consumed.
+    pub frames_applied: u64,
+    /// Frames folded away by coalescing.
+    pub coalesced_frames: u64,
+    /// Backpressure sheds.
+    pub shed_events: u64,
+    /// Frames serviced past the staleness budget.
+    pub budget_misses: u64,
+    /// Updates that degraded to cold.
+    pub degraded_to_cold: u64,
+    /// Overload-caused degrades among them.
+    pub overload_degrades: u64,
+    /// Median queue-head age at service, milliseconds.
+    pub staleness_p50_ms: f64,
+    /// 99th-percentile queue-head age at service, milliseconds.
+    pub staleness_p99_ms: f64,
+    /// Final fixpoint size.
+    pub final_matches: u64,
+}
+
+/// Whole-run verdict: per-session stats plus the gates CI greps for.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// Per-session stats, in admission order.
+    pub sessions: Vec<SessionLoadStats>,
+    /// Every session passed the replay-identity check.
+    pub sessions_identical: bool,
+    /// No session missed the staleness budget.
+    pub staleness_budget_met: bool,
+    /// Frames addressed to unknown sessions.
+    pub dead_letters: u64,
+    /// Daemon steps taken.
+    pub steps: u64,
+}
+
+/// Drive `traffic` through a fresh daemon and verify it (see the
+/// [module docs](self)). `make` builds each session's [`Pipeline`]
+/// from its initial dataset — the same configuration the identity arm
+/// rebuilds for replay, so it must be deterministic and must not
+/// attach a store (the daemon does that when configured).
+pub fn run_load<F>(
+    traffic: Vec<SessionTraffic>,
+    config: &LoadConfig,
+    make: F,
+) -> Result<LoadOutcome, ServeError>
+where
+    F: Fn(Dataset) -> Pipeline + Clone + 'static,
+{
+    let (tx, source) = channel_source();
+    let mut daemon = Daemon::new(source, config.serve.clone());
+
+    let mut names = Vec::new();
+    let mut scripts = Vec::new();
+    let total_rounds = traffic.iter().map(|t| t.deltas.len()).max().unwrap_or(0);
+    for t in traffic {
+        let make = make.clone();
+        let initial = t.initial;
+        daemon.admit(&t.name, move || make(initial.clone()))?;
+        names.push(t.name.clone());
+        scripts.push((t.name, t.deltas.into_iter()));
+    }
+
+    let mut steps = 0;
+    let mut round = 0usize;
+    let mut fence_id = 0u64;
+    let mut evicted = false;
+    loop {
+        let mut sent_any = false;
+        for _ in 0..config.rounds_per_burst.max(1) {
+            for (name, script) in &mut scripts {
+                if let Some(delta) = script.next() {
+                    tx.send(StreamFrame::Delta {
+                        session: name.clone(),
+                        delta: Box::new(delta),
+                    })
+                    .expect("daemon owns the receiver");
+                    sent_any = true;
+                }
+            }
+            round += 1;
+            if config.fence_every > 0 && round.is_multiple_of(config.fence_every) {
+                fence_id += 1;
+                tx.send(StreamFrame::Fence(fence_id))
+                    .expect("daemon owns the receiver");
+            }
+        }
+        if config.evict_mid_stream && !evicted && round >= total_rounds / 2 {
+            for name in &names {
+                daemon.evict(name)?;
+            }
+            evicted = true;
+        }
+        steps += daemon.run_until_quiescent()?;
+        if !sent_any {
+            break;
+        }
+    }
+
+    let mut sessions = Vec::new();
+    for name in &names {
+        let replayed = daemon.replay_standalone(name)?;
+        let hosted = daemon.session_mut(name)?;
+        let identical = hosted.state_digest() == replayed.state_digest()
+            && hosted.matches() == replayed.matches();
+        let final_matches = hosted.matches().len() as u64;
+        let stats = daemon.stats(name).expect("admitted above").clone();
+        let (p50, p99) = staleness_percentiles(&stats.staleness_samples_ms);
+        sessions.push(SessionLoadStats {
+            name: name.clone(),
+            identical,
+            batches: stats.batches,
+            frames_applied: stats.frames_applied,
+            coalesced_frames: stats.coalesced_frames,
+            shed_events: stats.shed_events,
+            budget_misses: stats.budget_misses,
+            degraded_to_cold: stats.degraded_to_cold,
+            overload_degrades: stats.overload_degrades,
+            staleness_p50_ms: p50,
+            staleness_p99_ms: p99,
+            final_matches,
+        });
+    }
+    Ok(LoadOutcome {
+        sessions_identical: sessions.iter().all(|s| s.identical),
+        staleness_budget_met: sessions.iter().all(|s| s.budget_misses == 0),
+        dead_letters: daemon.dead_letters(),
+        steps,
+        sessions,
+    })
+}

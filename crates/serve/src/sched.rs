@@ -1,0 +1,152 @@
+//! Freshness-aware scheduling: which session's backlog to service next.
+//!
+//! The daemon serves N sessions from one apply loop, so scheduling is a
+//! freshness-vs-throughput trade: a session with a deep queue wants
+//! service for throughput, a session with an *old* queue wants service
+//! before it blows its staleness budget, and a session whose updates
+//! are cheap gives more freshness per unit of apply time. Each
+//! schedulable session is summarized as a [`SessionView`] and scored
+//!
+//! ```text
+//! score = (pending + oldest_age_ms / staleness_budget_ms) / max(cost_ema_ms, 1)
+//! ```
+//!
+//! — pending frames count linearly (throughput pressure), queue age in
+//! units of the staleness budget (a session one full budget behind
+//! outranks a session with one extra frame), and the measured
+//! per-batch cost EMA divides (cheap sessions are serviced more often;
+//! an expensive session cannot starve the fleet). Ties break on the
+//! session name, so a given queue state always schedules identically —
+//! the replay-identity gate depends on that determinism.
+
+/// One session's scheduling summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionView {
+    /// Session name (the deterministic tiebreak key).
+    pub name: String,
+    /// Delta frames waiting in the session's queue.
+    pub pending: usize,
+    /// Age of the oldest queued frame, in milliseconds.
+    pub oldest_age_ms: f64,
+    /// Exponential moving average of the session's batch apply+run
+    /// cost, in milliseconds (see [`update_cost_ema`]).
+    pub cost_ema_ms: f64,
+}
+
+/// The freshness-per-cost score of one session (see the [module
+/// docs](self)). Sessions with nothing pending score zero.
+pub fn score(view: &SessionView, staleness_budget_ms: f64) -> f64 {
+    if view.pending == 0 {
+        return 0.0;
+    }
+    let staleness = view.pending as f64 + view.oldest_age_ms / staleness_budget_ms.max(1.0);
+    staleness / view.cost_ema_ms.max(1.0)
+}
+
+/// Pick the session to service next: highest [`score`], ties broken by
+/// ascending name. Returns `None` when no session has pending work.
+pub fn pick_next<'a>(
+    views: impl IntoIterator<Item = &'a SessionView>,
+    staleness_budget_ms: f64,
+) -> Option<&'a str> {
+    views
+        .into_iter()
+        .filter(|v| v.pending > 0)
+        .max_by(|a, b| {
+            score(a, staleness_budget_ms)
+                .total_cmp(&score(b, staleness_budget_ms))
+                // `max_by` keeps the *last* maximum, so order name
+                // descending to make the lexicographically smallest
+                // name win ties.
+                .then_with(|| b.name.cmp(&a.name))
+        })
+        .map(|v| v.name.as_str())
+}
+
+/// Fold one measured batch cost into a session's cost EMA
+/// (`alpha = 0.3`; the first sample seeds the average).
+pub fn update_cost_ema(ema_ms: &mut f64, sample_ms: f64) {
+    if *ema_ms <= 0.0 {
+        *ema_ms = sample_ms;
+    } else {
+        *ema_ms = 0.7 * *ema_ms + 0.3 * sample_ms;
+    }
+}
+
+/// The p50 and p99 of a set of staleness samples, by
+/// nearest-rank on the sorted samples. Returns `(0.0, 0.0)` for an
+/// empty set.
+pub fn staleness_percentiles(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = |q: f64| {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    };
+    (rank(0.50), rank(0.99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(name: &str, pending: usize, age: f64, cost: f64) -> SessionView {
+        SessionView {
+            name: name.to_owned(),
+            pending,
+            oldest_age_ms: age,
+            cost_ema_ms: cost,
+        }
+    }
+
+    #[test]
+    fn deeper_and_older_queues_win_cheaper_sessions_win() {
+        let budget = 100.0;
+        let views = [view("a", 1, 0.0, 10.0), view("b", 4, 0.0, 10.0)];
+        assert_eq!(pick_next(&views, budget), Some("b"), "depth wins");
+
+        let views = [view("a", 2, 300.0, 10.0), view("b", 4, 0.0, 10.0)];
+        assert_eq!(
+            pick_next(&views, budget),
+            Some("a"),
+            "age in budget units wins"
+        );
+
+        let views = [view("a", 2, 0.0, 100.0), view("b", 2, 0.0, 5.0)];
+        assert_eq!(pick_next(&views, budget), Some("b"), "cheap sessions win");
+    }
+
+    #[test]
+    fn ties_break_lexicographically_and_idle_sessions_never_schedule() {
+        let budget = 100.0;
+        let views = [
+            view("zeta", 2, 0.0, 10.0),
+            view("alpha", 2, 0.0, 10.0),
+            view("midl", 0, 900.0, 1.0),
+        ];
+        assert_eq!(pick_next(&views, budget), Some("alpha"));
+        assert_eq!(pick_next(&[] as &[SessionView], budget), None);
+        assert_eq!(pick_next(&[view("idle", 0, 0.0, 1.0)], budget), None);
+    }
+
+    #[test]
+    fn cost_ema_seeds_then_smooths() {
+        let mut ema = 0.0;
+        update_cost_ema(&mut ema, 10.0);
+        assert_eq!(ema, 10.0);
+        update_cost_ema(&mut ema, 20.0);
+        assert!((ema - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(staleness_percentiles(&[]), (0.0, 0.0));
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (p50, p99) = staleness_percentiles(&samples);
+        assert_eq!(p50, 50.0);
+        assert_eq!(p99, 99.0);
+    }
+}

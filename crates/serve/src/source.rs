@@ -1,0 +1,225 @@
+//! Change-stream sources: where the daemon's frames come from.
+//!
+//! Two transports, one contract ([`ChangeSource::poll`] — non-blocking
+//! drain of everything currently available):
+//!
+//! * [`FileTailSource`] tails a stream file written in the `em-store`
+//!   WAL frame layout (see [`crate::wire`]): it remembers its byte
+//!   offset, parses every complete frame past it, and leaves a torn
+//!   tail (a producer's in-flight append) pending for the next poll —
+//!   the file is the queue, so a daemon restart re-tails from wherever
+//!   its sessions' durable state says it left off.
+//! * [`ChannelSource`] drains an in-process `crossbeam` channel of
+//!   already-decoded frames — the CI-friendly transport, and the shape
+//!   a future socket transport plugs into (decode at the edge, then
+//!   this same channel).
+//!
+//! Producers write with [`StreamWriter`] (file) or a plain channel
+//! sender; both speak [`crate::wire::StreamFrame`].
+
+use crate::wire::StreamFrame;
+use em_store::{crc32, StoreError, Wal};
+use std::io::{Read as _, Seek as _, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// A non-blocking supplier of change-stream frames.
+pub trait ChangeSource {
+    /// Drain every frame currently available, in arrival order.
+    /// Returns an empty vector when nothing new has arrived; errors
+    /// are corruption (bad CRC, unknown kind), never end-of-stream.
+    fn poll(&mut self) -> Result<Vec<StreamFrame>, StoreError>;
+}
+
+/// Appends [`StreamFrame`]s to a stream file in the `em-store` WAL
+/// frame layout (CRC-guarded, fsync-on-append), for [`FileTailSource`]
+/// consumers.
+#[derive(Debug)]
+pub struct StreamWriter {
+    wal: Wal,
+}
+
+impl StreamWriter {
+    /// Create (or append to) the stream file at `path`.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let (wal, _) = Wal::open(path)?;
+        Ok(Self { wal })
+    }
+
+    /// Append one frame; durable when this returns.
+    pub fn send(&mut self, frame: &StreamFrame) -> Result<(), StoreError> {
+        let (kind, payload) = frame.encode();
+        self.wal.append(kind, &payload)?;
+        Ok(())
+    }
+
+    /// Frames appended to the file over its lifetime (including by
+    /// earlier writers).
+    pub fn frames(&self) -> u64 {
+        self.wal.frame_count()
+    }
+}
+
+/// Tails a stream file from a remembered byte offset (see the [module
+/// docs](self)).
+#[derive(Debug)]
+pub struct FileTailSource {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl FileTailSource {
+    /// Tail `path` from its beginning. The file need not exist yet —
+    /// a missing file is simply an empty poll.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            offset: 0,
+        }
+    }
+
+    /// The byte offset the next poll resumes from.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+impl ChangeSource for FileTailSource {
+    fn poll(&mut self) -> Result<Vec<StreamFrame>, StoreError> {
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        // The same frame scan Wal::open runs, minus the truncation: a
+        // torn tail here is a producer mid-append, not a crash, so it
+        // stays in the file and re-parses on the next poll.
+        let mut frames = Vec::new();
+        let mut pos = 0usize;
+        while bytes.len() - pos >= 8 {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if len == 0 {
+                return Err(StoreError::Corrupt {
+                    context: format!(
+                        "zero-length stream frame at offset {}",
+                        self.offset + pos as u64
+                    ),
+                });
+            }
+            if bytes.len() - pos - 8 < len {
+                break; // torn tail: the producer is still writing
+            }
+            let body = &bytes[pos + 8..pos + 8 + len];
+            if crc32(body) != crc {
+                return Err(StoreError::Corrupt {
+                    context: format!(
+                        "checksum mismatch in stream frame at offset {}",
+                        self.offset + pos as u64
+                    ),
+                });
+            }
+            frames.push(StreamFrame::decode(body[0], &body[1..])?);
+            pos += 8 + len;
+        }
+        self.offset += pos as u64;
+        Ok(frames)
+    }
+}
+
+/// Drains an in-process channel of decoded frames.
+pub struct ChannelSource {
+    rx: crossbeam::channel::Receiver<StreamFrame>,
+}
+
+impl std::fmt::Debug for ChannelSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelSource").finish_non_exhaustive()
+    }
+}
+
+/// An in-process change stream: `(sender, source)`. The sender side is
+/// a plain cloneable `crossbeam` sender, so any number of producer
+/// threads can feed one daemon.
+pub fn channel_source() -> (crossbeam::channel::Sender<StreamFrame>, ChannelSource) {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    (tx, ChannelSource { rx })
+}
+
+impl ChangeSource for ChannelSource {
+    fn poll(&mut self) -> Result<Vec<StreamFrame>, StoreError> {
+        let mut frames = Vec::new();
+        while let Some(frame) = self.rx.try_recv() {
+            frames.push(frame);
+        }
+        Ok(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("em-serve-source-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn file_tail_sees_frames_incrementally_and_skips_torn_tails() {
+        let path = tmp("tail.stream");
+        let _ = std::fs::remove_file(&path);
+        let mut source = FileTailSource::new(&path);
+        assert!(source.poll().unwrap().is_empty(), "missing file is empty");
+
+        let mut writer = StreamWriter::open(&path).unwrap();
+        writer.send(&StreamFrame::Fence(1)).unwrap();
+        writer.send(&StreamFrame::Fence(2)).unwrap();
+        let polled = source.poll().unwrap();
+        assert_eq!(polled, vec![StreamFrame::Fence(1), StreamFrame::Fence(2)]);
+        assert!(source.poll().unwrap().is_empty(), "no re-delivery");
+
+        // A torn tail (producer mid-append) stays pending...
+        writer.send(&StreamFrame::Fence(3)).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(source.poll().unwrap().is_empty());
+        // ...and parses once the append completes.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(source.poll().unwrap(), vec![StreamFrame::Fence(3)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_tail_reports_corruption_as_typed_errors() {
+        let path = tmp("corrupt.stream");
+        let _ = std::fs::remove_file(&path);
+        let mut writer = StreamWriter::open(&path).unwrap();
+        writer.send(&StreamFrame::Fence(1)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileTailSource::new(&path).poll(),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn channel_source_drains_in_order() {
+        let (tx, mut source) = channel_source();
+        tx.send(StreamFrame::Fence(1)).unwrap();
+        tx.send(StreamFrame::Fence(2)).unwrap();
+        assert_eq!(
+            source.poll().unwrap(),
+            vec![StreamFrame::Fence(1), StreamFrame::Fence(2)]
+        );
+        assert!(source.poll().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! The change-stream wire format: `em-store` WAL frames carrying
+//! session-addressed [`DatasetDelta`]s and epoch fences.
+//!
+//! A change stream is a sequence of `(kind, payload)` frames in the
+//! exact `em-store-v1` frame layout ([`em_store::Wal`]: length prefix,
+//! CRC-32 over kind + payload, fsync-on-append when file-backed), so a
+//! stream file is tailable with the same torn-tail semantics the WAL
+//! already guarantees, and a future socket transport is a byte-for-byte
+//! reuse of this codec. Two frame kinds exist:
+//!
+//! | kind | payload |
+//! |------|---------|
+//! | [`FRAME_STREAM_DELTA`] | session name ([`Writer::str`]) + the delta's [`DatasetDelta::wal_encode`] bytes |
+//! | [`FRAME_STREAM_FENCE`] | one `u64` fence id |
+//!
+//! A **fence** marks a batch boundary for every session at once: the
+//! micro-batcher never coalesces a delta enqueued before a fence with
+//! one enqueued after it, so producers can force "everything up to
+//! here becomes visible together".
+
+use em::DatasetDelta;
+use em_store::{Reader, StoreError, Writer};
+
+/// Frame kind of a session-addressed delta.
+pub const FRAME_STREAM_DELTA: u8 = 1;
+/// Frame kind of a global epoch fence.
+pub const FRAME_STREAM_FENCE: u8 = 2;
+
+/// One decoded change-stream frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFrame {
+    /// A [`DatasetDelta`] addressed to the named session.
+    Delta {
+        /// Target session name.
+        session: String,
+        /// The mutation batch (boxed: a delta is by far the largest
+        /// variant payload).
+        delta: Box<DatasetDelta>,
+    },
+    /// A global epoch fence: a micro-batch boundary for every session.
+    Fence(u64),
+}
+
+impl StreamFrame {
+    /// Encode as a `(kind, payload)` pair ready for
+    /// [`em_store::Wal::append`] or an in-process channel.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            StreamFrame::Delta { session, delta } => {
+                let mut w = Writer::new();
+                w.str(session);
+                w.bytes(&delta.wal_encode());
+                (FRAME_STREAM_DELTA, w.into_bytes())
+            }
+            StreamFrame::Fence(id) => {
+                let mut w = Writer::new();
+                w.u64(*id);
+                (FRAME_STREAM_FENCE, w.into_bytes())
+            }
+        }
+    }
+
+    /// Decode a `(kind, payload)` pair. Unknown kinds and malformed
+    /// payloads are typed [`StoreError`]s, never silently skipped.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Self, StoreError> {
+        let mut r = Reader::new(payload);
+        match kind {
+            FRAME_STREAM_DELTA => {
+                let session = r.str("stream frame session name")?.to_owned();
+                let delta = DatasetDelta::wal_decode(r.bytes("stream frame delta bytes")?)?;
+                r.finish("stream delta frame")?;
+                Ok(StreamFrame::Delta {
+                    session,
+                    delta: Box::new(delta),
+                })
+            }
+            FRAME_STREAM_FENCE => {
+                let id = r.u64("stream fence id")?;
+                r.finish("stream fence frame")?;
+                Ok(StreamFrame::Fence(id))
+            }
+            other => Err(StoreError::Corrupt {
+                context: format!("unknown change-stream frame kind {other}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{EntityId, SimLevel};
+
+    #[test]
+    fn delta_frames_round_trip() {
+        let mut delta = DatasetDelta::new();
+        let a = delta.add_entity("ref", &[("title", "x")]);
+        let b = delta.add_entity("ref", &[("title", "y")]);
+        delta.add_link(a, b, SimLevel(2));
+        delta.retract_entity(EntityId(7));
+        let frame = StreamFrame::Delta {
+            session: "hepth-a".to_owned(),
+            delta: Box::new(delta),
+        };
+        let (kind, payload) = frame.encode();
+        assert_eq!(kind, FRAME_STREAM_DELTA);
+        let back = StreamFrame::decode(kind, &payload).expect("round trip");
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn fence_frames_round_trip() {
+        let (kind, payload) = StreamFrame::Fence(42).encode();
+        assert_eq!(kind, FRAME_STREAM_FENCE);
+        assert_eq!(
+            StreamFrame::decode(kind, &payload).expect("round trip"),
+            StreamFrame::Fence(42)
+        );
+    }
+
+    #[test]
+    fn unknown_kinds_and_trailing_bytes_are_typed_errors() {
+        assert!(StreamFrame::decode(99, &[]).is_err());
+        let (kind, mut payload) = StreamFrame::Fence(1).encode();
+        payload.push(0xFF);
+        assert!(StreamFrame::decode(kind, &payload).is_err());
+    }
+}

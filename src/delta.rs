@@ -97,7 +97,7 @@ pub struct RetractTuple {
 
 /// A bidirectional batch of dataset mutations. See the [module
 /// docs](self).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DatasetDelta {
     /// Entity type names to intern up front, in id order (carved deltas
     /// list the template's full vocabulary; see

@@ -40,7 +40,7 @@ pub enum GrowthRef {
 }
 
 /// One new entity: its type name and `(attribute, value)` pairs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GrowthEntity {
     /// Entity type name (interned on apply).
     pub ty: String,
@@ -49,7 +49,7 @@ pub struct GrowthEntity {
 }
 
 /// One new relation tuple.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GrowthTuple {
     /// Relation name (declared on apply if new).
     pub relation: String,

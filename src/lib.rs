@@ -64,8 +64,9 @@ pub mod store;
 pub use delta::{AppliedDelta, ChurnOptions, DatasetDelta, RetractTuple};
 pub use growth::{DatasetGrowth, GrowthEntity, GrowthRef, GrowthTuple};
 pub use pipeline::{
-    Backend, BackendReport, FaultKind, FaultPlan, MatchOutcome, MatchSession, MatcherChoice,
-    Pipeline, PipelineError, RuntimeOptions, Scheme, SplitPolicy, StageTimings, UpdateReport,
+    Backend, BackendReport, DegradeReason, FaultKind, FaultPlan, MatchOutcome, MatchSession,
+    MatcherChoice, Pipeline, PipelineError, RuntimeOptions, Scheme, SessionStatus, SplitPolicy,
+    StageTimings, UpdateReport,
 };
 pub use store::{SessionStore, SessionStoreError};
 

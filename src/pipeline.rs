@@ -313,6 +313,7 @@ pub struct Pipeline {
     pub(crate) incremental: bool,
     pub(crate) memo_capacity: usize,
     pub(crate) certificate_slack: f64,
+    pub(crate) rollback_budget: usize,
     pub(crate) evidence: Evidence,
     pub(crate) runtime: RuntimeOptions,
     pub(crate) check_invariants: bool,
@@ -335,6 +336,7 @@ impl Pipeline {
             incremental: true,
             memo_capacity: usize::MAX,
             certificate_slack: em_core::framework::DEFAULT_CERTIFICATE_SLACK,
+            rollback_budget: usize::MAX,
             evidence: Evidence::none(),
             runtime: RuntimeOptions::default(),
             check_invariants: false,
@@ -438,6 +440,19 @@ impl Pipeline {
         self
     }
 
+    /// Bound the component-scoped rollback an [`MatchSession::update`]
+    /// will attempt (default unbounded). When a retraction's invalid
+    /// closure exceeds `budget` pairs, the fine-grained rollback would
+    /// cost more than it saves: the session drops its warm state
+    /// wholesale and reports
+    /// [`DegradeReason::RollbackBudgetExceeded`] instead — always
+    /// sound (the next run is cold), and the signal a serving layer's
+    /// scheduler uses to distinguish overload from policy degrades.
+    pub fn rollback_budget(mut self, budget: usize) -> Self {
+        self.rollback_budget = budget;
+        self
+    }
+
     /// Seed the session with caller-supplied evidence (known matches /
     /// known non-matches), applied to every run.
     pub fn evidence(mut self, evidence: Evidence) -> Self {
@@ -504,6 +519,7 @@ impl Pipeline {
             incremental,
             memo_capacity,
             certificate_slack,
+            rollback_budget,
             evidence,
             mut runtime,
             check_invariants,
@@ -626,6 +642,8 @@ impl Pipeline {
                 certificate_slack,
                 ..Default::default()
             },
+            rollback_budget,
+            last_degrade: None,
             matcher,
             base_evidence: evidence,
             features,
@@ -703,6 +721,32 @@ pub struct MatchOutcome {
     pub run_index: u32,
 }
 
+/// A point-in-time summary of a [`MatchSession`], returned by
+/// [`MatchSession::status`]: the counters a serving layer reports per
+/// status query, assembled without cloning any session state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Completed runs ([`MatchSession::runs`]).
+    pub runs: u32,
+    /// Mutation epoch ([`MatchSession::state_epoch`]).
+    pub state_epoch: u64,
+    /// Entity-id-space size of the session's dataset (tombstoned ids
+    /// included; ids are never reused).
+    pub entities: u64,
+    /// Candidate pairs currently annotated.
+    pub candidate_pairs: u64,
+    /// Neighborhoods in the current cover.
+    pub neighborhoods: u64,
+    /// Pairs in the last fixpoint ([`MatchSession::matches`]).
+    pub warm_matches: u64,
+    /// Why the most recent update degraded to cold, if it did
+    /// ([`MatchSession::last_degrade`]).
+    pub last_degrade: Option<DegradeReason>,
+    /// Whether the session journals to a durable store
+    /// ([`Pipeline::store`]).
+    pub durable: bool,
+}
+
 /// A resumable matching session: the long-lived state behind
 /// [`Pipeline`] (dataset, feature cache, pair-score cache, cover,
 /// dependency index, shard plan, and the accumulated fixpoint), with
@@ -715,6 +759,15 @@ pub struct MatchSession {
     pub(crate) scheme: Scheme,
     pub(crate) backend: Backend,
     pub(crate) mmp_config: MmpConfig,
+    /// Invalid-closure size above which `update` abandons the
+    /// component-scoped rollback and drops the warm state wholesale
+    /// (see [`Pipeline::rollback_budget`]).
+    pub(crate) rollback_budget: usize,
+    /// Why the most recent `update` degraded to cold (`None` when it
+    /// did not, or before any update). Ephemeral scheduling signal —
+    /// not persisted, not part of the state digest; recovery replay
+    /// recomputes it.
+    pub(crate) last_degrade: Option<DegradeReason>,
     pub(crate) matcher: SessionMatcher,
     pub(crate) base_evidence: Evidence,
     /// `Some` iff the session manages its own blocking (built without
@@ -781,6 +834,45 @@ impl MatchSession {
     /// the next run warm-starts from.
     pub fn warm_matches(&self) -> &PairSet {
         &self.warm
+    }
+
+    /// The last fixpoint's match set, **borrowed** — the serving query
+    /// path, which must not copy the match set per request. Identical
+    /// to the `matches` field of the most recent
+    /// [`MatchSession::run`]'s [`MatchOutcome`]; empty before the
+    /// first run.
+    ///
+    /// Note that [`MatchSession::update`] mutates this in place (the
+    /// component-scoped rollback removes invalidated pairs), so a
+    /// query *between* an `update` and its `run` sees the rolled-back
+    /// fixpoint, not the pre-update one. A serving layer that wants
+    /// queries to only ever observe fixpoints applies each
+    /// update-batch and its run back to back (see `em-serve`).
+    pub fn matches(&self) -> &PairSet {
+        &self.warm
+    }
+
+    /// A point-in-time summary of the session — counters only, nothing
+    /// cloned. The daemon's status-query payload.
+    pub fn status(&self) -> SessionStatus {
+        SessionStatus {
+            runs: self.runs,
+            state_epoch: self.state_epoch,
+            entities: self.dataset.entities.len() as u64,
+            candidate_pairs: self.dataset.candidate_count() as u64,
+            neighborhoods: self.cover.len() as u64,
+            warm_matches: self.warm.len() as u64,
+            last_degrade: self.last_degrade,
+            durable: self.store.is_some(),
+        }
+    }
+
+    /// Why the most recent [`MatchSession::update`] degraded to cold,
+    /// or `None` when it rolled back component-scoped (or no update
+    /// has run). An ephemeral scheduling signal: not persisted, and
+    /// recomputed by recovery replay.
+    pub fn last_degrade(&self) -> Option<DegradeReason> {
+        self.last_degrade
     }
 
     /// Number of completed runs.
@@ -1426,7 +1518,7 @@ impl MatchSession {
             self.canopy_memo.clear();
             self.warm = PairSet::new();
             self.warm_state = WarmStart::new();
-            report.degraded_to_cold = true;
+            report.degraded = Some(DegradeReason::CorpusWeightedKernel);
             let out = block_dataset_session(
                 &mut self.dataset,
                 &self.blocking,
@@ -1554,7 +1646,13 @@ impl MatchSession {
             self.warm_state = WarmStart::new();
             if has_retractions {
                 self.warm = PairSet::new();
-                report.degraded_to_cold = true;
+                report.degraded = Some(if self.matcher.as_probabilistic().is_none() {
+                    DegradeReason::TypeIMatcher
+                } else if !self.mmp_config.incremental {
+                    DegradeReason::IncrementalOff
+                } else {
+                    DegradeReason::UnscopedBlocking
+                });
             }
         } else {
             // Annotation changes among *pre-existing* entities are
@@ -1585,70 +1683,35 @@ impl MatchSession {
             let scorer = matcher.global_scorer(&self.dataset);
             let invalid = flood_closure(&new_seeds, scorer.as_ref());
             drop(scorer);
-
-            // Attribute the closure to (old) evidence components — the
-            // unit the rollback is reported and reasoned at. The drops
-            // below stay at pair/view granularity: probes factorize over
-            // ground components, which are *finer* than the
-            // neighborhood-level evidence components, so carried state
-            // outside the closure survives even inside a touched
-            // component.
-            let touched: FxHashSet<usize> = invalid
-                .iter()
-                .filter_map(|p| old_component_of.get(&p).copied())
-                .collect();
-            report.components_invalidated = touched.len() as u64;
-
-            // Drop exactly the invalidated slice of carried state.
-            if has_retractions {
-                let stale: Vec<Pair> = self.warm.iter().filter(|p| invalid.contains(*p)).collect();
-                for p in stale {
-                    self.warm.remove(p);
-                    report.warm_matches_dropped += 1;
-                }
-            }
-            report.messages_dropped = self
-                .warm_state
-                .store
-                .retain_messages(|members| members.iter().all(|p| !invalid.contains(*p)))
-                as u64;
             let gone: FxHashSet<EntityId> = delta.retract_entities.iter().copied().collect();
-            // Memos of views a retracted/added tuple ran *through* (both
-            // endpoints members) are dropped — their probe results were
-            // computed against ground structure that changed in place.
-            report.memos_dropped = self.warm_state.bank.invalidate(|members, _| {
-                guard_tuples.iter().any(|&(a, b)| {
-                    members.binary_search(&a).is_ok() && members.binary_search(&b).is_ok()
-                })
-            }) as u64;
-            // Views that lost retracted members or candidate links are
-            // re-keyed under their surviving identity: probes of
-            // invalidated pairs are deleted (they re-issue), everything
-            // outside the closure replays — including when the same
-            // delta also grows the view (the entity floor resolves the
-            // growth at withdrawal). Views whose structure survives but
-            // whose pairs intersect the closure are only *tainted*: they
-            // re-evaluate (regenerating the messages dropped above) with
-            // full probe replay outside the rolled-back ground
-            // components.
-            let retracted: Vec<Pair> = applied.retracted_pairs.iter().map(|&(p, _)| p).collect();
-            report.memos_tainted = (self
-                .warm_state
-                .bank
-                .rekey_churned(&gone, &retracted, &invalid)
-                + self
-                    .warm_state
-                    .bank
-                    .taint(|_, pairs| pairs.iter().any(|&(p, _)| invalid.contains(p))))
-                as u64;
-            // Certificates mirror the memos: entries of shrunk views
-            // re-key under their survivors, and every gap recorded for a
-            // pair in the invalid closure (or touching a gone entity) is
-            // dropped — its probe re-issues, so a stale margin must not
-            // elide it.
-            report.certificates_dropped = self.warm_state.certs.rollback(&gone, &invalid) as u64;
-            // Caller evidence mentioning retracted entities is retracted
-            // through the tombstoning mutators.
+
+            if invalid.len() > self.rollback_budget {
+                // The invalid closure outgrew the budget: the
+                // fine-grained rollback below would cost more than the
+                // cold rebuild it exists to avoid. Drop the carried
+                // state wholesale instead (always sound — the next run
+                // is cold) and surface the overload as a typed degrade
+                // so a scheduler can tell churn-outran-rollback apart
+                // from the policy degrades.
+                report.warm_matches_dropped = self.warm.len() as u64;
+                self.warm = PairSet::new();
+                self.warm_state = WarmStart::new();
+                report.degraded = Some(DegradeReason::RollbackBudgetExceeded);
+            } else {
+                self.scoped_rollback(
+                    &mut report,
+                    &applied,
+                    &invalid,
+                    &gone,
+                    &old_component_of,
+                    &guard_tuples,
+                    has_retractions,
+                );
+            }
+            // Caller evidence mentioning retracted entities is
+            // retracted through the tombstoning mutators — on both the
+            // scoped and the budget-degraded arm (the entities are gone
+            // either way).
             if !gone.is_empty() {
                 let stale_pos: Vec<Pair> = self
                     .base_evidence
@@ -1688,8 +1751,85 @@ impl MatchSession {
             self.last_invariants = Some(sweep);
         }
         report.snapshot_bytes = checkpoint_bytes;
+        self.last_degrade = report.degraded;
         self.commit_epoch();
         report
+    }
+
+    /// The component-scoped slice drop of [`MatchSession::update`]'s
+    /// phase 4: everything the `invalid` closure touches leaves the
+    /// carried state, everything else survives for the next warm run.
+    #[allow(clippy::too_many_arguments)]
+    fn scoped_rollback(
+        &mut self,
+        report: &mut UpdateReport,
+        applied: &crate::delta::AppliedDelta,
+        invalid: &PairSet,
+        gone: &FxHashSet<EntityId>,
+        old_component_of: &FxHashMap<Pair, usize>,
+        guard_tuples: &[(EntityId, EntityId)],
+        has_retractions: bool,
+    ) {
+        // Attribute the closure to (old) evidence components — the
+        // unit the rollback is reported and reasoned at. The drops
+        // below stay at pair/view granularity: probes factorize over
+        // ground components, which are *finer* than the
+        // neighborhood-level evidence components, so carried state
+        // outside the closure survives even inside a touched
+        // component.
+        let touched: FxHashSet<usize> = invalid
+            .iter()
+            .filter_map(|p| old_component_of.get(&p).copied())
+            .collect();
+        report.components_invalidated = touched.len() as u64;
+
+        // Drop exactly the invalidated slice of carried state.
+        if has_retractions {
+            let stale: Vec<Pair> = self.warm.iter().filter(|p| invalid.contains(*p)).collect();
+            for p in stale {
+                self.warm.remove(p);
+                report.warm_matches_dropped += 1;
+            }
+        }
+        report.messages_dropped = self
+            .warm_state
+            .store
+            .retain_messages(|members| members.iter().all(|p| !invalid.contains(*p)))
+            as u64;
+        // Memos of views a retracted/added tuple ran *through* (both
+        // endpoints members) are dropped — their probe results were
+        // computed against ground structure that changed in place.
+        report.memos_dropped = self.warm_state.bank.invalidate(|members, _| {
+            guard_tuples.iter().any(|&(a, b)| {
+                members.binary_search(&a).is_ok() && members.binary_search(&b).is_ok()
+            })
+        }) as u64;
+        // Views that lost retracted members or candidate links are
+        // re-keyed under their surviving identity: probes of
+        // invalidated pairs are deleted (they re-issue), everything
+        // outside the closure replays — including when the same
+        // delta also grows the view (the entity floor resolves the
+        // growth at withdrawal). Views whose structure survives but
+        // whose pairs intersect the closure are only *tainted*: they
+        // re-evaluate (regenerating the messages dropped above) with
+        // full probe replay outside the rolled-back ground
+        // components.
+        let retracted: Vec<Pair> = applied.retracted_pairs.iter().map(|&(p, _)| p).collect();
+        report.memos_tainted = (self
+            .warm_state
+            .bank
+            .rekey_churned(gone, &retracted, invalid)
+            + self
+                .warm_state
+                .bank
+                .taint(|_, pairs| pairs.iter().any(|&(p, _)| invalid.contains(p))))
+            as u64;
+        // Certificates mirror the memos: entries of shrunk views
+        // re-key under their survivors, and every gap recorded for a
+        // pair in the invalid closure (or touching a gone entity) is
+        // dropped — its probe re-issues, so a stale margin must not
+        // elide it.
+        report.certificates_dropped = self.warm_state.certs.rollback(gone, invalid) as u64;
     }
 }
 
@@ -1710,6 +1850,64 @@ fn flood_closure(seeds: &PairSet, scorer: &dyn GlobalScorer) -> PairSet {
         }
     }
     closure
+}
+
+/// Why one [`MatchSession::update`] dropped its warm state wholesale
+/// and let the next run go cold, instead of the component-scoped
+/// rollback. The first four are *policy*: the session's configuration
+/// cannot scope a rollback, so every retraction degrades.
+/// [`DegradeReason::RollbackBudgetExceeded`] alone is *overload* — the
+/// configuration could roll back, but this delta's invalid closure
+/// outgrew [`Pipeline::rollback_budget`]. A serving layer's scheduler
+/// treats the two classes differently (policy is constant and
+/// expected; overload is the backpressure signal), which is why this
+/// is a typed enum and not a bool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// The matcher is Type-I ([`MatcherChoice::Rules`] or
+    /// [`MatcherChoice::Custom`]): no [`GlobalScorer`] to scope the
+    /// rollback with.
+    TypeIMatcher,
+    /// The session was built with `.incremental(false)`: no carried
+    /// probe state to roll back *into*, so retractions restart cold.
+    IncrementalOff,
+    /// The corpus-weighted [`SimilarityKernel::TfIdfCosine`] kernel:
+    /// a churned corpus re-weights every score, so nothing carried is
+    /// trustworthy (additions degrade too, not just retractions).
+    CorpusWeightedKernel,
+    /// A non-positive canopy loose threshold: no canopy identity to
+    /// diff, so annotation changes cannot be scoped to a closure.
+    UnscopedBlocking,
+    /// The invalid closure exceeded [`Pipeline::rollback_budget`]:
+    /// churn outran the rollback and the session shed to cold. The
+    /// overload arm — the only reason that signals load, not policy.
+    RollbackBudgetExceeded,
+}
+
+impl DegradeReason {
+    /// `true` for the overload arm
+    /// ([`DegradeReason::RollbackBudgetExceeded`]), `false` for the
+    /// four policy arms. The SLO layer's classifier.
+    pub fn is_overload(self) -> bool {
+        matches!(self, DegradeReason::RollbackBudgetExceeded)
+    }
+
+    /// Stable lowercase label for metrics streams.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeReason::TypeIMatcher => "type-i-matcher",
+            DegradeReason::IncrementalOff => "incremental-off",
+            DegradeReason::CorpusWeightedKernel => "corpus-weighted-kernel",
+            DegradeReason::UnscopedBlocking => "unscoped-blocking",
+            DegradeReason::RollbackBudgetExceeded => "rollback-budget-exceeded",
+        }
+    }
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// What one [`MatchSession::update`] did: the delta's size, the
@@ -1755,11 +1953,10 @@ pub struct UpdateReport {
     pub invariant_checks: u64,
     /// Invariant violations the post-update sweep found.
     pub invariant_violations: u64,
-    /// Whether the session dropped its warm state wholesale instead of
-    /// rolling back component-by-component (Type-I matchers,
-    /// `.incremental(false)`, or the TF-IDF kernel — see
-    /// [`MatchSession::update`]).
-    pub degraded_to_cold: bool,
+    /// Why the session dropped its warm state wholesale instead of
+    /// rolling back component-by-component, or `None` when it did not
+    /// degrade (see [`MatchSession::update`] and [`DegradeReason`]).
+    pub degraded: Option<DegradeReason>,
     /// Bytes of the snapshot a defensive store checkpoint wrote during
     /// this update (0 normally: the update only appends a WAL frame).
     pub snapshot_bytes: u64,
@@ -1770,6 +1967,14 @@ pub struct UpdateReport {
     /// Wall-clock milliseconds spent in recovery on behalf of this
     /// update — always 0 for a live update (see `wal_frames_replayed`).
     pub recovery_ms: u64,
+}
+
+impl UpdateReport {
+    /// Whether the update dropped its warm state wholesale — for any
+    /// [`DegradeReason`]. Shorthand for `self.degraded.is_some()`.
+    pub fn degraded_to_cold(&self) -> bool {
+        self.degraded.is_some()
+    }
 }
 
 impl fmt::Display for UpdateReport {
@@ -1800,8 +2005,8 @@ impl fmt::Display for UpdateReport {
                 self.invariant_checks, self.invariant_violations
             )?;
         }
-        if self.degraded_to_cold {
-            write!(f, " | degraded to cold")?;
+        if let Some(reason) = self.degraded {
+            write!(f, " | degraded to cold ({reason})")?;
         }
         if self.snapshot_bytes > 0 || self.wal_frames_replayed > 0 || self.recovery_ms > 0 {
             write!(

@@ -229,6 +229,7 @@ impl SessionStore {
             incremental,
             memo_capacity,
             certificate_slack,
+            rollback_budget,
             evidence: _,
             mut runtime,
             check_invariants,
@@ -250,6 +251,8 @@ impl SessionStore {
                 certificate_slack,
                 ..Default::default()
             },
+            rollback_budget,
+            last_degrade: None,
             matcher,
             base_evidence,
             features,

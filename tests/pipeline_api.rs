@@ -458,7 +458,7 @@ fn deprecated_extend_wrapper_equals_update() {
         extend_out.stats.conditioned_probes, update_out.stats.conditioned_probes,
         "the wrapper must not change the work either"
     );
-    assert!(!report.degraded_to_cold);
+    assert!(!report.degraded_to_cold());
     assert_eq!(report.entities_retracted, 0);
     assert_eq!(report.entities_added, growth.entities.len() as u64);
 }
@@ -480,7 +480,7 @@ fn update_with_retractions_equals_cold_run() {
     let report = session.update(&delta);
     delta.apply(&mut mirror);
     assert!(report.entities_retracted > 0);
-    assert!(!report.degraded_to_cold, "exact MMP rolls back");
+    assert!(!report.degraded_to_cold(), "exact MMP rolls back");
 
     let warm = session.run();
     let cold = mmp_session(mirror).run();
@@ -528,7 +528,7 @@ fn retracting_a_tuple_rolls_back_its_region() {
     let warm = session.run();
     let cold = mmp_session(mirror).run();
     assert_eq!(warm.matches, cold.matches);
-    assert!(!report.degraded_to_cold);
+    assert!(!report.degraded_to_cold());
     assert!(
         warm.stats.conditioned_probes <= cold.stats.conditioned_probes,
         "{} > {}",
@@ -637,9 +637,12 @@ fn type_i_sessions_degrade_to_cold_on_retraction_but_stay_correct() {
     delta.retract_entity(victim);
     let report = session.update(&delta);
     assert!(
-        report.degraded_to_cold,
+        report.degraded_to_cold(),
         "a Type-I matcher has no scorer to scope the rollback with"
     );
+    assert_eq!(report.degraded, Some(em::DegradeReason::TypeIMatcher));
+    assert!(!report.degraded.unwrap().is_overload(), "policy, not load");
+    assert_eq!(session.last_degrade(), report.degraded);
     delta.apply(&mut mirror);
     let warm = session.run();
     assert!(!warm.warm_started, "degrade means the next run is cold");
@@ -708,7 +711,10 @@ fn non_positive_loose_threshold_updates_without_panicking() {
     let grow = DatasetDelta::carve(&template, n / 2..n / 2 + 4);
     let report = session.update(&grow);
     grow.apply(&mut mirror);
-    assert!(!report.degraded_to_cold, "pure growth keeps the warm state");
+    assert!(
+        !report.degraded_to_cold(),
+        "pure growth keeps the warm state"
+    );
     session.run();
     // A retraction degrades but stays correct.
     let victim = mirror.entities.ids().next().expect("entities");
@@ -716,10 +722,114 @@ fn non_positive_loose_threshold_updates_without_panicking() {
     fix.retract_entity(victim);
     let report = session.update(&fix);
     fix.apply(&mut mirror);
-    assert!(report.degraded_to_cold);
+    assert_eq!(report.degraded, Some(em::DegradeReason::UnscopedBlocking));
     let warm = session.run();
     let cold = build(mirror).run();
     assert_eq!(warm.matches, cold.matches);
+}
+
+#[test]
+fn rollback_budget_exceeded_sheds_to_cold_and_stays_correct() {
+    // A zero budget makes any non-empty invalid closure an overload:
+    // the session sheds its warm state wholesale (always sound) and
+    // reports the one overload-class DegradeReason.
+    let template = generate(&DatasetProfile::hepth().scaled(0.005)).dataset;
+    let n = template.entities.len() as u32;
+    let mut mirror = Dataset::new();
+    DatasetDelta::carve(&template, 0..n).apply(&mut mirror);
+    let mut session = Pipeline::new(mirror.clone())
+        .matcher(MatcherChoice::MlnExact)
+        .scheme(Scheme::Mmp)
+        .rollback_budget(0)
+        .build()
+        .expect("coherent");
+    session.run();
+
+    let mut delta = DatasetDelta::new();
+    for e in mirror.entities.ids().filter(|e| e.0 % 13 == 5) {
+        delta.retract_entity(e);
+    }
+    let report = session.update(&delta);
+    delta.apply(&mut mirror);
+    assert_eq!(
+        report.degraded,
+        Some(em::DegradeReason::RollbackBudgetExceeded),
+        "a zero budget must shed this retraction's closure"
+    );
+    assert!(report.degraded.unwrap().is_overload());
+    assert!(report.warm_matches_dropped > 0, "the shed is counted");
+    assert_eq!(session.status().last_degrade, report.degraded);
+
+    let warm = session.run();
+    assert!(
+        !warm.warm_started,
+        "shed-to-cold means the next run is cold"
+    );
+    let cold = mmp_session(mirror).run();
+    assert_eq!(warm.matches, cold.matches, "shedding is always sound");
+}
+
+#[test]
+fn unbudgeted_session_never_reports_overload() {
+    // The default budget is unbounded: the same retraction rolls back
+    // component-scoped, and the overload reason never appears.
+    let template = generate(&DatasetProfile::hepth().scaled(0.005)).dataset;
+    let n = template.entities.len() as u32;
+    let mut mirror = Dataset::new();
+    DatasetDelta::carve(&template, 0..n).apply(&mut mirror);
+    let mut session = mmp_session(mirror.clone());
+    session.run();
+    let mut delta = DatasetDelta::new();
+    for e in mirror.entities.ids().filter(|e| e.0 % 13 == 5) {
+        delta.retract_entity(e);
+    }
+    let report = session.update(&delta);
+    assert_eq!(report.degraded, None);
+    assert_eq!(session.last_degrade(), None);
+}
+
+#[test]
+fn matches_and_status_serve_the_last_fixpoint_between_updates() {
+    let template = generate(&DatasetProfile::hepth().scaled(0.005)).dataset;
+    let n = template.entities.len() as u32;
+    let mut base = Dataset::new();
+    DatasetDelta::carve(&template, 0..n / 2).apply(&mut base);
+    let mut session = mmp_session(base);
+
+    // Before the first run the query path serves the empty fixpoint.
+    assert!(session.matches().is_empty());
+    assert_eq!(session.status().warm_matches, 0);
+    assert_eq!(session.status().runs, 0);
+
+    let first = session.run();
+    // The borrowed accessor is exactly the last outcome's match set.
+    assert_eq!(*session.matches(), first.matches);
+    let status = session.status();
+    assert_eq!(status.runs, 1);
+    assert_eq!(status.warm_matches, first.matches.len() as u64);
+    assert_eq!(status.state_epoch, session.state_epoch());
+    assert_eq!(status.last_degrade, None);
+    assert!(!status.durable);
+
+    // A growth-only update between runs leaves the served fixpoint
+    // untouched: a query between updates sees exactly the previous
+    // run's matches.
+    let grow = DatasetDelta::carve(&template, n / 2..n / 2 + 6);
+    session.update(&grow);
+    assert_eq!(
+        *session.matches(),
+        first.matches,
+        "a query between update and run serves the previous fixpoint"
+    );
+    assert_eq!(
+        session.status().warm_matches,
+        first.matches.len() as u64,
+        "status counts the served fixpoint, not the pending re-block"
+    );
+
+    let second = session.run();
+    assert_eq!(*session.matches(), second.matches);
+    assert_eq!(session.status().runs, 2);
 }
 
 #[test]
