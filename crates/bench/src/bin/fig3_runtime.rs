@@ -16,7 +16,7 @@
 //!                [--backend exact|walksat|both] [--seed N]
 //!                [--cache on|off|both] [--incremental on|off|both]
 //!                [--shards K] [--warm-start on|off] [--churn on|off]
-//!                [--store DIR|none] [--serve on|off]
+//!                [--store DIR|none] [--serve on|off|socket]
 //!                [--bench-out PATH|none] [--metrics PATH]
 //!
 //! `--matcher` is accepted as an alias for `--backend`.
@@ -93,6 +93,19 @@
 //! coalesced frames, sheds, staleness percentiles) land in
 //! `serve_runs` (CI greps `"serve_identical": true`).
 //!
+//! `--serve socket` runs the channel ablation above **plus** the
+//! socket-transport arm: the same three sessions served over a real
+//! Unix-domain socket through [`em_net`] — an external blocking
+//! [`em_net::Client`] streams the deltas, issues `Drain` barriers, and
+//! reads back digests and match sets over the wire — with an LRU
+//! residency cap of 2 (durable evict/revive), a mid-stream admin
+//! eviction, and a kill/recover fault injection every other burst. Each
+//! session is verified byte-identical against a standalone replay of
+//! the daemon's op log, and every crash recovery must land on the
+//! pre-kill wire digest. Verdicts land in `net_serve_runs` (CI greps
+//! `"net_serve_identical": true` and `"crash_recovery_identical":
+//! true`).
+//!
 //! `--warm-start on` runs the session-growth ablation: a `MatchSession`
 //! over half the dataset, grown to full size with
 //! `MatchSession::extend` and warm-started, against a cold session over
@@ -107,7 +120,8 @@ use em::{
 };
 use em_bench::{
     prepare_opts, profile_by_name, ArmRecord, ChurnRecord, Flags, FrameworkReport, MetricsRecord,
-    MetricsWriter, SchemeRecord, ShardRunRecord, WalksatChurnRecord, WarmStartRecord, Workload,
+    MetricsWriter, NetServeRunRecord, SchemeRecord, ShardRunRecord, WalksatChurnRecord,
+    WarmStartRecord, Workload,
 };
 use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_core::framework::DEFAULT_CERTIFICATE_SLACK;
@@ -115,6 +129,7 @@ use em_core::{CachedMatcher, Dataset};
 use em_datagen::generate;
 use em_eval::{fmt_duration, fmt_ratio, Table};
 use em_mln::MlnMatcher;
+use em_net::{run_socket_load, SocketLoadConfig, Transport};
 use em_serve::{run_load, LoadConfig, ServeConfig, SessionTraffic};
 use std::sync::Arc;
 
@@ -1109,6 +1124,7 @@ fn run_serve_ablation(
             fence_every: 3,
             rounds_per_burst: 2,
             evict_mid_stream: false,
+            kill_every: 0,
         };
         let blocking = BlockingConfig {
             kernel: SimilarityKernel::AuthorName,
@@ -1151,7 +1167,11 @@ fn run_serve_ablation(
             );
             emit_metric(
                 metrics,
-                &MetricsRecord::from_serve_session(&format!("{name}/serve/{backend_label}"), s),
+                &MetricsRecord::from_serve_session(
+                    &format!("{name}/serve/{backend_label}"),
+                    s,
+                    outcome.dead_letters,
+                ),
             );
             report.serve_runs.push(em_bench::ServeRunRecord {
                 dataset: name.to_owned(),
@@ -1175,6 +1195,159 @@ fn run_serve_ablation(
     ok
 }
 
+/// The `--serve socket` arm: the same three traffic shapes served over
+/// a real Unix-domain socket through `em-net` — external client,
+/// length-prefixed CRC-guarded frames, LRU residency cap of 2 with
+/// durable evict/revive, and a kill/recover fault injection every
+/// other burst. Byte-identity is judged against a standalone replay of
+/// the daemon's op log, with digests and match sets read back over the
+/// wire.
+fn run_net_serve_ablation(
+    name: &str,
+    scale: f64,
+    seed: Option<u64>,
+    report: &mut FrameworkReport,
+    metrics: &mut Option<FileMetrics>,
+) -> bool {
+    let base_seed = seed.unwrap_or(7);
+    let shapes = [
+        ("grow", ChurnOptions::default()),
+        (
+            "churn",
+            ChurnOptions {
+                retract_fraction: 0.1,
+                ..Default::default()
+            },
+        ),
+        (
+            "storm",
+            ChurnOptions {
+                retract_fraction: 0.1,
+                readd_fraction: 0.5,
+                tuple_churn: 0.1,
+                link_churn: 0.1,
+                oversize_growth: 1,
+            },
+        ),
+    ];
+    println!(
+        "\nnet-serve ablation — {name} (scale {scale}): 3 sessions over a Unix-domain \
+         socket (external client, LRU cap 2, durable evict + kill/recover), verified \
+         byte-identical against standalone op-log replay"
+    );
+    let traffic: Vec<SessionTraffic> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, (tag, opts))| {
+            let session_seed = base_seed + i as u64;
+            let mut profile = profile_by_name(name).scaled(scale);
+            profile = profile.with_seed(session_seed);
+            let template = generate(&profile).dataset;
+            let n = template.entities.len() as u32;
+            let (initial, deltas) =
+                DatasetDelta::churn_script_with(&template, n * 3 / 5, 6, session_seed, opts);
+            SessionTraffic {
+                name: (*tag).to_owned(),
+                initial,
+                deltas,
+            }
+        })
+        .collect();
+    let scratch = std::env::temp_dir().join(format!("em-net-ablation-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let config = SocketLoadConfig {
+        serve: ServeConfig {
+            max_resident: 2,
+            store_root: Some(scratch.join("stores")),
+            ..Default::default()
+        },
+        transport: Transport::Unix,
+        socket_dir: scratch.join("sockets"),
+        fence_every: 3,
+        rounds_per_burst: 2,
+        evict_mid_stream: true,
+        kill_every: 2,
+    };
+    let blocking = BlockingConfig {
+        kernel: SimilarityKernel::AuthorName,
+        ..Default::default()
+    };
+    let make = move |dataset: Dataset| {
+        Pipeline::new(dataset)
+            .blocking(blocking.clone())
+            .matcher(MatcherChoice::MlnExact)
+            .scheme(Scheme::Mmp)
+            .backend(Backend::Sequential)
+            .check_invariants(true)
+    };
+    let outcome = match run_socket_load(traffic, &config, make) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("  net-serve ablation failed: {e}");
+            let _ = std::fs::remove_dir_all(&scratch);
+            return false;
+        }
+    };
+    for s in &outcome.sessions {
+        println!(
+            "  unix         {:<6} {} | batches {} frames {} coalesced {} sheds {} \
+             evictions {} revivals {} | staleness p50 {:.2} ms p99 {:.2} ms | {} matches",
+            s.name,
+            if s.identical {
+                "byte-identical ✓"
+            } else {
+                "DIVERGED ✗"
+            },
+            s.batches,
+            s.frames_applied,
+            s.coalesced_frames,
+            s.shed_events,
+            s.lru_evictions,
+            s.revivals,
+            s.staleness_p50_ms,
+            s.staleness_p99_ms,
+            s.final_matches,
+        );
+        emit_metric(
+            metrics,
+            &MetricsRecord::from_serve_session(
+                &format!("{name}/net-serve/unix"),
+                s,
+                outcome.dead_letters,
+            ),
+        );
+        report.net_serve_runs.push(NetServeRunRecord {
+            dataset: name.to_owned(),
+            scale,
+            seed,
+            backend: "sequential".to_owned(),
+            transport: "unix".to_owned(),
+            session: s.name.clone(),
+            batches: s.batches,
+            frames_applied: s.frames_applied,
+            coalesced_frames: s.coalesced_frames,
+            shed_events: s.shed_events,
+            lru_evictions: s.lru_evictions,
+            revivals: s.revivals,
+            crash_recoveries: outcome.crash_recoveries,
+            crash_recovery_identical: outcome.crash_recovery_identical,
+            staleness_p50_ms: s.staleness_p50_ms,
+            staleness_p99_ms: s.staleness_p99_ms,
+            matches: s.final_matches,
+            net_serve_identical: s.identical,
+        });
+    }
+    println!(
+        "  crash recoveries {} (identical: {}) | lru evictions {} | dead letters {}",
+        outcome.crash_recoveries,
+        outcome.crash_recovery_identical,
+        outcome.lru_evictions,
+        outcome.dead_letters,
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+    outcome.sessions_identical && outcome.crash_recovery_identical && outcome.dead_letters == 0
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_dataset(
     name: &str,
@@ -1187,7 +1360,7 @@ fn run_dataset(
     warm_start: bool,
     churn: bool,
     store: &str,
-    serve: bool,
+    serve: &str,
     report: &mut FrameworkReport,
     metrics: &mut Option<FileMetrics>,
 ) -> bool {
@@ -1291,11 +1464,14 @@ fn run_dataset(
         // runs regardless of --backend.
         ok &= run_store_ablation(name, scale, seed, shards.max(4), store, report, metrics);
     }
-    if serve {
+    if serve != "off" {
         // The serve ablation's identity gate is the exact backend's
         // (standalone replay must be deterministic), so it runs exact
         // regardless of --backend.
         ok &= run_serve_ablation(name, scale, seed, shards.max(4), report, metrics);
+    }
+    if serve == "socket" {
+        ok &= run_net_serve_ablation(name, scale, seed, report, metrics);
     }
     ok
 }
@@ -1324,11 +1500,11 @@ fn main() {
         other => panic!("unknown --churn {other:?}; expected on | off"),
     };
     let store = flags.get_str("store", "none");
-    let serve = match flags.get_str("serve", "off").as_str() {
-        "on" => true,
-        "off" => false,
-        other => panic!("unknown --serve {other:?}; expected on | off"),
-    };
+    let serve = flags.get_str("serve", "off");
+    match serve.as_str() {
+        "on" | "off" | "socket" => {}
+        other => panic!("unknown --serve {other:?}; expected on | off | socket"),
+    }
     let bench_out = flags.get_str("bench-out", "BENCH_framework.json");
     let metrics_path = flags.get_str("metrics", "none");
     let seed: Option<u64> = if flags.has("seed") {
@@ -1360,7 +1536,7 @@ fn main() {
             warm_start,
             churn,
             &store,
-            serve,
+            &serve,
             report,
             metrics,
         )

@@ -1,0 +1,145 @@
+//! Admin client for a running `em-serve` daemon, speaking the `em-net`
+//! socket protocol.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve_ctl (--socket PATH | --tcp ADDR) COMMAND [SESSION]
+//!
+//!   list                 roster: name, resident, in-flight, pending, batches
+//!   query SESSION        print the session's match set, one `lo,hi` per line
+//!   status SESSION       runs, epoch, entities, pairs, warm matches, budget state
+//!   digest SESSION       the session's state digest (byte-identity fingerprint)
+//!   checkpoint SESSION   fold the session's WAL tail into its snapshot
+//!   evict SESSION        checkpoint + drop the session (revived on next frame)
+//!   drain                drive the daemon to quiescence, print steps taken
+//!   shutdown             checkpoint every durable session, then stop
+//!   kill                 stop immediately, no checkpoints (crash simulation)
+//! ```
+//!
+//! Every command opens one connection, issues one request, prints the
+//! typed reply, and exits — non-zero on any transport or server-side
+//! error (unknown session, non-durable evict, …). Pair output is
+//! sorted, so two `query` runs against byte-identical sessions diff
+//! clean.
+
+use em_bench::Flags;
+use em_net::{Client, NetError};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_ctl (--socket PATH | --tcp ADDR) \
+         (list | drain | shutdown | kill | query S | status S | digest S | \
+         checkpoint S | evict S)"
+    );
+    std::process::exit(2);
+}
+
+fn run(client: &mut Client, command: &str, session: Option<&str>) -> Result<(), NetError> {
+    fn need(session: Option<&str>) -> &str {
+        session.unwrap_or_else(|| {
+            eprintln!("command needs a SESSION argument");
+            usage()
+        })
+    }
+    match command {
+        "list" => {
+            let infos = client.list()?;
+            println!("{} session(s)", infos.len());
+            for info in infos {
+                println!(
+                    "  {:<12} resident:{} in_flight:{} pending:{} batches:{}",
+                    info.name, info.resident, info.in_flight, info.pending, info.batches
+                );
+            }
+        }
+        "query" => {
+            let mut pairs = client.query(need(session))?;
+            pairs.sort_by_key(|p| (p.lo().0, p.hi().0));
+            for pair in &pairs {
+                println!("{},{}", pair.lo().0, pair.hi().0);
+            }
+            eprintln!("{} match(es)", pairs.len());
+        }
+        "status" => {
+            let status = client.status(need(session))?;
+            println!("runs:{}", status.runs);
+            println!("state_epoch:{}", status.state_epoch);
+            println!("entities:{}", status.entities);
+            println!("candidate_pairs:{}", status.candidate_pairs);
+            println!("neighborhoods:{}", status.neighborhoods);
+            println!("warm_matches:{}", status.warm_matches);
+            println!(
+                "last_degrade:{}",
+                status.last_degrade.as_deref().unwrap_or("none")
+            );
+            println!("durable:{}", status.durable);
+        }
+        "digest" => println!("{}", client.digest(need(session))?),
+        "checkpoint" => {
+            let session = need(session);
+            client.checkpoint(session)?;
+            println!("checkpointed {session}");
+        }
+        "evict" => {
+            let session = need(session);
+            client.evict(session)?;
+            println!("evicted {session}");
+        }
+        "drain" => println!("drained in {} step(s)", client.drain()?),
+        "shutdown" => {
+            client.shutdown()?;
+            println!("daemon shutting down (durable sessions checkpointed)");
+        }
+        "kill" => {
+            client.kill()?;
+            println!("daemon killed (no checkpoints)");
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Split `--key value` pairs (for Flags, which rejects positionals)
+    // from the bare COMMAND [SESSION] tail.
+    let mut flag_args = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            flag_args.push(args[i].clone());
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flag_args.push(args[i + 1].clone());
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let flags = Flags::parse(flag_args);
+    let socket = flags.get_str("socket", "none");
+    let tcp = flags.get_str("tcp", "none");
+    let mut client = match (socket.as_str(), tcp.as_str()) {
+        (path, "none") if path != "none" => Client::connect_unix(path),
+        ("none", addr) if addr != "none" => Client::connect_tcp(addr),
+        _ => usage(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("connect failed: {e}");
+        std::process::exit(1);
+    });
+    let (command, session) = match positional.as_slice() {
+        [command] => (command.as_str(), None),
+        [command, session] => (command.as_str(), Some(session.as_str())),
+        _ => usage(),
+    };
+    if let Err(e) = run(&mut client, command, session) {
+        eprintln!("{command} failed: {e}");
+        std::process::exit(1);
+    }
+}

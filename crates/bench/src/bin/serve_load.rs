@@ -8,6 +8,7 @@
 //!              [--fence-every 3] [--burst 2]
 //!              [--max-pending 64] [--max-batch 8] [--budget-ms 1000]
 //!              [--store DIR|none] [--evict on|off]
+//!              [--socket none|unix|tcp] [--lru N] [--kill-every N]
 //!              [--metrics PATH|none]
 //!
 //! Builds `--sessions` independent sessions over datagen worlds
@@ -21,8 +22,21 @@
 //! against a standalone replay of its op log (state digest + match
 //! set).
 //!
+//! `--socket unix|tcp` routes the whole run over a real socket via
+//! [`em_net`]: the daemon binds a Unix-domain (or localhost-TCP)
+//! listener, an external blocking [`em_net::Client`] streams the
+//! deltas and fences, issues `Drain` barriers between bursts, and
+//! reads digests and match sets back over the wire. `--lru N` caps
+//! resident sessions at N (0 = unlimited; requires `--store`), and
+//! `--kill-every N` hard-kills the daemon (no checkpoints) after every
+//! Nth burst and recovers a fresh incarnation from the stores
+//! (requires `--store`), asserting the recovered wire digests match
+//! the pre-kill ones.
+//!
 //! The run ends with greppable verdict lines (CI gates on the first
-//! two) and exits non-zero if identity fails or frames went missing:
+//! two plus, in socket mode, the crash-recovery line) and exits
+//! non-zero if identity fails, a crash recovery diverged, or frames
+//! went missing:
 //!
 //! ```text
 //! serve_sessions_identical:true
@@ -30,6 +44,9 @@
 //! serve_coalesced_frames:<n>
 //! serve_shed_events:<n>
 //! serve_dead_letters:0
+//! serve_crash_recoveries:<n>
+//! serve_crash_recovery_identical:true
+//! serve_lru_evictions:<n>
 //! ```
 //!
 //! `--metrics PATH` streams one `em-metrics-v1` `serve` line per
@@ -40,6 +57,7 @@ use em_bench::{profile_by_name, Flags, MetricsRecord, MetricsWriter};
 use em_blocking::{BlockingConfig, SimilarityKernel};
 use em_core::Dataset;
 use em_datagen::generate;
+use em_net::{run_socket_load, SocketLoadConfig, Transport};
 use em_serve::{run_load, LoadConfig, ServeConfig, SessionTraffic};
 
 /// The three traffic shapes sessions cycle through: append-only
@@ -92,8 +110,19 @@ fn main() {
         "off" => false,
         other => panic!("unknown --evict {other:?}; expected on | off"),
     };
+    let socket = flags.get_str("socket", "none");
+    let transport = match socket.as_str() {
+        "none" => None,
+        "unix" => Some(Transport::Unix),
+        "tcp" => Some(Transport::Tcp),
+        other => panic!("unknown --socket {other:?}; expected none | unix | tcp"),
+    };
+    let lru: usize = flags.get("lru", 0usize);
+    let kill_every: usize = flags.get("kill-every", 0usize);
     let store_root: Option<std::path::PathBuf> = if store_path == "none" {
         assert!(!evict, "--evict on requires --store DIR");
+        assert!(lru == 0, "--lru requires --store DIR");
+        assert!(kill_every == 0, "--kill-every requires --store DIR");
         None
     } else {
         let dir = std::path::PathBuf::from(&store_path);
@@ -153,7 +182,7 @@ fn main() {
         "serve_load — {dataset} (scale {scale}): {sessions} sessions × {per_session} deltas, \
          backend {backend:?}, fence every {fence_every}, burst {burst}, max pending \
          {max_pending}, max batch {max_batch}, staleness budget {budget_ms}ms, store {}, \
-         evict mid-stream {}",
+         evict mid-stream {}, socket {socket}, lru {lru}, kill every {kill_every}",
         if store_root.is_some() {
             &store_path
         } else {
@@ -162,16 +191,13 @@ fn main() {
         if evict { "on" } else { "off" },
     );
 
-    let config = LoadConfig {
-        serve: ServeConfig {
-            max_batch_frames: max_batch,
-            max_pending,
-            staleness_budget_ms: budget_ms,
-            store_root: store_root.clone(),
-        },
-        fence_every,
-        rounds_per_burst: burst,
-        evict_mid_stream: evict,
+    let serve = ServeConfig {
+        max_batch_frames: max_batch,
+        max_pending,
+        staleness_budget_ms: budget_ms,
+        max_resident: lru,
+        store_root: store_root.clone(),
+        ..Default::default()
     };
     let make = move |dataset: Dataset| {
         Pipeline::new(dataset)
@@ -184,10 +210,41 @@ fn main() {
             .backend(backend)
             .check_invariants(true)
     };
-    let outcome = run_load(traffic, &config, make).unwrap_or_else(|e| {
-        eprintln!("serve_load failed: {e}");
-        std::process::exit(1);
-    });
+    let outcome = match transport {
+        None => {
+            let config = LoadConfig {
+                serve,
+                fence_every,
+                rounds_per_burst: burst,
+                evict_mid_stream: evict,
+                kill_every,
+            };
+            run_load(traffic, &config, make).unwrap_or_else(|e| {
+                eprintln!("serve_load failed: {e}");
+                std::process::exit(1);
+            })
+        }
+        Some(transport) => {
+            let socket_dir =
+                std::env::temp_dir().join(format!("em-serve-load-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&socket_dir);
+            let config = SocketLoadConfig {
+                serve,
+                transport,
+                socket_dir: socket_dir.clone(),
+                fence_every,
+                rounds_per_burst: burst,
+                evict_mid_stream: evict,
+                kill_every,
+            };
+            let outcome = run_socket_load(traffic, &config, make).unwrap_or_else(|e| {
+                eprintln!("serve_load failed over socket: {e}");
+                std::process::exit(1);
+            });
+            let _ = std::fs::remove_dir_all(&socket_dir);
+            outcome
+        }
+    };
 
     let label = format!("{dataset}-{scale}-{seed}");
     let mut coalesced = 0u64;
@@ -211,7 +268,8 @@ fn main() {
         coalesced += s.coalesced_frames;
         sheds += s.shed_events;
         if let Some(writer) = &mut metrics {
-            if let Err(e) = writer.emit(&MetricsRecord::from_serve_session(&label, s)) {
+            let record = MetricsRecord::from_serve_session(&label, s, outcome.dead_letters);
+            if let Err(e) = writer.emit(&record) {
                 eprintln!("metrics stream failed, disabling: {e}");
                 metrics = None;
             }
@@ -225,6 +283,12 @@ fn main() {
             .push_u64("serve_coalesced_frames", coalesced)
             .push_u64("serve_shed_events", sheds)
             .push_u64("serve_dead_letters", outcome.dead_letters)
+            .push_u64("serve_crash_recoveries", outcome.crash_recoveries)
+            .push_bool(
+                "serve_crash_recovery_identical",
+                outcome.crash_recovery_identical,
+            )
+            .push_u64("serve_lru_evictions", outcome.lru_evictions)
             .push_u64("steps", outcome.steps);
         if let Err(e) = writer.emit(&verdict) {
             eprintln!("metrics stream failed: {e}");
@@ -242,7 +306,14 @@ fn main() {
     println!("serve_coalesced_frames:{coalesced}");
     println!("serve_shed_events:{sheds}");
     println!("serve_dead_letters:{}", outcome.dead_letters);
-    if !outcome.sessions_identical || outcome.dead_letters > 0 {
+    println!("serve_crash_recoveries:{}", outcome.crash_recoveries);
+    println!(
+        "serve_crash_recovery_identical:{}",
+        outcome.crash_recovery_identical
+    );
+    println!("serve_lru_evictions:{}", outcome.lru_evictions);
+    if !outcome.sessions_identical || !outcome.crash_recovery_identical || outcome.dead_letters > 0
+    {
         std::process::exit(1);
     }
 }

@@ -26,7 +26,8 @@ pub mod workload;
 pub use cli::Flags;
 pub use metrics::{MetricValue, MetricsRecord, MetricsWriter};
 pub use report::{
-    ArmRecord, ChurnRecord, FrameworkReport, SchemeRecord, ServeRunRecord, ShardLoadRecord,
-    ShardRunRecord, StoreRunRecord, WalksatChurnRecord, WarmStartRecord, WorkloadRecord,
+    ArmRecord, ChurnRecord, FrameworkReport, NetServeRunRecord, SchemeRecord, ServeRunRecord,
+    ShardLoadRecord, ShardRunRecord, StoreRunRecord, WalksatChurnRecord, WarmStartRecord,
+    WorkloadRecord,
 };
 pub use workload::{prepare, prepare_opts, profile_by_name, Workload};

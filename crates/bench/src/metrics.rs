@@ -202,8 +202,10 @@ impl MetricsRecord {
 
     /// A `serve` line: one daemon-hosted session's serving counters
     /// and replay-identity verdict after a load run
-    /// ([`em_serve::run_load`]).
-    pub fn from_serve_session(label: &str, stats: &SessionLoadStats) -> Self {
+    /// ([`em_serve::run_load`]). `dead_letters` is the run-level
+    /// missing-frame counter, flattened onto every session line so a
+    /// single `serve` record is self-contained for alerting.
+    pub fn from_serve_session(label: &str, stats: &SessionLoadStats, dead_letters: u64) -> Self {
         Self::new("serve")
             .push_str("label", label)
             .push_str("session", &stats.name)
@@ -215,6 +217,9 @@ impl MetricsRecord {
             .push_u64("budget_misses", stats.budget_misses)
             .push_u64("degraded_to_cold", stats.degraded_to_cold)
             .push_u64("overload_degrades", stats.overload_degrades)
+            .push_u64("lru_evictions", stats.lru_evictions)
+            .push_u64("revivals", stats.revivals)
+            .push_u64("dead_letters", dead_letters)
             .push_f64("staleness_p50_ms", stats.staleness_p50_ms)
             .push_f64("staleness_p99_ms", stats.staleness_p99_ms)
             .push_u64("final_matches", stats.final_matches)

@@ -436,6 +436,51 @@ pub struct ServeRunRecord {
     pub serve_identical: bool,
 }
 
+/// One socket-served session from the `--serve socket` ablation: the
+/// serve counters measured *through the wire* (`em-net` Unix-domain
+/// transport), plus the fault-injection verdicts.
+#[derive(Debug, Clone)]
+pub struct NetServeRunRecord {
+    /// Dataset profile name.
+    pub dataset: String,
+    /// Scale factor.
+    pub scale: f64,
+    /// Explicit seed, if any.
+    pub seed: Option<u64>,
+    /// Backend label ("sequential" or "sharded-K").
+    pub backend: String,
+    /// Socket transport label ("unix" or "tcp").
+    pub transport: String,
+    /// Hosted session name.
+    pub session: String,
+    /// Micro-batches applied.
+    pub batches: u64,
+    /// Delta frames ingested over the socket.
+    pub frames_applied: u64,
+    /// Frames folded away by merge-compatible coalescing.
+    pub coalesced_frames: u64,
+    /// Backpressure shed-to-cold events.
+    pub shed_events: u64,
+    /// Times the LRU policy evicted this session.
+    pub lru_evictions: u64,
+    /// Times this session was revived from its store.
+    pub revivals: u64,
+    /// Daemon incarnations killed and recovered during the run.
+    pub crash_recoveries: u64,
+    /// Every kill recovered to the pre-kill digest, observed over the
+    /// wire.
+    pub crash_recovery_identical: bool,
+    /// Median queue-head age at service, milliseconds.
+    pub staleness_p50_ms: f64,
+    /// 99th-percentile queue-head age at service, milliseconds.
+    pub staleness_p99_ms: f64,
+    /// Final fixpoint size, as queried over the socket.
+    pub matches: u64,
+    /// Whether the wire-reported state digest and match set equalled a
+    /// standalone replay of the cumulative op log (CI greps this).
+    pub net_serve_identical: bool,
+}
+
 /// The whole report.
 #[derive(Debug, Clone, Default)]
 pub struct FrameworkReport {
@@ -456,6 +501,9 @@ pub struct FrameworkReport {
     /// One entry per hosted session when `--serve` ran (the serving
     /// daemon ablation).
     pub serve_runs: Vec<ServeRunRecord>,
+    /// One entry per hosted session when `--serve socket` ran (the
+    /// `em-net` socket transport ablation).
+    pub net_serve_runs: Vec<NetServeRunRecord>,
 }
 
 fn esc(s: &str) -> String {
@@ -479,7 +527,7 @@ impl FrameworkReport {
             .unwrap_or(0);
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"bench-framework-v7\",\n");
+        out.push_str("  \"schema\": \"bench-framework-v8\",\n");
         out.push_str(
             "  \"bench\": \"fig3_runtime (--incremental / --shards / --warm-start / --churn / \
              --store / --serve ablations)\",\n",
@@ -897,6 +945,64 @@ impl FrameworkReport {
                 }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"net_serve_runs\": [\n");
+        for (si, s) in self.net_serve_runs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"dataset\": \"{}\",\n", esc(&s.dataset)));
+            out.push_str(&format!("      \"scale\": {},\n", fmt_f64(s.scale)));
+            match s.seed {
+                Some(seed) => out.push_str(&format!("      \"seed\": {seed},\n")),
+                None => out.push_str("      \"seed\": null,\n"),
+            }
+            out.push_str(&format!("      \"backend\": \"{}\",\n", esc(&s.backend)));
+            out.push_str(&format!(
+                "      \"transport\": \"{}\",\n",
+                esc(&s.transport)
+            ));
+            out.push_str(&format!("      \"session\": \"{}\",\n", esc(&s.session)));
+            out.push_str(&format!("      \"batches\": {},\n", s.batches));
+            out.push_str(&format!(
+                "      \"frames_applied\": {},\n",
+                s.frames_applied
+            ));
+            out.push_str(&format!(
+                "      \"coalesced_frames\": {},\n",
+                s.coalesced_frames
+            ));
+            out.push_str(&format!("      \"shed_events\": {},\n", s.shed_events));
+            out.push_str(&format!("      \"lru_evictions\": {},\n", s.lru_evictions));
+            out.push_str(&format!("      \"revivals\": {},\n", s.revivals));
+            out.push_str(&format!(
+                "      \"crash_recoveries\": {},\n",
+                s.crash_recoveries
+            ));
+            out.push_str(&format!(
+                "      \"crash_recovery_identical\": {},\n",
+                s.crash_recovery_identical
+            ));
+            out.push_str(&format!(
+                "      \"staleness_p50_ms\": {},\n",
+                fmt_f64(s.staleness_p50_ms)
+            ));
+            out.push_str(&format!(
+                "      \"staleness_p99_ms\": {},\n",
+                fmt_f64(s.staleness_p99_ms)
+            ));
+            out.push_str(&format!("      \"matches\": {},\n", s.matches));
+            out.push_str(&format!(
+                "      \"net_serve_identical\": {}\n",
+                s.net_serve_identical
+            ));
+            out.push_str(&format!(
+                "    }}{}\n",
+                if si + 1 < self.net_serve_runs.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -1057,10 +1163,34 @@ mod tests {
                 matches: 118,
                 serve_identical: true,
             }],
+            net_serve_runs: vec![NetServeRunRecord {
+                dataset: "hepth".into(),
+                scale: 0.02,
+                seed: Some(7),
+                backend: "sequential".into(),
+                transport: "unix".into(),
+                session: "storm".into(),
+                batches: 9,
+                frames_applied: 36,
+                coalesced_frames: 11,
+                shed_events: 0,
+                lru_evictions: 2,
+                revivals: 2,
+                crash_recoveries: 1,
+                crash_recovery_identical: true,
+                staleness_p50_ms: 0.7,
+                staleness_p99_ms: 4.1,
+                matches: 97,
+                net_serve_identical: true,
+            }],
         };
         let json = report.render_json();
-        assert!(json.contains("\"schema\": \"bench-framework-v7\""));
+        assert!(json.contains("\"schema\": \"bench-framework-v8\""));
         assert!(json.contains("\"serve_identical\": true"));
+        assert!(json.contains("\"net_serve_identical\": true"));
+        assert!(json.contains("\"transport\": \"unix\""));
+        assert!(json.contains("\"crash_recovery_identical\": true"));
+        assert!(json.contains("\"lru_evictions\": 2"));
         assert!(json.contains("\"coalesced_frames\": 17"));
         assert!(json.contains("\"staleness_p99_ms\": 2.900"));
         assert!(json.contains("\"shed_events\": 1"));

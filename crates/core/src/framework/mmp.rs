@@ -710,7 +710,7 @@ impl MemoBank {
             return 0;
         }
         let retracted: FxHashSet<Pair> = retracted_pairs.iter().copied().collect();
-        let churned: Vec<Vec<crate::entity::EntityId>> = self
+        let mut churned: Vec<Vec<crate::entity::EntityId>> = self
             .entries
             .iter()
             .filter(|(members, entry)| {
@@ -719,6 +719,14 @@ impl MemoBank {
             })
             .map(|(members, _)| members.clone())
             .collect();
+        // Two churned views can collapse onto the same survivor key
+        // (their member lists differed only in retracted entities);
+        // the later insert wins, so the processing order must not
+        // depend on hash-map iteration — a bank restored from a
+        // snapshot iterates in a different order than the live bank it
+        // captured, and byte-identity across that round trip requires
+        // a deterministic winner.
+        churned.sort_unstable();
         let mut rekeyed = 0;
         for key in churned {
             let Some(mut entry) = self.entries.remove(&key) else {

@@ -1,0 +1,313 @@
+//! A blocking client for the `em-net` protocol.
+//!
+//! [`Client`] wraps one connection (Unix-domain or TCP) and exposes
+//! two planes:
+//!
+//! * **ingestion** — [`Client::ingest`] writes a [`StreamFrame`]
+//!   (delta or fence) and returns immediately; ingestion frames are
+//!   one-way and never acknowledged, exactly like appending to a
+//!   tailed stream file;
+//! * **requests** — every other method writes one request frame and
+//!   blocks for its single response frame. The server answers
+//!   requests in order per connection, so a pipelined caller can
+//!   match replies positionally; this client keeps it simpler and
+//!   fully synchronous.
+//!
+//! A server-side [`Response::Error`] surfaces as
+//! [`NetError::Server`]; a response of the wrong type (a protocol
+//! bug, not an I/O hiccup) is [`NetError::Unexpected`]. The client
+//! holds no retry logic: a daemon restart closes the socket and every
+//! call returns [`NetError::Disconnected`] (or an I/O error) until
+//! the caller reconnects — see `connect_retry` for the reconnect
+//! loop the load harness uses.
+
+use crate::frame::{write_frame, FrameBuffer};
+use crate::proto::{Request, Response, WireStatus};
+use crate::server::ServerAddr;
+use em_core::pair::Pair;
+use em_serve::{ServeError, SessionInfo, StreamFrame};
+use em_store::StoreError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+    /// A corrupt frame on the wire (CRC mismatch, bad length, codec
+    /// error).
+    Store(StoreError),
+    /// The in-process serve side failed (server-thread harnesses
+    /// only; a remote daemon's failures arrive as
+    /// [`NetError::Server`]).
+    Serve(ServeError),
+    /// The server replied with a typed error.
+    Server(String),
+    /// The connection closed mid-exchange (e.g. the daemon was killed).
+    Disconnected,
+    /// The server replied with a well-formed frame of the wrong type.
+    Unexpected {
+        /// What the caller was waiting for.
+        wanted: &'static str,
+        /// What actually arrived.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket i/o failed: {e}"),
+            NetError::Store(e) => write!(f, "wire codec failed: {e}"),
+            NetError::Serve(e) => write!(f, "serve loop failed: {e}"),
+            NetError::Server(msg) => write!(f, "server error: {msg}"),
+            NetError::Disconnected => write!(f, "connection closed by server"),
+            NetError::Unexpected { wanted, got } => {
+                write!(f, "protocol mismatch: wanted {wanted}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Store(e) => Some(e),
+            NetError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<StoreError> for NetError {
+    fn from(e: StoreError) -> Self {
+        NetError::Store(e)
+    }
+}
+
+enum ClientStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.write(buf),
+            ClientStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => s.flush(),
+            ClientStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking `em-net` connection. See the [module docs](self).
+pub struct Client {
+    stream: ClientStream,
+    buf: FrameBuffer,
+}
+
+impl Client {
+    /// Connect to a Unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Self, NetError> {
+        Ok(Self::from_stream(ClientStream::Unix(UnixStream::connect(
+            path,
+        )?)))
+    }
+
+    /// Connect to a TCP address, e.g. `"127.0.0.1:4801"`.
+    pub fn connect_tcp(addr: &str) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self::from_stream(ClientStream::Tcp(stream)))
+    }
+
+    /// Connect to whatever a [`crate::Server`] reported it bound.
+    pub fn connect(addr: &ServerAddr) -> Result<Self, NetError> {
+        match addr {
+            ServerAddr::Unix(path) => Self::connect_unix(path),
+            ServerAddr::Tcp(addr) => Self::connect_tcp(&addr.to_string()),
+        }
+    }
+
+    /// Connect, retrying for up to `patience` while the endpoint is
+    /// still coming up (or back up after a restart).
+    pub fn connect_retry(addr: &ServerAddr, patience: Duration) -> Result<Self, NetError> {
+        let deadline = Instant::now() + patience;
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    fn from_stream(stream: ClientStream) -> Self {
+        Self {
+            stream,
+            buf: FrameBuffer::new(),
+        }
+    }
+
+    /// Stream one ingestion frame (delta or fence). One-way: returns
+    /// as soon as the bytes are written. Use [`Client::drain`] as the
+    /// read-your-writes barrier.
+    pub fn ingest(&mut self, frame: &StreamFrame) -> Result<(), NetError> {
+        let (kind, payload) = frame.encode();
+        write_frame(&mut self.stream, kind, &payload)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Send one request frame and block for its response frame.
+    /// Returns whatever the server sent, including
+    /// [`Response::Error`] — the typed helpers below convert that to
+    /// [`NetError::Server`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, NetError> {
+        let (kind, payload) = request.encode();
+        write_frame(&mut self.stream, kind, &payload)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, NetError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((kind, payload)) = self.buf.next_frame()? {
+                return Ok(Response::decode(kind, &payload)?);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::Disconnected),
+                Ok(n) => self.buf.extend(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Current match set of a session, sorted by `(lo, hi)`.
+    pub fn query(&mut self, session: &str) -> Result<Vec<Pair>, NetError> {
+        match self.request(&Request::Query {
+            session: session.to_owned(),
+        })? {
+            Response::Matches { pairs, .. } => Ok(pairs),
+            other => unexpected("Matches", other),
+        }
+    }
+
+    /// Status snapshot of a session.
+    pub fn status(&mut self, session: &str) -> Result<WireStatus, NetError> {
+        match self.request(&Request::Status {
+            session: session.to_owned(),
+        })? {
+            Response::Status { status, .. } => Ok(status),
+            other => unexpected("Status", other),
+        }
+    }
+
+    /// Settled state digest of a session (the replay-identity anchor).
+    pub fn digest(&mut self, session: &str) -> Result<String, NetError> {
+        match self.request(&Request::Digest {
+            session: session.to_owned(),
+        })? {
+            Response::Digest { digest, .. } => Ok(digest),
+            other => unexpected("Digest", other),
+        }
+    }
+
+    /// Checkpoint a durable session without evicting it.
+    pub fn checkpoint(&mut self, session: &str) -> Result<(), NetError> {
+        match self.request(&Request::Checkpoint {
+            session: session.to_owned(),
+        })? {
+            Response::Checkpointed { .. } => Ok(()),
+            other => unexpected("Checkpointed", other),
+        }
+    }
+
+    /// Checkpoint and evict a durable session.
+    pub fn evict(&mut self, session: &str) -> Result<(), NetError> {
+        match self.request(&Request::Evict {
+            session: session.to_owned(),
+        })? {
+            Response::Evicted { .. } => Ok(()),
+            other => unexpected("Evicted", other),
+        }
+    }
+
+    /// List hosted sessions and their residency.
+    pub fn list(&mut self) -> Result<Vec<SessionInfo>, NetError> {
+        match self.request(&Request::List)? {
+            Response::Sessions(infos) => Ok(infos),
+            other => unexpected("Sessions", other),
+        }
+    }
+
+    /// Apply every ingested frame and re-run affected sessions to
+    /// fixpoint before returning: the read-your-writes barrier.
+    /// Returns the number of scheduler steps taken.
+    pub fn drain(&mut self) -> Result<u64, NetError> {
+        match self.request(&Request::Drain)? {
+            Response::Drained { steps } => Ok(steps),
+            other => unexpected("Drained", other),
+        }
+    }
+
+    /// Gracefully stop the server (durable sessions are checkpointed
+    /// first). The connection is unusable afterwards.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => unexpected("ShuttingDown", other),
+        }
+    }
+
+    /// Hard-stop the server with **no** checkpoints — the fault
+    /// injection hook. The connection is unusable afterwards.
+    pub fn kill(&mut self) -> Result<(), NetError> {
+        match self.request(&Request::Kill)? {
+            Response::Killed => Ok(()),
+            other => unexpected("Killed", other),
+        }
+    }
+}
+
+fn unexpected<T>(wanted: &'static str, got: Response) -> Result<T, NetError> {
+    if let Response::Error { message } = got {
+        return Err(NetError::Server(message));
+    }
+    Err(NetError::Unexpected {
+        wanted,
+        got: format!("{got:?}"),
+    })
+}

@@ -1,0 +1,161 @@
+//! Socket framing: the `em-store` WAL frame layout over a byte stream.
+//!
+//! Every message on an `em-net` connection — ingestion, request, or
+//! response — travels as one frame in the exact layout
+//! [`em_store::Wal`] writes on disk:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE over kind+payload] [kind: u8] [payload: len-1 bytes]
+//! ```
+//!
+//! so a stream file, a WAL, and a socket are byte-for-byte the same
+//! codec, and every torn-tail/CRC property the store tests establish
+//! holds on the wire. Frames are written with [`write_frame`] and
+//! scanned out of a receive buffer with [`FrameBuffer`] — the same
+//! incremental scan `FileTailSource` runs on a tailed file: a partial
+//! frame stays buffered until the rest arrives, a CRC mismatch or an
+//! oversized length is a typed [`StoreError::Corrupt`], never a skip.
+
+use em_store::{crc32, StoreError};
+use std::io::Write;
+
+/// Upper bound on one frame's body (kind + payload). A length beyond
+/// this is a corrupt or hostile header, not a real frame — reject it
+/// before allocating.
+pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
+
+/// Write one `(kind, payload)` frame. The bytes are identical to
+/// [`em_store::Wal::append`]'s on-disk frame (without the fsync —
+/// durability on a socket is the receiver's problem).
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    let mut body = Vec::with_capacity(1 + payload.len());
+    body.push(kind);
+    body.extend_from_slice(payload);
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    w.write_all(&frame)
+}
+
+/// Incremental frame scanner over received bytes (see the [module
+/// docs](self)).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes read from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: drop consumed bytes before growing.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Scan the next complete frame, if one is fully buffered.
+    /// `Ok(None)` means a partial frame (or nothing) is waiting for
+    /// more bytes; corruption is a typed error and poisons the
+    /// connection (the caller must close it — resynchronizing an
+    /// unframed byte stream is not possible).
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, StoreError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes"));
+        if len == 0 {
+            return Err(StoreError::Corrupt {
+                context: "zero-length socket frame".to_owned(),
+            });
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(StoreError::Corrupt {
+                context: format!("socket frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+            });
+        }
+        if avail.len() - 8 < len {
+            return Ok(None);
+        }
+        let body = &avail[8..8 + len];
+        if crc32(body) != crc {
+            return Err(StoreError::Corrupt {
+                context: "checksum mismatch in socket frame".to_owned(),
+            });
+        }
+        let frame = (body[0], body[1..].to_vec());
+        self.pos += 8 + len;
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet consumed (a torn frame's prefix).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_partials_wait() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 7, b"hello").unwrap();
+        write_frame(&mut wire, 9, b"").unwrap();
+
+        let mut buf = FrameBuffer::new();
+        // Feed byte by byte: every prefix is a clean partial.
+        for &b in &wire {
+            buf.extend(&[b]);
+        }
+        assert_eq!(buf.next_frame().unwrap(), Some((7, b"hello".to_vec())));
+        assert_eq!(buf.next_frame().unwrap(), Some((9, Vec::new())));
+        assert_eq!(buf.next_frame().unwrap(), None);
+        assert_eq!(buf.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn torn_frames_stay_pending() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 3, b"payload").unwrap();
+        let mut buf = FrameBuffer::new();
+        buf.extend(&wire[..wire.len() - 1]);
+        assert_eq!(buf.next_frame().unwrap(), None, "torn frame must wait");
+        buf.extend(&wire[wire.len() - 1..]);
+        assert_eq!(buf.next_frame().unwrap(), Some((3, b"payload".to_vec())));
+    }
+
+    #[test]
+    fn flipped_bytes_and_bad_lengths_are_typed_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 3, b"payload").unwrap();
+        let mut flipped = wire.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let mut buf = FrameBuffer::new();
+        buf.extend(&flipped);
+        assert!(matches!(buf.next_frame(), Err(StoreError::Corrupt { .. })));
+
+        let mut buf = FrameBuffer::new();
+        buf.extend(&[0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(matches!(buf.next_frame(), Err(StoreError::Corrupt { .. })));
+
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        huge.extend_from_slice(&[0; 4]);
+        let mut buf = FrameBuffer::new();
+        buf.extend(&huge);
+        assert!(matches!(buf.next_frame(), Err(StoreError::Corrupt { .. })));
+    }
+}

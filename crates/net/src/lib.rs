@@ -1,0 +1,52 @@
+//! `em-net`: socket transport and query protocol for the `em-serve`
+//! daemon.
+//!
+//! `em-serve` deliberately ships no network stack — its transports are
+//! a tailed file and an in-process channel. This crate is the missing
+//! producer *and* consumer: a [`Server`] that listens on a Unix-domain
+//! socket or localhost TCP, speaks the same length-prefixed
+//! CRC-guarded frame layout the store WAL uses (see [`frame`]), and
+//! multiplexes two planes over one connection:
+//!
+//! * **ingestion** — the existing [`em_serve::StreamFrame`] kinds
+//!   (delta, fence) pass through verbatim, one-way, decoded straight
+//!   into the daemon's channel source;
+//! * **queries and control** — typed request/response frames
+//!   ([`proto`]): `Query` → sorted match pairs, `Status` → session
+//!   status, `Digest` → the replay-identity anchor, plus
+//!   `Checkpoint`/`Evict`/`List`/`Drain` admin and the two stop verbs
+//!   (`Shutdown` checkpoints, `Kill` simulates a crash).
+//!
+//! ```text
+//!   serve_ctl / tests            em-net                    em-serve
+//!  ┌───────────────┐   frames  ┌──────────────────┐      ┌──────────┐
+//!  │ Client ───────┼──────────▶│ conn threads ────┼──┬──▶│ channel  │
+//!  │  ingest/query │◀──────────┼── replies        │  │   │ source   │
+//!  └───────────────┘  (1 resp  │ serve loop ──────┼──┴──▶│ Daemon   │
+//!                      per req) └──────────────────┘      └──────────┘
+//! ```
+//!
+//! Everything is hand-rolled on [`em_store::Writer`]/
+//! [`em_store::Reader`] — no serde, no async runtime, no external
+//! transport crates — so the wire inherits the store codec's tested
+//! torn-tail and corruption semantics byte for byte.
+//!
+//! [`load`] wires it together into the socket-mode serve-load
+//! harness: external-client traffic, LRU eviction, kill/recover fault
+//! injection, and the cumulative op-log replay-identity gate, all
+//! measured through the socket.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod load;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, NetError};
+pub use frame::{write_frame, FrameBuffer, MAX_FRAME_LEN};
+pub use load::{run_socket_load, SocketLoadConfig, Transport};
+pub use proto::{sorted_pairs, Request, Response, WireStatus};
+pub use server::{Endpoint, Server, ServerAddr, ShutdownKind};

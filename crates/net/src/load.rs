@@ -1,0 +1,351 @@
+//! The socket serve-load driver: the `em-serve` load harness with a
+//! real wire in the middle.
+//!
+//! [`run_socket_load`] mirrors [`em_serve::run_load`] — scripted
+//! per-session traffic, burst/drain alternation, mid-stream eviction,
+//! fault injection, and the cumulative op-log replay-identity arm —
+//! but every byte crosses a socket: the daemon runs inside a
+//! [`Server`] on its own thread, and the producer is a [`Client`]
+//! streaming ingestion frames and issuing `Drain`/`Digest`/`Query`/
+//! `Evict`/`Kill`/`Shutdown` requests like any external process
+//! would.
+//!
+//! **Fault injection differs from channel mode on purpose.** The
+//! channel-mode driver kills with a burst provably unapplied and
+//! resends it (the at-least-once contract). Over a socket there is no
+//! way to hold frames unapplied — the serve loop applies continuously
+//! — so the socket driver drains first, captures per-session digests
+//! *over the wire*, then sends [`Request::Kill`](crate::proto::Request::Kill): the daemon
+//! hard-stops with **no** checkpoints, exactly like a crash, and the
+//! next incarnation must recover every session from its snapshot +
+//! WAL tail alone. The client reconnects to the new incarnation's
+//! socket ([`Client::connect_retry`]) and re-reads the digests;
+//! [`em_serve::LoadOutcome::crash_recovery_identical`] reports
+//! whether recovery landed byte-identically.
+//!
+//! The outcome type is shared with channel mode, so `serve_load`
+//! prints the same greppable report for both.
+
+use crate::client::{Client, NetError};
+use crate::proto::sorted_pairs;
+use crate::server::{Endpoint, Server, ServerAddr, ShutdownKind};
+use em::{Dataset, MatchSession, Pipeline};
+use em_serve::{
+    channel_source, staleness_percentiles, ChannelSource, Daemon, LoadOutcome, Op, ServeConfig,
+    ServeError, SessionLoadStats, SessionStats, SessionTraffic, StreamFrame,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Which socket family [`run_socket_load`] serves on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Unix-domain socket under [`SocketLoadConfig::socket_dir`].
+    Unix,
+    /// Localhost TCP on an ephemeral port.
+    Tcp,
+}
+
+/// Knobs of [`run_socket_load`]. The traffic-shaping fields mean
+/// exactly what they do in [`em_serve::LoadConfig`].
+#[derive(Debug, Clone)]
+pub struct SocketLoadConfig {
+    /// Daemon tuning (queue caps, staleness budgets, LRU cap, store
+    /// root).
+    pub serve: ServeConfig,
+    /// Socket family to serve on.
+    pub transport: Transport,
+    /// Directory for Unix socket files (one per daemon incarnation;
+    /// unused for TCP).
+    pub socket_dir: PathBuf,
+    /// Broadcast a fence every this many traffic rounds (0 = never).
+    pub fence_every: usize,
+    /// Rounds sent before the producer issues a `Drain` barrier.
+    pub rounds_per_burst: usize,
+    /// Evict every session once, halfway through the stream (requires
+    /// [`ServeConfig::store_root`]).
+    pub evict_mid_stream: bool,
+    /// Kill the daemon (no checkpoints) after every Nth burst and
+    /// recover a fresh incarnation from the stores (0 = never;
+    /// requires [`ServeConfig::store_root`]). See the [module
+    /// docs](self).
+    pub kill_every: usize,
+}
+
+struct Incarnation {
+    handle: std::thread::JoinHandle<Result<(Daemon<ChannelSource>, ShutdownKind), ServeError>>,
+    addr: ServerAddr,
+}
+
+impl Incarnation {
+    fn join(self) -> Result<(Daemon<ChannelSource>, ShutdownKind), NetError> {
+        match self.handle.join() {
+            Ok(result) => result.map_err(NetError::Serve),
+            Err(_) => Err(NetError::Server("server thread panicked".to_owned())),
+        }
+    }
+}
+
+fn spawn_incarnation<F>(
+    generation: u64,
+    names: &[String],
+    initials: &BTreeMap<String, Dataset>,
+    config: &SocketLoadConfig,
+    make: &F,
+) -> Result<Incarnation, NetError>
+where
+    F: Fn(Dataset) -> Pipeline + Clone + Send + 'static,
+{
+    let endpoint = match config.transport {
+        Transport::Unix => Endpoint::Unix(
+            config
+                .socket_dir
+                .join(format!("em-serve-{generation}.sock")),
+        ),
+        Transport::Tcp => Endpoint::Tcp("127.0.0.1:0".to_owned()),
+    };
+    // Bind on the harness thread so the address is known before the
+    // server thread starts serving.
+    let server = Server::bind(&endpoint)?;
+    let addr = server.addr().clone();
+    let serve_config = config.serve.clone();
+    let names = names.to_vec();
+    let initials = initials.clone();
+    let make = make.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("em-net-serve-{generation}"))
+        .spawn(
+            move || -> Result<(Daemon<ChannelSource>, ShutdownKind), ServeError> {
+                let (tx, source) = channel_source();
+                let mut daemon = Daemon::new(source, serve_config);
+                for name in &names {
+                    let make = make.clone();
+                    let initial = initials[name].clone();
+                    daemon.admit(name, move || make(initial.clone()))?;
+                }
+                server.serve(daemon, tx)
+            },
+        )
+        .expect("spawn server thread");
+    Ok(Incarnation { handle, addr })
+}
+
+fn fold_stats(into: &mut SessionStats, from: &SessionStats) {
+    into.batches += from.batches;
+    into.frames_applied += from.frames_applied;
+    into.coalesced_frames += from.coalesced_frames;
+    into.shed_events += from.shed_events;
+    into.budget_misses += from.budget_misses;
+    into.degraded_to_cold += from.degraded_to_cold;
+    into.overload_degrades += from.overload_degrades;
+    into.lru_evictions += from.lru_evictions;
+    into.revivals += from.revivals;
+    into.staleness_samples_ms
+        .extend_from_slice(&from.staleness_samples_ms);
+}
+
+fn harvest(
+    daemon: &Daemon<ChannelSource>,
+    names: &[String],
+    base_stats: &mut BTreeMap<String, SessionStats>,
+    prefix_ops: &mut BTreeMap<String, Vec<Op>>,
+) {
+    for name in names {
+        fold_stats(
+            base_stats.entry(name.clone()).or_default(),
+            daemon.stats(name).expect("admitted"),
+        );
+        prefix_ops
+            .entry(name.clone())
+            .or_default()
+            .extend_from_slice(daemon.op_log(name).expect("admitted"));
+    }
+}
+
+fn replay_ops<F>(make: &F, initial: &Dataset, ops: &[Op]) -> Result<MatchSession, ServeError>
+where
+    F: Fn(Dataset) -> Pipeline,
+{
+    let mut session = make(initial.clone()).build()?;
+    for op in ops {
+        match op {
+            Op::Update(delta) => {
+                session.update(delta);
+            }
+            Op::ResetWarm => session.reset_warm(),
+            Op::Run => {
+                session.run();
+            }
+        }
+    }
+    Ok(session)
+}
+
+/// Drive `traffic` at a socket-served daemon and verify the wire
+/// changed nothing (see the [module docs](self)). `make` has the same
+/// contract as in [`em_serve::run_load`]: deterministic, no attached
+/// store.
+pub fn run_socket_load<F>(
+    traffic: Vec<SessionTraffic>,
+    config: &SocketLoadConfig,
+    make: F,
+) -> Result<LoadOutcome, NetError>
+where
+    F: Fn(Dataset) -> Pipeline + Clone + Send + 'static,
+{
+    if config.kill_every > 0 && config.serve.store_root.is_none() {
+        return Err(NetError::Serve(ServeError::NotDurable(
+            "kill_every socket traffic".to_owned(),
+        )));
+    }
+
+    let mut initials: BTreeMap<String, Dataset> = BTreeMap::new();
+    let mut names = Vec::new();
+    let mut scripts = Vec::new();
+    let total_rounds = traffic.iter().map(|t| t.deltas.len()).max().unwrap_or(0);
+    for t in &traffic {
+        initials.insert(t.name.clone(), t.initial.clone());
+        names.push(t.name.clone());
+    }
+    for t in traffic {
+        scripts.push((t.name, t.deltas.into_iter()));
+    }
+
+    let mut generation = 0u64;
+    let mut incarnation = spawn_incarnation(generation, &names, &initials, config, &make)?;
+    let mut client = Client::connect_retry(&incarnation.addr, Duration::from_secs(10))?;
+
+    // The admitted roster must be visible over the wire before any
+    // traffic flows (List reports name order; traffic is admission
+    // order).
+    let listed: Vec<String> = client.list()?.into_iter().map(|i| i.name).collect();
+    let mut sorted_names = names.clone();
+    sorted_names.sort();
+    debug_assert_eq!(
+        listed, sorted_names,
+        "List must report every admitted session"
+    );
+
+    let mut base_stats: BTreeMap<String, SessionStats> = BTreeMap::new();
+    let mut prefix_ops: BTreeMap<String, Vec<Op>> = BTreeMap::new();
+    let mut base_dead_letters = 0u64;
+    let mut crash_recoveries = 0u64;
+    let mut crash_recovery_identical = true;
+
+    let mut steps = 0u64;
+    let mut round = 0usize;
+    let mut fence_id = 0u64;
+    let mut bursts = 0usize;
+    let mut evicted = false;
+    loop {
+        let mut sent_any = false;
+        for _ in 0..config.rounds_per_burst.max(1) {
+            for (name, script) in &mut scripts {
+                if let Some(delta) = script.next() {
+                    client.ingest(&StreamFrame::Delta {
+                        session: name.clone(),
+                        delta: Box::new(delta),
+                    })?;
+                    sent_any = true;
+                }
+            }
+            round += 1;
+            if config.fence_every > 0 && round.is_multiple_of(config.fence_every) {
+                fence_id += 1;
+                client.ingest(&StreamFrame::Fence(fence_id))?;
+            }
+        }
+        bursts += 1;
+        // Read-your-writes barrier: the burst is fully applied (and
+        // journaled to each session's WAL) when Drain replies.
+        steps += client.drain()?;
+
+        if config.kill_every > 0 && sent_any && bursts.is_multiple_of(config.kill_every) {
+            let mut death_digests = BTreeMap::new();
+            for name in &names {
+                death_digests.insert(name.clone(), client.digest(name)?);
+            }
+            client.kill()?;
+            let (daemon, kind) = incarnation.join()?;
+            debug_assert_eq!(kind, ShutdownKind::Killed);
+            harvest(&daemon, &names, &mut base_stats, &mut prefix_ops);
+            base_dead_letters += daemon.dead_letters();
+            drop(daemon); // joins workers; no checkpoints — the crash
+            crash_recoveries += 1;
+
+            generation += 1;
+            incarnation = spawn_incarnation(generation, &names, &initials, config, &make)?;
+            // Reconnect-after-restart: the old socket is dead, the new
+            // incarnation listens on a fresh endpoint.
+            client = Client::connect_retry(&incarnation.addr, Duration::from_secs(10))?;
+            for name in &names {
+                if client.digest(name)? != death_digests[name] {
+                    crash_recovery_identical = false;
+                }
+            }
+        }
+
+        if config.evict_mid_stream && !evicted && round >= total_rounds / 2 {
+            for name in &names {
+                client.evict(name)?;
+            }
+            evicted = true;
+        }
+        if !sent_any {
+            break;
+        }
+    }
+
+    // Final wire-side snapshot, then graceful shutdown and harvest.
+    steps += client.drain()?;
+    let mut wire_digests = BTreeMap::new();
+    let mut wire_matches = BTreeMap::new();
+    for name in &names {
+        wire_digests.insert(name.clone(), client.digest(name)?);
+        wire_matches.insert(name.clone(), client.query(name)?);
+    }
+    client.shutdown()?;
+    let (daemon, kind) = incarnation.join()?;
+    debug_assert_eq!(kind, ShutdownKind::Graceful);
+
+    let mut sessions = Vec::new();
+    for name in &names {
+        let mut ops = prefix_ops.remove(name).unwrap_or_default();
+        ops.extend_from_slice(daemon.op_log(name).expect("admitted"));
+        let replayed = replay_ops(&make, &initials[name], &ops).map_err(NetError::Serve)?;
+        // Identity is judged against what the wire reported, so the
+        // socket path itself is under test, not just the daemon.
+        let identical = replayed.state_digest() == wire_digests[name]
+            && sorted_pairs(replayed.matches()) == wire_matches[name];
+        let mut stats = base_stats.remove(name).unwrap_or_default();
+        fold_stats(&mut stats, daemon.stats(name).expect("admitted"));
+        let (p50, p99) = staleness_percentiles(&stats.staleness_samples_ms);
+        sessions.push(SessionLoadStats {
+            name: name.clone(),
+            identical,
+            batches: stats.batches,
+            frames_applied: stats.frames_applied,
+            coalesced_frames: stats.coalesced_frames,
+            shed_events: stats.shed_events,
+            budget_misses: stats.budget_misses,
+            degraded_to_cold: stats.degraded_to_cold,
+            overload_degrades: stats.overload_degrades,
+            lru_evictions: stats.lru_evictions,
+            revivals: stats.revivals,
+            staleness_p50_ms: p50,
+            staleness_p99_ms: p99,
+            final_matches: wire_matches[name].len() as u64,
+        });
+    }
+    Ok(LoadOutcome {
+        sessions_identical: sessions.iter().all(|s| s.identical),
+        staleness_budget_met: sessions.iter().all(|s| s.budget_misses == 0),
+        crash_recoveries,
+        crash_recovery_identical,
+        lru_evictions: sessions.iter().map(|s| s.lru_evictions).sum(),
+        dead_letters: base_dead_letters + daemon.dead_letters(),
+        steps,
+        sessions,
+    })
+}

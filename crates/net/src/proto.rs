@@ -1,0 +1,451 @@
+//! The query protocol: typed request/response frames extending the
+//! change-stream codec.
+//!
+//! An `em-net` connection carries three frame families, all in the
+//! [`crate::frame`] layout and all hand-rolled on
+//! [`em_store::{Writer,Reader}`](em_store::Writer):
+//!
+//! | kind | frame | direction | reply |
+//! |------|-------|-----------|-------|
+//! | 1, 2 | [`StreamFrame`] delta / fence | client → server | none (one-way ingestion) |
+//! | 16 | `Query{session}` | client → server | 32 `Matches` |
+//! | 17 | `Status{session}` | client → server | 33 `Status` |
+//! | 18 | `Digest{session}` | client → server | 34 `Digest` |
+//! | 19 | `Checkpoint{session}` | client → server | 35 `Checkpointed` |
+//! | 20 | `Evict{session}` | client → server | 36 `Evicted` |
+//! | 21 | `List` | client → server | 37 `Sessions` |
+//! | 22 | `Drain` | client → server | 38 `Drained` |
+//! | 23 | `Shutdown` | client → server | 39 `ShuttingDown` |
+//! | 24 | `Kill` | client → server | 40 `Killed` |
+//! | 41 | `Error{message}` | server → client | — |
+//!
+//! Ingestion frames reuse the stream kinds byte-for-byte
+//! ([`em_serve::wire`]), so a producer that wrote stream files can
+//! write the same bytes at a socket. Every request with a reply gets
+//! exactly one response frame, in request order per connection.
+//! Unknown kinds and malformed payloads are typed [`StoreError`]s —
+//! never skipped, never guessed at.
+
+use em_core::{EntityId, Pair};
+use em_serve::{SessionInfo, StreamFrame};
+use em_store::{Reader, StoreError, Writer};
+
+/// First request kind (ingestion kinds 1–2 sit below).
+pub const FRAME_QUERY: u8 = 16;
+/// `Status{session}` request kind.
+pub const FRAME_STATUS: u8 = 17;
+/// `Digest{session}` request kind.
+pub const FRAME_DIGEST: u8 = 18;
+/// `Checkpoint{session}` request kind.
+pub const FRAME_CHECKPOINT: u8 = 19;
+/// `Evict{session}` request kind.
+pub const FRAME_EVICT: u8 = 20;
+/// `List` request kind.
+pub const FRAME_LIST: u8 = 21;
+/// `Drain` request kind.
+pub const FRAME_DRAIN: u8 = 22;
+/// `Shutdown` request kind.
+pub const FRAME_SHUTDOWN: u8 = 23;
+/// `Kill` request kind.
+pub const FRAME_KILL: u8 = 24;
+
+/// `Matches` response kind.
+pub const FRAME_MATCHES_REPLY: u8 = 32;
+/// `Status` response kind.
+pub const FRAME_STATUS_REPLY: u8 = 33;
+/// `Digest` response kind.
+pub const FRAME_DIGEST_REPLY: u8 = 34;
+/// `Checkpointed` response kind.
+pub const FRAME_CHECKPOINTED_REPLY: u8 = 35;
+/// `Evicted` response kind.
+pub const FRAME_EVICTED_REPLY: u8 = 36;
+/// `Sessions` response kind.
+pub const FRAME_SESSIONS_REPLY: u8 = 37;
+/// `Drained` response kind.
+pub const FRAME_DRAINED_REPLY: u8 = 38;
+/// `ShuttingDown` response kind.
+pub const FRAME_SHUTTING_DOWN_REPLY: u8 = 39;
+/// `Killed` response kind.
+pub const FRAME_KILLED_REPLY: u8 = 40;
+/// `Error` response kind.
+pub const FRAME_ERROR_REPLY: u8 = 41;
+
+/// One client → server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// One-way ingestion: a session-addressed delta or a fence, in the
+    /// existing stream codec. No response.
+    Ingest(StreamFrame),
+    /// The named session's last completed fixpoint.
+    Query {
+        /// Target session.
+        session: String,
+    },
+    /// The named session's status snapshot.
+    Status {
+        /// Target session.
+        session: String,
+    },
+    /// The named session's state digest (the identity-check primitive;
+    /// settles in-flight work first, like a direct-access query).
+    Digest {
+        /// Target session.
+        session: String,
+    },
+    /// Checkpoint the named durable session without evicting it.
+    Checkpoint {
+        /// Target session.
+        session: String,
+    },
+    /// Evict the named durable session (admin).
+    Evict {
+        /// Target session.
+        session: String,
+    },
+    /// List every admitted session (admin).
+    List,
+    /// Block until the daemon is quiescent: source drained, queues
+    /// empty, workers idle. The read-your-writes barrier for a
+    /// producer that wants its ingested frames applied.
+    Drain,
+    /// Graceful shutdown: checkpoint every durable session, then stop
+    /// serving.
+    Shutdown,
+    /// Hard stop: no checkpoints — in-memory state dies exactly as in
+    /// a crash (the fault-injection hook).
+    Kill,
+}
+
+/// The status payload of [`Response::Status`]: a wire-portable
+/// [`em::SessionStatus`] (the degrade reason travels as its stable
+/// metrics label).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireStatus {
+    /// Completed runs.
+    pub runs: u32,
+    /// Mutation epoch.
+    pub state_epoch: u64,
+    /// Entity-id-space size of the session's dataset.
+    pub entities: u64,
+    /// Candidate pairs currently annotated.
+    pub candidate_pairs: u64,
+    /// Neighborhoods in the current cover.
+    pub neighborhoods: u64,
+    /// Pairs in the last fixpoint.
+    pub warm_matches: u64,
+    /// [`em::DegradeReason::label`] of the last degrade, if any.
+    pub last_degrade: Option<String>,
+    /// Whether the session journals to a durable store.
+    pub durable: bool,
+}
+
+impl From<em::SessionStatus> for WireStatus {
+    fn from(s: em::SessionStatus) -> Self {
+        Self {
+            runs: s.runs,
+            state_epoch: s.state_epoch,
+            entities: s.entities,
+            candidate_pairs: s.candidate_pairs,
+            neighborhoods: s.neighborhoods,
+            warm_matches: s.warm_matches,
+            last_degrade: s.last_degrade.map(|r| r.label().to_owned()),
+            durable: s.durable,
+        }
+    }
+}
+
+/// One server → client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Query`]: the match set, sorted by pair.
+    Matches {
+        /// Queried session.
+        session: String,
+        /// The last completed fixpoint, in ascending `(lo, hi)` order.
+        pairs: Vec<Pair>,
+    },
+    /// Reply to [`Request::Status`].
+    Status {
+        /// Queried session.
+        session: String,
+        /// The snapshot.
+        status: WireStatus,
+    },
+    /// Reply to [`Request::Digest`].
+    Digest {
+        /// Queried session.
+        session: String,
+        /// [`em::MatchSession::state_digest`] of the settled session.
+        digest: String,
+    },
+    /// Reply to [`Request::Checkpoint`].
+    Checkpointed {
+        /// Checkpointed session.
+        session: String,
+    },
+    /// Reply to [`Request::Evict`].
+    Evicted {
+        /// Evicted session.
+        session: String,
+    },
+    /// Reply to [`Request::List`].
+    Sessions(Vec<SessionInfo>),
+    /// Reply to [`Request::Drain`].
+    Drained {
+        /// Batches dispatched while draining.
+        steps: u64,
+    },
+    /// Reply to [`Request::Shutdown`].
+    ShuttingDown,
+    /// Reply to [`Request::Kill`].
+    Killed,
+    /// The request failed server-side; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+fn session_payload(session: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.str(session);
+    w.into_bytes()
+}
+
+fn decode_session(payload: &[u8], what: &'static str) -> Result<String, StoreError> {
+    let mut r = Reader::new(payload);
+    let session = r.str(what)?.to_owned();
+    r.finish(what)?;
+    Ok(session)
+}
+
+impl Request {
+    /// Encode as a `(kind, payload)` pair for [`crate::frame::write_frame`].
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::Ingest(frame) => frame.encode(),
+            Request::Query { session } => (FRAME_QUERY, session_payload(session)),
+            Request::Status { session } => (FRAME_STATUS, session_payload(session)),
+            Request::Digest { session } => (FRAME_DIGEST, session_payload(session)),
+            Request::Checkpoint { session } => (FRAME_CHECKPOINT, session_payload(session)),
+            Request::Evict { session } => (FRAME_EVICT, session_payload(session)),
+            Request::List => (FRAME_LIST, Vec::new()),
+            Request::Drain => (FRAME_DRAIN, Vec::new()),
+            Request::Shutdown => (FRAME_SHUTDOWN, Vec::new()),
+            Request::Kill => (FRAME_KILL, Vec::new()),
+        }
+    }
+
+    /// Decode a `(kind, payload)` pair. Unknown kinds and malformed
+    /// payloads are typed [`StoreError`]s.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Self, StoreError> {
+        let empty = |payload: &[u8], req: Self, what: &'static str| {
+            let r = Reader::new(payload);
+            r.finish(what)?;
+            Ok(req)
+        };
+        match kind {
+            em_serve::FRAME_STREAM_DELTA | em_serve::FRAME_STREAM_FENCE => {
+                Ok(Request::Ingest(StreamFrame::decode(kind, payload)?))
+            }
+            FRAME_QUERY => Ok(Request::Query {
+                session: decode_session(payload, "query request")?,
+            }),
+            FRAME_STATUS => Ok(Request::Status {
+                session: decode_session(payload, "status request")?,
+            }),
+            FRAME_DIGEST => Ok(Request::Digest {
+                session: decode_session(payload, "digest request")?,
+            }),
+            FRAME_CHECKPOINT => Ok(Request::Checkpoint {
+                session: decode_session(payload, "checkpoint request")?,
+            }),
+            FRAME_EVICT => Ok(Request::Evict {
+                session: decode_session(payload, "evict request")?,
+            }),
+            FRAME_LIST => empty(payload, Request::List, "list request"),
+            FRAME_DRAIN => empty(payload, Request::Drain, "drain request"),
+            FRAME_SHUTDOWN => empty(payload, Request::Shutdown, "shutdown request"),
+            FRAME_KILL => empty(payload, Request::Kill, "kill request"),
+            other => Err(StoreError::Corrupt {
+                context: format!("unknown request frame kind {other}"),
+            }),
+        }
+    }
+}
+
+impl Response {
+    /// Encode as a `(kind, payload)` pair for [`crate::frame::write_frame`].
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = Writer::new();
+        match self {
+            Response::Matches { session, pairs } => {
+                w.str(session);
+                w.usize(pairs.len());
+                for pair in pairs {
+                    w.u32(pair.lo().0);
+                    w.u32(pair.hi().0);
+                }
+                (FRAME_MATCHES_REPLY, w.into_bytes())
+            }
+            Response::Status { session, status } => {
+                w.str(session);
+                w.u32(status.runs);
+                w.u64(status.state_epoch);
+                w.u64(status.entities);
+                w.u64(status.candidate_pairs);
+                w.u64(status.neighborhoods);
+                w.u64(status.warm_matches);
+                match &status.last_degrade {
+                    Some(label) => {
+                        w.bool(true);
+                        w.str(label);
+                    }
+                    None => w.bool(false),
+                }
+                w.bool(status.durable);
+                (FRAME_STATUS_REPLY, w.into_bytes())
+            }
+            Response::Digest { session, digest } => {
+                w.str(session);
+                w.str(digest);
+                (FRAME_DIGEST_REPLY, w.into_bytes())
+            }
+            Response::Checkpointed { session } => {
+                (FRAME_CHECKPOINTED_REPLY, session_payload(session))
+            }
+            Response::Evicted { session } => (FRAME_EVICTED_REPLY, session_payload(session)),
+            Response::Sessions(infos) => {
+                w.usize(infos.len());
+                for info in infos {
+                    w.str(&info.name);
+                    w.bool(info.resident);
+                    w.bool(info.in_flight);
+                    w.u64(info.pending);
+                    w.u64(info.batches);
+                }
+                (FRAME_SESSIONS_REPLY, w.into_bytes())
+            }
+            Response::Drained { steps } => {
+                w.u64(*steps);
+                (FRAME_DRAINED_REPLY, w.into_bytes())
+            }
+            Response::ShuttingDown => (FRAME_SHUTTING_DOWN_REPLY, Vec::new()),
+            Response::Killed => (FRAME_KILLED_REPLY, Vec::new()),
+            Response::Error { message } => {
+                w.str(message);
+                (FRAME_ERROR_REPLY, w.into_bytes())
+            }
+        }
+    }
+
+    /// Decode a `(kind, payload)` pair. Unknown kinds and malformed
+    /// payloads are typed [`StoreError`]s.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Self, StoreError> {
+        let mut r = Reader::new(payload);
+        match kind {
+            FRAME_MATCHES_REPLY => {
+                let session = r.str("matches reply session")?.to_owned();
+                let n = r.len(8, "matches reply pair count")?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let lo = r.u32("matches reply pair lo")?;
+                    let hi = r.u32("matches reply pair hi")?;
+                    pairs.push(Pair::new(EntityId(lo), EntityId(hi)));
+                }
+                r.finish("matches reply")?;
+                Ok(Response::Matches { session, pairs })
+            }
+            FRAME_STATUS_REPLY => {
+                let session = r.str("status reply session")?.to_owned();
+                let runs = r.u32("status reply runs")?;
+                let state_epoch = r.u64("status reply epoch")?;
+                let entities = r.u64("status reply entities")?;
+                let candidate_pairs = r.u64("status reply candidates")?;
+                let neighborhoods = r.u64("status reply neighborhoods")?;
+                let warm_matches = r.u64("status reply warm matches")?;
+                let last_degrade = if r.bool("status reply degrade flag")? {
+                    Some(r.str("status reply degrade label")?.to_owned())
+                } else {
+                    None
+                };
+                let durable = r.bool("status reply durable")?;
+                r.finish("status reply")?;
+                Ok(Response::Status {
+                    session,
+                    status: WireStatus {
+                        runs,
+                        state_epoch,
+                        entities,
+                        candidate_pairs,
+                        neighborhoods,
+                        warm_matches,
+                        last_degrade,
+                        durable,
+                    },
+                })
+            }
+            FRAME_DIGEST_REPLY => {
+                let session = r.str("digest reply session")?.to_owned();
+                let digest = r.str("digest reply digest")?.to_owned();
+                r.finish("digest reply")?;
+                Ok(Response::Digest { session, digest })
+            }
+            FRAME_CHECKPOINTED_REPLY => Ok(Response::Checkpointed {
+                session: decode_session(payload, "checkpointed reply")?,
+            }),
+            FRAME_EVICTED_REPLY => Ok(Response::Evicted {
+                session: decode_session(payload, "evicted reply")?,
+            }),
+            FRAME_SESSIONS_REPLY => {
+                let n = r.len(11, "sessions reply count")?;
+                let mut infos = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str("sessions reply name")?.to_owned();
+                    let resident = r.bool("sessions reply resident")?;
+                    let in_flight = r.bool("sessions reply in-flight")?;
+                    let pending = r.u64("sessions reply pending")?;
+                    let batches = r.u64("sessions reply batches")?;
+                    infos.push(SessionInfo {
+                        name,
+                        resident,
+                        in_flight,
+                        pending,
+                        batches,
+                    });
+                }
+                r.finish("sessions reply")?;
+                Ok(Response::Sessions(infos))
+            }
+            FRAME_DRAINED_REPLY => {
+                let steps = r.u64("drained reply steps")?;
+                r.finish("drained reply")?;
+                Ok(Response::Drained { steps })
+            }
+            FRAME_SHUTTING_DOWN_REPLY => {
+                r.finish("shutting-down reply")?;
+                Ok(Response::ShuttingDown)
+            }
+            FRAME_KILLED_REPLY => {
+                r.finish("killed reply")?;
+                Ok(Response::Killed)
+            }
+            FRAME_ERROR_REPLY => {
+                let message = r.str("error reply message")?.to_owned();
+                r.finish("error reply")?;
+                Ok(Response::Error { message })
+            }
+            other => Err(StoreError::Corrupt {
+                context: format!("unknown response frame kind {other}"),
+            }),
+        }
+    }
+}
+
+/// Sort a match set into the deterministic wire order of
+/// [`Response::Matches`].
+pub fn sorted_pairs(matches: &em_core::PairSet) -> Vec<Pair> {
+    let mut pairs: Vec<Pair> = matches.iter().collect();
+    pairs.sort_by_key(|p| (p.lo().0, p.hi().0));
+    pairs
+}

@@ -1,0 +1,459 @@
+//! The socket server: accept loop, per-connection framing, and the
+//! daemon serve loop.
+//!
+//! A [`Server`] binds one endpoint — a Unix-domain socket path or a
+//! localhost TCP address — and [`Server::serve`] runs the admitter
+//! loop over a [`Daemon`] until a [`Request::Shutdown`] (graceful:
+//! every durable session checkpointed) or [`Request::Kill`] (hard
+//! stop: in-memory state dropped exactly as in a crash) arrives:
+//!
+//! ```text
+//!  client ──frames──▶ conn thread ──┬─ Ingest ──▶ ingest channel ─▶ Daemon::pump
+//!                                   └─ Request ─▶ request channel ─▶ handle ─▶ reply
+//!  (one thread per connection; replies write back on the same socket,
+//!   one response per request, in request order per connection)
+//! ```
+//!
+//! Connection threads only decode frames and shuttle them; every
+//! daemon touch happens on the serve-loop thread, so the daemon needs
+//! no locking and request handling is serialized against scheduling —
+//! a query observes either the fixpoint before a batch or after it,
+//! never the middle. Corrupt frames (bad CRC, unknown kind, malformed
+//! payload) poison their connection: the server replies with a typed
+//! [`Response::Error`] and closes — resynchronizing an unframed byte
+//! stream is not possible.
+//!
+//! [`Server::serve`] returns the daemon so a harness can harvest op
+//! logs, stats, and digests after shutdown; on [`Request::Kill`] the
+//! returned daemon is dropped by value at the call site like any
+//! other, which joins in-flight workers (their journal frames land in
+//! the store WAL) without checkpointing — the crash the fault
+//! injection wants.
+
+use crate::frame::{write_frame, FrameBuffer};
+use crate::proto::{sorted_pairs, Request, Response, WireStatus};
+use em_serve::{ChannelSource, Daemon, ServeError, StreamFrame};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Where a server should listen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this path (a stale file is replaced).
+    Unix(PathBuf),
+    /// A TCP address, e.g. `"127.0.0.1:0"` for an ephemeral localhost
+    /// port.
+    Tcp(String),
+}
+
+/// Where a bound server is actually listening (TCP resolves the
+/// ephemeral port).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerAddr {
+    /// Bound Unix-domain socket path.
+    Unix(PathBuf),
+    /// Bound TCP socket address.
+    Tcp(std::net::SocketAddr),
+}
+
+impl std::fmt::Display for ServerAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            ServerAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn configure(&self) -> std::io::Result<()> {
+        // Read timeouts keep connection threads responsive to server
+        // shutdown; write timeouts keep a stalled client from pinning
+        // a thread forever.
+        let (read, write) = (
+            Some(Duration::from_millis(50)),
+            Some(Duration::from_secs(5)),
+        );
+        match self {
+            Conn::Unix(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
+            Conn::Tcp(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// How a serve loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownKind {
+    /// [`Request::Shutdown`]: durable sessions were checkpointed.
+    Graceful,
+    /// [`Request::Kill`]: no checkpoints — a simulated crash.
+    Killed,
+}
+
+/// A bound, not-yet-serving socket server. See the [module
+/// docs](self).
+pub struct Server {
+    listener: Listener,
+    addr: ServerAddr,
+}
+
+impl Server {
+    /// Bind `endpoint` (non-blocking accept; TCP resolves an ephemeral
+    /// port, Unix replaces a stale socket file).
+    pub fn bind(endpoint: &Endpoint) -> std::io::Result<Self> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Ok(Self {
+                    listener: Listener::Unix(listener),
+                    addr: ServerAddr::Unix(path.clone()),
+                })
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                let addr = listener.local_addr()?;
+                Ok(Self {
+                    listener: Listener::Tcp(listener),
+                    addr: ServerAddr::Tcp(addr),
+                })
+            }
+        }
+    }
+
+    /// Where the server is listening.
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// Serve `daemon` on this socket until a client requests shutdown
+    /// or kill (see the [module docs](self)). `ingest_tx` must be the
+    /// sender side of the daemon's [`em_serve::channel_source`] — the
+    /// connection threads decode ingestion frames into it. Returns the
+    /// daemon for post-shutdown inspection, plus how serving ended.
+    pub fn serve(
+        self,
+        mut daemon: Daemon<ChannelSource>,
+        ingest_tx: crossbeam::channel::Sender<StreamFrame>,
+    ) -> Result<(Daemon<ChannelSource>, ShutdownKind), ServeError> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (req_tx, req_rx) =
+            crossbeam::channel::unbounded::<(Request, crossbeam::channel::Sender<Response>)>();
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let addr = self.addr.clone();
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name(format!("em-net-accept-{addr}"))
+                .spawn(move || {
+                    accept_loop(listener, ingest_tx, req_tx, stop, conns);
+                })
+                .expect("spawn accept thread")
+        };
+
+        let result = serve_loop(&mut daemon, &req_rx);
+        stop.store(true, Ordering::Release);
+        let _ = accept.join();
+        for conn in conns.lock().expect("conn registry poisoned").drain(..) {
+            let _ = conn.join();
+        }
+        if let ServerAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+        result.map(|kind| (daemon, kind))
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    ingest_tx: crossbeam::channel::Sender<StreamFrame>,
+    req_tx: crossbeam::channel::Sender<(Request, crossbeam::channel::Sender<Response>)>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    let mut next_conn = 0u64;
+    loop {
+        let accepted = match &listener {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        };
+        match accepted {
+            Ok(conn) => {
+                if conn.configure().is_err() {
+                    continue;
+                }
+                next_conn += 1;
+                let handle = std::thread::Builder::new()
+                    .name(format!("em-net-conn-{next_conn}"))
+                    .spawn({
+                        let ingest_tx = ingest_tx.clone();
+                        let req_tx = req_tx.clone();
+                        let stop = Arc::clone(&stop);
+                        move || connection_loop(conn, ingest_tx, req_tx, stop)
+                    })
+                    .expect("spawn connection thread");
+                conns.lock().expect("conn registry poisoned").push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_response(conn: &mut Conn, response: &Response) -> std::io::Result<()> {
+    let (kind, payload) = response.encode();
+    write_frame(conn, kind, &payload)?;
+    conn.flush()
+}
+
+fn connection_loop(
+    mut conn: Conn,
+    ingest_tx: crossbeam::channel::Sender<StreamFrame>,
+    req_tx: crossbeam::channel::Sender<(Request, crossbeam::channel::Sender<Response>)>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut buf = FrameBuffer::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                buf.extend(&chunk[..n]);
+                loop {
+                    match buf.next_frame() {
+                        Ok(Some((kind, payload))) => {
+                            match Request::decode(kind, &payload) {
+                                Ok(Request::Ingest(frame)) => {
+                                    if ingest_tx.send(frame).is_err() {
+                                        return; // daemon gone
+                                    }
+                                }
+                                Ok(request) => {
+                                    let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+                                    if req_tx.send((request, reply_tx)).is_err() {
+                                        let _ = write_response(
+                                            &mut conn,
+                                            &Response::Error {
+                                                message: "server is shutting down".to_owned(),
+                                            },
+                                        );
+                                        return;
+                                    }
+                                    match reply_rx.recv() {
+                                        Ok(response) => {
+                                            if write_response(&mut conn, &response).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        Err(_) => {
+                                            let _ = write_response(
+                                                &mut conn,
+                                                &Response::Error {
+                                                    message: "server dropped the request"
+                                                        .to_owned(),
+                                                },
+                                            );
+                                            return;
+                                        }
+                                    }
+                                }
+                                Err(e) => {
+                                    // Typed rejection, then poison the
+                                    // connection: after a corrupt frame
+                                    // the stream cannot be re-synced.
+                                    let _ = write_response(
+                                        &mut conn,
+                                        &Response::Error {
+                                            message: format!("bad frame: {e}"),
+                                        },
+                                    );
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(None) => break, // torn frame: wait for more bytes
+                        Err(e) => {
+                            let _ = write_response(
+                                &mut conn,
+                                &Response::Error {
+                                    message: format!("bad frame: {e}"),
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_loop(
+    daemon: &mut Daemon<ChannelSource>,
+    req_rx: &crossbeam::channel::Receiver<(Request, crossbeam::channel::Sender<Response>)>,
+) -> Result<ShutdownKind, ServeError> {
+    loop {
+        daemon.pump()?;
+        let stepped = daemon.step()?.is_some();
+        let mut handled = false;
+        while let Some((request, reply)) = req_rx.try_recv() {
+            handled = true;
+            match handle_request(daemon, request)? {
+                Handled::Reply(response) => {
+                    let _ = reply.send(response);
+                }
+                Handled::Stop(response, kind) => {
+                    let _ = reply.send(response);
+                    return Ok(kind);
+                }
+            }
+        }
+        if !stepped && !handled {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+enum Handled {
+    Reply(Response),
+    Stop(Response, ShutdownKind),
+}
+
+/// Serve one request against the daemon. Per-request failures
+/// (unknown session, not durable, a failed checkpoint) become
+/// [`Response::Error`] replies; only infrastructure errors (a corrupt
+/// change source) abort the serve loop.
+fn handle_request(
+    daemon: &mut Daemon<ChannelSource>,
+    request: Request,
+) -> Result<Handled, ServeError> {
+    let reply = |r| Ok(Handled::Reply(r));
+    let fail = |e: ServeError| {
+        Ok(Handled::Reply(Response::Error {
+            message: e.to_string(),
+        }))
+    };
+    match request {
+        Request::Ingest(_) => reply(Response::Error {
+            message: "ingest frames are one-way; they take no reply".to_owned(),
+        }),
+        Request::Query { session } => match daemon.matches(&session) {
+            Some(matches) => reply(Response::Matches {
+                pairs: sorted_pairs(matches),
+                session,
+            }),
+            None => fail(ServeError::UnknownSession(session)),
+        },
+        Request::Status { session } => match daemon.status(&session) {
+            Some(status) => reply(Response::Status {
+                session,
+                status: WireStatus::from(status),
+            }),
+            None => fail(ServeError::UnknownSession(session)),
+        },
+        Request::Digest { session } => match daemon.session_mut(&session) {
+            Ok(hosted) => {
+                let digest = hosted.state_digest();
+                reply(Response::Digest { session, digest })
+            }
+            Err(e) => fail(e),
+        },
+        Request::Checkpoint { session } => match daemon.checkpoint(&session) {
+            Ok(()) => reply(Response::Checkpointed { session }),
+            Err(e) => fail(e),
+        },
+        Request::Evict { session } => match daemon.evict(&session) {
+            Ok(()) => reply(Response::Evicted { session }),
+            Err(e) => fail(e),
+        },
+        Request::List => reply(Response::Sessions(daemon.session_infos())),
+        Request::Drain => match daemon.run_until_quiescent() {
+            Ok(steps) => reply(Response::Drained { steps }),
+            Err(e) => Err(e), // source corruption: the loop cannot continue
+        },
+        Request::Shutdown => {
+            if daemon.config().store_root.is_some() {
+                for name in daemon.session_names() {
+                    if let Err(e) = daemon.checkpoint(&name) {
+                        return fail(e);
+                    }
+                }
+            }
+            Ok(Handled::Stop(
+                Response::ShuttingDown,
+                ShutdownKind::Graceful,
+            ))
+        }
+        Request::Kill => Ok(Handled::Stop(Response::Killed, ShutdownKind::Killed)),
+    }
+}

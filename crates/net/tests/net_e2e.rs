@@ -1,0 +1,485 @@
+//! End-to-end socket serving: a daemon behind a real socket must
+//! change nothing.
+//!
+//! The heavy arms drive [`em_net::run_socket_load`] — scripted
+//! multi-session traffic through a [`em_net::Server`] over Unix and
+//! TCP sockets, with LRU eviction (cap below the session count),
+//! mid-stream admin eviction, and kill/recover fault injection — and
+//! assert the wire-reported digests and match sets are byte-identical
+//! to a standalone replay of the cumulative op log, sequentially and
+//! sharded 4 ways, exact and walksat.
+//!
+//! The light arms poke the failure surface directly: corrupt frames
+//! poison only their connection, unknown sessions are typed server
+//! errors, a client outlives a daemon restart by reconnecting, and an
+//! *external process* (this binary re-invoked, the
+//! `store_durability.rs` pattern) streams deltas and queries matches
+//! over the socket with nothing shared but the socket path.
+
+use em::{Backend, ChurnOptions, DatasetDelta, MatcherChoice, Pipeline, Scheme, SplitPolicy};
+use em_blocking::{BlockingConfig, SimilarityKernel};
+use em_core::Dataset;
+use em_datagen::{generate, DatasetProfile};
+use em_net::{
+    run_socket_load, Client, Endpoint, NetError, Server, ShutdownKind, SocketLoadConfig, Transport,
+};
+use em_serve::{channel_source, Daemon, LoadOutcome, ServeConfig, SessionTraffic, StreamFrame};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn make_pipeline(walksat: bool, backend: Backend) -> impl Fn(Dataset) -> Pipeline + Clone + Send {
+    move |dataset| {
+        Pipeline::new(dataset)
+            .blocking(BlockingConfig {
+                kernel: SimilarityKernel::AuthorName,
+                ..Default::default()
+            })
+            .matcher(if walksat {
+                MatcherChoice::MlnWalksat
+            } else {
+                MatcherChoice::MlnExact
+            })
+            .scheme(Scheme::Mmp)
+            .backend(backend)
+            .check_invariants(true)
+    }
+}
+
+/// Three sessions with disjoint worlds and different churn shapes —
+/// the `serve_isolation.rs` traffic, sized for socket runs.
+fn traffic(seed: u64) -> Vec<SessionTraffic> {
+    let shapes = [
+        ("grow", ChurnOptions::default()),
+        (
+            "churn",
+            ChurnOptions {
+                retract_fraction: 0.1,
+                ..Default::default()
+            },
+        ),
+        (
+            "storm",
+            ChurnOptions {
+                retract_fraction: 0.1,
+                readd_fraction: 0.5,
+                tuple_churn: 0.1,
+                link_churn: 0.1,
+                oversize_growth: 1,
+            },
+        ),
+    ];
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, (name, opts))| {
+            let profile = if (seed + i as u64).is_multiple_of(2) {
+                DatasetProfile::hepth()
+            } else {
+                DatasetProfile::dblp()
+            };
+            let template = generate(&profile.scaled(0.004).with_seed(seed + i as u64)).dataset;
+            let n = template.entities.len() as u32;
+            let (initial, deltas) =
+                DatasetDelta::churn_script_with(&template, n * 3 / 5, 4, seed + i as u64, opts);
+            SessionTraffic {
+                name: (*name).to_owned(),
+                initial,
+                deltas,
+            }
+        })
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("em-net-e2e-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn assert_identical(outcome: &LoadOutcome, context: &str) {
+    for s in &outcome.sessions {
+        assert!(
+            s.identical,
+            "{context}: session {:?} diverged from standalone replay over the wire",
+            s.name
+        );
+        assert!(
+            s.batches > 0,
+            "{context}: session {:?} never serviced",
+            s.name
+        );
+    }
+    assert!(outcome.sessions_identical);
+    assert!(
+        outcome.crash_recovery_identical,
+        "{context}: a killed daemon recovered to a different state"
+    );
+    assert_eq!(outcome.dead_letters, 0, "{context}: frames went missing");
+}
+
+/// The full socket matrix for one transport: durable stores, LRU cap 2
+/// over 3 sessions, admin evict mid-stream, and a kill + recover +
+/// reconnect cycle, sequential and sharded-4.
+fn check_socket_isolation(seed: u64, walksat: bool, transport: Transport) {
+    let tag = format!(
+        "{}-{}",
+        if walksat { "walksat" } else { "exact" },
+        match transport {
+            Transport::Unix => "unix",
+            Transport::Tcp => "tcp",
+        }
+    );
+    for shards in [1usize, 4] {
+        let backend = if shards == 1 {
+            Backend::Sequential
+        } else {
+            Backend::Sharded {
+                shards,
+                split_policy: SplitPolicy::Split,
+            }
+        };
+        let dir = scratch_dir(&format!("{tag}-{shards}-{seed}"));
+        let config = SocketLoadConfig {
+            serve: ServeConfig {
+                store_root: Some(dir.join("stores")),
+                max_resident: 2,
+                session_budgets_ms: [("storm".to_owned(), 250.0)].into_iter().collect(),
+                ..Default::default()
+            },
+            transport,
+            socket_dir: dir.join("sockets"),
+            fence_every: 3,
+            rounds_per_burst: 2,
+            evict_mid_stream: true,
+            kill_every: 2,
+        };
+        let outcome = run_socket_load(traffic(seed), &config, make_pipeline(walksat, backend))
+            .expect("socket load run completes");
+        let context = format!("seed {seed} {tag} shards {shards}");
+        assert_identical(&outcome, &context);
+        assert!(
+            outcome.crash_recoveries >= 1,
+            "{context}: kill_every 2 must kill at least once"
+        );
+        assert!(
+            outcome.lru_evictions >= 1,
+            "{context}: a cap of 2 residents over 3 sessions must evict"
+        );
+        assert!(
+            outcome.sessions.iter().any(|s| s.revivals > 0),
+            "{context}: an LRU-evicted session must revive for its traffic"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn unix_socket_sessions_identical_exact() {
+    check_socket_isolation(41, false, Transport::Unix);
+}
+
+#[test]
+fn unix_socket_sessions_identical_walksat() {
+    check_socket_isolation(17, true, Transport::Unix);
+}
+
+#[test]
+fn tcp_socket_sessions_identical_exact() {
+    check_socket_isolation(53, false, Transport::Tcp);
+}
+
+/// Spawn a server over one admitted session; returns the socket path
+/// and the server thread handle.
+#[allow(clippy::type_complexity)]
+fn solo_server(
+    dir: &std::path::Path,
+    initial: Dataset,
+    store: bool,
+) -> (
+    PathBuf,
+    std::thread::JoinHandle<(Daemon<em_serve::ChannelSource>, ShutdownKind)>,
+) {
+    let socket = dir.join("daemon.sock");
+    let server = Server::bind(&Endpoint::Unix(socket.clone())).expect("bind unix socket");
+    let store_root = store.then(|| dir.join("stores"));
+    let handle = std::thread::spawn(move || {
+        let (tx, source) = channel_source();
+        let mut daemon = Daemon::new(
+            source,
+            ServeConfig {
+                store_root,
+                ..Default::default()
+            },
+        );
+        let make = make_pipeline(false, Backend::Sequential);
+        daemon
+            .admit("solo", move || make(initial.clone()))
+            .expect("admit solo session");
+        server.serve(daemon, tx).expect("serve loop completes")
+    });
+    (socket, handle)
+}
+
+fn solo_world(seed: u64) -> (Dataset, Vec<DatasetDelta>) {
+    let template = generate(&DatasetProfile::hepth().scaled(0.004).with_seed(seed)).dataset;
+    let n = template.entities.len() as u32;
+    DatasetDelta::churn_script_with(
+        &template,
+        n * 3 / 5,
+        3,
+        seed,
+        &ChurnOptions {
+            retract_fraction: 0.1,
+            ..Default::default()
+        },
+    )
+}
+
+/// A corrupt frame poisons its own connection — typed error reply,
+/// then close — while the daemon keeps serving other connections.
+#[test]
+fn corrupt_frames_poison_only_their_connection() {
+    let dir = scratch_dir("corrupt");
+    let (initial, _) = solo_world(7);
+    let (socket, handle) = solo_server(&dir, initial, false);
+
+    let mut victim = Client::connect_retry(
+        &em_net::ServerAddr::Unix(socket.clone()),
+        Duration::from_secs(10),
+    )
+    .expect("connect victim");
+    // A healthy exchange first, so the poisoning is attributable.
+    assert_eq!(victim.list().expect("list").len(), 1);
+
+    // Hand-craft a frame with a flipped payload byte: the CRC check
+    // must reject it and the server must close this connection.
+    {
+        use std::os::unix::net::UnixStream;
+        let mut raw = UnixStream::connect(&socket).expect("raw connect");
+        let mut wire = Vec::new();
+        let (kind, payload) = em_net::Request::List.encode();
+        em_net::write_frame(&mut wire, kind, &payload).expect("encode");
+        let last = wire.len() - 1;
+        // List has an empty payload; flip a CRC byte instead.
+        wire[last.min(7)] ^= 0x40;
+        raw.write_all(&wire).expect("send corrupt frame");
+        raw.flush().unwrap();
+        // The server replies with a typed error and closes.
+        let mut reply = Vec::new();
+        use std::io::Read as _;
+        raw.read_to_end(&mut reply).expect("read until close");
+        let mut buf = em_net::FrameBuffer::new();
+        buf.extend(&reply);
+        let (kind, payload) = buf
+            .next_frame()
+            .expect("well-formed error frame")
+            .expect("one frame before close");
+        match em_net::Response::decode(kind, &payload).expect("decode error reply") {
+            em_net::Response::Error { message } => {
+                assert!(
+                    message.contains("bad frame"),
+                    "unexpected error text: {message}"
+                );
+            }
+            other => panic!("wanted Error reply, got {other:?}"),
+        }
+    }
+
+    // The untouched connection still works.
+    assert_eq!(victim.list().expect("list after poison").len(), 1);
+    victim.shutdown().expect("graceful shutdown");
+    let (_daemon, kind) = handle.join().expect("server thread");
+    assert_eq!(kind, ShutdownKind::Graceful);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Unknown sessions and non-durable admin requests surface as typed
+/// server errors; the connection stays usable afterwards.
+#[test]
+fn server_side_failures_are_typed_and_nonfatal() {
+    let dir = scratch_dir("typed-errors");
+    let (initial, _) = solo_world(9);
+    let (socket, handle) = solo_server(&dir, initial, false);
+    let mut client =
+        Client::connect_retry(&em_net::ServerAddr::Unix(socket), Duration::from_secs(10))
+            .expect("connect");
+
+    match client.query("no-such-session") {
+        Err(NetError::Server(message)) => {
+            assert!(message.contains("unknown session"), "got: {message}")
+        }
+        other => panic!("wanted typed server error, got {other:?}"),
+    }
+    // This daemon has no store_root: evict must fail durably-typed.
+    match client.evict("solo") {
+        Err(NetError::Server(message)) => {
+            assert!(message.contains("durable store"), "got: {message}")
+        }
+        other => panic!("wanted typed server error, got {other:?}"),
+    }
+    // Still usable after both failures.
+    assert!(client.query("solo").is_ok());
+    client.shutdown().expect("graceful shutdown");
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A client outlives a daemon restart: kill the daemon, watch the old
+/// connection die, reconnect to a fresh incarnation over the same
+/// store, and observe the identical digest.
+#[test]
+fn client_reconnects_after_daemon_restart() {
+    let dir = scratch_dir("reconnect");
+    let (initial, deltas) = solo_world(13);
+
+    let (socket, handle) = solo_server(&dir, initial.clone(), true);
+    let addr = em_net::ServerAddr::Unix(socket);
+    let mut client = Client::connect_retry(&addr, Duration::from_secs(10)).expect("connect");
+    for delta in &deltas {
+        client
+            .ingest(&StreamFrame::Delta {
+                session: "solo".to_owned(),
+                delta: Box::new(delta.clone()),
+            })
+            .expect("ingest");
+    }
+    client.drain().expect("drain");
+    let digest_before = client.digest("solo").expect("digest");
+    client.kill().expect("kill");
+    let (daemon, kind) = handle.join().expect("server thread");
+    assert_eq!(kind, ShutdownKind::Killed);
+    drop(daemon); // joins workers; no checkpoint — the crash
+
+    // The old connection is dead: any request fails.
+    assert!(client.list().is_err(), "killed daemon must drop the socket");
+
+    // A fresh incarnation over the same stores must recover the bytes.
+    let (socket2, handle2) = solo_server(&dir, initial, true);
+    let mut client =
+        Client::connect_retry(&em_net::ServerAddr::Unix(socket2), Duration::from_secs(10))
+            .expect("reconnect to restarted daemon");
+    assert_eq!(
+        client.digest("solo").expect("digest after restart"),
+        digest_before,
+        "restart must recover the exact pre-kill state"
+    );
+    client.shutdown().expect("graceful shutdown");
+    handle2.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An external process — this test binary re-invoked with
+/// `EM_NET_CHILD` set, sharing nothing but the socket path — connects,
+/// streams deltas, drains, and queries matches + digest over the
+/// wire; the parent then replays the same script standalone and the
+/// bytes must agree.
+#[test]
+fn external_process_streams_and_queries_over_the_socket() {
+    let dir = scratch_dir("child");
+
+    if let Ok(socket) = std::env::var("EM_NET_CHILD") {
+        // Child role: pure wire client. Rebuilds the same delta script
+        // from the fixed seed and reports what the socket told it.
+        let out_dir = PathBuf::from(std::env::var("EM_NET_CHILD_OUT").expect("out dir"));
+        let (_initial, deltas) = solo_world(29);
+        let mut client = Client::connect_retry(
+            &em_net::ServerAddr::Unix(PathBuf::from(socket)),
+            Duration::from_secs(10),
+        )
+        .expect("child connect");
+        for delta in &deltas {
+            client
+                .ingest(&StreamFrame::Delta {
+                    session: "solo".to_owned(),
+                    delta: Box::new(delta.clone()),
+                })
+                .expect("child ingest");
+        }
+        client.drain().expect("child drain");
+        let digest = client.digest("solo").expect("child digest");
+        let pairs = client.query("solo").expect("child query");
+        let status = client.status("solo").expect("child status");
+        assert_eq!(status.warm_matches, pairs.len() as u64);
+        let mut report = std::fs::File::create(out_dir.join("report.txt")).expect("report file");
+        writeln!(report, "{digest}").unwrap();
+        for p in &pairs {
+            writeln!(report, "{},{}", p.lo().0, p.hi().0).unwrap();
+        }
+        return;
+    }
+
+    let (initial, deltas) = solo_world(29);
+    let (socket, handle) = solo_server(&dir, initial.clone(), false);
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let status = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "external_process_streams_and_queries_over_the_socket",
+        ])
+        .env("EM_NET_CHILD", &socket)
+        .env("EM_NET_CHILD_OUT", &dir)
+        .status()
+        .expect("spawn child client process");
+    assert!(status.success(), "child client process failed");
+
+    // Shut the server down and compare against a standalone replay of
+    // the daemon's op log (the deltas may have been coalesced, so the
+    // op log — not the raw script — is the ground truth).
+    let mut client =
+        Client::connect_retry(&em_net::ServerAddr::Unix(socket), Duration::from_secs(10))
+            .expect("parent connect");
+    client.shutdown().expect("graceful shutdown");
+    let (daemon, kind) = handle.join().expect("server thread");
+    assert_eq!(kind, ShutdownKind::Graceful);
+    let ops = daemon.op_log("solo").expect("admitted").to_vec();
+    let applied: u64 = ops
+        .iter()
+        .filter(|op| matches!(op, em_serve::Op::Update(_)))
+        .count() as u64;
+    assert!(
+        applied > 0 && applied <= deltas.len() as u64,
+        "the child's deltas must land as at most one update each"
+    );
+
+    let make = make_pipeline(false, Backend::Sequential);
+    let mut standalone = make(initial).build().expect("standalone build");
+    for op in &ops {
+        match op {
+            em_serve::Op::Update(delta) => {
+                standalone.update(delta);
+            }
+            em_serve::Op::ResetWarm => standalone.reset_warm(),
+            em_serve::Op::Run => {
+                standalone.run();
+            }
+        }
+    }
+    let report = std::fs::read_to_string(dir.join("report.txt")).expect("child report");
+    let mut lines = report.lines();
+    let child_digest = lines.next().expect("digest line");
+    let child_pairs: Vec<(u32, u32)> = lines
+        .map(|l| {
+            let (lo, hi) = l.split_once(',').expect("pair line");
+            (lo.parse().unwrap(), hi.parse().unwrap())
+        })
+        .collect();
+    let standalone_pairs: Vec<(u32, u32)> = em_net::sorted_pairs(standalone.matches())
+        .iter()
+        .map(|p| (p.lo().0, p.hi().0))
+        .collect();
+    assert_eq!(
+        child_pairs, standalone_pairs,
+        "the match set the child saw over the wire diverged from standalone"
+    );
+    assert_eq!(
+        child_digest,
+        standalone.state_digest(),
+        "the digest the child saw over the wire diverged from standalone"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

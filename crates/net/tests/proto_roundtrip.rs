@@ -1,0 +1,251 @@
+//! Wire-surface proptests: every request/response frame survives the
+//! socket codec byte-for-byte, and every mutilation is a typed
+//! rejection.
+//!
+//! Each case pushes the frame through the real path — `encode` →
+//! [`write_frame`] → [`FrameBuffer`] → `decode` — not just the payload
+//! codec, so the length prefix and CRC are under test too. Values are
+//! derived from a proptest seed through a splitmix-style generator
+//! instead of per-field strategies, keeping the vendored proptest
+//! surface small while still sweeping the space.
+
+use em_core::{EntityId, Pair};
+use em_net::proto::{FRAME_DRAIN, FRAME_ERROR_REPLY, FRAME_LIST, FRAME_MATCHES_REPLY};
+use em_net::{write_frame, FrameBuffer, Request, Response, WireStatus};
+use em_serve::{SessionInfo, StreamFrame};
+use em_store::StoreError;
+use proptest::prelude::*;
+
+fn mix(state: &mut u64) -> u64 {
+    // splitmix64: cheap, well-distributed, deterministic per seed.
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn session_name(state: &mut u64) -> String {
+    match mix(state) % 4 {
+        0 => String::new(),
+        1 => "a".to_owned(),
+        2 => format!("session-{}", mix(state) % 1000),
+        _ => format!("uniçode {} name", mix(state) % 1000),
+    }
+}
+
+fn pairs(state: &mut u64) -> Vec<Pair> {
+    (0..mix(state) % 17)
+        .map(|_| {
+            let a = (mix(state) % 10_000) as u32;
+            let b = (mix(state) % 10_000) as u32;
+            Pair::new(EntityId(a), EntityId(b.wrapping_add(u32::from(a == b))))
+        })
+        .collect()
+}
+
+fn status(state: &mut u64) -> WireStatus {
+    WireStatus {
+        runs: mix(state) as u32,
+        state_epoch: mix(state),
+        entities: mix(state) % 1_000_000,
+        candidate_pairs: mix(state),
+        neighborhoods: mix(state),
+        warm_matches: mix(state),
+        last_degrade: if mix(state).is_multiple_of(2) {
+            Some(format!("degrade-{}", mix(state) % 7))
+        } else {
+            None
+        },
+        durable: mix(state).is_multiple_of(2),
+    }
+}
+
+fn infos(state: &mut u64) -> Vec<SessionInfo> {
+    (0..mix(state) % 9)
+        .map(|i| SessionInfo {
+            name: format!("s{i}-{}", mix(state) % 100),
+            resident: mix(state).is_multiple_of(2),
+            in_flight: mix(state).is_multiple_of(3),
+            pending: mix(state) % 1_000,
+            batches: mix(state),
+        })
+        .collect()
+}
+
+fn all_requests(state: &mut u64) -> Vec<Request> {
+    vec![
+        Request::Ingest(StreamFrame::Fence(mix(state))),
+        Request::Query {
+            session: session_name(state),
+        },
+        Request::Status {
+            session: session_name(state),
+        },
+        Request::Digest {
+            session: session_name(state),
+        },
+        Request::Checkpoint {
+            session: session_name(state),
+        },
+        Request::Evict {
+            session: session_name(state),
+        },
+        Request::List,
+        Request::Drain,
+        Request::Shutdown,
+        Request::Kill,
+    ]
+}
+
+fn all_responses(state: &mut u64) -> Vec<Response> {
+    vec![
+        Response::Matches {
+            session: session_name(state),
+            pairs: pairs(state),
+        },
+        Response::Status {
+            session: session_name(state),
+            status: status(state),
+        },
+        Response::Digest {
+            session: session_name(state),
+            digest: format!("{:032x}", mix(state)),
+        },
+        Response::Checkpointed {
+            session: session_name(state),
+        },
+        Response::Evicted {
+            session: session_name(state),
+        },
+        Response::Sessions(infos(state)),
+        Response::Drained { steps: mix(state) },
+        Response::ShuttingDown,
+        Response::Killed,
+        Response::Error {
+            message: format!("failure {}", mix(state) % 100),
+        },
+    ]
+}
+
+/// encode → frame → scan → decode, through the real byte path.
+fn wire_trip(kind: u8, payload: &[u8]) -> (u8, Vec<u8>) {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, kind, payload).expect("write to vec");
+    let mut buf = FrameBuffer::new();
+    buf.extend(&wire);
+    let frame = buf.next_frame().expect("clean frame").expect("one frame");
+    assert_eq!(buf.next_frame().expect("no error"), None);
+    frame
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_request_round_trips(seed in 0u64..1_000_000) {
+        let mut state = seed;
+        for request in all_requests(&mut state) {
+            let (kind, payload) = request.encode();
+            let (kind2, payload2) = wire_trip(kind, &payload);
+            let decoded = Request::decode(kind2, &payload2).expect("decode");
+            prop_assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips(seed in 0u64..1_000_000) {
+        let mut state = seed;
+        for response in all_responses(&mut state) {
+            let (kind, payload) = response.encode();
+            let (kind2, payload2) = wire_trip(kind, &payload);
+            let decoded = Response::decode(kind2, &payload2).expect("decode");
+            prop_assert_eq!(decoded, response);
+        }
+    }
+
+    /// Truncating any non-empty payload, or appending garbage to any
+    /// payload, is a typed error — never a silent partial decode.
+    #[test]
+    fn mutilated_payloads_are_typed_errors(seed in 0u64..1_000_000) {
+        let mut state = seed;
+        for request in all_requests(&mut state) {
+            let (kind, payload) = request.encode();
+            if !payload.is_empty() {
+                let truncated = &payload[..payload.len() - 1];
+                prop_assert!(Request::decode(kind, truncated).is_err());
+            }
+            let mut padded = payload.clone();
+            padded.push(0xAB);
+            prop_assert!(Request::decode(kind, &padded).is_err());
+        }
+        for response in all_responses(&mut state) {
+            let (kind, payload) = response.encode();
+            if !payload.is_empty() {
+                let truncated = &payload[..payload.len() - 1];
+                prop_assert!(Response::decode(kind, truncated).is_err());
+            }
+            let mut padded = payload.clone();
+            padded.push(0xAB);
+            prop_assert!(Response::decode(kind, &padded).is_err());
+        }
+    }
+}
+
+#[test]
+fn delta_ingest_frames_round_trip() {
+    use em::DatasetDelta;
+    use em_datagen::{generate, DatasetProfile};
+
+    let template = generate(&DatasetProfile::hepth().scaled(0.002).with_seed(5)).dataset;
+    let n = template.entities.len() as u32;
+    let delta = DatasetDelta::carve(&template, 0..n / 2);
+    let request = Request::Ingest(StreamFrame::Delta {
+        session: "solo".to_owned(),
+        delta: Box::new(delta),
+    });
+    let (kind, payload) = request.encode();
+    let (kind2, payload2) = wire_trip(kind, &payload);
+    assert_eq!(Request::decode(kind2, &payload2).expect("decode"), request);
+}
+
+#[test]
+fn unknown_kinds_are_typed_errors() {
+    for kind in [0u8, 3, 15, 25, 31, 42, 77, 255] {
+        assert!(
+            matches!(Request::decode(kind, &[]), Err(StoreError::Corrupt { .. }))
+                || Request::decode(kind, &[]).is_err(),
+            "request kind {kind} must be rejected"
+        );
+        assert!(
+            Response::decode(kind, &[]).is_err(),
+            "response kind {kind} must be rejected"
+        );
+    }
+}
+
+/// The request and response kind spaces are disjoint from each other
+/// and from the ingestion kinds: a frame can never be mistaken across
+/// planes.
+#[test]
+fn kind_spaces_are_disjoint() {
+    let mut state = 11u64;
+    let request_kinds: Vec<u8> = all_requests(&mut state)
+        .iter()
+        .map(|r| r.encode().0)
+        .collect();
+    let response_kinds: Vec<u8> = all_responses(&mut state)
+        .iter()
+        .map(|r| r.encode().0)
+        .collect();
+    for rk in &request_kinds {
+        assert!(
+            !response_kinds.contains(rk),
+            "kind {rk} is both a request and a response"
+        );
+    }
+    assert!(request_kinds.contains(&FRAME_LIST));
+    assert!(request_kinds.contains(&FRAME_DRAIN));
+    assert!(response_kinds.contains(&FRAME_MATCHES_REPLY));
+    assert!(response_kinds.contains(&FRAME_ERROR_REPLY));
+}

@@ -1,25 +1,34 @@
-//! The serving daemon: N named sessions, one change stream, one apply
-//! loop.
+//! The serving daemon: N named sessions, one change stream, one
+//! admitter, one worker thread per session.
 //!
 //! A [`Daemon`] owns a set of [admitted](Daemon::admit) sessions — each
 //! an [`em::MatchSession`] built from a caller-supplied [`em::Pipeline`]
 //! factory, optionally durable under `store_root/<name>` — and a
 //! [`ChangeSource`] of session-addressed [`StreamFrame`]s. The loop is
-//! two alternating verbs:
+//! three verbs on the admitter thread:
 //!
 //! * [`Daemon::pump`] drains the source into per-session FIFO queues
 //!   (a [`StreamFrame::Fence`] enqueues a batch boundary on *every*
 //!   queue; frames for unknown sessions count as dead letters, never
 //!   silently vanish);
-//! * [`Daemon::step`] asks the [freshness scheduler](crate::sched)
-//!   which backlog to service, [coalesces](crate::batch) that queue's
-//!   frames up to the next fence (or the configured batch cap) into as
-//!   few deltas as merge-compatibility allows, applies them through
-//!   [`em::MatchSession::update`], and re-runs the fixpoint once.
+//! * [`Daemon::step`] first harvests any finished batches from the
+//!   workers, then asks the [freshness scheduler](crate::sched) which
+//!   backlog to admit, [coalesces](crate::batch) that queue's frames up
+//!   to the next fence (or the configured batch cap) into as few deltas
+//!   as merge-compatibility allows, and hands the batch *and the
+//!   session itself* to the session's worker thread;
+//! * the worker applies the batch through [`em::MatchSession::update`],
+//!   re-runs the fixpoint once, and ships the session back.
 //!
-//! Between steps, [`Daemon::matches`] and [`Daemon::status`] serve the
-//! last fixpoint — queries never block on ingestion and never observe a
-//! half-applied batch.
+//! Ownership shuttles: a session is either resident on the daemon,
+//! in flight on its worker, or evicted to its store — never shared.
+//! One slow `update()` occupies only its own worker; the admitter keeps
+//! scheduling every other session (no head-of-line blocking), and
+//! per-session frame order is preserved because each session has
+//! exactly one worker. [`Daemon::matches`] and [`Daemon::status`] serve
+//! cached snapshots of the last completed fixpoint, so queries never
+//! block on ingestion or apply and never observe a half-applied batch —
+//! including while the session is in flight or evicted.
 //!
 //! **Backpressure.** A queue deeper than [`ServeConfig::max_pending`]
 //! means churn is outrunning incremental apply. The daemon then *sheds
@@ -32,16 +41,32 @@
 //! the cold run in the degrade counters, so overload is always visible
 //! in metrics.
 //!
+//! **LRU eviction.** With [`ServeConfig::max_resident`] set (and a
+//! `store_root`), the daemon hosts more named sessions than fit warm:
+//! whenever the resident count would exceed the cap, the
+//! least-recently-*serviced* durable session (read-only queries serve
+//! snapshots and do not keep a session warm) is checkpointed and
+//! dropped, exactly like an explicit [`Daemon::evict`]. The next batch
+//! or direct access revives it from its store. In-flight sessions are
+//! never victims, so the cap is soft by at most the number of
+//! concurrently in-flight batches.
+//!
 //! **Replay identity.** Every state-mutating operation the daemon
-//! performs on a session is recorded in an [`Op`] log.
-//! [`Daemon::replay_standalone`] rebuilds the same pipeline without a
-//! store and replays that log, which must land on the same
+//! performs on a session is recorded in an [`Op`] log, in dispatch
+//! order (per-session order equals apply order — one worker per
+//! session). [`Daemon::replay_standalone`] rebuilds the same pipeline
+//! without a store and replays that log, which must land on the same
 //! [`em::MatchSession::state_digest`] — the CI gate that daemon
-//! plumbing (queueing, coalescing, shedding, evict/recover) never
-//! changes what a session computes.
+//! plumbing (queueing, coalescing, shedding, workers, evict/recover)
+//! never changes what a session computes.
+//!
+//! Dropping the daemon drops every worker's channel and *joins* the
+//! worker threads: an in-flight batch runs to completion (its journal
+//! frames land in the store's WAL), and no detached thread outlives the
+//! daemon to race a successor recovering from the same `store_root`.
 
 use crate::batch::coalesce;
-use crate::sched::{pick_next, update_cost_ema, SessionView};
+use crate::sched::{pick_next, CostModel, SessionView};
 use crate::source::ChangeSource;
 use crate::wire::StreamFrame;
 use em::{DatasetDelta, MatchSession, Pipeline, PipelineError, SessionStatus};
@@ -60,9 +85,18 @@ pub struct ServeConfig {
     /// Queue depth (delta frames) beyond which a session sheds to cold
     /// instead of batching incrementally.
     pub max_pending: usize,
-    /// Staleness SLO: a frame older than this when serviced counts as
-    /// a budget miss.
+    /// Default staleness SLO: a frame older than this when admitted
+    /// for service counts as a budget miss.
     pub staleness_budget_ms: f64,
+    /// Per-session staleness SLO overrides by session name (see
+    /// [`ServeConfig::budget_for`]) — admit the SLO per session, not
+    /// one global budget.
+    pub session_budgets_ms: BTreeMap<String, f64>,
+    /// Cap on concurrently *resident* (warm, in-memory) sessions; `0`
+    /// means unlimited. Requires [`ServeConfig::store_root`] — only a
+    /// durable session can be LRU-evicted, so without a store root the
+    /// cap is inert.
+    pub max_resident: usize,
     /// When set, every admitted session is durable under
     /// `store_root/<name>` and may be [evicted](Daemon::evict) and
     /// revived.
@@ -75,8 +109,22 @@ impl Default for ServeConfig {
             max_batch_frames: 8,
             max_pending: 64,
             staleness_budget_ms: 1_000.0,
+            session_budgets_ms: BTreeMap::new(),
+            max_resident: 0,
             store_root: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The staleness budget the named session was admitted with: its
+    /// [`ServeConfig::session_budgets_ms`] override, or the global
+    /// [`ServeConfig::staleness_budget_ms`].
+    pub fn budget_for(&self, name: &str) -> f64 {
+        self.session_budgets_ms
+            .get(name)
+            .copied()
+            .unwrap_or(self.staleness_budget_ms)
     }
 }
 
@@ -151,13 +199,19 @@ pub struct SessionStats {
     pub coalesced_frames: u64,
     /// Times the session shed to cold under backpressure.
     pub shed_events: u64,
-    /// Frames serviced later than [`ServeConfig::staleness_budget_ms`].
+    /// Frames admitted later than the session's staleness budget
+    /// ([`ServeConfig::budget_for`]).
     pub budget_misses: u64,
     /// Updates that degraded to a cold recompute, for any reason.
     pub degraded_to_cold: u64,
     /// The subset of degrades caused by overload
     /// ([`em::DegradeReason::is_overload`]).
     pub overload_degrades: u64,
+    /// Times the session was evicted by the LRU policy (explicit
+    /// [`Daemon::evict`] calls not included).
+    pub lru_evictions: u64,
+    /// Times the session was revived from its store.
+    pub revivals: u64,
     /// Queue-head age at each service, in milliseconds.
     pub staleness_samples_ms: Vec<f64>,
 }
@@ -170,15 +224,89 @@ enum Queued {
     Fence,
 }
 
+/// A coalesced batch plus the session it applies to, shuttled to the
+/// session's worker.
+struct WorkItem {
+    groups: Vec<DatasetDelta>,
+    shed: bool,
+    session: MatchSession,
+}
+
+/// The session coming back from its worker with the batch applied.
+struct WorkDone {
+    name: String,
+    session: MatchSession,
+    cost_ms: f64,
+    degraded_to_cold: u64,
+    overload_degrades: u64,
+}
+
+fn worker_loop(
+    name: String,
+    work: crossbeam::channel::Receiver<WorkItem>,
+    done: crossbeam::channel::Sender<WorkDone>,
+) {
+    while let Ok(WorkItem {
+        groups,
+        shed,
+        mut session,
+    }) = work.recv()
+    {
+        let started = Instant::now();
+        let mut degraded_to_cold = 0;
+        let mut overload_degrades = 0;
+        for group in &groups {
+            let report = session.update(group);
+            if report.degraded_to_cold() {
+                degraded_to_cold += 1;
+                if report.degraded.is_some_and(|r| r.is_overload()) {
+                    overload_degrades += 1;
+                }
+            }
+        }
+        if shed {
+            session.reset_warm();
+        }
+        session.run();
+        let cost_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        let returned = done.send(WorkDone {
+            name: name.clone(),
+            session,
+            cost_ms,
+            degraded_to_cold,
+            overload_degrades,
+        });
+        if returned.is_err() {
+            // The daemon is gone mid-shutdown: the batch is applied and
+            // journaled (durability held), the in-memory state dies
+            // with us — indistinguishable from a crash after commit.
+            return;
+        }
+    }
+}
+
 struct HostedSession {
-    factory: Box<dyn Fn() -> Pipeline>,
-    /// `None` while evicted (durable sessions only).
+    factory: Box<dyn Fn() -> Pipeline + Send>,
+    /// `None` while evicted *or* in flight on the worker;
+    /// [`HostedSession::in_flight`] distinguishes the two.
     session: Option<MatchSession>,
+    /// `Some(frames)` while a dispatched batch of that many delta
+    /// frames is on the worker.
+    in_flight: Option<usize>,
     store_dir: Option<PathBuf>,
     queue: VecDeque<Queued>,
-    cost_ema_ms: f64,
+    cost: CostModel,
     stats: SessionStats,
     op_log: Vec<Op>,
+    /// Admitter clock at the last state-touching operation — the LRU
+    /// recency key.
+    last_touch: u64,
+    /// Last completed fixpoint, served to queries even while the
+    /// session is in flight or evicted.
+    last_matches: PairSet,
+    /// Status snapshot taken with [`HostedSession::last_matches`].
+    last_status: SessionStatus,
+    work_tx: crossbeam::channel::Sender<WorkItem>,
 }
 
 impl HostedSession {
@@ -200,9 +328,21 @@ impl HostedSession {
             })
             .unwrap_or(0.0)
     }
+
+    /// Warm: in memory on the daemon or on its worker (not evicted).
+    fn resident(&self) -> bool {
+        self.session.is_some() || self.in_flight.is_some()
+    }
+
+    fn snapshot(&mut self) {
+        if let Some(session) = &self.session {
+            self.last_matches = session.matches().clone();
+            self.last_status = session.status();
+        }
+    }
 }
 
-/// What one [`Daemon::step`] did.
+/// What one [`Daemon::step`] dispatched.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepReport {
     /// The session serviced.
@@ -226,23 +366,53 @@ pub struct PumpReport {
     pub dead_letters: u64,
 }
 
+/// One row of [`Daemon::session_infos`] — the admin/listing view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Session name.
+    pub name: String,
+    /// Warm (in memory or on its worker), as opposed to evicted.
+    pub resident: bool,
+    /// A batch is currently on the session's worker.
+    pub in_flight: bool,
+    /// Delta frames waiting in the session's queue.
+    pub pending: u64,
+    /// Micro-batches applied so far.
+    pub batches: u64,
+}
+
 /// The serving daemon. See the [module docs](self).
 pub struct Daemon<S: ChangeSource> {
     config: ServeConfig,
     source: S,
     sessions: BTreeMap<String, HostedSession>,
     dead_letters: u64,
+    done_tx: crossbeam::channel::Sender<WorkDone>,
+    done_rx: crossbeam::channel::Receiver<WorkDone>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Monotonic admitter clock; stamps [`HostedSession::last_touch`].
+    clock: u64,
 }
 
 impl<S: ChangeSource> Daemon<S> {
     /// A daemon over `source` with the given tuning.
     pub fn new(source: S, config: ServeConfig) -> Self {
+        let (done_tx, done_rx) = crossbeam::channel::unbounded();
         Self {
             config,
             source,
             sessions: BTreeMap::new(),
             dead_letters: 0,
+            done_tx,
+            done_rx,
+            workers: Vec::new(),
+            clock: 0,
         }
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
     }
 
     /// Admit a named session. `factory` must build the session's
@@ -251,8 +421,9 @@ impl<S: ChangeSource> Daemon<S> {
     /// [`ServeConfig::store_root`] is set, so the factory itself must
     /// **not** call [`Pipeline::store`]. The session is built (or
     /// recovered, when its store directory already exists) immediately,
-    /// and a freshly built session runs its first fixpoint so queries
-    /// have something to serve before any stream traffic arrives.
+    /// a freshly built session runs its first fixpoint so queries have
+    /// something to serve before any stream traffic arrives, and a
+    /// dedicated worker thread is spawned for the session's batches.
     ///
     /// The replay-identity contract ([`Daemon::replay_standalone`])
     /// covers sessions admitted *fresh*: a session recovered from a
@@ -261,7 +432,7 @@ impl<S: ChangeSource> Daemon<S> {
     pub fn admit(
         &mut self,
         name: &str,
-        factory: impl Fn() -> Pipeline + 'static,
+        factory: impl Fn() -> Pipeline + Send + 'static,
     ) -> Result<(), ServeError> {
         let store_dir = self.config.store_root.as_ref().map(|root| root.join(name));
         let mut pipeline = factory();
@@ -274,27 +445,46 @@ impl<S: ChangeSource> Daemon<S> {
             session.run();
             op_log.push(Op::Run);
         }
+        let last_matches = session.matches().clone();
+        let last_status = session.status();
+        let (work_tx, work_rx) = crossbeam::channel::unbounded();
+        let worker = std::thread::Builder::new()
+            .name(format!("em-serve-{name}"))
+            .spawn({
+                let name = name.to_owned();
+                let done_tx = self.done_tx.clone();
+                move || worker_loop(name, work_rx, done_tx)
+            })
+            .expect("spawn session worker");
+        self.workers.push(worker);
+        let last_touch = self.touch();
         self.sessions.insert(
             name.to_owned(),
             HostedSession {
                 factory: Box::new(factory),
                 session: Some(session),
+                in_flight: None,
                 store_dir,
                 queue: VecDeque::new(),
-                cost_ema_ms: 0.0,
+                cost: CostModel::default(),
                 stats: SessionStats::default(),
                 op_log,
+                last_touch,
+                last_matches,
+                last_status,
+                work_tx,
             },
         );
+        self.enforce_lru(Some(name))?;
         Ok(())
     }
 
-    /// Checkpoint a durable session and drop its in-memory state. Its
-    /// queue keeps accumulating; the next [`Daemon::step`] that
-    /// schedules it (or a direct query via [`Daemon::status`] /
-    /// [`Daemon::matches`] — which report `None` while evicted)
-    /// revives it from the store.
+    /// Checkpoint a durable session and drop its in-memory state
+    /// (waiting out an in-flight batch first). Its queue keeps
+    /// accumulating and queries keep serving the last snapshot; the
+    /// next batch or direct access revives it from the store.
     pub fn evict(&mut self, name: &str) -> Result<(), ServeError> {
+        self.settle(name)?;
         let hosted = self
             .sessions
             .get_mut(name)
@@ -302,28 +492,124 @@ impl<S: ChangeSource> Daemon<S> {
         if hosted.store_dir.is_none() {
             return Err(ServeError::NotDurable(name.to_owned()));
         }
+        Self::checkpoint_and_drop(hosted)
+    }
+
+    /// Checkpoint a (durable, settled) session to its store, refresh
+    /// its query snapshots, and drop the in-memory state.
+    fn checkpoint_and_drop(hosted: &mut HostedSession) -> Result<(), ServeError> {
         if let Some(mut session) = hosted.session.take() {
             session
                 .checkpoint()
                 .map_err(|e| ServeError::Pipeline(PipelineError::Store(Box::new(e))))?;
+            hosted.last_matches = session.matches().clone();
+            hosted.last_status = session.status();
         }
+        Ok(())
+    }
+
+    /// Checkpoint a durable session's current state without evicting
+    /// it (waiting out an in-flight batch first). A no-op when the
+    /// session is already evicted — its store is its checkpoint.
+    pub fn checkpoint(&mut self, name: &str) -> Result<(), ServeError> {
+        self.settle(name)?;
+        let hosted = self
+            .sessions
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
+        if hosted.store_dir.is_none() {
+            return Err(ServeError::NotDurable(name.to_owned()));
+        }
+        if let Some(session) = hosted.session.as_mut() {
+            session
+                .checkpoint()
+                .map_err(|e| ServeError::Pipeline(PipelineError::Store(Box::new(e))))?;
+        }
+        hosted.snapshot();
         Ok(())
     }
 
     /// Whether the named session is currently evicted.
     pub fn is_evicted(&self, name: &str) -> bool {
-        self.sessions.get(name).is_some_and(|h| h.session.is_none())
+        self.sessions.get(name).is_some_and(|h| !h.resident())
     }
 
-    fn revive(hosted: &mut HostedSession) -> Result<(), ServeError> {
-        if hosted.session.is_none() {
-            let dir = hosted
-                .store_dir
-                .clone()
-                .expect("only durable sessions are ever evicted");
-            hosted.session = Some((hosted.factory)().store(dir).build()?);
+    /// Block until the named session has no batch in flight,
+    /// harvesting completions as they arrive.
+    fn settle(&mut self, name: &str) -> Result<(), ServeError> {
+        while self
+            .sessions
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?
+            .in_flight
+            .is_some()
+        {
+            self.collect(true)?;
         }
         Ok(())
+    }
+
+    /// Make the named session resident (reviving it from its store if
+    /// evicted), LRU-evicting other residents as needed to hold
+    /// [`ServeConfig::max_resident`].
+    fn ensure_resident(&mut self, name: &str) -> Result<(), ServeError> {
+        if self
+            .sessions
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?
+            .resident()
+        {
+            return Ok(());
+        }
+        self.enforce_lru(Some(name))?;
+        let last_touch = self.touch();
+        let hosted = self.sessions.get_mut(name).expect("checked above");
+        let dir = hosted
+            .store_dir
+            .clone()
+            .expect("only durable sessions are ever evicted");
+        hosted.session = Some((hosted.factory)().store(dir).build()?);
+        hosted.stats.revivals += 1;
+        hosted.last_touch = last_touch;
+        Ok(())
+    }
+
+    /// Evict least-recently-touched durable residents until at most
+    /// [`ServeConfig::max_resident`] sessions are warm (leaving room
+    /// for `protect` when it is about to be revived). In-flight and
+    /// non-durable sessions are never victims, so the cap is soft
+    /// under concurrency.
+    fn enforce_lru(&mut self, protect: Option<&str>) -> Result<(), ServeError> {
+        if self.config.max_resident == 0 {
+            return Ok(());
+        }
+        // When `protect` is about to be revived it is not resident yet:
+        // reserve its slot so the revival lands at or under the cap.
+        let cap = if protect.is_some_and(|name| !self.sessions[name].resident()) {
+            self.config.max_resident.saturating_sub(1)
+        } else {
+            self.config.max_resident
+        };
+        loop {
+            let resident = self.sessions.values().filter(|h| h.resident()).count();
+            if resident <= cap {
+                return Ok(());
+            }
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(name, h)| {
+                    h.session.is_some() && h.store_dir.is_some() && protect != Some(name.as_str())
+                })
+                .min_by_key(|(name, h)| (h.last_touch, (*name).clone()))
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else {
+                return Ok(()); // every resident is in flight or pinned
+            };
+            let hosted = self.sessions.get_mut(&victim).expect("picked above");
+            Self::checkpoint_and_drop(hosted)?;
+            hosted.stats.lru_evictions += 1;
+        }
     }
 
     /// Drain the change source into the session queues.
@@ -358,34 +644,119 @@ impl<S: ChangeSource> Daemon<S> {
         Ok(report)
     }
 
-    /// Service the most pressing backlog, if any: one scheduler pick,
-    /// one coalesced micro-batch (or one shed), one fixpoint.
+    /// Harvest finished batches from the workers: fold their cost into
+    /// the session's [`CostModel`], refresh the query snapshots, and
+    /// put the session back in rotation. With `block`, waits for at
+    /// least one completion when any batch is in flight. Returns the
+    /// number of batches harvested.
+    fn collect(&mut self, block: bool) -> Result<u64, ServeError> {
+        let mut harvested = Vec::new();
+        if block && self.in_flight_count() > 0 {
+            // Poll rather than recv: a worker that panicked mid-batch
+            // will never send, and reaping surfaces that panic here
+            // instead of deadlocking the admitter.
+            loop {
+                if let Some(done) = self.done_rx.try_recv() {
+                    harvested.push(done);
+                    break;
+                }
+                self.reap_workers();
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        while let Some(done) = self.done_rx.try_recv() {
+            harvested.push(done);
+        }
+        let n = harvested.len() as u64;
+        for done in harvested {
+            let hosted = self
+                .sessions
+                .get_mut(&done.name)
+                .expect("sessions are never removed");
+            let frames = hosted
+                .in_flight
+                .take()
+                .expect("a completion implies a dispatch");
+            hosted.cost.observe(frames, done.cost_ms);
+            hosted.stats.degraded_to_cold += done.degraded_to_cold;
+            hosted.stats.overload_degrades += done.overload_degrades;
+            hosted.session = Some(done.session);
+            hosted.snapshot();
+        }
+        if n > 0 {
+            self.enforce_lru(None)?;
+        }
+        Ok(n)
+    }
+
+    /// Join any worker threads that have exited (e.g. the previous
+    /// worker of a re-admitted name), propagating a worker panic to
+    /// the admitter rather than letting it hang a blocking collect.
+    fn reap_workers(&mut self) {
+        let mut alive = Vec::with_capacity(self.workers.len());
+        for worker in self.workers.drain(..) {
+            if worker.is_finished() {
+                if let Err(panic) = worker.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            } else {
+                alive.push(worker);
+            }
+        }
+        self.workers = alive;
+    }
+
+    /// Number of sessions currently on their workers.
+    fn in_flight_count(&self) -> usize {
+        self.sessions
+            .values()
+            .filter(|h| h.in_flight.is_some())
+            .count()
+    }
+
+    /// Harvest completions, then admit the most pressing backlog to
+    /// its worker, if any: one scheduler pick, one coalesced
+    /// micro-batch (or one shed) dispatched. Non-blocking: returns
+    /// `Ok(None)` when every pending backlog belongs to an in-flight
+    /// session (or nothing is pending).
     pub fn step(&mut self) -> Result<Option<StepReport>, ServeError> {
+        self.collect(false)?;
+        self.try_dispatch()
+    }
+
+    fn try_dispatch(&mut self) -> Result<Option<StepReport>, ServeError> {
         let now = Instant::now();
+        let max_batch = self.config.max_batch_frames;
         let views: Vec<SessionView> = self
             .sessions
             .iter()
+            .filter(|(_, hosted)| hosted.in_flight.is_none())
             .map(|(name, hosted)| SessionView {
                 name: name.clone(),
                 pending: hosted.pending(),
                 oldest_age_ms: hosted.oldest_age_ms(now),
-                cost_ema_ms: hosted.cost_ema_ms,
+                cost_est_ms: hosted.cost.estimate(hosted.pending().min(max_batch)),
+                budget_ms: self.config.budget_for(name),
             })
             .collect();
-        let Some(name) = pick_next(&views, self.config.staleness_budget_ms) else {
+        let Some(name) = pick_next(&views) else {
             return Ok(None);
         };
         let name = name.to_owned();
-        self.service(&name).map(Some)
+        self.dispatch(&name).map(Some)
     }
 
-    fn service(&mut self, name: &str) -> Result<StepReport, ServeError> {
-        let config = self.config.clone();
+    fn dispatch(&mut self, name: &str) -> Result<StepReport, ServeError> {
+        self.ensure_resident(name)?;
+        let budget_ms = self.config.budget_for(name);
+        let max_batch_frames = self.config.max_batch_frames;
+        let max_pending = self.config.max_pending;
+        let last_touch = self.touch();
         let hosted = self
             .sessions
             .get_mut(name)
             .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
-        let shed = hosted.pending() > config.max_pending;
+        let shed = hosted.pending() > max_pending;
 
         // Take this batch's frames: the whole backlog when shedding,
         // otherwise up to the first fence or the batch cap.
@@ -401,7 +772,7 @@ impl<S: ChangeSource> Daemon<S> {
                     }
                 }
                 Queued::Delta { .. } => {
-                    if !shed && frames.len() >= config.max_batch_frames {
+                    if !shed && frames.len() >= max_batch_frames {
                         break;
                     }
                     let Some(Queued::Delta { delta, enqueued }) = hosted.queue.pop_front() else {
@@ -414,50 +785,39 @@ impl<S: ChangeSource> Daemon<S> {
             }
         }
 
-        Self::revive(hosted)?;
-        let floor = hosted
-            .session
-            .as_ref()
-            .expect("revived above")
-            .dataset()
-            .entities
-            .len() as u32;
+        let session = hosted.session.take().expect("ensure_resident above");
+        let floor = session.dataset().entities.len() as u32;
         let taken = frames.len();
         let groups = coalesce(frames, floor);
         let updates = groups.len();
-        for group in groups {
-            let report = hosted
-                .session
-                .as_mut()
-                .expect("revived above")
-                .update(&group);
-            hosted.op_log.push(Op::Update(Box::new(group)));
-            if report.degraded_to_cold() {
-                hosted.stats.degraded_to_cold += 1;
-                if report.degraded.is_some_and(|r| r.is_overload()) {
-                    hosted.stats.overload_degrades += 1;
-                }
-            }
+        for group in &groups {
+            hosted.op_log.push(Op::Update(Box::new(group.clone())));
         }
         if shed {
-            hosted.session.as_mut().expect("revived above").reset_warm();
             hosted.op_log.push(Op::ResetWarm);
         }
-        hosted.session.as_mut().expect("revived above").run();
         hosted.op_log.push(Op::Run);
 
-        let cost_ms = started.elapsed().as_secs_f64() * 1_000.0;
-        update_cost_ema(&mut hosted.cost_ema_ms, cost_ms);
+        hosted.in_flight = Some(taken);
+        hosted.last_touch = last_touch;
         hosted.stats.batches += 1;
         hosted.stats.frames_applied += taken as u64;
         hosted.stats.coalesced_frames += (taken - updates) as u64;
         hosted.stats.staleness_samples_ms.push(oldest_age_ms);
-        if oldest_age_ms > config.staleness_budget_ms {
+        if oldest_age_ms > budget_ms {
             hosted.stats.budget_misses += 1;
         }
         if shed {
             hosted.stats.shed_events += 1;
         }
+        hosted
+            .work_tx
+            .send(WorkItem {
+                groups,
+                shed,
+                session,
+            })
+            .unwrap_or_else(|_| unreachable!("worker outlives its sender"));
         Ok(StepReport {
             session: name.to_owned(),
             frames: taken,
@@ -466,38 +826,37 @@ impl<S: ChangeSource> Daemon<S> {
         })
     }
 
-    /// Pump and step until the source is drained and every queue is
-    /// empty; returns the number of steps taken.
+    /// Pump, dispatch, and harvest until the source is drained, every
+    /// queue is empty, and every worker is idle; returns the number of
+    /// batches dispatched.
     pub fn run_until_quiescent(&mut self) -> Result<u64, ServeError> {
         let mut steps = 0;
         loop {
             let pumped = self.pump()?;
-            match self.step()? {
+            self.collect(false)?;
+            match self.try_dispatch()? {
                 Some(_) => steps += 1,
+                None if self.in_flight_count() > 0 => {
+                    self.collect(true)?;
+                }
                 None if pumped == PumpReport::default() => return Ok(steps),
                 None => {}
             }
         }
     }
 
-    /// The named session's last fixpoint, or `None` when unknown or
-    /// evicted. Never blocks on ingestion: queued frames stay queued.
+    /// The named session's last completed fixpoint, or `None` when the
+    /// name is unknown. Never blocks: the snapshot is served even
+    /// while the session is in flight on its worker or evicted, and
+    /// never shows a half-applied batch.
     pub fn matches(&self, name: &str) -> Option<&PairSet> {
-        self.sessions
-            .get(name)?
-            .session
-            .as_ref()
-            .map(|s| s.matches())
+        self.sessions.get(name).map(|h| &h.last_matches)
     }
 
-    /// The named session's status snapshot, or `None` when unknown or
-    /// evicted.
+    /// The named session's status snapshot (taken with the last
+    /// completed fixpoint), or `None` when the name is unknown.
     pub fn status(&self, name: &str) -> Option<SessionStatus> {
-        self.sessions
-            .get(name)?
-            .session
-            .as_ref()
-            .map(|s| s.status())
+        self.sessions.get(name).map(|h| h.last_status)
     }
 
     /// The named session's serving counters.
@@ -516,23 +875,44 @@ impl<S: ChangeSource> Daemon<S> {
         self.sessions.keys().cloned().collect()
     }
 
+    /// The admin/listing view: one [`SessionInfo`] per admitted
+    /// session, in name order.
+    pub fn session_infos(&self) -> Vec<SessionInfo> {
+        self.sessions
+            .iter()
+            .map(|(name, h)| SessionInfo {
+                name: name.clone(),
+                resident: h.resident(),
+                in_flight: h.in_flight.is_some(),
+                pending: h.pending() as u64,
+                batches: h.stats.batches,
+            })
+            .collect()
+    }
+
     /// Frames addressed to sessions nobody admitted (counted at pump
     /// time, never silently discarded from the stream).
     pub fn dead_letters(&self) -> u64 {
         self.dead_letters
     }
 
-    /// Direct mutable access to a live hosted session (revives an
-    /// evicted durable session first) — the query/escape hatch for
-    /// callers that need more than [`Daemon::matches`] /
-    /// [`Daemon::status`], e.g. digests for identity checks.
+    /// The daemon's tuning, as admitted.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Direct mutable access to a live hosted session — waits out an
+    /// in-flight batch and revives an evicted durable session first.
+    /// The query/escape hatch for callers that need more than
+    /// [`Daemon::matches`] / [`Daemon::status`], e.g. digests for
+    /// identity checks.
     pub fn session_mut(&mut self, name: &str) -> Result<&mut MatchSession, ServeError> {
-        let hosted = self
-            .sessions
-            .get_mut(name)
-            .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
-        Self::revive(hosted)?;
-        Ok(hosted.session.as_mut().expect("revived above"))
+        self.settle(name)?;
+        self.ensure_resident(name)?;
+        let last_touch = self.touch();
+        let hosted = self.sessions.get_mut(name).expect("resident above");
+        hosted.last_touch = last_touch;
+        Ok(hosted.session.as_mut().expect("resident above"))
     }
 
     /// Rebuild the named session **without** a store and replay its
@@ -557,5 +937,19 @@ impl<S: ChangeSource> Daemon<S> {
             }
         }
         Ok(session)
+    }
+}
+
+impl<S: ChangeSource> Drop for Daemon<S> {
+    fn drop(&mut self) {
+        // Drop every worker's sender so the threads run out their
+        // queues and exit, then join them: an in-flight batch finishes
+        // (its journal frames land in the store WAL), and no detached
+        // thread outlives the daemon to race a successor recovering
+        // from the same store_root.
+        self.sessions.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
     }
 }

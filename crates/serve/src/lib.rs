@@ -49,8 +49,10 @@ pub mod source;
 pub mod wire;
 
 pub use batch::{coalesce, merge, merge_compatible};
-pub use daemon::{Daemon, Op, PumpReport, ServeConfig, ServeError, SessionStats, StepReport};
+pub use daemon::{
+    Daemon, Op, PumpReport, ServeConfig, ServeError, SessionInfo, SessionStats, StepReport,
+};
 pub use load::{run_load, LoadConfig, LoadOutcome, SessionLoadStats, SessionTraffic};
-pub use sched::{pick_next, staleness_percentiles, SessionView};
+pub use sched::{pick_next, staleness_percentiles, CostModel, SessionView};
 pub use source::{channel_source, ChangeSource, ChannelSource, FileTailSource, StreamWriter};
 pub use wire::{StreamFrame, FRAME_STREAM_DELTA, FRAME_STREAM_FENCE};

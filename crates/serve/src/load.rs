@@ -11,18 +11,31 @@
 //! the shed path). Optionally every durable session is evicted and
 //! revived mid-stream.
 //!
+//! **Fault injection.** With [`LoadConfig::kill_every`] set, every Nth
+//! burst is sent and then the daemon is *hard-dropped* — no
+//! checkpoint, the burst still undelivered in the dying change
+//! stream. A fresh daemon is rebuilt over the same `store_root`, every
+//! session re-admitted (recovering snapshot + WAL tail), the recovered
+//! digests compared against digests captured at the instant of death
+//! ([`LoadOutcome::crash_recovery_identical`]), and the lost burst
+//! resent by the producer — the at-least-once contract a real client
+//! follows after a connection drop.
+//!
 //! When the stream is drained it runs the identity arm: each hosted
-//! session is compared against [`Daemon::replay_standalone`] on
-//! [`em::MatchSession::state_digest`] and on the match set. The
+//! session is compared on [`em::MatchSession::state_digest`] and on
+//! the match set against a standalone session replaying the
+//! *cumulative* [`Op`] log (across every daemon incarnation). The
 //! resulting [`LoadOutcome`] is what the `serve_load` binary prints and
-//! what CI gates on (`sessions_identical`, `staleness_budget_met`).
+//! what CI gates on (`sessions_identical`, `staleness_budget_met`,
+//! `crash_recovery_identical`).
 
-use crate::daemon::{Daemon, ServeConfig, ServeError};
+use crate::daemon::{Daemon, Op, ServeConfig, ServeError, SessionStats};
 use crate::sched::staleness_percentiles;
 use crate::source::channel_source;
 use crate::wire::StreamFrame;
-use em::{DatasetDelta, Pipeline};
+use em::{DatasetDelta, MatchSession, Pipeline};
 use em_core::Dataset;
+use std::collections::BTreeMap;
 
 /// One session's scripted traffic.
 pub struct SessionTraffic {
@@ -37,7 +50,8 @@ pub struct SessionTraffic {
 /// Knobs of [`run_load`].
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
-    /// Daemon tuning (queue caps, staleness budget, store root).
+    /// Daemon tuning (queue caps, staleness budgets, LRU cap, store
+    /// root).
     pub serve: ServeConfig,
     /// Broadcast a fence every this many traffic rounds (0 = never).
     pub fence_every: usize,
@@ -47,6 +61,10 @@ pub struct LoadConfig {
     /// Evict every session once, halfway through the stream (requires
     /// [`ServeConfig::store_root`]).
     pub evict_mid_stream: bool,
+    /// Hard-drop and rebuild the daemon after every Nth burst (0 =
+    /// never; requires [`ServeConfig::store_root`]). See the [module
+    /// docs](self).
+    pub kill_every: usize,
 }
 
 impl Default for LoadConfig {
@@ -56,6 +74,7 @@ impl Default for LoadConfig {
             fence_every: 4,
             rounds_per_burst: 4,
             evict_mid_stream: false,
+            kill_every: 0,
         }
     }
 }
@@ -76,12 +95,16 @@ pub struct SessionLoadStats {
     pub coalesced_frames: u64,
     /// Backpressure sheds.
     pub shed_events: u64,
-    /// Frames serviced past the staleness budget.
+    /// Frames serviced past the session's staleness budget.
     pub budget_misses: u64,
     /// Updates that degraded to cold.
     pub degraded_to_cold: u64,
     /// Overload-caused degrades among them.
     pub overload_degrades: u64,
+    /// Times the LRU policy evicted the session.
+    pub lru_evictions: u64,
+    /// Times the session was revived from its store.
+    pub revivals: u64,
     /// Median queue-head age at service, milliseconds.
     pub staleness_p50_ms: f64,
     /// 99th-percentile queue-head age at service, milliseconds.
@@ -99,10 +122,71 @@ pub struct LoadOutcome {
     pub sessions_identical: bool,
     /// No session missed the staleness budget.
     pub staleness_budget_met: bool,
+    /// Daemon incarnations killed and rebuilt by fault injection.
+    pub crash_recoveries: u64,
+    /// Every crash recovery landed on the pre-kill state digest (true
+    /// when no kills were injected).
+    pub crash_recovery_identical: bool,
+    /// LRU evictions across all sessions.
+    pub lru_evictions: u64,
     /// Frames addressed to unknown sessions.
     pub dead_letters: u64,
     /// Daemon steps taken.
     pub steps: u64,
+}
+
+fn fold_stats(into: &mut SessionStats, from: &SessionStats) {
+    into.batches += from.batches;
+    into.frames_applied += from.frames_applied;
+    into.coalesced_frames += from.coalesced_frames;
+    into.shed_events += from.shed_events;
+    into.budget_misses += from.budget_misses;
+    into.degraded_to_cold += from.degraded_to_cold;
+    into.overload_degrades += from.overload_degrades;
+    into.lru_evictions += from.lru_evictions;
+    into.revivals += from.revivals;
+    into.staleness_samples_ms
+        .extend_from_slice(&from.staleness_samples_ms);
+}
+
+/// Name the digest sections (and match-set delta) on which a hosted
+/// session disagrees with its standalone replay — the identity
+/// verdict stays a boolean, but a failure should say *where*.
+fn report_divergence(name: &str, hosted: &MatchSession, replayed: &MatchSession) {
+    let hosted_digest = hosted.state_digest();
+    let replayed_digest = replayed.state_digest();
+    for (h, r) in hosted_digest.split(' ').zip(replayed_digest.split(' ')) {
+        if h != r {
+            eprintln!("  session {name} diverged: hosted {h} != replay {r}");
+        }
+    }
+    let only_hosted = hosted.matches().difference(replayed.matches()).len();
+    let only_replay = replayed.matches().difference(hosted.matches()).len();
+    if only_hosted + only_replay > 0 {
+        eprintln!(
+            "  session {name} diverged: {only_hosted} match(es) only hosted, \
+             {only_replay} only replay"
+        );
+    }
+}
+
+fn replay_ops<F>(make: &F, initial: &Dataset, ops: &[Op]) -> Result<MatchSession, ServeError>
+where
+    F: Fn(Dataset) -> Pipeline,
+{
+    let mut session = make(initial.clone()).build()?;
+    for op in ops {
+        match op {
+            Op::Update(delta) => {
+                session.update(delta);
+            }
+            Op::ResetWarm => session.reset_warm(),
+            Op::Run => {
+                session.run();
+            }
+        }
+    }
+    Ok(session)
 }
 
 /// Drive `traffic` through a fresh daemon and verify it (see the
@@ -116,46 +200,109 @@ pub fn run_load<F>(
     make: F,
 ) -> Result<LoadOutcome, ServeError>
 where
-    F: Fn(Dataset) -> Pipeline + Clone + 'static,
+    F: Fn(Dataset) -> Pipeline + Clone + Send + 'static,
 {
-    let (tx, source) = channel_source();
-    let mut daemon = Daemon::new(source, config.serve.clone());
+    if config.kill_every > 0 && config.serve.store_root.is_none() {
+        // A killed daemon can only be rebuilt from durable stores.
+        return Err(ServeError::NotDurable("kill_every traffic".to_owned()));
+    }
 
+    let mut initials: BTreeMap<String, Dataset> = BTreeMap::new();
     let mut names = Vec::new();
     let mut scripts = Vec::new();
     let total_rounds = traffic.iter().map(|t| t.deltas.len()).max().unwrap_or(0);
-    for t in traffic {
-        let make = make.clone();
-        let initial = t.initial;
-        daemon.admit(&t.name, move || make(initial.clone()))?;
+    for t in &traffic {
+        initials.insert(t.name.clone(), t.initial.clone());
         names.push(t.name.clone());
+    }
+    for t in traffic {
         scripts.push((t.name, t.deltas.into_iter()));
     }
+
+    let admit_all = |daemon: &mut Daemon<crate::source::ChannelSource>| -> Result<(), ServeError> {
+        for name in &names {
+            let make = make.clone();
+            let initial = initials[name].clone();
+            daemon.admit(name, move || make(initial.clone()))?;
+        }
+        Ok(())
+    };
+
+    let (mut tx, source) = channel_source();
+    let mut daemon = Daemon::new(source, config.serve.clone());
+    admit_all(&mut daemon)?;
+
+    // Counters and op logs harvested from incarnations that were
+    // killed; the final identity arm replays the cumulative history.
+    let mut base_stats: BTreeMap<String, SessionStats> = BTreeMap::new();
+    let mut prefix_ops: BTreeMap<String, Vec<Op>> = BTreeMap::new();
+    let mut base_dead_letters = 0u64;
+    let mut crash_recoveries = 0u64;
+    let mut crash_recovery_identical = true;
 
     let mut steps = 0;
     let mut round = 0usize;
     let mut fence_id = 0u64;
+    let mut bursts = 0usize;
     let mut evicted = false;
     loop {
         let mut sent_any = false;
+        let mut burst: Vec<StreamFrame> = Vec::new();
         for _ in 0..config.rounds_per_burst.max(1) {
             for (name, script) in &mut scripts {
                 if let Some(delta) = script.next() {
-                    tx.send(StreamFrame::Delta {
+                    burst.push(StreamFrame::Delta {
                         session: name.clone(),
                         delta: Box::new(delta),
-                    })
-                    .expect("daemon owns the receiver");
+                    });
                     sent_any = true;
                 }
             }
             round += 1;
             if config.fence_every > 0 && round.is_multiple_of(config.fence_every) {
                 fence_id += 1;
-                tx.send(StreamFrame::Fence(fence_id))
-                    .expect("daemon owns the receiver");
+                burst.push(StreamFrame::Fence(fence_id));
             }
         }
+        for frame in &burst {
+            tx.send(frame.clone()).expect("daemon owns the receiver");
+        }
+        bursts += 1;
+
+        if config.kill_every > 0 && sent_any && bursts.is_multiple_of(config.kill_every) {
+            // The channel daemon applies frames only while draining, so
+            // the burst just sent is provably unapplied: it dies with
+            // the daemon and the producer resends it — at-least-once,
+            // with the resend landing exactly once.
+            let mut death_digests = BTreeMap::new();
+            for name in &names {
+                death_digests.insert(name.clone(), daemon.session_mut(name)?.state_digest());
+                let stats = daemon.stats(name).expect("admitted").clone();
+                fold_stats(base_stats.entry(name.clone()).or_default(), &stats);
+                prefix_ops
+                    .entry(name.clone())
+                    .or_default()
+                    .extend_from_slice(daemon.op_log(name).expect("admitted"));
+            }
+            base_dead_letters += daemon.dead_letters();
+            drop(daemon);
+            drop(tx);
+            crash_recoveries += 1;
+
+            let (new_tx, source) = channel_source();
+            tx = new_tx;
+            daemon = Daemon::new(source, config.serve.clone());
+            admit_all(&mut daemon)?;
+            for name in &names {
+                if daemon.session_mut(name)?.state_digest() != death_digests[name] {
+                    crash_recovery_identical = false;
+                }
+            }
+            for frame in &burst {
+                tx.send(frame.clone()).expect("daemon owns the receiver");
+            }
+        }
+
         if config.evict_mid_stream && !evicted && round >= total_rounds / 2 {
             for name in &names {
                 daemon.evict(name)?;
@@ -170,12 +317,18 @@ where
 
     let mut sessions = Vec::new();
     for name in &names {
-        let replayed = daemon.replay_standalone(name)?;
+        let mut ops = prefix_ops.remove(name).unwrap_or_default();
+        ops.extend_from_slice(daemon.op_log(name).expect("admitted above"));
+        let replayed = replay_ops(&make, &initials[name], &ops)?;
         let hosted = daemon.session_mut(name)?;
         let identical = hosted.state_digest() == replayed.state_digest()
             && hosted.matches() == replayed.matches();
+        if !identical {
+            report_divergence(name, hosted, &replayed);
+        }
         let final_matches = hosted.matches().len() as u64;
-        let stats = daemon.stats(name).expect("admitted above").clone();
+        let mut stats = base_stats.remove(name).unwrap_or_default();
+        fold_stats(&mut stats, daemon.stats(name).expect("admitted above"));
         let (p50, p99) = staleness_percentiles(&stats.staleness_samples_ms);
         sessions.push(SessionLoadStats {
             name: name.clone(),
@@ -187,6 +340,8 @@ where
             budget_misses: stats.budget_misses,
             degraded_to_cold: stats.degraded_to_cold,
             overload_degrades: stats.overload_degrades,
+            lru_evictions: stats.lru_evictions,
+            revivals: stats.revivals,
             staleness_p50_ms: p50,
             staleness_p99_ms: p99,
             final_matches,
@@ -195,7 +350,10 @@ where
     Ok(LoadOutcome {
         sessions_identical: sessions.iter().all(|s| s.identical),
         staleness_budget_met: sessions.iter().all(|s| s.budget_misses == 0),
-        dead_letters: daemon.dead_letters(),
+        crash_recoveries,
+        crash_recovery_identical,
+        lru_evictions: sessions.iter().map(|s| s.lru_evictions).sum(),
+        dead_letters: base_dead_letters + daemon.dead_letters(),
         steps,
         sessions,
     })

@@ -1,6 +1,6 @@
 //! Freshness-aware scheduling: which session's backlog to service next.
 //!
-//! The daemon serves N sessions from one apply loop, so scheduling is a
+//! The daemon admits batches for N sessions, so scheduling is a
 //! freshness-vs-throughput trade: a session with a deep queue wants
 //! service for throughput, a session with an *old* queue wants service
 //! before it blows its staleness budget, and a session whose updates
@@ -8,16 +8,23 @@
 //! schedulable session is summarized as a [`SessionView`] and scored
 //!
 //! ```text
-//! score = (pending + oldest_age_ms / staleness_budget_ms) / max(cost_ema_ms, 1)
+//! score = (pending + oldest_age_ms / budget_ms) / max(cost_est_ms, 1)
 //! ```
 //!
 //! — pending frames count linearly (throughput pressure), queue age in
-//! units of the staleness budget (a session one full budget behind
-//! outranks a session with one extra frame), and the measured
-//! per-batch cost EMA divides (cheap sessions are serviced more often;
-//! an expensive session cannot starve the fleet). Ties break on the
-//! session name, so a given queue state always schedules identically —
-//! the replay-identity gate depends on that determinism.
+//! units of the *session's own* staleness budget (a session one full
+//! budget behind outranks a session with one extra frame, and a session
+//! admitted with a tight SLO ages faster in score terms than a lax
+//! one), and a predicted batch cost divides (cheap batches are serviced
+//! more often; an expensive session cannot starve the fleet). Ties
+//! break on the session name, so a given queue state always schedules
+//! identically — the replay-identity gate depends on that determinism.
+//!
+//! The cost prediction comes from a [`CostModel`]: one EMA per
+//! batch-size bucket rather than one EMA per session. A session that
+//! just absorbed an expensive 8-frame shed does not get its 1-frame
+//! trickle updates priced (and deprioritized) at shed cost — small
+//! batches are estimated from small-batch history.
 
 /// One session's scheduling summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,33 +35,33 @@ pub struct SessionView {
     pub pending: usize,
     /// Age of the oldest queued frame, in milliseconds.
     pub oldest_age_ms: f64,
-    /// Exponential moving average of the session's batch apply+run
-    /// cost, in milliseconds (see [`update_cost_ema`]).
-    pub cost_ema_ms: f64,
+    /// Predicted cost of the batch the session would run next, in
+    /// milliseconds (see [`CostModel::estimate`]).
+    pub cost_est_ms: f64,
+    /// The session's staleness budget
+    /// ([`crate::ServeConfig::budget_for`]), in milliseconds.
+    pub budget_ms: f64,
 }
 
 /// The freshness-per-cost score of one session (see the [module
 /// docs](self)). Sessions with nothing pending score zero.
-pub fn score(view: &SessionView, staleness_budget_ms: f64) -> f64 {
+pub fn score(view: &SessionView) -> f64 {
     if view.pending == 0 {
         return 0.0;
     }
-    let staleness = view.pending as f64 + view.oldest_age_ms / staleness_budget_ms.max(1.0);
-    staleness / view.cost_ema_ms.max(1.0)
+    let staleness = view.pending as f64 + view.oldest_age_ms / view.budget_ms.max(1.0);
+    staleness / view.cost_est_ms.max(1.0)
 }
 
 /// Pick the session to service next: highest [`score`], ties broken by
 /// ascending name. Returns `None` when no session has pending work.
-pub fn pick_next<'a>(
-    views: impl IntoIterator<Item = &'a SessionView>,
-    staleness_budget_ms: f64,
-) -> Option<&'a str> {
+pub fn pick_next<'a>(views: impl IntoIterator<Item = &'a SessionView>) -> Option<&'a str> {
     views
         .into_iter()
         .filter(|v| v.pending > 0)
         .max_by(|a, b| {
-            score(a, staleness_budget_ms)
-                .total_cmp(&score(b, staleness_budget_ms))
+            score(a)
+                .total_cmp(&score(b))
                 // `max_by` keeps the *last* maximum, so order name
                 // descending to make the lexicographically smallest
                 // name win ties.
@@ -63,13 +70,63 @@ pub fn pick_next<'a>(
         .map(|v| v.name.as_str())
 }
 
-/// Fold one measured batch cost into a session's cost EMA
-/// (`alpha = 0.3`; the first sample seeds the average).
+/// Fold one measured batch cost into a cost EMA (`alpha = 0.3`; the
+/// first sample seeds the average).
 pub fn update_cost_ema(ema_ms: &mut f64, sample_ms: f64) {
     if *ema_ms <= 0.0 {
         *ema_ms = sample_ms;
     } else {
         *ema_ms = 0.7 * *ema_ms + 0.3 * sample_ms;
+    }
+}
+
+/// Per-session batch-cost model: one [`update_cost_ema`] EMA per
+/// batch-size bucket (1 / 2–3 / 4–7 / 8+ frames).
+///
+/// Batch apply cost scales with batch size, so a single per-session
+/// EMA systematically mis-prices whichever size comes next after a
+/// shift in traffic shape. Bucketing by size keeps a cheap trickle
+/// batch from inheriting the EMA of an expensive backlog shed (and
+/// vice versa). Estimating a size never seen falls back to the nearest
+/// seeded bucket; a model with no history estimates `0.0`, which
+/// [`score`] clamps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostModel {
+    buckets: [f64; CostModel::BUCKETS],
+}
+
+impl CostModel {
+    /// Number of batch-size buckets.
+    pub const BUCKETS: usize = 4;
+
+    /// The bucket index of a batch of `frames` delta frames.
+    pub fn bucket(frames: usize) -> usize {
+        match frames {
+            0..=1 => 0,
+            2..=3 => 1,
+            4..=7 => 2,
+            _ => 3,
+        }
+    }
+
+    /// Fold one measured batch cost into the bucket for its size.
+    pub fn observe(&mut self, frames: usize, cost_ms: f64) {
+        update_cost_ema(&mut self.buckets[Self::bucket(frames)], cost_ms);
+    }
+
+    /// Predicted cost of a batch of `frames` frames: the bucket's EMA,
+    /// or the nearest seeded bucket's when that size has no history
+    /// yet, or `0.0` when nothing was ever observed.
+    pub fn estimate(&self, frames: usize) -> f64 {
+        let want = Self::bucket(frames);
+        if self.buckets[want] > 0.0 {
+            return self.buckets[want];
+        }
+        (0..Self::BUCKETS)
+            .filter(|&b| self.buckets[b] > 0.0)
+            .min_by_key(|&b| b.abs_diff(want))
+            .map(|b| self.buckets[b])
+            .unwrap_or(0.0)
     }
 }
 
@@ -98,38 +155,48 @@ mod tests {
             name: name.to_owned(),
             pending,
             oldest_age_ms: age,
-            cost_ema_ms: cost,
+            cost_est_ms: cost,
+            budget_ms: 100.0,
         }
     }
 
     #[test]
     fn deeper_and_older_queues_win_cheaper_sessions_win() {
-        let budget = 100.0;
         let views = [view("a", 1, 0.0, 10.0), view("b", 4, 0.0, 10.0)];
-        assert_eq!(pick_next(&views, budget), Some("b"), "depth wins");
+        assert_eq!(pick_next(&views), Some("b"), "depth wins");
 
         let views = [view("a", 2, 300.0, 10.0), view("b", 4, 0.0, 10.0)];
-        assert_eq!(
-            pick_next(&views, budget),
-            Some("a"),
-            "age in budget units wins"
-        );
+        assert_eq!(pick_next(&views), Some("a"), "age in budget units wins");
 
         let views = [view("a", 2, 0.0, 100.0), view("b", 2, 0.0, 5.0)];
-        assert_eq!(pick_next(&views, budget), Some("b"), "cheap sessions win");
+        assert_eq!(pick_next(&views), Some("b"), "cheap sessions win");
     }
 
     #[test]
     fn ties_break_lexicographically_and_idle_sessions_never_schedule() {
-        let budget = 100.0;
         let views = [
             view("zeta", 2, 0.0, 10.0),
             view("alpha", 2, 0.0, 10.0),
             view("midl", 0, 900.0, 1.0),
         ];
-        assert_eq!(pick_next(&views, budget), Some("alpha"));
-        assert_eq!(pick_next(&[] as &[SessionView], budget), None);
-        assert_eq!(pick_next(&[view("idle", 0, 0.0, 1.0)], budget), None);
+        assert_eq!(pick_next(&views), Some("alpha"));
+        assert_eq!(pick_next(&[] as &[SessionView]), None);
+        assert_eq!(pick_next(&[view("idle", 0, 0.0, 1.0)]), None);
+    }
+
+    #[test]
+    fn tighter_budget_ages_faster_in_score() {
+        // Same queue state; the session admitted with the tighter SLO
+        // must win because its age counts for more budget units.
+        let tight = SessionView {
+            budget_ms: 50.0,
+            ..view("tight", 2, 200.0, 10.0)
+        };
+        let lax = SessionView {
+            budget_ms: 1_000.0,
+            ..view("lax", 2, 200.0, 10.0)
+        };
+        assert_eq!(pick_next(&[lax, tight]), Some("tight"));
     }
 
     #[test]
@@ -139,6 +206,44 @@ mod tests {
         assert_eq!(ema, 10.0);
         update_cost_ema(&mut ema, 20.0);
         assert!((ema - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_batches_do_not_inherit_large_batch_cost() {
+        // The satellite claim: after an expensive 8-frame shed, a
+        // 1-frame trickle batch is still priced from 1-frame history,
+        // not at shed cost.
+        let mut model = CostModel::default();
+        model.observe(1, 5.0);
+        model.observe(8, 400.0);
+        assert_eq!(model.estimate(1), 5.0);
+        assert_eq!(model.estimate(8), 400.0);
+        // And scheduling feels it: a cheap trickle session outranks an
+        // equally-backed-up session whose next batch is big.
+        let trickle = SessionView {
+            name: "trickle".into(),
+            pending: 1,
+            oldest_age_ms: 0.0,
+            cost_est_ms: model.estimate(1),
+            budget_ms: 100.0,
+        };
+        let bulk = SessionView {
+            name: "bulk".into(),
+            cost_est_ms: model.estimate(8),
+            ..trickle.clone()
+        };
+        assert_eq!(pick_next(&[trickle, bulk]), Some("trickle"));
+    }
+
+    #[test]
+    fn cost_model_falls_back_to_nearest_seeded_bucket() {
+        let mut model = CostModel::default();
+        assert_eq!(model.estimate(3), 0.0, "no history estimates zero");
+        model.observe(8, 100.0);
+        assert_eq!(model.estimate(1), 100.0, "only seeded bucket wins");
+        model.observe(1, 4.0);
+        assert_eq!(model.estimate(2), 4.0, "bucket 1 is nearer bucket 0");
+        assert_eq!(model.estimate(5), 100.0, "bucket 2 is nearer bucket 3");
     }
 
     #[test]

@@ -3,12 +3,15 @@
 //!
 //! Three (or more) sessions with independent datasets and churn
 //! scripts are interleaved through one [`em_serve::Daemon`] — shared
-//! change stream, shared scheduler, fences, coalescing, backpressure,
-//! and (in the durable variants) an evict + `em-store` recover cycle
-//! mid-stream. Afterwards every hosted session must be byte-identical
-//! (state digest and match set) to a standalone session replaying the
-//! daemon's op log — sequentially and sharded 4 ways, for the exact
-//! matcher and for certificate-gated walksat.
+//! change stream, per-session worker threads, fences, coalescing,
+//! backpressure, and (in the durable variants) an explicit evict +
+//! `em-store` recover cycle mid-stream, an LRU resident cap below the
+//! session count, a per-session staleness-budget override, and a
+//! mid-stream daemon kill + rebuild-from-store. Afterwards every
+//! hosted session must be byte-identical (state digest and match set)
+//! to a standalone session replaying the daemon's cumulative op log —
+//! sequentially and sharded 4 ways, for the exact matcher and for
+//! certificate-gated walksat.
 
 use em::{Backend, ChurnOptions, DatasetDelta, MatcherChoice, Pipeline, Scheme, SplitPolicy};
 use em_blocking::{BlockingConfig, SimilarityKernel};
@@ -107,12 +110,18 @@ fn assert_identical(outcome: &LoadOutcome, context: &str) {
         );
     }
     assert!(outcome.sessions_identical);
+    assert!(
+        outcome.crash_recovery_identical,
+        "{context}: a killed daemon recovered to a different state"
+    );
     assert_eq!(outcome.dead_letters, 0, "{context}: frames went missing");
 }
 
 /// The daemon-equals-standalone arm for one seed: sequential and
-/// sharded-4, with the durable store and an evict/recover cycle
-/// mid-stream on the sharded variant.
+/// sharded-4, each durable with an explicit evict/recover cycle
+/// mid-stream, an LRU cap of 2 residents over 3 sessions, a
+/// per-session staleness-budget override, and a mid-stream daemon
+/// kill + rebuild-from-store.
 fn check_daemon_isolation(seed: u64, walksat: bool) {
     let tag = if walksat { "walksat" } else { "exact" };
     for shards in [1usize, 4] {
@@ -124,22 +133,34 @@ fn check_daemon_isolation(seed: u64, walksat: bool) {
                 split_policy: SplitPolicy::Split,
             }
         };
-        let durable = shards == 4;
-        let root = store_root(tag, seed);
+        let root = store_root(&format!("{tag}-{shards}"), seed);
         let config = LoadConfig {
             serve: ServeConfig {
-                store_root: durable.then(|| root.clone()),
+                store_root: Some(root.clone()),
+                max_resident: 2,
+                session_budgets_ms: [("storm".to_owned(), 250.0)].into_iter().collect(),
                 ..Default::default()
             },
             fence_every: 3,
             rounds_per_burst: 2,
-            evict_mid_stream: durable,
+            evict_mid_stream: true,
+            kill_every: 2,
         };
         let outcome = run_load(traffic(seed), &config, make_pipeline(walksat, backend))
             .expect("load run completes");
-        assert_identical(
-            &outcome,
-            &format!("seed {seed} {tag} shards {shards} durable {durable}"),
+        let context = format!("seed {seed} {tag} shards {shards}");
+        assert_identical(&outcome, &context);
+        assert!(
+            outcome.crash_recoveries >= 1,
+            "{context}: kill_every 2 must kill at least once"
+        );
+        assert!(
+            outcome.lru_evictions >= 1,
+            "{context}: a cap of 2 residents over 3 sessions must evict"
+        );
+        assert!(
+            outcome.sessions.iter().any(|s| s.revivals > 0),
+            "{context}: an LRU-evicted session must revive for its traffic"
         );
         std::fs::remove_dir_all(&root).ok();
     }
@@ -177,6 +198,7 @@ fn backpressure_sheds_to_cold_and_stays_identical() {
         fence_every: 0,
         rounds_per_burst: 4,
         evict_mid_stream: false,
+        kill_every: 0,
     };
     let outcome = run_load(
         traffic(23),
@@ -201,6 +223,7 @@ fn coalescing_merges_growth_traffic() {
         fence_every: 0,
         rounds_per_burst: 4,
         evict_mid_stream: false,
+        kill_every: 0,
     };
     let outcome = run_load(
         traffic(31),

@@ -456,12 +456,27 @@ pub fn decode_score_cache(r: &mut Reader<'_>) -> Result<PairCache<f64>> {
 
 // -------------------------------------------------- warm-start machinery
 
-/// Encode a message store as its messages in root order.
+/// Encode a message store as its messages in canonical order
+/// (members sorted within each message, messages sorted).
 pub fn encode_message_store(w: &mut Writer, store: &MessageStore) {
-    let roots = store.roots();
-    w.usize(roots.len());
-    for root in roots {
-        encode_pairs(w, store.message(root).expect("root has members"));
+    // Canonical: messages are *sets* of pairs, but the store keeps
+    // members in merge order and roots by merge history. Sort both so
+    // the encoding (and therefore the state digest over it) is a pure
+    // function of the message sets — two stores holding the same
+    // messages via different merge histories must encode identically.
+    let mut messages: Vec<Vec<Pair>> = store
+        .roots()
+        .into_iter()
+        .map(|root| {
+            let mut members = store.message(root).expect("root has members").to_vec();
+            members.sort_unstable();
+            members
+        })
+        .collect();
+    messages.sort_unstable();
+    w.usize(messages.len());
+    for members in messages {
+        encode_pairs(w, &members);
     }
 }
 

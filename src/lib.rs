@@ -53,6 +53,8 @@
 //! | [`em_parallel`] | round-based parallel executor + grid simulator |
 //! | [`em_shard`] | epoch-fenced sharded runtime |
 //! | [`em_store`] | `em-store-v1` codec: versioned snapshots + the CRC-guarded WAL behind [`Pipeline::store`](pipeline::Pipeline::store) |
+//! | `em-serve` | serving daemon hosting N sessions over a change stream (sits *above* this crate, so no re-export: micro-batching, freshness scheduling, per-session workers, LRU eviction) |
+//! | `em-net` | socket transport + query protocol for `em-serve` (Unix-domain / localhost TCP, store-codec framing) |
 
 #![warn(missing_docs)]
 

@@ -51,8 +51,9 @@ use em_core::{DependencyIndex, Pair, SimLevel};
 use em_store::codecs::{
     decode_canopy_memo, decode_cover, decode_dataset, decode_evidence, decode_feature_cache,
     decode_pair_levels, decode_pair_set, decode_score_cache, decode_shard_plan, decode_warm_start,
-    encode_canopy_memo, encode_cover, encode_dataset, encode_evidence, encode_feature_cache,
-    encode_pair_levels, encode_pair_set, encode_score_cache, encode_shard_plan, encode_warm_start,
+    encode_canopy_memo, encode_certificate_bank, encode_cover, encode_dataset, encode_evidence,
+    encode_feature_cache, encode_memo_bank, encode_message_store, encode_pair_levels,
+    encode_pair_set, encode_score_cache, encode_shard_plan, encode_warm_start,
 };
 use em_store::{crc32, Reader, SnapshotReader, SnapshotWriter, StoreError, Wal, Writer};
 use std::fmt;
@@ -501,7 +502,32 @@ impl MatchSession {
     pub fn state_digest(&self) -> String {
         semantic_sections(self)
             .iter()
-            .map(|(name, bytes)| format!("{name}:{:08x}", crc32(bytes)))
+            .flat_map(|(name, bytes)| {
+                // The warm-start section bundles four independent
+                // structures; digest them separately so a divergence
+                // names the structure, not just the bundle. (The
+                // snapshot keeps them as one `warm_state` section —
+                // this split exists only in the digest.)
+                if *name == "warm_state" {
+                    let mut bank = Writer::new();
+                    encode_memo_bank(&mut bank, &self.warm_state.bank);
+                    let mut certs = Writer::new();
+                    encode_certificate_bank(&mut certs, &self.warm_state.certs);
+                    let mut store = Writer::new();
+                    encode_message_store(&mut store, &self.warm_state.store);
+                    let mut floor = Writer::new();
+                    floor.u32(self.warm_state.entity_floor);
+                    vec![
+                        ("warm_bank", bank.into_bytes()),
+                        ("warm_certs", certs.into_bytes()),
+                        ("warm_store", store.into_bytes()),
+                        ("warm_floor", floor.into_bytes()),
+                    ]
+                } else {
+                    vec![(*name, bytes.clone())]
+                }
+            })
+            .map(|(name, bytes)| format!("{name}:{:08x}", crc32(&bytes)))
             .collect::<Vec<_>>()
             .join(" ")
     }
